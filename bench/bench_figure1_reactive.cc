@@ -1,0 +1,91 @@
+// E2 — Reproduces Figure 1 of the paper: reactive intermediate
+// compression. A synthetic host application ramps its RAM usage up and
+// back down while the DBMS continuously materializes a large intermediate
+// (a governed ChunkCollection). In reactive mode the governor switches
+// the intermediate compression none -> light -> heavy as machine memory
+// pressure grows, trading DBMS CPU for RAM exactly as the figure sketches.
+
+#include <chrono>
+#include <cstdio>
+
+#include "mallard/execution/chunk_collection.h"
+#include "mallard/governor/resource_governor.h"
+#include "mallard/storage/buffer_manager.h"
+
+int main() {
+  using namespace mallard;
+  using Clock = std::chrono::steady_clock;
+
+  const uint64_t kTotalMemory = 1ull << 30;  // 1 GiB machine envelope
+  GovernorConfig config;
+  config.total_memory = kTotalMemory;
+  config.dbms_memory_limit = kTotalMemory / 2;
+  config.reactive = true;
+  ResourceGovernor governor(config);
+  SyntheticAppMonitor app;
+  governor.SetMonitor(&app);
+
+  // The DBMS workload: repeatedly materialize a 16MB intermediate of
+  // moderately compressible analytical data.
+  auto run_query = [&](uint64_t* dbms_bytes, uint64_t* raw_bytes,
+                       double* cpu_ms) {
+    ChunkCollection intermediate({TypeId::kBigInt, TypeId::kBigInt,
+                                  TypeId::kVarchar},
+                                 &governor);
+    DataChunk chunk;
+    chunk.Initialize(intermediate.types());
+    auto start = Clock::now();
+    uint64_t row_id = 0;
+    for (int c = 0; c < 256; c++) {
+      chunk.Reset();
+      for (idx_t i = 0; i < kVectorSize; i++) {
+        chunk.column(0).data<int64_t>()[i] =
+            static_cast<int64_t>(row_id / 64);   // slowly changing key
+        chunk.column(1).data<int64_t>()[i] =
+            static_cast<int64_t>(row_id % 997);  // repeating measure
+        chunk.column(2).SetString(i, "segment-" +
+                                          std::to_string(row_id % 16));
+        row_id++;
+      }
+      chunk.SetCardinality(kVectorSize);
+      if (!intermediate.Append(chunk).ok()) return;
+    }
+    intermediate.Finalize();
+    *cpu_ms = std::chrono::duration<double, std::milli>(Clock::now() -
+                                                        start)
+                  .count();
+    *dbms_bytes = intermediate.MemoryBytes();
+    *raw_bytes = intermediate.RawBytes();
+  };
+
+  std::printf("=== Figure 1: reactive resource usage pattern ===\n");
+  std::printf("app RAM ramps 5%% -> 85%% -> 5%% of a %.1f GiB machine; the "
+              "DBMS materializes a fixed intermediate each step\n\n",
+              kTotalMemory / double(1ull << 30));
+  std::printf("%-6s %-12s %-14s %-14s %-14s %-12s\n", "step", "app RAM %",
+              "compression", "DBMS RAM (MB)", "raw (MB)", "CPU (ms)");
+
+  // Timeline: application RAM 5% -> 85% -> 5% in 16 steps (the ramp in
+  // Figure 1), DBMS reacting at every step.
+  const int kSteps = 17;
+  for (int step = 0; step < kSteps; step++) {
+    double frac =
+        step <= kSteps / 2
+            ? 0.05 + (0.85 - 0.05) * step / (kSteps / 2)
+            : 0.85 - (0.85 - 0.05) * (step - kSteps / 2) / (kSteps / 2);
+    app.SetMemory(static_cast<uint64_t>(kTotalMemory * frac));
+    uint64_t dbms_bytes = 0, raw_bytes = 0;
+    double cpu_ms = 0;
+    run_query(&dbms_bytes, &raw_bytes, &cpu_ms);
+    GovernorSample sample = governor.Sample();
+    std::printf("%-6d %-12.0f %-14s %-14.1f %-14.1f %-12.1f\n", step,
+                frac * 100, CompressionLevelToString(sample.compression),
+                dbms_bytes / (1024.0 * 1024.0),
+                raw_bytes / (1024.0 * 1024.0), cpu_ms);
+  }
+  std::printf("\nShape check vs Figure 1: as app RAM rises the DBMS "
+              "footprint steps DOWN (light, then heavy compression) while "
+              "its CPU time steps UP; both revert when the app backs "
+              "off.\n");
+  return 0;
+}

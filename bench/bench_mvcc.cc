@@ -1,0 +1,116 @@
+// E10 — Paper section 2: "concurrent data modification is common in
+// dashboard-scenarios where multiple threads update the data using ETL
+// queries while other threads run the OLAP queries that drive
+// visualizations." Measures OLAP read throughput while 0..4 writer
+// threads run concurrent bulk updates/appends under MVCC.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "mallard/main/appender.h"
+#include "mallard/main/connection.h"
+#include "mallard/main/database.h"
+
+using namespace mallard;
+using Clock = std::chrono::steady_clock;
+
+int main() {
+  const idx_t kRows = 200000;
+  std::printf("=== Concurrent OLAP + ETL dashboard (paper section 2) "
+              "===\n%llu-row table; readers run aggregation queries while "
+              "writers run bulk UPDATEs and appends\n\n",
+              static_cast<unsigned long long>(kRows));
+  std::printf("%-10s %-10s %-18s %-18s %-14s\n", "writers", "readers",
+              "reads/sec", "writes/sec", "conflicts");
+
+  for (int n_writers : {0, 1, 2, 4}) {
+    auto db = Database::Open(":memory:");
+    if (!db.ok()) return 1;
+    {
+      Connection con(db->get());
+      (void)con.Query("CREATE TABLE metrics (sensor INTEGER, v DOUBLE)");
+      auto app = Appender::Create(db->get(), "metrics");
+      DataChunk chunk;
+      chunk.Initialize({TypeId::kInteger, TypeId::kDouble});
+      idx_t produced = 0;
+      while (produced < kRows) {
+        chunk.Reset();
+        idx_t n = std::min<idx_t>(kVectorSize, kRows - produced);
+        for (idx_t i = 0; i < n; i++) {
+          chunk.column(0).data<int32_t>()[i] =
+              static_cast<int32_t>((produced + i) % 100);
+          chunk.column(1).data<double>()[i] = (produced + i) * 0.1;
+        }
+        chunk.SetCardinality(n);
+        (void)(*app)->AppendChunk(chunk);
+        produced += n;
+      }
+      (void)(*app)->Close();
+    }
+    const int kReaders = 3;
+    const double kSeconds = 2.0;
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> reads{0}, writes{0}, conflicts{0}, errors{0};
+    std::vector<std::thread> threads;
+    for (int r = 0; r < kReaders; r++) {
+      threads.emplace_back([&] {
+        Connection con(db->get());
+        while (!stop.load()) {
+          auto result = con.Query(
+              "SELECT sensor, count(*), avg(v) FROM metrics "
+              "WHERE sensor < 50 GROUP BY sensor");
+          if (result.ok()) {
+            reads++;
+          } else {
+            errors++;
+          }
+        }
+      });
+    }
+    for (int w = 0; w < n_writers; w++) {
+      threads.emplace_back([&, w] {
+        Connection con(db->get());
+        int op = 0;
+        while (!stop.load()) {
+          // Each writer owns one sensor band: bulk update or append.
+          int lo = w * 25, hi = lo + 24;
+          std::string sql =
+              (op++ % 4 != 0)
+                  ? "UPDATE metrics SET v = v + 1 WHERE sensor >= " +
+                        std::to_string(lo) + " AND sensor <= " +
+                        std::to_string(hi)
+                  : "INSERT INTO metrics VALUES (" + std::to_string(lo) +
+                        ", 0.0)";
+          auto result = con.Query(sql);
+          if (result.ok()) {
+            writes++;
+          } else if (result.status().IsTransactionConflict()) {
+            conflicts++;
+          } else {
+            errors++;
+          }
+        }
+      });
+    }
+    auto start = Clock::now();
+    while (std::chrono::duration<double>(Clock::now() - start).count() <
+           kSeconds) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    stop.store(true);
+    for (auto& t : threads) t.join();
+    std::printf("%-10d %-10d %-18.1f %-18.1f %-14llu%s\n", n_writers,
+                kReaders, reads.load() / kSeconds,
+                writes.load() / kSeconds,
+                static_cast<unsigned long long>(conflicts.load()),
+                errors.load() ? "  (errors!)" : "");
+  }
+  std::printf("\nShape check vs paper: readers keep making progress while "
+              "bulk ETL writers commit concurrently — snapshot reads never "
+              "block on the update transactions (lock-free MVCC reads, "
+              "section 6).\n");
+  return 0;
+}

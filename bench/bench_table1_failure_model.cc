@@ -1,0 +1,48 @@
+// E1 — Reproduces Table 1 of the paper: 30-day OS crash probabilities on
+// consumer hardware (Nightingale et al., EuroSys'11), via the Monte Carlo
+// hardware failure model. Prints paper-vs-simulated "1 in N" rates and
+// the implied silent-corruption exposure that motivates the resilience
+// features (paper section 3).
+
+#include <cstdio>
+#include <string>
+
+#include "mallard/resilience/failure_model.h"
+
+int main() {
+  using namespace mallard;
+  FailureModelConfig config;
+  const uint64_t kFleet = 4000000;
+  FailureModelResult r = SimulateFleet(config, kFleet, 0x71AB1E);
+
+  std::printf("=== Table 1: 30-day failure probability "
+              "(fleet of %llu simulated consumer PCs) ===\n",
+              static_cast<unsigned long long>(kFleet));
+  std::printf("%-16s %-22s %-22s %-24s %-24s\n", "Failure",
+              "Pr[1st] (paper)", "Pr[1st] (measured)",
+              "Pr[2nd|1 fail] (paper)", "Pr[2nd|1 fail] (measured)");
+  auto row = [](const char* name, double paper1, double paper2,
+                const ComponentStats& s) {
+    std::printf("%-16s %-22s %-22s %-24s %-24s\n", name,
+                ("1 in " + std::to_string(paper1)).c_str(),
+                ("1 in " + std::to_string(s.OneIn(s.PrFirst()))).c_str(),
+                ("1 in " + std::to_string(paper2)).c_str(),
+                ("1 in " +
+                 std::to_string(s.OneIn(s.PrSecondGivenFirst()))).c_str());
+  };
+  row("CPU (MCE)", 190.0, 2.9, r.cpu);
+  row("DRAM bit flip", 1700.0, 12.0, r.dram);
+  row("Disk failure", 270.0, 3.5, r.disk);
+
+  std::printf("\nImplications for an embedded analytical DBMS:\n");
+  std::printf("  machines per million with a DRAM bit flip in 30 days: "
+              "%.0f\n", r.dram_corruptions_per_million);
+  std::printf("  recidivism: a machine that failed once is ~%.0fx (CPU), "
+              "~%.0fx (DRAM), ~%.0fx (disk) more likely to fail again\n",
+              r.cpu.PrSecondGivenFirst() / r.cpu.PrFirst(),
+              r.dram.PrSecondGivenFirst() / r.dram.PrFirst(),
+              r.disk.PrSecondGivenFirst() / r.disk.PrFirst());
+  std::printf("  -> block checksums + allocation-time memory tests "
+              "(sections 3, 6) are enabled by default in mallard\n");
+  return 0;
+}

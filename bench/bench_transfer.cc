@@ -1,0 +1,123 @@
+// E3 — Paper section 5 (transfer efficiency): compares result-set
+// transfer mechanisms for a wide scan result:
+//   (a) in-process chunk API (zero-copy hand-over; the paper's design),
+//   (b) in-process value-at-a-time API (ODBC/JDBC/SQLite style),
+//   (c) socket client-server, text protocol (traditional RDBMS),
+//   (d) socket client-server, binary columnar protocol.
+// The paper's claim: (b)-(d) are dominated by serialization and per-value
+// call overhead; (a) is nearly free.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "mallard/main/appender.h"
+#include "mallard/main/connection.h"
+#include "mallard/main/database.h"
+#include "mallard/net/client_server.h"
+
+using namespace mallard;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double Ms(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  const char* rows_env = std::getenv("MALLARD_TRANSFER_ROWS");
+  const idx_t kRows = rows_env ? std::strtoull(rows_env, nullptr, 10)
+                               : 2000000;
+  auto db = Database::Open(":memory:");
+  if (!db.ok()) return 1;
+  Connection con(db->get());
+  (void)con.Query("CREATE TABLE t (a INTEGER, b BIGINT, c DOUBLE)");
+  {
+    auto app = Appender::Create(db->get(), "t");
+    DataChunk chunk;
+    chunk.Initialize({TypeId::kInteger, TypeId::kBigInt, TypeId::kDouble});
+    idx_t produced = 0;
+    while (produced < kRows) {
+      chunk.Reset();
+      idx_t n = std::min<idx_t>(kVectorSize, kRows - produced);
+      for (idx_t i = 0; i < n; i++) {
+        chunk.column(0).data<int32_t>()[i] =
+            static_cast<int32_t>(produced + i);
+        chunk.column(1).data<int64_t>()[i] =
+            static_cast<int64_t>((produced + i) * 7);
+        chunk.column(2).data<double>()[i] = (produced + i) * 0.25;
+      }
+      chunk.SetCardinality(n);
+      if (!(*app)->AppendChunk(chunk).ok()) return 1;
+      produced += n;
+    }
+    (void)(*app)->Close();
+  }
+  const std::string kQuery = "SELECT a, b, c FROM t";
+  std::printf("=== Transfer efficiency (paper section 5): %llu rows x 3 "
+              "columns ===\n\n",
+              static_cast<unsigned long long>(kRows));
+  std::printf("%-42s %-12s %-14s %-10s\n", "mechanism", "time (ms)",
+              "rows/sec (M)", "vs chunk");
+
+  double chunk_ms = 0;
+  // (a) streaming chunk API — zero-copy hand-over.
+  {
+    auto start = Clock::now();
+    auto stream = con.SendQuery(kQuery);
+    if (!stream.ok()) return 1;
+    int64_t checksum = 0;
+    while (true) {
+      auto c = (*stream)->Fetch();
+      if (!c.ok() || !*c) break;
+      const int32_t* a = (*c)->column(0).data<int32_t>();
+      for (idx_t i = 0; i < (*c)->size(); i++) checksum += a[i];
+    }
+    chunk_ms = Ms(start);
+    std::printf("%-42s %-12.1f %-14.2f %-10s (checksum %lld)\n",
+                "in-process chunk API (zero-copy)", chunk_ms,
+                kRows / chunk_ms / 1000.0, "1.0x",
+                static_cast<long long>(checksum));
+  }
+  // (b) value-at-a-time API over a materialized result.
+  {
+    auto start = Clock::now();
+    auto result = con.Query(kQuery);
+    if (!result.ok()) return 1;
+    int64_t checksum = 0;
+    for (idx_t r = 0; r < (*result)->RowCount(); r++) {
+      checksum += (*result)->GetValue(0, r).GetInteger();
+      (void)(*result)->GetValue(1, r);
+      (void)(*result)->GetValue(2, r);
+    }
+    double ms = Ms(start);
+    std::printf("%-42s %-12.1f %-14.2f %.1fx\n",
+                "value-at-a-time API (ODBC/JDBC style)", ms,
+                kRows / ms / 1000.0, ms / chunk_ms);
+  }
+  // (c)+(d) socket protocols.
+  for (auto [protocol, label] :
+       {std::make_pair(net::Protocol::kBinaryColumnar,
+                       "socket, binary columnar protocol"),
+        std::make_pair(net::Protocol::kText,
+                       "socket, text protocol (traditional)")}) {
+    auto server = net::QueryServer::Start(db->get(), protocol);
+    if (!server.ok()) return 1;
+    net::QueryClient client((*server)->client_fd(), protocol);
+    auto start = Clock::now();
+    auto result = client.Query(kQuery);
+    double ms = Ms(start);
+    if (!result.ok()) return 1;
+    std::printf("%-42s %-12.1f %-14.2f %.1fx   (%.1f MB on the wire)\n",
+                label, ms, kRows / ms / 1000.0, ms / chunk_ms,
+                (*server)->bytes_sent() / 1e6);
+  }
+  std::printf("\nShape check vs paper: chunk API >> binary socket > text "
+              "socket; value-based API pays per-call overhead on top of "
+              "materialization.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Dashboard scenario (paper section 2): ETL writer threads continuously
+// append and bulk-update metrics while reader threads concurrently run
+// the OLAP aggregations that would drive visualizations. MVCC gives every
+// reader a consistent snapshot without blocking the writers.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "mallard/main/appender.h"
+#include "mallard/main/connection.h"
+#include "mallard/main/database.h"
+
+int main() {
+  using namespace mallard;
+  auto db = Database::Open(":memory:");
+  {
+    Connection con(db->get());
+    (void)con.Query(
+        "CREATE TABLE events (region INTEGER, status VARCHAR, "
+        "amount DOUBLE)");
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> ingested{0}, refreshes{0}, recodes{0};
+
+  // Ingest thread: appends batches through the bulk Appender.
+  std::thread ingest([&] {
+    auto app = Appender::Create(db->get(), "events");
+    if (!app.ok()) return;
+    uint64_t n = 0;
+    while (!stop.load()) {
+      for (int i = 0; i < 500; i++) {
+        (*app)->Append(static_cast<int32_t>(n % 8))
+            .Append(n % 13 == 0 ? "error" : "ok")
+            .Append((n % 97) * 1.5);
+        if (!(*app)->EndRow().ok()) return;
+        n++;
+      }
+      if (!(*app)->Flush().ok()) return;
+      ingested.store(n);
+    }
+  });
+
+  // Wrangler thread: periodic bulk recodes (ETL on live data).
+  std::thread wrangler([&] {
+    Connection con(db->get());
+    while (!stop.load()) {
+      auto r = con.Query(
+          "UPDATE events SET status = 'failed' WHERE status = 'error'");
+      if (r.ok()) recodes++;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  });
+
+  // Dashboard threads: consistent aggregate snapshots.
+  std::vector<std::thread> dashboards;
+  for (int d = 0; d < 2; d++) {
+    dashboards.emplace_back([&] {
+      Connection con(db->get());
+      while (!stop.load()) {
+        auto r = con.Query(
+            "SELECT region, count(*) AS events, sum(amount) AS volume, "
+            "sum(CASE WHEN status = 'failed' THEN 1 ELSE 0 END) AS fails "
+            "FROM events GROUP BY region ORDER BY region");
+        if (r.ok()) refreshes++;
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::seconds(2));
+  stop.store(true);
+  ingest.join();
+  wrangler.join();
+  for (auto& t : dashboards) t.join();
+
+  Connection con(db->get());
+  auto final_view = con.Query(
+      "SELECT region, count(*) AS events, "
+      "sum(CASE WHEN status = 'failed' THEN 1 ELSE 0 END) AS fails "
+      "FROM events GROUP BY region ORDER BY region");
+  std::printf("after 2s of concurrent ETL + OLAP:\n");
+  std::printf("  rows ingested:        %llu\n",
+              static_cast<unsigned long long>(ingested.load()));
+  std::printf("  bulk recodes applied: %llu\n",
+              static_cast<unsigned long long>(recodes.load()));
+  std::printf("  dashboard refreshes:  %llu\n\n",
+              static_cast<unsigned long long>(refreshes.load()));
+  if (final_view.ok()) {
+    std::printf("%s", (*final_view)->ToString().c_str());
+  }
+  return 0;
+}

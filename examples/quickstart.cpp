@@ -1,0 +1,58 @@
+// Quickstart: open an embedded database, run DDL/DML/queries, and
+// stream a result — the 60-second tour of the public API.
+
+#include <cstdio>
+
+#include "mallard/main/connection.h"
+#include "mallard/main/database.h"
+
+int main() {
+  using namespace mallard;
+  // ":memory:" for a transient database; a file path for a persistent
+  // single-file database (plus a .wal side file).
+  auto db = Database::Open(":memory:");
+  if (!db.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  Connection con(db->get());
+
+  auto exec = [&](const std::string& sql) {
+    auto result = con.Query(sql);
+    if (!result.ok()) {
+      std::fprintf(stderr, "error in %s\n  -> %s\n", sql.c_str(),
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    return std::move(*result);
+  };
+
+  exec("CREATE TABLE weather (city VARCHAR, day DATE, temp DOUBLE)");
+  exec("INSERT INTO weather VALUES "
+       "('Amsterdam', DATE '2026-06-01', 18.5), "
+       "('Amsterdam', DATE '2026-06-02', 21.0), "
+       "('Utrecht',   DATE '2026-06-01', 19.2), "
+       "('Utrecht',   DATE '2026-06-02', 22.4)");
+
+  auto result = exec(
+      "SELECT city, count(*) AS days, avg(temp) AS avg_temp "
+      "FROM weather GROUP BY city ORDER BY city");
+  std::printf("%s\n", result->ToString().c_str());
+
+  // Streaming (zero-copy) access: the application pulls chunks straight
+  // from the execution engine.
+  auto stream = con.SendQuery("SELECT temp FROM weather WHERE temp > 19");
+  if (stream.ok()) {
+    double max_temp = 0;
+    while (true) {
+      auto chunk = (*stream)->Fetch();
+      if (!chunk.ok() || !*chunk) break;
+      const double* temps = (*chunk)->column(0).data<double>();
+      for (idx_t i = 0; i < (*chunk)->size(); i++) {
+        if (temps[i] > max_temp) max_temp = temps[i];
+      }
+    }
+    std::printf("hottest reading above 19C: %.1f\n", max_temp);
+  }
+  return 0;
+}

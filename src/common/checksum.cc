@@ -1,0 +1,67 @@
+#include "mallard/common/checksum.h"
+
+#include <array>
+
+namespace mallard {
+
+namespace {
+
+// Slicing-by-8 CRC32-C tables, generated at first use. Table generation is
+// deterministic; thread-safe via function-local static initialization.
+struct Crc32cTables {
+  uint32_t table[8][256];
+  Crc32cTables() {
+    constexpr uint32_t kPoly = 0x82F63B78;  // reflected Castagnoli
+    for (uint32_t i = 0; i < 256; i++) {
+      uint32_t crc = i;
+      for (int j = 0; j < 8; j++) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      table[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; i++) {
+      uint32_t crc = table[0][i];
+      for (int slice = 1; slice < 8; slice++) {
+        crc = (crc >> 8) ^ table[0][crc & 0xFF];
+        table[slice][i] = crc;
+      }
+    }
+  }
+};
+
+const Crc32cTables& Tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t len, uint32_t seed) {
+  const auto& t = Tables().table;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  // Process unaligned prefix byte-wise.
+  while (len > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xFF];
+    len--;
+  }
+  // Slicing-by-8 main loop.
+  while (len >= 8) {
+    uint64_t word;
+    __builtin_memcpy(&word, p, 8);
+    word ^= crc;
+    crc = t[7][word & 0xFF] ^ t[6][(word >> 8) & 0xFF] ^
+          t[5][(word >> 16) & 0xFF] ^ t[4][(word >> 24) & 0xFF] ^
+          t[3][(word >> 32) & 0xFF] ^ t[2][(word >> 40) & 0xFF] ^
+          t[1][(word >> 48) & 0xFF] ^ t[0][(word >> 56) & 0xFF];
+    p += 8;
+    len -= 8;
+  }
+  while (len > 0) {
+    crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xFF];
+    len--;
+  }
+  return ~crc;
+}
+
+}  // namespace mallard

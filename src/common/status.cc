@@ -1,0 +1,131 @@
+#include "mallard/common/status.h"
+
+namespace mallard {
+
+namespace {
+const std::string kEmptyString;
+}  // namespace
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kAlreadyExists:
+      return "Already exists";
+    case StatusCode::kIOError:
+      return "IO error";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kTransactionConflict:
+      return "Transaction conflict";
+    case StatusCode::kTransactionContext:
+      return "Transaction context error";
+    case StatusCode::kNotImplemented:
+      return "Not implemented";
+    case StatusCode::kInternal:
+      return "Internal error";
+    case StatusCode::kOutOfMemory:
+      return "Out of memory";
+    case StatusCode::kParser:
+      return "Parser error";
+    case StatusCode::kBinder:
+      return "Binder error";
+    case StatusCode::kCatalog:
+      return "Catalog error";
+    case StatusCode::kConstraint:
+      return "Constraint violation";
+    case StatusCode::kHardwareFailure:
+      return "Hardware failure";
+    case StatusCode::kInterrupted:
+      return "Interrupted";
+  }
+  return "Unknown";
+}
+
+Status::Status(StatusCode code, std::string message)
+    : state_(std::make_unique<State>(State{code, std::move(message)})) {}
+
+Status::Status(const Status& other) {
+  if (other.state_) {
+    state_ = std::make_unique<State>(*other.state_);
+  }
+}
+
+Status& Status::operator=(const Status& other) {
+  if (this != &other) {
+    state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+  }
+  return *this;
+}
+
+const std::string& Status::message() const {
+  return state_ ? state_->message : kEmptyString;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result = StatusCodeToString(state_->code);
+  result += ": ";
+  result += state_->message;
+  return result;
+}
+
+Status Status::InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+Status Status::OutOfRange(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+Status Status::NotFound(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+Status Status::AlreadyExists(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+Status Status::IOError(std::string msg) {
+  return Status(StatusCode::kIOError, std::move(msg));
+}
+Status Status::Corruption(std::string msg) {
+  return Status(StatusCode::kCorruption, std::move(msg));
+}
+Status Status::TransactionConflict(std::string msg) {
+  return Status(StatusCode::kTransactionConflict, std::move(msg));
+}
+Status Status::TransactionContext(std::string msg) {
+  return Status(StatusCode::kTransactionContext, std::move(msg));
+}
+Status Status::NotImplemented(std::string msg) {
+  return Status(StatusCode::kNotImplemented, std::move(msg));
+}
+Status Status::Internal(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+Status Status::OutOfMemory(std::string msg) {
+  return Status(StatusCode::kOutOfMemory, std::move(msg));
+}
+Status Status::Parser(std::string msg) {
+  return Status(StatusCode::kParser, std::move(msg));
+}
+Status Status::Binder(std::string msg) {
+  return Status(StatusCode::kBinder, std::move(msg));
+}
+Status Status::Catalog(std::string msg) {
+  return Status(StatusCode::kCatalog, std::move(msg));
+}
+Status Status::Constraint(std::string msg) {
+  return Status(StatusCode::kConstraint, std::move(msg));
+}
+Status Status::HardwareFailure(std::string msg) {
+  return Status(StatusCode::kHardwareFailure, std::move(msg));
+}
+Status Status::Interrupted(std::string msg) {
+  return Status(StatusCode::kInterrupted, std::move(msg));
+}
+
+}  // namespace mallard

@@ -1,0 +1,112 @@
+#include "mallard/common/string_util.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace mallard {
+
+std::string StringUtil::Upper(const std::string& str) {
+  std::string result = str;
+  for (auto& c : result) c = static_cast<char>(std::toupper(c));
+  return result;
+}
+
+std::string StringUtil::Lower(const std::string& str) {
+  std::string result = str;
+  for (auto& c : result) c = static_cast<char>(std::tolower(c));
+  return result;
+}
+
+bool StringUtil::CIEquals(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); i++) {
+    if (std::tolower(a[i]) != std::tolower(b[i])) return false;
+  }
+  return true;
+}
+
+std::vector<std::string> StringUtil::Split(const std::string& str, char sep) {
+  std::vector<std::string> result;
+  size_t start = 0;
+  while (start <= str.size()) {
+    size_t pos = str.find(sep, start);
+    if (pos == std::string::npos) {
+      result.push_back(str.substr(start));
+      break;
+    }
+    result.push_back(str.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return result;
+}
+
+std::string StringUtil::Join(const std::vector<std::string>& parts,
+                             const std::string& sep) {
+  std::string result;
+  for (size_t i = 0; i < parts.size(); i++) {
+    if (i > 0) result += sep;
+    result += parts[i];
+  }
+  return result;
+}
+
+std::string StringUtil::Trim(const std::string& str) {
+  size_t begin = 0, end = str.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(str[begin]))) {
+    begin++;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(str[end - 1]))) {
+    end--;
+  }
+  return str.substr(begin, end - begin);
+}
+
+bool StringUtil::StartsWith(const std::string& str,
+                            const std::string& prefix) {
+  return str.size() >= prefix.size() &&
+         str.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool StringUtil::EndsWith(const std::string& str, const std::string& suffix) {
+  return str.size() >= suffix.size() &&
+         str.compare(str.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool StringUtil::Like(const char* str, size_t str_len, const char* pattern,
+                      size_t pattern_len) {
+  size_t s = 0, p = 0;
+  size_t star_p = std::string::npos, star_s = 0;
+  while (s < str_len) {
+    if (p < pattern_len && (pattern[p] == '_' || pattern[p] == str[s])) {
+      s++;
+      p++;
+    } else if (p < pattern_len && pattern[p] == '%') {
+      star_p = p++;
+      star_s = s;
+    } else if (star_p != std::string::npos) {
+      p = star_p + 1;
+      s = ++star_s;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern_len && pattern[p] == '%') p++;
+  return p == pattern_len;
+}
+
+std::string StringUtil::Format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int len = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string result(len, '\0');
+  std::vsnprintf(result.data(), len + 1, fmt, args_copy);
+  va_end(args_copy);
+  return result;
+}
+
+}  // namespace mallard

@@ -1,0 +1,194 @@
+#include "mallard/common/types.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "mallard/common/string_util.h"
+
+namespace mallard {
+
+const char* TypeIdToString(TypeId type) {
+  switch (type) {
+    case TypeId::kInvalid:
+      return "INVALID";
+    case TypeId::kBoolean:
+      return "BOOLEAN";
+    case TypeId::kInteger:
+      return "INTEGER";
+    case TypeId::kBigInt:
+      return "BIGINT";
+    case TypeId::kDouble:
+      return "DOUBLE";
+    case TypeId::kVarchar:
+      return "VARCHAR";
+    case TypeId::kDate:
+      return "DATE";
+    case TypeId::kTimestamp:
+      return "TIMESTAMP";
+  }
+  return "INVALID";
+}
+
+Result<TypeId> TypeIdFromString(const std::string& name) {
+  std::string upper = StringUtil::Upper(name);
+  if (upper == "BOOLEAN" || upper == "BOOL") return TypeId::kBoolean;
+  if (upper == "INTEGER" || upper == "INT" || upper == "INT4") {
+    return TypeId::kInteger;
+  }
+  if (upper == "BIGINT" || upper == "INT8" || upper == "LONG") {
+    return TypeId::kBigInt;
+  }
+  if (upper == "DOUBLE" || upper == "FLOAT8" || upper == "REAL" ||
+      upper == "FLOAT" || upper == "DECIMAL" || upper == "NUMERIC") {
+    return TypeId::kDouble;
+  }
+  if (upper == "VARCHAR" || upper == "TEXT" || upper == "STRING" ||
+      upper == "CHAR") {
+    return TypeId::kVarchar;
+  }
+  if (upper == "DATE") return TypeId::kDate;
+  if (upper == "TIMESTAMP" || upper == "DATETIME") return TypeId::kTimestamp;
+  return Status::Parser("unknown type name: " + name);
+}
+
+idx_t TypeSize(TypeId type) {
+  switch (type) {
+    case TypeId::kBoolean:
+      return 1;
+    case TypeId::kInteger:
+    case TypeId::kDate:
+      return 4;
+    case TypeId::kBigInt:
+    case TypeId::kDouble:
+    case TypeId::kTimestamp:
+      return 8;
+    case TypeId::kVarchar:
+      return sizeof(StringRef);
+    case TypeId::kInvalid:
+      return 0;
+  }
+  return 0;
+}
+
+bool TypeIsNumeric(TypeId type) {
+  return type == TypeId::kInteger || type == TypeId::kBigInt ||
+         type == TypeId::kDouble;
+}
+
+bool TypeCanCast(TypeId from, TypeId to) {
+  if (from == to) return true;
+  if (from == TypeId::kInvalid || to == TypeId::kInvalid) return false;
+  // Everything casts to and from VARCHAR.
+  if (from == TypeId::kVarchar || to == TypeId::kVarchar) return true;
+  if (TypeIsNumeric(from) && TypeIsNumeric(to)) return true;
+  if (from == TypeId::kBoolean && TypeIsNumeric(to)) return true;
+  if (TypeIsNumeric(from) && to == TypeId::kBoolean) return true;
+  if (from == TypeId::kDate && to == TypeId::kTimestamp) return true;
+  if (from == TypeId::kTimestamp && to == TypeId::kDate) return true;
+  // Dates cast to integers (days) for arithmetic convenience.
+  if (from == TypeId::kDate && TypeIsNumeric(to)) return true;
+  if (TypeIsNumeric(from) && to == TypeId::kDate) return true;
+  return false;
+}
+
+TypeId MaxNumericType(TypeId left, TypeId right) {
+  if (!TypeIsNumeric(left) || !TypeIsNumeric(right)) return TypeId::kInvalid;
+  if (left == TypeId::kDouble || right == TypeId::kDouble) {
+    return TypeId::kDouble;
+  }
+  if (left == TypeId::kBigInt || right == TypeId::kBigInt) {
+    return TypeId::kBigInt;
+  }
+  return TypeId::kInteger;
+}
+
+bool StringRef::operator==(const StringRef& other) const {
+  return size == other.size && std::memcmp(data, other.data, size) == 0;
+}
+
+bool StringRef::operator<(const StringRef& other) const {
+  int cmp = std::memcmp(data, other.data, std::min(size, other.size));
+  if (cmp != 0) return cmp < 0;
+  return size < other.size;
+}
+
+namespace date {
+
+namespace {
+// Days-from-civil algorithm (Howard Hinnant): converts a Gregorian civil
+// date to days since 1970-01-01 without iterating over years.
+int64_t DaysFromCivil(int64_t y, int64_t m, int64_t d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const int64_t yoe = y - era * 400;
+  const int64_t doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + doe - 719468;
+}
+
+void CivilFromDays(int64_t z, int64_t* y, int64_t* m, int64_t* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const int64_t doe = z - era * 146097;
+  const int64_t yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t year = yoe + era * 400;
+  const int64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const int64_t mp = (5 * doy + 2) / 153;
+  *d = doy - (153 * mp + 2) / 5 + 1;
+  *m = mp + (mp < 10 ? 3 : -9);
+  *y = year + (*m <= 2);
+}
+}  // namespace
+
+int32_t FromYMD(int32_t year, int32_t month, int32_t day) {
+  return static_cast<int32_t>(DaysFromCivil(year, month, day));
+}
+
+void ToYMD(int32_t days, int32_t* year, int32_t* month, int32_t* day) {
+  int64_t y, m, d;
+  CivilFromDays(days, &y, &m, &d);
+  *year = static_cast<int32_t>(y);
+  *month = static_cast<int32_t>(m);
+  *day = static_cast<int32_t>(d);
+}
+
+Result<int32_t> FromString(const std::string& str) {
+  int32_t y = 0, m = 0, d = 0;
+  if (std::sscanf(str.c_str(), "%d-%d-%d", &y, &m, &d) != 3) {
+    return Status::Parser("invalid date literal: '" + str + "'");
+  }
+  if (m < 1 || m > 12 || d < 1 || d > 31) {
+    return Status::Parser("date out of range: '" + str + "'");
+  }
+  return FromYMD(y, m, d);
+}
+
+std::string ToString(int32_t days) {
+  int32_t y, m, d;
+  ToYMD(days, &y, &m, &d);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+  return std::string(buf);
+}
+
+int32_t Year(int32_t days) {
+  int32_t y, m, d;
+  ToYMD(days, &y, &m, &d);
+  return y;
+}
+
+int32_t Month(int32_t days) {
+  int32_t y, m, d;
+  ToYMD(days, &y, &m, &d);
+  return m;
+}
+
+int32_t Day(int32_t days) {
+  int32_t y, m, d;
+  ToYMD(days, &y, &m, &d);
+  return d;
+}
+
+}  // namespace date
+
+}  // namespace mallard

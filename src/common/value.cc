@@ -1,0 +1,290 @@
+#include "mallard/common/value.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "mallard/common/hash.h"
+#include "mallard/common/string_util.h"
+
+namespace mallard {
+
+Value Value::Boolean(bool value) {
+  Value v(TypeId::kBoolean);
+  v.is_null_ = false;
+  v.value_.boolean = value;
+  return v;
+}
+
+Value Value::Integer(int32_t value) {
+  Value v(TypeId::kInteger);
+  v.is_null_ = false;
+  v.value_.integer = value;
+  return v;
+}
+
+Value Value::BigInt(int64_t value) {
+  Value v(TypeId::kBigInt);
+  v.is_null_ = false;
+  v.value_.bigint = value;
+  return v;
+}
+
+Value Value::Double(double value) {
+  Value v(TypeId::kDouble);
+  v.is_null_ = false;
+  v.value_.float64 = value;
+  return v;
+}
+
+Value Value::Varchar(std::string value) {
+  Value v(TypeId::kVarchar);
+  v.is_null_ = false;
+  v.string_value_ = std::move(value);
+  return v;
+}
+
+Value Value::Date(int32_t days) {
+  Value v(TypeId::kDate);
+  v.is_null_ = false;
+  v.value_.integer = days;
+  return v;
+}
+
+Value Value::Timestamp(int64_t micros) {
+  Value v(TypeId::kTimestamp);
+  v.is_null_ = false;
+  v.value_.bigint = micros;
+  return v;
+}
+
+Value Value::Numeric(TypeId type, int64_t value) {
+  switch (type) {
+    case TypeId::kBoolean:
+      return Boolean(value != 0);
+    case TypeId::kInteger:
+      return Integer(static_cast<int32_t>(value));
+    case TypeId::kBigInt:
+      return BigInt(value);
+    case TypeId::kDouble:
+      return Double(static_cast<double>(value));
+    case TypeId::kDate:
+      return Date(static_cast<int32_t>(value));
+    case TypeId::kTimestamp:
+      return Timestamp(value);
+    default:
+      return Value(type);
+  }
+}
+
+int64_t Value::GetAsBigInt() const {
+  switch (type_) {
+    case TypeId::kBoolean:
+      return value_.boolean ? 1 : 0;
+    case TypeId::kInteger:
+    case TypeId::kDate:
+      return value_.integer;
+    case TypeId::kBigInt:
+    case TypeId::kTimestamp:
+      return value_.bigint;
+    case TypeId::kDouble:
+      return static_cast<int64_t>(value_.float64);
+    default:
+      return 0;
+  }
+}
+
+double Value::GetAsDouble() const {
+  switch (type_) {
+    case TypeId::kBoolean:
+      return value_.boolean ? 1.0 : 0.0;
+    case TypeId::kInteger:
+    case TypeId::kDate:
+      return static_cast<double>(value_.integer);
+    case TypeId::kBigInt:
+    case TypeId::kTimestamp:
+      return static_cast<double>(value_.bigint);
+    case TypeId::kDouble:
+      return value_.float64;
+    default:
+      return 0.0;
+  }
+}
+
+Result<Value> Value::CastTo(TypeId target) const {
+  if (type_ == target) return *this;
+  if (is_null_) return Value::Null(target);
+  if (!TypeCanCast(type_, target)) {
+    return Status::InvalidArgument(
+        StringUtil::Format("cannot cast %s to %s", TypeIdToString(type_),
+                           TypeIdToString(target)));
+  }
+  if (target == TypeId::kVarchar) return Varchar(ToString());
+  if (type_ == TypeId::kVarchar) {
+    const std::string& s = string_value_;
+    switch (target) {
+      case TypeId::kBoolean: {
+        if (StringUtil::CIEquals(s, "true") || s == "1") return Boolean(true);
+        if (StringUtil::CIEquals(s, "false") || s == "0") {
+          return Boolean(false);
+        }
+        return Status::InvalidArgument("cannot cast '" + s + "' to BOOLEAN");
+      }
+      case TypeId::kInteger:
+      case TypeId::kBigInt: {
+        char* end = nullptr;
+        errno = 0;
+        int64_t v = std::strtoll(s.c_str(), &end, 10);
+        if (errno != 0 || end == s.c_str() || *end != '\0') {
+          return Status::InvalidArgument("cannot cast '" + s +
+                                         "' to integer type");
+        }
+        return Numeric(target, v);
+      }
+      case TypeId::kDouble: {
+        char* end = nullptr;
+        errno = 0;
+        double v = std::strtod(s.c_str(), &end);
+        if (errno != 0 || end == s.c_str() || *end != '\0') {
+          return Status::InvalidArgument("cannot cast '" + s + "' to DOUBLE");
+        }
+        return Double(v);
+      }
+      case TypeId::kDate: {
+        MALLARD_ASSIGN_OR_RETURN(int32_t days, date::FromString(s));
+        return Date(days);
+      }
+      case TypeId::kTimestamp: {
+        // Accept "YYYY-MM-DD[ HH:MM:SS]".
+        std::string datepart = s.substr(0, s.find(' '));
+        MALLARD_ASSIGN_OR_RETURN(int32_t days, date::FromString(datepart));
+        int64_t micros = int64_t(days) * 86400000000LL;
+        int h = 0, m = 0, sec = 0;
+        size_t space = s.find(' ');
+        if (space != std::string::npos &&
+            std::sscanf(s.c_str() + space + 1, "%d:%d:%d", &h, &m, &sec) >=
+                2) {
+          micros += (int64_t(h) * 3600 + int64_t(m) * 60 + sec) * 1000000LL;
+        }
+        return Timestamp(micros);
+      }
+      default:
+        break;
+    }
+  }
+  switch (target) {
+    case TypeId::kBoolean:
+      return Boolean(GetAsDouble() != 0.0);
+    case TypeId::kInteger: {
+      if (type_ == TypeId::kDouble) {
+        return Integer(static_cast<int32_t>(std::llround(value_.float64)));
+      }
+      return Integer(static_cast<int32_t>(GetAsBigInt()));
+    }
+    case TypeId::kBigInt: {
+      if (type_ == TypeId::kDouble) {
+        return BigInt(std::llround(value_.float64));
+      }
+      return BigInt(GetAsBigInt());
+    }
+    case TypeId::kDouble:
+      return Double(GetAsDouble());
+    case TypeId::kDate: {
+      if (type_ == TypeId::kTimestamp) {
+        return Date(static_cast<int32_t>(value_.bigint / 86400000000LL));
+      }
+      return Date(static_cast<int32_t>(GetAsBigInt()));
+    }
+    case TypeId::kTimestamp: {
+      if (type_ == TypeId::kDate) {
+        return Timestamp(int64_t(value_.integer) * 86400000000LL);
+      }
+      return Timestamp(GetAsBigInt());
+    }
+    default:
+      return Status::InvalidArgument("unsupported cast target");
+  }
+}
+
+std::string Value::ToString() const {
+  if (is_null_) return "NULL";
+  switch (type_) {
+    case TypeId::kBoolean:
+      return value_.boolean ? "true" : "false";
+    case TypeId::kInteger:
+      return std::to_string(value_.integer);
+    case TypeId::kBigInt:
+      return std::to_string(value_.bigint);
+    case TypeId::kDouble: {
+      std::string s = StringUtil::Format("%g", value_.float64);
+      return s;
+    }
+    case TypeId::kVarchar:
+      return string_value_;
+    case TypeId::kDate:
+      return date::ToString(value_.integer);
+    case TypeId::kTimestamp: {
+      int64_t days = value_.bigint / 86400000000LL;
+      int64_t rem = value_.bigint % 86400000000LL;
+      if (rem < 0) {
+        rem += 86400000000LL;
+        days -= 1;
+      }
+      int64_t secs = rem / 1000000;
+      return StringUtil::Format(
+          "%s %02d:%02d:%02d", date::ToString(static_cast<int32_t>(days)).c_str(),
+          static_cast<int>(secs / 3600), static_cast<int>((secs / 60) % 60),
+          static_cast<int>(secs % 60));
+    }
+    default:
+      return "INVALID";
+  }
+}
+
+int Value::Compare(const Value& other) const {
+  if (is_null_ && other.is_null_) return 0;
+  if (is_null_) return -1;
+  if (other.is_null_) return 1;
+  switch (type_) {
+    case TypeId::kVarchar: {
+      int cmp = string_value_.compare(other.string_value_);
+      return cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+    }
+    case TypeId::kDouble: {
+      double a = GetAsDouble(), b = other.GetAsDouble();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    default: {
+      if (other.type_ == TypeId::kDouble) {
+        double a = GetAsDouble(), b = other.GetAsDouble();
+        return a < b ? -1 : (a > b ? 1 : 0);
+      }
+      int64_t a = GetAsBigInt(), b = other.GetAsBigInt();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+  }
+}
+
+bool Value::operator==(const Value& other) const {
+  if (is_null_ || other.is_null_) return is_null_ && other.is_null_;
+  return Compare(other) == 0;
+}
+
+uint64_t Value::Hash() const {
+  if (is_null_) return 0xdeadbeefcafebabeULL;
+  switch (type_) {
+    case TypeId::kVarchar:
+      return HashBytes(string_value_.data(), string_value_.size());
+    case TypeId::kDouble: {
+      double d = value_.float64;
+      // Normalize -0.0 so it hashes like +0.0 (they compare equal).
+      if (d == 0.0) d = 0.0;
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      return HashInt(bits);
+    }
+    default:
+      return HashInt(static_cast<uint64_t>(GetAsBigInt()));
+  }
+}
+
+}  // namespace mallard

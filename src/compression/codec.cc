@@ -1,0 +1,250 @@
+#include "mallard/compression/codec.h"
+
+#include <cstring>
+
+namespace mallard {
+
+const char* CompressionLevelToString(CompressionLevel level) {
+  switch (level) {
+    case CompressionLevel::kNone:
+      return "none";
+    case CompressionLevel::kLight:
+      return "light";
+    case CompressionLevel::kHeavy:
+      return "heavy";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// RLE: [control u8][payload]. control < 128: literal run of control+1
+// bytes follows. control >= 128: repeat next byte (control - 128 + 2)
+// times (runs of >= 2).
+// ---------------------------------------------------------------------------
+
+void RleCodec::Compress(const uint8_t* data, size_t len,
+                        std::vector<uint8_t>* out) const {
+  out->clear();
+  out->reserve(len / 4 + 16);
+  size_t i = 0;
+  while (i < len) {
+    // Measure the run length at i.
+    size_t run = 1;
+    while (i + run < len && data[i + run] == data[i] && run < 129) run++;
+    if (run >= 2) {
+      out->push_back(static_cast<uint8_t>(128 + run - 2));
+      out->push_back(data[i]);
+      i += run;
+      continue;
+    }
+    // Literal run: collect until the next repeat of >= 3 (so short
+    // repeats don't fragment literals) or 128 bytes.
+    size_t start = i;
+    size_t lit = 0;
+    while (i + lit < len && lit < 128) {
+      size_t r = 1;
+      while (i + lit + r < len && data[i + lit + r] == data[i + lit] &&
+             r < 3) {
+        r++;
+      }
+      if (r >= 3) break;
+      lit += r;
+    }
+    if (lit > 128) lit = 128;
+    out->push_back(static_cast<uint8_t>(lit - 1));
+    out->insert(out->end(), data + start, data + start + lit);
+    i += lit;
+  }
+}
+
+Status RleCodec::Decompress(const uint8_t* data, size_t len,
+                            std::vector<uint8_t>* out) const {
+  out->clear();
+  size_t i = 0;
+  while (i < len) {
+    uint8_t control = data[i++];
+    if (control < 128) {
+      size_t lit = control + 1;
+      if (i + lit > len) return Status::Corruption("rle literal overrun");
+      out->insert(out->end(), data + i, data + i + lit);
+      i += lit;
+    } else {
+      if (i >= len) return Status::Corruption("rle run overrun");
+      size_t run = control - 128 + 2;
+      out->insert(out->end(), run, data[i++]);
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// LZ77: token stream. Each token: [flags u8] where flag bit i of the next
+// 8 items: 0 = literal byte, 1 = match [offset u16][len u8] (len-4, match
+// lengths 4..259, offsets 1..65535).
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr size_t kLzWindow = 65535;
+constexpr size_t kLzMinMatch = 4;
+constexpr size_t kLzHashSize = 1 << 16;
+
+inline uint32_t LzHash(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> 16;
+}
+}  // namespace
+
+void LzCodec::Compress(const uint8_t* data, size_t len,
+                       std::vector<uint8_t>* out) const {
+  out->clear();
+  out->reserve(len / 2 + 16);
+  std::vector<int64_t> head(kLzHashSize, -1);
+  size_t i = 0;
+  while (i < len) {
+    uint8_t flags = 0;
+    size_t flags_pos = out->size();
+    out->push_back(0);
+    for (int bit = 0; bit < 8 && i < len; bit++) {
+      size_t best_len = 0;
+      size_t best_off = 0;
+      if (i + kLzMinMatch <= len) {
+        uint32_t h = LzHash(data + i);
+        int64_t cand = head[h];
+        if (cand >= 0 && i - cand <= kLzWindow) {
+          size_t m = 0;
+          size_t max_m = std::min<size_t>(len - i, 259);
+          while (m < max_m && data[cand + m] == data[i + m]) m++;
+          if (m >= kLzMinMatch) {
+            best_len = m;
+            best_off = i - cand;
+          }
+        }
+        head[h] = static_cast<int64_t>(i);
+      }
+      if (best_len >= kLzMinMatch) {
+        flags |= uint8_t(1) << bit;
+        uint16_t off = static_cast<uint16_t>(best_off);
+        out->push_back(static_cast<uint8_t>(off & 0xFF));
+        out->push_back(static_cast<uint8_t>(off >> 8));
+        out->push_back(static_cast<uint8_t>(best_len - kLzMinMatch));
+        // Insert hash entries inside the match to improve later matches.
+        size_t end = i + best_len;
+        for (size_t j = i + 1; j + kLzMinMatch <= end && j + 4 <= len; j++) {
+          head[LzHash(data + j)] = static_cast<int64_t>(j);
+        }
+        i += best_len;
+      } else {
+        out->push_back(data[i]);
+        i++;
+      }
+    }
+    (*out)[flags_pos] = flags;
+  }
+}
+
+Status LzCodec::Decompress(const uint8_t* data, size_t len,
+                           std::vector<uint8_t>* out) const {
+  out->clear();
+  size_t i = 0;
+  while (i < len) {
+    uint8_t flags = data[i++];
+    for (int bit = 0; bit < 8 && i < len; bit++) {
+      if (flags & (uint8_t(1) << bit)) {
+        if (i + 3 > len) return Status::Corruption("lz match overrun");
+        uint16_t off = data[i] | (uint16_t(data[i + 1]) << 8);
+        size_t match_len = data[i + 2] + kLzMinMatch;
+        i += 3;
+        if (off == 0 || off > out->size()) {
+          return Status::Corruption("lz match offset out of range");
+        }
+        size_t src = out->size() - off;
+        for (size_t j = 0; j < match_len; j++) {
+          out->push_back((*out)[src + j]);
+        }
+      } else {
+        out->push_back(data[i++]);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+const Codec* CodecForLevel(CompressionLevel level) {
+  static const RleCodec* rle = new RleCodec();
+  static const LzCodec* lz = new LzCodec();
+  switch (level) {
+    case CompressionLevel::kNone:
+      return nullptr;
+    case CompressionLevel::kLight:
+      return rle;
+    case CompressionLevel::kHeavy:
+      return lz;
+  }
+  return nullptr;
+}
+
+namespace bitpack {
+
+void Pack(const int64_t* values, size_t count, std::vector<uint8_t>* out) {
+  out->clear();
+  int64_t min = count ? values[0] : 0;
+  int64_t max = count ? values[0] : 0;
+  for (size_t i = 1; i < count; i++) {
+    min = std::min(min, values[i]);
+    max = std::max(max, values[i]);
+  }
+  uint64_t range = static_cast<uint64_t>(max - min);
+  uint8_t bits = 0;
+  while (bits < 64 && (range >> bits) != 0) bits++;
+  out->resize(8 + 8 + 1);
+  uint64_t n = count;
+  std::memcpy(out->data(), &n, 8);
+  std::memcpy(out->data() + 8, &min, 8);
+  (*out)[16] = bits;
+  if (bits == 0) return;
+  size_t bit_pos = 0;
+  out->resize(17 + (count * bits + 7) / 8, 0);
+  uint8_t* payload = out->data() + 17;
+  for (size_t i = 0; i < count; i++) {
+    uint64_t delta = static_cast<uint64_t>(values[i] - min);
+    for (uint8_t b = 0; b < bits; b++) {
+      if ((delta >> b) & 1) {
+        payload[bit_pos / 8] |= uint8_t(1) << (bit_pos % 8);
+      }
+      bit_pos++;
+    }
+  }
+}
+
+Status Unpack(const uint8_t* data, size_t len, std::vector<int64_t>* out) {
+  if (len < 17) return Status::Corruption("bitpack header truncated");
+  uint64_t count;
+  int64_t min;
+  std::memcpy(&count, data, 8);
+  std::memcpy(&min, data + 8, 8);
+  uint8_t bits = data[16];
+  if (bits > 64) return Status::Corruption("bitpack width out of range");
+  if (len < 17 + (count * bits + 7) / 8) {
+    return Status::Corruption("bitpack payload truncated");
+  }
+  out->assign(count, min);
+  if (bits == 0) return Status::OK();
+  const uint8_t* payload = data + 17;
+  size_t bit_pos = 0;
+  for (size_t i = 0; i < count; i++) {
+    uint64_t delta = 0;
+    for (uint8_t b = 0; b < bits; b++) {
+      if ((payload[bit_pos / 8] >> (bit_pos % 8)) & 1) {
+        delta |= uint64_t(1) << b;
+      }
+      bit_pos++;
+    }
+    (*out)[i] = min + static_cast<int64_t>(delta);
+  }
+  return Status::OK();
+}
+
+}  // namespace bitpack
+
+}  // namespace mallard

@@ -1,0 +1,238 @@
+#include "mallard/etl/csv.h"
+
+#include <cstdlib>
+
+#include "mallard/common/string_util.h"
+
+namespace mallard {
+
+namespace {
+
+bool LooksLikeBigInt(const std::string& s) {
+  if (s.empty()) return false;
+  size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  if (i >= s.size()) return false;
+  for (; i < s.size(); i++) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+  }
+  return true;
+}
+
+bool LooksLikeDouble(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+bool LooksLikeDate(const std::string& s) {
+  if (s.size() < 8 || s.size() > 10) return false;
+  int y, m, d;
+  return std::sscanf(s.c_str(), "%d-%d-%d", &y, &m, &d) == 3;
+}
+
+// Widens `type` so it can hold `field`.
+TypeId WidenType(TypeId type, const std::string& field) {
+  if (field.empty()) return type;  // NULL: no information
+  switch (type) {
+    case TypeId::kInvalid:  // first non-null observation
+      if (LooksLikeBigInt(field)) return TypeId::kBigInt;
+      if (LooksLikeDouble(field)) return TypeId::kDouble;
+      if (LooksLikeDate(field)) return TypeId::kDate;
+      return TypeId::kVarchar;
+    case TypeId::kBigInt:
+      if (LooksLikeBigInt(field)) return TypeId::kBigInt;
+      if (LooksLikeDouble(field)) return TypeId::kDouble;
+      return TypeId::kVarchar;
+    case TypeId::kDouble:
+      if (LooksLikeDouble(field)) return TypeId::kDouble;
+      return TypeId::kVarchar;
+    case TypeId::kDate:
+      if (LooksLikeDate(field)) return TypeId::kDate;
+      return TypeId::kVarchar;
+    default:
+      return TypeId::kVarchar;
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<CsvReader>> CsvReader::Open(const std::string& path,
+                                                   CsvOptions options) {
+  auto reader =
+      std::unique_ptr<CsvReader>(new CsvReader(path, options));
+  MALLARD_RETURN_NOT_OK(reader->Initialize());
+  return reader;
+}
+
+std::vector<TypeId> CsvReader::ColumnTypes() const {
+  std::vector<TypeId> types;
+  for (const auto& col : columns_) types.push_back(col.type);
+  return types;
+}
+
+bool CsvReader::ReadRecord(std::vector<std::string>* fields, bool* saw_any) {
+  fields->clear();
+  *saw_any = false;
+  std::string field;
+  bool in_quotes = false;
+  bool started = false;
+  int c;
+  while ((c = stream_.get()) != EOF) {
+    started = true;
+    if (in_quotes) {
+      if (c == '"') {
+        if (stream_.peek() == '"') {
+          stream_.get();
+          field += '"';
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += static_cast<char>(c);
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+      continue;
+    }
+    if (c == options_.delimiter) {
+      fields->push_back(std::move(field));
+      field.clear();
+      continue;
+    }
+    if (c == '\r') continue;
+    if (c == '\n') {
+      line_number_++;
+      fields->push_back(std::move(field));
+      *saw_any = true;
+      return true;
+    }
+    field += static_cast<char>(c);
+  }
+  if (started) {
+    fields->push_back(std::move(field));
+    *saw_any = true;
+    line_number_++;
+  }
+  return *saw_any;
+}
+
+Status CsvReader::Initialize() {
+  stream_.open(path_);
+  if (!stream_.is_open()) {
+    return Status::IOError("cannot open CSV file '" + path_ + "'");
+  }
+  std::vector<std::string> fields;
+  bool saw;
+  if (!ReadRecord(&fields, &saw)) {
+    return Status::InvalidArgument("CSV file '" + path_ + "' is empty");
+  }
+  std::vector<std::string> names;
+  std::vector<TypeId> types;
+  if (options_.header) {
+    names = fields;
+    types.assign(fields.size(), TypeId::kInvalid);
+  } else {
+    for (size_t i = 0; i < fields.size(); i++) {
+      names.push_back("column" + std::to_string(i));
+    }
+    types.assign(fields.size(), TypeId::kInvalid);
+    for (size_t i = 0; i < fields.size(); i++) {
+      types[i] = WidenType(types[i], fields[i]);
+    }
+  }
+  // Sniff types over the first 100 data rows, then rewind.
+  std::streampos data_start = stream_.tellg();
+  idx_t sniff_lines = line_number_;
+  for (int row = 0; row < 100; row++) {
+    if (!ReadRecord(&fields, &saw)) break;
+    for (size_t i = 0; i < fields.size() && i < types.size(); i++) {
+      if (fields[i] == options_.null_string && fields[i].empty()) continue;
+      types[i] = WidenType(types[i], fields[i]);
+    }
+  }
+  stream_.clear();
+  stream_.seekg(options_.header ? data_start : std::streampos(0));
+  line_number_ = options_.header ? sniff_lines : 0;
+  for (size_t i = 0; i < names.size(); i++) {
+    TypeId t = types[i] == TypeId::kInvalid ? TypeId::kVarchar : types[i];
+    columns_.emplace_back(names[i], t);
+  }
+  return Status::OK();
+}
+
+Result<idx_t> CsvReader::ReadChunk(DataChunk* chunk) {
+  chunk->Reset();
+  std::vector<std::string> fields;
+  bool saw;
+  idx_t rows = 0;
+  while (rows < kVectorSize && ReadRecord(&fields, &saw)) {
+    if (fields.size() == 1 && fields[0].empty()) continue;  // blank line
+    if (fields.size() != columns_.size()) {
+      return Status::InvalidArgument(StringUtil::Format(
+          "CSV '%s' line %llu: expected %zu fields, found %zu",
+          path_.c_str(), static_cast<unsigned long long>(line_number_),
+          columns_.size(), fields.size()));
+    }
+    for (size_t c = 0; c < fields.size(); c++) {
+      const std::string& f = fields[c];
+      if (f == options_.null_string && f.empty()) {
+        chunk->column(c).validity().SetInvalid(rows);
+        continue;
+      }
+      MALLARD_ASSIGN_OR_RETURN(
+          Value v, Value::Varchar(f).CastTo(columns_[c].type));
+      chunk->SetValue(c, rows, v);
+    }
+    rows++;
+  }
+  chunk->SetCardinality(rows);
+  return rows;
+}
+
+Status CsvWriter::Write(const std::string& path,
+                        const std::vector<std::string>& column_names,
+                        const std::vector<DataChunk*>& chunks,
+                        CsvOptions options) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  auto quote = [&](const std::string& s) {
+    if (s.find(options.delimiter) == std::string::npos &&
+        s.find('"') == std::string::npos &&
+        s.find('\n') == std::string::npos) {
+      return s;
+    }
+    std::string quoted = "\"";
+    for (char c : s) {
+      if (c == '"') quoted += '"';
+      quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  if (options.header) {
+    for (size_t i = 0; i < column_names.size(); i++) {
+      if (i > 0) out << options.delimiter;
+      out << quote(column_names[i]);
+    }
+    out << "\n";
+  }
+  for (const DataChunk* chunk : chunks) {
+    for (idx_t r = 0; r < chunk->size(); r++) {
+      for (idx_t c = 0; c < chunk->ColumnCount(); c++) {
+        if (c > 0) out << options.delimiter;
+        Value v = chunk->GetValue(c, r);
+        if (!v.is_null()) out << quote(v.ToString());
+      }
+      out << "\n";
+    }
+  }
+  out.close();
+  return Status::OK();
+}
+
+}  // namespace mallard

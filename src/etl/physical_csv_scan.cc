@@ -1,0 +1,26 @@
+#include "mallard/etl/physical_csv_scan.h"
+
+namespace mallard {
+
+Status PhysicalCsvScan::GetChunk(ExecutionContext*, DataChunk* out) {
+  if (!initialized_) {
+    MALLARD_ASSIGN_OR_RETURN(reader_, CsvReader::Open(path_, options_));
+    if (reader_->ColumnTypes() != file_types_) {
+      return Status::InvalidArgument(
+          "CSV schema of '" + path_ +
+          "' changed between planning and execution");
+    }
+    file_chunk_.Initialize(file_types_);
+    initialized_ = true;
+  }
+  out->Reset();
+  MALLARD_ASSIGN_OR_RETURN(idx_t rows, reader_->ReadChunk(&file_chunk_));
+  if (rows == 0) return Status::OK();
+  for (idx_t c = 0; c < column_ids_.size(); c++) {
+    out->column(c).Reference(file_chunk_.column(column_ids_[c]));
+  }
+  out->SetCardinality(rows);
+  return Status::OK();
+}
+
+}  // namespace mallard

@@ -1,0 +1,141 @@
+#include "mallard/execution/aggregate_function.h"
+
+namespace mallard {
+
+TypeId AggregateFunction::ResolveType(AggType type, TypeId arg_type) {
+  switch (type) {
+    case AggType::kCountStar:
+    case AggType::kCount:
+      return TypeId::kBigInt;
+    case AggType::kSum:
+      return arg_type == TypeId::kDouble ? TypeId::kDouble : TypeId::kBigInt;
+    case AggType::kAvg:
+      return TypeId::kDouble;
+    case AggType::kMin:
+    case AggType::kMax:
+      return arg_type;
+  }
+  return TypeId::kInvalid;
+}
+
+void AggregateFunction::Update(AggType type, const Vector* arg, idx_t row,
+                               AggState* state) {
+  if (type == AggType::kCountStar) {
+    state->count++;
+    return;
+  }
+  if (!arg->validity().RowIsValid(row)) return;  // NULLs ignored
+  switch (type) {
+    case AggType::kCount:
+      state->count++;
+      break;
+    case AggType::kSum:
+    case AggType::kAvg:
+      state->count++;
+      switch (arg->type()) {
+        case TypeId::kInteger:
+          state->isum += arg->data<int32_t>()[row];
+          state->dsum += arg->data<int32_t>()[row];
+          break;
+        case TypeId::kBigInt:
+          state->isum += arg->data<int64_t>()[row];
+          state->dsum += static_cast<double>(arg->data<int64_t>()[row]);
+          break;
+        case TypeId::kDouble:
+          state->dsum += arg->data<double>()[row];
+          break;
+        default:
+          break;
+      }
+      state->seen = true;
+      break;
+    case AggType::kMin:
+    case AggType::kMax: {
+      Value v = arg->GetValue(row);
+      if (!state->seen) {
+        state->extreme = v;
+        state->seen = true;
+      } else if (type == AggType::kMin ? v.Compare(state->extreme) < 0
+                                       : v.Compare(state->extreme) > 0) {
+        state->extreme = v;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void AggregateFunction::UpdateValue(AggType type, const Value& v,
+                                    AggState* state) {
+  if (type == AggType::kCountStar) {
+    state->count++;
+    return;
+  }
+  if (v.is_null()) return;
+  switch (type) {
+    case AggType::kCount:
+      state->count++;
+      break;
+    case AggType::kSum:
+    case AggType::kAvg:
+      state->count++;
+      state->isum += v.GetAsBigInt();
+      state->dsum += v.GetAsDouble();
+      state->seen = true;
+      break;
+    case AggType::kMin:
+    case AggType::kMax:
+      if (!state->seen) {
+        state->extreme = v;
+        state->seen = true;
+      } else if (type == AggType::kMin ? v.Compare(state->extreme) < 0
+                                       : v.Compare(state->extreme) > 0) {
+        state->extreme = v;
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+Value AggregateFunction::Finalize(AggType type, TypeId result_type,
+                                  const AggState& state) {
+  switch (type) {
+    case AggType::kCountStar:
+    case AggType::kCount:
+      return Value::BigInt(state.count);
+    case AggType::kSum:
+      if (!state.seen) return Value::Null(result_type);
+      if (result_type == TypeId::kDouble) return Value::Double(state.dsum);
+      return Value::BigInt(state.isum);
+    case AggType::kAvg:
+      if (state.count == 0) return Value::Null(TypeId::kDouble);
+      return Value::Double(state.dsum / static_cast<double>(state.count));
+    case AggType::kMin:
+    case AggType::kMax:
+      if (!state.seen) return Value::Null(result_type);
+      return state.extreme;
+  }
+  return Value();
+}
+
+const char* AggregateFunction::Name(AggType type) {
+  switch (type) {
+    case AggType::kCountStar:
+      return "count_star";
+    case AggType::kCount:
+      return "count";
+    case AggType::kSum:
+      return "sum";
+    case AggType::kAvg:
+      return "avg";
+    case AggType::kMin:
+      return "min";
+    case AggType::kMax:
+      return "max";
+  }
+  return "unknown";
+}
+
+}  // namespace mallard

@@ -1,0 +1,87 @@
+#include "mallard/execution/chunk_collection.h"
+
+#include "mallard/governor/resource_governor.h"
+
+namespace mallard {
+
+namespace {
+constexpr size_t kSegmentTarget = 256 * 1024;
+}
+
+ChunkCollection::ChunkCollection(std::vector<TypeId> types,
+                                 ResourceGovernor* governor)
+    : types_(std::move(types)), governor_(governor) {}
+
+Status ChunkCollection::Append(const DataChunk& chunk) {
+  if (chunk.size() == 0) return Status::OK();
+  SerializeChunk(chunk, &buffer_);
+  count_ += chunk.size();
+  if (buffer_.size() >= kSegmentTarget) {
+    SealSegment();
+  }
+  return Status::OK();
+}
+
+void ChunkCollection::SealSegment() {
+  if (buffer_.size() == 0) return;
+  Segment segment;
+  segment.raw_size = buffer_.size();
+  raw_bytes_ += buffer_.size();
+  CompressionLevel level =
+      governor_ ? governor_->ChooseCompressionLevel() : CompressionLevel::kNone;
+  const Codec* codec = CodecForLevel(level);
+  if (codec) {
+    codec->Compress(buffer_.data().data(), buffer_.size(), &segment.data);
+    // Compression can backfire on incompressible data; keep raw then.
+    if (segment.data.size() >= buffer_.size()) {
+      segment.data = buffer_.data();
+      level = CompressionLevel::kNone;
+    }
+  } else {
+    segment.data = buffer_.data();
+  }
+  segment.level = level;
+  segments_.push_back(std::move(segment));
+  buffer_.Clear();
+}
+
+void ChunkCollection::Finalize() { SealSegment(); }
+
+Status ChunkCollection::Scan(ScanState* state, DataChunk* out) const {
+  out->Reset();
+  while (true) {
+    if (!state->loaded) {
+      if (state->segment_index >= segments_.size()) {
+        return Status::OK();  // cardinality 0 = done
+      }
+      const Segment& segment = segments_[state->segment_index];
+      const Codec* codec = CodecForLevel(segment.level);
+      if (codec) {
+        MALLARD_RETURN_NOT_OK(codec->Decompress(
+            segment.data.data(), segment.data.size(), &state->current));
+      } else {
+        state->current = segment.data;
+      }
+      state->offset = 0;
+      state->loaded = true;
+    }
+    if (state->offset >= state->current.size()) {
+      state->loaded = false;
+      state->segment_index++;
+      continue;
+    }
+    BinaryReader reader(state->current.data() + state->offset,
+                        state->current.size() - state->offset);
+    MALLARD_RETURN_NOT_OK(DeserializeChunk(&reader, out));
+    state->offset += reader.position();
+    return Status::OK();
+  }
+}
+
+uint64_t ChunkCollection::MemoryBytes() const {
+  uint64_t total = buffer_.size();
+  for (const auto& s : segments_) total += s.data.size();
+  return total;
+}
+
+}  // namespace mallard

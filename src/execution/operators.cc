@@ -1,0 +1,180 @@
+#include "mallard/execution/operators.h"
+
+#include <algorithm>
+
+#include "mallard/expression/expression_executor.h"
+
+namespace mallard {
+
+// ---------------------------------------------------------------------------
+// PhysicalTableScan
+// ---------------------------------------------------------------------------
+
+PhysicalTableScan::PhysicalTableScan(DataTable* table,
+                                     std::vector<idx_t> column_ids,
+                                     std::vector<TableFilter> filters,
+                                     std::vector<TypeId> types)
+    : PhysicalOperator(std::move(types)),
+      table_(table),
+      column_ids_(std::move(column_ids)),
+      filters_(std::move(filters)) {}
+
+Status PhysicalTableScan::GetChunk(ExecutionContext* context, DataChunk* out) {
+  if (!initialized_) {
+    table_->InitializeScan(&state_, column_ids_, filters_);
+    initialized_ = true;
+  }
+  out->Reset();
+  table_->Scan(*context->txn, &state_, out);
+  return Status::OK();
+}
+
+std::string PhysicalTableScan::name() const {
+  return "SEQ_SCAN(" + table_->name() + ")";
+}
+
+// ---------------------------------------------------------------------------
+// PhysicalFilter
+// ---------------------------------------------------------------------------
+
+PhysicalFilter::PhysicalFilter(ExprPtr predicate,
+                               std::unique_ptr<PhysicalOperator> child)
+    : PhysicalOperator(child->types()), predicate_(std::move(predicate)) {
+  child_chunk_.Initialize(child->types());
+  AddChild(std::move(child));
+}
+
+Status PhysicalFilter::GetChunk(ExecutionContext* context, DataChunk* out) {
+  out->Reset();
+  while (true) {
+    MALLARD_RETURN_NOT_OK(child(0)->GetChunk(context, &child_chunk_));
+    if (child_chunk_.size() == 0) return Status::OK();
+    uint32_t sel[kVectorSize];
+    MALLARD_ASSIGN_OR_RETURN(
+        idx_t m, ExpressionExecutor::Select(*predicate_, child_chunk_, sel));
+    if (m == 0) continue;
+    if (m == child_chunk_.size()) {
+      // All rows pass: alias child vectors, zero copies.
+      for (idx_t c = 0; c < out->ColumnCount(); c++) {
+        out->column(c).Reference(child_chunk_.column(c));
+      }
+    } else {
+      for (idx_t c = 0; c < out->ColumnCount(); c++) {
+        out->column(c).CopySelection(child_chunk_.column(c), sel, m);
+      }
+    }
+    out->SetCardinality(m);
+    return Status::OK();
+  }
+}
+
+std::string PhysicalFilter::name() const {
+  return "FILTER(" + predicate_->ToString() + ")";
+}
+
+// ---------------------------------------------------------------------------
+// PhysicalProjection
+// ---------------------------------------------------------------------------
+
+PhysicalProjection::PhysicalProjection(std::vector<ExprPtr> expressions,
+                                       std::unique_ptr<PhysicalOperator> child)
+    : PhysicalOperator([&] {
+        std::vector<TypeId> types;
+        for (const auto& e : expressions) types.push_back(e->return_type());
+        return types;
+      }()),
+      expressions_(std::move(expressions)) {
+  child_chunk_.Initialize(child->types());
+  AddChild(std::move(child));
+}
+
+Status PhysicalProjection::GetChunk(ExecutionContext* context,
+                                    DataChunk* out) {
+  out->Reset();
+  MALLARD_RETURN_NOT_OK(child(0)->GetChunk(context, &child_chunk_));
+  if (child_chunk_.size() == 0) return Status::OK();
+  for (idx_t c = 0; c < expressions_.size(); c++) {
+    MALLARD_RETURN_NOT_OK(ExpressionExecutor::Execute(
+        *expressions_[c], child_chunk_, &out->column(c)));
+  }
+  out->SetCardinality(child_chunk_.size());
+  return Status::OK();
+}
+
+std::string PhysicalProjection::name() const {
+  std::string result = "PROJECTION(";
+  for (size_t i = 0; i < expressions_.size(); i++) {
+    if (i > 0) result += ", ";
+    result += expressions_[i]->ToString();
+  }
+  return result + ")";
+}
+
+// ---------------------------------------------------------------------------
+// PhysicalLimit
+// ---------------------------------------------------------------------------
+
+PhysicalLimit::PhysicalLimit(idx_t limit, idx_t offset,
+                             std::unique_ptr<PhysicalOperator> child)
+    : PhysicalOperator(child->types()), limit_(limit), offset_(offset) {
+  child_chunk_.Initialize(child->types());
+  AddChild(std::move(child));
+}
+
+Status PhysicalLimit::GetChunk(ExecutionContext* context, DataChunk* out) {
+  out->Reset();
+  while (produced_ < limit_) {
+    MALLARD_RETURN_NOT_OK(child(0)->GetChunk(context, &child_chunk_));
+    if (child_chunk_.size() == 0) return Status::OK();
+    idx_t start = 0;
+    idx_t available = child_chunk_.size();
+    if (skipped_ < offset_) {
+      idx_t skip = std::min(offset_ - skipped_, available);
+      skipped_ += skip;
+      start = skip;
+      available -= skip;
+      if (available == 0) continue;
+    }
+    idx_t take = std::min(available, limit_ - produced_);
+    for (idx_t c = 0; c < out->ColumnCount(); c++) {
+      out->column(c).CopyFrom(child_chunk_.column(c), take, start, 0);
+    }
+    out->SetCardinality(take);
+    produced_ += take;
+    return Status::OK();
+  }
+  return Status::OK();
+}
+
+std::string PhysicalLimit::name() const {
+  return "LIMIT(" + std::to_string(limit_) +
+         (offset_ ? " OFFSET " + std::to_string(offset_) : "") + ")";
+}
+
+// ---------------------------------------------------------------------------
+// PhysicalValues
+// ---------------------------------------------------------------------------
+
+PhysicalValues::PhysicalValues(std::vector<std::vector<Value>> rows,
+                               std::vector<TypeId> types)
+    : PhysicalOperator(std::move(types)), rows_(std::move(rows)) {}
+
+Status PhysicalValues::GetChunk(ExecutionContext*, DataChunk* out) {
+  out->Reset();
+  idx_t produced = 0;
+  while (position_ < rows_.size() && produced < kVectorSize) {
+    const auto& row = rows_[position_++];
+    for (idx_t c = 0; c < types_.size(); c++) {
+      out->SetValue(c, produced, row[c]);
+    }
+    produced++;
+  }
+  out->SetCardinality(produced);
+  return Status::OK();
+}
+
+std::string PhysicalValues::name() const {
+  return "VALUES(" + std::to_string(rows_.size()) + " rows)";
+}
+
+}  // namespace mallard

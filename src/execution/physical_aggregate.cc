@@ -1,0 +1,178 @@
+#include "mallard/execution/physical_aggregate.h"
+
+#include "mallard/expression/expression_executor.h"
+
+namespace mallard {
+
+// ---------------------------------------------------------------------------
+// PhysicalUngroupedAggregate
+// ---------------------------------------------------------------------------
+
+namespace {
+std::vector<TypeId> AggregateTypes(const std::vector<ExprPtr>& groups,
+                                   const std::vector<BoundAggregate>& aggs) {
+  std::vector<TypeId> types;
+  for (const auto& g : groups) types.push_back(g->return_type());
+  for (const auto& a : aggs) types.push_back(a.return_type);
+  return types;
+}
+}  // namespace
+
+PhysicalUngroupedAggregate::PhysicalUngroupedAggregate(
+    std::vector<BoundAggregate> aggregates,
+    std::unique_ptr<PhysicalOperator> child)
+    : PhysicalOperator(AggregateTypes({}, aggregates)),
+      aggregates_(std::move(aggregates)) {
+  child_chunk_.Initialize(child->types());
+  AddChild(std::move(child));
+}
+
+Status PhysicalUngroupedAggregate::GetChunk(ExecutionContext* context,
+                                            DataChunk* out) {
+  out->Reset();
+  if (done_) return Status::OK();
+  std::vector<AggState> states(aggregates_.size());
+  std::vector<Vector> arg_vectors;
+  for (const auto& agg : aggregates_) {
+    arg_vectors.emplace_back(agg.arg ? agg.arg->return_type()
+                                     : TypeId::kBigInt);
+  }
+  while (true) {
+    MALLARD_RETURN_NOT_OK(child(0)->GetChunk(context, &child_chunk_));
+    if (child_chunk_.size() == 0) break;
+    for (idx_t a = 0; a < aggregates_.size(); a++) {
+      const Vector* arg = nullptr;
+      if (aggregates_[a].arg) {
+        arg_vectors[a].Reset();
+        MALLARD_RETURN_NOT_OK(ExpressionExecutor::Execute(
+            *aggregates_[a].arg, child_chunk_, &arg_vectors[a]));
+        arg = &arg_vectors[a];
+      }
+      for (idx_t r = 0; r < child_chunk_.size(); r++) {
+        AggregateFunction::Update(aggregates_[a].type, arg, r, &states[a]);
+      }
+    }
+  }
+  for (idx_t a = 0; a < aggregates_.size(); a++) {
+    out->SetValue(a, 0,
+                  AggregateFunction::Finalize(aggregates_[a].type,
+                                              aggregates_[a].return_type,
+                                              states[a]));
+  }
+  out->SetCardinality(1);
+  done_ = true;
+  return Status::OK();
+}
+
+std::string PhysicalUngroupedAggregate::name() const {
+  std::string result = "UNGROUPED_AGGREGATE(";
+  for (size_t i = 0; i < aggregates_.size(); i++) {
+    if (i > 0) result += ", ";
+    result += AggregateFunction::Name(aggregates_[i].type);
+  }
+  return result + ")";
+}
+
+// ---------------------------------------------------------------------------
+// PhysicalHashAggregate
+// ---------------------------------------------------------------------------
+
+PhysicalHashAggregate::PhysicalHashAggregate(
+    std::vector<ExprPtr> groups, std::vector<BoundAggregate> aggregates,
+    std::unique_ptr<PhysicalOperator> child)
+    : PhysicalOperator(AggregateTypes(groups, aggregates)),
+      groups_(std::move(groups)),
+      aggregates_(std::move(aggregates)) {
+  child_chunk_.Initialize(child->types());
+  std::vector<TypeId> group_types;
+  for (const auto& g : groups_) group_types.push_back(g->return_type());
+  group_chunk_.Initialize(group_types);
+  AddChild(std::move(child));
+}
+
+Status PhysicalHashAggregate::Sink(ExecutionContext* context) {
+  std::vector<SortSpec> key_specs;
+  for (idx_t g = 0; g < groups_.size(); g++) {
+    key_specs.push_back(SortSpec{g, true, true});
+  }
+  std::vector<Vector> arg_vectors;
+  for (const auto& agg : aggregates_) {
+    arg_vectors.emplace_back(agg.arg ? agg.arg->return_type()
+                                     : TypeId::kBigInt);
+  }
+  std::string key;
+  while (true) {
+    MALLARD_RETURN_NOT_OK(child(0)->GetChunk(context, &child_chunk_));
+    if (child_chunk_.size() == 0) break;
+    group_chunk_.Reset();
+    for (idx_t g = 0; g < groups_.size(); g++) {
+      MALLARD_RETURN_NOT_OK(ExpressionExecutor::Execute(
+          *groups_[g], child_chunk_, &group_chunk_.column(g)));
+    }
+    group_chunk_.SetCardinality(child_chunk_.size());
+    // Evaluate aggregate arguments once per chunk.
+    for (idx_t a = 0; a < aggregates_.size(); a++) {
+      if (aggregates_[a].arg) {
+        arg_vectors[a].Reset();
+        MALLARD_RETURN_NOT_OK(ExpressionExecutor::Execute(
+            *aggregates_[a].arg, child_chunk_, &arg_vectors[a]));
+      }
+    }
+    for (idx_t r = 0; r < child_chunk_.size(); r++) {
+      EncodeSortKey(group_chunk_, r, key_specs, &key);
+      auto [it, inserted] = group_map_.try_emplace(key, group_rows_.size());
+      idx_t group_idx = it->second;
+      if (inserted) {
+        std::vector<Value> row;
+        for (idx_t g = 0; g < groups_.size(); g++) {
+          row.push_back(group_chunk_.GetValue(g, r));
+        }
+        group_rows_.push_back(std::move(row));
+        states_.emplace_back(aggregates_.size());
+      }
+      for (idx_t a = 0; a < aggregates_.size(); a++) {
+        const Vector* arg = aggregates_[a].arg ? &arg_vectors[a] : nullptr;
+        AggregateFunction::Update(aggregates_[a].type, arg, r,
+                                  &states_[group_idx][a]);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status PhysicalHashAggregate::GetChunk(ExecutionContext* context,
+                                       DataChunk* out) {
+  if (!sunk_) {
+    MALLARD_RETURN_NOT_OK(Sink(context));
+    sunk_ = true;
+  }
+  out->Reset();
+  idx_t produced = 0;
+  while (output_position_ < group_rows_.size() && produced < kVectorSize) {
+    const auto& row = group_rows_[output_position_];
+    for (idx_t g = 0; g < groups_.size(); g++) {
+      out->SetValue(g, produced, row[g]);
+    }
+    for (idx_t a = 0; a < aggregates_.size(); a++) {
+      out->SetValue(groups_.size() + a, produced,
+                    AggregateFunction::Finalize(
+                        aggregates_[a].type, aggregates_[a].return_type,
+                        states_[output_position_][a]));
+    }
+    output_position_++;
+    produced++;
+  }
+  out->SetCardinality(produced);
+  return Status::OK();
+}
+
+std::string PhysicalHashAggregate::name() const {
+  std::string result = "HASH_GROUP_BY(";
+  for (size_t i = 0; i < groups_.size(); i++) {
+    if (i > 0) result += ", ";
+    result += groups_[i]->ToString();
+  }
+  return result + ")";
+}
+
+}  // namespace mallard

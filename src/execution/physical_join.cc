@@ -1,0 +1,565 @@
+#include "mallard/execution/physical_join.h"
+
+#include <cstring>
+
+#include "mallard/expression/expression_executor.h"
+#include "mallard/governor/resource_governor.h"
+
+namespace mallard {
+
+namespace {
+
+constexpr uint64_t kBuildSegmentSize = 1 << 20;
+
+std::vector<TypeId> JoinOutputTypes(JoinType join_type,
+                                    const std::vector<TypeId>& left,
+                                    const std::vector<TypeId>& right) {
+  std::vector<TypeId> types = left;
+  if (join_type == JoinType::kInner || join_type == JoinType::kLeft) {
+    types.insert(types.end(), right.begin(), right.end());
+  }
+  return types;
+}
+
+std::vector<TypeId> KeyTypes(const std::vector<JoinCondition>& conditions,
+                             bool left_side) {
+  std::vector<TypeId> types;
+  for (const auto& c : conditions) {
+    types.push_back(left_side ? c.left->return_type()
+                              : c.right->return_type());
+  }
+  return types;
+}
+
+// Encodes the join key of row `r`; returns false if any key part is NULL
+// (SQL equality never matches NULLs).
+bool EncodeJoinKey(const DataChunk& keys, idx_t r,
+                   const std::vector<SortSpec>& specs, std::string* out) {
+  for (idx_t c = 0; c < keys.ColumnCount(); c++) {
+    if (!keys.column(c).validity().RowIsValid(r)) return false;
+  }
+  EncodeSortKey(keys, r, specs, out);
+  return true;
+}
+
+std::vector<SortSpec> KeySpecs(idx_t count) {
+  std::vector<SortSpec> specs;
+  for (idx_t i = 0; i < count; i++) specs.push_back(SortSpec{i, true, true});
+  return specs;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PhysicalHashJoin
+// ---------------------------------------------------------------------------
+
+PhysicalHashJoin::PhysicalHashJoin(JoinType join_type,
+                                   std::vector<JoinCondition> conditions,
+                                   std::unique_ptr<PhysicalOperator> left,
+                                   std::unique_ptr<PhysicalOperator> right)
+    : PhysicalOperator(
+          JoinOutputTypes(join_type, left->types(), right->types())),
+      join_type_(join_type),
+      conditions_(std::move(conditions)),
+      right_types_(right->types()),
+      build_codec_(right->types()) {
+  probe_chunk_.Initialize(left->types());
+  probe_keys_.Initialize(KeyTypes(conditions_, /*left_side=*/true));
+  build_row_scratch_.Initialize(right_types_);
+  AddChild(std::move(left));
+  AddChild(std::move(right));
+}
+
+Status PhysicalHashJoin::EvaluateKeys(const std::vector<ExprPtr>& exprs,
+                                      const DataChunk& input,
+                                      DataChunk* keys) {
+  keys->Reset();
+  for (idx_t i = 0; i < exprs.size(); i++) {
+    MALLARD_RETURN_NOT_OK(
+        ExpressionExecutor::Execute(*exprs[i], input, &keys->column(i)));
+  }
+  keys->SetCardinality(input.size());
+  return Status::OK();
+}
+
+Status PhysicalHashJoin::Build(ExecutionContext* context) {
+  DataChunk build_chunk;
+  build_chunk.Initialize(right_types_);
+  DataChunk key_chunk;
+  key_chunk.Initialize(KeyTypes(conditions_, /*left_side=*/false));
+  std::vector<ExprPtr> right_exprs;
+  for (auto& c : conditions_) right_exprs.push_back(c.right->Copy());
+  auto specs = KeySpecs(conditions_.size());
+  std::string key;
+  std::vector<uint8_t> row;
+  while (true) {
+    MALLARD_RETURN_NOT_OK(child(1)->GetChunk(context, &build_chunk));
+    if (build_chunk.size() == 0) break;
+    MALLARD_RETURN_NOT_OK(EvaluateKeys(right_exprs, build_chunk, &key_chunk));
+    for (idx_t r = 0; r < build_chunk.size(); r++) {
+      if (!EncodeJoinKey(key_chunk, r, specs, &key)) continue;
+      row.clear();
+      build_codec_.EncodeRow(build_chunk, r, &row);
+      // Place the row in the current segment (new segment if needed).
+      if (segments_.empty() ||
+          segment_used_ + row.size() > segments_.back().size()) {
+        MALLARD_ASSIGN_OR_RETURN(
+            BufferHandle handle,
+            context->buffers->Allocate(
+                std::max<uint64_t>(kBuildSegmentSize, row.size()),
+                /*spillable=*/false));
+        segments_.push_back(std::move(handle));
+        segment_used_ = 0;
+      }
+      std::memcpy(segments_.back().data() + segment_used_, row.data(),
+                  row.size());
+      uint64_t ref = ((segments_.size() - 1) << 24) | segment_used_;
+      segment_used_ += row.size();
+      build_bytes_ += row.size();
+      table_[key].push_back(ref);
+    }
+  }
+  built_ = true;
+  return Status::OK();
+}
+
+Status PhysicalHashJoin::GetChunk(ExecutionContext* context, DataChunk* out) {
+  if (!built_) {
+    MALLARD_RETURN_NOT_OK(Build(context));
+  }
+  out->Reset();
+  build_row_scratch_.Reset();
+  std::vector<ExprPtr> left_exprs;
+  for (auto& c : conditions_) left_exprs.push_back(c.left->Copy());
+  auto specs = KeySpecs(conditions_.size());
+  std::string key;
+  idx_t produced = 0;
+  idx_t left_width = probe_chunk_.ColumnCount();
+  bool emit_right =
+      join_type_ == JoinType::kInner || join_type_ == JoinType::kLeft;
+
+  while (produced < kVectorSize) {
+    if (current_matches_) {
+      // Continue emitting matches for the current probe row.
+      while (match_position_ < current_matches_->size() &&
+             produced < kVectorSize) {
+        uint64_t ref = (*current_matches_)[match_position_++];
+        idx_t seg = ref >> 24, off = ref & 0xFFFFFF;
+        for (idx_t c = 0; c < left_width; c++) {
+          out->column(c).CopyFrom(probe_chunk_.column(c), 1,
+                                  probe_position_, produced);
+        }
+        if (emit_right) {
+          build_codec_.DecodeRow(segments_[seg].data() + off,
+                                 &build_row_scratch_, 0);
+          for (idx_t c = 0; c < right_types_.size(); c++) {
+            out->column(left_width + c)
+                .CopyFrom(build_row_scratch_.column(c), 1, 0, produced);
+          }
+        }
+        produced++;
+      }
+      if (match_position_ >= current_matches_->size()) {
+        current_matches_ = nullptr;
+        probe_position_++;
+      }
+      continue;
+    }
+    if (probe_position_ >= probe_chunk_.size()) {
+      if (probe_exhausted_) break;
+      MALLARD_RETURN_NOT_OK(child(0)->GetChunk(context, &probe_chunk_));
+      probe_position_ = 0;
+      if (probe_chunk_.size() == 0) {
+        probe_exhausted_ = true;
+        break;
+      }
+      MALLARD_RETURN_NOT_OK(
+          EvaluateKeys(left_exprs, probe_chunk_, &probe_keys_));
+      continue;
+    }
+    bool has_key =
+        EncodeJoinKey(probe_keys_, probe_position_, specs, &key);
+    const std::vector<uint64_t>* matches = nullptr;
+    if (has_key) {
+      auto it = table_.find(key);
+      if (it != table_.end()) matches = &it->second;
+    }
+    switch (join_type_) {
+      case JoinType::kInner:
+        if (matches) {
+          current_matches_ = matches;
+          match_position_ = 0;
+        } else {
+          probe_position_++;
+        }
+        break;
+      case JoinType::kLeft:
+        if (matches) {
+          current_matches_ = matches;
+          match_position_ = 0;
+        } else {
+          for (idx_t c = 0; c < left_width; c++) {
+            out->column(c).CopyFrom(probe_chunk_.column(c), 1,
+                                    probe_position_, produced);
+          }
+          for (idx_t c = left_width; c < out->ColumnCount(); c++) {
+            out->column(c).validity().SetInvalid(produced);
+          }
+          produced++;
+          probe_position_++;
+        }
+        break;
+      case JoinType::kSemi:
+      case JoinType::kAnti: {
+        bool emit = (join_type_ == JoinType::kSemi) == (matches != nullptr);
+        if (emit) {
+          for (idx_t c = 0; c < left_width; c++) {
+            out->column(c).CopyFrom(probe_chunk_.column(c), 1,
+                                    probe_position_, produced);
+          }
+          produced++;
+        }
+        probe_position_++;
+        break;
+      }
+    }
+  }
+  out->SetCardinality(produced);
+  return Status::OK();
+}
+
+std::string PhysicalHashJoin::name() const {
+  std::string result = "HASH_JOIN(";
+  for (size_t i = 0; i < conditions_.size(); i++) {
+    if (i > 0) result += " AND ";
+    result += conditions_[i].left->ToString() + " = " +
+              conditions_[i].right->ToString();
+  }
+  return result + ")";
+}
+
+// ---------------------------------------------------------------------------
+// PhysicalMergeJoin
+// ---------------------------------------------------------------------------
+
+PhysicalMergeJoin::PhysicalMergeJoin(JoinType join_type,
+                                     std::vector<JoinCondition> conditions,
+                                     std::unique_ptr<PhysicalOperator> left,
+                                     std::unique_ptr<PhysicalOperator> right)
+    : PhysicalOperator(
+          JoinOutputTypes(join_type, left->types(), right->types())),
+      join_type_(join_type),
+      conditions_(std::move(conditions)),
+      left_types_(left->types()),
+      right_types_(right->types()) {
+  left_chunk_.Initialize(left_types_);
+  right_chunk_.Initialize(right_types_);
+  left_keys_.Initialize(KeyTypes(conditions_, true));
+  right_keys_.Initialize(KeyTypes(conditions_, false));
+  AddChild(std::move(left));
+  AddChild(std::move(right));
+}
+
+Status PhysicalMergeJoin::SortInputs(ExecutionContext* context) {
+  // Sort keys are materialized as leading columns so the sorted stream
+  // can be compared without re-evaluating expressions:
+  // sorted layout = [key columns..., payload columns...].
+  auto sort_side = [&](PhysicalOperator* source,
+                       const std::vector<TypeId>& payload_types,
+                       bool left_side) -> Result<std::unique_ptr<ExternalSort>> {
+    std::vector<TypeId> all_types = KeyTypes(conditions_, left_side);
+    idx_t key_count = all_types.size();
+    all_types.insert(all_types.end(), payload_types.begin(),
+                     payload_types.end());
+    std::vector<SortSpec> specs;
+    for (idx_t i = 0; i < key_count; i++) {
+      specs.push_back(SortSpec{i, true, true});
+    }
+    auto sorter = std::make_unique<ExternalSort>(
+        all_types, specs, context->buffers, context->governor);
+    DataChunk input;
+    input.Initialize(payload_types);
+    DataChunk widened;
+    widened.Initialize(all_types);
+    DataChunk keys;
+    keys.Initialize(KeyTypes(conditions_, left_side));
+    std::vector<ExprPtr> exprs;
+    for (auto& c : conditions_) {
+      exprs.push_back(left_side ? c.left->Copy() : c.right->Copy());
+    }
+    while (true) {
+      MALLARD_RETURN_NOT_OK(source->GetChunk(context, &input));
+      if (input.size() == 0) break;
+      widened.Reset();
+      for (idx_t k = 0; k < key_count; k++) {
+        MALLARD_RETURN_NOT_OK(ExpressionExecutor::Execute(
+            *exprs[k], input, &widened.column(k)));
+      }
+      for (idx_t c = 0; c < payload_types.size(); c++) {
+        widened.column(key_count + c).Reference(input.column(c));
+      }
+      widened.SetCardinality(input.size());
+      MALLARD_RETURN_NOT_OK(sorter->Sink(widened));
+    }
+    MALLARD_RETURN_NOT_OK(sorter->Finalize());
+    return sorter;
+  };
+  MALLARD_ASSIGN_OR_RETURN(left_sort_,
+                           sort_side(child(0), left_types_, true));
+  MALLARD_ASSIGN_OR_RETURN(right_sort_,
+                           sort_side(child(1), right_types_, false));
+  // Re-initialize cursor chunks with the widened layouts.
+  std::vector<TypeId> lt = KeyTypes(conditions_, true);
+  lt.insert(lt.end(), left_types_.begin(), left_types_.end());
+  left_chunk_.Initialize(lt);
+  std::vector<TypeId> rt = KeyTypes(conditions_, false);
+  rt.insert(rt.end(), right_types_.begin(), right_types_.end());
+  right_chunk_.Initialize(rt);
+  sorted_ = true;
+  return Status::OK();
+}
+
+Status PhysicalMergeJoin::AdvanceLeft() {
+  left_position_++;
+  if (left_position_ >= left_chunk_.size()) {
+    MALLARD_RETURN_NOT_OK(left_sort_->GetChunk(&left_chunk_));
+    left_position_ = 0;
+    if (left_chunk_.size() == 0) left_done_ = true;
+  }
+  return Status::OK();
+}
+
+Status PhysicalMergeJoin::LoadNextRightGroup() {
+  group_rows_.clear();
+  group_valid_ = false;
+  auto specs = KeySpecs(conditions_.size());
+  idx_t key_count = conditions_.size();
+  while (!right_done_) {
+    if (right_position_ >= right_chunk_.size()) {
+      MALLARD_RETURN_NOT_OK(right_sort_->GetChunk(&right_chunk_));
+      right_position_ = 0;
+      if (right_chunk_.size() == 0) {
+        right_done_ = true;
+        break;
+      }
+    }
+    // Key of the row at right_position_ (skip NULL keys).
+    bool has_null = false;
+    for (idx_t k = 0; k < key_count; k++) {
+      if (!right_chunk_.column(k).validity().RowIsValid(right_position_)) {
+        has_null = true;
+        break;
+      }
+    }
+    if (has_null) {
+      right_position_++;
+      continue;
+    }
+    std::string key;
+    // Build a key-only view chunk by encoding the first key_count columns.
+    EncodeSortKey(right_chunk_, right_position_, specs, &key);
+    if (!group_valid_) {
+      group_key_ = key;
+      group_valid_ = true;
+    } else if (key != group_key_) {
+      return Status::OK();  // next group starts here
+    }
+    std::vector<Value> row;
+    for (idx_t c = 0; c < right_types_.size(); c++) {
+      row.push_back(right_chunk_.GetValue(key_count + c, right_position_));
+    }
+    group_rows_.push_back(std::move(row));
+    right_position_++;
+  }
+  return Status::OK();
+}
+
+Status PhysicalMergeJoin::GetChunk(ExecutionContext* context, DataChunk* out) {
+  if (!sorted_) {
+    MALLARD_RETURN_NOT_OK(SortInputs(context));
+    MALLARD_RETURN_NOT_OK(left_sort_->GetChunk(&left_chunk_));
+    left_position_ = 0;
+    left_done_ = left_chunk_.size() == 0;
+    MALLARD_RETURN_NOT_OK(LoadNextRightGroup());
+  }
+  out->Reset();
+  idx_t key_count = conditions_.size();
+  auto specs = KeySpecs(key_count);
+  idx_t produced = 0;
+  auto emit_left_row = [&](bool null_pad) {
+    for (idx_t c = 0; c < left_types_.size(); c++) {
+      out->column(c).CopyFrom(left_chunk_.column(key_count + c), 1,
+                              left_position_, produced);
+    }
+    if (null_pad && (join_type_ == JoinType::kLeft)) {
+      for (idx_t c = left_types_.size(); c < out->ColumnCount(); c++) {
+        out->column(c).validity().SetInvalid(produced);
+      }
+    }
+  };
+
+  while (produced < kVectorSize && !left_done_) {
+    if (emitting_matches_) {
+      while (emit_group_index_ < group_rows_.size() &&
+             produced < kVectorSize) {
+        emit_left_row(false);
+        const auto& row = group_rows_[emit_group_index_];
+        for (idx_t c = 0; c < right_types_.size(); c++) {
+          out->SetValue(left_types_.size() + c, produced, row[c]);
+        }
+        produced++;
+        emit_group_index_++;
+      }
+      if (emit_group_index_ >= group_rows_.size()) {
+        emitting_matches_ = false;
+        MALLARD_RETURN_NOT_OK(AdvanceLeft());
+      }
+      continue;
+    }
+    // Left row key (NULL keys never match).
+    bool has_null = false;
+    for (idx_t k = 0; k < key_count; k++) {
+      if (!left_chunk_.column(k).validity().RowIsValid(left_position_)) {
+        has_null = true;
+        break;
+      }
+    }
+    std::string left_key;
+    if (!has_null) {
+      EncodeSortKey(left_chunk_, left_position_, specs, &left_key);
+    }
+    if (has_null) {
+      if (join_type_ == JoinType::kLeft || join_type_ == JoinType::kAnti) {
+        emit_left_row(true);
+        produced++;
+      }
+      MALLARD_RETURN_NOT_OK(AdvanceLeft());
+      continue;
+    }
+    // Advance right groups until group_key >= left_key.
+    while (group_valid_ && group_key_ < left_key) {
+      MALLARD_RETURN_NOT_OK(LoadNextRightGroup());
+    }
+    bool match = group_valid_ && group_key_ == left_key;
+    switch (join_type_) {
+      case JoinType::kInner:
+      case JoinType::kLeft:
+        if (match) {
+          emitting_matches_ = true;
+          emit_group_index_ = 0;
+        } else {
+          if (join_type_ == JoinType::kLeft) {
+            emit_left_row(true);
+            produced++;
+          }
+          MALLARD_RETURN_NOT_OK(AdvanceLeft());
+        }
+        break;
+      case JoinType::kSemi:
+      case JoinType::kAnti:
+        if ((join_type_ == JoinType::kSemi) == match) {
+          emit_left_row(false);
+          produced++;
+        }
+        MALLARD_RETURN_NOT_OK(AdvanceLeft());
+        break;
+    }
+  }
+  out->SetCardinality(produced);
+  return Status::OK();
+}
+
+std::string PhysicalMergeJoin::name() const {
+  std::string result = "MERGE_JOIN(";
+  for (size_t i = 0; i < conditions_.size(); i++) {
+    if (i > 0) result += " AND ";
+    result += conditions_[i].left->ToString() + " = " +
+              conditions_[i].right->ToString();
+  }
+  return result + ")";
+}
+
+// ---------------------------------------------------------------------------
+// PhysicalCrossProduct
+// ---------------------------------------------------------------------------
+
+PhysicalCrossProduct::PhysicalCrossProduct(
+    std::unique_ptr<PhysicalOperator> left,
+    std::unique_ptr<PhysicalOperator> right)
+    : PhysicalOperator(
+          JoinOutputTypes(JoinType::kInner, left->types(), right->types())) {
+  left_chunk_.Initialize(left->types());
+  right_chunk_.Initialize(right->types());
+  AddChild(std::move(left));
+  AddChild(std::move(right));
+}
+
+Status PhysicalCrossProduct::GetChunk(ExecutionContext* context,
+                                      DataChunk* out) {
+  if (!materialized_) {
+    right_data_ = std::make_unique<ChunkCollection>(child(1)->types(),
+                                                    context->governor);
+    DataChunk chunk;
+    chunk.Initialize(child(1)->types());
+    while (true) {
+      MALLARD_RETURN_NOT_OK(child(1)->GetChunk(context, &chunk));
+      if (chunk.size() == 0) break;
+      MALLARD_RETURN_NOT_OK(right_data_->Append(chunk));
+    }
+    right_data_->Finalize();
+    materialized_ = true;
+    MALLARD_RETURN_NOT_OK(child(0)->GetChunk(context, &left_chunk_));
+    left_done_ = left_chunk_.size() == 0;
+    left_position_ = 0;
+    right_scan_ = ChunkCollection::ScanState();
+    MALLARD_RETURN_NOT_OK(right_data_->Scan(&right_scan_, &right_chunk_));
+    right_position_ = 0;
+  }
+  out->Reset();
+  idx_t produced = 0;
+  idx_t left_width = left_chunk_.ColumnCount();
+  while (produced < kVectorSize && !left_done_) {
+    if (right_position_ >= right_chunk_.size()) {
+      MALLARD_RETURN_NOT_OK(right_data_->Scan(&right_scan_, &right_chunk_));
+      right_position_ = 0;
+      if (right_chunk_.size() == 0) {
+        // Right exhausted: advance left, restart right.
+        left_position_++;
+        if (left_position_ >= left_chunk_.size()) {
+          MALLARD_RETURN_NOT_OK(child(0)->GetChunk(context, &left_chunk_));
+          left_position_ = 0;
+          if (left_chunk_.size() == 0) {
+            left_done_ = true;
+            break;
+          }
+        }
+        right_scan_ = ChunkCollection::ScanState();
+        MALLARD_RETURN_NOT_OK(right_data_->Scan(&right_scan_, &right_chunk_));
+        right_position_ = 0;
+        if (right_chunk_.size() == 0) {
+          // Empty right side: cross product is empty.
+          left_done_ = true;
+          break;
+        }
+      }
+      continue;
+    }
+    for (idx_t c = 0; c < left_width; c++) {
+      out->column(c).CopyFrom(left_chunk_.column(c), 1, left_position_,
+                              produced);
+    }
+    for (idx_t c = 0; c < right_chunk_.ColumnCount(); c++) {
+      out->column(left_width + c)
+          .CopyFrom(right_chunk_.column(c), 1, right_position_, produced);
+    }
+    produced++;
+    right_position_++;
+  }
+  out->SetCardinality(produced);
+  return Status::OK();
+}
+
+std::string PhysicalCrossProduct::name() const { return "CROSS_PRODUCT"; }
+
+}  // namespace mallard

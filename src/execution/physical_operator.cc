@@ -1,0 +1,15 @@
+#include "mallard/execution/physical_operator.h"
+
+namespace mallard {
+
+std::string PhysicalOperator::ToString(int indent) const {
+  std::string result(indent * 2, ' ');
+  result += name();
+  result += "\n";
+  for (const auto& child : children_) {
+    result += child->ToString(indent + 1);
+  }
+  return result;
+}
+
+}  // namespace mallard

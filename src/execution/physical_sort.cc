@@ -1,0 +1,103 @@
+#include "mallard/execution/physical_sort.h"
+
+#include <algorithm>
+
+namespace mallard {
+
+PhysicalOrderBy::PhysicalOrderBy(std::vector<SortSpec> specs,
+                                 std::unique_ptr<PhysicalOperator> child)
+    : PhysicalOperator(child->types()), specs_(std::move(specs)) {
+  AddChild(std::move(child));
+}
+
+Status PhysicalOrderBy::GetChunk(ExecutionContext* context, DataChunk* out) {
+  if (!sorted_) {
+    sort_ = std::make_unique<ExternalSort>(child(0)->types(), specs_,
+                                           context->buffers,
+                                           context->governor);
+    DataChunk chunk;
+    chunk.Initialize(child(0)->types());
+    while (true) {
+      MALLARD_RETURN_NOT_OK(child(0)->GetChunk(context, &chunk));
+      if (chunk.size() == 0) break;
+      MALLARD_RETURN_NOT_OK(sort_->Sink(chunk));
+    }
+    MALLARD_RETURN_NOT_OK(sort_->Finalize());
+    sorted_ = true;
+  }
+  return sort_->GetChunk(out);
+}
+
+std::string PhysicalOrderBy::name() const {
+  std::string result = "ORDER_BY(";
+  for (size_t i = 0; i < specs_.size(); i++) {
+    if (i > 0) result += ", ";
+    result += "#" + std::to_string(specs_[i].column) +
+              (specs_[i].ascending ? " ASC" : " DESC");
+  }
+  return result + ")";
+}
+
+PhysicalTopN::PhysicalTopN(std::vector<SortSpec> specs, idx_t limit,
+                           idx_t offset,
+                           std::unique_ptr<PhysicalOperator> child)
+    : PhysicalOperator(child->types()),
+      specs_(std::move(specs)),
+      limit_(limit),
+      offset_(offset) {
+  AddChild(std::move(child));
+}
+
+Status PhysicalTopN::GetChunk(ExecutionContext* context, DataChunk* out) {
+  idx_t keep = limit_ + offset_;
+  if (!computed_) {
+    RowCodec codec(child(0)->types());
+    DataChunk chunk;
+    chunk.Initialize(child(0)->types());
+    std::string key;
+    // Max-heap on the key: the root is the worst row kept so far.
+    auto cmp = [](const std::pair<std::string, std::vector<uint8_t>>& a,
+                  const std::pair<std::string, std::vector<uint8_t>>& b) {
+      return a.first < b.first;
+    };
+    while (true) {
+      MALLARD_RETURN_NOT_OK(child(0)->GetChunk(context, &chunk));
+      if (chunk.size() == 0) break;
+      for (idx_t r = 0; r < chunk.size(); r++) {
+        EncodeSortKey(chunk, r, specs_, &key);
+        if (heap_.size() >= keep && key >= heap_.front().first) continue;
+        std::vector<uint8_t> row;
+        codec.EncodeRow(chunk, r, &row);
+        heap_.emplace_back(key, std::move(row));
+        std::push_heap(heap_.begin(), heap_.end(), cmp);
+        if (heap_.size() > keep) {
+          std::pop_heap(heap_.begin(), heap_.end(), cmp);
+          heap_.pop_back();
+        }
+      }
+    }
+    std::sort(heap_.begin(), heap_.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (idx_t i = offset_; i < heap_.size(); i++) {
+      sorted_rows_.push_back(std::move(heap_[i].second));
+    }
+    heap_.clear();
+    computed_ = true;
+  }
+  out->Reset();
+  RowCodec codec(types_);
+  idx_t produced = 0;
+  while (position_ < sorted_rows_.size() && produced < kVectorSize) {
+    codec.DecodeRow(sorted_rows_[position_].data(), out, produced);
+    position_++;
+    produced++;
+  }
+  out->SetCardinality(produced);
+  return Status::OK();
+}
+
+std::string PhysicalTopN::name() const {
+  return "TOP_N(" + std::to_string(limit_) + ")";
+}
+
+}  // namespace mallard

@@ -1,0 +1,139 @@
+#include "mallard/execution/row_codec.h"
+
+#include <cstring>
+
+namespace mallard {
+
+void RowCodec::EncodeRow(const DataChunk& chunk, idx_t row,
+                         std::vector<uint8_t>* out) const {
+  for (idx_t c = 0; c < types_.size(); c++) {
+    const Vector& col = chunk.column(c);
+    bool valid = col.validity().RowIsValid(row);
+    out->push_back(valid ? 1 : 0);
+    if (!valid) continue;
+    if (types_[c] == TypeId::kVarchar) {
+      const StringRef& s = col.data<StringRef>()[row];
+      uint32_t len = s.size;
+      size_t pos = out->size();
+      out->resize(pos + 4 + len);
+      std::memcpy(out->data() + pos, &len, 4);
+      std::memcpy(out->data() + pos + 4, s.data, len);
+    } else {
+      idx_t width = TypeSize(types_[c]);
+      size_t pos = out->size();
+      out->resize(pos + width);
+      std::memcpy(out->data() + pos, col.raw_data() + row * width, width);
+    }
+  }
+}
+
+size_t RowCodec::DecodeRow(const uint8_t* data, DataChunk* out,
+                           idx_t out_row) const {
+  size_t pos = 0;
+  for (idx_t c = 0; c < types_.size(); c++) {
+    Vector& col = out->column(c);
+    bool valid = data[pos++] != 0;
+    if (!valid) {
+      col.validity().SetInvalid(out_row);
+      continue;
+    }
+    col.validity().SetValid(out_row);
+    if (types_[c] == TypeId::kVarchar) {
+      uint32_t len;
+      std::memcpy(&len, data + pos, 4);
+      pos += 4;
+      col.SetString(out_row, reinterpret_cast<const char*>(data + pos), len);
+      pos += len;
+    } else {
+      idx_t width = TypeSize(types_[c]);
+      std::memcpy(col.raw_data() + out_row * width, data + pos, width);
+      pos += width;
+    }
+  }
+  return pos;
+}
+
+namespace {
+
+void AppendBigEndian(uint64_t value, int bytes, std::string* key) {
+  for (int b = bytes - 1; b >= 0; b--) {
+    key->push_back(static_cast<char>((value >> (b * 8)) & 0xFF));
+  }
+}
+
+// Encodes one non-null value order-preservingly.
+void EncodeValueBytes(const Vector& col, idx_t row, std::string* key) {
+  switch (col.type()) {
+    case TypeId::kBoolean:
+      key->push_back(col.data<int8_t>()[row] ? 1 : 0);
+      break;
+    case TypeId::kInteger:
+    case TypeId::kDate: {
+      uint32_t bits = static_cast<uint32_t>(col.data<int32_t>()[row]);
+      bits ^= 0x80000000u;  // flip sign for unsigned order
+      AppendBigEndian(bits, 4, key);
+      break;
+    }
+    case TypeId::kBigInt:
+    case TypeId::kTimestamp: {
+      uint64_t bits = static_cast<uint64_t>(col.data<int64_t>()[row]);
+      bits ^= 0x8000000000000000ull;
+      AppendBigEndian(bits, 8, key);
+      break;
+    }
+    case TypeId::kDouble: {
+      double d = col.data<double>()[row];
+      if (d == 0.0) d = 0.0;  // normalize -0.0
+      uint64_t bits;
+      std::memcpy(&bits, &d, 8);
+      // IEEE total-order transform: positive -> flip sign bit,
+      // negative -> flip all bits.
+      if (bits & 0x8000000000000000ull) {
+        bits = ~bits;
+      } else {
+        bits ^= 0x8000000000000000ull;
+      }
+      AppendBigEndian(bits, 8, key);
+      break;
+    }
+    case TypeId::kVarchar: {
+      const StringRef& s = col.data<StringRef>()[row];
+      // Escape embedded zeros (0x00 -> 0x00 0xFF) and terminate with
+      // 0x00 0x00 so shorter strings order before their extensions.
+      for (uint32_t i = 0; i < s.size; i++) {
+        key->push_back(s.data[i]);
+        if (s.data[i] == '\0') key->push_back('\xFF');
+      }
+      key->push_back('\0');
+      key->push_back('\0');
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+void EncodeSortKey(const DataChunk& chunk, idx_t row,
+                   const std::vector<SortSpec>& specs, std::string* key) {
+  key->clear();
+  for (const auto& spec : specs) {
+    const Vector& col = chunk.column(spec.column);
+    bool valid = col.validity().RowIsValid(row);
+    size_t start = key->size();
+    if (!valid) {
+      key->push_back(spec.nulls_first ? '\x00' : '\xFF');
+    } else {
+      key->push_back(spec.nulls_first ? '\x01' : '\x01');
+      EncodeValueBytes(col, row, key);
+    }
+    if (!spec.ascending) {
+      for (size_t i = start; i < key->size(); i++) {
+        (*key)[i] = static_cast<char>(~(*key)[i]);
+      }
+    }
+  }
+}
+
+}  // namespace mallard

@@ -1,0 +1,330 @@
+#include "mallard/expression/function_registry.h"
+
+#include <cmath>
+
+#include "mallard/common/string_util.h"
+
+namespace mallard {
+
+namespace {
+
+// Applies a scalar kernel with standard NULL propagation over one arg.
+template <typename Fn>
+Status UnaryKernel(const std::vector<Vector*>& args, idx_t count,
+                   Vector* result, Fn fn) {
+  const Vector& a = *args[0];
+  for (idx_t i = 0; i < count; i++) {
+    if (!a.validity().RowIsValid(i)) {
+      result->validity().SetInvalid(i);
+      continue;
+    }
+    fn(a, i, result);
+  }
+  return Status::OK();
+}
+
+Status YearImpl(const std::vector<Vector*>& args, idx_t count,
+                Vector* result) {
+  return UnaryKernel(args, count, result,
+                     [](const Vector& a, idx_t i, Vector* out) {
+                       out->data<int32_t>()[i] =
+                           date::Year(a.data<int32_t>()[i]);
+                     });
+}
+
+Status MonthImpl(const std::vector<Vector*>& args, idx_t count,
+                 Vector* result) {
+  return UnaryKernel(args, count, result,
+                     [](const Vector& a, idx_t i, Vector* out) {
+                       out->data<int32_t>()[i] =
+                           date::Month(a.data<int32_t>()[i]);
+                     });
+}
+
+Status DayImpl(const std::vector<Vector*>& args, idx_t count,
+               Vector* result) {
+  return UnaryKernel(args, count, result,
+                     [](const Vector& a, idx_t i, Vector* out) {
+                       out->data<int32_t>()[i] =
+                           date::Day(a.data<int32_t>()[i]);
+                     });
+}
+
+Status LengthImpl(const std::vector<Vector*>& args, idx_t count,
+                  Vector* result) {
+  return UnaryKernel(args, count, result,
+                     [](const Vector& a, idx_t i, Vector* out) {
+                       out->data<int64_t>()[i] = a.data<StringRef>()[i].size;
+                     });
+}
+
+Status LowerImpl(const std::vector<Vector*>& args, idx_t count,
+                 Vector* result) {
+  return UnaryKernel(args, count, result,
+                     [](const Vector& a, idx_t i, Vector* out) {
+                       std::string s = a.data<StringRef>()[i].ToString();
+                       out->SetString(i, StringUtil::Lower(s));
+                     });
+}
+
+Status UpperImpl(const std::vector<Vector*>& args, idx_t count,
+                 Vector* result) {
+  return UnaryKernel(args, count, result,
+                     [](const Vector& a, idx_t i, Vector* out) {
+                       std::string s = a.data<StringRef>()[i].ToString();
+                       out->SetString(i, StringUtil::Upper(s));
+                     });
+}
+
+Status AbsIntImpl(const std::vector<Vector*>& args, idx_t count,
+                  Vector* result) {
+  return UnaryKernel(args, count, result,
+                     [](const Vector& a, idx_t i, Vector* out) {
+                       int64_t v = a.data<int64_t>()[i];
+                       out->data<int64_t>()[i] = v < 0 ? -v : v;
+                     });
+}
+
+Status AbsDoubleImpl(const std::vector<Vector*>& args, idx_t count,
+                     Vector* result) {
+  return UnaryKernel(args, count, result,
+                     [](const Vector& a, idx_t i, Vector* out) {
+                       out->data<double>()[i] = std::fabs(a.data<double>()[i]);
+                     });
+}
+
+Status FloorImpl(const std::vector<Vector*>& args, idx_t count,
+                 Vector* result) {
+  return UnaryKernel(args, count, result,
+                     [](const Vector& a, idx_t i, Vector* out) {
+                       out->data<double>()[i] =
+                           std::floor(a.data<double>()[i]);
+                     });
+}
+
+Status CeilImpl(const std::vector<Vector*>& args, idx_t count,
+                Vector* result) {
+  return UnaryKernel(args, count, result,
+                     [](const Vector& a, idx_t i, Vector* out) {
+                       out->data<double>()[i] = std::ceil(a.data<double>()[i]);
+                     });
+}
+
+Status SqrtImpl(const std::vector<Vector*>& args, idx_t count,
+                Vector* result) {
+  return UnaryKernel(args, count, result,
+                     [](const Vector& a, idx_t i, Vector* out) {
+                       out->data<double>()[i] = std::sqrt(a.data<double>()[i]);
+                     });
+}
+
+Status RoundImpl(const std::vector<Vector*>& args, idx_t count,
+                 Vector* result) {
+  const Vector& a = *args[0];
+  const Vector& digits = *args[1];
+  for (idx_t i = 0; i < count; i++) {
+    if (!a.validity().RowIsValid(i) || !digits.validity().RowIsValid(i)) {
+      result->validity().SetInvalid(i);
+      continue;
+    }
+    double scale = std::pow(10.0, digits.data<int32_t>()[i]);
+    result->data<double>()[i] =
+        std::round(a.data<double>()[i] * scale) / scale;
+  }
+  return Status::OK();
+}
+
+Status SubstrImpl(const std::vector<Vector*>& args, idx_t count,
+                  Vector* result) {
+  const Vector& a = *args[0];
+  const Vector& start = *args[1];
+  const Vector& len = *args[2];
+  for (idx_t i = 0; i < count; i++) {
+    if (!a.validity().RowIsValid(i) || !start.validity().RowIsValid(i) ||
+        !len.validity().RowIsValid(i)) {
+      result->validity().SetInvalid(i);
+      continue;
+    }
+    const StringRef& s = a.data<StringRef>()[i];
+    // SQL substring: 1-based start.
+    int64_t begin = std::max<int64_t>(1, start.data<int32_t>()[i]) - 1;
+    int64_t n = std::max<int64_t>(0, len.data<int32_t>()[i]);
+    if (begin >= s.size) {
+      result->SetString(i, "", 0);
+      continue;
+    }
+    n = std::min<int64_t>(n, s.size - begin);
+    result->SetString(i, s.data + begin, static_cast<uint32_t>(n));
+  }
+  return Status::OK();
+}
+
+Status ConcatImpl(const std::vector<Vector*>& args, idx_t count,
+                  Vector* result) {
+  for (idx_t i = 0; i < count; i++) {
+    std::string out;
+    bool any_null = false;
+    for (const Vector* arg : args) {
+      if (!arg->validity().RowIsValid(i)) {
+        any_null = true;
+        break;
+      }
+      out += arg->data<StringRef>()[i].ToString();
+    }
+    if (any_null) {
+      result->validity().SetInvalid(i);
+    } else {
+      result->SetString(i, out);
+    }
+  }
+  return Status::OK();
+}
+
+Status ContainsImpl(const std::vector<Vector*>& args, idx_t count,
+                    Vector* result) {
+  const Vector& a = *args[0];
+  const Vector& b = *args[1];
+  for (idx_t i = 0; i < count; i++) {
+    if (!a.validity().RowIsValid(i) || !b.validity().RowIsValid(i)) {
+      result->validity().SetInvalid(i);
+      continue;
+    }
+    std::string hay = a.data<StringRef>()[i].ToString();
+    std::string needle = b.data<StringRef>()[i].ToString();
+    result->data<int8_t>()[i] =
+        hay.find(needle) != std::string::npos ? 1 : 0;
+  }
+  return Status::OK();
+}
+
+Status StartsWithImpl(const std::vector<Vector*>& args, idx_t count,
+                      Vector* result) {
+  const Vector& a = *args[0];
+  const Vector& b = *args[1];
+  for (idx_t i = 0; i < count; i++) {
+    if (!a.validity().RowIsValid(i) || !b.validity().RowIsValid(i)) {
+      result->validity().SetInvalid(i);
+      continue;
+    }
+    const StringRef& s = a.data<StringRef>()[i];
+    const StringRef& prefix = b.data<StringRef>()[i];
+    bool match = s.size >= prefix.size &&
+                 std::memcmp(s.data, prefix.data, prefix.size) == 0;
+    result->data<int8_t>()[i] = match ? 1 : 0;
+  }
+  return Status::OK();
+}
+
+Status CoalesceImpl(const std::vector<Vector*>& args, idx_t count,
+                    Vector* result) {
+  for (idx_t i = 0; i < count; i++) {
+    bool set = false;
+    for (const Vector* arg : args) {
+      if (arg->validity().RowIsValid(i)) {
+        result->SetValue(i, arg->GetValue(i));
+        set = true;
+        break;
+      }
+    }
+    if (!set) result->validity().SetInvalid(i);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<FunctionRegistry::Resolution> FunctionRegistry::Resolve(
+    const std::string& name, const std::vector<TypeId>& arg_types) {
+  std::string fn = StringUtil::Lower(name);
+  auto arity_error = [&]() {
+    return Status::Binder("wrong number of arguments to function '" + fn +
+                          "'");
+  };
+  if (fn == "year" || fn == "month" || fn == "day") {
+    if (arg_types.size() != 1) return arity_error();
+    Resolution r;
+    r.return_type = TypeId::kInteger;
+    r.arg_types = {TypeId::kDate};
+    r.impl = fn == "year" ? YearImpl : (fn == "month" ? MonthImpl : DayImpl);
+    return r;
+  }
+  if (fn == "length") {
+    if (arg_types.size() != 1) return arity_error();
+    return Resolution{TypeId::kBigInt, LengthImpl, {TypeId::kVarchar}};
+  }
+  if (fn == "lower" || fn == "upper") {
+    if (arg_types.size() != 1) return arity_error();
+    return Resolution{TypeId::kVarchar, fn == "lower" ? LowerImpl : UpperImpl,
+                      {TypeId::kVarchar}};
+  }
+  if (fn == "abs") {
+    if (arg_types.size() != 1) return arity_error();
+    if (arg_types[0] == TypeId::kDouble) {
+      return Resolution{TypeId::kDouble, AbsDoubleImpl, {TypeId::kDouble}};
+    }
+    return Resolution{TypeId::kBigInt, AbsIntImpl, {TypeId::kBigInt}};
+  }
+  if (fn == "floor" || fn == "ceil" || fn == "ceiling" || fn == "sqrt") {
+    if (arg_types.size() != 1) return arity_error();
+    ScalarFunctionImpl impl =
+        fn == "floor" ? FloorImpl : (fn == "sqrt" ? SqrtImpl : CeilImpl);
+    return Resolution{TypeId::kDouble, impl, {TypeId::kDouble}};
+  }
+  if (fn == "round") {
+    if (arg_types.size() == 1) {
+      return Resolution{TypeId::kDouble, RoundImpl,
+                        {TypeId::kDouble, TypeId::kInteger}};
+    }
+    if (arg_types.size() != 2) return arity_error();
+    return Resolution{TypeId::kDouble, RoundImpl,
+                      {TypeId::kDouble, TypeId::kInteger}};
+  }
+  if (fn == "substr" || fn == "substring") {
+    if (arg_types.size() != 3) return arity_error();
+    return Resolution{TypeId::kVarchar, SubstrImpl,
+                      {TypeId::kVarchar, TypeId::kInteger, TypeId::kInteger}};
+  }
+  if (fn == "concat") {
+    if (arg_types.empty()) return arity_error();
+    Resolution r;
+    r.return_type = TypeId::kVarchar;
+    r.impl = ConcatImpl;
+    r.arg_types.assign(arg_types.size(), TypeId::kVarchar);
+    return r;
+  }
+  if (fn == "contains") {
+    if (arg_types.size() != 2) return arity_error();
+    return Resolution{TypeId::kBoolean, ContainsImpl,
+                      {TypeId::kVarchar, TypeId::kVarchar}};
+  }
+  if (fn == "starts_with") {
+    if (arg_types.size() != 2) return arity_error();
+    return Resolution{TypeId::kBoolean, StartsWithImpl,
+                      {TypeId::kVarchar, TypeId::kVarchar}};
+  }
+  if (fn == "coalesce") {
+    if (arg_types.empty()) return arity_error();
+    TypeId type = arg_types[0];
+    for (TypeId t : arg_types) {
+      if (t != TypeId::kInvalid) {
+        type = t;
+        break;
+      }
+    }
+    Resolution r;
+    r.return_type = type;
+    r.impl = CoalesceImpl;
+    r.arg_types.assign(arg_types.size(), type);
+    return r;
+  }
+  return Status::Binder("unknown function '" + fn + "'");
+}
+
+std::vector<std::string> FunctionRegistry::FunctionNames() {
+  return {"year",  "month",    "day",      "length",      "lower",
+          "upper", "abs",      "floor",    "ceil",        "sqrt",
+          "round", "substr",   "substring", "concat",     "contains",
+          "starts_with", "coalesce"};
+}
+
+}  // namespace mallard

@@ -1,0 +1,63 @@
+#include "mallard/governor/resource_governor.h"
+
+#include <algorithm>
+
+#include "mallard/storage/buffer_manager.h"
+
+namespace mallard {
+
+void ResourceGovernor::SetMemoryLimit(uint64_t bytes) {
+  config_.dbms_memory_limit = bytes;
+  if (buffers_) buffers_->SetMemoryLimit(bytes);
+}
+
+uint64_t ResourceGovernor::DbmsMemoryUsed() const {
+  return buffers_ ? buffers_->memory_used() : 0;
+}
+
+uint64_t ResourceGovernor::EffectiveMemoryBudget() const {
+  if (!config_.reactive || !monitor_) {
+    return config_.dbms_memory_limit;
+  }
+  uint64_t app = monitor_->AppMemoryBytes();
+  uint64_t headroom = config_.total_memory / 8;
+  uint64_t available =
+      config_.total_memory > app + headroom
+          ? config_.total_memory - app - headroom
+          : config_.total_memory / 64;  // starved: keep a small floor
+  return std::min(available, config_.dbms_memory_limit);
+}
+
+CompressionLevel ResourceGovernor::ChooseCompressionLevel() const {
+  if (!config_.reactive || !monitor_) {
+    return manual_compression_;
+  }
+  uint64_t app = monitor_->AppMemoryBytes();
+  uint64_t dbms = DbmsMemoryUsed();
+  double pressure =
+      static_cast<double>(app + dbms) / static_cast<double>(config_.total_memory);
+  if (pressure < 0.50) return CompressionLevel::kNone;
+  if (pressure < 0.75) return CompressionLevel::kLight;
+  return CompressionLevel::kHeavy;
+}
+
+JoinAlgorithm ResourceGovernor::ChooseJoinAlgorithm(
+    uint64_t estimated_build_bytes) const {
+  uint64_t budget = EffectiveMemoryBudget();
+  if (estimated_build_bytes <= budget / 2) {
+    return JoinAlgorithm::kHash;
+  }
+  return JoinAlgorithm::kMerge;
+}
+
+GovernorSample ResourceGovernor::Sample() const {
+  GovernorSample s;
+  s.app_memory = monitor_ ? monitor_->AppMemoryBytes() : 0;
+  s.dbms_memory = DbmsMemoryUsed();
+  s.app_cpu = monitor_ ? monitor_->AppCpuUtilization() : 0.0;
+  s.compression = ChooseCompressionLevel();
+  s.effective_budget = EffectiveMemoryBudget();
+  return s;
+}
+
+}  // namespace mallard

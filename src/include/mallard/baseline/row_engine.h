@@ -1,0 +1,105 @@
+#ifndef MALLARD_BASELINE_ROW_ENGINE_H_
+#define MALLARD_BASELINE_ROW_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mallard/execution/aggregate_function.h"
+#include "mallard/execution/physical_operator.h"
+#include "mallard/expression/bound_expression.h"
+#include "mallard/storage/table/data_table.h"
+
+namespace mallard {
+namespace baseline {
+
+/// Classic tuple-at-a-time Volcano interpreter: every operator produces
+/// one boxed row per Next() call and every expression is re-interpreted
+/// per tuple. This is the baseline the paper's vectorized "Vector
+/// Volcano" engine is designed to beat (section 6 cites MonetDB/X100);
+/// the bench reproduces that comparison.
+class RowOperator {
+ public:
+  virtual ~RowOperator() = default;
+  /// Produces the next row; false = exhausted.
+  virtual Result<bool> Next(std::vector<Value>* row) = 0;
+};
+
+/// Table scan emitting boxed rows.
+class RowScan final : public RowOperator {
+ public:
+  RowScan(DataTable* table, Transaction* txn, std::vector<idx_t> column_ids);
+  Result<bool> Next(std::vector<Value>* row) override;
+
+ private:
+  DataTable* table_;
+  Transaction* txn_;
+  std::vector<idx_t> column_ids_;
+  TableScanState state_;
+  DataChunk chunk_;
+  idx_t position_ = 0;
+  bool initialized_ = false;
+};
+
+/// Filter evaluating the predicate one tuple at a time.
+class RowFilter final : public RowOperator {
+ public:
+  RowFilter(ExprPtr predicate, std::unique_ptr<RowOperator> child)
+      : predicate_(std::move(predicate)), child_(std::move(child)) {}
+  Result<bool> Next(std::vector<Value>* row) override;
+
+ private:
+  ExprPtr predicate_;
+  std::unique_ptr<RowOperator> child_;
+};
+
+/// Projection evaluating each expression per tuple.
+class RowProject final : public RowOperator {
+ public:
+  RowProject(std::vector<ExprPtr> exprs, std::unique_ptr<RowOperator> child)
+      : exprs_(std::move(exprs)), child_(std::move(child)) {}
+  Result<bool> Next(std::vector<Value>* row) override;
+
+ private:
+  std::vector<ExprPtr> exprs_;
+  std::unique_ptr<RowOperator> child_;
+  std::vector<Value> input_row_;
+};
+
+/// Hash aggregation with boxed group keys.
+class RowHashAggregate final : public RowOperator {
+ public:
+  RowHashAggregate(std::vector<ExprPtr> groups,
+                   std::vector<BoundAggregate> aggregates,
+                   std::unique_ptr<RowOperator> child)
+      : groups_(std::move(groups)),
+        aggregates_(std::move(aggregates)),
+        child_(std::move(child)) {}
+  Result<bool> Next(std::vector<Value>* row) override;
+
+ private:
+  struct ValueVectorLess {
+    bool operator()(const std::vector<Value>& a,
+                    const std::vector<Value>& b) const {
+      for (size_t i = 0; i < a.size() && i < b.size(); i++) {
+        int cmp = a[i].Compare(b[i]);
+        if (cmp != 0) return cmp < 0;
+      }
+      return a.size() < b.size();
+    }
+  };
+  std::vector<ExprPtr> groups_;
+  std::vector<BoundAggregate> aggregates_;
+  std::unique_ptr<RowOperator> child_;
+  std::map<std::vector<Value>, std::vector<AggState>, ValueVectorLess>
+      groups_map_;
+  bool sunk_ = false;
+  std::map<std::vector<Value>, std::vector<AggState>,
+           ValueVectorLess>::iterator output_it_;
+};
+
+}  // namespace baseline
+}  // namespace mallard
+
+#endif  // MALLARD_BASELINE_ROW_ENGINE_H_

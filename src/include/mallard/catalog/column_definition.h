@@ -1,0 +1,22 @@
+#ifndef MALLARD_CATALOG_COLUMN_DEFINITION_H_
+#define MALLARD_CATALOG_COLUMN_DEFINITION_H_
+
+#include <string>
+
+#include "mallard/common/types.h"
+
+namespace mallard {
+
+/// Name and type of one table column.
+struct ColumnDefinition {
+  std::string name;
+  TypeId type = TypeId::kInvalid;
+
+  ColumnDefinition() = default;
+  ColumnDefinition(std::string name_in, TypeId type_in)
+      : name(std::move(name_in)), type(type_in) {}
+};
+
+}  // namespace mallard
+
+#endif  // MALLARD_CATALOG_COLUMN_DEFINITION_H_

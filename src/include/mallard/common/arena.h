@@ -1,0 +1,86 @@
+#ifndef MALLARD_COMMON_ARENA_H_
+#define MALLARD_COMMON_ARENA_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "mallard/common/types.h"
+
+namespace mallard {
+
+/// Bump allocator backed by a list of exponentially growing chunks.
+/// Used for string heaps in vectors and row payloads in hash tables;
+/// everything allocated from an arena is freed at once when the arena is
+/// destroyed or reset.
+class ArenaAllocator {
+ public:
+  explicit ArenaAllocator(size_t initial_capacity = 4096)
+      : initial_capacity_(initial_capacity) {}
+
+  ArenaAllocator(const ArenaAllocator&) = delete;
+  ArenaAllocator& operator=(const ArenaAllocator&) = delete;
+  ArenaAllocator(ArenaAllocator&&) = default;
+  ArenaAllocator& operator=(ArenaAllocator&&) = default;
+
+  /// Allocates `size` bytes, 8-byte aligned.
+  uint8_t* Allocate(size_t size) {
+    size = (size + 7) & ~size_t(7);
+    if (chunks_.empty() || used_ + size > chunks_.back().capacity) {
+      NewChunk(size);
+    }
+    uint8_t* result = chunks_.back().data.get() + used_;
+    used_ += size;
+    total_used_ += size;
+    return result;
+  }
+
+  /// Copies a string into the arena and returns a reference to it.
+  StringRef AddString(const char* data, uint32_t size) {
+    uint8_t* ptr = Allocate(size);
+    std::memcpy(ptr, data, size);
+    return StringRef(reinterpret_cast<const char*>(ptr), size);
+  }
+  StringRef AddString(const StringRef& str) {
+    return AddString(str.data, str.size);
+  }
+
+  /// Frees all chunks.
+  void Reset() {
+    chunks_.clear();
+    used_ = 0;
+    total_used_ = 0;
+    total_capacity_ = 0;
+  }
+
+  /// Bytes handed out since construction/reset.
+  size_t TotalUsed() const { return total_used_; }
+  /// Bytes reserved from the system allocator.
+  size_t TotalCapacity() const { return total_capacity_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<uint8_t[]> data;
+    size_t capacity;
+  };
+
+  void NewChunk(size_t min_size) {
+    size_t cap = chunks_.empty() ? initial_capacity_
+                                 : chunks_.back().capacity * 2;
+    if (cap < min_size) cap = min_size;
+    chunks_.push_back(Chunk{std::make_unique<uint8_t[]>(cap), cap});
+    total_capacity_ += cap;
+    used_ = 0;
+  }
+
+  size_t initial_capacity_;
+  std::vector<Chunk> chunks_;
+  size_t used_ = 0;
+  size_t total_used_ = 0;
+  size_t total_capacity_ = 0;
+};
+
+}  // namespace mallard
+
+#endif  // MALLARD_COMMON_ARENA_H_

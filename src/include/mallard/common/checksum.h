@@ -1,0 +1,16 @@
+#ifndef MALLARD_COMMON_CHECKSUM_H_
+#define MALLARD_COMMON_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mallard {
+
+/// CRC32-C (Castagnoli) over a byte range. Every 256KB storage block and
+/// every WAL frame is protected by this checksum so that silent bit flips
+/// in persistent storage are detected on read (paper section 3).
+uint32_t Crc32c(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace mallard
+
+#endif  // MALLARD_COMMON_CHECKSUM_H_

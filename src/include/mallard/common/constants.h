@@ -1,0 +1,46 @@
+#ifndef MALLARD_COMMON_CONSTANTS_H_
+#define MALLARD_COMMON_CONSTANTS_H_
+
+#include <cstdint>
+
+namespace mallard {
+
+/// Number of rows processed per vector, the unit of the vectorized
+/// "Vector Volcano" execution model (paper section 6).
+constexpr uint64_t kVectorSize = 2048;
+
+/// Size of one storage block in the single-file database format.
+/// The paper specifies fixed-size blocks of 256KB that are read and
+/// written in their entirety (paper section 6).
+constexpr uint64_t kBlockSize = 256 * 1024;
+
+/// Number of rows per row group. A row group is the unit of column
+/// partitioning, zone maps and MVCC version bookkeeping. Kept small so
+/// tests exercise multi-row-group code paths.
+constexpr uint64_t kRowGroupSize = 8192;
+
+/// Row identifier type used by DML operators (row id = row group start
+/// offset + offset within row group).
+using row_t = int64_t;
+
+/// Index type used for offsets and cardinalities throughout the system.
+using idx_t = uint64_t;
+
+/// Sentinel for an invalid index.
+constexpr idx_t kInvalidIndex = static_cast<idx_t>(-1);
+
+/// Transaction ids for uncommitted transactions start at this base so any
+/// uncommitted id compares greater than every possible commit id
+/// (HyPer-style MVCC, paper section 6).
+constexpr uint64_t kTransactionIdBase = uint64_t(1) << 62;
+
+/// Version marker for rows whose inserting transaction aborted; such rows
+/// are never visible to anyone.
+constexpr uint64_t kAbortedVersion = ~uint64_t(0);
+
+/// Version value meaning "not deleted" in row version info.
+constexpr uint64_t kNotDeleted = 0;
+
+}  // namespace mallard
+
+#endif  // MALLARD_COMMON_CONSTANTS_H_

@@ -1,0 +1,37 @@
+#ifndef MALLARD_COMMON_HASH_H_
+#define MALLARD_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace mallard {
+
+/// 64-bit finalizer (murmur3-style); good avalanche for hash tables.
+inline uint64_t HashInt(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// FNV-1a over a byte range, finalized for avalanche.
+inline uint64_t HashBytes(const void* data, size_t len) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; i++) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return HashInt(hash);
+}
+
+/// Combines two hashes (boost-style).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+}
+
+}  // namespace mallard
+
+#endif  // MALLARD_COMMON_HASH_H_

@@ -1,0 +1,55 @@
+#ifndef MALLARD_COMMON_RANDOM_H_
+#define MALLARD_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace mallard {
+
+/// Deterministic 64-bit PRNG (splitmix64 seeding + xorshift128+ core).
+/// Used by the TPC-H generator, the failure-model Monte Carlo and all
+/// property tests so results are reproducible across runs.
+class RandomEngine {
+ public:
+  explicit RandomEngine(uint64_t seed = 0x853c49e6748fea9bULL) {
+    // splitmix64 to expand the seed into two non-zero state words.
+    for (int i = 0; i < 2; i++) {
+      seed += 0x9E3779B97f4A7C15ULL;
+      uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      state_[i] = z ^ (z >> 31);
+    }
+    if (state_[0] == 0 && state_[1] == 0) state_[0] = 1;
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t x = state_[0];
+    const uint64_t y = state_[1];
+    state_[0] = y;
+    x ^= x << 23;
+    state_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return state_[1] + y;
+  }
+
+  /// Uniform in [min, max] inclusive.
+  int64_t NextInt(int64_t min, int64_t max) {
+    return min + static_cast<int64_t>(Next() %
+                                      static_cast<uint64_t>(max - min + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_[2];
+};
+
+}  // namespace mallard
+
+#endif  // MALLARD_COMMON_RANDOM_H_

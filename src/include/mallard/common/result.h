@@ -1,0 +1,52 @@
+#ifndef MALLARD_COMMON_RESULT_H_
+#define MALLARD_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "mallard/common/status.h"
+
+namespace mallard {
+
+/// Either a value of type T or an error Status. Used as the return type of
+/// fallible operations that produce a value.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value; mirrors absl::StatusOr ergonomics.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status. The status must be non-OK.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  T& operator*() & { return *value_; }
+  const T& operator*() const& { return *value_; }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error.
+#define MALLARD_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#define MALLARD_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define MALLARD_ASSIGN_OR_RETURN_NAME(a, b) MALLARD_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define MALLARD_ASSIGN_OR_RETURN(lhs, expr) \
+  MALLARD_ASSIGN_OR_RETURN_IMPL(            \
+      MALLARD_ASSIGN_OR_RETURN_NAME(_result_tmp_, __LINE__), lhs, expr)
+
+}  // namespace mallard
+
+#endif  // MALLARD_COMMON_RESULT_H_

@@ -1,0 +1,93 @@
+#ifndef MALLARD_COMMON_SERIALIZER_H_
+#define MALLARD_COMMON_SERIALIZER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "mallard/common/status.h"
+
+namespace mallard {
+
+/// Append-only binary writer used for WAL records, catalog serialization
+/// and the network protocol. All integers are little-endian fixed width.
+class BinaryWriter {
+ public:
+  void WriteU8(uint8_t v) { Append(&v, 1); }
+  void WriteU32(uint32_t v) { Append(&v, 4); }
+  void WriteU64(uint64_t v) { Append(&v, 8); }
+  void WriteI32(int32_t v) { Append(&v, 4); }
+  void WriteI64(int64_t v) { Append(&v, 8); }
+  void WriteDouble(double v) { Append(&v, 8); }
+  void WriteBool(bool v) { WriteU8(v ? 1 : 0); }
+  void WriteString(const std::string& s) {
+    WriteU32(static_cast<uint32_t>(s.size()));
+    Append(s.data(), s.size());
+  }
+  void WriteBytes(const void* data, size_t len) { Append(data, len); }
+
+  const std::vector<uint8_t>& data() const { return data_; }
+  size_t size() const { return data_.size(); }
+  void Clear() { data_.clear(); }
+
+ private:
+  void Append(const void* src, size_t len) {
+    size_t old = data_.size();
+    data_.resize(old + len);
+    std::memcpy(data_.data() + old, src, len);
+  }
+  std::vector<uint8_t> data_;
+};
+
+/// Bounds-checked binary reader over a byte range (non-owning).
+class BinaryReader {
+ public:
+  BinaryReader(const void* data, size_t len)
+      : data_(static_cast<const uint8_t*>(data)), len_(len) {}
+
+  Status ReadU8(uint8_t* out) { return Read(out, 1); }
+  Status ReadU32(uint32_t* out) { return Read(out, 4); }
+  Status ReadU64(uint64_t* out) { return Read(out, 8); }
+  Status ReadI32(int32_t* out) { return Read(out, 4); }
+  Status ReadI64(int64_t* out) { return Read(out, 8); }
+  Status ReadDouble(double* out) { return Read(out, 8); }
+  Status ReadBool(bool* out) {
+    uint8_t v;
+    MALLARD_RETURN_NOT_OK(ReadU8(&v));
+    *out = v != 0;
+    return Status::OK();
+  }
+  Status ReadString(std::string* out) {
+    uint32_t len;
+    MALLARD_RETURN_NOT_OK(ReadU32(&len));
+    if (pos_ + len > len_) {
+      return Status::Corruption("serialized string exceeds buffer");
+    }
+    out->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return Status::OK();
+  }
+  Status ReadBytes(void* out, size_t len) { return Read(out, len); }
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return len_ - pos_; }
+  bool AtEnd() const { return pos_ >= len_; }
+
+ private:
+  Status Read(void* out, size_t len) {
+    if (pos_ + len > len_) {
+      return Status::Corruption("read past end of serialized buffer");
+    }
+    std::memcpy(out, data_ + pos_, len);
+    pos_ += len;
+    return Status::OK();
+  }
+  const uint8_t* data_;
+  size_t len_;
+  size_t pos_ = 0;
+};
+
+}  // namespace mallard
+
+#endif  // MALLARD_COMMON_SERIALIZER_H_

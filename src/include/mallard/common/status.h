@@ -1,0 +1,101 @@
+#ifndef MALLARD_COMMON_STATUS_H_
+#define MALLARD_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace mallard {
+
+/// Error category carried by a Status. Mirrors the failure domains of an
+/// embedded analytical database: user errors (parser/binder/catalog),
+/// runtime errors (IO, out-of-memory), and the resilience-specific
+/// corruption category used when checksums or memory tests fail.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kIOError,
+  kCorruption,
+  kTransactionConflict,
+  kTransactionContext,
+  kNotImplemented,
+  kInternal,
+  kOutOfMemory,
+  kParser,
+  kBinder,
+  kCatalog,
+  kConstraint,
+  kHardwareFailure,
+  kInterrupted,
+};
+
+/// Returns a human-readable name for a status code ("IO error", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Operation outcome: either OK or an error code plus message. Mallard
+/// follows the Status/Result idiom (no exceptions cross API boundaries).
+/// The OK state is represented by a null state pointer so that returning
+/// Status::OK() is free of allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&& other) = default;
+  Status& operator=(Status&& other) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg);
+  static Status OutOfRange(std::string msg);
+  static Status NotFound(std::string msg);
+  static Status AlreadyExists(std::string msg);
+  static Status IOError(std::string msg);
+  static Status Corruption(std::string msg);
+  static Status TransactionConflict(std::string msg);
+  static Status TransactionContext(std::string msg);
+  static Status NotImplemented(std::string msg);
+  static Status Internal(std::string msg);
+  static Status OutOfMemory(std::string msg);
+  static Status Parser(std::string msg);
+  static Status Binder(std::string msg);
+  static Status Catalog(std::string msg);
+  static Status Constraint(std::string msg);
+  static Status HardwareFailure(std::string msg);
+  static Status Interrupted(std::string msg);
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  /// The error message; empty for OK statuses.
+  const std::string& message() const;
+  /// "<code name>: <message>", or "OK".
+  std::string ToString() const;
+
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsTransactionConflict() const {
+    return code() == StatusCode::kTransactionConflict;
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::unique_ptr<State> state_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define MALLARD_RETURN_NOT_OK(expr)            \
+  do {                                         \
+    ::mallard::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+}  // namespace mallard
+
+#endif  // MALLARD_COMMON_STATUS_H_

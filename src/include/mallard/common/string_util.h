@@ -1,0 +1,31 @@
+#ifndef MALLARD_COMMON_STRING_UTIL_H_
+#define MALLARD_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace mallard {
+
+/// Assorted string helpers used across the code base.
+class StringUtil {
+ public:
+  static std::string Upper(const std::string& str);
+  static std::string Lower(const std::string& str);
+  static bool CIEquals(const std::string& a, const std::string& b);
+  static std::vector<std::string> Split(const std::string& str, char sep);
+  static std::string Join(const std::vector<std::string>& parts,
+                          const std::string& sep);
+  static std::string Trim(const std::string& str);
+  static bool StartsWith(const std::string& str, const std::string& prefix);
+  static bool EndsWith(const std::string& str, const std::string& suffix);
+  /// SQL LIKE pattern match with '%' and '_' wildcards.
+  static bool Like(const char* str, size_t str_len, const char* pattern,
+                   size_t pattern_len);
+  /// printf-style formatting into a std::string.
+  static std::string Format(const char* fmt, ...)
+      __attribute__((format(printf, 1, 2)));
+};
+
+}  // namespace mallard
+
+#endif  // MALLARD_COMMON_STRING_UTIL_H_

@@ -1,0 +1,82 @@
+#ifndef MALLARD_COMMON_TYPES_H_
+#define MALLARD_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "mallard/common/constants.h"
+#include "mallard/common/result.h"
+
+namespace mallard {
+
+/// Physical/logical type of a column or expression. Mallard uses a flat
+/// type system without parameterized types; DECIMAL workloads map to
+/// kDouble (documented substitution, see DESIGN.md).
+enum class TypeId : uint8_t {
+  kInvalid = 0,
+  kBoolean,    // int8_t storage, 0/1
+  kInteger,    // int32_t
+  kBigInt,     // int64_t
+  kDouble,     // double
+  kVarchar,    // StringRef into a string heap
+  kDate,       // int32_t days since 1970-01-01
+  kTimestamp,  // int64_t microseconds since 1970-01-01 00:00:00
+};
+
+/// Returns the SQL-facing name of a type ("INTEGER", "VARCHAR", ...).
+const char* TypeIdToString(TypeId type);
+
+/// Parses a SQL type name; accepts common aliases (INT, TEXT, FLOAT8...).
+Result<TypeId> TypeIdFromString(const std::string& name);
+
+/// Returns the width in bytes of a type's fixed-size in-vector
+/// representation (VARCHAR entries are StringRef, 16 bytes).
+idx_t TypeSize(TypeId type);
+
+/// True for INTEGER, BIGINT and DOUBLE.
+bool TypeIsNumeric(TypeId type);
+
+/// True if values of `from` can be cast to `to` (possibly lossy).
+bool TypeCanCast(TypeId from, TypeId to);
+
+/// Returns the wider of two numeric types for binary arithmetic
+/// (INTEGER < BIGINT < DOUBLE); kInvalid if not both numeric.
+TypeId MaxNumericType(TypeId left, TypeId right);
+
+/// Reference to a string stored in an external heap (arena). The
+/// referenced bytes must outlive the StringRef; vectors tie string
+/// lifetimes to their backing buffer so chunks can be handed to clients
+/// without copying (paper section 5, transfer efficiency).
+struct StringRef {
+  const char* data = nullptr;
+  uint32_t size = 0;
+
+  StringRef() = default;
+  StringRef(const char* data_in, uint32_t size_in)
+      : data(data_in), size(size_in) {}
+
+  std::string ToString() const { return std::string(data, size); }
+  bool operator==(const StringRef& other) const;
+  bool operator<(const StringRef& other) const;
+};
+
+/// Date helpers: dates are stored as int32 days since the Unix epoch.
+namespace date {
+/// Converts (year, month, day) to days since epoch. Valid for years
+/// 1700..2400 (proleptic Gregorian).
+int32_t FromYMD(int32_t year, int32_t month, int32_t day);
+/// Splits days-since-epoch into (year, month, day).
+void ToYMD(int32_t days, int32_t* year, int32_t* month, int32_t* day);
+/// Parses "YYYY-MM-DD".
+Result<int32_t> FromString(const std::string& str);
+/// Formats as "YYYY-MM-DD".
+std::string ToString(int32_t days);
+/// Extracts the year / month / day component.
+int32_t Year(int32_t days);
+int32_t Month(int32_t days);
+int32_t Day(int32_t days);
+}  // namespace date
+
+}  // namespace mallard
+
+#endif  // MALLARD_COMMON_TYPES_H_

@@ -1,0 +1,70 @@
+#ifndef MALLARD_COMPRESSION_CODEC_H_
+#define MALLARD_COMPRESSION_CODEC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mallard/common/result.h"
+
+namespace mallard {
+
+/// Compression intensity, the knob the reactive governor turns as
+/// application memory pressure rises (paper section 4 / Figure 1).
+enum class CompressionLevel : uint8_t {
+  kNone = 0,
+  kLight = 1,  // byte RLE: cheap CPU, modest ratio
+  kHeavy = 2,  // LZ77: more CPU, better ratio
+};
+
+const char* CompressionLevelToString(CompressionLevel level);
+
+/// A block compressor. Implementations must be exact inverses
+/// (Decompress(Compress(x)) == x for all x).
+class Codec {
+ public:
+  virtual ~Codec() = default;
+  virtual std::string name() const = 0;
+  /// Compresses `len` bytes into `out` (replaced, not appended).
+  virtual void Compress(const uint8_t* data, size_t len,
+                        std::vector<uint8_t>* out) const = 0;
+  /// Decompresses into `out`, which is resized to the original length.
+  virtual Status Decompress(const uint8_t* data, size_t len,
+                            std::vector<uint8_t>* out) const = 0;
+};
+
+/// Byte-oriented run-length encoding ("light").
+class RleCodec final : public Codec {
+ public:
+  std::string name() const override { return "rle"; }
+  void Compress(const uint8_t* data, size_t len,
+                std::vector<uint8_t>* out) const override;
+  Status Decompress(const uint8_t* data, size_t len,
+                    std::vector<uint8_t>* out) const override;
+};
+
+/// LZ77 with a 64KB window and greedy hash-chain matching ("heavy").
+class LzCodec final : public Codec {
+ public:
+  std::string name() const override { return "lz"; }
+  void Compress(const uint8_t* data, size_t len,
+                std::vector<uint8_t>* out) const override;
+  Status Decompress(const uint8_t* data, size_t len,
+                    std::vector<uint8_t>* out) const override;
+};
+
+/// Returns the codec singleton for a level; nullptr for kNone.
+const Codec* CodecForLevel(CompressionLevel level);
+
+/// Frame-of-reference bit-packing for integer arrays; used by benches to
+/// characterize lightweight columnar compression.
+namespace bitpack {
+/// Packs `count` int64 values; format: [min i64][bits u8][packed...].
+void Pack(const int64_t* values, size_t count, std::vector<uint8_t>* out);
+Status Unpack(const uint8_t* data, size_t len, std::vector<int64_t>* out);
+}  // namespace bitpack
+
+}  // namespace mallard
+
+#endif  // MALLARD_COMPRESSION_CODEC_H_

@@ -1,0 +1,65 @@
+#ifndef MALLARD_ETL_CSV_H_
+#define MALLARD_ETL_CSV_H_
+
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mallard/catalog/column_definition.h"
+#include "mallard/common/result.h"
+#include "mallard/vector/data_chunk.h"
+
+namespace mallard {
+
+/// CSV parsing options.
+struct CsvOptions {
+  char delimiter = ',';
+  bool header = true;
+  std::string null_string = "";  // values equal to this parse as NULL
+};
+
+/// Streaming CSV reader with schema sniffing. Supports the paper's ETL
+/// story (section 2): the database scans existing CSV files directly,
+/// reshapes the result and appends it to persistent tables.
+class CsvReader {
+ public:
+  /// Opens the file and sniffs column names/types from the header and the
+  /// first 100 data rows (type lattice: BIGINT -> DOUBLE -> DATE ->
+  /// VARCHAR).
+  static Result<std::unique_ptr<CsvReader>> Open(const std::string& path,
+                                                 CsvOptions options = {});
+
+  const std::vector<ColumnDefinition>& columns() const { return columns_; }
+  std::vector<TypeId> ColumnTypes() const;
+
+  /// Reads the next up-to-kVectorSize rows into `chunk` (initialized with
+  /// ColumnTypes()). Returns rows read; 0 = end of file.
+  Result<idx_t> ReadChunk(DataChunk* chunk);
+
+ private:
+  CsvReader(std::string path, CsvOptions options)
+      : path_(std::move(path)), options_(options) {}
+
+  Status Initialize();
+  bool ReadRecord(std::vector<std::string>* fields, bool* saw_any);
+
+  std::string path_;
+  CsvOptions options_;
+  std::ifstream stream_;
+  std::vector<ColumnDefinition> columns_;
+  idx_t line_number_ = 0;
+};
+
+/// Writes a result table to CSV.
+class CsvWriter {
+ public:
+  static Status Write(const std::string& path,
+                      const std::vector<std::string>& column_names,
+                      const std::vector<DataChunk*>& chunks,
+                      CsvOptions options = {});
+};
+
+}  // namespace mallard
+
+#endif  // MALLARD_ETL_CSV_H_

@@ -1,0 +1,41 @@
+#ifndef MALLARD_EXECUTION_AGGREGATE_FUNCTION_H_
+#define MALLARD_EXECUTION_AGGREGATE_FUNCTION_H_
+
+#include "mallard/expression/bound_expression.h"
+
+namespace mallard {
+
+/// Accumulator for one aggregate over one group. A single struct covers
+/// all aggregate kinds; Finalize interprets it per function.
+struct AggState {
+  int64_t count = 0;
+  int64_t isum = 0;
+  double dsum = 0.0;
+  Value extreme;  // MIN/MAX carrier
+  bool seen = false;
+};
+
+/// Shared aggregate semantics used by the vectorized hash aggregate, the
+/// ungrouped aggregate and the tuple-at-a-time baseline engine.
+class AggregateFunction {
+ public:
+  /// Result type of `type` applied to an argument of `arg_type`.
+  static TypeId ResolveType(AggType type, TypeId arg_type);
+
+  /// Folds row `row` of `arg` into `state` (`arg` null for COUNT(*)).
+  static void Update(AggType type, const Vector* arg, idx_t row,
+                     AggState* state);
+
+  /// Boxed-value update used by the baseline row engine.
+  static void UpdateValue(AggType type, const Value& v, AggState* state);
+
+  /// Produces the aggregate result.
+  static Value Finalize(AggType type, TypeId result_type,
+                        const AggState& state);
+
+  static const char* Name(AggType type);
+};
+
+}  // namespace mallard
+
+#endif  // MALLARD_EXECUTION_AGGREGATE_FUNCTION_H_

@@ -1,0 +1,67 @@
+#ifndef MALLARD_EXECUTION_CHUNK_COLLECTION_H_
+#define MALLARD_EXECUTION_CHUNK_COLLECTION_H_
+
+#include <memory>
+#include <vector>
+
+#include "mallard/compression/codec.h"
+#include "mallard/vector/chunk_serde.h"
+#include "mallard/vector/data_chunk.h"
+
+namespace mallard {
+
+class ResourceGovernor;
+
+/// Materialized intermediate result: chunks serialized into segments that
+/// are individually compressed with the governor-selected codec. This is
+/// the "compress temporary structures in memory" lever of paper section 4
+/// (Figure 1): under application memory pressure the engine trades CPU
+/// (codec work) for a smaller in-memory footprint.
+class ChunkCollection {
+ public:
+  /// `governor` may be null (no compression).
+  ChunkCollection(std::vector<TypeId> types, ResourceGovernor* governor);
+
+  const std::vector<TypeId>& types() const { return types_; }
+  idx_t count() const { return count_; }
+
+  Status Append(const DataChunk& chunk);
+  /// Seals the currently buffered segment; call when ingestion is done.
+  void Finalize();
+
+  struct ScanState {
+    idx_t segment_index = 0;
+    size_t offset = 0;
+    std::vector<uint8_t> current;  // decompressed segment payload
+    bool loaded = false;
+  };
+
+  /// Sequential scan; `out` must be initialized with types(). Returns
+  /// false (cardinality 0) at the end.
+  Status Scan(ScanState* state, DataChunk* out) const;
+
+  /// Bytes held in memory (after compression).
+  uint64_t MemoryBytes() const;
+  /// Bytes before compression.
+  uint64_t RawBytes() const { return raw_bytes_; }
+
+ private:
+  struct Segment {
+    std::vector<uint8_t> data;
+    CompressionLevel level = CompressionLevel::kNone;
+    uint64_t raw_size = 0;
+  };
+
+  void SealSegment();
+
+  std::vector<TypeId> types_;
+  ResourceGovernor* governor_;
+  std::vector<Segment> segments_;
+  BinaryWriter buffer_;  // currently open segment (uncompressed)
+  idx_t count_ = 0;
+  uint64_t raw_bytes_ = 0;
+};
+
+}  // namespace mallard
+
+#endif  // MALLARD_EXECUTION_CHUNK_COLLECTION_H_

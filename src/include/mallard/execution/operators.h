@@ -1,0 +1,100 @@
+#ifndef MALLARD_EXECUTION_OPERATORS_H_
+#define MALLARD_EXECUTION_OPERATORS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mallard/execution/physical_operator.h"
+#include "mallard/expression/bound_expression.h"
+#include "mallard/storage/table/data_table.h"
+
+namespace mallard {
+
+/// Sequential scan over a DataTable with projection pushdown (column ids)
+/// and zone-map filters.
+class PhysicalTableScan final : public PhysicalOperator {
+ public:
+  PhysicalTableScan(DataTable* table, std::vector<idx_t> column_ids,
+                    std::vector<TableFilter> filters,
+                    std::vector<TypeId> types);
+  Status GetChunk(ExecutionContext* context, DataChunk* out) override;
+  std::string name() const override;
+
+ private:
+  DataTable* table_;
+  std::vector<idx_t> column_ids_;
+  std::vector<TableFilter> filters_;
+  TableScanState state_;
+  bool initialized_ = false;
+};
+
+/// Filters rows by a boolean predicate, compacting survivors.
+class PhysicalFilter final : public PhysicalOperator {
+ public:
+  PhysicalFilter(ExprPtr predicate, std::unique_ptr<PhysicalOperator> child);
+  Status GetChunk(ExecutionContext* context, DataChunk* out) override;
+  std::string name() const override;
+
+ private:
+  ExprPtr predicate_;
+  DataChunk child_chunk_;
+};
+
+/// Computes one output vector per expression.
+class PhysicalProjection final : public PhysicalOperator {
+ public:
+  PhysicalProjection(std::vector<ExprPtr> expressions,
+                     std::unique_ptr<PhysicalOperator> child);
+  Status GetChunk(ExecutionContext* context, DataChunk* out) override;
+  std::string name() const override;
+
+ private:
+  std::vector<ExprPtr> expressions_;
+  DataChunk child_chunk_;
+};
+
+/// LIMIT / OFFSET.
+class PhysicalLimit final : public PhysicalOperator {
+ public:
+  PhysicalLimit(idx_t limit, idx_t offset,
+                std::unique_ptr<PhysicalOperator> child);
+  Status GetChunk(ExecutionContext* context, DataChunk* out) override;
+  std::string name() const override;
+
+ private:
+  idx_t limit_;
+  idx_t offset_;
+  idx_t skipped_ = 0;
+  idx_t produced_ = 0;
+  DataChunk child_chunk_;
+};
+
+/// Constant VALUES rows.
+class PhysicalValues final : public PhysicalOperator {
+ public:
+  PhysicalValues(std::vector<std::vector<Value>> rows,
+                 std::vector<TypeId> types);
+  Status GetChunk(ExecutionContext* context, DataChunk* out) override;
+  std::string name() const override;
+
+ private:
+  std::vector<std::vector<Value>> rows_;
+  idx_t position_ = 0;
+};
+
+/// Produces nothing (planner shortcut for provably empty results).
+class PhysicalEmptyResult final : public PhysicalOperator {
+ public:
+  explicit PhysicalEmptyResult(std::vector<TypeId> types)
+      : PhysicalOperator(std::move(types)) {}
+  Status GetChunk(ExecutionContext*, DataChunk* out) override {
+    out->Reset();
+    return Status::OK();
+  }
+  std::string name() const override { return "EMPTY_RESULT"; }
+};
+
+}  // namespace mallard
+
+#endif  // MALLARD_EXECUTION_OPERATORS_H_

@@ -1,0 +1,60 @@
+#ifndef MALLARD_EXECUTION_PHYSICAL_AGGREGATE_H_
+#define MALLARD_EXECUTION_PHYSICAL_AGGREGATE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mallard/execution/aggregate_function.h"
+#include "mallard/execution/physical_operator.h"
+#include "mallard/execution/row_codec.h"
+
+namespace mallard {
+
+/// Aggregation without GROUP BY: exactly one output row.
+class PhysicalUngroupedAggregate final : public PhysicalOperator {
+ public:
+  PhysicalUngroupedAggregate(std::vector<BoundAggregate> aggregates,
+                             std::unique_ptr<PhysicalOperator> child);
+  Status GetChunk(ExecutionContext* context, DataChunk* out) override;
+  std::string name() const override;
+
+ private:
+  std::vector<BoundAggregate> aggregates_;
+  DataChunk child_chunk_;
+  bool done_ = false;
+};
+
+/// Hash aggregation: output columns are the group keys followed by the
+/// aggregates. Groups are keyed by an order-preserving encoding of the
+/// group expressions.
+class PhysicalHashAggregate final : public PhysicalOperator {
+ public:
+  PhysicalHashAggregate(std::vector<ExprPtr> groups,
+                        std::vector<BoundAggregate> aggregates,
+                        std::unique_ptr<PhysicalOperator> child);
+  Status GetChunk(ExecutionContext* context, DataChunk* out) override;
+  std::string name() const override;
+
+  /// Number of distinct groups seen (stats for tests/benches).
+  idx_t GroupCount() const { return group_rows_.size(); }
+
+ private:
+  Status Sink(ExecutionContext* context);
+
+  std::vector<ExprPtr> groups_;
+  std::vector<BoundAggregate> aggregates_;
+  DataChunk child_chunk_;
+  DataChunk group_chunk_;  // evaluated group expressions
+
+  std::unordered_map<std::string, idx_t> group_map_;
+  std::vector<std::vector<Value>> group_rows_;
+  std::vector<std::vector<AggState>> states_;
+  bool sunk_ = false;
+  idx_t output_position_ = 0;
+};
+
+}  // namespace mallard
+
+#endif  // MALLARD_EXECUTION_PHYSICAL_AGGREGATE_H_

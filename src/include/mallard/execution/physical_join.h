@@ -1,0 +1,133 @@
+#ifndef MALLARD_EXECUTION_PHYSICAL_JOIN_H_
+#define MALLARD_EXECUTION_PHYSICAL_JOIN_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mallard/execution/chunk_collection.h"
+#include "mallard/execution/external_sort.h"
+#include "mallard/execution/physical_operator.h"
+#include "mallard/execution/row_codec.h"
+#include "mallard/expression/bound_expression.h"
+#include "mallard/storage/buffer_manager.h"
+
+namespace mallard {
+
+/// Join types supported by the planner.
+enum class JoinType : uint8_t { kInner, kLeft, kSemi, kAnti };
+
+/// One equi-join condition: left-side expression == right-side expression.
+struct JoinCondition {
+  ExprPtr left;
+  ExprPtr right;
+};
+
+/// In-memory hash join: builds on the right child, probes with the left.
+/// Fast but memory-hungry — the RAM-for-CPU side of the trade-off the
+/// reactive governor arbitrates (paper section 4). Build rows are stored
+/// in buffer-manager segments so the memory cost is visible to the
+/// governor's accounting.
+class PhysicalHashJoin final : public PhysicalOperator {
+ public:
+  PhysicalHashJoin(JoinType join_type, std::vector<JoinCondition> conditions,
+                   std::unique_ptr<PhysicalOperator> left,
+                   std::unique_ptr<PhysicalOperator> right);
+  Status GetChunk(ExecutionContext* context, DataChunk* out) override;
+  std::string name() const override;
+
+  uint64_t BuildBytes() const { return build_bytes_; }
+
+ private:
+  Status Build(ExecutionContext* context);
+  Status EvaluateKeys(const std::vector<ExprPtr>& exprs,
+                      const DataChunk& input, DataChunk* keys);
+
+  JoinType join_type_;
+  std::vector<JoinCondition> conditions_;
+  std::vector<TypeId> right_types_;
+  RowCodec build_codec_;
+
+  // Build storage: encoded rows in pinned 1MB segments.
+  std::vector<BufferHandle> segments_;
+  uint64_t segment_used_ = 0;
+  std::unordered_map<std::string, std::vector<uint64_t>> table_;  // key -> refs
+  uint64_t build_bytes_ = 0;
+  bool built_ = false;
+
+  // Probe state.
+  DataChunk probe_chunk_;
+  DataChunk probe_keys_;
+  DataChunk build_row_scratch_;
+  idx_t probe_position_ = 0;
+  const std::vector<uint64_t>* current_matches_ = nullptr;
+  idx_t match_position_ = 0;
+  bool probe_exhausted_ = false;
+};
+
+/// Sort-merge join over both children using the out-of-core external
+/// sort: the RAM-light, CPU/IO-heavy alternative (paper section 4).
+/// Supports inner and left joins on equality keys.
+class PhysicalMergeJoin final : public PhysicalOperator {
+ public:
+  PhysicalMergeJoin(JoinType join_type, std::vector<JoinCondition> conditions,
+                    std::unique_ptr<PhysicalOperator> left,
+                    std::unique_ptr<PhysicalOperator> right);
+  Status GetChunk(ExecutionContext* context, DataChunk* out) override;
+  std::string name() const override;
+
+ private:
+  Status SortInputs(ExecutionContext* context);
+  Status AdvanceLeft();
+  Status LoadNextRightGroup();
+
+  JoinType join_type_;
+  std::vector<JoinCondition> conditions_;
+  std::vector<TypeId> left_types_;
+  std::vector<TypeId> right_types_;
+
+  std::unique_ptr<ExternalSort> left_sort_;
+  std::unique_ptr<ExternalSort> right_sort_;
+  bool sorted_ = false;
+
+  // Left cursor.
+  DataChunk left_chunk_;
+  DataChunk left_keys_;
+  idx_t left_position_ = 0;
+  bool left_done_ = false;
+  // Right cursor + current equal-key group.
+  DataChunk right_chunk_;
+  DataChunk right_keys_;
+  idx_t right_position_ = 0;
+  bool right_done_ = false;
+  std::string group_key_;
+  std::vector<std::vector<Value>> group_rows_;
+  bool group_valid_ = false;
+  idx_t emit_group_index_ = 0;
+  bool emitting_matches_ = false;
+};
+
+/// Cross product with the right side materialized in a (governor-
+/// compressed) chunk collection. Non-equi joins lower to this + filter.
+class PhysicalCrossProduct final : public PhysicalOperator {
+ public:
+  PhysicalCrossProduct(std::unique_ptr<PhysicalOperator> left,
+                       std::unique_ptr<PhysicalOperator> right);
+  Status GetChunk(ExecutionContext* context, DataChunk* out) override;
+  std::string name() const override;
+
+ private:
+  std::unique_ptr<ChunkCollection> right_data_;
+  DataChunk left_chunk_;
+  DataChunk right_chunk_;
+  ChunkCollection::ScanState right_scan_;
+  idx_t left_position_ = 0;
+  idx_t right_position_ = 0;
+  bool materialized_ = false;
+  bool left_done_ = false;
+};
+
+}  // namespace mallard
+
+#endif  // MALLARD_EXECUTION_PHYSICAL_JOIN_H_

@@ -1,0 +1,64 @@
+#ifndef MALLARD_EXECUTION_PHYSICAL_OPERATOR_H_
+#define MALLARD_EXECUTION_PHYSICAL_OPERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mallard/common/result.h"
+#include "mallard/vector/data_chunk.h"
+
+namespace mallard {
+
+class Transaction;
+class BufferManager;
+class ResourceGovernor;
+
+/// Per-query execution state threaded through the operator tree.
+struct ExecutionContext {
+  Transaction* txn = nullptr;
+  BufferManager* buffers = nullptr;
+  ResourceGovernor* governor = nullptr;
+};
+
+/// Base class of the "Vector Volcano" pull-based execution model (paper
+/// section 6): the consumer repeatedly pulls chunks from the root; an
+/// empty chunk signals completion. Operators recursively pull from their
+/// children.
+class PhysicalOperator {
+ public:
+  explicit PhysicalOperator(std::vector<TypeId> types)
+      : types_(std::move(types)) {}
+  virtual ~PhysicalOperator() = default;
+
+  PhysicalOperator(const PhysicalOperator&) = delete;
+  PhysicalOperator& operator=(const PhysicalOperator&) = delete;
+
+  /// Output column types of this operator.
+  const std::vector<TypeId>& types() const { return types_; }
+
+  /// Produces the next chunk into `out` (initialized with types()).
+  /// An output cardinality of 0 signals exhaustion.
+  virtual Status GetChunk(ExecutionContext* context, DataChunk* out) = 0;
+
+  virtual std::string name() const = 0;
+
+  std::vector<std::unique_ptr<PhysicalOperator>>& children() {
+    return children_;
+  }
+  PhysicalOperator* child(idx_t i) { return children_[i].get(); }
+  void AddChild(std::unique_ptr<PhysicalOperator> child) {
+    children_.push_back(std::move(child));
+  }
+
+  /// Renders the operator tree (EXPLAIN).
+  std::string ToString(int indent = 0) const;
+
+ protected:
+  std::vector<TypeId> types_;
+  std::vector<std::unique_ptr<PhysicalOperator>> children_;
+};
+
+}  // namespace mallard
+
+#endif  // MALLARD_EXECUTION_PHYSICAL_OPERATOR_H_

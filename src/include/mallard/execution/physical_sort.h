@@ -1,0 +1,48 @@
+#ifndef MALLARD_EXECUTION_PHYSICAL_SORT_H_
+#define MALLARD_EXECUTION_PHYSICAL_SORT_H_
+
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "mallard/execution/external_sort.h"
+#include "mallard/execution/physical_operator.h"
+
+namespace mallard {
+
+/// ORDER BY via the out-of-core external sort.
+class PhysicalOrderBy final : public PhysicalOperator {
+ public:
+  PhysicalOrderBy(std::vector<SortSpec> specs,
+                  std::unique_ptr<PhysicalOperator> child);
+  Status GetChunk(ExecutionContext* context, DataChunk* out) override;
+  std::string name() const override;
+
+ private:
+  std::vector<SortSpec> specs_;
+  std::unique_ptr<ExternalSort> sort_;
+  bool sorted_ = false;
+};
+
+/// ORDER BY + LIMIT with a bounded heap: memory O(limit), not O(input).
+class PhysicalTopN final : public PhysicalOperator {
+ public:
+  PhysicalTopN(std::vector<SortSpec> specs, idx_t limit, idx_t offset,
+               std::unique_ptr<PhysicalOperator> child);
+  Status GetChunk(ExecutionContext* context, DataChunk* out) override;
+  std::string name() const override;
+
+ private:
+  std::vector<SortSpec> specs_;
+  idx_t limit_;
+  idx_t offset_;
+  std::vector<std::pair<std::string, std::vector<uint8_t>>> heap_;
+  std::vector<std::vector<uint8_t>> sorted_rows_;
+  bool computed_ = false;
+  idx_t position_ = 0;
+};
+
+}  // namespace mallard
+
+#endif  // MALLARD_EXECUTION_PHYSICAL_SORT_H_

@@ -1,0 +1,50 @@
+#ifndef MALLARD_EXECUTION_ROW_CODEC_H_
+#define MALLARD_EXECUTION_ROW_CODEC_H_
+
+#include <string>
+#include <vector>
+
+#include "mallard/common/serializer.h"
+#include "mallard/vector/data_chunk.h"
+
+namespace mallard {
+
+/// A sort key specification: column index, direction, NULL placement.
+struct SortSpec {
+  idx_t column;
+  bool ascending = true;
+  bool nulls_first = true;
+};
+
+/// Row-wise serialization of chunk rows, used by the external sort, the
+/// join hash table and spill files.
+class RowCodec {
+ public:
+  explicit RowCodec(std::vector<TypeId> types) : types_(std::move(types)) {}
+
+  const std::vector<TypeId>& types() const { return types_; }
+
+  /// Appends row `row` of `chunk` to `out`.
+  void EncodeRow(const DataChunk& chunk, idx_t row,
+                 std::vector<uint8_t>* out) const;
+
+  /// Decodes one row from `data` into row `out_row` of `out`; returns the
+  /// number of bytes consumed.
+  size_t DecodeRow(const uint8_t* data, DataChunk* out, idx_t out_row) const;
+
+ private:
+  std::vector<TypeId> types_;
+};
+
+/// Encodes the sort key of one row as an order-preserving byte string:
+/// memcmp order of encodings == tuple order under the sort specs.
+/// Encoding per key column: [null marker byte][payload]; integers are
+/// sign-flipped big-endian, doubles use the IEEE total-order trick,
+/// strings are zero-escaped and zero-terminated. Descending columns are
+/// bitwise inverted.
+void EncodeSortKey(const DataChunk& chunk, idx_t row,
+                   const std::vector<SortSpec>& specs, std::string* key);
+
+}  // namespace mallard
+
+#endif  // MALLARD_EXECUTION_ROW_CODEC_H_

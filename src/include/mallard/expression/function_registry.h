@@ -1,0 +1,34 @@
+#ifndef MALLARD_EXPRESSION_FUNCTION_REGISTRY_H_
+#define MALLARD_EXPRESSION_FUNCTION_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "mallard/expression/bound_expression.h"
+
+namespace mallard {
+
+/// Built-in scalar function resolution. Given a function name and
+/// argument types, returns the implementation and result type (with the
+/// argument types possibly coerced by the binder beforehand).
+class FunctionRegistry {
+ public:
+  struct Resolution {
+    TypeId return_type;
+    ScalarFunctionImpl impl;
+    /// Types the arguments must be cast to before the call (same length
+    /// as the call's argument list).
+    std::vector<TypeId> arg_types;
+  };
+
+  /// Resolves `name(arg_types...)`; Binder error if unknown/mismatched.
+  static Result<Resolution> Resolve(const std::string& name,
+                                    const std::vector<TypeId>& arg_types);
+
+  /// Names of all registered functions (for error messages/docs).
+  static std::vector<std::string> FunctionNames();
+};
+
+}  // namespace mallard
+
+#endif  // MALLARD_EXPRESSION_FUNCTION_REGISTRY_H_

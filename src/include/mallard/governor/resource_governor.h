@@ -1,0 +1,116 @@
+#ifndef MALLARD_GOVERNOR_RESOURCE_GOVERNOR_H_
+#define MALLARD_GOVERNOR_RESOURCE_GOVERNOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "mallard/compression/codec.h"
+
+namespace mallard {
+
+class BufferManager;
+
+/// Where the DBMS learns about the host application's resource usage.
+/// In production this would sample the OS; benches plug in a synthetic
+/// application with a programmable timeline (documented substitution).
+class AppResourceMonitor {
+ public:
+  virtual ~AppResourceMonitor() = default;
+  /// Bytes of RAM the co-resident application currently uses.
+  virtual uint64_t AppMemoryBytes() = 0;
+  /// Application CPU utilization in [0, 1].
+  virtual double AppCpuUtilization() = 0;
+};
+
+/// Programmable monitor used by tests and benches.
+class SyntheticAppMonitor final : public AppResourceMonitor {
+ public:
+  uint64_t AppMemoryBytes() override { return memory_.load(); }
+  double AppCpuUtilization() override { return cpu_.load(); }
+  void SetMemory(uint64_t bytes) { memory_.store(bytes); }
+  void SetCpu(double utilization) { cpu_.store(utilization); }
+
+ private:
+  std::atomic<uint64_t> memory_{0};
+  std::atomic<double> cpu_{0.0};
+};
+
+/// Join algorithm choice the governor can make at physical-planning time
+/// (paper section 4: hash join trades RAM for CPU against out-of-core
+/// merge join).
+enum class JoinAlgorithm : uint8_t { kHash, kMerge };
+
+struct GovernorConfig {
+  /// Total memory envelope of the "machine" shared with the application.
+  uint64_t total_memory = 4ull << 30;
+  /// Hard cap on DBMS memory (paper: "manually set hard limits").
+  uint64_t dbms_memory_limit = 1ull << 30;
+  /// Maximum worker threads the DBMS may use.
+  int max_threads = 4;
+  /// Reactive mode: adapt compression/join/memory to app pressure.
+  bool reactive = false;
+};
+
+/// One recorded reactive decision (drives the Figure 1 bench output).
+struct GovernorSample {
+  uint64_t app_memory;
+  uint64_t dbms_memory;
+  double app_cpu;
+  CompressionLevel compression;
+  uint64_t effective_budget;
+};
+
+/// Resource governor: implements both the manual caps and the reactive
+/// resource-sharing scheme of paper section 4. All reads are cheap and
+/// thread-safe; the engine consults it at operator decision points.
+class ResourceGovernor {
+ public:
+  explicit ResourceGovernor(const GovernorConfig& config)
+      : config_(config) {}
+
+  void SetMonitor(AppResourceMonitor* monitor) { monitor_ = monitor; }
+  void SetBufferManager(BufferManager* buffers) { buffers_ = buffers; }
+  const GovernorConfig& config() const { return config_; }
+  void SetReactive(bool reactive) { config_.reactive = reactive; }
+  void SetMemoryLimit(uint64_t bytes);
+  void SetThreads(int threads) { config_.max_threads = threads; }
+  int max_threads() const { return config_.max_threads; }
+
+  /// Memory the DBMS should currently use for query intermediates.
+  /// Manual mode: the configured cap. Reactive mode: what is left of the
+  /// machine after the application's current usage (with 12.5% headroom),
+  /// clamped to the cap.
+  uint64_t EffectiveMemoryBudget() const;
+
+  /// Compression level for in-memory intermediates / spill buffers.
+  /// Reactive: none below 50% machine-memory pressure, light below 75%,
+  /// heavy above — the staircase of Figure 1.
+  CompressionLevel ChooseCompressionLevel() const;
+
+  /// Manual override used when reactive mode is off.
+  void SetCompressionLevel(CompressionLevel level) {
+    manual_compression_ = level;
+  }
+
+  /// Hash vs merge join: hash if the estimated build side fits in half
+  /// of the current budget, else out-of-core merge join.
+  JoinAlgorithm ChooseJoinAlgorithm(uint64_t estimated_build_bytes) const;
+
+  /// Records the current state; the Figure 1 bench polls this.
+  GovernorSample Sample() const;
+
+ private:
+  uint64_t DbmsMemoryUsed() const;
+
+  GovernorConfig config_;
+  AppResourceMonitor* monitor_ = nullptr;
+  BufferManager* buffers_ = nullptr;
+  CompressionLevel manual_compression_ = CompressionLevel::kNone;
+};
+
+}  // namespace mallard
+
+#endif  // MALLARD_GOVERNOR_RESOURCE_GOVERNOR_H_

@@ -1,0 +1,60 @@
+#ifndef MALLARD_MAIN_APPENDER_H_
+#define MALLARD_MAIN_APPENDER_H_
+
+#include <memory>
+#include <string>
+
+#include "mallard/main/database.h"
+
+namespace mallard {
+
+/// Bulk ingest API: the application fills chunks client-side and hands
+/// them to the engine — the reverse direction of the zero-copy transfer
+/// design (paper section 5: "the client application can fill chunks with
+/// its data; once filled, they are handed over and appended").
+class Appender {
+ public:
+  static Result<std::unique_ptr<Appender>> Create(Database* db,
+                                                  const std::string& table);
+  ~Appender();
+
+  Appender(const Appender&) = delete;
+  Appender& operator=(const Appender&) = delete;
+
+  /// Row-building API.
+  Appender& Append(bool value);
+  Appender& Append(int32_t value);
+  Appender& Append(int64_t value);
+  Appender& Append(double value);
+  Appender& Append(const char* value);
+  Appender& Append(const std::string& value);
+  Appender& Append(const Value& value);
+  Appender& AppendNull();
+  /// Completes the current row; auto-flushes full chunks.
+  Status EndRow();
+
+  /// Hands a caller-filled chunk directly to the engine (bulk path).
+  Status AppendChunk(const DataChunk& chunk);
+
+  /// Commits everything buffered so far in one transaction.
+  Status Flush();
+  /// Flush + stop accepting rows.
+  Status Close();
+
+  idx_t RowsAppended() const { return rows_appended_; }
+
+ private:
+  Appender(Database* db, DataTable* table);
+
+  Database* db_;
+  DataTable* table_;
+  DataChunk chunk_;
+  idx_t column_ = 0;
+  bool closed_ = false;
+  idx_t rows_appended_ = 0;
+  Status pending_error_;
+};
+
+}  // namespace mallard
+
+#endif  // MALLARD_MAIN_APPENDER_H_

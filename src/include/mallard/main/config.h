@@ -1,0 +1,29 @@
+#ifndef MALLARD_MAIN_CONFIG_H_
+#define MALLARD_MAIN_CONFIG_H_
+
+#include <cstdint>
+
+namespace mallard {
+
+/// Database configuration. The defaults implement the paper's
+/// "cooperation" stance (section 4): the embedded engine must never
+/// assume it owns the machine, so it starts with a conservative memory
+/// cap and a bounded thread count, both adjustable at runtime via PRAGMA.
+struct DBConfig {
+  /// Hard cap on DBMS buffer/intermediate memory.
+  uint64_t memory_limit = 1ull << 30;  // 1 GiB
+  /// Total machine memory envelope (reactive-mode denominator).
+  uint64_t total_memory = 4ull << 30;  // 4 GiB
+  /// Maximum worker threads.
+  int threads = 4;
+  /// Verify CRC32C block checksums on every read (paper section 3).
+  bool enable_checksums = true;
+  /// Run the walking-bits memory test on every buffer allocation.
+  bool memtest_on_allocation = false;
+  /// Reactive resource governing (paper section 4 / Figure 1).
+  bool reactive = false;
+};
+
+}  // namespace mallard
+
+#endif  // MALLARD_MAIN_CONFIG_H_

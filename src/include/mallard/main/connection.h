@@ -1,0 +1,92 @@
+#ifndef MALLARD_MAIN_CONNECTION_H_
+#define MALLARD_MAIN_CONNECTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mallard/main/database.h"
+#include "mallard/main/query_result.h"
+#include "mallard/parser/ast.h"
+#include "mallard/transaction/transaction.h"
+
+namespace mallard {
+
+class StreamingQueryResult;
+
+/// A connection: the unit of transactional context. Multiple connections
+/// (one per application thread) can operate on the same Database
+/// concurrently under MVCC — the paper's dashboard scenario (section 2).
+class Connection {
+ public:
+  explicit Connection(Database* db) : db_(db) {}
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Parses and executes `sql` (possibly multiple statements); returns
+  /// the materialized result of the last one.
+  Result<std::unique_ptr<MaterializedQueryResult>> Query(
+      const std::string& sql);
+
+  /// Executes a single SELECT and streams chunks as they are produced —
+  /// the client application becomes the root of the plan (paper
+  /// section 5).
+  Result<std::unique_ptr<StreamingQueryResult>> SendQuery(
+      const std::string& sql);
+
+  /// Explicit transaction control (equivalent to BEGIN/COMMIT/ROLLBACK).
+  Status BeginTransaction();
+  Status Commit();
+  Status Rollback();
+  bool InTransaction() const { return transaction_ != nullptr; }
+
+  Database& database() { return *db_; }
+
+ private:
+  friend class StreamingQueryResult;
+
+  Result<std::unique_ptr<MaterializedQueryResult>> ExecuteStatement(
+      SQLStatement* stmt);
+  Result<std::unique_ptr<MaterializedQueryResult>> ExecutePlan(
+      struct PreparedPlan plan);
+  Status ExecutePragma(const PragmaStatement& stmt);
+
+  /// Returns the active transaction, starting an autocommit one if
+  /// needed; `started` reports whether this call opened it.
+  Result<Transaction*> ActiveTransaction(bool* started);
+  Status FinishAutocommit(bool started, bool success);
+
+  Database* db_;
+  std::unique_ptr<Transaction> transaction_;  // explicit transaction
+};
+
+/// Streaming result: pulls chunks straight from the physical plan.
+class StreamingQueryResult final : public QueryResult {
+ public:
+  StreamingQueryResult(Connection* connection,
+                       std::unique_ptr<PhysicalOperator> plan,
+                       std::vector<std::string> names,
+                       std::vector<TypeId> types, bool owns_transaction,
+                       std::unique_ptr<Transaction> txn);
+  ~StreamingQueryResult() override;
+
+  /// Next chunk or nullptr at the end. The returned chunk is the
+  /// engine's own buffer — zero-copy hand-over.
+  Result<std::unique_ptr<DataChunk>> Fetch() override;
+
+  /// Finishes the stream early (commits the autocommit transaction).
+  Status Close();
+
+ private:
+  Connection* connection_;
+  std::unique_ptr<PhysicalOperator> plan_;
+  bool owns_transaction_;
+  std::unique_ptr<Transaction> txn_;
+  bool done_ = false;
+};
+
+}  // namespace mallard
+
+#endif  // MALLARD_MAIN_CONNECTION_H_

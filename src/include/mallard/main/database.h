@@ -1,0 +1,68 @@
+#ifndef MALLARD_MAIN_DATABASE_H_
+#define MALLARD_MAIN_DATABASE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "mallard/catalog/catalog.h"
+#include "mallard/common/result.h"
+#include "mallard/governor/resource_governor.h"
+#include "mallard/main/config.h"
+#include "mallard/storage/block_manager.h"
+#include "mallard/storage/buffer_manager.h"
+#include "mallard/storage/wal.h"
+#include "mallard/transaction/transaction_manager.h"
+
+namespace mallard {
+
+/// The embedded database instance: a single file on disk (plus a WAL
+/// side file) or a transient in-memory database, living in the host
+/// application's process (paper sections 1 and 6).
+class Database {
+ public:
+  /// Opens (creating if needed) the database at `path`; "" or ":memory:"
+  /// opens a transient in-memory database.
+  static Result<std::unique_ptr<Database>> Open(const std::string& path,
+                                                DBConfig config = {});
+  /// Closes the database; persistent databases are checkpointed if no
+  /// transactions are active.
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  bool in_memory() const { return blocks_ == nullptr; }
+  const std::string& path() const { return path_; }
+  DBConfig& config() { return config_; }
+
+  Catalog& catalog() { return catalog_; }
+  TransactionManager& transactions() { return transactions_; }
+  BufferManager& buffers() { return *buffers_; }
+  ResourceGovernor& governor() { return *governor_; }
+  BlockManager* blocks() { return blocks_.get(); }
+  WriteAheadLog* wal() { return wal_.get(); }
+
+  /// Writes a checkpoint and truncates the WAL. Fails with a transaction
+  /// context error while transactions are active.
+  Status Checkpoint();
+
+ private:
+  explicit Database(DBConfig config);
+
+  Status Initialize(const std::string& path);
+
+  DBConfig config_;
+  std::string path_;
+  Catalog catalog_;
+  TransactionManager transactions_;
+  std::unique_ptr<BufferManager> buffers_;
+  std::unique_ptr<ResourceGovernor> governor_;
+  std::unique_ptr<BlockManager> blocks_;
+  std::unique_ptr<WriteAheadLog> wal_;
+  std::mutex checkpoint_lock_;
+};
+
+}  // namespace mallard
+
+#endif  // MALLARD_MAIN_DATABASE_H_

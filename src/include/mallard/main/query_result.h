@@ -1,0 +1,73 @@
+#ifndef MALLARD_MAIN_QUERY_RESULT_H_
+#define MALLARD_MAIN_QUERY_RESULT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mallard/common/result.h"
+#include "mallard/vector/data_chunk.h"
+
+namespace mallard {
+
+/// Base query result: schema plus a chunk stream. Fetch() hands over the
+/// engine's own chunks without copying — the transfer-efficiency design
+/// of paper section 5 ("the client application becomes the root operator
+/// of the physical plan").
+class QueryResult {
+ public:
+  QueryResult(std::vector<std::string> names, std::vector<TypeId> types)
+      : names_(std::move(names)), types_(std::move(types)) {}
+  virtual ~QueryResult() = default;
+
+  const std::vector<std::string>& names() const { return names_; }
+  const std::vector<TypeId>& types() const { return types_; }
+  idx_t ColumnCount() const { return types_.size(); }
+
+  /// Returns the next chunk, or nullptr when the result is exhausted.
+  virtual Result<std::unique_ptr<DataChunk>> Fetch() = 0;
+
+ protected:
+  std::vector<std::string> names_;
+  std::vector<TypeId> types_;
+};
+
+/// Fully materialized result. Also exposes the row/value-at-a-time API
+/// (GetValue) that the paper identifies as the traditional client
+/// bottleneck — kept deliberately so benches can measure chunk-based vs
+/// value-based access (section 5).
+class MaterializedQueryResult final : public QueryResult {
+ public:
+  MaterializedQueryResult(std::vector<std::string> names,
+                          std::vector<TypeId> types,
+                          std::vector<std::unique_ptr<DataChunk>> chunks)
+      : QueryResult(std::move(names), std::move(types)),
+        chunks_(std::move(chunks)) {
+    for (const auto& chunk : chunks_) row_count_ += chunk->size();
+  }
+
+  idx_t RowCount() const { return row_count_; }
+
+  /// Value-based access: O(chunks) per call by design (mirrors
+  /// sqlite3_column-style APIs the paper benchmarks against).
+  Value GetValue(idx_t column, idx_t row) const;
+
+  /// Streams the materialized chunks (no copies).
+  Result<std::unique_ptr<DataChunk>> Fetch() override;
+
+  /// Renders rows as tab-separated text (debugging/examples).
+  std::string ToString(idx_t max_rows = 20) const;
+
+  const std::vector<std::unique_ptr<DataChunk>>& Chunks() const {
+    return chunks_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<DataChunk>> chunks_;
+  idx_t row_count_ = 0;
+  idx_t fetch_position_ = 0;
+};
+
+}  // namespace mallard
+
+#endif  // MALLARD_MAIN_QUERY_RESULT_H_

@@ -1,0 +1,195 @@
+#ifndef MALLARD_PARSER_AST_H_
+#define MALLARD_PARSER_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mallard/catalog/column_definition.h"
+#include "mallard/common/value.h"
+#include "mallard/execution/physical_join.h"  // JoinType
+#include "mallard/expression/bound_expression.h"  // CompareOp, ArithOp
+
+namespace mallard {
+
+/// Parsed (unbound) expression node kinds.
+enum class PExprType : uint8_t {
+  kColumnRef,
+  kStar,
+  kConstant,
+  kComparison,
+  kConjunction,
+  kArithmetic,
+  kFunction,
+  kCase,
+  kCast,
+  kIsNull,
+  kNot,
+  kBetween,
+  kInList,
+  kLike,
+};
+
+/// A parsed expression. One node type with per-kind fields keeps the AST
+/// compact; the binder dispatches on `type`.
+struct ParsedExpression {
+  PExprType type;
+  std::string name;        // column / function name
+  std::string table_name;  // qualifier for column refs
+  std::string alias;       // select-item alias
+  Value constant;          // kConstant payload
+  CompareOp compare_op = CompareOp::kEqual;
+  ArithOp arith_op = ArithOp::kAdd;
+  bool is_and = true;    // conjunction kind
+  bool negated = false;  // NOT LIKE / NOT IN / IS NOT NULL / NOT BETWEEN
+  bool has_else = false;  // CASE
+  TypeId cast_type = TypeId::kInvalid;
+  std::vector<std::unique_ptr<ParsedExpression>> children;
+
+  explicit ParsedExpression(PExprType t) : type(t) {}
+  std::unique_ptr<ParsedExpression> Copy() const;
+  /// Structural equality (ignoring aliases); used for GROUP BY matching.
+  bool Equals(const ParsedExpression& other) const;
+  std::string ToString() const;
+};
+
+using PExpr = std::unique_ptr<ParsedExpression>;
+
+/// FROM-clause tree.
+struct TableRef {
+  enum class Type : uint8_t { kBase, kJoin, kCsv, kSubquery };
+  Type type;
+  // kBase:
+  std::string name;
+  std::string alias;
+  // kCsv:
+  std::string csv_path;
+  // kJoin:
+  std::unique_ptr<TableRef> left;
+  std::unique_ptr<TableRef> right;
+  JoinType join_type = JoinType::kInner;
+  bool is_cross = false;
+  PExpr condition;
+  // kSubquery:
+  std::unique_ptr<struct SelectStatement> subquery;
+
+  explicit TableRef(Type t) : type(t) {}
+};
+
+/// Statement kinds.
+enum class StatementType : uint8_t {
+  kSelect,
+  kCreateTable,
+  kCreateView,
+  kDrop,
+  kInsert,
+  kUpdate,
+  kDelete,
+  kCopy,
+  kTransaction,
+  kPragma,
+  kExplain,
+  kCheckpoint,
+};
+
+struct SQLStatement {
+  explicit SQLStatement(StatementType t) : type(t) {}
+  virtual ~SQLStatement() = default;
+  StatementType type;
+};
+
+struct OrderByItem {
+  PExpr expr;
+  bool ascending = true;
+};
+
+struct SelectStatement final : SQLStatement {
+  SelectStatement() : SQLStatement(StatementType::kSelect) {}
+  bool distinct = false;
+  std::vector<PExpr> select_list;
+  std::unique_ptr<TableRef> from;  // null: SELECT <exprs>
+  PExpr where;
+  std::vector<PExpr> group_by;
+  PExpr having;
+  std::vector<OrderByItem> order_by;
+  int64_t limit = -1;   // -1: none
+  int64_t offset = 0;
+};
+
+struct CreateTableStatement final : SQLStatement {
+  CreateTableStatement() : SQLStatement(StatementType::kCreateTable) {}
+  std::string name;
+  std::vector<ColumnDefinition> columns;
+  bool if_not_exists = false;
+  std::unique_ptr<SelectStatement> as_select;  // CREATE TABLE ... AS SELECT
+};
+
+struct CreateViewStatement final : SQLStatement {
+  CreateViewStatement() : SQLStatement(StatementType::kCreateView) {}
+  std::string name;
+  std::vector<std::string> aliases;
+  std::string select_sql;  // stored SQL text, re-parsed at bind time
+  bool or_replace = false;
+};
+
+struct DropStatement final : SQLStatement {
+  DropStatement() : SQLStatement(StatementType::kDrop) {}
+  std::string name;
+  bool is_view = false;
+  bool if_exists = false;
+};
+
+struct InsertStatement final : SQLStatement {
+  InsertStatement() : SQLStatement(StatementType::kInsert) {}
+  std::string table;
+  std::vector<std::string> columns;  // optional explicit column list
+  std::vector<std::vector<PExpr>> values;  // VALUES rows
+  std::unique_ptr<SelectStatement> select;  // INSERT ... SELECT
+};
+
+struct UpdateStatement final : SQLStatement {
+  UpdateStatement() : SQLStatement(StatementType::kUpdate) {}
+  std::string table;
+  std::vector<std::pair<std::string, PExpr>> assignments;
+  PExpr where;
+};
+
+struct DeleteStatement final : SQLStatement {
+  DeleteStatement() : SQLStatement(StatementType::kDelete) {}
+  std::string table;
+  PExpr where;
+};
+
+struct CopyStatement final : SQLStatement {
+  CopyStatement() : SQLStatement(StatementType::kCopy) {}
+  std::string table;
+  std::string path;
+  bool is_from = true;  // COPY t FROM 'f' (load) vs COPY t TO 'f' (export)
+  bool header = true;
+  char delimiter = ',';
+};
+
+struct TransactionStatement final : SQLStatement {
+  enum class Kind : uint8_t { kBegin, kCommit, kRollback };
+  TransactionStatement() : SQLStatement(StatementType::kTransaction) {}
+  Kind kind = Kind::kBegin;
+};
+
+struct PragmaStatement final : SQLStatement {
+  PragmaStatement() : SQLStatement(StatementType::kPragma) {}
+  std::string name;
+  std::string value;
+};
+
+struct ExplainStatement final : SQLStatement {
+  ExplainStatement() : SQLStatement(StatementType::kExplain) {}
+  std::unique_ptr<SQLStatement> inner;
+};
+
+struct CheckpointStatement final : SQLStatement {
+  CheckpointStatement() : SQLStatement(StatementType::kCheckpoint) {}
+};
+
+}  // namespace mallard
+
+#endif  // MALLARD_PARSER_AST_H_

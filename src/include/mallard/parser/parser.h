@@ -1,0 +1,25 @@
+#ifndef MALLARD_PARSER_PARSER_H_
+#define MALLARD_PARSER_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mallard/common/result.h"
+#include "mallard/parser/ast.h"
+
+namespace mallard {
+
+/// Hand-written recursive-descent SQL parser covering the analytical
+/// dialect of the engine: SELECT (joins, GROUP BY, HAVING, ORDER BY,
+/// LIMIT, DISTINCT), DDL, DML, COPY, PRAGMA, transactions, EXPLAIN.
+class Parser {
+ public:
+  /// Parses a semicolon-separated list of statements.
+  static Result<std::vector<std::unique_ptr<SQLStatement>>> Parse(
+      const std::string& sql);
+};
+
+}  // namespace mallard
+
+#endif  // MALLARD_PARSER_PARSER_H_

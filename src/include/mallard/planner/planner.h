@@ -1,0 +1,52 @@
+#ifndef MALLARD_PLANNER_PLANNER_H_
+#define MALLARD_PLANNER_PLANNER_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "mallard/catalog/catalog.h"
+#include "mallard/execution/physical_join.h"
+#include "mallard/execution/physical_operator.h"
+#include "mallard/parser/ast.h"
+
+namespace mallard {
+
+class ResourceGovernor;
+
+/// A bound, optimized, executable plan plus its result schema.
+struct PreparedPlan {
+  std::unique_ptr<PhysicalOperator> plan;
+  std::vector<std::string> names;
+  std::vector<TypeId> types;
+};
+
+/// Binder + optimizer + physical planner. Translates parsed statements
+/// into physical operator trees, performing name resolution, type
+/// coercion, constant folding, projection pruning into scans, zone-map
+/// filter extraction, equi-join detection from WHERE conjuncts, greedy
+/// join ordering, and governor-driven hash-vs-merge join selection
+/// (paper section 4).
+class Planner {
+ public:
+  Planner(Catalog* catalog, ResourceGovernor* governor)
+      : catalog_(catalog), governor_(governor) {}
+
+  Result<PreparedPlan> PlanSelect(const SelectStatement& stmt);
+  Result<PreparedPlan> PlanInsert(const InsertStatement& stmt);
+  Result<PreparedPlan> PlanUpdate(const UpdateStatement& stmt);
+  Result<PreparedPlan> PlanDelete(const DeleteStatement& stmt);
+  Result<PreparedPlan> PlanCopyFrom(const CopyStatement& stmt);
+
+  /// Internal binder/planner state (public for the implementation files).
+  struct Impl;
+
+ private:
+  Catalog* catalog_;
+  ResourceGovernor* governor_;
+};
+
+}  // namespace mallard
+
+#endif  // MALLARD_PLANNER_PLANNER_H_

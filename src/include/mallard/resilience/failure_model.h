@@ -1,0 +1,63 @@
+#ifndef MALLARD_RESILIENCE_FAILURE_MODEL_H_
+#define MALLARD_RESILIENCE_FAILURE_MODEL_H_
+
+#include <cstdint>
+
+namespace mallard {
+
+/// Per-component hardware failure rates (consumer machines).
+/// Defaults reproduce Table 1 of the paper, which cites Nightingale et
+/// al., "Cycles, Cells and Platters" (EuroSys'11): over 30 days, 1 in 190
+/// machines has a CPU machine-check exception, 1 in 1700 a DRAM bit flip
+/// in kernel memory, 1 in 270 a disk failure — and a machine that failed
+/// once is roughly two orders of magnitude more likely to fail again.
+struct ComponentRates {
+  double p_first_30d;   // Pr[>=1 failure in 30 days], healthy machine
+  double p_second_30d;  // Pr[>=1 more failure in 30 days | failed before]
+};
+
+struct FailureModelConfig {
+  ComponentRates cpu{1.0 / 190.0, 1.0 / 2.9};
+  ComponentRates dram{1.0 / 1700.0, 1.0 / 12.0};
+  ComponentRates disk{1.0 / 270.0, 1.0 / 3.5};
+  int window_days = 30;
+};
+
+/// Simulation outcome for one component class.
+struct ComponentStats {
+  uint64_t machines = 0;
+  uint64_t first_failures = 0;     // machines with >=1 failure in window 1
+  uint64_t recidivism_trials = 0;  // failed machines observed further
+  uint64_t second_failures = 0;    // of those, failed again in window 2
+
+  double PrFirst() const {
+    return machines ? static_cast<double>(first_failures) / machines : 0.0;
+  }
+  double PrSecondGivenFirst() const {
+    return recidivism_trials
+               ? static_cast<double>(second_failures) / recidivism_trials
+               : 0.0;
+  }
+  /// "1 in N" rendering used by the paper's table.
+  double OneIn(double p) const { return p > 0 ? 1.0 / p : 0.0; }
+};
+
+struct FailureModelResult {
+  ComponentStats cpu;
+  ComponentStats dram;
+  ComponentStats disk;
+  /// Expected machines per million that silently corrupt data in 30 days
+  /// if DRAM flips go undetected (motivates checksums + memory testing).
+  double dram_corruptions_per_million;
+};
+
+/// Monte Carlo over a fleet of consumer machines: day-by-day Bernoulli
+/// hazards per component; after the first failure the hazard switches to
+/// the escalated ("recidivist") rate, reproducing the structure of the
+/// study the paper cites. Deterministic for a given seed.
+FailureModelResult SimulateFleet(const FailureModelConfig& config,
+                                 uint64_t n_machines, uint64_t seed);
+
+}  // namespace mallard
+
+#endif  // MALLARD_RESILIENCE_FAILURE_MODEL_H_

@@ -1,0 +1,67 @@
+#ifndef MALLARD_RESILIENCE_FAULT_INJECTOR_H_
+#define MALLARD_RESILIENCE_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "mallard/common/random.h"
+
+namespace mallard {
+
+/// Sites where hardware faults can be injected. The paper (section 3)
+/// argues an embedded DBMS must distrust consumer hardware; this injector
+/// simulates the silent failure modes so tests and benches can verify the
+/// defenses (checksums, memory tests) actually detect them.
+enum class FaultSite : uint8_t {
+  kBlockWrite = 0,   // flip a bit in a block buffer as it is written
+  kBlockRead,        // flip a bit in a block buffer after it is read
+  kTornWrite,        // persist only a prefix of a block/WAL write
+  kFsyncFailure,     // fsync reports failure
+  kWalWrite,         // flip a bit in a WAL frame as it is written
+  kNumFaultSites,
+};
+
+/// Process-wide fault injection control. Disabled by default; tests and
+/// benches arm individual sites with a probability or a one-shot trigger.
+/// Thread-safe.
+class FaultInjector {
+ public:
+  static FaultInjector& Get();
+
+  /// Arms `site` to fire with probability `p` on each opportunity.
+  void Arm(FaultSite site, double probability);
+  /// Arms `site` to fire exactly once on the next opportunity.
+  void ArmOnce(FaultSite site);
+  /// Disarms a single site.
+  void Disarm(FaultSite site);
+  /// Disarms everything (call in test teardown).
+  void Reset();
+
+  /// Returns true if the fault should fire now; decrements one-shots.
+  bool ShouldFire(FaultSite site);
+
+  /// Flips a pseudo-random bit in the buffer; returns the flipped bit
+  /// index. Used by sites that corrupt data.
+  uint64_t FlipRandomBit(void* data, uint64_t len);
+
+  /// Number of times each site has fired since the last Reset.
+  uint64_t FireCount(FaultSite site) const;
+
+ private:
+  FaultInjector() = default;
+
+  struct SiteState {
+    double probability = 0.0;
+    std::atomic<int64_t> one_shots{0};
+    std::atomic<uint64_t> fire_count{0};
+  };
+
+  mutable std::mutex mutex_;
+  RandomEngine rng_{0xFA417};
+  SiteState sites_[static_cast<int>(FaultSite::kNumFaultSites)];
+};
+
+}  // namespace mallard
+
+#endif  // MALLARD_RESILIENCE_FAULT_INJECTOR_H_

@@ -1,0 +1,99 @@
+#ifndef MALLARD_RESILIENCE_MEMTEST_H_
+#define MALLARD_RESILIENCE_MEMTEST_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace mallard {
+
+/// Abstraction over a memory region for the test algorithms. Healthy RAM
+/// is accessed through DirectMemory; fault simulation wraps the same
+/// interface so the detection logic is identical in tests and production.
+class MemoryDevice {
+ public:
+  virtual ~MemoryDevice() = default;
+  virtual uint64_t SizeWords() const = 0;
+  virtual void WriteWord(uint64_t index, uint64_t value) = 0;
+  virtual uint64_t ReadWord(uint64_t index) = 0;
+};
+
+/// Direct view over a real allocation (word granularity).
+class DirectMemory : public MemoryDevice {
+ public:
+  DirectMemory(uint8_t* data, uint64_t bytes)
+      : words_(reinterpret_cast<uint64_t*>(data)), size_words_(bytes / 8) {}
+  uint64_t SizeWords() const override { return size_words_; }
+  void WriteWord(uint64_t index, uint64_t value) override {
+    words_[index] = value;
+  }
+  uint64_t ReadWord(uint64_t index) override { return words_[index]; }
+
+ private:
+  uint64_t* words_;
+  uint64_t size_words_;
+};
+
+/// A single simulated DRAM fault.
+struct MemoryFault {
+  enum class Kind : uint8_t {
+    kStuckAtZero,  // bit always reads 0
+    kStuckAtOne,   // bit always reads 1
+    kCoupling,     // writing victim word flips a bit in neighbor word
+  };
+  Kind kind;
+  uint64_t word_index;
+  uint8_t bit;
+  uint64_t neighbor_index = 0;  // for coupling faults
+  uint8_t neighbor_bit = 0;
+};
+
+/// Simulated DIMM: backing storage plus programmable faults, used to
+/// validate that the detection algorithms actually find realistic failure
+/// modes (stuck cells, inter-cell coupling; cf. memtest86 behaviour the
+/// paper cites).
+class SimulatedDimm : public MemoryDevice {
+ public:
+  explicit SimulatedDimm(uint64_t bytes) : storage_(bytes / 8, 0) {}
+
+  void AddFault(const MemoryFault& fault) { faults_.push_back(fault); }
+  const std::vector<MemoryFault>& faults() const { return faults_; }
+
+  uint64_t SizeWords() const override { return storage_.size(); }
+  void WriteWord(uint64_t index, uint64_t value) override;
+  uint64_t ReadWord(uint64_t index) override;
+
+ private:
+  std::vector<uint64_t> storage_;
+  std::vector<MemoryFault> faults_;
+};
+
+/// Result of a memory test pass.
+struct MemtestResult {
+  bool passed = true;
+  /// Word indices where a mismatch was observed.
+  std::vector<uint64_t> bad_words;
+  uint64_t words_tested = 0;
+  /// Total memory traffic generated (bytes read + written) — the cost the
+  /// paper says makes constant whole-RAM testing infeasible.
+  uint64_t traffic_bytes = 0;
+};
+
+/// Fast screen: walking-ones then walking-zeros on every word.
+/// Catches stuck-at faults; used at buffer allocation time.
+MemtestResult WalkingBitsTest(MemoryDevice& mem);
+
+/// memtest86-style "moving inversions": write pattern ascending, verify &
+/// write complement ascending, verify descending. Catches coupling faults
+/// that simple pattern tests miss. `iterations` repeats with rotated
+/// patterns.
+MemtestResult MovingInversionsTest(MemoryDevice& mem, uint64_t pattern,
+                                   int iterations);
+
+/// Address-in-address test: each word stores its own index; catches
+/// addressing faults.
+MemtestResult AddressTest(MemoryDevice& mem);
+
+}  // namespace mallard
+
+#endif  // MALLARD_RESILIENCE_MEMTEST_H_

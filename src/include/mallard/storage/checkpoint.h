@@ -1,0 +1,21 @@
+#ifndef MALLARD_STORAGE_CHECKPOINT_H_
+#define MALLARD_STORAGE_CHECKPOINT_H_
+
+#include "mallard/catalog/catalog.h"
+#include "mallard/storage/block_manager.h"
+
+namespace mallard {
+
+/// Writes a full checkpoint: catalog + all table data into fresh blocks,
+/// then atomically flips the database header to the new root (paper
+/// section 6: "checkpoints first write new blocks ... and as a last step
+/// update the root pointer and the free list in the header atomically").
+/// Returns the set of live blocks after the checkpoint.
+Status WriteCheckpoint(Catalog* catalog, BlockManager* blocks);
+
+/// Loads a checkpoint written by WriteCheckpoint into the catalog.
+Status LoadCheckpoint(Catalog* catalog, BlockManager* blocks);
+
+}  // namespace mallard
+
+#endif  // MALLARD_STORAGE_CHECKPOINT_H_

@@ -1,0 +1,63 @@
+#ifndef MALLARD_STORAGE_FILE_HANDLE_H_
+#define MALLARD_STORAGE_FILE_HANDLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "mallard/common/result.h"
+#include "mallard/common/status.h"
+
+namespace mallard {
+
+/// RAII wrapper over a POSIX file descriptor with positional IO.
+/// All database file and WAL access goes through this class; it is also
+/// the hook point for torn-write and fsync fault injection.
+class FileHandle {
+ public:
+  enum Flags : uint8_t {
+    kRead = 1,
+    kWrite = 2,
+    kCreate = 4,
+    kTruncate = 8,
+  };
+
+  /// Opens (optionally creating) `path`.
+  static Result<std::unique_ptr<FileHandle>> Open(const std::string& path,
+                                                  uint8_t flags);
+
+  ~FileHandle();
+  FileHandle(const FileHandle&) = delete;
+  FileHandle& operator=(const FileHandle&) = delete;
+
+  /// Reads exactly `len` bytes at `offset`.
+  Status Read(void* buffer, uint64_t len, uint64_t offset);
+  /// Writes exactly `len` bytes at `offset`. Subject to torn-write
+  /// fault injection (only a prefix is persisted when the fault fires).
+  Status Write(const void* buffer, uint64_t len, uint64_t offset);
+  /// Appends at the end of file, returns the offset written at.
+  Result<uint64_t> Append(const void* buffer, uint64_t len);
+  /// Flushes file contents to stable storage.
+  Status Sync();
+  /// Current file size in bytes.
+  Result<uint64_t> Size() const;
+  /// Truncates the file to `size` bytes.
+  Status Truncate(uint64_t size);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  FileHandle(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  int fd_;
+  std::string path_;
+};
+
+/// Returns true if a file exists at `path`.
+bool FileExists(const std::string& path);
+
+/// Removes the file at `path` if it exists.
+void RemoveFile(const std::string& path);
+
+}  // namespace mallard
+
+#endif  // MALLARD_STORAGE_FILE_HANDLE_H_

@@ -1,0 +1,56 @@
+#ifndef MALLARD_STORAGE_META_BLOCK_H_
+#define MALLARD_STORAGE_META_BLOCK_H_
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "mallard/common/serializer.h"
+#include "mallard/storage/block_manager.h"
+
+namespace mallard {
+
+/// Writes an arbitrarily long byte stream into a chain of blocks. Each
+/// block payload is [next_block i64][data_len u64][bytes...]. Used by the
+/// checkpointer to persist the catalog and table data.
+class MetaBlockWriter {
+ public:
+  explicit MetaBlockWriter(BlockManager* blocks) : blocks_(blocks) {}
+
+  BinaryWriter& writer() { return writer_; }
+
+  /// Flushes the accumulated buffer into freshly allocated blocks.
+  /// Returns the head block id and records all blocks used.
+  Result<block_id_t> Flush();
+
+  const std::set<block_id_t>& blocks_used() const { return blocks_used_; }
+
+ private:
+  BlockManager* blocks_;
+  BinaryWriter writer_;
+  std::set<block_id_t> blocks_used_;
+};
+
+/// Reads a block chain written by MetaBlockWriter back into memory.
+class MetaBlockReader {
+ public:
+  explicit MetaBlockReader(BlockManager* blocks) : blocks_(blocks) {}
+
+  /// Loads the chain starting at `head`; exposes a BinaryReader over it.
+  Status Load(block_id_t head);
+
+  BinaryReader& reader() { return *reader_; }
+  const std::set<block_id_t>& blocks_visited() const {
+    return blocks_visited_;
+  }
+
+ private:
+  BlockManager* blocks_;
+  std::vector<uint8_t> data_;
+  std::unique_ptr<BinaryReader> reader_;
+  std::set<block_id_t> blocks_visited_;
+};
+
+}  // namespace mallard
+
+#endif  // MALLARD_STORAGE_META_BLOCK_H_

@@ -1,0 +1,94 @@
+#ifndef MALLARD_STORAGE_TABLE_COLUMN_SEGMENT_H_
+#define MALLARD_STORAGE_TABLE_COLUMN_SEGMENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "mallard/common/arena.h"
+#include "mallard/common/serializer.h"
+#include "mallard/common/value.h"
+#include "mallard/vector/vector.h"
+
+namespace mallard {
+
+/// Comparison operator shared between table filters, zone maps and the
+/// expression layer.
+enum class CompareOp : uint8_t {
+  kEqual,
+  kNotEqual,
+  kLess,
+  kLessEqual,
+  kGreater,
+  kGreaterEqual,
+};
+
+/// Column data for one row group: a fixed-capacity typed array plus
+/// validity bitmap, string heap and zone-map statistics (min/max/null
+/// count). Columns are stored independently so that updating one column
+/// never rewrites the others (paper section 2).
+class ColumnSegment {
+ public:
+  explicit ColumnSegment(TypeId type);
+
+  TypeId type() const { return type_; }
+
+  /// Appends `count` rows from `source[source_offset..]` at
+  /// `target_offset`; updates zone maps.
+  void Append(const Vector& source, idx_t source_offset, idx_t target_offset,
+              idx_t count);
+
+  /// Copies rows [offset, offset+count) into `out` rows [0, count).
+  void Read(idx_t offset, idx_t count, Vector* out) const;
+
+  /// Boxed access for the undo machinery and tests.
+  Value GetValue(idx_t row) const;
+
+  /// In-place single-value overwrite (update path); widens zone maps.
+  void WriteRow(idx_t row, const Vector& source, idx_t source_row);
+
+  bool RowIsValid(idx_t row) const {
+    return (validity_[row / 64] >> (row % 64)) & 1;
+  }
+
+  /// Zone-map check: can any row in this segment satisfy
+  /// `value <op> constant`? False means the row group can be skipped.
+  bool CheckZonemap(CompareOp op, const Value& constant) const;
+
+  const Value& stats_min() const { return min_; }
+  const Value& stats_max() const { return max_; }
+  idx_t null_count() const { return null_count_; }
+
+  /// Serializes the first `count` rows.
+  void Serialize(BinaryWriter* writer, idx_t count) const;
+  static Result<std::unique_ptr<ColumnSegment>> Deserialize(
+      BinaryReader* reader, TypeId type, idx_t count);
+
+  /// Approximate heap footprint (governor accounting).
+  idx_t MemoryUsage() const;
+
+ private:
+  void SetValid(idx_t row, bool valid) {
+    if (valid) {
+      validity_[row / 64] |= uint64_t(1) << (row % 64);
+    } else {
+      validity_[row / 64] &= ~(uint64_t(1) << (row % 64));
+    }
+  }
+  void MergeStatsValue(const Value& v);
+
+  friend class UpdateSegment;
+
+  TypeId type_;
+  idx_t width_;
+  std::unique_ptr<uint8_t[]> data_;
+  std::vector<uint64_t> validity_;
+  ArenaAllocator heap_;  // VARCHAR payloads
+
+  Value min_;
+  Value max_;
+  idx_t null_count_ = 0;
+};
+
+}  // namespace mallard
+
+#endif  // MALLARD_STORAGE_TABLE_COLUMN_SEGMENT_H_

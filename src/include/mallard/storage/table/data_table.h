@@ -1,0 +1,92 @@
+#ifndef MALLARD_STORAGE_TABLE_DATA_TABLE_H_
+#define MALLARD_STORAGE_TABLE_DATA_TABLE_H_
+
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "mallard/catalog/column_definition.h"
+#include "mallard/storage/table/row_group.h"
+
+namespace mallard {
+
+/// Sentinel column id that makes a scan emit the 64-bit row identifier;
+/// used by UPDATE/DELETE plans to address rows.
+constexpr idx_t kRowIdColumn = static_cast<idx_t>(-1);
+
+/// Cursor state of an in-progress table scan.
+struct TableScanState {
+  std::vector<idx_t> column_ids;
+  std::vector<TableFilter> filters;
+  idx_t row_group_index = 0;
+  idx_t offset = 0;             // within the current row group
+  bool zonemap_checked = false;  // for the current row group
+};
+
+/// The physical storage of one table: an ordered list of row groups.
+/// Provides transactional vectorized scans, bulk appends, bulk deletes
+/// and per-column bulk updates — the combined OLAP & ETL workload of
+/// paper section 2.
+class DataTable {
+ public:
+  DataTable(std::string table_name, std::vector<ColumnDefinition> columns);
+
+  const std::string& name() const { return name_; }
+  const std::vector<ColumnDefinition>& columns() const { return columns_; }
+  std::vector<TypeId> ColumnTypes() const;
+  /// Index of a column by (case-insensitive) name, or kInvalidIndex.
+  idx_t ColumnIndex(const std::string& name) const;
+
+  /// Appends a chunk; rows become visible when `txn` commits.
+  Status Append(Transaction* txn, const DataChunk& chunk);
+
+  /// Begins a scan over `column_ids` (kRowIdColumn allowed) with optional
+  /// zone-map filters.
+  void InitializeScan(TableScanState* state, std::vector<idx_t> column_ids,
+                      std::vector<TableFilter> filters = {}) const;
+
+  /// Produces the next chunk of visible rows; `out` must be initialized
+  /// with the scan's output types. Returns false when exhausted.
+  bool Scan(const Transaction& txn, TableScanState* state,
+            DataChunk* out) const;
+
+  /// Deletes rows by row id (BIGINT vector). Returns rows newly deleted.
+  Result<idx_t> Delete(Transaction* txn, const Vector& row_ids, idx_t count);
+
+  /// Updates `column_indexes` of the addressed rows with `values`
+  /// columns; values row i applies to row_ids row i.
+  Status Update(Transaction* txn, const Vector& row_ids, idx_t count,
+                const std::vector<idx_t>& column_indexes,
+                const DataChunk& values);
+
+  /// Number of rows visible to `txn` (scans version info; O(rows)).
+  idx_t VisibleRowCount(const Transaction& txn) const;
+  /// Fast upper bound of the physical row count (planner statistics).
+  idx_t ApproxRowCount() const;
+
+  /// Garbage-collects undo chains across all row groups.
+  void CleanupUpdates(uint64_t lowest_active_start);
+
+  /// Checkpoint serialization of committed data.
+  void Serialize(BinaryWriter* writer) const;
+  Status DeserializeData(BinaryReader* reader);
+
+  idx_t MemoryUsage() const;
+
+ private:
+  RowGroup* GetRowGroupForRow(idx_t row_id) const;
+
+  std::string name_;
+  std::vector<ColumnDefinition> columns_;
+  std::vector<TypeId> types_;
+
+  mutable std::shared_mutex row_groups_lock_;  // guards the list structure
+  std::vector<std::unique_ptr<RowGroup>> row_groups_;
+  std::mutex append_lock_;  // serializes appenders
+};
+
+}  // namespace mallard
+
+#endif  // MALLARD_STORAGE_TABLE_DATA_TABLE_H_

@@ -1,0 +1,81 @@
+#ifndef MALLARD_STORAGE_TABLE_UPDATE_SEGMENT_H_
+#define MALLARD_STORAGE_TABLE_UPDATE_SEGMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mallard/common/value.h"
+#include "mallard/storage/table/column_segment.h"
+#include "mallard/transaction/transaction.h"
+#include "mallard/vector/vector.h"
+
+namespace mallard {
+
+/// One undo record: the pre-images of a set of rows in one column of one
+/// row group, created by a single update. `version` is the writer's
+/// transaction id until commit, then its commit id. Chained newest→oldest.
+struct UpdateInfo {
+  uint64_t version = 0;
+  std::vector<uint32_t> rows;          // offsets within the row group
+  std::vector<uint8_t> old_data;       // packed fixed-width pre-images
+  std::vector<uint8_t> old_valid;      // 1 = was valid
+  std::vector<std::string> old_strings;  // pre-images for VARCHAR columns
+  std::unique_ptr<UpdateInfo> next;    // older entry
+};
+
+/// Undo chain for one (row group, column) pair, implementing the paper's
+/// "update in place, keep previous states in a separate undo buffer"
+/// design. Readers reconstruct their snapshot by applying the pre-images
+/// of every update that is invisible to them, newest first.
+class UpdateSegment {
+ public:
+  explicit UpdateSegment(TypeId type) : type_(type), width_(TypeSize(type)) {}
+
+  bool HasUpdates() const { return head_ != nullptr; }
+
+  /// Write-write conflict check: fails if any chained update that is not
+  /// visible to `txn` touches one of `rows`.
+  Status CheckConflict(const Transaction& txn, const uint32_t* rows,
+                       idx_t count) const;
+
+  /// Applies `new_values[value_idx[i]]` to row `rows[i]` in place,
+  /// saving pre-images. Returns the created undo node (owned by the
+  /// chain) so the transaction can stamp it at commit.
+  UpdateInfo* Update(const Transaction& txn, ColumnSegment* column,
+                     const uint32_t* rows, const uint32_t* value_idx,
+                     idx_t count, const Vector& new_values);
+
+  /// Overwrites rows of `out` (holding base data for row-group rows
+  /// [start_row, start_row+count)) with pre-images of updates invisible
+  /// to `txn`.
+  void ApplyUpdates(const Transaction& txn, idx_t start_row, idx_t count,
+                    Vector* out) const;
+
+  /// Pre-image of one row as seen by `txn` (boxed; used by row fetch).
+  Value GetValueForTransaction(const Transaction& txn,
+                               const ColumnSegment& column, idx_t row) const;
+
+  /// Rollback: restores pre-images of `info` into the column and unlinks
+  /// the node from the chain.
+  void Rollback(ColumnSegment* column, UpdateInfo* info);
+
+  /// Frees undo nodes no active transaction can need (version is a commit
+  /// id at or below the oldest active snapshot).
+  void Cleanup(uint64_t lowest_active_start);
+
+  idx_t ChainLength() const;
+  idx_t MemoryUsage() const;
+
+ private:
+  void RestoreRowFromInfo(const UpdateInfo& info, idx_t info_idx, idx_t row,
+                          Vector* out, idx_t out_idx) const;
+
+  TypeId type_;
+  idx_t width_;
+  std::unique_ptr<UpdateInfo> head_;
+};
+
+}  // namespace mallard
+
+#endif  // MALLARD_STORAGE_TABLE_UPDATE_SEGMENT_H_

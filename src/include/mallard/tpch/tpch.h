@@ -1,0 +1,29 @@
+#ifndef MALLARD_TPCH_TPCH_H_
+#define MALLARD_TPCH_TPCH_H_
+
+#include <string>
+#include <vector>
+
+#include "mallard/main/database.h"
+
+namespace mallard {
+namespace tpch {
+
+/// Creates the eight TPC-H tables and fills them with deterministic,
+/// dbgen-like synthetic data at the given scale factor (SF 1.0 =
+/// ~6M lineitem rows). This is the documented substitution for the
+/// official dbgen tool: key structure, value domains and join
+/// selectivities follow the spec; text columns are simplified.
+Status Generate(Database* db, double scale_factor);
+
+/// Returns the SQL text of a supported TPC-H query
+/// (1, 3, 5, 6, 10, 12, 14, 19 — the subset without scalar subqueries).
+std::string Query(int query_number);
+
+/// Query numbers supported by Query().
+std::vector<int> SupportedQueries();
+
+}  // namespace tpch
+}  // namespace mallard
+
+#endif  // MALLARD_TPCH_TPCH_H_

@@ -1,0 +1,91 @@
+#ifndef MALLARD_TRANSACTION_TRANSACTION_H_
+#define MALLARD_TRANSACTION_TRANSACTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mallard/common/constants.h"
+#include "mallard/common/serializer.h"
+
+namespace mallard {
+
+class DataTable;
+class RowGroup;
+struct UpdateInfo;
+
+/// A transaction under HyPer-style MVCC (paper section 6): updates are
+/// applied in place immediately; previous states are kept in undo
+/// structures referenced here so the transaction can be rolled back and
+/// concurrent transactions can reconstruct their snapshots.
+class Transaction {
+ public:
+  Transaction(uint64_t txn_id, uint64_t start_id)
+      : txn_id_(txn_id), start_id_(start_id) {}
+
+  uint64_t txn_id() const { return txn_id_; }
+  uint64_t start_id() const { return start_id_; }
+  uint64_t commit_id() const { return commit_id_; }
+  void set_commit_id(uint64_t id) { commit_id_ = id; }
+
+  /// Visibility under snapshot isolation: a version is visible if it was
+  /// committed before this transaction started, or written by this
+  /// transaction itself. Uncommitted versions carry ids above
+  /// kTransactionIdBase and are never <= start_id.
+  bool IsVisible(uint64_t version) const {
+    if (version == kAbortedVersion) return false;
+    return version == txn_id_ || version <= start_id_;
+  }
+
+  /// --- undo bookkeeping -------------------------------------------------
+  struct AppendEntry {
+    RowGroup* row_group;
+    idx_t start;  // offset within row group
+    idx_t count;
+  };
+  struct DeleteEntry {
+    RowGroup* row_group;
+    std::vector<uint32_t> rows;  // offsets within row group
+  };
+  struct UpdateEntry {
+    RowGroup* row_group;
+    idx_t column_index;
+    UpdateInfo* info;  // owned by the update segment chain
+  };
+
+  void RecordAppend(RowGroup* rg, idx_t start, idx_t count) {
+    appends_.push_back({rg, start, count});
+  }
+  void RecordDelete(RowGroup* rg, std::vector<uint32_t> rows) {
+    deletes_.push_back({rg, std::move(rows)});
+  }
+  void RecordUpdate(RowGroup* rg, idx_t column_index, UpdateInfo* info) {
+    updates_.push_back({rg, column_index, info});
+  }
+
+  const std::vector<AppendEntry>& appends() const { return appends_; }
+  const std::vector<DeleteEntry>& deletes() const { return deletes_; }
+  const std::vector<UpdateEntry>& updates() const { return updates_; }
+
+  bool HasWrites() const {
+    return !appends_.empty() || !deletes_.empty() || !updates_.empty() ||
+           !wal_records_.empty();
+  }
+
+  /// Serialized WAL records accumulated by DML/DDL, flushed at commit.
+  std::vector<std::vector<uint8_t>>& wal_records() { return wal_records_; }
+
+ private:
+  uint64_t txn_id_;
+  uint64_t start_id_;
+  uint64_t commit_id_ = 0;
+  std::vector<AppendEntry> appends_;
+  std::vector<DeleteEntry> deletes_;
+  std::vector<UpdateEntry> updates_;
+  std::vector<std::vector<uint8_t>> wal_records_;
+};
+
+}  // namespace mallard
+
+#endif  // MALLARD_TRANSACTION_TRANSACTION_H_

@@ -1,0 +1,70 @@
+#ifndef MALLARD_TRANSACTION_TRANSACTION_MANAGER_H_
+#define MALLARD_TRANSACTION_TRANSACTION_MANAGER_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "mallard/common/result.h"
+#include "mallard/transaction/transaction.h"
+
+namespace mallard {
+
+class WriteAheadLog;
+
+/// Hands out transactions and runs the commit/abort protocol of the
+/// HyPer-style MVCC scheme (paper section 6): lock-free reads against
+/// versioned data, write-write conflict aborts, commit-time stamping of
+/// version ids, and WAL flush before commit becomes visible.
+class TransactionManager {
+ public:
+  TransactionManager() = default;
+
+  /// The WAL to flush at commit; null for in-memory databases.
+  void SetWal(WriteAheadLog* wal) { wal_ = wal; }
+
+  /// Called every few commits with the oldest active snapshot id so
+  /// storage can garbage-collect undo chains.
+  void SetCleanupHook(std::function<void(uint64_t)> hook) {
+    cleanup_hook_ = std::move(hook);
+  }
+
+  std::unique_ptr<Transaction> Begin();
+
+  /// Commits: assigns a commit id, flushes WAL records, stamps versions.
+  /// On WAL failure the transaction is rolled back and an error returned.
+  Status Commit(Transaction* txn);
+
+  /// Commit variant used during WAL replay (no WAL re-write).
+  Status CommitWithoutWal(Transaction* txn);
+
+  void Rollback(Transaction* txn);
+
+  /// Oldest snapshot id any active transaction can read; commit ids at or
+  /// below this are visible to everyone.
+  uint64_t LowestActiveStart() const;
+
+  bool HasActiveTransactions() const;
+  uint64_t committed_count() const { return committed_; }
+  uint64_t conflict_count() const { return conflicts_; }
+  void CountConflict() { conflicts_++; }
+
+ private:
+  Status CommitInternal(Transaction* txn, bool write_wal);
+  void StampCommitted(Transaction* txn, uint64_t commit_id);
+  void RemoveActive(Transaction* txn);
+
+  mutable std::mutex mutex_;
+  WriteAheadLog* wal_ = nullptr;
+  uint64_t commit_counter_ = 1;          // commit ids start at 2
+  uint64_t next_txn_offset_ = 0;         // txn ids: kTransactionIdBase + n
+  std::vector<Transaction*> active_;
+  std::function<void(uint64_t)> cleanup_hook_;
+  uint64_t committed_ = 0;
+  uint64_t conflicts_ = 0;
+};
+
+}  // namespace mallard
+
+#endif  // MALLARD_TRANSACTION_TRANSACTION_MANAGER_H_

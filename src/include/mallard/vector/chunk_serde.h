@@ -1,0 +1,18 @@
+#ifndef MALLARD_VECTOR_CHUNK_SERDE_H_
+#define MALLARD_VECTOR_CHUNK_SERDE_H_
+
+#include "mallard/common/serializer.h"
+#include "mallard/vector/data_chunk.h"
+
+namespace mallard {
+
+/// Serializes a chunk (types, cardinality, validity, data, strings) for
+/// the WAL and the binary network protocol.
+void SerializeChunk(const DataChunk& chunk, BinaryWriter* writer);
+
+/// Deserializes a chunk written by SerializeChunk; initializes `chunk`.
+Status DeserializeChunk(BinaryReader* reader, DataChunk* chunk);
+
+}  // namespace mallard
+
+#endif  // MALLARD_VECTOR_CHUNK_SERDE_H_

@@ -1,0 +1,55 @@
+#ifndef MALLARD_VECTOR_DATA_CHUNK_H_
+#define MALLARD_VECTOR_DATA_CHUNK_H_
+
+#include <string>
+#include <vector>
+
+#include "mallard/vector/vector.h"
+
+namespace mallard {
+
+/// A horizontal slice of a table or intermediate result: a set of column
+/// vectors sharing one cardinality. The unit handed between operators and
+/// across the client API ("chunk" in the paper, section 6).
+class DataChunk {
+ public:
+  DataChunk() = default;
+
+  /// Initializes with one vector per type; chunk starts empty.
+  void Initialize(const std::vector<TypeId>& types);
+
+  idx_t size() const { return count_; }
+  void SetCardinality(idx_t count) { count_ = count; }
+  idx_t ColumnCount() const { return columns_.size(); }
+
+  Vector& column(idx_t i) { return columns_[i]; }
+  const Vector& column(idx_t i) const { return columns_[i]; }
+
+  std::vector<TypeId> Types() const;
+
+  /// Resets cardinality and per-vector state for reuse.
+  void Reset();
+
+  /// Boxed access (slow path, tests and boundaries).
+  Value GetValue(idx_t col, idx_t row) const {
+    return columns_[col].GetValue(row);
+  }
+  void SetValue(idx_t col, idx_t row, const Value& value) {
+    columns_[col].SetValue(row, value);
+  }
+
+  /// Appends as many rows of `other` (starting at `offset`) as fit.
+  /// Returns the number of rows appended.
+  idx_t Append(const DataChunk& other, idx_t offset = 0);
+
+  /// Renders the chunk as a table (debugging).
+  std::string ToString() const;
+
+ private:
+  std::vector<Vector> columns_;
+  idx_t count_ = 0;
+};
+
+}  // namespace mallard
+
+#endif  // MALLARD_VECTOR_DATA_CHUNK_H_

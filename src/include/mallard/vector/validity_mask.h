@@ -1,0 +1,92 @@
+#ifndef MALLARD_VECTOR_VALIDITY_MASK_H_
+#define MALLARD_VECTOR_VALIDITY_MASK_H_
+
+#include <array>
+#include <cstdint>
+
+#include "mallard/common/constants.h"
+
+namespace mallard {
+
+/// NULL bitmask over one vector of kVectorSize rows. Bit set = valid
+/// (non-NULL). Starts in an "all valid" fast-path state; the bitmask is
+/// only consulted after the first SetInvalid.
+class ValidityMask {
+ public:
+  static constexpr idx_t kWords = kVectorSize / 64;
+
+  ValidityMask() { SetAllValid(); }
+
+  bool AllValid() const { return all_valid_; }
+
+  bool RowIsValid(idx_t row) const {
+    if (all_valid_) return true;
+    return (mask_[row / 64] >> (row % 64)) & 1;
+  }
+
+  void SetValid(idx_t row) {
+    if (all_valid_) return;
+    mask_[row / 64] |= uint64_t(1) << (row % 64);
+  }
+
+  void SetInvalid(idx_t row) {
+    if (all_valid_) {
+      mask_.fill(~uint64_t(0));
+      all_valid_ = false;
+    }
+    mask_[row / 64] &= ~(uint64_t(1) << (row % 64));
+  }
+
+  void Set(idx_t row, bool valid) {
+    if (valid) {
+      SetValid(row);
+    } else {
+      SetInvalid(row);
+    }
+  }
+
+  void SetAllValid() {
+    all_valid_ = true;
+    mask_.fill(~uint64_t(0));
+  }
+
+  /// Number of NULL rows among the first `count` rows.
+  idx_t CountInvalid(idx_t count) const {
+    if (all_valid_) return 0;
+    idx_t invalid = 0;
+    for (idx_t i = 0; i < count; i++) {
+      if (!RowIsValid(i)) invalid++;
+    }
+    return invalid;
+  }
+
+  /// Copies validity of `count` rows from `other`, with source offset.
+  void CopyFrom(const ValidityMask& other, idx_t count,
+                idx_t source_offset = 0, idx_t target_offset = 0) {
+    if (other.all_valid_ && target_offset == 0) {
+      // Common fast path in appends to a fresh mask.
+      if (all_valid_) return;
+    }
+    for (idx_t i = 0; i < count; i++) {
+      Set(target_offset + i, other.RowIsValid(source_offset + i));
+    }
+  }
+
+  /// Raw word access (used by the binary network protocol).
+  const uint64_t* Words() const { return mask_.data(); }
+  uint64_t* MutableWords() {
+    if (all_valid_) {
+      mask_.fill(~uint64_t(0));
+      all_valid_ = false;
+    }
+    return mask_.data();
+  }
+
+ private:
+  bool all_valid_;
+  std::array<uint64_t, kWords> mask_;
+};
+
+}  // namespace mallard
+
+#endif  // MALLARD_VECTOR_VALIDITY_MASK_H_

@@ -1,0 +1,93 @@
+#ifndef MALLARD_VECTOR_VECTOR_H_
+#define MALLARD_VECTOR_VECTOR_H_
+
+#include <memory>
+#include <string>
+
+#include "mallard/common/arena.h"
+#include "mallard/common/constants.h"
+#include "mallard/common/types.h"
+#include "mallard/common/value.h"
+#include "mallard/vector/validity_mask.h"
+
+namespace mallard {
+
+/// Owning backing store for one vector: a fixed-size data array plus a
+/// string heap for VARCHAR payloads. Shared between vectors via
+/// shared_ptr so that chunks can be handed over to client code and
+/// projections can alias columns without copying (paper section 5).
+struct VectorBuffer {
+  explicit VectorBuffer(idx_t bytes)
+      : data(std::make_unique<uint8_t[]>(bytes)) {}
+  std::unique_ptr<uint8_t[]> data;
+  ArenaAllocator heap;  // VARCHAR payload storage
+};
+
+/// A typed column slice of up to kVectorSize values with a validity mask.
+/// The unit of data flow in the Vector Volcano execution model.
+class Vector {
+ public:
+  /// Creates a vector with its own backing buffer.
+  explicit Vector(TypeId type);
+
+  Vector(const Vector&) = delete;
+  Vector& operator=(const Vector&) = delete;
+  Vector(Vector&&) = default;
+  Vector& operator=(Vector&&) = default;
+
+  TypeId type() const { return type_; }
+  ValidityMask& validity() { return validity_; }
+  const ValidityMask& validity() const { return validity_; }
+
+  /// Raw typed data access.
+  template <typename T>
+  T* data() {
+    return reinterpret_cast<T*>(data_);
+  }
+  template <typename T>
+  const T* data() const {
+    return reinterpret_cast<const T*>(data_);
+  }
+  uint8_t* raw_data() { return data_; }
+  const uint8_t* raw_data() const { return data_; }
+
+  /// The string heap backing VARCHAR entries of this vector.
+  ArenaAllocator& heap() { return buffer_->heap; }
+
+  /// Copies a string into this vector's heap and stores the reference.
+  void SetString(idx_t row, const char* str, uint32_t len) {
+    data<StringRef>()[row] = buffer_->heap.AddString(str, len);
+  }
+  void SetString(idx_t row, const std::string& str) {
+    SetString(row, str.data(), static_cast<uint32_t>(str.size()));
+  }
+
+  /// Boxed single-value access; slow path for boundaries and tests.
+  void SetValue(idx_t row, const Value& value);
+  Value GetValue(idx_t row) const;
+
+  /// Makes this vector share `other`'s buffer (zero-copy alias).
+  void Reference(const Vector& other);
+
+  /// Copies `count` rows from `other` starting at the given offsets.
+  /// String payloads are re-anchored into this vector's heap.
+  void CopyFrom(const Vector& other, idx_t count, idx_t source_offset = 0,
+                idx_t target_offset = 0);
+
+  /// Copies selected rows `sel[0..count)` of `other` into rows 0..count.
+  void CopySelection(const Vector& other, const uint32_t* sel, idx_t count,
+                     idx_t target_offset = 0);
+
+  /// Resets validity and (for VARCHAR) the heap for reuse.
+  void Reset();
+
+ private:
+  TypeId type_;
+  uint8_t* data_;  // points into buffer_->data
+  ValidityMask validity_;
+  std::shared_ptr<VectorBuffer> buffer_;
+};
+
+}  // namespace mallard
+
+#endif  // MALLARD_VECTOR_VECTOR_H_

@@ -1,0 +1,127 @@
+#include "mallard/main/appender.h"
+
+#include "mallard/storage/wal.h"
+
+namespace mallard {
+
+Appender::Appender(Database* db, DataTable* table)
+    : db_(db), table_(table) {
+  chunk_.Initialize(table->ColumnTypes());
+}
+
+Result<std::unique_ptr<Appender>> Appender::Create(Database* db,
+                                                   const std::string& table) {
+  MALLARD_ASSIGN_OR_RETURN(DataTable * data_table,
+                           db->catalog().GetTable(table));
+  return std::unique_ptr<Appender>(new Appender(db, data_table));
+}
+
+Appender::~Appender() {
+  Status status = Close();
+  (void)status;
+}
+
+Appender& Appender::Append(bool value) {
+  return Append(Value::Boolean(value));
+}
+Appender& Appender::Append(int32_t value) {
+  return Append(Value::Integer(value));
+}
+Appender& Appender::Append(int64_t value) {
+  return Append(Value::BigInt(value));
+}
+Appender& Appender::Append(double value) {
+  return Append(Value::Double(value));
+}
+Appender& Appender::Append(const char* value) {
+  return Append(Value::Varchar(value));
+}
+Appender& Appender::Append(const std::string& value) {
+  return Append(Value::Varchar(value));
+}
+
+Appender& Appender::Append(const Value& value) {
+  if (!pending_error_.ok() || closed_) return *this;
+  if (column_ >= chunk_.ColumnCount()) {
+    pending_error_ = Status::InvalidArgument("too many values in row");
+    return *this;
+  }
+  TypeId target = chunk_.column(column_).type();
+  Value v = value;
+  if (!v.is_null() && v.type() != target) {
+    auto cast = v.CastTo(target);
+    if (!cast.ok()) {
+      pending_error_ = cast.status();
+      return *this;
+    }
+    v = std::move(*cast);
+  }
+  chunk_.SetValue(column_, chunk_.size(), v);
+  column_++;
+  return *this;
+}
+
+Appender& Appender::AppendNull() {
+  if (closed_ || !pending_error_.ok()) return *this;
+  if (column_ >= chunk_.ColumnCount()) {
+    pending_error_ = Status::InvalidArgument("too many values in row");
+    return *this;
+  }
+  chunk_.column(column_).validity().SetInvalid(chunk_.size());
+  column_++;
+  return *this;
+}
+
+Status Appender::EndRow() {
+  MALLARD_RETURN_NOT_OK(pending_error_);
+  if (closed_) return Status::InvalidArgument("appender is closed");
+  if (column_ != chunk_.ColumnCount()) {
+    return Status::InvalidArgument("row is missing values");
+  }
+  chunk_.SetCardinality(chunk_.size() + 1);
+  column_ = 0;
+  rows_appended_++;
+  if (chunk_.size() == kVectorSize) {
+    return Flush();
+  }
+  return Status::OK();
+}
+
+Status Appender::AppendChunk(const DataChunk& chunk) {
+  MALLARD_RETURN_NOT_OK(pending_error_);
+  if (closed_) return Status::InvalidArgument("appender is closed");
+  MALLARD_RETURN_NOT_OK(Flush());  // keep ordering of buffered rows
+  auto txn = db_->transactions().Begin();
+  Status status = table_->Append(txn.get(), chunk);
+  if (!status.ok()) {
+    db_->transactions().Rollback(txn.get());
+    return status;
+  }
+  txn->wal_records().push_back(wal_record::Append(table_->name(), chunk));
+  rows_appended_ += chunk.size();
+  return db_->transactions().Commit(txn.get());
+}
+
+Status Appender::Flush() {
+  MALLARD_RETURN_NOT_OK(pending_error_);
+  if (chunk_.size() == 0) return Status::OK();
+  auto txn = db_->transactions().Begin();
+  Status status = table_->Append(txn.get(), chunk_);
+  if (!status.ok()) {
+    db_->transactions().Rollback(txn.get());
+    return status;
+  }
+  txn->wal_records().push_back(wal_record::Append(table_->name(), chunk_));
+  Status commit = db_->transactions().Commit(txn.get());
+  chunk_.Reset();
+  return commit;
+}
+
+Status Appender::Close() {
+  if (closed_) return Status::OK();
+  Status status = Flush();
+  closed_ = true;
+  return status;
+}
+
+}  // namespace mallard

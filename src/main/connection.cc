@@ -1,0 +1,429 @@
+#include "mallard/main/connection.h"
+
+#include "mallard/common/string_util.h"
+#include "mallard/etl/csv.h"
+#include "mallard/parser/parser.h"
+#include "mallard/planner/planner.h"
+
+namespace mallard {
+
+Connection::~Connection() {
+  if (transaction_) {
+    db_->transactions().Rollback(transaction_.get());
+  }
+}
+
+Status Connection::BeginTransaction() {
+  if (transaction_) {
+    return Status::TransactionContext("transaction already active");
+  }
+  transaction_ = db_->transactions().Begin();
+  return Status::OK();
+}
+
+Status Connection::Commit() {
+  if (!transaction_) {
+    return Status::TransactionContext("no transaction active");
+  }
+  Status status = db_->transactions().Commit(transaction_.get());
+  transaction_.reset();
+  return status;
+}
+
+Status Connection::Rollback() {
+  if (!transaction_) {
+    return Status::TransactionContext("no transaction active");
+  }
+  db_->transactions().Rollback(transaction_.get());
+  transaction_.reset();
+  return Status::OK();
+}
+
+Result<Transaction*> Connection::ActiveTransaction(bool* started) {
+  if (transaction_) {
+    *started = false;
+    return transaction_.get();
+  }
+  transaction_ = db_->transactions().Begin();
+  *started = true;
+  return transaction_.get();
+}
+
+Status Connection::FinishAutocommit(bool started, bool success) {
+  if (!started) return Status::OK();
+  Status status = Status::OK();
+  if (success) {
+    status = db_->transactions().Commit(transaction_.get());
+  } else {
+    db_->transactions().Rollback(transaction_.get());
+  }
+  transaction_.reset();
+  return status;
+}
+
+Result<std::unique_ptr<MaterializedQueryResult>> Connection::Query(
+    const std::string& sql) {
+  MALLARD_ASSIGN_OR_RETURN(auto statements, Parser::Parse(sql));
+  if (statements.empty()) {
+    return Status::InvalidArgument("no statements to execute");
+  }
+  std::unique_ptr<MaterializedQueryResult> result;
+  for (auto& stmt : statements) {
+    MALLARD_ASSIGN_OR_RETURN(result, ExecuteStatement(stmt.get()));
+  }
+  return result;
+}
+
+Result<std::unique_ptr<MaterializedQueryResult>> Connection::ExecutePlan(
+    PreparedPlan prepared) {
+  bool started = false;
+  MALLARD_ASSIGN_OR_RETURN(Transaction * txn, ActiveTransaction(&started));
+  ExecutionContext context;
+  context.txn = txn;
+  context.buffers = &db_->buffers();
+  context.governor = &db_->governor();
+  std::vector<std::unique_ptr<DataChunk>> chunks;
+  Status status = Status::OK();
+  while (true) {
+    auto chunk = std::make_unique<DataChunk>();
+    chunk->Initialize(prepared.types);
+    status = prepared.plan->GetChunk(&context, chunk.get());
+    if (!status.ok()) break;
+    if (chunk->size() == 0) break;
+    chunks.push_back(std::move(chunk));
+  }
+  if (!status.ok()) {
+    if (status.IsTransactionConflict()) db_->transactions().CountConflict();
+    Status finish = FinishAutocommit(started, false);
+    (void)finish;
+    // A failed statement inside an explicit transaction poisons it.
+    if (!started && transaction_) {
+      db_->transactions().Rollback(transaction_.get());
+      transaction_.reset();
+    }
+    return status;
+  }
+  MALLARD_RETURN_NOT_OK(FinishAutocommit(started, true));
+  return std::make_unique<MaterializedQueryResult>(
+      std::move(prepared.names), std::move(prepared.types),
+      std::move(chunks));
+}
+
+namespace {
+std::unique_ptr<MaterializedQueryResult> SingleValueResult(
+    const std::string& name, Value value) {
+  auto chunk = std::make_unique<DataChunk>();
+  chunk->Initialize({value.type()});
+  chunk->SetValue(0, 0, value);
+  chunk->SetCardinality(1);
+  std::vector<std::unique_ptr<DataChunk>> chunks;
+  chunks.push_back(std::move(chunk));
+  return std::make_unique<MaterializedQueryResult>(
+      std::vector<std::string>{name}, std::vector<TypeId>{value.type()},
+      std::move(chunks));
+}
+}  // namespace
+
+Result<std::unique_ptr<MaterializedQueryResult>> Connection::ExecuteStatement(
+    SQLStatement* stmt) {
+  Planner planner(&db_->catalog(), &db_->governor());
+  switch (stmt->type) {
+    case StatementType::kSelect: {
+      MALLARD_ASSIGN_OR_RETURN(
+          auto plan,
+          planner.PlanSelect(static_cast<const SelectStatement&>(*stmt)));
+      return ExecutePlan(std::move(plan));
+    }
+    case StatementType::kInsert: {
+      MALLARD_ASSIGN_OR_RETURN(
+          auto plan,
+          planner.PlanInsert(static_cast<const InsertStatement&>(*stmt)));
+      return ExecutePlan(std::move(plan));
+    }
+    case StatementType::kUpdate: {
+      MALLARD_ASSIGN_OR_RETURN(
+          auto plan,
+          planner.PlanUpdate(static_cast<const UpdateStatement&>(*stmt)));
+      return ExecutePlan(std::move(plan));
+    }
+    case StatementType::kDelete: {
+      MALLARD_ASSIGN_OR_RETURN(
+          auto plan,
+          planner.PlanDelete(static_cast<const DeleteStatement&>(*stmt)));
+      return ExecutePlan(std::move(plan));
+    }
+    case StatementType::kCreateTable: {
+      auto& create = static_cast<CreateTableStatement&>(*stmt);
+      if (create.as_select) {
+        // CTAS: plan the select, create the table, insert.
+        MALLARD_ASSIGN_OR_RETURN(auto sub,
+                                 planner.PlanSelect(*create.as_select));
+        std::vector<ColumnDefinition> columns;
+        for (idx_t i = 0; i < sub.names.size(); i++) {
+          columns.emplace_back(sub.names[i], sub.types[i]);
+        }
+        MALLARD_RETURN_NOT_OK(db_->catalog().CreateTable(
+            create.name, columns, create.if_not_exists));
+        bool started = false;
+        MALLARD_ASSIGN_OR_RETURN(Transaction * txn,
+                                 ActiveTransaction(&started));
+        txn->wal_records().push_back(
+            wal_record::CreateTable(create.name, columns));
+        MALLARD_ASSIGN_OR_RETURN(DataTable * table,
+                                 db_->catalog().GetTable(create.name));
+        ExecutionContext context;
+        context.txn = txn;
+        context.buffers = &db_->buffers();
+        context.governor = &db_->governor();
+        DataChunk chunk;
+        chunk.Initialize(sub.types);
+        int64_t inserted = 0;
+        while (true) {
+          Status s = sub.plan->GetChunk(&context, &chunk);
+          if (!s.ok()) {
+            Status f = FinishAutocommit(started, false);
+            (void)f;
+            return s;
+          }
+          if (chunk.size() == 0) break;
+          Status s2 = table->Append(txn, chunk);
+          if (!s2.ok()) {
+            Status f = FinishAutocommit(started, false);
+            (void)f;
+            return s2;
+          }
+          txn->wal_records().push_back(
+              wal_record::Append(create.name, chunk));
+          inserted += chunk.size();
+        }
+        MALLARD_RETURN_NOT_OK(FinishAutocommit(started, true));
+        return SingleValueResult("count", Value::BigInt(inserted));
+      }
+      MALLARD_RETURN_NOT_OK(db_->catalog().CreateTable(
+          create.name, create.columns, create.if_not_exists));
+      bool started = false;
+      MALLARD_ASSIGN_OR_RETURN(Transaction * txn,
+                               ActiveTransaction(&started));
+      txn->wal_records().push_back(
+          wal_record::CreateTable(create.name, create.columns));
+      MALLARD_RETURN_NOT_OK(FinishAutocommit(started, true));
+      return SingleValueResult("ok", Value::Boolean(true));
+    }
+    case StatementType::kCreateView: {
+      auto& create = static_cast<CreateViewStatement&>(*stmt);
+      MALLARD_RETURN_NOT_OK(db_->catalog().CreateView(
+          create.name, create.select_sql, create.aliases,
+          create.or_replace));
+      bool started = false;
+      MALLARD_ASSIGN_OR_RETURN(Transaction * txn,
+                               ActiveTransaction(&started));
+      txn->wal_records().push_back(wal_record::CreateView(
+          create.name, create.select_sql, create.aliases));
+      MALLARD_RETURN_NOT_OK(FinishAutocommit(started, true));
+      return SingleValueResult("ok", Value::Boolean(true));
+    }
+    case StatementType::kDrop: {
+      auto& drop = static_cast<DropStatement&>(*stmt);
+      if (drop.is_view) {
+        MALLARD_RETURN_NOT_OK(
+            db_->catalog().DropView(drop.name, drop.if_exists));
+      } else {
+        MALLARD_RETURN_NOT_OK(
+            db_->catalog().DropTable(drop.name, drop.if_exists));
+      }
+      bool started = false;
+      MALLARD_ASSIGN_OR_RETURN(Transaction * txn,
+                               ActiveTransaction(&started));
+      txn->wal_records().push_back(drop.is_view
+                                       ? wal_record::DropView(drop.name)
+                                       : wal_record::DropTable(drop.name));
+      MALLARD_RETURN_NOT_OK(FinishAutocommit(started, true));
+      return SingleValueResult("ok", Value::Boolean(true));
+    }
+    case StatementType::kCopy: {
+      auto& copy = static_cast<CopyStatement&>(*stmt);
+      if (copy.is_from) {
+        MALLARD_ASSIGN_OR_RETURN(auto plan, planner.PlanCopyFrom(copy));
+        return ExecutePlan(std::move(plan));
+      }
+      // COPY table TO 'path': run SELECT * and write CSV.
+      MALLARD_ASSIGN_OR_RETURN(
+          auto result, Query("SELECT * FROM " + copy.table));
+      std::vector<DataChunk*> chunks;
+      for (const auto& chunk : result->Chunks()) {
+        chunks.push_back(chunk.get());
+      }
+      CsvOptions options;
+      options.delimiter = copy.delimiter;
+      options.header = copy.header;
+      MALLARD_RETURN_NOT_OK(
+          CsvWriter::Write(copy.path, result->names(), chunks, options));
+      return SingleValueResult("count",
+                               Value::BigInt(result->RowCount()));
+    }
+    case StatementType::kTransaction: {
+      auto& txn_stmt = static_cast<TransactionStatement&>(*stmt);
+      switch (txn_stmt.kind) {
+        case TransactionStatement::Kind::kBegin:
+          MALLARD_RETURN_NOT_OK(BeginTransaction());
+          break;
+        case TransactionStatement::Kind::kCommit:
+          MALLARD_RETURN_NOT_OK(Commit());
+          break;
+        case TransactionStatement::Kind::kRollback:
+          MALLARD_RETURN_NOT_OK(Rollback());
+          break;
+      }
+      return SingleValueResult("ok", Value::Boolean(true));
+    }
+    case StatementType::kPragma: {
+      MALLARD_RETURN_NOT_OK(
+          ExecutePragma(static_cast<const PragmaStatement&>(*stmt)));
+      return SingleValueResult("ok", Value::Boolean(true));
+    }
+    case StatementType::kExplain: {
+      auto& explain = static_cast<ExplainStatement&>(*stmt);
+      PreparedPlan plan;
+      switch (explain.inner->type) {
+        case StatementType::kSelect: {
+          MALLARD_ASSIGN_OR_RETURN(
+              plan, planner.PlanSelect(
+                        static_cast<const SelectStatement&>(*explain.inner)));
+          break;
+        }
+        case StatementType::kUpdate: {
+          MALLARD_ASSIGN_OR_RETURN(
+              plan, planner.PlanUpdate(
+                        static_cast<const UpdateStatement&>(*explain.inner)));
+          break;
+        }
+        case StatementType::kDelete: {
+          MALLARD_ASSIGN_OR_RETURN(
+              plan, planner.PlanDelete(
+                        static_cast<const DeleteStatement&>(*explain.inner)));
+          break;
+        }
+        default:
+          return Status::NotImplemented("EXPLAIN for this statement type");
+      }
+      return SingleValueResult("plan",
+                               Value::Varchar(plan.plan->ToString()));
+    }
+    case StatementType::kCheckpoint: {
+      MALLARD_RETURN_NOT_OK(db_->Checkpoint());
+      return SingleValueResult("ok", Value::Boolean(true));
+    }
+  }
+  return Status::NotImplemented("statement type not supported");
+}
+
+Status Connection::ExecutePragma(const PragmaStatement& stmt) {
+  std::string name = StringUtil::Lower(stmt.name);
+  if (name == "memory_limit") {
+    uint64_t bytes = std::strtoull(stmt.value.c_str(), nullptr, 10);
+    if (bytes == 0) {
+      return Status::InvalidArgument("memory_limit must be bytes > 0");
+    }
+    db_->governor().SetMemoryLimit(bytes);
+    return Status::OK();
+  }
+  if (name == "threads") {
+    int threads = static_cast<int>(std::strtol(stmt.value.c_str(), nullptr,
+                                               10));
+    if (threads < 1) return Status::InvalidArgument("threads must be >= 1");
+    db_->governor().SetThreads(threads);
+    return Status::OK();
+  }
+  if (name == "reactive") {
+    db_->governor().SetReactive(StringUtil::CIEquals(stmt.value, "true") ||
+                                stmt.value == "1");
+    return Status::OK();
+  }
+  if (name == "compression") {
+    if (StringUtil::CIEquals(stmt.value, "none")) {
+      db_->governor().SetCompressionLevel(CompressionLevel::kNone);
+    } else if (StringUtil::CIEquals(stmt.value, "light")) {
+      db_->governor().SetCompressionLevel(CompressionLevel::kLight);
+    } else if (StringUtil::CIEquals(stmt.value, "heavy")) {
+      db_->governor().SetCompressionLevel(CompressionLevel::kHeavy);
+    } else {
+      return Status::InvalidArgument(
+          "compression must be none, light or heavy");
+    }
+    return Status::OK();
+  }
+  if (name == "memtest_on_allocation") {
+    db_->buffers().EnableAllocationTesting(
+        StringUtil::CIEquals(stmt.value, "true") || stmt.value == "1");
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown pragma '" + stmt.name + "'");
+}
+
+Result<std::unique_ptr<StreamingQueryResult>> Connection::SendQuery(
+    const std::string& sql) {
+  MALLARD_ASSIGN_OR_RETURN(auto statements, Parser::Parse(sql));
+  if (statements.size() != 1 ||
+      statements[0]->type != StatementType::kSelect) {
+    return Status::InvalidArgument(
+        "SendQuery supports exactly one SELECT statement");
+  }
+  Planner planner(&db_->catalog(), &db_->governor());
+  MALLARD_ASSIGN_OR_RETURN(
+      auto plan,
+      planner.PlanSelect(static_cast<const SelectStatement&>(*statements[0])));
+  bool owns = !transaction_;
+  std::unique_ptr<Transaction> txn;
+  if (owns) {
+    txn = db_->transactions().Begin();
+  }
+  return std::make_unique<StreamingQueryResult>(
+      this, std::move(plan.plan), std::move(plan.names),
+      std::move(plan.types), owns, std::move(txn));
+}
+
+StreamingQueryResult::StreamingQueryResult(
+    Connection* connection, std::unique_ptr<PhysicalOperator> plan,
+    std::vector<std::string> names, std::vector<TypeId> types,
+    bool owns_transaction, std::unique_ptr<Transaction> txn)
+    : QueryResult(std::move(names), std::move(types)),
+      connection_(connection),
+      plan_(std::move(plan)),
+      owns_transaction_(owns_transaction),
+      txn_(std::move(txn)) {}
+
+StreamingQueryResult::~StreamingQueryResult() {
+  Status status = Close();
+  (void)status;
+}
+
+Result<std::unique_ptr<DataChunk>> StreamingQueryResult::Fetch() {
+  if (done_) return std::unique_ptr<DataChunk>();
+  ExecutionContext context;
+  context.txn = owns_transaction_ ? txn_.get()
+                                  : connection_->transaction_.get();
+  context.buffers = &connection_->db_->buffers();
+  context.governor = &connection_->db_->governor();
+  auto chunk = std::make_unique<DataChunk>();
+  chunk->Initialize(types_);
+  MALLARD_RETURN_NOT_OK(plan_->GetChunk(&context, chunk.get()));
+  if (chunk->size() == 0) {
+    MALLARD_RETURN_NOT_OK(Close());
+    return std::unique_ptr<DataChunk>();
+  }
+  return chunk;
+}
+
+Status StreamingQueryResult::Close() {
+  if (done_) return Status::OK();
+  done_ = true;
+  if (owns_transaction_ && txn_) {
+    Status status =
+        connection_->db_->transactions().Commit(txn_.get());
+    txn_.reset();
+    return status;
+  }
+  return Status::OK();
+}
+
+}  // namespace mallard

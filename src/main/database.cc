@@ -1,0 +1,72 @@
+#include "mallard/main/database.h"
+
+#include "mallard/storage/checkpoint.h"
+
+namespace mallard {
+
+Database::Database(DBConfig config) : config_(config) {}
+
+Result<std::unique_ptr<Database>> Database::Open(const std::string& path,
+                                                 DBConfig config) {
+  auto db = std::unique_ptr<Database>(new Database(config));
+  MALLARD_RETURN_NOT_OK(db->Initialize(path));
+  return db;
+}
+
+Status Database::Initialize(const std::string& path) {
+  bool persistent = !path.empty() && path != ":memory:";
+  path_ = persistent ? path : ":memory:";
+  buffers_ = std::make_unique<BufferManager>(
+      config_.memory_limit, persistent ? path + ".tmp" : "");
+  buffers_->EnableAllocationTesting(config_.memtest_on_allocation);
+  GovernorConfig gc;
+  gc.total_memory = config_.total_memory;
+  gc.dbms_memory_limit = config_.memory_limit;
+  gc.max_threads = config_.threads;
+  gc.reactive = config_.reactive;
+  governor_ = std::make_unique<ResourceGovernor>(gc);
+  governor_->SetBufferManager(buffers_.get());
+
+  if (persistent) {
+    bool created = false;
+    MALLARD_ASSIGN_OR_RETURN(
+        blocks_, BlockManager::Open(path, config_.enable_checksums,
+                                    &created));
+    if (!created) {
+      MALLARD_RETURN_NOT_OK(LoadCheckpoint(&catalog_, blocks_.get()));
+    }
+    MALLARD_ASSIGN_OR_RETURN(wal_, WriteAheadLog::Open(path + ".wal"));
+    MALLARD_ASSIGN_OR_RETURN(idx_t replayed,
+                             wal_->Replay(&catalog_, &transactions_));
+    (void)replayed;
+    transactions_.SetWal(wal_.get());
+  }
+  transactions_.SetCleanupHook([this](uint64_t lowest) {
+    catalog_.ForEachTable(
+        [lowest](DataTable* table) { table->CleanupUpdates(lowest); });
+  });
+  return Status::OK();
+}
+
+Status Database::Checkpoint() {
+  if (in_memory()) return Status::OK();
+  std::lock_guard<std::mutex> guard(checkpoint_lock_);
+  if (transactions_.HasActiveTransactions()) {
+    return Status::TransactionContext(
+        "cannot checkpoint while transactions are active");
+  }
+  MALLARD_RETURN_NOT_OK(WriteCheckpoint(&catalog_, blocks_.get()));
+  if (wal_) MALLARD_RETURN_NOT_OK(wal_->Truncate());
+  return Status::OK();
+}
+
+Database::~Database() {
+  if (!in_memory() && !transactions_.HasActiveTransactions()) {
+    // Best-effort final checkpoint; committed data is already durable in
+    // the WAL if this fails.
+    Status status = Checkpoint();
+    (void)status;
+  }
+}
+
+}  // namespace mallard

@@ -1,0 +1,45 @@
+#include "mallard/main/query_result.h"
+
+namespace mallard {
+
+Value MaterializedQueryResult::GetValue(idx_t column, idx_t row) const {
+  idx_t offset = 0;
+  for (const auto& chunk : chunks_) {
+    if (row < offset + chunk->size()) {
+      return chunk->GetValue(column, row - offset);
+    }
+    offset += chunk->size();
+  }
+  return Value();
+}
+
+Result<std::unique_ptr<DataChunk>> MaterializedQueryResult::Fetch() {
+  if (fetch_position_ >= chunks_.size()) return std::unique_ptr<DataChunk>();
+  return std::move(chunks_[fetch_position_++]);
+}
+
+std::string MaterializedQueryResult::ToString(idx_t max_rows) const {
+  std::string result;
+  for (size_t i = 0; i < names_.size(); i++) {
+    if (i > 0) result += "\t";
+    result += names_[i];
+  }
+  result += "\n";
+  idx_t printed = 0;
+  for (const auto& chunk : chunks_) {
+    for (idx_t r = 0; r < chunk->size() && printed < max_rows; r++) {
+      for (idx_t c = 0; c < chunk->ColumnCount(); c++) {
+        if (c > 0) result += "\t";
+        result += chunk->GetValue(c, r).ToString();
+      }
+      result += "\n";
+      printed++;
+    }
+  }
+  if (row_count_ > printed) {
+    result += "... (" + std::to_string(row_count_) + " rows total)\n";
+  }
+  return result;
+}
+
+}  // namespace mallard

@@ -1,0 +1,107 @@
+#include "mallard/parser/ast.h"
+
+namespace mallard {
+
+std::unique_ptr<ParsedExpression> ParsedExpression::Copy() const {
+  auto copy = std::make_unique<ParsedExpression>(type);
+  copy->name = name;
+  copy->table_name = table_name;
+  copy->alias = alias;
+  copy->constant = constant;
+  copy->compare_op = compare_op;
+  copy->arith_op = arith_op;
+  copy->is_and = is_and;
+  copy->negated = negated;
+  copy->has_else = has_else;
+  copy->cast_type = cast_type;
+  for (const auto& child : children) {
+    copy->children.push_back(child->Copy());
+  }
+  return copy;
+}
+
+bool ParsedExpression::Equals(const ParsedExpression& other) const {
+  if (type != other.type || name != other.name ||
+      table_name != other.table_name || compare_op != other.compare_op ||
+      arith_op != other.arith_op || is_and != other.is_and ||
+      negated != other.negated || has_else != other.has_else ||
+      cast_type != other.cast_type ||
+      children.size() != other.children.size()) {
+    return false;
+  }
+  if (type == PExprType::kConstant && !(constant == other.constant) &&
+      !(constant.is_null() && other.constant.is_null())) {
+    return false;
+  }
+  for (size_t i = 0; i < children.size(); i++) {
+    if (!children[i]->Equals(*other.children[i])) return false;
+  }
+  return true;
+}
+
+std::string ParsedExpression::ToString() const {
+  switch (type) {
+    case PExprType::kColumnRef:
+      return table_name.empty() ? name : table_name + "." + name;
+    case PExprType::kStar:
+      return "*";
+    case PExprType::kConstant:
+      return constant.ToString();
+    case PExprType::kComparison: {
+      static const char* kOps[] = {"=", "<>", "<", "<=", ">", ">="};
+      return "(" + children[0]->ToString() + " " +
+             kOps[static_cast<int>(compare_op)] + " " +
+             children[1]->ToString() + ")";
+    }
+    case PExprType::kConjunction: {
+      std::string result = "(";
+      for (size_t i = 0; i < children.size(); i++) {
+        if (i > 0) result += is_and ? " AND " : " OR ";
+        result += children[i]->ToString();
+      }
+      return result + ")";
+    }
+    case PExprType::kArithmetic: {
+      static const char* kOps[] = {"+", "-", "*", "/", "%"};
+      return "(" + children[0]->ToString() + " " +
+             kOps[static_cast<int>(arith_op)] + " " +
+             children[1]->ToString() + ")";
+    }
+    case PExprType::kFunction: {
+      std::string result = name + "(";
+      for (size_t i = 0; i < children.size(); i++) {
+        if (i > 0) result += ", ";
+        result += children[i]->ToString();
+      }
+      return result + ")";
+    }
+    case PExprType::kCase:
+      return "CASE ...";
+    case PExprType::kCast:
+      return "CAST(" + children[0]->ToString() + " AS " +
+             TypeIdToString(cast_type) + ")";
+    case PExprType::kIsNull:
+      return children[0]->ToString() +
+             (negated ? " IS NOT NULL" : " IS NULL");
+    case PExprType::kNot:
+      return "NOT " + children[0]->ToString();
+    case PExprType::kBetween:
+      return children[0]->ToString() + (negated ? " NOT BETWEEN " : " BETWEEN ") +
+             children[1]->ToString() + " AND " + children[2]->ToString();
+    case PExprType::kInList: {
+      std::string result =
+          children[0]->ToString() + (negated ? " NOT IN (" : " IN (");
+      for (size_t i = 1; i < children.size(); i++) {
+        if (i > 1) result += ", ";
+        result += children[i]->ToString();
+      }
+      return result + ")";
+    }
+    case PExprType::kLike:
+      return children[0]->ToString() + (negated ? " NOT LIKE " : " LIKE ") +
+             children[1]->ToString();
+  }
+  return "?";
+}
+
+}  // namespace mallard

@@ -1,0 +1,987 @@
+#include "mallard/parser/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "mallard/common/string_util.h"
+
+namespace mallard {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+enum class TokenType : uint8_t {
+  kIdentifier,
+  kInteger,
+  kFloat,
+  kString,
+  kSymbol,  // one of ( ) , ; . * + - / %
+  kOperator,  // = <> != < <= > >=
+  kEnd,
+};
+
+struct Token {
+  TokenType type;
+  std::string text;  // uppercased for identifiers? keep original; compare CI
+  size_t position;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& sql) : sql_(sql) {}
+
+  Status Tokenize(std::vector<Token>* tokens) {
+    size_t i = 0;
+    while (i < sql_.size()) {
+      char c = sql_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        i++;
+        continue;
+      }
+      if (c == '-' && i + 1 < sql_.size() && sql_[i + 1] == '-') {
+        while (i < sql_.size() && sql_[i] != '\n') i++;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = i;
+        while (i < sql_.size() &&
+               (std::isalnum(static_cast<unsigned char>(sql_[i])) ||
+                sql_[i] == '_')) {
+          i++;
+        }
+        tokens->push_back(
+            {TokenType::kIdentifier, sql_.substr(start, i - start), start});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && i + 1 < sql_.size() &&
+           std::isdigit(static_cast<unsigned char>(sql_[i + 1])))) {
+        size_t start = i;
+        bool is_float = false;
+        while (i < sql_.size() &&
+               (std::isdigit(static_cast<unsigned char>(sql_[i])) ||
+                sql_[i] == '.' || sql_[i] == 'e' || sql_[i] == 'E' ||
+                ((sql_[i] == '+' || sql_[i] == '-') && i > start &&
+                 (sql_[i - 1] == 'e' || sql_[i - 1] == 'E')))) {
+          if (sql_[i] == '.' || sql_[i] == 'e' || sql_[i] == 'E') {
+            is_float = true;
+          }
+          i++;
+        }
+        tokens->push_back({is_float ? TokenType::kFloat : TokenType::kInteger,
+                           sql_.substr(start, i - start), start});
+        continue;
+      }
+      if (c == '\'') {
+        std::string value;
+        i++;
+        bool closed = false;
+        while (i < sql_.size()) {
+          if (sql_[i] == '\'') {
+            if (i + 1 < sql_.size() && sql_[i + 1] == '\'') {
+              value += '\'';
+              i += 2;
+              continue;
+            }
+            closed = true;
+            i++;
+            break;
+          }
+          value += sql_[i++];
+        }
+        if (!closed) {
+          return Status::Parser("unterminated string literal");
+        }
+        tokens->push_back({TokenType::kString, value, i});
+        continue;
+      }
+      if (c == '"') {
+        // Quoted identifier.
+        std::string value;
+        i++;
+        bool closed = false;
+        while (i < sql_.size()) {
+          if (sql_[i] == '"') {
+            closed = true;
+            i++;
+            break;
+          }
+          value += sql_[i++];
+        }
+        if (!closed) return Status::Parser("unterminated quoted identifier");
+        tokens->push_back({TokenType::kIdentifier, value, i});
+        continue;
+      }
+      // Operators.
+      if (c == '<' || c == '>' || c == '=' || c == '!') {
+        std::string op(1, c);
+        if (i + 1 < sql_.size() &&
+            (sql_[i + 1] == '=' || (c == '<' && sql_[i + 1] == '>'))) {
+          op += sql_[i + 1];
+          i++;
+        }
+        i++;
+        tokens->push_back({TokenType::kOperator, op, i});
+        continue;
+      }
+      if (std::string("(),;.*+-/%").find(c) != std::string::npos) {
+        tokens->push_back({TokenType::kSymbol, std::string(1, c), i});
+        i++;
+        continue;
+      }
+      return Status::Parser(StringUtil::Format(
+          "unexpected character '%c' at position %zu", c, i));
+    }
+    tokens->push_back({TokenType::kEnd, "", sql_.size()});
+    return Status::OK();
+  }
+
+ private:
+  const std::string& sql_;
+};
+
+// ---------------------------------------------------------------------------
+// Parser implementation
+// ---------------------------------------------------------------------------
+
+class ParserImpl {
+ public:
+  ParserImpl(std::vector<Token> tokens, const std::string& sql)
+      : tokens_(std::move(tokens)), sql_(sql) {}
+
+  Result<std::vector<std::unique_ptr<SQLStatement>>> ParseStatements() {
+    std::vector<std::unique_ptr<SQLStatement>> result;
+    while (!AtEnd()) {
+      if (MatchSymbol(";")) continue;
+      MALLARD_ASSIGN_OR_RETURN(auto stmt, ParseStatement());
+      result.push_back(std::move(stmt));
+      if (!AtEnd() && !MatchSymbol(";")) {
+        return Error("expected ';' between statements");
+      }
+    }
+    return result;
+  }
+
+ private:
+  // --- token helpers ------------------------------------------------------
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = std::min(position_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  bool AtEnd() const { return Peek().type == TokenType::kEnd; }
+  const Token& Advance() { return tokens_[position_++]; }
+  bool PeekKeyword(const std::string& kw, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.type == TokenType::kIdentifier && StringUtil::CIEquals(t.text, kw);
+  }
+  bool MatchKeyword(const std::string& kw) {
+    if (PeekKeyword(kw)) {
+      position_++;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const std::string& kw) {
+    if (!MatchKeyword(kw)) {
+      return Status::Parser("expected keyword " + kw + " near '" +
+                            Peek().text + "'");
+    }
+    return Status::OK();
+  }
+  bool MatchSymbol(const std::string& sym) {
+    if (Peek().type == TokenType::kSymbol && Peek().text == sym) {
+      position_++;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectSymbol(const std::string& sym) {
+    if (!MatchSymbol(sym)) {
+      return Status::Parser("expected '" + sym + "' near '" + Peek().text +
+                            "'");
+    }
+    return Status::OK();
+  }
+  Status Error(const std::string& message) const {
+    return Status::Parser(message + " near '" + Peek().text + "'");
+  }
+  Result<std::string> ExpectIdentifier() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Status::Parser("expected identifier near '" + Peek().text + "'");
+    }
+    return Advance().text;
+  }
+
+  static bool IsReserved(const std::string& word) {
+    static const char* kReserved[] = {
+        "SELECT", "FROM",  "WHERE", "GROUP",  "HAVING", "ORDER",  "LIMIT",
+        "OFFSET", "JOIN",  "INNER", "LEFT",   "CROSS",  "ON",     "AS",
+        "AND",    "OR",    "NOT",   "IN",     "LIKE",   "BETWEEN", "IS",
+        "NULL",   "CASE",  "WHEN",  "THEN",   "ELSE",   "END",    "CAST",
+        "UNION",  "BY",    "ASC",   "DESC",   "DISTINCT", "VALUES", "SET",
+        "INSERT", "UPDATE", "DELETE", "CREATE", "DROP", "COPY",   "INTO",
+        "SEMI",   "ANTI",  "USING",
+    };
+    for (const char* kw : kReserved) {
+      if (StringUtil::CIEquals(word, kw)) return true;
+    }
+    return false;
+  }
+
+  // --- statements ---------------------------------------------------------
+
+  Result<std::unique_ptr<SQLStatement>> ParseStatement() {
+    if (PeekKeyword("SELECT")) {
+      MALLARD_ASSIGN_OR_RETURN(auto select, ParseSelect());
+      return std::unique_ptr<SQLStatement>(select.release());
+    }
+    if (PeekKeyword("CREATE")) return ParseCreate();
+    if (PeekKeyword("DROP")) return ParseDrop();
+    if (PeekKeyword("INSERT")) return ParseInsert();
+    if (PeekKeyword("UPDATE")) return ParseUpdate();
+    if (PeekKeyword("DELETE")) return ParseDelete();
+    if (PeekKeyword("COPY")) return ParseCopy();
+    if (PeekKeyword("BEGIN") || PeekKeyword("COMMIT") ||
+        PeekKeyword("ROLLBACK") || PeekKeyword("ABORT")) {
+      auto stmt = std::make_unique<TransactionStatement>();
+      if (MatchKeyword("BEGIN")) {
+        MatchKeyword("TRANSACTION");
+        stmt->kind = TransactionStatement::Kind::kBegin;
+      } else if (MatchKeyword("COMMIT")) {
+        stmt->kind = TransactionStatement::Kind::kCommit;
+      } else {
+        Advance();
+        stmt->kind = TransactionStatement::Kind::kRollback;
+      }
+      return std::unique_ptr<SQLStatement>(stmt.release());
+    }
+    if (PeekKeyword("PRAGMA")) {
+      Advance();
+      auto stmt = std::make_unique<PragmaStatement>();
+      MALLARD_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier());
+      if (Peek().type == TokenType::kOperator && Peek().text == "=") {
+        Advance();
+        stmt->value = Advance().text;
+      } else if (MatchSymbol("(")) {
+        stmt->value = Advance().text;
+        MALLARD_RETURN_NOT_OK(ExpectSymbol(")"));
+      }
+      return std::unique_ptr<SQLStatement>(stmt.release());
+    }
+    if (PeekKeyword("EXPLAIN")) {
+      Advance();
+      auto stmt = std::make_unique<ExplainStatement>();
+      MALLARD_ASSIGN_OR_RETURN(stmt->inner, ParseStatement());
+      return std::unique_ptr<SQLStatement>(stmt.release());
+    }
+    if (PeekKeyword("CHECKPOINT")) {
+      Advance();
+      return std::unique_ptr<SQLStatement>(new CheckpointStatement());
+    }
+    return Error("unrecognized statement");
+  }
+
+  Result<std::unique_ptr<SelectStatement>> ParseSelect() {
+    MALLARD_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    auto stmt = std::make_unique<SelectStatement>();
+    if (MatchKeyword("DISTINCT")) stmt->distinct = true;
+    // Select list.
+    do {
+      MALLARD_ASSIGN_OR_RETURN(auto expr, ParseExpression());
+      if (MatchKeyword("AS")) {
+        MALLARD_ASSIGN_OR_RETURN(expr->alias, ExpectIdentifier());
+      } else if (Peek().type == TokenType::kIdentifier &&
+                 !IsReserved(Peek().text)) {
+        expr->alias = Advance().text;
+      }
+      stmt->select_list.push_back(std::move(expr));
+    } while (MatchSymbol(","));
+    if (MatchKeyword("FROM")) {
+      MALLARD_ASSIGN_OR_RETURN(stmt->from, ParseTableRefList());
+    }
+    if (MatchKeyword("WHERE")) {
+      MALLARD_ASSIGN_OR_RETURN(stmt->where, ParseExpression());
+    }
+    if (MatchKeyword("GROUP")) {
+      MALLARD_RETURN_NOT_OK(ExpectKeyword("BY"));
+      do {
+        MALLARD_ASSIGN_OR_RETURN(auto expr, ParseExpression());
+        stmt->group_by.push_back(std::move(expr));
+      } while (MatchSymbol(","));
+    }
+    if (MatchKeyword("HAVING")) {
+      MALLARD_ASSIGN_OR_RETURN(stmt->having, ParseExpression());
+    }
+    if (MatchKeyword("ORDER")) {
+      MALLARD_RETURN_NOT_OK(ExpectKeyword("BY"));
+      do {
+        OrderByItem item;
+        MALLARD_ASSIGN_OR_RETURN(item.expr, ParseExpression());
+        if (MatchKeyword("DESC")) {
+          item.ascending = false;
+        } else {
+          MatchKeyword("ASC");
+        }
+        stmt->order_by.push_back(std::move(item));
+      } while (MatchSymbol(","));
+    }
+    if (MatchKeyword("LIMIT")) {
+      if (Peek().type != TokenType::kInteger) {
+        return Error("expected integer after LIMIT");
+      }
+      stmt->limit = std::strtoll(Advance().text.c_str(), nullptr, 10);
+    }
+    if (MatchKeyword("OFFSET")) {
+      if (Peek().type != TokenType::kInteger) {
+        return Error("expected integer after OFFSET");
+      }
+      stmt->offset = std::strtoll(Advance().text.c_str(), nullptr, 10);
+    }
+    return stmt;
+  }
+
+  Result<std::unique_ptr<TableRef>> ParseTableRefList() {
+    MALLARD_ASSIGN_OR_RETURN(auto left, ParseJoinChain());
+    while (MatchSymbol(",")) {
+      MALLARD_ASSIGN_OR_RETURN(auto right, ParseJoinChain());
+      auto join = std::make_unique<TableRef>(TableRef::Type::kJoin);
+      join->is_cross = true;
+      join->left = std::move(left);
+      join->right = std::move(right);
+      left = std::move(join);
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<TableRef>> ParseJoinChain() {
+    MALLARD_ASSIGN_OR_RETURN(auto left, ParseSingleTable());
+    while (true) {
+      JoinType join_type = JoinType::kInner;
+      bool is_cross = false;
+      if (PeekKeyword("JOIN") || PeekKeyword("INNER")) {
+        MatchKeyword("INNER");
+        MALLARD_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+      } else if (PeekKeyword("LEFT")) {
+        Advance();
+        MatchKeyword("OUTER");
+        MALLARD_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+        join_type = JoinType::kLeft;
+      } else if (PeekKeyword("SEMI")) {
+        Advance();
+        MALLARD_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+        join_type = JoinType::kSemi;
+      } else if (PeekKeyword("ANTI")) {
+        Advance();
+        MALLARD_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+        join_type = JoinType::kAnti;
+      } else if (PeekKeyword("CROSS")) {
+        Advance();
+        MALLARD_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+        is_cross = true;
+      } else {
+        break;
+      }
+      MALLARD_ASSIGN_OR_RETURN(auto right, ParseSingleTable());
+      auto join = std::make_unique<TableRef>(TableRef::Type::kJoin);
+      join->join_type = join_type;
+      join->is_cross = is_cross;
+      join->left = std::move(left);
+      join->right = std::move(right);
+      if (!is_cross) {
+        MALLARD_RETURN_NOT_OK(ExpectKeyword("ON"));
+        MALLARD_ASSIGN_OR_RETURN(join->condition, ParseExpression());
+      }
+      left = std::move(join);
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<TableRef>> ParseSingleTable() {
+    if (MatchSymbol("(")) {
+      // Derived table: (SELECT ...) alias
+      auto ref = std::make_unique<TableRef>(TableRef::Type::kSubquery);
+      MALLARD_ASSIGN_OR_RETURN(ref->subquery, ParseSelect());
+      MALLARD_RETURN_NOT_OK(ExpectSymbol(")"));
+      MatchKeyword("AS");
+      if (Peek().type == TokenType::kIdentifier && !IsReserved(Peek().text)) {
+        ref->alias = Advance().text;
+      }
+      return ref;
+    }
+    MALLARD_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+    if (StringUtil::CIEquals(name, "read_csv") && MatchSymbol("(")) {
+      auto ref = std::make_unique<TableRef>(TableRef::Type::kCsv);
+      if (Peek().type != TokenType::kString) {
+        return Error("read_csv expects a path string");
+      }
+      ref->csv_path = Advance().text;
+      MALLARD_RETURN_NOT_OK(ExpectSymbol(")"));
+      MatchKeyword("AS");
+      if (Peek().type == TokenType::kIdentifier && !IsReserved(Peek().text)) {
+        ref->alias = Advance().text;
+      }
+      if (ref->alias.empty()) ref->alias = "read_csv";
+      return ref;
+    }
+    auto ref = std::make_unique<TableRef>(TableRef::Type::kBase);
+    ref->name = name;
+    MatchKeyword("AS");
+    if (Peek().type == TokenType::kIdentifier && !IsReserved(Peek().text)) {
+      ref->alias = Advance().text;
+    } else {
+      ref->alias = name;
+    }
+    return ref;
+  }
+
+  Result<std::unique_ptr<SQLStatement>> ParseCreate() {
+    MALLARD_RETURN_NOT_OK(ExpectKeyword("CREATE"));
+    bool or_replace = false;
+    if (MatchKeyword("OR")) {
+      MALLARD_RETURN_NOT_OK(ExpectKeyword("REPLACE"));
+      or_replace = true;
+    }
+    if (MatchKeyword("VIEW")) {
+      auto stmt = std::make_unique<CreateViewStatement>();
+      stmt->or_replace = or_replace;
+      MALLARD_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier());
+      if (MatchSymbol("(")) {
+        do {
+          MALLARD_ASSIGN_OR_RETURN(auto alias, ExpectIdentifier());
+          stmt->aliases.push_back(alias);
+        } while (MatchSymbol(","));
+        MALLARD_RETURN_NOT_OK(ExpectSymbol(")"));
+      }
+      MALLARD_RETURN_NOT_OK(ExpectKeyword("AS"));
+      // Store the raw SQL of the select.
+      size_t start_pos = Peek().position;
+      MALLARD_ASSIGN_OR_RETURN(auto select, ParseSelect());
+      (void)select;
+      size_t end_pos = AtEnd() ? sql_.size() : Peek().position;
+      stmt->select_sql = sql_.substr(start_pos, end_pos - start_pos);
+      return std::unique_ptr<SQLStatement>(stmt.release());
+    }
+    MALLARD_RETURN_NOT_OK(ExpectKeyword("TABLE"));
+    auto stmt = std::make_unique<CreateTableStatement>();
+    if (MatchKeyword("IF")) {
+      MALLARD_RETURN_NOT_OK(ExpectKeyword("NOT"));
+      MALLARD_RETURN_NOT_OK(ExpectKeyword("EXISTS"));
+      stmt->if_not_exists = true;
+    }
+    MALLARD_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier());
+    if (MatchKeyword("AS")) {
+      MALLARD_ASSIGN_OR_RETURN(stmt->as_select, ParseSelect());
+      return std::unique_ptr<SQLStatement>(stmt.release());
+    }
+    MALLARD_RETURN_NOT_OK(ExpectSymbol("("));
+    do {
+      ColumnDefinition col;
+      MALLARD_ASSIGN_OR_RETURN(col.name, ExpectIdentifier());
+      MALLARD_ASSIGN_OR_RETURN(std::string type_name, ExpectIdentifier());
+      MALLARD_ASSIGN_OR_RETURN(col.type, TypeIdFromString(type_name));
+      // Swallow optional type parameters: VARCHAR(32), DECIMAL(12,2).
+      if (MatchSymbol("(")) {
+        while (!MatchSymbol(")")) {
+          if (AtEnd()) return Error("unterminated type parameters");
+          Advance();
+        }
+      }
+      // Swallow simple column constraints.
+      while (PeekKeyword("NOT") || PeekKeyword("NULL") ||
+             PeekKeyword("PRIMARY") || PeekKeyword("KEY") ||
+             PeekKeyword("UNIQUE")) {
+        Advance();
+      }
+      stmt->columns.push_back(std::move(col));
+    } while (MatchSymbol(","));
+    MALLARD_RETURN_NOT_OK(ExpectSymbol(")"));
+    return std::unique_ptr<SQLStatement>(stmt.release());
+  }
+
+  Result<std::unique_ptr<SQLStatement>> ParseDrop() {
+    MALLARD_RETURN_NOT_OK(ExpectKeyword("DROP"));
+    auto stmt = std::make_unique<DropStatement>();
+    if (MatchKeyword("VIEW")) {
+      stmt->is_view = true;
+    } else {
+      MALLARD_RETURN_NOT_OK(ExpectKeyword("TABLE"));
+    }
+    if (MatchKeyword("IF")) {
+      MALLARD_RETURN_NOT_OK(ExpectKeyword("EXISTS"));
+      stmt->if_exists = true;
+    }
+    MALLARD_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier());
+    return std::unique_ptr<SQLStatement>(stmt.release());
+  }
+
+  Result<std::unique_ptr<SQLStatement>> ParseInsert() {
+    MALLARD_RETURN_NOT_OK(ExpectKeyword("INSERT"));
+    MALLARD_RETURN_NOT_OK(ExpectKeyword("INTO"));
+    auto stmt = std::make_unique<InsertStatement>();
+    MALLARD_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier());
+    if (MatchSymbol("(")) {
+      do {
+        MALLARD_ASSIGN_OR_RETURN(auto col, ExpectIdentifier());
+        stmt->columns.push_back(col);
+      } while (MatchSymbol(","));
+      MALLARD_RETURN_NOT_OK(ExpectSymbol(")"));
+    }
+    if (MatchKeyword("VALUES")) {
+      do {
+        MALLARD_RETURN_NOT_OK(ExpectSymbol("("));
+        std::vector<PExpr> row;
+        do {
+          MALLARD_ASSIGN_OR_RETURN(auto expr, ParseExpression());
+          row.push_back(std::move(expr));
+        } while (MatchSymbol(","));
+        MALLARD_RETURN_NOT_OK(ExpectSymbol(")"));
+        stmt->values.push_back(std::move(row));
+      } while (MatchSymbol(","));
+      return std::unique_ptr<SQLStatement>(stmt.release());
+    }
+    MALLARD_ASSIGN_OR_RETURN(stmt->select, ParseSelect());
+    return std::unique_ptr<SQLStatement>(stmt.release());
+  }
+
+  Result<std::unique_ptr<SQLStatement>> ParseUpdate() {
+    MALLARD_RETURN_NOT_OK(ExpectKeyword("UPDATE"));
+    auto stmt = std::make_unique<UpdateStatement>();
+    MALLARD_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier());
+    MALLARD_RETURN_NOT_OK(ExpectKeyword("SET"));
+    do {
+      MALLARD_ASSIGN_OR_RETURN(auto column, ExpectIdentifier());
+      if (!(Peek().type == TokenType::kOperator && Peek().text == "=")) {
+        return Error("expected '=' in UPDATE assignment");
+      }
+      Advance();
+      MALLARD_ASSIGN_OR_RETURN(auto expr, ParseExpression());
+      stmt->assignments.emplace_back(column, std::move(expr));
+    } while (MatchSymbol(","));
+    if (MatchKeyword("WHERE")) {
+      MALLARD_ASSIGN_OR_RETURN(stmt->where, ParseExpression());
+    }
+    return std::unique_ptr<SQLStatement>(stmt.release());
+  }
+
+  Result<std::unique_ptr<SQLStatement>> ParseDelete() {
+    MALLARD_RETURN_NOT_OK(ExpectKeyword("DELETE"));
+    MALLARD_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    auto stmt = std::make_unique<DeleteStatement>();
+    MALLARD_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier());
+    if (MatchKeyword("WHERE")) {
+      MALLARD_ASSIGN_OR_RETURN(stmt->where, ParseExpression());
+    }
+    return std::unique_ptr<SQLStatement>(stmt.release());
+  }
+
+  Result<std::unique_ptr<SQLStatement>> ParseCopy() {
+    MALLARD_RETURN_NOT_OK(ExpectKeyword("COPY"));
+    auto stmt = std::make_unique<CopyStatement>();
+    MALLARD_ASSIGN_OR_RETURN(stmt->table, ExpectIdentifier());
+    if (MatchKeyword("FROM")) {
+      stmt->is_from = true;
+    } else {
+      MALLARD_RETURN_NOT_OK(ExpectKeyword("TO"));
+      stmt->is_from = false;
+    }
+    if (Peek().type != TokenType::kString) {
+      return Error("COPY expects a quoted path");
+    }
+    stmt->path = Advance().text;
+    return std::unique_ptr<SQLStatement>(stmt.release());
+  }
+
+  // --- expressions ----------------------------------------------------------
+
+  Result<PExpr> ParseExpression() { return ParseOr(); }
+
+  Result<PExpr> ParseOr() {
+    MALLARD_ASSIGN_OR_RETURN(auto left, ParseAnd());
+    while (MatchKeyword("OR")) {
+      MALLARD_ASSIGN_OR_RETURN(auto right, ParseAnd());
+      auto node = std::make_unique<ParsedExpression>(PExprType::kConjunction);
+      node->is_and = false;
+      node->children.push_back(std::move(left));
+      node->children.push_back(std::move(right));
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  Result<PExpr> ParseAnd() {
+    MALLARD_ASSIGN_OR_RETURN(auto left, ParseNot());
+    while (MatchKeyword("AND")) {
+      MALLARD_ASSIGN_OR_RETURN(auto right, ParseNot());
+      auto node = std::make_unique<ParsedExpression>(PExprType::kConjunction);
+      node->is_and = true;
+      node->children.push_back(std::move(left));
+      node->children.push_back(std::move(right));
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  Result<PExpr> ParseNot() {
+    if (MatchKeyword("NOT")) {
+      MALLARD_ASSIGN_OR_RETURN(auto child, ParseNot());
+      auto node = std::make_unique<ParsedExpression>(PExprType::kNot);
+      node->children.push_back(std::move(child));
+      return PExpr(std::move(node));
+    }
+    return ParsePredicate();
+  }
+
+  Result<PExpr> ParsePredicate() {
+    MALLARD_ASSIGN_OR_RETURN(auto left, ParseAddSub());
+    while (true) {
+      if (Peek().type == TokenType::kOperator) {
+        std::string op = Advance().text;
+        CompareOp cmp;
+        if (op == "=") {
+          cmp = CompareOp::kEqual;
+        } else if (op == "<>" || op == "!=") {
+          cmp = CompareOp::kNotEqual;
+        } else if (op == "<") {
+          cmp = CompareOp::kLess;
+        } else if (op == "<=") {
+          cmp = CompareOp::kLessEqual;
+        } else if (op == ">") {
+          cmp = CompareOp::kGreater;
+        } else if (op == ">=") {
+          cmp = CompareOp::kGreaterEqual;
+        } else {
+          return Error("unknown operator " + op);
+        }
+        MALLARD_ASSIGN_OR_RETURN(auto right, ParseAddSub());
+        auto node =
+            std::make_unique<ParsedExpression>(PExprType::kComparison);
+        node->compare_op = cmp;
+        node->children.push_back(std::move(left));
+        node->children.push_back(std::move(right));
+        left = std::move(node);
+        continue;
+      }
+      bool negated = false;
+      size_t save = position_;
+      if (MatchKeyword("NOT")) {
+        negated = true;
+        if (!PeekKeyword("IN") && !PeekKeyword("LIKE") &&
+            !PeekKeyword("BETWEEN")) {
+          position_ = save;
+          break;
+        }
+      }
+      if (MatchKeyword("IS")) {
+        bool not_null = MatchKeyword("NOT");
+        MALLARD_RETURN_NOT_OK(ExpectKeyword("NULL"));
+        auto node = std::make_unique<ParsedExpression>(PExprType::kIsNull);
+        node->negated = not_null;
+        node->children.push_back(std::move(left));
+        left = std::move(node);
+        continue;
+      }
+      if (MatchKeyword("BETWEEN")) {
+        MALLARD_ASSIGN_OR_RETURN(auto low, ParseAddSub());
+        MALLARD_RETURN_NOT_OK(ExpectKeyword("AND"));
+        MALLARD_ASSIGN_OR_RETURN(auto high, ParseAddSub());
+        auto node = std::make_unique<ParsedExpression>(PExprType::kBetween);
+        node->negated = negated;
+        node->children.push_back(std::move(left));
+        node->children.push_back(std::move(low));
+        node->children.push_back(std::move(high));
+        left = std::move(node);
+        continue;
+      }
+      if (MatchKeyword("IN")) {
+        MALLARD_RETURN_NOT_OK(ExpectSymbol("("));
+        auto node = std::make_unique<ParsedExpression>(PExprType::kInList);
+        node->negated = negated;
+        node->children.push_back(std::move(left));
+        do {
+          MALLARD_ASSIGN_OR_RETURN(auto item, ParseExpression());
+          node->children.push_back(std::move(item));
+        } while (MatchSymbol(","));
+        MALLARD_RETURN_NOT_OK(ExpectSymbol(")"));
+        left = std::move(node);
+        continue;
+      }
+      if (MatchKeyword("LIKE")) {
+        MALLARD_ASSIGN_OR_RETURN(auto pattern, ParseAddSub());
+        auto node = std::make_unique<ParsedExpression>(PExprType::kLike);
+        node->negated = negated;
+        node->children.push_back(std::move(left));
+        node->children.push_back(std::move(pattern));
+        left = std::move(node);
+        continue;
+      }
+      break;
+    }
+    return left;
+  }
+
+  Result<PExpr> ParseAddSub() {
+    MALLARD_ASSIGN_OR_RETURN(auto left, ParseMulDiv());
+    while (Peek().type == TokenType::kSymbol &&
+           (Peek().text == "+" || Peek().text == "-")) {
+      ArithOp op = Advance().text == "+" ? ArithOp::kAdd : ArithOp::kSubtract;
+      MALLARD_ASSIGN_OR_RETURN(auto right, ParseMulDiv());
+      auto node = std::make_unique<ParsedExpression>(PExprType::kArithmetic);
+      node->arith_op = op;
+      node->children.push_back(std::move(left));
+      node->children.push_back(std::move(right));
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  Result<PExpr> ParseMulDiv() {
+    MALLARD_ASSIGN_OR_RETURN(auto left, ParseUnary());
+    while (Peek().type == TokenType::kSymbol &&
+           (Peek().text == "*" || Peek().text == "/" || Peek().text == "%")) {
+      std::string op = Advance().text;
+      MALLARD_ASSIGN_OR_RETURN(auto right, ParseUnary());
+      auto node = std::make_unique<ParsedExpression>(PExprType::kArithmetic);
+      node->arith_op = op == "*" ? ArithOp::kMultiply
+                                 : (op == "/" ? ArithOp::kDivide
+                                              : ArithOp::kModulo);
+      node->children.push_back(std::move(left));
+      node->children.push_back(std::move(right));
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  Result<PExpr> ParseUnary() {
+    if (Peek().type == TokenType::kSymbol && Peek().text == "-") {
+      Advance();
+      MALLARD_ASSIGN_OR_RETURN(auto child, ParseUnary());
+      // Fold negative literals.
+      if (child->type == PExprType::kConstant) {
+        if (child->constant.type() == TypeId::kBigInt) {
+          child->constant = Value::BigInt(-child->constant.GetBigInt());
+          return child;
+        }
+        if (child->constant.type() == TypeId::kInteger) {
+          child->constant = Value::Integer(-child->constant.GetInteger());
+          return child;
+        }
+        if (child->constant.type() == TypeId::kDouble) {
+          child->constant = Value::Double(-child->constant.GetDouble());
+          return child;
+        }
+      }
+      auto node = std::make_unique<ParsedExpression>(PExprType::kArithmetic);
+      node->arith_op = ArithOp::kSubtract;
+      auto zero = std::make_unique<ParsedExpression>(PExprType::kConstant);
+      zero->constant = Value::Integer(0);
+      node->children.push_back(std::move(zero));
+      node->children.push_back(std::move(child));
+      return PExpr(std::move(node));
+    }
+    if (Peek().type == TokenType::kSymbol && Peek().text == "+") {
+      Advance();
+      return ParseUnary();
+    }
+    return ParsePrimary();
+  }
+
+  Result<PExpr> ParsePrimary() {
+    const Token& token = Peek();
+    switch (token.type) {
+      case TokenType::kInteger: {
+        Advance();
+        int64_t v = std::strtoll(token.text.c_str(), nullptr, 10);
+        auto node = std::make_unique<ParsedExpression>(PExprType::kConstant);
+        if (v >= INT32_MIN && v <= INT32_MAX) {
+          node->constant = Value::Integer(static_cast<int32_t>(v));
+        } else {
+          node->constant = Value::BigInt(v);
+        }
+        return PExpr(std::move(node));
+      }
+      case TokenType::kFloat: {
+        Advance();
+        auto node = std::make_unique<ParsedExpression>(PExprType::kConstant);
+        node->constant = Value::Double(std::strtod(token.text.c_str(),
+                                                   nullptr));
+        return PExpr(std::move(node));
+      }
+      case TokenType::kString: {
+        Advance();
+        auto node = std::make_unique<ParsedExpression>(PExprType::kConstant);
+        node->constant = Value::Varchar(token.text);
+        return PExpr(std::move(node));
+      }
+      case TokenType::kSymbol:
+        if (token.text == "(") {
+          Advance();
+          MALLARD_ASSIGN_OR_RETURN(auto expr, ParseExpression());
+          MALLARD_RETURN_NOT_OK(ExpectSymbol(")"));
+          return expr;
+        }
+        if (token.text == "*") {
+          Advance();
+          return PExpr(std::make_unique<ParsedExpression>(PExprType::kStar));
+        }
+        return Error("unexpected symbol in expression");
+      case TokenType::kIdentifier:
+        return ParseIdentifierExpression();
+      default:
+        return Error("unexpected token in expression");
+    }
+  }
+
+  Result<PExpr> ParseIdentifierExpression() {
+    // Keyword-led expression forms.
+    if (PeekKeyword("NULL")) {
+      Advance();
+      auto node = std::make_unique<ParsedExpression>(PExprType::kConstant);
+      node->constant = Value();
+      return PExpr(std::move(node));
+    }
+    if (PeekKeyword("TRUE") || PeekKeyword("FALSE")) {
+      bool v = PeekKeyword("TRUE");
+      Advance();
+      auto node = std::make_unique<ParsedExpression>(PExprType::kConstant);
+      node->constant = Value::Boolean(v);
+      return PExpr(std::move(node));
+    }
+    if (PeekKeyword("DATE") && Peek(1).type == TokenType::kString) {
+      Advance();
+      std::string text = Advance().text;
+      MALLARD_ASSIGN_OR_RETURN(int32_t days, date::FromString(text));
+      auto node = std::make_unique<ParsedExpression>(PExprType::kConstant);
+      node->constant = Value::Date(days);
+      return PExpr(std::move(node));
+    }
+    if (PeekKeyword("TIMESTAMP") && Peek(1).type == TokenType::kString) {
+      Advance();
+      std::string text = Advance().text;
+      MALLARD_ASSIGN_OR_RETURN(Value v,
+                               Value::Varchar(text).CastTo(TypeId::kTimestamp));
+      auto node = std::make_unique<ParsedExpression>(PExprType::kConstant);
+      node->constant = v;
+      return PExpr(std::move(node));
+    }
+    if (PeekKeyword("INTERVAL")) {
+      // INTERVAL '<n>' DAY|MONTH|YEAR — represented as an integer constant
+      // of days/months/years with the unit recorded in `name`; only valid
+      // in date +/- interval arithmetic, which the binder folds.
+      Advance();
+      if (Peek().type != TokenType::kString &&
+          Peek().type != TokenType::kInteger) {
+        return Error("expected quantity after INTERVAL");
+      }
+      std::string quantity = Advance().text;
+      MALLARD_ASSIGN_OR_RETURN(std::string unit, ExpectIdentifier());
+      auto node = std::make_unique<ParsedExpression>(PExprType::kConstant);
+      node->constant =
+          Value::Integer(static_cast<int32_t>(std::strtoll(
+              quantity.c_str(), nullptr, 10)));
+      node->name = "interval_" + StringUtil::Lower(unit);
+      return PExpr(std::move(node));
+    }
+    if (PeekKeyword("CAST")) {
+      Advance();
+      MALLARD_RETURN_NOT_OK(ExpectSymbol("("));
+      MALLARD_ASSIGN_OR_RETURN(auto child, ParseExpression());
+      MALLARD_RETURN_NOT_OK(ExpectKeyword("AS"));
+      MALLARD_ASSIGN_OR_RETURN(std::string type_name, ExpectIdentifier());
+      MALLARD_ASSIGN_OR_RETURN(TypeId type, TypeIdFromString(type_name));
+      if (MatchSymbol("(")) {
+        while (!MatchSymbol(")")) {
+          if (AtEnd()) return Error("unterminated type parameters");
+          Advance();
+        }
+      }
+      MALLARD_RETURN_NOT_OK(ExpectSymbol(")"));
+      auto node = std::make_unique<ParsedExpression>(PExprType::kCast);
+      node->cast_type = type;
+      node->children.push_back(std::move(child));
+      return PExpr(std::move(node));
+    }
+    if (PeekKeyword("CASE")) {
+      Advance();
+      auto node = std::make_unique<ParsedExpression>(PExprType::kCase);
+      // Optional CASE <expr> WHEN form.
+      PExpr base;
+      if (!PeekKeyword("WHEN")) {
+        MALLARD_ASSIGN_OR_RETURN(base, ParseExpression());
+      }
+      while (MatchKeyword("WHEN")) {
+        MALLARD_ASSIGN_OR_RETURN(auto when, ParseExpression());
+        if (base) {
+          auto eq = std::make_unique<ParsedExpression>(PExprType::kComparison);
+          eq->compare_op = CompareOp::kEqual;
+          eq->children.push_back(base->Copy());
+          eq->children.push_back(std::move(when));
+          when = std::move(eq);
+        }
+        MALLARD_RETURN_NOT_OK(ExpectKeyword("THEN"));
+        MALLARD_ASSIGN_OR_RETURN(auto then, ParseExpression());
+        node->children.push_back(std::move(when));
+        node->children.push_back(std::move(then));
+      }
+      if (MatchKeyword("ELSE")) {
+        MALLARD_ASSIGN_OR_RETURN(auto else_expr, ParseExpression());
+        node->has_else = true;
+        node->children.push_back(std::move(else_expr));
+      }
+      MALLARD_RETURN_NOT_OK(ExpectKeyword("END"));
+      return PExpr(std::move(node));
+    }
+    // Plain identifier: column ref, qualified ref, or function call.
+    // Reserved words cannot start an expression (catches "SELECT FROM").
+    if (IsReserved(Peek().text)) {
+      return Error("unexpected keyword in expression");
+    }
+    std::string first = Advance().text;
+    if (MatchSymbol("(")) {
+      auto node = std::make_unique<ParsedExpression>(PExprType::kFunction);
+      node->name = StringUtil::Lower(first);
+      if (MatchSymbol(")")) return PExpr(std::move(node));
+      if (MatchSymbol("*")) {
+        // COUNT(*)
+        MALLARD_RETURN_NOT_OK(ExpectSymbol(")"));
+        node->children.push_back(
+            std::make_unique<ParsedExpression>(PExprType::kStar));
+        return PExpr(std::move(node));
+      }
+      MatchKeyword("DISTINCT");  // parsed, not supported: binder rejects
+      do {
+        MALLARD_ASSIGN_OR_RETURN(auto arg, ParseExpression());
+        node->children.push_back(std::move(arg));
+      } while (MatchSymbol(","));
+      MALLARD_RETURN_NOT_OK(ExpectSymbol(")"));
+      return PExpr(std::move(node));
+    }
+    auto node = std::make_unique<ParsedExpression>(PExprType::kColumnRef);
+    if (MatchSymbol(".")) {
+      node->table_name = first;
+      MALLARD_ASSIGN_OR_RETURN(node->name, ExpectIdentifier());
+    } else {
+      node->name = first;
+    }
+    return PExpr(std::move(node));
+  }
+
+  std::vector<Token> tokens_;
+  const std::string& sql_;
+  size_t position_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<std::unique_ptr<SQLStatement>>> Parser::Parse(
+    const std::string& sql) {
+  Lexer lexer(sql);
+  std::vector<Token> tokens;
+  MALLARD_RETURN_NOT_OK(lexer.Tokenize(&tokens));
+  ParserImpl impl(std::move(tokens), sql);
+  return impl.ParseStatements();
+}
+
+}  // namespace mallard

@@ -1,0 +1,58 @@
+#include "mallard/resilience/failure_model.h"
+
+#include <cmath>
+
+#include "mallard/common/random.h"
+
+namespace mallard {
+
+namespace {
+
+// Converts a 30-day (window) failure probability to a daily hazard:
+// p_window = 1 - (1 - h)^days  =>  h = 1 - (1 - p)^(1/days).
+double DailyHazard(double p_window, int days) {
+  return 1.0 - std::pow(1.0 - p_window, 1.0 / days);
+}
+
+void SimulateComponent(const ComponentRates& rates, int days,
+                       uint64_t n_machines, RandomEngine* rng,
+                       ComponentStats* stats) {
+  double h1 = DailyHazard(rates.p_first_30d, days);
+  double h2 = DailyHazard(rates.p_second_30d, days);
+  stats->machines = n_machines;
+  for (uint64_t m = 0; m < n_machines; m++) {
+    // Window 1: healthy machine.
+    bool failed = false;
+    for (int d = 0; d < days && !failed; d++) {
+      if (rng->NextBool(h1)) failed = true;
+    }
+    if (!failed) continue;
+    stats->first_failures++;
+    // Window 2: the machine now fails at the escalated rate — the
+    // "two orders of magnitude" recidivism effect of the study.
+    stats->recidivism_trials++;
+    bool failed_again = false;
+    for (int d = 0; d < days && !failed_again; d++) {
+      if (rng->NextBool(h2)) failed_again = true;
+    }
+    if (failed_again) stats->second_failures++;
+  }
+}
+
+}  // namespace
+
+FailureModelResult SimulateFleet(const FailureModelConfig& config,
+                                 uint64_t n_machines, uint64_t seed) {
+  RandomEngine rng(seed);
+  FailureModelResult result;
+  SimulateComponent(config.cpu, config.window_days, n_machines, &rng,
+                    &result.cpu);
+  SimulateComponent(config.dram, config.window_days, n_machines, &rng,
+                    &result.dram);
+  SimulateComponent(config.disk, config.window_days, n_machines, &rng,
+                    &result.disk);
+  result.dram_corruptions_per_million = result.dram.PrFirst() * 1e6;
+  return result;
+}
+
+}  // namespace mallard

@@ -1,0 +1,66 @@
+#include "mallard/resilience/fault_injector.h"
+
+namespace mallard {
+
+FaultInjector& FaultInjector::Get() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::Arm(FaultSite site, double probability) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_[static_cast<int>(site)].probability = probability;
+}
+
+void FaultInjector::ArmOnce(FaultSite site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_[static_cast<int>(site)].one_shots.fetch_add(1);
+}
+
+void FaultInjector::Disarm(FaultSite site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& s = sites_[static_cast<int>(site)];
+  s.probability = 0.0;
+  s.one_shots.store(0);
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& s : sites_) {
+    s.probability = 0.0;
+    s.one_shots.store(0);
+    s.fire_count.store(0);
+  }
+}
+
+bool FaultInjector::ShouldFire(FaultSite site) {
+  auto& s = sites_[static_cast<int>(site)];
+  int64_t shots = s.one_shots.load();
+  while (shots > 0) {
+    if (s.one_shots.compare_exchange_weak(shots, shots - 1)) {
+      s.fire_count.fetch_add(1);
+      return true;
+    }
+  }
+  if (s.probability > 0.0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (rng_.NextBool(s.probability)) {
+      s.fire_count.fetch_add(1);
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t FaultInjector::FlipRandomBit(void* data, uint64_t len) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t bit = rng_.Next() % (len * 8);
+  static_cast<uint8_t*>(data)[bit / 8] ^= uint8_t(1) << (bit % 8);
+  return bit;
+}
+
+uint64_t FaultInjector::FireCount(FaultSite site) const {
+  return sites_[static_cast<int>(site)].fire_count.load();
+}
+
+}  // namespace mallard

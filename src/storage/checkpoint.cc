@@ -1,0 +1,84 @@
+#include "mallard/storage/checkpoint.h"
+
+#include "mallard/storage/meta_block.h"
+
+namespace mallard {
+
+Status WriteCheckpoint(Catalog* catalog, BlockManager* blocks) {
+  MetaBlockWriter meta(blocks);
+  BinaryWriter& w = meta.writer();
+  std::vector<std::string> table_names = catalog->TableNames();
+  w.WriteU32(static_cast<uint32_t>(table_names.size()));
+  for (const auto& name : table_names) {
+    MALLARD_ASSIGN_OR_RETURN(DataTable * table, catalog->GetTable(name));
+    w.WriteString(name);
+    w.WriteU32(static_cast<uint32_t>(table->columns().size()));
+    for (const auto& col : table->columns()) {
+      w.WriteString(col.name);
+      w.WriteU8(static_cast<uint8_t>(col.type));
+    }
+    table->Serialize(&w);
+  }
+  std::vector<std::string> view_names = catalog->ViewNames();
+  w.WriteU32(static_cast<uint32_t>(view_names.size()));
+  for (const auto& name : view_names) {
+    MALLARD_ASSIGN_OR_RETURN(const ViewCatalogEntry* view,
+                             catalog->GetView(name));
+    w.WriteString(view->name);
+    w.WriteString(view->sql);
+    w.WriteU32(static_cast<uint32_t>(view->column_aliases.size()));
+    for (const auto& a : view->column_aliases) w.WriteString(a);
+  }
+  MALLARD_ASSIGN_OR_RETURN(block_id_t head, meta.Flush());
+  MALLARD_RETURN_NOT_OK(blocks->WriteHeader(head));
+  blocks->SetLiveBlocks(meta.blocks_used());
+  return Status::OK();
+}
+
+Status LoadCheckpoint(Catalog* catalog, BlockManager* blocks) {
+  block_id_t head = blocks->header().meta_block;
+  if (head == kInvalidBlock) return Status::OK();  // fresh database
+  MetaBlockReader meta(blocks);
+  MALLARD_RETURN_NOT_OK(meta.Load(head));
+  BinaryReader& r = meta.reader();
+  uint32_t n_tables;
+  MALLARD_RETURN_NOT_OK(r.ReadU32(&n_tables));
+  for (uint32_t t = 0; t < n_tables; t++) {
+    std::string name;
+    MALLARD_RETURN_NOT_OK(r.ReadString(&name));
+    uint32_t n_cols;
+    MALLARD_RETURN_NOT_OK(r.ReadU32(&n_cols));
+    std::vector<ColumnDefinition> cols;
+    for (uint32_t c = 0; c < n_cols; c++) {
+      ColumnDefinition col;
+      MALLARD_RETURN_NOT_OK(r.ReadString(&col.name));
+      uint8_t type;
+      MALLARD_RETURN_NOT_OK(r.ReadU8(&type));
+      col.type = static_cast<TypeId>(type);
+      cols.push_back(std::move(col));
+    }
+    MALLARD_RETURN_NOT_OK(catalog->CreateTable(name, std::move(cols)));
+    MALLARD_ASSIGN_OR_RETURN(DataTable * table, catalog->GetTable(name));
+    MALLARD_RETURN_NOT_OK(table->DeserializeData(&r));
+  }
+  uint32_t n_views;
+  MALLARD_RETURN_NOT_OK(r.ReadU32(&n_views));
+  for (uint32_t v = 0; v < n_views; v++) {
+    std::string name, sql;
+    MALLARD_RETURN_NOT_OK(r.ReadString(&name));
+    MALLARD_RETURN_NOT_OK(r.ReadString(&sql));
+    uint32_t n_aliases;
+    MALLARD_RETURN_NOT_OK(r.ReadU32(&n_aliases));
+    std::vector<std::string> aliases(n_aliases);
+    for (uint32_t a = 0; a < n_aliases; a++) {
+      MALLARD_RETURN_NOT_OK(r.ReadString(&aliases[a]));
+    }
+    MALLARD_RETURN_NOT_OK(
+        catalog->CreateView(name, sql, std::move(aliases), true));
+  }
+  // Everything not part of the loaded meta chain is reusable.
+  blocks->SetLiveBlocks(meta.blocks_visited());
+  return Status::OK();
+}
+
+}  // namespace mallard

@@ -1,0 +1,122 @@
+#include "mallard/storage/file_handle.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "mallard/resilience/fault_injector.h"
+
+namespace mallard {
+
+Result<std::unique_ptr<FileHandle>> FileHandle::Open(const std::string& path,
+                                                     uint8_t flags) {
+  int oflags = 0;
+  if ((flags & kRead) && (flags & kWrite)) {
+    oflags = O_RDWR;
+  } else if (flags & kWrite) {
+    oflags = O_WRONLY;
+  } else {
+    oflags = O_RDONLY;
+  }
+  if (flags & kCreate) oflags |= O_CREAT;
+  if (flags & kTruncate) oflags |= O_TRUNC;
+  int fd = ::open(path.c_str(), oflags, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot open file '" + path +
+                           "': " + std::strerror(errno));
+  }
+  return std::unique_ptr<FileHandle>(new FileHandle(fd, path));
+}
+
+FileHandle::~FileHandle() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status FileHandle::Read(void* buffer, uint64_t len, uint64_t offset) {
+  uint8_t* dst = static_cast<uint8_t*>(buffer);
+  uint64_t done = 0;
+  while (done < len) {
+    ssize_t n = ::pread(fd_, dst + done, len - done, offset + done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("read failed on '" + path_ +
+                             "': " + std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::IOError("unexpected end of file reading '" + path_ +
+                             "'");
+    }
+    done += static_cast<uint64_t>(n);
+  }
+  return Status::OK();
+}
+
+Status FileHandle::Write(const void* buffer, uint64_t len, uint64_t offset) {
+  uint64_t effective_len = len;
+  auto& injector = FaultInjector::Get();
+  if (injector.ShouldFire(FaultSite::kTornWrite)) {
+    // Simulate a power loss mid-write: persist only a prefix.
+    effective_len = len / 2;
+  }
+  const uint8_t* src = static_cast<const uint8_t*>(buffer);
+  uint64_t done = 0;
+  while (done < effective_len) {
+    ssize_t n = ::pwrite(fd_, src + done, effective_len - done, offset + done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("write failed on '" + path_ +
+                             "': " + std::strerror(errno));
+    }
+    done += static_cast<uint64_t>(n);
+  }
+  if (effective_len != len) {
+    return Status::IOError("torn write injected on '" + path_ + "'");
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> FileHandle::Append(const void* buffer, uint64_t len) {
+  MALLARD_ASSIGN_OR_RETURN(uint64_t size, Size());
+  MALLARD_RETURN_NOT_OK(Write(buffer, len, size));
+  return size;
+}
+
+Status FileHandle::Sync() {
+  if (FaultInjector::Get().ShouldFire(FaultSite::kFsyncFailure)) {
+    return Status::IOError("fsync failure injected on '" + path_ + "'");
+  }
+  if (::fsync(fd_) != 0) {
+    return Status::IOError("fsync failed on '" + path_ +
+                           "': " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> FileHandle::Size() const {
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) {
+    return Status::IOError("fstat failed on '" + path_ +
+                           "': " + std::strerror(errno));
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Status FileHandle::Truncate(uint64_t size) {
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    return Status::IOError("ftruncate failed on '" + path_ +
+                           "': " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+void RemoveFile(const std::string& path) { ::unlink(path.c_str()); }
+
+}  // namespace mallard

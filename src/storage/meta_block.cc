@@ -1,0 +1,70 @@
+#include "mallard/storage/meta_block.h"
+
+#include <cstring>
+
+namespace mallard {
+
+namespace {
+constexpr uint64_t kChainHeader = sizeof(int64_t) + sizeof(uint64_t);
+constexpr uint64_t kChainPayload = kBlockPayloadSize - kChainHeader;
+}  // namespace
+
+Result<block_id_t> MetaBlockWriter::Flush() {
+  const auto& data = writer_.data();
+  uint64_t remaining = data.size();
+  uint64_t offset = 0;
+  // Pre-allocate the chain so each block can point at its successor.
+  uint64_t num_blocks = (remaining + kChainPayload - 1) / kChainPayload;
+  if (num_blocks == 0) num_blocks = 1;
+  std::vector<block_id_t> chain;
+  chain.reserve(num_blocks);
+  for (uint64_t i = 0; i < num_blocks; i++) {
+    block_id_t id = blocks_->AllocateBlock();
+    chain.push_back(id);
+    blocks_used_.insert(id);
+  }
+  std::vector<uint8_t> buffer(kBlockPayloadSize);
+  for (uint64_t i = 0; i < num_blocks; i++) {
+    uint64_t len = std::min(remaining, kChainPayload);
+    int64_t next = (i + 1 < num_blocks) ? chain[i + 1] : kInvalidBlock;
+    std::memset(buffer.data(), 0, buffer.size());
+    std::memcpy(buffer.data(), &next, sizeof(int64_t));
+    std::memcpy(buffer.data() + sizeof(int64_t), &len, sizeof(uint64_t));
+    if (len > 0) {
+      std::memcpy(buffer.data() + kChainHeader, data.data() + offset, len);
+    }
+    MALLARD_RETURN_NOT_OK(blocks_->WriteBlock(chain[i], buffer.data()));
+    offset += len;
+    remaining -= len;
+  }
+  return chain[0];
+}
+
+Status MetaBlockReader::Load(block_id_t head) {
+  data_.clear();
+  blocks_visited_.clear();
+  std::vector<uint8_t> buffer(kBlockPayloadSize);
+  block_id_t current = head;
+  while (current != kInvalidBlock) {
+    if (blocks_visited_.count(current)) {
+      return Status::Corruption("cycle detected in meta block chain");
+    }
+    blocks_visited_.insert(current);
+    MALLARD_RETURN_NOT_OK(blocks_->ReadBlock(current, buffer.data()));
+    int64_t next;
+    uint64_t len;
+    std::memcpy(&next, buffer.data(), sizeof(int64_t));
+    std::memcpy(&len, buffer.data() + sizeof(int64_t), sizeof(uint64_t));
+    if (len > kChainPayload) {
+      return Status::Corruption("meta block length field out of range");
+    }
+    size_t old = data_.size();
+    data_.resize(old + len);
+    std::memcpy(data_.data() + old, buffer.data() + kChainHeader, len);
+    current = next;
+  }
+  reader_ = std::make_unique<BinaryReader>(data_.data(), data_.size());
+  return Status::OK();
+}
+
+}  // namespace mallard

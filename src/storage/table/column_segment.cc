@@ -1,0 +1,219 @@
+#include "mallard/storage/table/column_segment.h"
+
+#include <cstring>
+
+#include "mallard/common/constants.h"
+
+namespace mallard {
+
+ColumnSegment::ColumnSegment(TypeId type)
+    : type_(type),
+      width_(TypeSize(type)),
+      data_(std::make_unique<uint8_t[]>(width_ * kRowGroupSize)),
+      validity_((kRowGroupSize + 63) / 64, ~uint64_t(0)),
+      min_(type),
+      max_(type) {}
+
+void ColumnSegment::MergeStatsValue(const Value& v) {
+  if (v.is_null()) {
+    null_count_++;
+    return;
+  }
+  if (min_.is_null() || v.Compare(min_) < 0) min_ = v;
+  if (max_.is_null() || v.Compare(max_) > 0) max_ = v;
+}
+
+void ColumnSegment::Append(const Vector& source, idx_t source_offset,
+                           idx_t target_offset, idx_t count) {
+  if (type_ == TypeId::kVarchar) {
+    const StringRef* src = source.data<StringRef>();
+    StringRef* dst = reinterpret_cast<StringRef*>(data_.get());
+    for (idx_t i = 0; i < count; i++) {
+      idx_t s = source_offset + i, t = target_offset + i;
+      if (source.validity().RowIsValid(s)) {
+        dst[t] = heap_.AddString(src[s]);
+        SetValid(t, true);
+        MergeStatsValue(Value::Varchar(dst[t].ToString()));
+      } else {
+        dst[t] = StringRef();
+        SetValid(t, false);
+        null_count_++;
+      }
+    }
+    return;
+  }
+  std::memcpy(data_.get() + target_offset * width_,
+              source.raw_data() + source_offset * width_, count * width_);
+  for (idx_t i = 0; i < count; i++) {
+    idx_t s = source_offset + i, t = target_offset + i;
+    bool valid = source.validity().RowIsValid(s);
+    SetValid(t, valid);
+    if (!valid) {
+      null_count_++;
+    } else {
+      MergeStatsValue(source.GetValue(s));
+    }
+  }
+}
+
+void ColumnSegment::Read(idx_t offset, idx_t count, Vector* out) const {
+  if (type_ == TypeId::kVarchar) {
+    const StringRef* src = reinterpret_cast<const StringRef*>(data_.get());
+    StringRef* dst = out->data<StringRef>();
+    for (idx_t i = 0; i < count; i++) {
+      idx_t s = offset + i;
+      if (RowIsValid(s)) {
+        dst[i] = out->heap().AddString(src[s]);
+        out->validity().SetValid(i);
+      } else {
+        out->validity().SetInvalid(i);
+      }
+    }
+    return;
+  }
+  std::memcpy(out->raw_data(), data_.get() + offset * width_, count * width_);
+  for (idx_t i = 0; i < count; i++) {
+    out->validity().Set(i, RowIsValid(offset + i));
+  }
+}
+
+Value ColumnSegment::GetValue(idx_t row) const {
+  if (!RowIsValid(row)) return Value::Null(type_);
+  switch (type_) {
+    case TypeId::kBoolean:
+      return Value::Boolean(
+          reinterpret_cast<const int8_t*>(data_.get())[row] != 0);
+    case TypeId::kInteger:
+      return Value::Integer(
+          reinterpret_cast<const int32_t*>(data_.get())[row]);
+    case TypeId::kDate:
+      return Value::Date(reinterpret_cast<const int32_t*>(data_.get())[row]);
+    case TypeId::kBigInt:
+      return Value::BigInt(reinterpret_cast<const int64_t*>(data_.get())[row]);
+    case TypeId::kTimestamp:
+      return Value::Timestamp(
+          reinterpret_cast<const int64_t*>(data_.get())[row]);
+    case TypeId::kDouble:
+      return Value::Double(reinterpret_cast<const double*>(data_.get())[row]);
+    case TypeId::kVarchar:
+      return Value::Varchar(
+          reinterpret_cast<const StringRef*>(data_.get())[row].ToString());
+    default:
+      return Value();
+  }
+}
+
+void ColumnSegment::WriteRow(idx_t row, const Vector& source,
+                             idx_t source_row) {
+  bool valid = source.validity().RowIsValid(source_row);
+  bool was_valid = RowIsValid(row);
+  SetValid(row, valid);
+  if (!valid) {
+    if (was_valid) null_count_++;
+    return;
+  }
+  if (!was_valid && null_count_ > 0) null_count_--;
+  if (type_ == TypeId::kVarchar) {
+    // The old string bytes stay in the heap until the next checkpoint
+    // rewrites the segment; in-place update only swaps the reference.
+    reinterpret_cast<StringRef*>(data_.get())[row] =
+        heap_.AddString(source.data<StringRef>()[source_row]);
+    MergeStatsValue(Value::Varchar(source.GetValue(source_row).GetString()));
+    return;
+  }
+  std::memcpy(data_.get() + row * width_,
+              source.raw_data() + source_row * width_, width_);
+  MergeStatsValue(source.GetValue(source_row));
+}
+
+bool ColumnSegment::CheckZonemap(CompareOp op, const Value& constant) const {
+  if (min_.is_null() || max_.is_null()) {
+    // No non-NULL rows observed (or stats unavailable): cannot exclude.
+    return null_count_ > 0 || min_.is_null();
+  }
+  if (constant.is_null()) return false;  // comparisons with NULL match nothing
+  switch (op) {
+    case CompareOp::kEqual:
+      return min_.Compare(constant) <= 0 && max_.Compare(constant) >= 0;
+    case CompareOp::kNotEqual:
+      // Only excludable if every row equals the constant; be conservative.
+      return true;
+    case CompareOp::kLess:
+      return min_.Compare(constant) < 0;
+    case CompareOp::kLessEqual:
+      return min_.Compare(constant) <= 0;
+    case CompareOp::kGreater:
+      return max_.Compare(constant) > 0;
+    case CompareOp::kGreaterEqual:
+      return max_.Compare(constant) >= 0;
+  }
+  return true;
+}
+
+void ColumnSegment::Serialize(BinaryWriter* writer, idx_t count) const {
+  writer->WriteU64(count);
+  for (idx_t w = 0; w < (count + 63) / 64; w++) {
+    writer->WriteU64(validity_[w]);
+  }
+  if (type_ == TypeId::kVarchar) {
+    const StringRef* refs = reinterpret_cast<const StringRef*>(data_.get());
+    for (idx_t i = 0; i < count; i++) {
+      if (RowIsValid(i)) {
+        writer->WriteU32(refs[i].size);
+        writer->WriteBytes(refs[i].data, refs[i].size);
+      } else {
+        writer->WriteU32(0);
+      }
+    }
+  } else {
+    writer->WriteBytes(data_.get(), count * width_);
+  }
+}
+
+Result<std::unique_ptr<ColumnSegment>> ColumnSegment::Deserialize(
+    BinaryReader* reader, TypeId type, idx_t expected_count) {
+  auto segment = std::make_unique<ColumnSegment>(type);
+  uint64_t count;
+  MALLARD_RETURN_NOT_OK(reader->ReadU64(&count));
+  if (count != expected_count || count > kRowGroupSize) {
+    return Status::Corruption("column segment row count mismatch");
+  }
+  for (idx_t w = 0; w < (count + 63) / 64; w++) {
+    MALLARD_RETURN_NOT_OK(reader->ReadU64(&segment->validity_[w]));
+  }
+  if (type == TypeId::kVarchar) {
+    StringRef* refs = reinterpret_cast<StringRef*>(segment->data_.get());
+    std::string scratch;
+    for (idx_t i = 0; i < count; i++) {
+      uint32_t len;
+      MALLARD_RETURN_NOT_OK(reader->ReadU32(&len));
+      if (segment->RowIsValid(i)) {
+        scratch.resize(len);
+        MALLARD_RETURN_NOT_OK(reader->ReadBytes(scratch.data(), len));
+        refs[i] = segment->heap_.AddString(scratch.data(), len);
+        segment->MergeStatsValue(Value::Varchar(scratch));
+      } else {
+        refs[i] = StringRef();
+        segment->null_count_++;
+      }
+    }
+  } else {
+    MALLARD_RETURN_NOT_OK(
+        reader->ReadBytes(segment->data_.get(), count * segment->width_));
+    for (idx_t i = 0; i < count; i++) {
+      if (segment->RowIsValid(i)) {
+        segment->MergeStatsValue(segment->GetValue(i));
+      } else {
+        segment->null_count_++;
+      }
+    }
+  }
+  return segment;
+}
+
+idx_t ColumnSegment::MemoryUsage() const {
+  return width_ * kRowGroupSize + validity_.size() * 8 +
+         heap_.TotalCapacity();
+}
+
+}  // namespace mallard

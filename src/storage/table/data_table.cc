@@ -1,0 +1,254 @@
+#include "mallard/storage/table/data_table.h"
+
+#include <algorithm>
+
+#include "mallard/common/string_util.h"
+
+namespace mallard {
+
+DataTable::DataTable(std::string table_name,
+                     std::vector<ColumnDefinition> columns)
+    : name_(std::move(table_name)), columns_(std::move(columns)) {
+  types_.reserve(columns_.size());
+  for (const auto& col : columns_) {
+    types_.push_back(col.type);
+  }
+}
+
+std::vector<TypeId> DataTable::ColumnTypes() const { return types_; }
+
+idx_t DataTable::ColumnIndex(const std::string& name) const {
+  for (idx_t i = 0; i < columns_.size(); i++) {
+    if (StringUtil::CIEquals(columns_[i].name, name)) return i;
+  }
+  return kInvalidIndex;
+}
+
+Status DataTable::Append(Transaction* txn, const DataChunk& chunk) {
+  if (chunk.ColumnCount() != columns_.size()) {
+    return Status::InvalidArgument("appended chunk has wrong column count");
+  }
+  std::lock_guard<std::mutex> append_guard(append_lock_);
+  idx_t offset = 0;
+  while (offset < chunk.size()) {
+    RowGroup* last = nullptr;
+    {
+      std::shared_lock<std::shared_mutex> guard(row_groups_lock_);
+      if (!row_groups_.empty()) last = row_groups_.back().get();
+    }
+    if (!last || last->count() == last->Capacity()) {
+      std::unique_lock<std::shared_mutex> guard(row_groups_lock_);
+      row_groups_.push_back(std::make_unique<RowGroup>(
+          row_groups_.size() * kRowGroupSize, types_));
+      last = row_groups_.back().get();
+    }
+    std::unique_lock<std::shared_mutex> rg_guard(last->lock());
+    idx_t appended = last->Append(txn, chunk, offset, chunk.size() - offset);
+    offset += appended;
+  }
+  return Status::OK();
+}
+
+void DataTable::InitializeScan(TableScanState* state,
+                               std::vector<idx_t> column_ids,
+                               std::vector<TableFilter> filters) const {
+  state->column_ids = std::move(column_ids);
+  state->filters = std::move(filters);
+  state->row_group_index = 0;
+  state->offset = 0;
+  state->zonemap_checked = false;
+}
+
+bool DataTable::Scan(const Transaction& txn, TableScanState* state,
+                     DataChunk* out) const {
+  out->Reset();
+  while (true) {
+    RowGroup* rg = nullptr;
+    {
+      std::shared_lock<std::shared_mutex> guard(row_groups_lock_);
+      if (state->row_group_index >= row_groups_.size()) return false;
+      rg = row_groups_[state->row_group_index].get();
+    }
+    std::shared_lock<std::shared_mutex> rg_guard(rg->lock());
+    if (!state->zonemap_checked) {
+      state->zonemap_checked = true;
+      if (!state->filters.empty() && !rg->CheckZonemaps(state->filters)) {
+        rg_guard.unlock();
+        state->row_group_index++;
+        state->offset = 0;
+        state->zonemap_checked = false;
+        continue;
+      }
+    }
+    idx_t rg_count = rg->count();
+    if (state->offset >= rg_count) {
+      rg_guard.unlock();
+      state->row_group_index++;
+      state->offset = 0;
+      state->zonemap_checked = false;
+      continue;
+    }
+    idx_t n = std::min<idx_t>(kVectorSize, rg_count - state->offset);
+    // Visibility selection over the window.
+    uint32_t sel[kVectorSize];
+    idx_t m = 0;
+    for (idx_t i = 0; i < n; i++) {
+      if (rg->RowIsVisible(txn, state->offset + i)) {
+        sel[m++] = static_cast<uint32_t>(i);
+      }
+    }
+    if (m == 0) {
+      state->offset += n;
+      continue;
+    }
+    for (idx_t c = 0; c < state->column_ids.size(); c++) {
+      idx_t col_id = state->column_ids[c];
+      Vector& out_col = out->column(c);
+      if (col_id == kRowIdColumn) {
+        int64_t* ids = out_col.data<int64_t>();
+        for (idx_t i = 0; i < m; i++) {
+          ids[i] = static_cast<int64_t>(rg->start() + state->offset + sel[i]);
+        }
+        continue;
+      }
+      if (m == n) {
+        rg->ReadColumnWindow(txn, col_id, state->offset, n, &out_col);
+      } else {
+        Vector scratch(types_[col_id]);
+        rg->ReadColumnWindow(txn, col_id, state->offset, n, &scratch);
+        out_col.CopySelection(scratch, sel, m);
+      }
+    }
+    out->SetCardinality(m);
+    state->offset += n;
+    return true;
+  }
+}
+
+RowGroup* DataTable::GetRowGroupForRow(idx_t row_id) const {
+  idx_t index = row_id / kRowGroupSize;
+  std::shared_lock<std::shared_mutex> guard(row_groups_lock_);
+  if (index >= row_groups_.size()) return nullptr;
+  return row_groups_[index].get();
+}
+
+Result<idx_t> DataTable::Delete(Transaction* txn, const Vector& row_ids,
+                                idx_t count) {
+  const int64_t* ids = row_ids.data<int64_t>();
+  idx_t total_deleted = 0;
+  idx_t i = 0;
+  while (i < count) {
+    // Batch consecutive row ids that fall into the same row group.
+    idx_t rg_index = static_cast<idx_t>(ids[i]) / kRowGroupSize;
+    uint32_t rows[kVectorSize];
+    idx_t batch = 0;
+    while (i < count &&
+           static_cast<idx_t>(ids[i]) / kRowGroupSize == rg_index &&
+           batch < kVectorSize) {
+      rows[batch++] = static_cast<uint32_t>(ids[i] % kRowGroupSize);
+      i++;
+    }
+    RowGroup* rg = GetRowGroupForRow(rg_index * kRowGroupSize);
+    if (!rg) return Status::Internal("delete: row id out of range");
+    std::unique_lock<std::shared_mutex> guard(rg->lock());
+    std::vector<uint32_t> deleted_rows;
+    MALLARD_ASSIGN_OR_RETURN(idx_t deleted,
+                             rg->Delete(txn, rows, batch, &deleted_rows));
+    if (!deleted_rows.empty()) {
+      txn->RecordDelete(rg, std::move(deleted_rows));
+    }
+    total_deleted += deleted;
+  }
+  return total_deleted;
+}
+
+Status DataTable::Update(Transaction* txn, const Vector& row_ids, idx_t count,
+                         const std::vector<idx_t>& column_indexes,
+                         const DataChunk& values) {
+  const int64_t* ids = row_ids.data<int64_t>();
+  idx_t i = 0;
+  while (i < count) {
+    idx_t rg_index = static_cast<idx_t>(ids[i]) / kRowGroupSize;
+    uint32_t rows[kVectorSize];
+    uint32_t value_idx[kVectorSize];
+    idx_t batch = 0;
+    while (i < count &&
+           static_cast<idx_t>(ids[i]) / kRowGroupSize == rg_index &&
+           batch < kVectorSize) {
+      rows[batch] = static_cast<uint32_t>(ids[i] % kRowGroupSize);
+      value_idx[batch] = static_cast<uint32_t>(i);
+      batch++;
+      i++;
+    }
+    RowGroup* rg = GetRowGroupForRow(rg_index * kRowGroupSize);
+    if (!rg) return Status::Internal("update: row id out of range");
+    std::unique_lock<std::shared_mutex> guard(rg->lock());
+    for (idx_t c = 0; c < column_indexes.size(); c++) {
+      MALLARD_RETURN_NOT_OK(rg->Update(txn, column_indexes[c], rows,
+                                       value_idx, batch, values.column(c)));
+    }
+  }
+  return Status::OK();
+}
+
+idx_t DataTable::VisibleRowCount(const Transaction& txn) const {
+  std::shared_lock<std::shared_mutex> guard(row_groups_lock_);
+  idx_t total = 0;
+  for (const auto& rg : row_groups_) {
+    std::shared_lock<std::shared_mutex> rg_guard(rg->lock());
+    idx_t count = rg->count();
+    for (idx_t row = 0; row < count; row++) {
+      if (rg->RowIsVisible(txn, row)) total++;
+    }
+  }
+  return total;
+}
+
+idx_t DataTable::ApproxRowCount() const {
+  std::shared_lock<std::shared_mutex> guard(row_groups_lock_);
+  idx_t total = 0;
+  for (const auto& rg : row_groups_) total += rg->count();
+  return total;
+}
+
+void DataTable::CleanupUpdates(uint64_t lowest_active_start) {
+  std::shared_lock<std::shared_mutex> guard(row_groups_lock_);
+  for (const auto& rg : row_groups_) {
+    rg->CleanupUpdates(lowest_active_start);
+  }
+}
+
+void DataTable::Serialize(BinaryWriter* writer) const {
+  std::shared_lock<std::shared_mutex> guard(row_groups_lock_);
+  writer->WriteU64(row_groups_.size());
+  for (const auto& rg : row_groups_) {
+    rg->Serialize(writer);
+  }
+}
+
+Status DataTable::DeserializeData(BinaryReader* reader) {
+  uint64_t num_groups;
+  MALLARD_RETURN_NOT_OK(reader->ReadU64(&num_groups));
+  std::unique_lock<std::shared_mutex> guard(row_groups_lock_);
+  row_groups_.clear();
+  for (uint64_t i = 0; i < num_groups; i++) {
+    MALLARD_ASSIGN_OR_RETURN(
+        auto rg,
+        RowGroup::Deserialize(reader, row_groups_.size() * kRowGroupSize,
+                              types_));
+    // Checkpoint compaction can leave a row group empty; drop it.
+    if (rg->count() > 0) {
+      row_groups_.push_back(std::move(rg));
+    }
+  }
+  return Status::OK();
+}
+
+idx_t DataTable::MemoryUsage() const {
+  std::shared_lock<std::shared_mutex> guard(row_groups_lock_);
+  idx_t total = 0;
+  for (const auto& rg : row_groups_) total += rg->MemoryUsage();
+  return total;
+}
+
+}  // namespace mallard

@@ -1,0 +1,256 @@
+#include "mallard/storage/table/row_group.h"
+
+#include <mutex>
+
+#include <algorithm>
+
+namespace mallard {
+
+RowGroup::RowGroup(idx_t start, const std::vector<TypeId>& types)
+    : start_(start), types_(types) {
+  columns_.reserve(types.size());
+  updates_.resize(types.size());
+  for (TypeId type : types) {
+    columns_.push_back(std::make_unique<ColumnSegment>(type));
+  }
+}
+
+void RowGroup::EnsureInsertedBy() {
+  if (!inserted_by_) {
+    inserted_by_ =
+        std::make_unique<std::vector<uint64_t>>(kRowGroupSize, uint64_t(0));
+  }
+}
+
+void RowGroup::EnsureDeletedBy() {
+  if (!deleted_by_) {
+    deleted_by_ =
+        std::make_unique<std::vector<uint64_t>>(kRowGroupSize, kNotDeleted);
+  }
+}
+
+idx_t RowGroup::Append(Transaction* txn, const DataChunk& chunk,
+                       idx_t chunk_offset, idx_t max_count) {
+  idx_t space = kRowGroupSize - count_;
+  idx_t available = chunk.size() - chunk_offset;
+  idx_t to_append = std::min({space, available, max_count});
+  if (to_append == 0) return 0;
+  for (idx_t c = 0; c < columns_.size(); c++) {
+    columns_[c]->Append(chunk.column(c), chunk_offset, count_, to_append);
+  }
+  EnsureInsertedBy();
+  for (idx_t i = 0; i < to_append; i++) {
+    (*inserted_by_)[count_ + i] = txn->txn_id();
+  }
+  txn->RecordAppend(this, count_, to_append);
+  count_ += to_append;
+  return to_append;
+}
+
+void RowGroup::CommitAppend(uint64_t commit_id, idx_t start, idx_t count) {
+  std::unique_lock<std::shared_mutex> guard(lock_);
+  for (idx_t i = 0; i < count; i++) {
+    (*inserted_by_)[start + i] = commit_id;
+  }
+}
+
+void RowGroup::RevertAppend(idx_t start, idx_t count) {
+  std::unique_lock<std::shared_mutex> guard(lock_);
+  for (idx_t i = 0; i < count; i++) {
+    (*inserted_by_)[start + i] = kAbortedVersion;
+  }
+}
+
+Result<idx_t> RowGroup::Delete(Transaction* txn, const uint32_t* rows,
+                               idx_t count,
+                               std::vector<uint32_t>* deleted_rows) {
+  EnsureDeletedBy();
+  // First pass: detect conflicts before mutating anything.
+  for (idx_t i = 0; i < count; i++) {
+    uint64_t del = (*deleted_by_)[rows[i]];
+    if (del == kNotDeleted || del == txn->txn_id()) continue;
+    if (!txn->IsVisible(del)) {
+      return Status::TransactionConflict(
+          "conflict: row deleted by a concurrent transaction");
+    }
+  }
+  // Deleting a row that a concurrent transaction updated is also a
+  // write-write conflict.
+  for (idx_t c = 0; c < updates_.size(); c++) {
+    if (updates_[c]) {
+      MALLARD_RETURN_NOT_OK(updates_[c]->CheckConflict(*txn, rows, count));
+    }
+  }
+  idx_t deleted = 0;
+  for (idx_t i = 0; i < count; i++) {
+    uint64_t del = (*deleted_by_)[rows[i]];
+    if (del != kNotDeleted) continue;  // already deleted (visibly or by us)
+    (*deleted_by_)[rows[i]] = txn->txn_id();
+    deleted_rows->push_back(rows[i]);
+    deleted++;
+  }
+  return deleted;
+}
+
+void RowGroup::CommitDelete(uint64_t commit_id,
+                            const std::vector<uint32_t>& rows) {
+  std::unique_lock<std::shared_mutex> guard(lock_);
+  for (uint32_t row : rows) {
+    (*deleted_by_)[row] = commit_id;
+  }
+}
+
+void RowGroup::RevertDelete(const std::vector<uint32_t>& rows) {
+  std::unique_lock<std::shared_mutex> guard(lock_);
+  for (uint32_t row : rows) {
+    (*deleted_by_)[row] = kNotDeleted;
+  }
+}
+
+Status RowGroup::Update(Transaction* txn, idx_t column_index,
+                        const uint32_t* rows, const uint32_t* value_idx,
+                        idx_t count, const Vector& new_values) {
+  if (!updates_[column_index]) {
+    updates_[column_index] =
+        std::make_unique<UpdateSegment>(types_[column_index]);
+  }
+  UpdateSegment& seg = *updates_[column_index];
+  MALLARD_RETURN_NOT_OK(seg.CheckConflict(*txn, rows, count));
+  // Updating a row deleted by a concurrent transaction conflicts too.
+  if (deleted_by_) {
+    for (idx_t i = 0; i < count; i++) {
+      uint64_t del = (*deleted_by_)[rows[i]];
+      if (del != kNotDeleted && del != txn->txn_id() &&
+          !txn->IsVisible(del)) {
+        return Status::TransactionConflict(
+            "conflict: row deleted by a concurrent transaction");
+      }
+    }
+  }
+  UpdateInfo* info = seg.Update(*txn, columns_[column_index].get(), rows,
+                                value_idx, count, new_values);
+  txn->RecordUpdate(this, column_index, info);
+  return Status::OK();
+}
+
+void RowGroup::RollbackUpdate(idx_t column_index, UpdateInfo* info) {
+  std::unique_lock<std::shared_mutex> guard(lock_);
+  updates_[column_index]->Rollback(columns_[column_index].get(), info);
+}
+
+bool RowGroup::RowIsVisible(const Transaction& txn, idx_t row) const {
+  if (inserted_by_) {
+    uint64_t ins = (*inserted_by_)[row];
+    // 0 marks rows loaded from a checkpoint: committed before any
+    // currently possible snapshot.
+    if (ins != 0 && !txn.IsVisible(ins)) return false;
+  }
+  if (deleted_by_) {
+    uint64_t del = (*deleted_by_)[row];
+    if (del != kNotDeleted && txn.IsVisible(del)) return false;
+  }
+  return true;
+}
+
+bool RowGroup::CheckZonemaps(const std::vector<TableFilter>& filters) const {
+  for (const auto& filter : filters) {
+    // Zone maps are widened by updates, never narrowed, so they stay
+    // conservative in the presence of undo chains.
+    if (!columns_[filter.column_index]->CheckZonemap(filter.op,
+                                                     filter.constant)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Value RowGroup::FetchValue(const Transaction& txn, idx_t column_index,
+                           idx_t row) const {
+  const UpdateSegment* seg = updates_[column_index].get();
+  if (seg && seg->HasUpdates()) {
+    return seg->GetValueForTransaction(txn, *columns_[column_index], row);
+  }
+  return columns_[column_index]->GetValue(row);
+}
+
+void RowGroup::ReadColumnWindow(const Transaction& txn, idx_t column_index,
+                                idx_t offset, idx_t count,
+                                Vector* out) const {
+  columns_[column_index]->Read(offset, count, out);
+  const UpdateSegment* seg = updates_[column_index].get();
+  if (seg && seg->HasUpdates()) {
+    seg->ApplyUpdates(txn, offset, count, out);
+  }
+}
+
+void RowGroup::CleanupUpdates(uint64_t lowest_active_start) {
+  std::unique_lock<std::shared_mutex> guard(lock_);
+  for (auto& seg : updates_) {
+    if (seg) seg->Cleanup(lowest_active_start);
+  }
+}
+
+void RowGroup::Serialize(BinaryWriter* writer) const {
+  // Checkpoint-time serialization: no active transactions, so a row is
+  // live iff it was not aborted and not deleted by a committed
+  // transaction. Compact live rows into fresh segments.
+  std::vector<uint32_t> live;
+  live.reserve(count_);
+  for (idx_t row = 0; row < count_; row++) {
+    if (inserted_by_ && (*inserted_by_)[row] == kAbortedVersion) continue;
+    if (deleted_by_ && (*deleted_by_)[row] != kNotDeleted) continue;
+    live.push_back(static_cast<uint32_t>(row));
+  }
+  writer->WriteU64(live.size());
+  writer->WriteU32(static_cast<uint32_t>(types_.size()));
+  // Compact each column through a scratch vector.
+  for (idx_t c = 0; c < columns_.size(); c++) {
+    ColumnSegment compacted(types_[c]);
+    Vector scratch(types_[c]);
+    idx_t written = 0;
+    for (idx_t i = 0; i < live.size();) {
+      idx_t batch = std::min<idx_t>(kVectorSize, live.size() - i);
+      scratch.Reset();
+      for (idx_t j = 0; j < batch; j++) {
+        scratch.SetValue(j, columns_[c]->GetValue(live[i + j]));
+      }
+      compacted.Append(scratch, 0, written, batch);
+      written += batch;
+      i += batch;
+    }
+    compacted.Serialize(writer, live.size());
+  }
+}
+
+Result<std::unique_ptr<RowGroup>> RowGroup::Deserialize(
+    BinaryReader* reader, idx_t start, const std::vector<TypeId>& types) {
+  uint64_t count;
+  MALLARD_RETURN_NOT_OK(reader->ReadU64(&count));
+  uint32_t num_columns;
+  MALLARD_RETURN_NOT_OK(reader->ReadU32(&num_columns));
+  if (num_columns != types.size()) {
+    return Status::Corruption("row group column count mismatch");
+  }
+  auto rg = std::make_unique<RowGroup>(start, types);
+  rg->columns_.clear();
+  for (TypeId type : types) {
+    MALLARD_ASSIGN_OR_RETURN(auto segment,
+                             ColumnSegment::Deserialize(reader, type, count));
+    rg->columns_.push_back(std::move(segment));
+  }
+  rg->count_ = count;
+  return rg;
+}
+
+idx_t RowGroup::MemoryUsage() const {
+  idx_t total = 0;
+  for (const auto& col : columns_) total += col->MemoryUsage();
+  for (const auto& seg : updates_) {
+    if (seg) total += seg->MemoryUsage();
+  }
+  if (inserted_by_) total += kRowGroupSize * 8;
+  if (deleted_by_) total += kRowGroupSize * 8;
+  return total;
+}
+
+}  // namespace mallard

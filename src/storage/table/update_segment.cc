@@ -1,0 +1,191 @@
+#include "mallard/storage/table/update_segment.h"
+
+#include <cstring>
+
+namespace mallard {
+
+Status UpdateSegment::CheckConflict(const Transaction& txn,
+                                    const uint32_t* rows,
+                                    idx_t count) const {
+  for (const UpdateInfo* info = head_.get(); info; info = info->next.get()) {
+    if (txn.IsVisible(info->version) || info->version == txn.txn_id()) {
+      continue;
+    }
+    // This update is either uncommitted by another transaction or was
+    // committed after `txn` started; overlapping rows are a write-write
+    // conflict under serializable MVCC.
+    for (idx_t i = 0; i < count; i++) {
+      for (uint32_t r : info->rows) {
+        if (r == rows[i]) {
+          return Status::TransactionConflict(
+              "conflict: row updated by a concurrent transaction");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+UpdateInfo* UpdateSegment::Update(const Transaction& txn,
+                                  ColumnSegment* column, const uint32_t* rows,
+                                  const uint32_t* value_idx, idx_t count,
+                                  const Vector& new_values) {
+  auto info = std::make_unique<UpdateInfo>();
+  info->version = txn.txn_id();
+  info->rows.assign(rows, rows + count);
+  info->old_valid.resize(count);
+  if (type_ == TypeId::kVarchar) {
+    info->old_strings.resize(count);
+  } else {
+    info->old_data.resize(count * width_);
+  }
+  for (idx_t i = 0; i < count; i++) {
+    idx_t row = rows[i];
+    bool was_valid = column->RowIsValid(row);
+    info->old_valid[i] = was_valid ? 1 : 0;
+    if (was_valid) {
+      if (type_ == TypeId::kVarchar) {
+        info->old_strings[i] =
+            reinterpret_cast<const StringRef*>(column->data_.get())[row]
+                .ToString();
+      } else {
+        std::memcpy(info->old_data.data() + i * width_,
+                    column->data_.get() + row * width_, width_);
+      }
+    }
+    // In-place write of the new value (HyPer-style immediate update).
+    column->WriteRow(row, new_values, value_idx[i]);
+  }
+  UpdateInfo* result = info.get();
+  info->next = std::move(head_);
+  head_ = std::move(info);
+  return result;
+}
+
+void UpdateSegment::RestoreRowFromInfo(const UpdateInfo& info, idx_t info_idx,
+                                       idx_t /*row*/, Vector* out,
+                                       idx_t out_idx) const {
+  if (!info.old_valid[info_idx]) {
+    out->validity().SetInvalid(out_idx);
+    return;
+  }
+  out->validity().SetValid(out_idx);
+  if (type_ == TypeId::kVarchar) {
+    const std::string& s = info.old_strings[info_idx];
+    out->SetString(out_idx, s);
+  } else {
+    std::memcpy(out->raw_data() + out_idx * width_,
+                info.old_data.data() + info_idx * width_, width_);
+  }
+}
+
+void UpdateSegment::ApplyUpdates(const Transaction& txn, idx_t start_row,
+                                 idx_t count, Vector* out) const {
+  // Walk newest→oldest, applying the pre-image of every update that is
+  // invisible to the reader. The last write per row wins, which is the
+  // oldest invisible update — exactly the reader's snapshot state.
+  for (const UpdateInfo* info = head_.get(); info; info = info->next.get()) {
+    if (txn.IsVisible(info->version)) continue;
+    for (idx_t i = 0; i < info->rows.size(); i++) {
+      uint32_t row = info->rows[i];
+      if (row < start_row || row >= start_row + count) continue;
+      RestoreRowFromInfo(*info, i, row, out, row - start_row);
+    }
+  }
+}
+
+Value UpdateSegment::GetValueForTransaction(const Transaction& txn,
+                                            const ColumnSegment& column,
+                                            idx_t row) const {
+  // Find the oldest invisible pre-image for this row.
+  const UpdateInfo* match = nullptr;
+  idx_t match_idx = 0;
+  for (const UpdateInfo* info = head_.get(); info; info = info->next.get()) {
+    if (txn.IsVisible(info->version)) continue;
+    for (idx_t i = 0; i < info->rows.size(); i++) {
+      if (info->rows[i] == row) {
+        match = info;
+        match_idx = i;
+      }
+    }
+  }
+  if (!match) return column.GetValue(row);
+  if (!match->old_valid[match_idx]) return Value::Null(type_);
+  if (type_ == TypeId::kVarchar) {
+    return Value::Varchar(match->old_strings[match_idx]);
+  }
+  Vector tmp(type_);
+  std::memcpy(tmp.raw_data(), match->old_data.data() + match_idx * width_,
+              width_);
+  return tmp.GetValue(0);
+}
+
+void UpdateSegment::Rollback(ColumnSegment* column, UpdateInfo* target) {
+  // Restore pre-images into the base data.
+  Vector scratch(type_);
+  for (idx_t i = 0; i < target->rows.size(); i++) {
+    idx_t row = target->rows[i];
+    RestoreRowFromInfo(*target, i, row, &scratch, 0);
+    column->WriteRow(row, scratch, 0);
+    if (type_ == TypeId::kVarchar) scratch.Reset();
+  }
+  // Unlink the node.
+  UpdateInfo* prev = nullptr;
+  for (UpdateInfo* info = head_.get(); info;
+       prev = info, info = info->next.get()) {
+    if (info == target) {
+      std::unique_ptr<UpdateInfo> owned =
+          prev ? std::move(prev->next) : std::move(head_);
+      if (prev) {
+        prev->next = std::move(owned->next);
+      } else {
+        head_ = std::move(owned->next);
+      }
+      return;
+    }
+  }
+}
+
+void UpdateSegment::Cleanup(uint64_t lowest_active_start) {
+  UpdateInfo* prev = nullptr;
+  UpdateInfo* info = head_.get();
+  while (info) {
+    bool committed = info->version < kTransactionIdBase;
+    if (committed && info->version <= lowest_active_start) {
+      // Every active and future transaction sees this update; the
+      // pre-image can never be needed again.
+      std::unique_ptr<UpdateInfo> owned =
+          prev ? std::move(prev->next) : std::move(head_);
+      UpdateInfo* next = owned->next.get();
+      if (prev) {
+        prev->next = std::move(owned->next);
+      } else {
+        head_ = std::move(owned->next);
+      }
+      info = next;
+      continue;
+    }
+    prev = info;
+    info = info->next.get();
+  }
+}
+
+idx_t UpdateSegment::ChainLength() const {
+  idx_t n = 0;
+  for (const UpdateInfo* info = head_.get(); info; info = info->next.get()) {
+    n++;
+  }
+  return n;
+}
+
+idx_t UpdateSegment::MemoryUsage() const {
+  idx_t total = 0;
+  for (const UpdateInfo* info = head_.get(); info; info = info->next.get()) {
+    total += sizeof(UpdateInfo) + info->rows.size() * 4 +
+             info->old_data.size() + info->old_valid.size();
+    for (const auto& s : info->old_strings) total += s.size();
+  }
+  return total;
+}
+
+}  // namespace mallard

@@ -1,0 +1,294 @@
+#include <algorithm>
+
+#include "mallard/common/random.h"
+#include "mallard/main/appender.h"
+#include "mallard/main/connection.h"
+#include "mallard/tpch/tpch.h"
+
+namespace mallard {
+namespace tpch {
+
+namespace {
+
+const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                          "MIDDLE EAST"};
+
+struct NationDef {
+  const char* name;
+  int region;
+};
+const NationDef kNations[] = {
+    {"ALGERIA", 0},       {"ARGENTINA", 1}, {"BRAZIL", 1},
+    {"CANADA", 1},        {"EGYPT", 4},     {"ETHIOPIA", 0},
+    {"FRANCE", 3},        {"GERMANY", 3},   {"INDIA", 2},
+    {"INDONESIA", 2},     {"IRAN", 4},      {"IRAQ", 4},
+    {"JAPAN", 2},         {"JORDAN", 4},    {"KENYA", 0},
+    {"MOROCCO", 0},       {"MOZAMBIQUE", 0}, {"PERU", 1},
+    {"CHINA", 2},         {"ROMANIA", 3},   {"SAUDI ARABIA", 4},
+    {"VIETNAM", 2},       {"RUSSIA", 3},    {"UNITED KINGDOM", 3},
+    {"UNITED STATES", 1}};
+
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                           "MACHINERY", "HOUSEHOLD"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIED", "5-LOW"};
+const char* kShipModes[] = {"REG AIR", "AIR", "RAIL", "SHIP",
+                            "TRUCK", "MAIL", "FOB"};
+const char* kShipInstruct[] = {"DELIVER IN PERSON", "COLLECT COD",
+                               "NONE", "TAKE BACK RETURN"};
+const char* kTypes1[] = {"STANDARD", "SMALL", "MEDIUM", "LARGE",
+                         "ECONOMY", "PROMO"};
+const char* kTypes2[] = {"ANODIZED", "BURNISHED", "PLATED",
+                         "POLISHED", "BRUSHED"};
+const char* kTypes3[] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+const char* kContainers1[] = {"SM", "LG", "MED", "JUMBO", "WRAP"};
+const char* kContainers2[] = {"CASE", "BOX", "BAG", "JAR", "PKG",
+                              "PACK", "CAN", "DRUM"};
+
+// Order date domain: 1992-01-01 .. 1998-08-02 (per the spec).
+const int32_t kStartDate = date::FromYMD(1992, 1, 1);
+const int32_t kEndDate = date::FromYMD(1998, 8, 2);
+
+std::string RandomComment(RandomEngine* rng, int max_words) {
+  static const char* kWords[] = {
+      "furiously", "quickly", "carefully", "blithely", "slyly",
+      "deposits",  "requests", "accounts", "packages", "instructions",
+      "sleep",     "haggle",  "nag",      "wake",     "bold",
+      "final",     "ironic",  "regular",  "special",  "express"};
+  int words = 2 + static_cast<int>(rng->NextInt(0, max_words - 2));
+  std::string result;
+  for (int i = 0; i < words; i++) {
+    if (i > 0) result += " ";
+    result += kWords[rng->NextInt(0, 19)];
+  }
+  return result;
+}
+
+Status Exec(Connection* con, const std::string& sql) {
+  auto result = con->Query(sql);
+  return result.ok() ? Status::OK() : result.status();
+}
+
+Status CreateSchema(Connection* con) {
+  MALLARD_RETURN_NOT_OK(Exec(con,
+      "CREATE TABLE region (r_regionkey INTEGER, r_name VARCHAR, "
+      "r_comment VARCHAR)"));
+  MALLARD_RETURN_NOT_OK(Exec(con,
+      "CREATE TABLE nation (n_nationkey INTEGER, n_name VARCHAR, "
+      "n_regionkey INTEGER, n_comment VARCHAR)"));
+  MALLARD_RETURN_NOT_OK(Exec(con,
+      "CREATE TABLE supplier (s_suppkey INTEGER, s_name VARCHAR, "
+      "s_address VARCHAR, s_nationkey INTEGER, s_phone VARCHAR, "
+      "s_acctbal DOUBLE, s_comment VARCHAR)"));
+  MALLARD_RETURN_NOT_OK(Exec(con,
+      "CREATE TABLE customer (c_custkey INTEGER, c_name VARCHAR, "
+      "c_address VARCHAR, c_nationkey INTEGER, c_phone VARCHAR, "
+      "c_acctbal DOUBLE, c_mktsegment VARCHAR, c_comment VARCHAR)"));
+  MALLARD_RETURN_NOT_OK(Exec(con,
+      "CREATE TABLE part (p_partkey INTEGER, p_name VARCHAR, "
+      "p_mfgr VARCHAR, p_brand VARCHAR, p_type VARCHAR, p_size INTEGER, "
+      "p_container VARCHAR, p_retailprice DOUBLE, p_comment VARCHAR)"));
+  MALLARD_RETURN_NOT_OK(Exec(con,
+      "CREATE TABLE partsupp (ps_partkey INTEGER, ps_suppkey INTEGER, "
+      "ps_availqty INTEGER, ps_supplycost DOUBLE, ps_comment VARCHAR)"));
+  MALLARD_RETURN_NOT_OK(Exec(con,
+      "CREATE TABLE orders (o_orderkey INTEGER, o_custkey INTEGER, "
+      "o_orderstatus VARCHAR, o_totalprice DOUBLE, o_orderdate DATE, "
+      "o_orderpriority VARCHAR, o_clerk VARCHAR, o_shippriority INTEGER, "
+      "o_comment VARCHAR)"));
+  MALLARD_RETURN_NOT_OK(Exec(con,
+      "CREATE TABLE lineitem (l_orderkey INTEGER, l_partkey INTEGER, "
+      "l_suppkey INTEGER, l_linenumber INTEGER, l_quantity DOUBLE, "
+      "l_extendedprice DOUBLE, l_discount DOUBLE, l_tax DOUBLE, "
+      "l_returnflag VARCHAR, l_linestatus VARCHAR, l_shipdate DATE, "
+      "l_commitdate DATE, l_receiptdate DATE, l_shipinstruct VARCHAR, "
+      "l_shipmode VARCHAR, l_comment VARCHAR)"));
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Generate(Database* db, double scale_factor) {
+  Connection con(db);
+  MALLARD_RETURN_NOT_OK(CreateSchema(&con));
+  RandomEngine rng(0x7c9e6e51a5b3d2f1ULL);
+
+  const int64_t n_supplier = std::max<int64_t>(1, 10000 * scale_factor);
+  const int64_t n_customer = std::max<int64_t>(1, 150000 * scale_factor);
+  const int64_t n_part = std::max<int64_t>(1, 200000 * scale_factor);
+  const int64_t n_orders = std::max<int64_t>(1, 1500000 * scale_factor);
+
+  // region
+  {
+    MALLARD_ASSIGN_OR_RETURN(auto app, Appender::Create(db, "region"));
+    for (int r = 0; r < 5; r++) {
+      app->Append(static_cast<int32_t>(r))
+          .Append(kRegions[r])
+          .Append(RandomComment(&rng, 6));
+      MALLARD_RETURN_NOT_OK(app->EndRow());
+    }
+    MALLARD_RETURN_NOT_OK(app->Close());
+  }
+  // nation
+  {
+    MALLARD_ASSIGN_OR_RETURN(auto app, Appender::Create(db, "nation"));
+    for (int n = 0; n < 25; n++) {
+      app->Append(static_cast<int32_t>(n))
+          .Append(kNations[n].name)
+          .Append(static_cast<int32_t>(kNations[n].region))
+          .Append(RandomComment(&rng, 6));
+      MALLARD_RETURN_NOT_OK(app->EndRow());
+    }
+    MALLARD_RETURN_NOT_OK(app->Close());
+  }
+  // supplier
+  {
+    MALLARD_ASSIGN_OR_RETURN(auto app, Appender::Create(db, "supplier"));
+    for (int64_t s = 1; s <= n_supplier; s++) {
+      app->Append(static_cast<int32_t>(s))
+          .Append("Supplier#" + std::to_string(s))
+          .Append("addr" + std::to_string(rng.NextInt(0, 99999)))
+          .Append(static_cast<int32_t>(rng.NextInt(0, 24)))
+          .Append("27-" + std::to_string(rng.NextInt(100, 999)))
+          .Append(rng.NextDouble() * 11000.0 - 1000.0)
+          .Append(RandomComment(&rng, 8));
+      MALLARD_RETURN_NOT_OK(app->EndRow());
+    }
+    MALLARD_RETURN_NOT_OK(app->Close());
+  }
+  // customer
+  {
+    MALLARD_ASSIGN_OR_RETURN(auto app, Appender::Create(db, "customer"));
+    for (int64_t c = 1; c <= n_customer; c++) {
+      app->Append(static_cast<int32_t>(c))
+          .Append("Customer#" + std::to_string(c))
+          .Append("addr" + std::to_string(rng.NextInt(0, 99999)))
+          .Append(static_cast<int32_t>(rng.NextInt(0, 24)))
+          .Append("13-" + std::to_string(rng.NextInt(100, 999)))
+          .Append(rng.NextDouble() * 11000.0 - 1000.0)
+          .Append(kSegments[rng.NextInt(0, 4)])
+          .Append(RandomComment(&rng, 8));
+      MALLARD_RETURN_NOT_OK(app->EndRow());
+    }
+    MALLARD_RETURN_NOT_OK(app->Close());
+  }
+  // part
+  {
+    MALLARD_ASSIGN_OR_RETURN(auto app, Appender::Create(db, "part"));
+    for (int64_t p = 1; p <= n_part; p++) {
+      std::string type = std::string(kTypes1[rng.NextInt(0, 5)]) + " " +
+                         kTypes2[rng.NextInt(0, 4)] + " " +
+                         kTypes3[rng.NextInt(0, 4)];
+      std::string container = std::string(kContainers1[rng.NextInt(0, 4)]) +
+                              " " + kContainers2[rng.NextInt(0, 7)];
+      app->Append(static_cast<int32_t>(p))
+          .Append("part " + RandomComment(&rng, 3))
+          .Append("Manufacturer#" + std::to_string(rng.NextInt(1, 5)))
+          .Append("Brand#" + std::to_string(rng.NextInt(1, 5)) +
+                  std::to_string(rng.NextInt(1, 5)))
+          .Append(type)
+          .Append(static_cast<int32_t>(rng.NextInt(1, 50)))
+          .Append(container)
+          .Append(900.0 + (p % 1000) + rng.NextDouble() * 100.0)
+          .Append(RandomComment(&rng, 5));
+      MALLARD_RETURN_NOT_OK(app->EndRow());
+    }
+    MALLARD_RETURN_NOT_OK(app->Close());
+  }
+  // partsupp: 4 suppliers per part.
+  {
+    MALLARD_ASSIGN_OR_RETURN(auto app, Appender::Create(db, "partsupp"));
+    for (int64_t p = 1; p <= n_part; p++) {
+      for (int s = 0; s < 4; s++) {
+        int64_t suppkey =
+            (p + s * (n_supplier / 4 + 1)) % n_supplier + 1;
+        app->Append(static_cast<int32_t>(p))
+            .Append(static_cast<int32_t>(suppkey))
+            .Append(static_cast<int32_t>(rng.NextInt(1, 9999)))
+            .Append(rng.NextDouble() * 1000.0 + 1.0)
+            .Append(RandomComment(&rng, 5));
+        MALLARD_RETURN_NOT_OK(app->EndRow());
+      }
+    }
+    MALLARD_RETURN_NOT_OK(app->Close());
+  }
+  // orders + lineitem (1..7 lines per order, avg 4 like dbgen).
+  {
+    MALLARD_ASSIGN_OR_RETURN(auto orders_app, Appender::Create(db, "orders"));
+    MALLARD_ASSIGN_OR_RETURN(auto lines_app,
+                             Appender::Create(db, "lineitem"));
+    for (int64_t o = 1; o <= n_orders; o++) {
+      int32_t orderdate = static_cast<int32_t>(
+          rng.NextInt(kStartDate, kEndDate - 151));
+      int n_lines = static_cast<int>(rng.NextInt(1, 7));
+      double total = 0.0;
+      int32_t custkey = static_cast<int32_t>(rng.NextInt(1, n_customer));
+      // Lineitems first to compute the order total.
+      for (int l = 1; l <= n_lines; l++) {
+        int32_t partkey = static_cast<int32_t>(rng.NextInt(1, n_part));
+        int32_t suppkey =
+            static_cast<int32_t>((partkey + rng.NextInt(0, 3) *
+                                  (n_supplier / 4 + 1)) % n_supplier + 1);
+        double quantity = static_cast<double>(rng.NextInt(1, 50));
+        double extendedprice =
+            quantity * (900.0 + (partkey % 1000) + 100.0);
+        double discount = rng.NextInt(0, 10) / 100.0;
+        double tax = rng.NextInt(0, 8) / 100.0;
+        int32_t shipdate =
+            orderdate + static_cast<int32_t>(rng.NextInt(1, 121));
+        int32_t commitdate =
+            orderdate + static_cast<int32_t>(rng.NextInt(30, 90));
+        int32_t receiptdate =
+            shipdate + static_cast<int32_t>(rng.NextInt(1, 30));
+        const char* returnflag;
+        const char* linestatus;
+        // Per spec: returned if receipt <= currentdate (1995-06-17).
+        const int32_t kCurrent = date::FromYMD(1995, 6, 17);
+        if (receiptdate <= kCurrent) {
+          returnflag = rng.NextBool(0.5) ? "R" : "A";
+        } else {
+          returnflag = "N";
+        }
+        linestatus = shipdate > kCurrent ? "O" : "F";
+        total += extendedprice * (1 - discount) * (1 + tax);
+        lines_app->Append(static_cast<int32_t>(o))
+            .Append(partkey)
+            .Append(suppkey)
+            .Append(static_cast<int32_t>(l))
+            .Append(quantity)
+            .Append(extendedprice)
+            .Append(discount)
+            .Append(tax)
+            .Append(returnflag)
+            .Append(linestatus)
+            .Append(Value::Date(shipdate))
+            .Append(Value::Date(commitdate))
+            .Append(Value::Date(receiptdate))
+            .Append(kShipInstruct[rng.NextInt(0, 3)])
+            .Append(kShipModes[rng.NextInt(0, 6)])
+            .Append(RandomComment(&rng, 4));
+        MALLARD_RETURN_NOT_OK(lines_app->EndRow());
+      }
+      const int32_t kCurrent = date::FromYMD(1995, 6, 17);
+      const char* status = orderdate + 151 < kCurrent
+                               ? "F"
+                               : (orderdate > kCurrent ? "O" : "P");
+      orders_app->Append(static_cast<int32_t>(o))
+          .Append(custkey)
+          .Append(status)
+          .Append(total)
+          .Append(Value::Date(orderdate))
+          .Append(kPriorities[rng.NextInt(0, 4)])
+          .Append("Clerk#" + std::to_string(rng.NextInt(1, 1000)))
+          .Append(static_cast<int32_t>(0))
+          .Append(RandomComment(&rng, 5));
+      MALLARD_RETURN_NOT_OK(orders_app->EndRow());
+    }
+    MALLARD_RETURN_NOT_OK(orders_app->Close());
+    MALLARD_RETURN_NOT_OK(lines_app->Close());
+  }
+  return Status::OK();
+}
+
+}  // namespace tpch
+}  // namespace mallard

@@ -1,0 +1,133 @@
+#include "mallard/tpch/tpch.h"
+
+namespace mallard {
+namespace tpch {
+
+std::vector<int> SupportedQueries() { return {1, 3, 5, 6, 10, 12, 14, 19}; }
+
+std::string Query(int query_number) {
+  switch (query_number) {
+    case 1:
+      return R"(
+SELECT l_returnflag, l_linestatus,
+       sum(l_quantity) AS sum_qty,
+       sum(l_extendedprice) AS sum_base_price,
+       sum(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+       sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+       avg(l_quantity) AS avg_qty,
+       avg(l_extendedprice) AS avg_price,
+       avg(l_discount) AS avg_disc,
+       count(*) AS count_order
+FROM lineitem
+WHERE l_shipdate <= DATE '1998-12-01' - INTERVAL '90' DAY
+GROUP BY l_returnflag, l_linestatus
+ORDER BY l_returnflag, l_linestatus)";
+    case 3:
+      return R"(
+SELECT l_orderkey,
+       sum(l_extendedprice * (1 - l_discount)) AS revenue,
+       o_orderdate, o_shippriority
+FROM customer, orders, lineitem
+WHERE c_mktsegment = 'BUILDING'
+  AND c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate < DATE '1995-03-15'
+  AND l_shipdate > DATE '1995-03-15'
+GROUP BY l_orderkey, o_orderdate, o_shippriority
+ORDER BY revenue DESC, o_orderdate
+LIMIT 10)";
+    case 5:
+      return R"(
+SELECT n_name,
+       sum(l_extendedprice * (1 - l_discount)) AS revenue
+FROM customer, orders, lineitem, supplier, nation, region
+WHERE c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND l_suppkey = s_suppkey
+  AND c_nationkey = s_nationkey
+  AND s_nationkey = n_nationkey
+  AND n_regionkey = r_regionkey
+  AND r_name = 'ASIA'
+  AND o_orderdate >= DATE '1994-01-01'
+  AND o_orderdate < DATE '1994-01-01' + INTERVAL '1' YEAR
+GROUP BY n_name
+ORDER BY revenue DESC)";
+    case 6:
+      return R"(
+SELECT sum(l_extendedprice * l_discount) AS revenue
+FROM lineitem
+WHERE l_shipdate >= DATE '1994-01-01'
+  AND l_shipdate < DATE '1994-01-01' + INTERVAL '1' YEAR
+  AND l_discount BETWEEN 0.05 AND 0.07
+  AND l_quantity < 24)";
+    case 10:
+      return R"(
+SELECT c_custkey, c_name,
+       sum(l_extendedprice * (1 - l_discount)) AS revenue,
+       c_acctbal, n_name, c_address, c_phone, c_comment
+FROM customer, orders, lineitem, nation
+WHERE c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate >= DATE '1993-10-01'
+  AND o_orderdate < DATE '1993-10-01' + INTERVAL '3' MONTH
+  AND l_returnflag = 'R'
+  AND c_nationkey = n_nationkey
+GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address, c_comment
+ORDER BY revenue DESC
+LIMIT 20)";
+    case 12:
+      return R"(
+SELECT l_shipmode,
+       sum(CASE WHEN o_orderpriority = '1-URGENT'
+                  OR o_orderpriority = '2-HIGH'
+                THEN 1 ELSE 0 END) AS high_line_count,
+       sum(CASE WHEN o_orderpriority <> '1-URGENT'
+                 AND o_orderpriority <> '2-HIGH'
+                THEN 1 ELSE 0 END) AS low_line_count
+FROM orders, lineitem
+WHERE o_orderkey = l_orderkey
+  AND l_shipmode IN ('MAIL', 'SHIP')
+  AND l_commitdate < l_receiptdate
+  AND l_shipdate < l_commitdate
+  AND l_receiptdate >= DATE '1994-01-01'
+  AND l_receiptdate < DATE '1994-01-01' + INTERVAL '1' YEAR
+GROUP BY l_shipmode
+ORDER BY l_shipmode)";
+    case 14:
+      return R"(
+SELECT 100.00 * sum(CASE WHEN p_type LIKE 'PROMO%'
+                         THEN l_extendedprice * (1 - l_discount)
+                         ELSE 0 END)
+       / sum(l_extendedprice * (1 - l_discount)) AS promo_revenue
+FROM lineitem, part
+WHERE l_partkey = p_partkey
+  AND l_shipdate >= DATE '1995-09-01'
+  AND l_shipdate < DATE '1995-09-01' + INTERVAL '1' MONTH)";
+    case 19:
+      // The join predicate is hoisted out of the OR branches (the common
+      // Q19 rewrite) so the planner can form an equi-join.
+      return R"(
+SELECT sum(l_extendedprice * (1 - l_discount)) AS revenue
+FROM lineitem, part
+WHERE p_partkey = l_partkey
+  AND l_shipmode IN ('AIR', 'REG AIR')
+  AND l_shipinstruct = 'DELIVER IN PERSON'
+  AND ((p_brand = 'Brand#12'
+  AND p_container IN ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG')
+  AND l_quantity >= 1 AND l_quantity <= 11
+  AND p_size BETWEEN 1 AND 5)
+  OR (p_brand = 'Brand#23'
+  AND p_container IN ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK')
+  AND l_quantity >= 10 AND l_quantity <= 20
+  AND p_size BETWEEN 1 AND 10)
+  OR (p_brand = 'Brand#34'
+  AND p_container IN ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG')
+  AND l_quantity >= 20 AND l_quantity <= 30
+  AND p_size BETWEEN 1 AND 15)))";
+    default:
+      return "";
+  }
+}
+
+}  // namespace tpch
+}  // namespace mallard

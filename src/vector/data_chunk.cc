@@ -1,0 +1,56 @@
+#include "mallard/vector/data_chunk.h"
+
+#include <algorithm>
+
+namespace mallard {
+
+void DataChunk::Initialize(const std::vector<TypeId>& types) {
+  columns_.clear();
+  columns_.reserve(types.size());
+  for (TypeId type : types) {
+    columns_.emplace_back(type);
+  }
+  count_ = 0;
+}
+
+std::vector<TypeId> DataChunk::Types() const {
+  std::vector<TypeId> types;
+  types.reserve(columns_.size());
+  for (const auto& col : columns_) {
+    types.push_back(col.type());
+  }
+  return types;
+}
+
+void DataChunk::Reset() {
+  for (auto& col : columns_) {
+    col.Reset();
+  }
+  count_ = 0;
+}
+
+idx_t DataChunk::Append(const DataChunk& other, idx_t offset) {
+  idx_t available = other.size() > offset ? other.size() - offset : 0;
+  idx_t space = kVectorSize - count_;
+  idx_t to_copy = std::min(available, space);
+  if (to_copy == 0) return 0;
+  for (idx_t c = 0; c < columns_.size(); c++) {
+    columns_[c].CopyFrom(other.column(c), to_copy, offset, count_);
+  }
+  count_ += to_copy;
+  return to_copy;
+}
+
+std::string DataChunk::ToString() const {
+  std::string result;
+  for (idx_t r = 0; r < count_; r++) {
+    for (idx_t c = 0; c < columns_.size(); c++) {
+      if (c > 0) result += "\t";
+      result += GetValue(c, r).ToString();
+    }
+    result += "\n";
+  }
+  return result;
+}
+
+}  // namespace mallard

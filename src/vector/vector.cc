@@ -1,0 +1,170 @@
+#include "mallard/vector/vector.h"
+
+#include <cassert>
+
+namespace mallard {
+
+Vector::Vector(TypeId type)
+    : type_(type),
+      buffer_(std::make_shared<VectorBuffer>(TypeSize(type) * kVectorSize)) {
+  data_ = buffer_->data.get();
+}
+
+void Vector::SetValue(idx_t row, const Value& value) {
+  if (value.is_null()) {
+    validity_.SetInvalid(row);
+    return;
+  }
+  validity_.SetValid(row);
+  switch (type_) {
+    case TypeId::kBoolean:
+      data<int8_t>()[row] = value.GetBoolean() ? 1 : 0;
+      break;
+    case TypeId::kInteger:
+      data<int32_t>()[row] = value.GetInteger();
+      break;
+    case TypeId::kDate:
+      data<int32_t>()[row] = value.GetDate();
+      break;
+    case TypeId::kBigInt:
+      data<int64_t>()[row] = value.GetBigInt();
+      break;
+    case TypeId::kTimestamp:
+      data<int64_t>()[row] = value.GetTimestamp();
+      break;
+    case TypeId::kDouble:
+      data<double>()[row] = value.GetDouble();
+      break;
+    case TypeId::kVarchar:
+      SetString(row, value.GetString());
+      break;
+    default:
+      assert(false && "SetValue on invalid vector type");
+  }
+}
+
+Value Vector::GetValue(idx_t row) const {
+  if (!validity_.RowIsValid(row)) return Value::Null(type_);
+  switch (type_) {
+    case TypeId::kBoolean:
+      return Value::Boolean(data<int8_t>()[row] != 0);
+    case TypeId::kInteger:
+      return Value::Integer(data<int32_t>()[row]);
+    case TypeId::kDate:
+      return Value::Date(data<int32_t>()[row]);
+    case TypeId::kBigInt:
+      return Value::BigInt(data<int64_t>()[row]);
+    case TypeId::kTimestamp:
+      return Value::Timestamp(data<int64_t>()[row]);
+    case TypeId::kDouble:
+      return Value::Double(data<double>()[row]);
+    case TypeId::kVarchar: {
+      const StringRef& s = data<StringRef>()[row];
+      return Value::Varchar(s.ToString());
+    }
+    default:
+      return Value();
+  }
+}
+
+void Vector::Reference(const Vector& other) {
+  type_ = other.type_;
+  buffer_ = other.buffer_;
+  data_ = other.data_;
+  validity_ = other.validity_;
+}
+
+void Vector::CopyFrom(const Vector& other, idx_t count, idx_t source_offset,
+                      idx_t target_offset) {
+  assert(type_ == other.type_);
+  idx_t width = TypeSize(type_);
+  if (type_ == TypeId::kVarchar) {
+    const StringRef* src = other.data<StringRef>();
+    StringRef* dst = data<StringRef>();
+    for (idx_t i = 0; i < count; i++) {
+      idx_t s = source_offset + i, t = target_offset + i;
+      if (other.validity_.RowIsValid(s)) {
+        dst[t] = buffer_->heap.AddString(src[s]);
+        validity_.SetValid(t);
+      } else {
+        validity_.SetInvalid(t);
+      }
+    }
+    return;
+  }
+  std::memcpy(data_ + target_offset * width,
+              other.data_ + source_offset * width, count * width);
+  if (other.validity_.AllValid()) {
+    if (!validity_.AllValid()) {
+      for (idx_t i = 0; i < count; i++) validity_.SetValid(target_offset + i);
+    }
+  } else {
+    for (idx_t i = 0; i < count; i++) {
+      validity_.Set(target_offset + i,
+                    other.validity_.RowIsValid(source_offset + i));
+    }
+  }
+}
+
+void Vector::CopySelection(const Vector& other, const uint32_t* sel,
+                           idx_t count, idx_t target_offset) {
+  assert(type_ == other.type_);
+  switch (type_) {
+    case TypeId::kVarchar: {
+      const StringRef* src = other.data<StringRef>();
+      StringRef* dst = data<StringRef>();
+      for (idx_t i = 0; i < count; i++) {
+        idx_t s = sel[i], t = target_offset + i;
+        if (other.validity_.RowIsValid(s)) {
+          dst[t] = buffer_->heap.AddString(src[s]);
+          validity_.SetValid(t);
+        } else {
+          validity_.SetInvalid(t);
+        }
+      }
+      return;
+    }
+    case TypeId::kBoolean: {
+      const int8_t* src = other.data<int8_t>();
+      int8_t* dst = data<int8_t>();
+      for (idx_t i = 0; i < count; i++) dst[target_offset + i] = src[sel[i]];
+      break;
+    }
+    case TypeId::kInteger:
+    case TypeId::kDate: {
+      const int32_t* src = other.data<int32_t>();
+      int32_t* dst = data<int32_t>();
+      for (idx_t i = 0; i < count; i++) dst[target_offset + i] = src[sel[i]];
+      break;
+    }
+    default: {
+      const int64_t* src = other.data<int64_t>();
+      int64_t* dst = data<int64_t>();
+      for (idx_t i = 0; i < count; i++) dst[target_offset + i] = src[sel[i]];
+      break;
+    }
+  }
+  if (other.validity_.AllValid()) {
+    if (!validity_.AllValid()) {
+      for (idx_t i = 0; i < count; i++) validity_.SetValid(target_offset + i);
+    }
+  } else {
+    for (idx_t i = 0; i < count; i++) {
+      validity_.Set(target_offset + i, other.validity_.RowIsValid(sel[i]));
+    }
+  }
+}
+
+void Vector::Reset() {
+  if (buffer_.use_count() > 1) {
+    // The buffer is still referenced downstream (e.g. a chunk handed to
+    // the client zero-copy). Detach instead of overwriting it.
+    buffer_ = std::make_shared<VectorBuffer>(TypeSize(type_) * kVectorSize);
+    data_ = buffer_->data.get();
+  } else if (type_ == TypeId::kVarchar) {
+    buffer_->heap.Reset();
+  }
+  validity_.SetAllValid();
+}
+
+}  // namespace mallard

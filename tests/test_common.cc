@@ -1,0 +1,265 @@
+// Unit tests for the common runtime: Status/Result, values, dates,
+// strings, checksums, arenas, serialization, PRNG.
+
+#include <gtest/gtest.h>
+
+#include "mallard/common/arena.h"
+#include "mallard/common/checksum.h"
+#include "mallard/common/random.h"
+#include "mallard/common/result.h"
+#include "mallard/common/serializer.h"
+#include "mallard/common/string_util.h"
+#include "mallard/common/value.h"
+
+namespace mallard {
+namespace {
+
+TEST(StatusTest, OkIsFree) {
+  Status ok = Status::OK();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.code(), StatusCode::kOk);
+  EXPECT_EQ(ok.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::Corruption("bad block");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsCorruption());
+  EXPECT_EQ(s.message(), "bad block");
+  EXPECT_EQ(s.ToString(), "Corruption: bad block");
+}
+
+TEST(StatusTest, CopyAndMove) {
+  Status s = Status::IOError("disk");
+  Status copy = s;
+  EXPECT_EQ(copy.code(), StatusCode::kIOError);
+  Status moved = std::move(s);
+  EXPECT_EQ(moved.message(), "disk");
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x * 2;
+}
+
+TEST(ResultTest, ValueAndError) {
+  auto good = ParsePositive(21);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+  auto bad = ParsePositive(-1);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValueTest, ConstructorsAndAccessors) {
+  EXPECT_EQ(Value::Integer(7).GetInteger(), 7);
+  EXPECT_EQ(Value::BigInt(1LL << 40).GetBigInt(), 1LL << 40);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).GetDouble(), 2.5);
+  EXPECT_EQ(Value::Varchar("hi").GetString(), "hi");
+  EXPECT_TRUE(Value::Null(TypeId::kInteger).is_null());
+  EXPECT_FALSE(Value::Integer(0).is_null());
+}
+
+TEST(ValueTest, CastLattice) {
+  EXPECT_EQ(Value::Integer(5).CastTo(TypeId::kBigInt)->GetBigInt(), 5);
+  EXPECT_DOUBLE_EQ(Value::Integer(5).CastTo(TypeId::kDouble)->GetDouble(),
+                   5.0);
+  EXPECT_EQ(Value::Double(5.6).CastTo(TypeId::kInteger)->GetInteger(), 6);
+  EXPECT_EQ(Value::Varchar("123").CastTo(TypeId::kInteger)->GetInteger(),
+            123);
+  EXPECT_EQ(Value::Integer(42).CastTo(TypeId::kVarchar)->GetString(), "42");
+  EXPECT_FALSE(Value::Varchar("xyz").CastTo(TypeId::kInteger).ok());
+  // NULL casts stay NULL.
+  EXPECT_TRUE(Value::Null(TypeId::kInteger)
+                  .CastTo(TypeId::kDouble)
+                  ->is_null());
+}
+
+TEST(ValueTest, CompareOrdersNullsFirst) {
+  EXPECT_LT(Value::Null(TypeId::kInteger).Compare(Value::Integer(0)), 0);
+  EXPECT_EQ(Value::Integer(3).Compare(Value::Integer(3)), 0);
+  EXPECT_GT(Value::Varchar("b").Compare(Value::Varchar("a")), 0);
+  EXPECT_LT(Value::Double(1.5).Compare(Value::Double(2.5)), 0);
+}
+
+TEST(ValueTest, MixedNumericCompare) {
+  EXPECT_EQ(Value::Integer(2).Compare(Value::Double(2.0)), 0);
+  EXPECT_LT(Value::Integer(2).Compare(Value::Double(2.5)), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Integer(5).Hash(), Value::Integer(5).Hash());
+  EXPECT_EQ(Value::Varchar("abc").Hash(), Value::Varchar("abc").Hash());
+  EXPECT_NE(Value::Varchar("abc").Hash(), Value::Varchar("abd").Hash());
+}
+
+TEST(DateTest, KnownDates) {
+  EXPECT_EQ(date::FromYMD(1970, 1, 1), 0);
+  EXPECT_EQ(date::FromYMD(1970, 1, 2), 1);
+  EXPECT_EQ(date::FromYMD(2000, 3, 1), 11017);
+  EXPECT_EQ(date::ToString(0), "1970-01-01");
+  EXPECT_EQ(date::ToString(date::FromYMD(1998, 9, 2)), "1998-09-02");
+}
+
+TEST(DateTest, ParseAndComponents) {
+  auto d = date::FromString("2024-02-29");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(date::Year(*d), 2024);
+  EXPECT_EQ(date::Month(*d), 2);
+  EXPECT_EQ(date::Day(*d), 29);
+  EXPECT_FALSE(date::FromString("not a date").ok());
+}
+
+// Property: ToYMD(FromYMD(y,m,d)) is the identity over a broad range.
+class DateRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(DateRoundTrip, RoundTripsYear) {
+  int year = GetParam();
+  static const int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  for (int m = 1; m <= 12; m++) {
+    int max_day = kDays[m - 1];
+    if (m == 2 && (year % 4 == 0 && (year % 100 != 0 || year % 400 == 0))) {
+      max_day = 29;
+    }
+    for (int d = 1; d <= max_day; d += 7) {
+      int32_t days = date::FromYMD(year, m, d);
+      int32_t y2, m2, d2;
+      date::ToYMD(days, &y2, &m2, &d2);
+      EXPECT_EQ(y2, year);
+      EXPECT_EQ(m2, m);
+      EXPECT_EQ(d2, d);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Years, DateRoundTrip,
+                         ::testing::Values(1970, 1992, 1996, 1998, 2000,
+                                           2024, 2100, 1900));
+
+TEST(StringUtilTest, CaseAndTrim) {
+  EXPECT_EQ(StringUtil::Upper("MiXeD"), "MIXED");
+  EXPECT_EQ(StringUtil::Lower("MiXeD"), "mixed");
+  EXPECT_TRUE(StringUtil::CIEquals("SELECT", "select"));
+  EXPECT_EQ(StringUtil::Trim("  x  "), "x");
+}
+
+TEST(StringUtilTest, SplitJoin) {
+  auto parts = StringUtil::Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(StringUtil::Join({"x", "y"}, "-"), "x-y");
+}
+
+TEST(StringUtilTest, LikePatterns) {
+  auto like = [](const std::string& s, const std::string& p) {
+    return StringUtil::Like(s.data(), s.size(), p.data(), p.size());
+  };
+  EXPECT_TRUE(like("PROMO BRUSHED TIN", "PROMO%"));
+  EXPECT_FALSE(like("STANDARD TIN", "PROMO%"));
+  EXPECT_TRUE(like("hello", "h_llo"));
+  EXPECT_TRUE(like("hello", "%"));
+  EXPECT_TRUE(like("", "%"));
+  EXPECT_FALSE(like("", "_"));
+  EXPECT_TRUE(like("abcabc", "%abc"));
+  EXPECT_TRUE(like("a%b", "a%b"));
+  EXPECT_TRUE(like("xayb", "x%y%"));
+  EXPECT_FALSE(like("ab", "a_b"));
+}
+
+TEST(ChecksumTest, KnownVectors) {
+  // CRC32-C of "123456789" is 0xE3069283 (standard check value).
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(Crc32c("", 0), 0u);
+}
+
+TEST(ChecksumTest, DetectsSingleBitFlips) {
+  std::vector<uint8_t> data(4096);
+  RandomEngine rng(1);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.Next());
+  uint32_t crc = Crc32c(data.data(), data.size());
+  for (int trial = 0; trial < 64; trial++) {
+    size_t bit = rng.Next() % (data.size() * 8);
+    data[bit / 8] ^= uint8_t(1) << (bit % 8);
+    EXPECT_NE(Crc32c(data.data(), data.size()), crc)
+        << "bit flip undetected at " << bit;
+    data[bit / 8] ^= uint8_t(1) << (bit % 8);  // restore
+  }
+  EXPECT_EQ(Crc32c(data.data(), data.size()), crc);
+}
+
+TEST(ChecksumTest, AlignmentIndependent) {
+  std::vector<uint8_t> data(128, 0xAB);
+  uint32_t base = Crc32c(data.data(), 64);
+  // Same bytes at a misaligned offset must produce the same CRC.
+  EXPECT_EQ(Crc32c(data.data() + 3, 64), base);
+}
+
+TEST(ArenaTest, AllocationAndStrings) {
+  ArenaAllocator arena(64);
+  uint8_t* p1 = arena.Allocate(10);
+  uint8_t* p2 = arena.Allocate(10);
+  EXPECT_NE(p1, p2);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p1) % 8, 0u);
+  StringRef s = arena.AddString("hello world", 11);
+  EXPECT_EQ(s.ToString(), "hello world");
+  // Growth beyond the initial chunk.
+  arena.Allocate(1024);
+  EXPECT_GT(arena.TotalCapacity(), 64u);
+  arena.Reset();
+  EXPECT_EQ(arena.TotalUsed(), 0u);
+}
+
+TEST(SerializerTest, RoundTrip) {
+  BinaryWriter w;
+  w.WriteU32(42);
+  w.WriteI64(-7);
+  w.WriteDouble(3.25);
+  w.WriteString("mallard");
+  w.WriteBool(true);
+  BinaryReader r(w.data().data(), w.size());
+  uint32_t u;
+  int64_t i;
+  double d;
+  std::string s;
+  bool b;
+  ASSERT_TRUE(r.ReadU32(&u).ok());
+  ASSERT_TRUE(r.ReadI64(&i).ok());
+  ASSERT_TRUE(r.ReadDouble(&d).ok());
+  ASSERT_TRUE(r.ReadString(&s).ok());
+  ASSERT_TRUE(r.ReadBool(&b).ok());
+  EXPECT_EQ(u, 42u);
+  EXPECT_EQ(i, -7);
+  EXPECT_DOUBLE_EQ(d, 3.25);
+  EXPECT_EQ(s, "mallard");
+  EXPECT_TRUE(b);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializerTest, BoundsChecked) {
+  BinaryWriter w;
+  w.WriteU32(1000000);  // claims a huge string
+  BinaryReader r(w.data().data(), w.size());
+  std::string s;
+  EXPECT_TRUE(r.ReadString(&s).IsCorruption());
+}
+
+TEST(RandomTest, DeterministicAndUniformish) {
+  RandomEngine a(7), b(7), c(8);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  EXPECT_NE(a.Next(), c.Next());
+  // Bounds respected.
+  RandomEngine r(3);
+  for (int i = 0; i < 1000; i++) {
+    int64_t v = r.NextInt(5, 10);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 10);
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace mallard

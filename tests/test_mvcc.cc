@@ -1,0 +1,255 @@
+// MVCC semantics: snapshot isolation, in-place updates with undo
+// reconstruction (HyPer-style, paper section 6), write-write conflicts,
+// rollback, and the concurrent OLAP+ETL "dashboard" scenario (section 2).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "mallard/main/connection.h"
+#include "mallard/main/database.h"
+
+namespace mallard {
+namespace {
+
+class MvccTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = Database::Open(":memory:");
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    Connection con(db_.get());
+    ASSERT_TRUE(con.Query("CREATE TABLE t (a INTEGER, b INTEGER)").ok());
+    ASSERT_TRUE(con.Query("INSERT INTO t VALUES (1, 10), (2, 20)").ok());
+  }
+
+  int64_t Count(Connection* con) {
+    auto r = con->Query("SELECT count(*) FROM t");
+    EXPECT_TRUE(r.ok());
+    return (*r)->GetValue(0, 0).GetBigInt();
+  }
+  int64_t SumB(Connection* con) {
+    auto r = con->Query("SELECT sum(b) FROM t");
+    EXPECT_TRUE(r.ok());
+    return (*r)->GetValue(0, 0).GetBigInt();
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(MvccTest, UncommittedInsertInvisibleToOthers) {
+  Connection writer(db_.get());
+  Connection reader(db_.get());
+  ASSERT_TRUE(writer.Query("BEGIN").ok());
+  ASSERT_TRUE(writer.Query("INSERT INTO t VALUES (3, 30)").ok());
+  EXPECT_EQ(Count(&reader), 2);  // invisible to the reader
+  // ... but visible to the writer itself.
+  auto r = writer.Query("SELECT count(*) FROM t");
+  EXPECT_EQ((*r)->GetValue(0, 0).GetBigInt(), 3);
+  ASSERT_TRUE(writer.Query("COMMIT").ok());
+  EXPECT_EQ(Count(&reader), 3);
+}
+
+TEST_F(MvccTest, SnapshotReadersDontSeeLaterCommits) {
+  Connection reader(db_.get());
+  Connection writer(db_.get());
+  ASSERT_TRUE(reader.Query("BEGIN").ok());
+  EXPECT_EQ(Count(&reader), 2);  // snapshot taken
+  ASSERT_TRUE(writer.Query("INSERT INTO t VALUES (3, 30)").ok());
+  // Reader's snapshot must remain stable.
+  EXPECT_EQ(Count(&reader), 2);
+  ASSERT_TRUE(reader.Query("COMMIT").ok());
+  EXPECT_EQ(Count(&reader), 3);
+}
+
+TEST_F(MvccTest, InPlaceUpdateWithUndoReconstruction) {
+  // The heart of HyPer-style MVCC: data is updated in place; concurrent
+  // readers reconstruct the old version from undo buffers.
+  Connection reader(db_.get());
+  Connection writer(db_.get());
+  ASSERT_TRUE(reader.Query("BEGIN").ok());
+  EXPECT_EQ(SumB(&reader), 30);
+  ASSERT_TRUE(writer.Query("BEGIN").ok());
+  ASSERT_TRUE(writer.Query("UPDATE t SET b = b + 100").ok());
+  // Reader still sees the pre-update values (undo reconstruction).
+  EXPECT_EQ(SumB(&reader), 30);
+  // Writer sees its own in-place values.
+  auto r = writer.Query("SELECT sum(b) FROM t");
+  EXPECT_EQ((*r)->GetValue(0, 0).GetBigInt(), 230);
+  ASSERT_TRUE(writer.Query("COMMIT").ok());
+  // Reader's snapshot predates the commit.
+  EXPECT_EQ(SumB(&reader), 30);
+  ASSERT_TRUE(reader.Query("COMMIT").ok());
+  EXPECT_EQ(SumB(&reader), 230);
+}
+
+TEST_F(MvccTest, RollbackRestoresInPlaceData) {
+  Connection con(db_.get());
+  ASSERT_TRUE(con.Query("BEGIN").ok());
+  ASSERT_TRUE(con.Query("UPDATE t SET b = 999 WHERE a = 1").ok());
+  ASSERT_TRUE(con.Query("ROLLBACK").ok());
+  EXPECT_EQ(SumB(&con), 30);
+}
+
+TEST_F(MvccTest, MultipleUpdatesSameRowInOneTransaction) {
+  Connection reader(db_.get());
+  Connection writer(db_.get());
+  ASSERT_TRUE(reader.Query("BEGIN").ok());
+  ASSERT_TRUE(reader.Query("SELECT 1").ok());
+  ASSERT_TRUE(writer.Query("BEGIN").ok());
+  ASSERT_TRUE(writer.Query("UPDATE t SET b = 100 WHERE a = 1").ok());
+  ASSERT_TRUE(writer.Query("UPDATE t SET b = 200 WHERE a = 1").ok());
+  // Reader must reconstruct the ORIGINAL value through both undo entries.
+  auto r = reader.Query("SELECT b FROM t WHERE a = 1");
+  EXPECT_EQ((*r)->GetValue(0, 0).GetInteger(), 10);
+  ASSERT_TRUE(writer.Query("ROLLBACK").ok());
+  ASSERT_TRUE(reader.Query("COMMIT").ok());
+  r = reader.Query("SELECT b FROM t WHERE a = 1");
+  EXPECT_EQ((*r)->GetValue(0, 0).GetInteger(), 10);
+}
+
+TEST_F(MvccTest, WriteWriteConflictOnUpdate) {
+  Connection a(db_.get());
+  Connection b(db_.get());
+  ASSERT_TRUE(a.Query("BEGIN").ok());
+  ASSERT_TRUE(b.Query("BEGIN").ok());
+  ASSERT_TRUE(a.Query("UPDATE t SET b = 111 WHERE a = 1").ok());
+  auto conflicted = b.Query("UPDATE t SET b = 222 WHERE a = 1");
+  ASSERT_FALSE(conflicted.ok());
+  EXPECT_TRUE(conflicted.status().IsTransactionConflict())
+      << conflicted.status().ToString();
+  ASSERT_TRUE(a.Query("COMMIT").ok());
+  auto r = a.Query("SELECT b FROM t WHERE a = 1");
+  EXPECT_EQ((*r)->GetValue(0, 0).GetInteger(), 111);
+}
+
+TEST_F(MvccTest, SerializableUpdateAfterConcurrentCommitConflicts) {
+  Connection a(db_.get());
+  Connection b(db_.get());
+  ASSERT_TRUE(b.Query("BEGIN").ok());
+  ASSERT_TRUE(b.Query("SELECT 1").ok());  // take the snapshot
+  // a commits an update after b's snapshot.
+  ASSERT_TRUE(a.Query("UPDATE t SET b = 111 WHERE a = 1").ok());
+  // b updating the same row would write over a version it cannot see:
+  // serializability requires an abort.
+  auto conflicted = b.Query("UPDATE t SET b = 222 WHERE a = 1");
+  EXPECT_FALSE(conflicted.ok());
+}
+
+TEST_F(MvccTest, DeleteConflicts) {
+  Connection a(db_.get());
+  Connection b(db_.get());
+  ASSERT_TRUE(a.Query("BEGIN").ok());
+  ASSERT_TRUE(b.Query("BEGIN").ok());
+  ASSERT_TRUE(a.Query("DELETE FROM t WHERE a = 1").ok());
+  auto conflicted = b.Query("DELETE FROM t WHERE a = 1");
+  EXPECT_FALSE(conflicted.ok());
+  // The failed statement poisoned (rolled back) b's transaction.
+  EXPECT_FALSE(b.InTransaction());
+  ASSERT_TRUE(a.Query("ROLLBACK").ok());
+  // After a's rollback the row is undeleted and b can delete it.
+  auto r = b.Query("DELETE FROM t WHERE a = 1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->GetValue(0, 0).GetBigInt(), 1);
+}
+
+TEST_F(MvccTest, DeletedRowsInvisibleAfterCommitOnly) {
+  Connection deleter(db_.get());
+  Connection reader(db_.get());
+  ASSERT_TRUE(deleter.Query("BEGIN").ok());
+  ASSERT_TRUE(deleter.Query("DELETE FROM t WHERE a = 2").ok());
+  EXPECT_EQ(Count(&reader), 2);
+  ASSERT_TRUE(deleter.Query("COMMIT").ok());
+  EXPECT_EQ(Count(&reader), 1);
+}
+
+TEST_F(MvccTest, AbortedInsertNeverVisible) {
+  Connection con(db_.get());
+  ASSERT_TRUE(con.Query("BEGIN").ok());
+  ASSERT_TRUE(con.Query("INSERT INTO t VALUES (99, 990)").ok());
+  ASSERT_TRUE(con.Query("ROLLBACK").ok());
+  EXPECT_EQ(Count(&con), 2);
+  // New inserts continue to work after the aborted rows.
+  ASSERT_TRUE(con.Query("INSERT INTO t VALUES (3, 30)").ok());
+  EXPECT_EQ(Count(&con), 3);
+}
+
+TEST_F(MvccTest, DashboardScenarioConcurrentReadersAndWriter) {
+  // Paper section 2: "multiple threads update the data using ETL queries
+  // while other threads run the OLAP queries that drive visualizations."
+  std::atomic<bool> stop{false};
+  std::atomic<int> reader_errors{0};
+  std::atomic<int> writer_commits{0};
+  std::atomic<int> invariant_violations{0};
+
+  // Writer: appends pairs of rows whose b values always sum to 100 per
+  // transaction, so the total is a multiple of 100 in every snapshot.
+  std::thread writer([&] {
+    Connection con(db_.get());
+    auto setup = con.Query("DELETE FROM t");
+    if (!setup.ok()) return;
+    for (int i = 0; i < 60 && !stop.load(); i++) {
+      auto r = con.Query(
+          "BEGIN; INSERT INTO t VALUES (1, 40); "
+          "INSERT INTO t VALUES (2, 60); COMMIT");
+      if (r.ok()) writer_commits++;
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; t++) {
+    readers.emplace_back([&] {
+      Connection con(db_.get());
+      while (!stop.load()) {
+        auto r = con.Query("SELECT sum(b), count(*) FROM t");
+        if (!r.ok()) {
+          reader_errors++;
+          continue;
+        }
+        Value sum = (*r)->GetValue(0, 0);
+        if (!sum.is_null() && sum.GetBigInt() % 100 != 0) {
+          invariant_violations++;
+        }
+      }
+    });
+  }
+  writer.join();
+  stop.store(true);
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(reader_errors.load(), 0);
+  EXPECT_EQ(invariant_violations.load(), 0);
+  EXPECT_GT(writer_commits.load(), 0);
+}
+
+TEST_F(MvccTest, UpdateVisibleOnlyAfterCommitUnderConcurrentScans) {
+  // Bulk update + concurrent scans never observe a half-applied state.
+  Connection con(db_.get());
+  ASSERT_TRUE(con.Query("DELETE FROM t").ok());
+  std::string sql = "INSERT INTO t VALUES (0, 0)";
+  for (int i = 1; i < 5000; i++) sql += ",(" + std::to_string(i) + ", 0)";
+  ASSERT_TRUE(con.Query(sql).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+  std::thread reader([&] {
+    Connection rcon(db_.get());
+    while (!stop.load()) {
+      auto r = rcon.Query("SELECT count(*) FROM t WHERE b = 1");
+      if (!r.ok()) continue;
+      int64_t n = (*r)->GetValue(0, 0).GetBigInt();
+      // Either none or all rows updated — never a partial state.
+      if (n != 0 && n != 5000) violations++;
+    }
+  });
+  for (int round = 0; round < 10; round++) {
+    ASSERT_TRUE(con.Query("UPDATE t SET b = 1").ok());
+    ASSERT_TRUE(con.Query("UPDATE t SET b = 0").ok());
+  }
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(violations.load(), 0);
+}
+
+}  // namespace
+}  // namespace mallard

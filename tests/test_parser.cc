@@ -1,0 +1,177 @@
+// Parser unit tests: statement structure, expression precedence,
+// literals, and error reporting — no execution involved.
+
+#include <gtest/gtest.h>
+
+#include "mallard/parser/parser.h"
+
+namespace mallard {
+namespace {
+
+std::unique_ptr<SQLStatement> ParseOne(const std::string& sql) {
+  auto result = Parser::Parse(sql);
+  EXPECT_TRUE(result.ok()) << sql << " -> " << result.status().ToString();
+  if (!result.ok() || result->size() != 1) return nullptr;
+  return std::move((*result)[0]);
+}
+
+const SelectStatement* AsSelect(const std::unique_ptr<SQLStatement>& stmt) {
+  return stmt && stmt->type == StatementType::kSelect
+             ? static_cast<const SelectStatement*>(stmt.get())
+             : nullptr;
+}
+
+TEST(ParserTest, SelectStructure) {
+  auto stmt = ParseOne(
+      "SELECT a, b AS bee, count(*) FROM t WHERE a > 1 GROUP BY a, b "
+      "HAVING count(*) > 2 ORDER BY a DESC, 2 LIMIT 5 OFFSET 3");
+  auto* select = AsSelect(stmt);
+  ASSERT_NE(select, nullptr);
+  EXPECT_EQ(select->select_list.size(), 3u);
+  EXPECT_EQ(select->select_list[1]->alias, "bee");
+  ASSERT_NE(select->where, nullptr);
+  EXPECT_EQ(select->group_by.size(), 2u);
+  ASSERT_NE(select->having, nullptr);
+  ASSERT_EQ(select->order_by.size(), 2u);
+  EXPECT_FALSE(select->order_by[0].ascending);
+  EXPECT_TRUE(select->order_by[1].ascending);
+  EXPECT_EQ(select->limit, 5);
+  EXPECT_EQ(select->offset, 3);
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto stmt = ParseOne("SELECT 1 + 2 * 3 - 4 / 2");
+  auto* select = AsSelect(stmt);
+  ASSERT_NE(select, nullptr);
+  // ((1 + (2*3)) - (4/2)): root is subtraction.
+  const ParsedExpression& root = *select->select_list[0];
+  ASSERT_EQ(root.type, PExprType::kArithmetic);
+  EXPECT_EQ(root.arith_op, ArithOp::kSubtract);
+  EXPECT_EQ(root.children[0]->arith_op, ArithOp::kAdd);
+  EXPECT_EQ(root.children[0]->children[1]->arith_op, ArithOp::kMultiply);
+}
+
+TEST(ParserTest, AndBindsTighterThanOr) {
+  auto stmt = ParseOne("SELECT 1 FROM t WHERE a = 1 OR b = 2 AND c = 3");
+  auto* select = AsSelect(stmt);
+  ASSERT_NE(select, nullptr);
+  ASSERT_EQ(select->where->type, PExprType::kConjunction);
+  EXPECT_FALSE(select->where->is_and);  // OR at the root
+  EXPECT_TRUE(select->where->children[1]->is_and);
+}
+
+TEST(ParserTest, JoinTree) {
+  auto stmt = ParseOne(
+      "SELECT 1 FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y");
+  auto* select = AsSelect(stmt);
+  ASSERT_NE(select, nullptr);
+  ASSERT_NE(select->from, nullptr);
+  ASSERT_EQ(select->from->type, TableRef::Type::kJoin);
+  EXPECT_EQ(select->from->join_type, JoinType::kLeft);
+  ASSERT_EQ(select->from->left->type, TableRef::Type::kJoin);
+  EXPECT_EQ(select->from->left->join_type, JoinType::kInner);
+}
+
+TEST(ParserTest, CommaJoinAndAliases) {
+  auto stmt = ParseOne("SELECT 1 FROM customer c, orders o WHERE 1 = 1");
+  auto* select = AsSelect(stmt);
+  ASSERT_NE(select, nullptr);
+  ASSERT_EQ(select->from->type, TableRef::Type::kJoin);
+  EXPECT_TRUE(select->from->is_cross);
+  EXPECT_EQ(select->from->left->alias, "c");
+  EXPECT_EQ(select->from->right->alias, "o");
+}
+
+TEST(ParserTest, Literals) {
+  auto stmt = ParseOne(
+      "SELECT 42, 3.25, 'it''s', NULL, true, DATE '2024-05-06', "
+      "9999999999");
+  auto* select = AsSelect(stmt);
+  ASSERT_NE(select, nullptr);
+  EXPECT_EQ(select->select_list[0]->constant.GetInteger(), 42);
+  EXPECT_DOUBLE_EQ(select->select_list[1]->constant.GetDouble(), 3.25);
+  EXPECT_EQ(select->select_list[2]->constant.GetString(), "it's");
+  EXPECT_TRUE(select->select_list[3]->constant.is_null());
+  EXPECT_TRUE(select->select_list[4]->constant.GetBoolean());
+  EXPECT_EQ(select->select_list[5]->constant.type(), TypeId::kDate);
+  EXPECT_EQ(select->select_list[6]->constant.type(), TypeId::kBigInt);
+}
+
+TEST(ParserTest, CaseCastBetweenInLike) {
+  auto stmt = ParseOne(
+      "SELECT CASE WHEN a THEN 1 ELSE 0 END, CAST(a AS BIGINT) FROM t "
+      "WHERE a BETWEEN 1 AND 2 AND b IN (1, 2, 3) AND s LIKE 'x%' "
+      "AND s NOT LIKE '%y' AND c IS NOT NULL");
+  auto* select = AsSelect(stmt);
+  ASSERT_NE(select, nullptr);
+  EXPECT_EQ(select->select_list[0]->type, PExprType::kCase);
+  EXPECT_EQ(select->select_list[1]->type, PExprType::kCast);
+  EXPECT_EQ(select->select_list[1]->cast_type, TypeId::kBigInt);
+}
+
+TEST(ParserTest, DmlStatements) {
+  auto insert = ParseOne("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')");
+  ASSERT_EQ(insert->type, StatementType::kInsert);
+  auto* ins = static_cast<InsertStatement*>(insert.get());
+  EXPECT_EQ(ins->columns.size(), 2u);
+  EXPECT_EQ(ins->values.size(), 2u);
+
+  auto update = ParseOne("UPDATE t SET a = a + 1, b = NULL WHERE c > 0");
+  ASSERT_EQ(update->type, StatementType::kUpdate);
+  auto* upd = static_cast<UpdateStatement*>(update.get());
+  EXPECT_EQ(upd->assignments.size(), 2u);
+  ASSERT_NE(upd->where, nullptr);
+
+  auto del = ParseOne("DELETE FROM t WHERE a = 1");
+  EXPECT_EQ(del->type, StatementType::kDelete);
+}
+
+TEST(ParserTest, DdlStatements) {
+  auto create = ParseOne(
+      "CREATE TABLE IF NOT EXISTS t (a INTEGER NOT NULL, b VARCHAR(32), "
+      "c DECIMAL(12,2))");
+  ASSERT_EQ(create->type, StatementType::kCreateTable);
+  auto* ct = static_cast<CreateTableStatement*>(create.get());
+  EXPECT_TRUE(ct->if_not_exists);
+  ASSERT_EQ(ct->columns.size(), 3u);
+  EXPECT_EQ(ct->columns[2].type, TypeId::kDouble);  // DECIMAL -> DOUBLE
+
+  auto view = ParseOne("CREATE OR REPLACE VIEW v (x) AS SELECT a FROM t");
+  ASSERT_EQ(view->type, StatementType::kCreateView);
+  auto* cv = static_cast<CreateViewStatement*>(view.get());
+  EXPECT_TRUE(cv->or_replace);
+  EXPECT_EQ(cv->aliases.size(), 1u);
+  EXPECT_NE(cv->select_sql.find("SELECT a"), std::string::npos);
+
+  auto drop = ParseOne("DROP TABLE IF EXISTS t");
+  auto* d = static_cast<DropStatement*>(drop.get());
+  EXPECT_TRUE(d->if_exists);
+}
+
+TEST(ParserTest, MultipleStatements) {
+  auto result = Parser::Parse("SELECT 1; SELECT 2; -- comment\nSELECT 3");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 3u);
+}
+
+TEST(ParserTest, ErrorsHavePosition) {
+  EXPECT_FALSE(Parser::Parse("SELECT FROM").ok());
+  EXPECT_FALSE(Parser::Parse("SELECT 'unterminated").ok());
+  EXPECT_FALSE(Parser::Parse("INSERT t VALUES (1)").ok());
+  EXPECT_FALSE(Parser::Parse("SELECT 1 2").ok());
+  EXPECT_FALSE(Parser::Parse("SELECT (1 + ").ok());
+  EXPECT_FALSE(Parser::Parse("UPDATE t SET").ok());
+}
+
+TEST(ParserTest, ExpressionEqualsIsStructural) {
+  auto a = ParseOne("SELECT a + b * 2");
+  auto b = ParseOne("SELECT a + b * 2");
+  auto c = ParseOne("SELECT a + b * 3");
+  EXPECT_TRUE(AsSelect(a)->select_list[0]->Equals(
+      *AsSelect(b)->select_list[0]));
+  EXPECT_FALSE(AsSelect(a)->select_list[0]->Equals(
+      *AsSelect(c)->select_list[0]));
+}
+
+}  // namespace
+}  // namespace mallard

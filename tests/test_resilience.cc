@@ -1,0 +1,265 @@
+// Resilience tests: memory-test algorithms against simulated DRAM
+// faults, compression codecs, failure model (Table 1), fault injector.
+
+#include <gtest/gtest.h>
+
+#include "mallard/common/random.h"
+#include "mallard/compression/codec.h"
+#include "mallard/resilience/failure_model.h"
+#include "mallard/resilience/fault_injector.h"
+#include "mallard/resilience/memtest.h"
+
+namespace mallard {
+namespace {
+
+// --- memtest ---------------------------------------------------------------
+
+TEST(MemtestTest, HealthyMemoryPassesAllTests) {
+  std::vector<uint8_t> ram(64 * 1024);
+  DirectMemory mem(ram.data(), ram.size());
+  EXPECT_TRUE(WalkingBitsTest(mem).passed);
+  EXPECT_TRUE(MovingInversionsTest(mem, 0x5555555555555555ULL, 2).passed);
+  EXPECT_TRUE(AddressTest(mem).passed);
+}
+
+class StuckBitTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StuckBitTest, WalkingBitsDetectsStuckCells) {
+  int n_faults = GetParam();
+  SimulatedDimm dimm(32 * 1024);
+  RandomEngine rng(n_faults);
+  std::set<uint64_t> expected;
+  for (int i = 0; i < n_faults; i++) {
+    MemoryFault fault;
+    fault.kind = rng.NextBool(0.5) ? MemoryFault::Kind::kStuckAtZero
+                                   : MemoryFault::Kind::kStuckAtOne;
+    fault.word_index = rng.Next() % dimm.SizeWords();
+    fault.bit = static_cast<uint8_t>(rng.Next() % 64);
+    dimm.AddFault(fault);
+    expected.insert(fault.word_index);
+  }
+  MemtestResult result = WalkingBitsTest(dimm);
+  EXPECT_FALSE(result.passed);
+  // Every faulty word must be flagged.
+  for (uint64_t w : expected) {
+    EXPECT_TRUE(std::find(result.bad_words.begin(), result.bad_words.end(),
+                          w) != result.bad_words.end())
+        << "missed stuck bit in word " << w;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultCounts, StuckBitTest,
+                         ::testing::Values(1, 2, 8, 32));
+
+TEST(MemtestTest, MovingInversionsDetectsCouplingFaults) {
+  // Coupling faults (writing one cell flips a neighbor) are the
+  // "intermittent and data-dependent errors" the paper says simple
+  // pattern tests miss (section 3).
+  SimulatedDimm dimm(16 * 1024);
+  MemoryFault fault;
+  fault.kind = MemoryFault::Kind::kCoupling;
+  fault.word_index = 100;
+  fault.neighbor_index = 99;  // writing word 100 disturbs word 99
+  fault.bit = 0;
+  fault.neighbor_bit = 7;
+  dimm.AddFault(fault);
+  MemtestResult result =
+      MovingInversionsTest(dimm, 0xAAAAAAAAAAAAAAAAULL, 2);
+  EXPECT_FALSE(result.passed);
+}
+
+TEST(MemtestTest, AddressTestDetectsAddressingFault) {
+  // A stuck address line manifests as two cells aliasing; model via a
+  // stuck-at fault on a high bit of the stored index.
+  SimulatedDimm dimm(16 * 1024);
+  MemoryFault fault;
+  fault.kind = MemoryFault::Kind::kStuckAtZero;
+  fault.word_index = 1027;
+  fault.bit = 1;
+  dimm.AddFault(fault);
+  MemtestResult result = AddressTest(dimm);
+  EXPECT_FALSE(result.passed);
+  ASSERT_FALSE(result.bad_words.empty());
+  EXPECT_EQ(result.bad_words[0], 1027u);
+}
+
+TEST(MemtestTest, TrafficAccounting) {
+  std::vector<uint8_t> ram(8 * 1024);
+  DirectMemory mem(ram.data(), ram.size());
+  MemtestResult r = MovingInversionsTest(mem, 0x5555555555555555ULL, 1);
+  // 7 passes over the words (1 fill + 2x read+write + 1 verify + ...).
+  EXPECT_EQ(r.traffic_bytes, ram.size() * 7);
+}
+
+// --- fault injector ----------------------------------------------------------
+
+TEST(FaultInjectorTest, OneShotFiresExactlyOnce) {
+  auto& fi = FaultInjector::Get();
+  fi.Reset();
+  fi.ArmOnce(FaultSite::kFsyncFailure);
+  EXPECT_TRUE(fi.ShouldFire(FaultSite::kFsyncFailure));
+  EXPECT_FALSE(fi.ShouldFire(FaultSite::kFsyncFailure));
+  EXPECT_EQ(fi.FireCount(FaultSite::kFsyncFailure), 1u);
+  fi.Reset();
+}
+
+TEST(FaultInjectorTest, ProbabilityZeroNeverFires) {
+  auto& fi = FaultInjector::Get();
+  fi.Reset();
+  for (int i = 0; i < 1000; i++) {
+    EXPECT_FALSE(fi.ShouldFire(FaultSite::kBlockRead));
+  }
+}
+
+TEST(FaultInjectorTest, FlipRandomBitActuallyFlips) {
+  auto& fi = FaultInjector::Get();
+  std::vector<uint8_t> data(128, 0);
+  uint64_t bit = fi.FlipRandomBit(data.data(), data.size());
+  EXPECT_EQ(data[bit / 8], uint8_t(1) << (bit % 8));
+}
+
+// --- compression -------------------------------------------------------------
+
+class CodecRoundTrip
+    : public ::testing::TestWithParam<std::pair<CompressionLevel, int>> {};
+
+TEST_P(CodecRoundTrip, RandomAndStructuredPayloads) {
+  auto [level, seed] = GetParam();
+  const Codec* codec = CodecForLevel(level);
+  ASSERT_NE(codec, nullptr);
+  RandomEngine rng(seed);
+  std::vector<std::vector<uint8_t>> payloads;
+  // Random bytes (incompressible).
+  std::vector<uint8_t> random(5000);
+  for (auto& b : random) b = static_cast<uint8_t>(rng.Next());
+  payloads.push_back(random);
+  // Long runs (RLE-friendly).
+  std::vector<uint8_t> runs;
+  for (int r = 0; r < 50; r++) {
+    runs.insert(runs.end(), rng.Next() % 300,
+                static_cast<uint8_t>(rng.Next()));
+  }
+  payloads.push_back(runs);
+  // Repeated structure (LZ-friendly).
+  std::vector<uint8_t> repeated;
+  std::string phrase = "embedded analytical data management ";
+  for (int r = 0; r < 100; r++) {
+    repeated.insert(repeated.end(), phrase.begin(), phrase.end());
+  }
+  payloads.push_back(repeated);
+  // Edge cases.
+  payloads.push_back({});
+  payloads.push_back({0x42});
+  payloads.push_back(std::vector<uint8_t>(129, 0x7));  // run > control max
+
+  for (const auto& payload : payloads) {
+    std::vector<uint8_t> compressed, decompressed;
+    codec->Compress(payload.data(), payload.size(), &compressed);
+    Status status = codec->Decompress(compressed.data(), compressed.size(),
+                                      &decompressed);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    ASSERT_EQ(decompressed, payload) << codec->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Codecs, CodecRoundTrip,
+    ::testing::Values(std::make_pair(CompressionLevel::kLight, 1),
+                      std::make_pair(CompressionLevel::kLight, 2),
+                      std::make_pair(CompressionLevel::kHeavy, 1),
+                      std::make_pair(CompressionLevel::kHeavy, 2)));
+
+TEST(CodecTest, CompressionActuallyShrinksCompressibleData) {
+  std::vector<uint8_t> zeros(100000, 0);
+  std::vector<uint8_t> out;
+  CodecForLevel(CompressionLevel::kLight)
+      ->Compress(zeros.data(), zeros.size(), &out);
+  EXPECT_LT(out.size(), zeros.size() / 20);
+  CodecForLevel(CompressionLevel::kHeavy)
+      ->Compress(zeros.data(), zeros.size(), &out);
+  EXPECT_LT(out.size(), zeros.size() / 20);
+}
+
+TEST(CodecTest, HeavyBeatsLightOnStructuredData) {
+  std::string phrase = "quarterly revenue by region and segment ";
+  std::vector<uint8_t> data;
+  for (int i = 0; i < 500; i++) {
+    data.insert(data.end(), phrase.begin(), phrase.end());
+  }
+  std::vector<uint8_t> light, heavy;
+  CodecForLevel(CompressionLevel::kLight)
+      ->Compress(data.data(), data.size(), &light);
+  CodecForLevel(CompressionLevel::kHeavy)
+      ->Compress(data.data(), data.size(), &heavy);
+  EXPECT_LT(heavy.size(), light.size());
+}
+
+TEST(CodecTest, DecompressRejectsGarbage) {
+  std::vector<uint8_t> garbage = {0xFF, 0x01, 0x02};
+  std::vector<uint8_t> out;
+  // LZ match referencing before the start of output must error.
+  EXPECT_FALSE(CodecForLevel(CompressionLevel::kHeavy)
+                   ->Decompress(garbage.data(), garbage.size(), &out)
+                   .ok());
+}
+
+TEST(BitpackTest, RoundTripAndCompactness) {
+  RandomEngine rng(5);
+  std::vector<int64_t> values;
+  for (int i = 0; i < 10000; i++) {
+    values.push_back(1000000 + rng.NextInt(0, 255));  // 8-bit range
+  }
+  std::vector<uint8_t> packed;
+  bitpack::Pack(values.data(), values.size(), &packed);
+  EXPECT_LT(packed.size(), values.size() * 2);  // ~1 byte/value + header
+  std::vector<int64_t> unpacked;
+  ASSERT_TRUE(bitpack::Unpack(packed.data(), packed.size(), &unpacked).ok());
+  EXPECT_EQ(unpacked, values);
+}
+
+TEST(BitpackTest, ConstantColumnIsNearFree) {
+  std::vector<int64_t> values(10000, 42);
+  std::vector<uint8_t> packed;
+  bitpack::Pack(values.data(), values.size(), &packed);
+  EXPECT_LT(packed.size(), 32u);
+  std::vector<int64_t> unpacked;
+  ASSERT_TRUE(bitpack::Unpack(packed.data(), packed.size(), &unpacked).ok());
+  EXPECT_EQ(unpacked, values);
+}
+
+// --- failure model (Table 1) -------------------------------------------------
+
+TEST(FailureModelTest, ReproducesTable1) {
+  FailureModelConfig config;  // defaults = the paper's cited rates
+  FailureModelResult result = SimulateFleet(config, 2000000, 42);
+  // Table 1 row 1: CPU 1 in 190, then 1 in 2.9.
+  EXPECT_NEAR(result.cpu.OneIn(result.cpu.PrFirst()), 190.0, 15.0);
+  EXPECT_NEAR(result.cpu.OneIn(result.cpu.PrSecondGivenFirst()), 2.9, 0.3);
+  // Row 2: DRAM 1 in 1700, then 1 in 12.
+  EXPECT_NEAR(result.dram.OneIn(result.dram.PrFirst()), 1700.0, 200.0);
+  EXPECT_NEAR(result.dram.OneIn(result.dram.PrSecondGivenFirst()), 12.0,
+              1.5);
+  // Row 3: disk 1 in 270, then 1 in 3.5.
+  EXPECT_NEAR(result.disk.OneIn(result.disk.PrFirst()), 270.0, 20.0);
+  EXPECT_NEAR(result.disk.OneIn(result.disk.PrSecondGivenFirst()), 3.5,
+              0.4);
+}
+
+TEST(FailureModelTest, DeterministicForSeed) {
+  FailureModelConfig config;
+  auto a = SimulateFleet(config, 10000, 7);
+  auto b = SimulateFleet(config, 10000, 7);
+  EXPECT_EQ(a.cpu.first_failures, b.cpu.first_failures);
+  EXPECT_EQ(a.dram.second_failures, b.dram.second_failures);
+}
+
+TEST(FailureModelTest, EscalationVisible) {
+  FailureModelConfig config;
+  auto result = SimulateFleet(config, 500000, 3);
+  // Recidivism must be orders of magnitude above the base rate.
+  EXPECT_GT(result.cpu.PrSecondGivenFirst(), result.cpu.PrFirst() * 20);
+  EXPECT_GT(result.dram.PrSecondGivenFirst(), result.dram.PrFirst() * 20);
+}
+
+}  // namespace
+}  // namespace mallard

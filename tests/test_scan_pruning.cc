@@ -1,0 +1,116 @@
+// Zone-map pruning and projection-pushdown behaviour of table scans
+// (paper section 6: "the format allows to scan individual columns and
+// skip irrelevant blocks of rows during a scan").
+
+#include <gtest/gtest.h>
+
+#include "mallard/main/appender.h"
+#include "mallard/main/connection.h"
+#include "mallard/main/database.h"
+
+namespace mallard {
+namespace {
+
+class ScanPruningTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = Database::Open(":memory:");
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    con_ = std::make_unique<Connection>(db_.get());
+    // Three row groups of sorted data: zone maps are tight.
+    ASSERT_TRUE(con_->Query("CREATE TABLE t (a BIGINT, s VARCHAR)").ok());
+    auto app = Appender::Create(db_.get(), "t");
+    const idx_t kRows = 3 * kRowGroupSize;
+    DataChunk chunk;
+    chunk.Initialize({TypeId::kBigInt, TypeId::kVarchar});
+    idx_t produced = 0;
+    while (produced < kRows) {
+      chunk.Reset();
+      idx_t n = std::min<idx_t>(kVectorSize, kRows - produced);
+      for (idx_t i = 0; i < n; i++) {
+        chunk.column(0).data<int64_t>()[i] =
+            static_cast<int64_t>(produced + i);
+        chunk.column(1).SetString(i, "v" + std::to_string(produced + i));
+      }
+      chunk.SetCardinality(n);
+      ASSERT_TRUE((*app)->AppendChunk(chunk).ok());
+      produced += n;
+    }
+    ASSERT_TRUE((*app)->Close().ok());
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<Connection> con_;
+};
+
+TEST_F(ScanPruningTest, ZoneMapsSkipRowGroups) {
+  // Predicate selecting only the last row group: correctness check here,
+  // skipping effectiveness is visible through row-group stats.
+  auto r = con_->Query("SELECT count(*) FROM t WHERE a >= " +
+                       std::to_string(2 * kRowGroupSize));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->GetValue(0, 0).GetBigInt(),
+            static_cast<int64_t>(kRowGroupSize));
+  // Equality in the first row group.
+  r = con_->Query("SELECT s FROM t WHERE a = 7");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ((*r)->RowCount(), 1u);
+  EXPECT_EQ((*r)->GetValue(0, 0).GetString(), "v7");
+  // Out-of-domain predicate matches nothing (every group pruned).
+  r = con_->Query("SELECT count(*) FROM t WHERE a < 0");
+  EXPECT_EQ((*r)->GetValue(0, 0).GetBigInt(), 0);
+}
+
+TEST_F(ScanPruningTest, ZoneMapsStayCorrectUnderUpdates) {
+  // Updates widen zone maps; a row updated beyond the old max must still
+  // be found (stale zone maps would wrongly prune).
+  ASSERT_TRUE(con_->Query("UPDATE t SET a = 999999 WHERE a = 5").ok());
+  auto r = con_->Query("SELECT count(*) FROM t WHERE a = 999999");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->GetValue(0, 0).GetBigInt(), 1);
+  // And the old value is gone.
+  r = con_->Query("SELECT count(*) FROM t WHERE a = 5");
+  EXPECT_EQ((*r)->GetValue(0, 0).GetBigInt(), 0);
+}
+
+TEST_F(ScanPruningTest, ZoneMapsWithDeletes) {
+  // Deletes don't narrow zone maps (conservative), but results must be
+  // exact because the filter is re-evaluated on surviving rows.
+  ASSERT_TRUE(con_->Query("DELETE FROM t WHERE a < 100").ok());
+  auto r = con_->Query("SELECT count(*), min(a) FROM t WHERE a < 200");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->GetValue(0, 0).GetBigInt(), 100);
+  EXPECT_EQ((*r)->GetValue(1, 0).GetBigInt(), 100);
+}
+
+TEST_F(ScanPruningTest, ProjectionPushdownScansOnlyNeededColumns) {
+  // Verified through EXPLAIN: the scan feeding a single-column aggregate
+  // must not materialize the VARCHAR column.
+  auto r = con_->Query("EXPLAIN SELECT sum(a) FROM t");
+  ASSERT_TRUE(r.ok());
+  std::string plan = (*r)->GetValue(0, 0).GetString();
+  EXPECT_NE(plan.find("SEQ_SCAN"), std::string::npos);
+  // The filter/aggregate expressions reference only `a`.
+  EXPECT_EQ(plan.find("s"), plan.find("sum"));  // no bare `s` column ref
+}
+
+TEST_F(ScanPruningTest, StringZoneMaps) {
+  auto r = con_->Query("SELECT count(*) FROM t WHERE s = 'v42'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->GetValue(0, 0).GetBigInt(), 1);
+  r = con_->Query("SELECT count(*) FROM t WHERE s = 'zzz-not-there'");
+  EXPECT_EQ((*r)->GetValue(0, 0).GetBigInt(), 0);
+}
+
+TEST_F(ScanPruningTest, RangePredicatesAcrossGroupBoundaries) {
+  int64_t lo = static_cast<int64_t>(kRowGroupSize) - 5;
+  int64_t hi = static_cast<int64_t>(kRowGroupSize) + 5;
+  auto r = con_->Query("SELECT count(*) FROM t WHERE a BETWEEN " +
+                       std::to_string(lo) + " AND " + std::to_string(hi));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->GetValue(0, 0).GetBigInt(), 11);
+}
+
+}  // namespace
+}  // namespace mallard

@@ -1,0 +1,324 @@
+// End-to-end SQL tests over an in-memory database.
+
+#include <gtest/gtest.h>
+
+#include "mallard/main/connection.h"
+#include "mallard/main/database.h"
+
+namespace mallard {
+namespace {
+
+class SqlBasicTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = Database::Open(":memory:");
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(*db);
+    connection_ = std::make_unique<Connection>(db_.get());
+  }
+
+  std::unique_ptr<MaterializedQueryResult> Q(const std::string& sql) {
+    auto result = connection_->Query(sql);
+    EXPECT_TRUE(result.ok()) << sql << " -> " << result.status().ToString();
+    if (!result.ok()) return nullptr;
+    return std::move(*result);
+  }
+
+  Status QFail(const std::string& sql) {
+    auto result = connection_->Query(sql);
+    EXPECT_FALSE(result.ok()) << sql << " unexpectedly succeeded";
+    return result.ok() ? Status::OK() : result.status();
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<Connection> connection_;
+};
+
+TEST_F(SqlBasicTest, SelectConstant) {
+  auto r = Q("SELECT 42");
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->RowCount(), 1u);
+  EXPECT_EQ(r->GetValue(0, 0).GetInteger(), 42);
+}
+
+TEST_F(SqlBasicTest, SelectArithmetic) {
+  auto r = Q("SELECT 1 + 2 * 3, 10 / 4, 10 % 3, -5");
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->GetValue(0, 0).GetInteger(), 7);
+  EXPECT_DOUBLE_EQ(r->GetValue(1, 0).GetDouble(), 2.5);
+  EXPECT_EQ(r->GetValue(2, 0).GetInteger(), 1);
+  EXPECT_EQ(r->GetValue(3, 0).GetInteger(), -5);
+}
+
+TEST_F(SqlBasicTest, CreateInsertSelect) {
+  Q("CREATE TABLE t (a INTEGER, b VARCHAR)");
+  Q("INSERT INTO t VALUES (1, 'one'), (2, 'two'), (3, 'three')");
+  auto r = Q("SELECT a, b FROM t ORDER BY a");
+  ASSERT_NE(r, nullptr);
+  ASSERT_EQ(r->RowCount(), 3u);
+  EXPECT_EQ(r->GetValue(0, 0).GetInteger(), 1);
+  EXPECT_EQ(r->GetValue(1, 2).GetString(), "three");
+}
+
+TEST_F(SqlBasicTest, WhereFilter) {
+  Q("CREATE TABLE t (a INTEGER)");
+  Q("INSERT INTO t VALUES (1), (2), (3), (4), (5)");
+  auto r = Q("SELECT a FROM t WHERE a > 2 AND a < 5 ORDER BY a");
+  ASSERT_NE(r, nullptr);
+  ASSERT_EQ(r->RowCount(), 2u);
+  EXPECT_EQ(r->GetValue(0, 0).GetInteger(), 3);
+  EXPECT_EQ(r->GetValue(0, 1).GetInteger(), 4);
+}
+
+TEST_F(SqlBasicTest, Aggregates) {
+  Q("CREATE TABLE t (a INTEGER, b DOUBLE)");
+  Q("INSERT INTO t VALUES (1, 1.5), (2, 2.5), (3, 3.5), (NULL, NULL)");
+  auto r = Q("SELECT count(*), count(a), sum(a), avg(b), min(a), max(a) "
+             "FROM t");
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->GetValue(0, 0).GetBigInt(), 4);
+  EXPECT_EQ(r->GetValue(1, 0).GetBigInt(), 3);
+  EXPECT_EQ(r->GetValue(2, 0).GetBigInt(), 6);
+  EXPECT_DOUBLE_EQ(r->GetValue(3, 0).GetDouble(), 2.5);
+  EXPECT_EQ(r->GetValue(4, 0).GetInteger(), 1);
+  EXPECT_EQ(r->GetValue(5, 0).GetInteger(), 3);
+}
+
+TEST_F(SqlBasicTest, GroupBy) {
+  Q("CREATE TABLE t (g VARCHAR, v INTEGER)");
+  Q("INSERT INTO t VALUES ('a', 1), ('b', 2), ('a', 3), ('b', 4), ('c', 5)");
+  auto r = Q("SELECT g, sum(v), count(*) FROM t GROUP BY g ORDER BY g");
+  ASSERT_NE(r, nullptr);
+  ASSERT_EQ(r->RowCount(), 3u);
+  EXPECT_EQ(r->GetValue(0, 0).GetString(), "a");
+  EXPECT_EQ(r->GetValue(1, 0).GetBigInt(), 4);
+  EXPECT_EQ(r->GetValue(0, 2).GetString(), "c");
+  EXPECT_EQ(r->GetValue(2, 2).GetBigInt(), 1);
+}
+
+TEST_F(SqlBasicTest, Having) {
+  Q("CREATE TABLE t (g VARCHAR, v INTEGER)");
+  Q("INSERT INTO t VALUES ('a', 1), ('b', 2), ('a', 3), ('b', 4), ('c', 5)");
+  auto r = Q("SELECT g, sum(v) AS s FROM t GROUP BY g HAVING sum(v) > 4 "
+             "ORDER BY g");
+  ASSERT_NE(r, nullptr);
+  ASSERT_EQ(r->RowCount(), 2u);
+  EXPECT_EQ(r->GetValue(0, 0).GetString(), "b");
+  EXPECT_EQ(r->GetValue(0, 1).GetString(), "c");
+}
+
+TEST_F(SqlBasicTest, JoinHash) {
+  Q("CREATE TABLE l (id INTEGER, v VARCHAR)");
+  Q("CREATE TABLE r (id INTEGER, w VARCHAR)");
+  Q("INSERT INTO l VALUES (1, 'l1'), (2, 'l2'), (3, 'l3')");
+  Q("INSERT INTO r VALUES (2, 'r2'), (3, 'r3'), (4, 'r4')");
+  auto r = Q("SELECT l.id, v, w FROM l JOIN r ON l.id = r.id ORDER BY l.id");
+  ASSERT_NE(r, nullptr);
+  ASSERT_EQ(r->RowCount(), 2u);
+  EXPECT_EQ(r->GetValue(0, 0).GetInteger(), 2);
+  EXPECT_EQ(r->GetValue(2, 0).GetString(), "r2");
+}
+
+TEST_F(SqlBasicTest, CommaJoinWithWhere) {
+  Q("CREATE TABLE l (id INTEGER, v INTEGER)");
+  Q("CREATE TABLE r (id INTEGER, w INTEGER)");
+  Q("INSERT INTO l VALUES (1, 10), (2, 20)");
+  Q("INSERT INTO r VALUES (1, 100), (2, 200)");
+  auto r = Q("SELECT v, w FROM l, r WHERE l.id = r.id ORDER BY v");
+  ASSERT_NE(r, nullptr);
+  ASSERT_EQ(r->RowCount(), 2u);
+  EXPECT_EQ(r->GetValue(1, 0).GetInteger(), 100);
+  EXPECT_EQ(r->GetValue(1, 1).GetInteger(), 200);
+}
+
+TEST_F(SqlBasicTest, LeftJoin) {
+  Q("CREATE TABLE l (id INTEGER)");
+  Q("CREATE TABLE r (id INTEGER, w VARCHAR)");
+  Q("INSERT INTO l VALUES (1), (2), (3)");
+  Q("INSERT INTO r VALUES (2, 'two')");
+  auto r = Q("SELECT l.id, w FROM l LEFT JOIN r ON l.id = r.id ORDER BY l.id");
+  ASSERT_NE(r, nullptr);
+  ASSERT_EQ(r->RowCount(), 3u);
+  EXPECT_TRUE(r->GetValue(1, 0).is_null());
+  EXPECT_EQ(r->GetValue(1, 1).GetString(), "two");
+  EXPECT_TRUE(r->GetValue(1, 2).is_null());
+}
+
+TEST_F(SqlBasicTest, UpdateBasic) {
+  Q("CREATE TABLE t (a INTEGER, b INTEGER)");
+  Q("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)");
+  auto r = Q("UPDATE t SET b = b + 1 WHERE a >= 2");
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->GetValue(0, 0).GetBigInt(), 2);
+  r = Q("SELECT sum(b) FROM t");
+  EXPECT_EQ(r->GetValue(0, 0).GetBigInt(), 62);
+}
+
+TEST_F(SqlBasicTest, UpdateMissingValueRecoding) {
+  // The paper's canonical ETL example (section 2):
+  // UPDATE t SET d = NULL WHERE d = -999.
+  Q("CREATE TABLE t (d INTEGER)");
+  Q("INSERT INTO t VALUES (1), (-999), (3), (-999), (5)");
+  auto r = Q("UPDATE t SET d = NULL WHERE d = -999");
+  EXPECT_EQ(r->GetValue(0, 0).GetBigInt(), 2);
+  r = Q("SELECT count(*), count(d), sum(d) FROM t");
+  EXPECT_EQ(r->GetValue(0, 0).GetBigInt(), 5);
+  EXPECT_EQ(r->GetValue(1, 0).GetBigInt(), 3);
+  EXPECT_EQ(r->GetValue(2, 0).GetBigInt(), 9);
+}
+
+TEST_F(SqlBasicTest, DeleteBasic) {
+  Q("CREATE TABLE t (a INTEGER)");
+  Q("INSERT INTO t VALUES (1), (2), (3), (4)");
+  auto r = Q("DELETE FROM t WHERE a % 2 = 0");
+  EXPECT_EQ(r->GetValue(0, 0).GetBigInt(), 2);
+  r = Q("SELECT count(*) FROM t");
+  EXPECT_EQ(r->GetValue(0, 0).GetBigInt(), 2);
+}
+
+TEST_F(SqlBasicTest, OrderByDesc) {
+  Q("CREATE TABLE t (a INTEGER)");
+  Q("INSERT INTO t VALUES (3), (1), (2)");
+  auto r = Q("SELECT a FROM t ORDER BY a DESC");
+  EXPECT_EQ(r->GetValue(0, 0).GetInteger(), 3);
+  EXPECT_EQ(r->GetValue(0, 2).GetInteger(), 1);
+}
+
+TEST_F(SqlBasicTest, LimitOffset) {
+  Q("CREATE TABLE t (a INTEGER)");
+  Q("INSERT INTO t VALUES (1), (2), (3), (4), (5)");
+  auto r = Q("SELECT a FROM t ORDER BY a LIMIT 2 OFFSET 1");
+  ASSERT_EQ(r->RowCount(), 2u);
+  EXPECT_EQ(r->GetValue(0, 0).GetInteger(), 2);
+  EXPECT_EQ(r->GetValue(0, 1).GetInteger(), 3);
+}
+
+TEST_F(SqlBasicTest, Distinct) {
+  Q("CREATE TABLE t (a INTEGER)");
+  Q("INSERT INTO t VALUES (1), (2), (2), (3), (3), (3)");
+  auto r = Q("SELECT DISTINCT a FROM t ORDER BY a");
+  ASSERT_EQ(r->RowCount(), 3u);
+}
+
+TEST_F(SqlBasicTest, CaseWhen) {
+  Q("CREATE TABLE t (a INTEGER)");
+  Q("INSERT INTO t VALUES (1), (2), (3)");
+  auto r = Q("SELECT CASE WHEN a < 2 THEN 'small' ELSE 'big' END FROM t "
+             "ORDER BY a");
+  EXPECT_EQ(r->GetValue(0, 0).GetString(), "small");
+  EXPECT_EQ(r->GetValue(0, 1).GetString(), "big");
+}
+
+TEST_F(SqlBasicTest, LikePatterns) {
+  Q("CREATE TABLE t (s VARCHAR)");
+  Q("INSERT INTO t VALUES ('PROMO bright'), ('STANDARD dull'), ('PROMOtion')");
+  auto r = Q("SELECT count(*) FROM t WHERE s LIKE 'PROMO%'");
+  EXPECT_EQ(r->GetValue(0, 0).GetBigInt(), 2);
+  r = Q("SELECT count(*) FROM t WHERE s NOT LIKE '%dull'");
+  EXPECT_EQ(r->GetValue(0, 0).GetBigInt(), 2);
+}
+
+TEST_F(SqlBasicTest, InList) {
+  Q("CREATE TABLE t (a INTEGER)");
+  Q("INSERT INTO t VALUES (1), (2), (3), (4)");
+  auto r = Q("SELECT count(*) FROM t WHERE a IN (2, 4, 6)");
+  EXPECT_EQ(r->GetValue(0, 0).GetBigInt(), 2);
+}
+
+TEST_F(SqlBasicTest, BetweenAndDates) {
+  Q("CREATE TABLE t (d DATE)");
+  Q("INSERT INTO t VALUES (DATE '2024-01-15'), (DATE '2024-06-15'), "
+    "(DATE '2025-01-15')");
+  auto r = Q("SELECT count(*) FROM t WHERE d BETWEEN DATE '2024-01-01' AND "
+             "DATE '2024-12-31'");
+  EXPECT_EQ(r->GetValue(0, 0).GetBigInt(), 2);
+  r = Q("SELECT year(d) FROM t ORDER BY d LIMIT 1");
+  EXPECT_EQ(r->GetValue(0, 0).GetInteger(), 2024);
+}
+
+TEST_F(SqlBasicTest, DateIntervalArithmetic) {
+  auto r = Q("SELECT DATE '1998-12-01' - INTERVAL '90' DAY");
+  EXPECT_EQ(r->GetValue(0, 0).ToString(), "1998-09-02");
+}
+
+TEST_F(SqlBasicTest, IsNull) {
+  Q("CREATE TABLE t (a INTEGER)");
+  Q("INSERT INTO t VALUES (1), (NULL), (3)");
+  auto r = Q("SELECT count(*) FROM t WHERE a IS NULL");
+  EXPECT_EQ(r->GetValue(0, 0).GetBigInt(), 1);
+  r = Q("SELECT count(*) FROM t WHERE a IS NOT NULL");
+  EXPECT_EQ(r->GetValue(0, 0).GetBigInt(), 2);
+}
+
+TEST_F(SqlBasicTest, Views) {
+  Q("CREATE TABLE t (a INTEGER)");
+  Q("INSERT INTO t VALUES (1), (2), (3)");
+  Q("CREATE VIEW v AS SELECT a * 2 AS doubled FROM t");
+  auto r = Q("SELECT sum(doubled) FROM v");
+  EXPECT_EQ(r->GetValue(0, 0).GetBigInt(), 12);
+}
+
+TEST_F(SqlBasicTest, DerivedTable) {
+  Q("CREATE TABLE t (a INTEGER)");
+  Q("INSERT INTO t VALUES (1), (2), (3), (4)");
+  auto r = Q("SELECT count(*) FROM (SELECT a FROM t WHERE a > 1) sub");
+  EXPECT_EQ(r->GetValue(0, 0).GetBigInt(), 3);
+}
+
+TEST_F(SqlBasicTest, CreateTableAsSelect) {
+  Q("CREATE TABLE t (a INTEGER)");
+  Q("INSERT INTO t VALUES (1), (2), (3)");
+  Q("CREATE TABLE t2 AS SELECT a * 10 AS b FROM t");
+  auto r = Q("SELECT sum(b) FROM t2");
+  EXPECT_EQ(r->GetValue(0, 0).GetBigInt(), 60);
+}
+
+TEST_F(SqlBasicTest, TransactionsCommitRollback) {
+  Q("CREATE TABLE t (a INTEGER)");
+  Q("BEGIN");
+  Q("INSERT INTO t VALUES (1)");
+  Q("COMMIT");
+  Q("BEGIN");
+  Q("INSERT INTO t VALUES (2)");
+  Q("ROLLBACK");
+  auto r = Q("SELECT count(*) FROM t");
+  EXPECT_EQ(r->GetValue(0, 0).GetBigInt(), 1);
+}
+
+TEST_F(SqlBasicTest, ErrorsAreReported) {
+  QFail("SELECT FROM t");
+  QFail("SELECT * FROM missing_table");
+  QFail("CREATE TABLE t (a INTEGER); CREATE TABLE t (a INTEGER)");
+  QFail("SELECT nonexistent_column FROM t");
+  QFail("SELEKT 1");
+}
+
+TEST_F(SqlBasicTest, Explain) {
+  Q("CREATE TABLE t (a INTEGER)");
+  auto r = Q("EXPLAIN SELECT a FROM t WHERE a > 1");
+  ASSERT_NE(r, nullptr);
+  std::string plan = r->GetValue(0, 0).GetString();
+  EXPECT_NE(plan.find("SEQ_SCAN"), std::string::npos);
+  EXPECT_NE(plan.find("FILTER"), std::string::npos);
+}
+
+TEST_F(SqlBasicTest, MultiRowGroupScan) {
+  Q("CREATE TABLE t (a INTEGER)");
+  // Insert more rows than one row group (8192) through SQL batches.
+  for (int batch = 0; batch < 5; batch++) {
+    std::string sql = "INSERT INTO t VALUES ";
+    for (int i = 0; i < 2000; i++) {
+      if (i > 0) sql += ",";
+      sql += "(" + std::to_string(batch * 2000 + i) + ")";
+    }
+    Q(sql);
+  }
+  auto r = Q("SELECT count(*), min(a), max(a), sum(a) FROM t");
+  EXPECT_EQ(r->GetValue(0, 0).GetBigInt(), 10000);
+  EXPECT_EQ(r->GetValue(1, 0).GetInteger(), 0);
+  EXPECT_EQ(r->GetValue(2, 0).GetInteger(), 9999);
+  EXPECT_EQ(r->GetValue(3, 0).GetBigInt(), 49995000LL);
+}
+
+}  // namespace
+}  // namespace mallard
