@@ -1,0 +1,185 @@
+// Prepared statements vs string-at-a-time queries on the paper's
+// small-repeated-query embedded workload (sections 3 and 5): a dashboard
+// issuing many parameterized point lookups and an edge sensor issuing
+// many single-row inserts. Prepare-once/Bind+Execute-many skips the
+// per-call parse-bind-plan pipeline; Query() pays it every time.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "mallard/main/connection.h"
+#include "mallard/main/database.h"
+#include "mallard/main/prepared_statement.h"
+
+using namespace mallard;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double Seconds(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+void Report(const char* workload, const char* api, int queries,
+            double seconds) {
+  std::printf("%-28s %-24s %8d queries  %8.3f s  %12.0f q/s\n", workload,
+              api, queries, seconds, queries / seconds);
+}
+
+}  // namespace
+
+int main() {
+  const char* n_env = std::getenv("MALLARD_QUERIES");
+  int n = n_env ? std::atoi(n_env) : 20000;
+  const int kHotRows = 512;    // dashboard tile: small hot table
+  const int kRows = 50000;     // larger table, zone-map-pruned lookups
+
+  auto db = Database::Open(":memory:");
+  if (!db.ok()) return 1;
+  Connection con(db->get());
+  if (!con.Query("CREATE TABLE hot (id INTEGER, v DOUBLE)").ok()) return 1;
+  if (!con.Query("CREATE TABLE readings (id INTEGER, sensor VARCHAR, "
+                 "v DOUBLE)")
+           .ok()) {
+    return 1;
+  }
+  {
+    std::string sql = "INSERT INTO hot VALUES (0,0.0)";
+    for (int i = 1; i < kHotRows; i++) {
+      sql += ",(" + std::to_string(i) + "," + std::to_string(i * 0.5) + ")";
+    }
+    if (!con.Query(sql).ok()) return 1;
+  }
+  {
+    std::string sql;
+    for (int i = 0; i < kRows; i++) {
+      if (sql.empty()) {
+        sql = "INSERT INTO readings VALUES ";
+      } else {
+        sql += ",";
+      }
+      sql += "(" + std::to_string(i) + ",'s" + std::to_string(i % 64) +
+             "'," + std::to_string((i % 1000) * 0.5) + ")";
+      if (static_cast<int>(sql.size()) > (1 << 20) || i == kRows - 1) {
+        if (!con.Query(sql).ok()) return 1;
+        sql.clear();
+      }
+    }
+  }
+
+  std::printf("=== prepared vs string-at-a-time, %d queries per workload "
+              "(paper sections 3/5) ===\n\n",
+              n);
+
+  // ---- hot point SELECTs (per-call overhead dominates) ---------------------
+  long long checksum_q = 0, checksum_p = 0;
+  {
+    auto start = Clock::now();
+    for (int i = 0; i < n; i++) {
+      int id = (i * 2654435761u) % kHotRows;
+      auto r = con.Query("SELECT v FROM hot WHERE id = " +
+                         std::to_string(id));
+      if (!r.ok()) return 1;
+      checksum_q += (*r)->RowCount();
+    }
+    Report("hot point SELECT (512 rows)", "Query (parse per call)", n,
+           Seconds(start));
+  }
+  {
+    auto prepared = con.Prepare("SELECT v FROM hot WHERE id = $1");
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "prepare failed: %s\n",
+                   prepared.status().ToString().c_str());
+      return 1;
+    }
+    auto start = Clock::now();
+    for (int i = 0; i < n; i++) {
+      int id = (i * 2654435761u) % kHotRows;
+      if (!(*prepared)->Bind(1, id).ok()) return 1;
+      auto r = (*prepared)->Execute();
+      if (!r.ok()) return 1;
+      checksum_p += (*r)->RowCount();
+    }
+    Report("hot point SELECT (512 rows)", "Prepare once + Bind/Execute", n,
+           Seconds(start));
+  }
+  if (checksum_q != checksum_p) {
+    std::fprintf(stderr, "MISMATCH: %lld vs %lld\n", checksum_q, checksum_p);
+    return 1;
+  }
+
+  // ---- larger table (late-bound zone-map filters still prune) --------------
+  checksum_q = checksum_p = 0;
+  {
+    auto start = Clock::now();
+    for (int i = 0; i < n; i++) {
+      int id = (i * 2654435761u) % kRows;
+      auto r = con.Query("SELECT v FROM readings WHERE id = " +
+                         std::to_string(id));
+      if (!r.ok()) return 1;
+      checksum_q += (*r)->RowCount();
+    }
+    Report("point SELECT (50k rows)", "Query (parse per call)", n,
+           Seconds(start));
+  }
+  {
+    auto prepared = con.Prepare("SELECT v FROM readings WHERE id = $1");
+    if (!prepared.ok()) return 1;
+    auto start = Clock::now();
+    for (int i = 0; i < n; i++) {
+      int id = (i * 2654435761u) % kRows;
+      if (!(*prepared)->Bind(1, id).ok()) return 1;
+      auto r = (*prepared)->Execute();
+      if (!r.ok()) return 1;
+      checksum_p += (*r)->RowCount();
+    }
+    Report("point SELECT (50k rows)", "Prepare once + Bind/Execute", n,
+           Seconds(start));
+  }
+  if (checksum_q != checksum_p) {
+    std::fprintf(stderr, "MISMATCH: %lld vs %lld\n", checksum_q, checksum_p);
+    return 1;
+  }
+
+  // ---- single-row INSERTs (edge-sensor shape) ------------------------------
+  {
+    if (!con.Query("CREATE TABLE sink_q (id INTEGER, v DOUBLE)").ok()) {
+      return 1;
+    }
+    auto start = Clock::now();
+    for (int i = 0; i < n; i++) {
+      auto r = con.Query("INSERT INTO sink_q VALUES (" + std::to_string(i) +
+                         "," + std::to_string(i * 0.25) + ")");
+      if (!r.ok()) return 1;
+    }
+    Report("single-row INSERT", "Query (parse per call)", n, Seconds(start));
+  }
+  {
+    if (!con.Query("CREATE TABLE sink_p (id INTEGER, v DOUBLE)").ok()) {
+      return 1;
+    }
+    auto prepared = con.Prepare("INSERT INTO sink_p VALUES (?, ?)");
+    if (!prepared.ok()) return 1;
+    auto start = Clock::now();
+    for (int i = 0; i < n; i++) {
+      if (!(*prepared)->Bind(1, i).ok()) return 1;
+      if (!(*prepared)->Bind(2, i * 0.25).ok()) return 1;
+      auto r = (*prepared)->Execute();
+      if (!r.ok()) return 1;
+    }
+    Report("single-row INSERT", "Prepare once + Bind/Execute", n,
+           Seconds(start));
+  }
+
+  auto a = con.Query("SELECT count(*) FROM sink_q");
+  auto b = con.Query("SELECT count(*) FROM sink_p");
+  if (!a.ok() || !b.ok() ||
+      (*a)->GetValue(0, 0).GetBigInt() != (*b)->GetValue(0, 0).GetBigInt()) {
+    std::fprintf(stderr, "INSERT MISMATCH\n");
+    return 1;
+  }
+  std::printf("\nresults verified identical across both APIs\n");
+  return 0;
+}

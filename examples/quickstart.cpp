@@ -1,10 +1,12 @@
-// Quickstart: open an embedded database, run DDL/DML/queries, and
-// stream a result — the 60-second tour of the public API.
+// Quickstart: open an embedded database, run DDL/DML/queries, use
+// prepared statements for repeated parameterized queries, and stream a
+// result — the 60-second tour of the public API.
 
 #include <cstdio>
 
 #include "mallard/main/connection.h"
 #include "mallard/main/database.h"
+#include "mallard/main/prepared_statement.h"
 
 int main() {
   using namespace mallard;
@@ -28,19 +30,51 @@ int main() {
   };
 
   exec("CREATE TABLE weather (city VARCHAR, day DATE, temp DOUBLE)");
-  exec("INSERT INTO weather VALUES "
-       "('Amsterdam', DATE '2026-06-01', 18.5), "
-       "('Amsterdam', DATE '2026-06-02', 21.0), "
-       "('Utrecht',   DATE '2026-06-01', 19.2), "
-       "('Utrecht',   DATE '2026-06-02', 22.4)");
+
+  // Prepared statements: parse + bind + plan once, execute many times.
+  // This is the API for repeated small queries (dashboards, sensors) —
+  // each Execute() skips the whole SQL front-end.
+  auto insert = con.Prepare("INSERT INTO weather VALUES ($1, $2, $3)");
+  if (!insert.ok()) {
+    std::fprintf(stderr, "%s\n", insert.status().ToString().c_str());
+    return 1;
+  }
+  struct Row {
+    const char* city;
+    const char* day;
+    double temp;
+  };
+  for (const Row& row : {Row{"Amsterdam", "2026-06-01", 18.5},
+                         Row{"Amsterdam", "2026-06-02", 21.0},
+                         Row{"Utrecht", "2026-06-01", 19.2},
+                         Row{"Utrecht", "2026-06-02", 22.4}}) {
+    (*insert)->Bind(1, row.city);
+    (*insert)->Bind(2, row.day);  // VARCHAR casts to DATE at bind time
+    (*insert)->Bind(3, row.temp);
+    if (!(*insert)->Execute().ok()) return 1;
+  }
 
   auto result = exec(
       "SELECT city, count(*) AS days, avg(temp) AS avg_temp "
       "FROM weather GROUP BY city ORDER BY city");
   std::printf("%s\n", result->ToString().c_str());
 
+  // Parameterized lookup, re-executed with different bindings.
+  auto lookup = con.Prepare(
+      "SELECT avg(temp) FROM weather WHERE city = ? AND temp > ?");
+  if (!lookup.ok()) return 1;
+  for (const char* city : {"Amsterdam", "Utrecht"}) {
+    (*lookup)->Bind(1, city);
+    (*lookup)->Bind(2, 19.0);
+    auto r = (*lookup)->Execute();
+    if (!r.ok()) return 1;
+    std::printf("%s, readings above 19C: avg %.2f\n", city,
+                (*r)->GetValue(0, 0).GetDouble());
+  }
+
   // Streaming (zero-copy) access: the application pulls chunks straight
-  // from the execution engine.
+  // from the execution engine — here through the prepared statement.
+  (*lookup)->Bind(1, "Amsterdam");
   auto stream = con.SendQuery("SELECT temp FROM weather WHERE temp > 19");
   if (stream.ok()) {
     double max_temp = 0;

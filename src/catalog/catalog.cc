@@ -24,6 +24,7 @@ Status Catalog::CreateTable(const std::string& name,
   entry->name = name;
   entry->table = std::make_unique<DataTable>(name, std::move(columns));
   tables_[key] = std::move(entry);
+  BumpVersion();
   return Status::OK();
 }
 
@@ -35,6 +36,7 @@ Status Catalog::DropTable(const std::string& name, bool if_exists) {
     return Status::Catalog("table '" + name + "' does not exist");
   }
   tables_.erase(it);
+  BumpVersion();
   return Status::OK();
 }
 
@@ -68,6 +70,7 @@ Status Catalog::CreateView(const std::string& name, const std::string& sql,
   entry->sql = sql;
   entry->column_aliases = std::move(column_aliases);
   views_[key] = std::move(entry);
+  BumpVersion();
   return Status::OK();
 }
 
@@ -79,6 +82,7 @@ Status Catalog::DropView(const std::string& name, bool if_exists) {
     return Status::Catalog("view '" + name + "' does not exist");
   }
   views_.erase(it);
+  BumpVersion();
   return Status::OK();
 }
 

@@ -10,18 +10,35 @@ namespace mallard {
 // PhysicalTableScan
 // ---------------------------------------------------------------------------
 
-PhysicalTableScan::PhysicalTableScan(DataTable* table,
-                                     std::vector<idx_t> column_ids,
-                                     std::vector<TableFilter> filters,
-                                     std::vector<TypeId> types)
+PhysicalTableScan::PhysicalTableScan(
+    DataTable* table, std::vector<idx_t> column_ids,
+    std::vector<TableFilter> filters, std::vector<TypeId> types,
+    std::vector<LateBoundTableFilter> late_filters)
     : PhysicalOperator(std::move(types)),
       table_(table),
       column_ids_(std::move(column_ids)),
-      filters_(std::move(filters)) {}
+      filters_(std::move(filters)),
+      late_filters_(std::move(late_filters)) {}
 
 Status PhysicalTableScan::GetChunk(ExecutionContext* context, DataChunk* out) {
   if (!initialized_) {
-    table_->InitializeScan(&state_, column_ids_, filters_);
+    std::vector<TableFilter> filters = filters_;
+    // Materialize parameterized zone-map filters from the values bound
+    // at this execution. Unbound/NULL/uncastable values just skip the
+    // pruning; the residual filter above the scan keeps results exact.
+    for (const auto& late : late_filters_) {
+      if (late.parameter_index >= late.parameters->values.size() ||
+          !late.parameters->is_set[late.parameter_index]) {
+        continue;
+      }
+      const Value& bound = late.parameters->values[late.parameter_index];
+      if (bound.is_null()) continue;
+      auto cast = bound.CastTo(late.column_type);
+      if (!cast.ok()) continue;
+      filters.push_back(
+          TableFilter{late.column_index, late.op, std::move(*cast)});
+    }
+    table_->InitializeScan(&state_, column_ids_, std::move(filters));
     initialized_ = true;
   }
   out->Reset();
@@ -175,6 +192,37 @@ Status PhysicalValues::GetChunk(ExecutionContext*, DataChunk* out) {
 
 std::string PhysicalValues::name() const {
   return "VALUES(" + std::to_string(rows_.size()) + " rows)";
+}
+
+// ---------------------------------------------------------------------------
+// PhysicalExpressionScan
+// ---------------------------------------------------------------------------
+
+PhysicalExpressionScan::PhysicalExpressionScan(
+    std::vector<std::vector<ExprPtr>> rows, std::vector<TypeId> types)
+    : PhysicalOperator(std::move(types)), rows_(std::move(rows)) {}
+
+Status PhysicalExpressionScan::GetChunk(ExecutionContext*, DataChunk* out) {
+  out->Reset();
+  idx_t produced = 0;
+  while (position_ < rows_.size() && produced < kVectorSize) {
+    const auto& row = rows_[position_++];
+    for (idx_t c = 0; c < types_.size(); c++) {
+      MALLARD_ASSIGN_OR_RETURN(
+          Value v, ExpressionExecutor::ExecuteScalar(*row[c], {}));
+      if (!v.is_null() && v.type() != types_[c]) {
+        MALLARD_ASSIGN_OR_RETURN(v, v.CastTo(types_[c]));
+      }
+      out->SetValue(c, produced, v);
+    }
+    produced++;
+  }
+  out->SetCardinality(produced);
+  return Status::OK();
+}
+
+std::string PhysicalExpressionScan::name() const {
+  return "EXPRESSION_SCAN(" + std::to_string(rows_.size()) + " rows)";
 }
 
 }  // namespace mallard

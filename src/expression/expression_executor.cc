@@ -266,6 +266,20 @@ std::string BoundLike::ToString() const {
          pattern_ + "'";
 }
 
+Result<Value> BoundParameter::GetValue() const {
+  if (!data_ || index_ >= data_->values.size() || !data_->is_set[index_]) {
+    return Status::InvalidArgument(
+        "prepared statement parameter $" + std::to_string(index_ + 1) +
+        " has not been bound");
+  }
+  Value value = data_->values[index_];
+  TypeId target = return_type();
+  if (target == TypeId::kInvalid) return value;
+  if (value.is_null()) return Value::Null(target);
+  if (value.type() == target) return value;
+  return value.CastTo(target);
+}
+
 Status ExpressionExecutor::Execute(const BoundExpression& expr,
                                    const DataChunk& input, Vector* result) {
   idx_t count = input.size();
@@ -458,6 +472,14 @@ Status ExpressionExecutor::Execute(const BoundExpression& expr,
         bool match = StringUtil::Like(strs[i].data, strs[i].size,
                                       e.pattern().data(), e.pattern().size());
         out[i] = (match != e.negated()) ? 1 : 0;
+      }
+      return Status::OK();
+    }
+    case ExprClass::kParameter: {
+      const auto& e = static_cast<const BoundParameter&>(expr);
+      MALLARD_ASSIGN_OR_RETURN(Value v, e.GetValue());
+      for (idx_t i = 0; i < count; i++) {
+        result->SetValue(i, v);
       }
       return Status::OK();
     }
@@ -658,6 +680,8 @@ Result<Value> ExpressionExecutor::ExecuteScalar(const BoundExpression& expr,
       MALLARD_RETURN_NOT_OK(e.impl()(arg_ptrs, 1, &result));
       return result.GetValue(0);
     }
+    case ExprClass::kParameter:
+      return static_cast<const BoundParameter&>(expr).GetValue();
   }
   return Status::Internal("unknown expression class");
 }

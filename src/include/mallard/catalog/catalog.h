@@ -1,6 +1,7 @@
 #ifndef MALLARD_CATALOG_CATALOG_H_
 #define MALLARD_CATALOG_CATALOG_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -48,6 +49,11 @@ class Catalog {
   std::vector<std::string> TableNames() const;
   std::vector<std::string> ViewNames() const;
 
+  /// Monotonic counter bumped by every successful DDL change. Prepared
+  /// statements record it at plan time and re-plan when it moves, so a
+  /// cached plan never dereferences a dropped table.
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
+
   /// Runs `fn` over every table (checkpoint, GC).
   template <typename Fn>
   void ForEachTable(Fn fn) const {
@@ -60,6 +66,9 @@ class Catalog {
  private:
   static std::string Key(const std::string& name);
 
+  void BumpVersion() { version_.fetch_add(1, std::memory_order_release); }
+
+  std::atomic<uint64_t> version_{0};
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<TableCatalogEntry>> tables_;
   std::map<std::string, std::unique_ptr<ViewCatalogEntry>> views_;

@@ -28,6 +28,13 @@ class PhysicalCsvScan final : public PhysicalOperator {
   Status GetChunk(ExecutionContext* context, DataChunk* out) override;
   std::string name() const override { return "CSV_SCAN(" + path_ + ")"; }
 
+ protected:
+  Status ResetOperator() override {
+    reader_.reset();
+    initialized_ = false;
+    return Status::OK();
+  }
+
  private:
   std::string path_;
   CsvOptions options_;

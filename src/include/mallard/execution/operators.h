@@ -11,20 +11,41 @@
 
 namespace mallard {
 
+/// A zone-map filter whose comparison value is a prepared-statement
+/// parameter: the concrete TableFilter is materialized from the bound
+/// value at scan initialization, so every re-execution of a prepared
+/// plan prunes row groups with its fresh parameter values.
+struct LateBoundTableFilter {
+  idx_t column_index;  // into the base table schema
+  CompareOp op;
+  TypeId column_type;
+  std::shared_ptr<BoundParameterData> parameters;
+  idx_t parameter_index;
+};
+
 /// Sequential scan over a DataTable with projection pushdown (column ids)
-/// and zone-map filters.
+/// and zone-map filters (plan-time constants plus late-bound parameters).
 class PhysicalTableScan final : public PhysicalOperator {
  public:
   PhysicalTableScan(DataTable* table, std::vector<idx_t> column_ids,
                     std::vector<TableFilter> filters,
-                    std::vector<TypeId> types);
+                    std::vector<TypeId> types,
+                    std::vector<LateBoundTableFilter> late_filters = {});
   Status GetChunk(ExecutionContext* context, DataChunk* out) override;
   std::string name() const override;
+
+ protected:
+  Status ResetOperator() override {
+    state_ = TableScanState{};
+    initialized_ = false;
+    return Status::OK();
+  }
 
  private:
   DataTable* table_;
   std::vector<idx_t> column_ids_;
   std::vector<TableFilter> filters_;
+  std::vector<LateBoundTableFilter> late_filters_;
   TableScanState state_;
   bool initialized_ = false;
 };
@@ -62,6 +83,13 @@ class PhysicalLimit final : public PhysicalOperator {
   Status GetChunk(ExecutionContext* context, DataChunk* out) override;
   std::string name() const override;
 
+ protected:
+  Status ResetOperator() override {
+    skipped_ = 0;
+    produced_ = 0;
+    return Status::OK();
+  }
+
  private:
   idx_t limit_;
   idx_t offset_;
@@ -78,8 +106,35 @@ class PhysicalValues final : public PhysicalOperator {
   Status GetChunk(ExecutionContext* context, DataChunk* out) override;
   std::string name() const override;
 
+ protected:
+  Status ResetOperator() override {
+    position_ = 0;
+    return Status::OK();
+  }
+
  private:
   std::vector<std::vector<Value>> rows_;
+  idx_t position_ = 0;
+};
+
+/// Rows of arbitrary (column-free) expressions, evaluated at execution
+/// time — the child of prepared `INSERT INTO t VALUES (?, ?)` plans,
+/// where values are only known once parameters are bound.
+class PhysicalExpressionScan final : public PhysicalOperator {
+ public:
+  PhysicalExpressionScan(std::vector<std::vector<ExprPtr>> rows,
+                         std::vector<TypeId> types);
+  Status GetChunk(ExecutionContext* context, DataChunk* out) override;
+  std::string name() const override;
+
+ protected:
+  Status ResetOperator() override {
+    position_ = 0;
+    return Status::OK();
+  }
+
+ private:
+  std::vector<std::vector<ExprPtr>> rows_;
   idx_t position_ = 0;
 };
 

@@ -20,6 +20,12 @@ class PhysicalUngroupedAggregate final : public PhysicalOperator {
   Status GetChunk(ExecutionContext* context, DataChunk* out) override;
   std::string name() const override;
 
+ protected:
+  Status ResetOperator() override {
+    done_ = false;
+    return Status::OK();
+  }
+
  private:
   std::vector<BoundAggregate> aggregates_;
   DataChunk child_chunk_;
@@ -39,6 +45,16 @@ class PhysicalHashAggregate final : public PhysicalOperator {
 
   /// Number of distinct groups seen (stats for tests/benches).
   idx_t GroupCount() const { return group_rows_.size(); }
+
+ protected:
+  Status ResetOperator() override {
+    group_map_.clear();
+    group_rows_.clear();
+    states_.clear();
+    sunk_ = false;
+    output_position_ = 0;
+    return Status::OK();
+  }
 
  private:
   Status Sink(ExecutionContext* context);

@@ -18,6 +18,12 @@ class PhysicalInsert final : public PhysicalOperator {
   Status GetChunk(ExecutionContext* context, DataChunk* out) override;
   std::string name() const override;
 
+ protected:
+  Status ResetOperator() override {
+    done_ = false;
+    return Status::OK();
+  }
+
  private:
   DataTable* table_;
   bool done_ = false;
@@ -29,6 +35,12 @@ class PhysicalDelete final : public PhysicalOperator {
   PhysicalDelete(DataTable* table, std::unique_ptr<PhysicalOperator> child);
   Status GetChunk(ExecutionContext* context, DataChunk* out) override;
   std::string name() const override;
+
+ protected:
+  Status ResetOperator() override {
+    done_ = false;
+    return Status::OK();
+  }
 
  private:
   DataTable* table_;
@@ -43,6 +55,12 @@ class PhysicalUpdate final : public PhysicalOperator {
                  std::unique_ptr<PhysicalOperator> child);
   Status GetChunk(ExecutionContext* context, DataChunk* out) override;
   std::string name() const override;
+
+ protected:
+  Status ResetOperator() override {
+    done_ = false;
+    return Status::OK();
+  }
 
  private:
   DataTable* table_;

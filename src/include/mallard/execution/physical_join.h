@@ -39,6 +39,20 @@ class PhysicalHashJoin final : public PhysicalOperator {
 
   uint64_t BuildBytes() const { return build_bytes_; }
 
+ protected:
+  Status ResetOperator() override {
+    segments_.clear();
+    segment_used_ = 0;
+    table_.clear();
+    build_bytes_ = 0;
+    built_ = false;
+    probe_position_ = 0;
+    current_matches_ = nullptr;
+    match_position_ = 0;
+    probe_exhausted_ = false;
+    return Status::OK();
+  }
+
  private:
   Status Build(ExecutionContext* context);
   Status EvaluateKeys(const std::vector<ExprPtr>& exprs,
@@ -76,6 +90,23 @@ class PhysicalMergeJoin final : public PhysicalOperator {
                     std::unique_ptr<PhysicalOperator> right);
   Status GetChunk(ExecutionContext* context, DataChunk* out) override;
   std::string name() const override;
+
+ protected:
+  Status ResetOperator() override {
+    left_sort_.reset();
+    right_sort_.reset();
+    sorted_ = false;
+    left_position_ = 0;
+    left_done_ = false;
+    right_position_ = 0;
+    right_done_ = false;
+    group_key_.clear();
+    group_rows_.clear();
+    group_valid_ = false;
+    emit_group_index_ = 0;
+    emitting_matches_ = false;
+    return Status::OK();
+  }
 
  private:
   Status SortInputs(ExecutionContext* context);
@@ -116,6 +147,17 @@ class PhysicalCrossProduct final : public PhysicalOperator {
                        std::unique_ptr<PhysicalOperator> right);
   Status GetChunk(ExecutionContext* context, DataChunk* out) override;
   std::string name() const override;
+
+ protected:
+  Status ResetOperator() override {
+    right_data_.reset();
+    right_scan_ = ChunkCollection::ScanState{};
+    left_position_ = 0;
+    right_position_ = 0;
+    materialized_ = false;
+    left_done_ = false;
+    return Status::OK();
+  }
 
  private:
   std::unique_ptr<ChunkCollection> right_data_;

@@ -41,6 +41,17 @@ class PhysicalOperator {
   /// An output cardinality of 0 signals exhaustion.
   virtual Status GetChunk(ExecutionContext* context, DataChunk* out) = 0;
 
+  /// Rewinds this operator tree so GetChunk streams the full result
+  /// again. Prepared statements rely on this to re-execute a plan
+  /// without re-parsing or re-planning (paper section 3: amortizing
+  /// per-query overhead across repeated small queries).
+  Status Reset() {
+    for (auto& child : children_) {
+      MALLARD_RETURN_NOT_OK(child->Reset());
+    }
+    return ResetOperator();
+  }
+
   virtual std::string name() const = 0;
 
   std::vector<std::unique_ptr<PhysicalOperator>>& children() {
@@ -55,6 +66,9 @@ class PhysicalOperator {
   std::string ToString(int indent = 0) const;
 
  protected:
+  /// Per-operator rewind hook; stateless operators keep the no-op.
+  virtual Status ResetOperator() { return Status::OK(); }
+
   std::vector<TypeId> types_;
   std::vector<std::unique_ptr<PhysicalOperator>> children_;
 };

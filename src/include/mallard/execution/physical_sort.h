@@ -19,6 +19,13 @@ class PhysicalOrderBy final : public PhysicalOperator {
   Status GetChunk(ExecutionContext* context, DataChunk* out) override;
   std::string name() const override;
 
+ protected:
+  Status ResetOperator() override {
+    sort_.reset();
+    sorted_ = false;
+    return Status::OK();
+  }
+
  private:
   std::vector<SortSpec> specs_;
   std::unique_ptr<ExternalSort> sort_;
@@ -32,6 +39,15 @@ class PhysicalTopN final : public PhysicalOperator {
                std::unique_ptr<PhysicalOperator> child);
   Status GetChunk(ExecutionContext* context, DataChunk* out) override;
   std::string name() const override;
+
+ protected:
+  Status ResetOperator() override {
+    heap_.clear();
+    sorted_rows_.clear();
+    computed_ = false;
+    position_ = 0;
+    return Status::OK();
+  }
 
  private:
   std::vector<SortSpec> specs_;

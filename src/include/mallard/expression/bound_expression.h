@@ -1,6 +1,7 @@
 #ifndef MALLARD_EXPRESSION_BOUND_EXPRESSION_H_
 #define MALLARD_EXPRESSION_BOUND_EXPRESSION_H_
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <string>
@@ -26,6 +27,7 @@ enum class ExprClass : uint8_t {
   kCase,
   kInList,
   kLike,
+  kParameter,
 };
 
 /// Arithmetic operators.
@@ -45,6 +47,10 @@ class BoundExpression {
 
   virtual std::unique_ptr<BoundExpression> Copy() const = 0;
   virtual std::string ToString() const = 0;
+
+ protected:
+  /// Used by the binder to resolve types discovered late (parameters).
+  void set_return_type(TypeId type) { return_type_ = type; }
 
  private:
   ExprClass expr_class_;
@@ -298,6 +304,74 @@ class BoundLike final : public BoundExpression {
   ExprPtr child_;
   std::string pattern_;
   bool negated_;
+};
+
+/// Shared slot for prepared-statement parameter values. One instance is
+/// owned by the PreparedStatement and shared (via shared_ptr) with every
+/// BoundParameter node in the plan, so re-binding values between
+/// executions requires no plan rewrite (paper section 3: the client API
+/// is in-process, so parameter transfer is a pointer hand-over).
+struct BoundParameterData {
+  std::vector<Value> values;         // current bindings (1 slot per param)
+  std::vector<bool> is_set;          // Bind() called for this slot?
+  std::vector<TypeId> types;         // type inferred at bind (plan) time
+  std::vector<bool> referenced;      // slot appears in the statement?
+
+  idx_t Count() const { return values.size(); }
+  void EnsureSize(idx_t count) {
+    if (values.size() < count) {
+      values.resize(count);
+      is_set.resize(count, false);
+      types.resize(count, TypeId::kInvalid);
+      referenced.resize(count, false);
+    }
+  }
+  void ClearBindings() {
+    std::fill(is_set.begin(), is_set.end(), false);
+    std::fill(values.begin(), values.end(), Value());
+  }
+};
+
+/// A prepared-statement parameter ($N / ?). The node records the
+/// parameter index and the type inferred from its binding context; the
+/// value is read from the shared BoundParameterData at execution time.
+class BoundParameter final : public BoundExpression {
+ public:
+  BoundParameter(idx_t index, std::shared_ptr<BoundParameterData> data,
+                 TypeId type = TypeId::kInvalid)
+      : BoundExpression(ExprClass::kParameter, type),
+        index_(index),
+        data_(std::move(data)) {}
+
+  idx_t index() const { return index_; }
+  const std::shared_ptr<BoundParameterData>& data() const { return data_; }
+
+  /// Fixes this parameter's type from binding context; records it in the
+  /// shared slot so the API layer can type-check Bind() calls.
+  void ResolveType(TypeId type) {
+    set_return_type(type);
+    if (data_) {
+      data_->EnsureSize(index_ + 1);
+      if (data_->types[index_] == TypeId::kInvalid) {
+        data_->types[index_] = type;
+      }
+    }
+  }
+
+  /// Returns the currently bound value cast to this node's type; errors
+  /// if the parameter has not been bound.
+  Result<Value> GetValue() const;
+
+  ExprPtr Copy() const override {
+    return std::make_unique<BoundParameter>(index_, data_, return_type());
+  }
+  std::string ToString() const override {
+    return "$" + std::to_string(index_ + 1);
+  }
+
+ private:
+  idx_t index_;
+  std::shared_ptr<BoundParameterData> data_;
 };
 
 /// Aggregate function kinds (used by aggregate operators, not the scalar

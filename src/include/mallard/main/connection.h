@@ -12,6 +12,7 @@
 
 namespace mallard {
 
+class PreparedStatement;
 class StreamingQueryResult;
 
 /// A connection: the unit of transactional context. Multiple connections
@@ -36,6 +37,13 @@ class Connection {
   Result<std::unique_ptr<StreamingQueryResult>> SendQuery(
       const std::string& sql);
 
+  /// Parses and plans a single SELECT / INSERT / UPDATE / DELETE once,
+  /// returning a PreparedStatement with typed parameter slots for the
+  /// `?` / `$N` placeholders. Repeated Bind + Execute cycles skip the
+  /// parse-bind-plan pipeline entirely (paper section 3). The connection
+  /// must outlive the returned statement.
+  Result<std::unique_ptr<PreparedStatement>> Prepare(const std::string& sql);
+
   /// Explicit transaction control (equivalent to BEGIN/COMMIT/ROLLBACK).
   Status BeginTransaction();
   Status Commit();
@@ -45,12 +53,31 @@ class Connection {
   Database& database() { return *db_; }
 
  private:
+  friend class PreparedStatement;
   friend class StreamingQueryResult;
 
   Result<std::unique_ptr<MaterializedQueryResult>> ExecuteStatement(
       SQLStatement* stmt);
+
+  /// The shared execute stage of the prepare-then-execute pipeline:
+  /// transaction setup (autocommit or explicit), chunk pull loop, and
+  /// commit/rollback. Query, prepared Execute and CTAS all route here;
+  /// the plan is borrowed, so prepared statements can re-run it.
+  Result<std::unique_ptr<MaterializedQueryResult>> ExecutePhysicalPlan(
+      PhysicalOperator* plan, const std::vector<std::string>& names,
+      const std::vector<TypeId>& types);
   Result<std::unique_ptr<MaterializedQueryResult>> ExecutePlan(
       struct PreparedPlan plan);
+
+  /// Shared streaming stage: wraps a plan (owned or borrowed) in a
+  /// StreamingQueryResult with autocommit handling. `lease` (if any) is
+  /// held by the stream until it closes, letting the plan's owner detect
+  /// that a stream is still live.
+  Result<std::unique_ptr<StreamingQueryResult>> StreamPlan(
+      std::unique_ptr<PhysicalOperator> owned_plan, PhysicalOperator* plan,
+      std::vector<std::string> names, std::vector<TypeId> types,
+      std::shared_ptr<void> lease = nullptr);
+
   Status ExecutePragma(const PragmaStatement& stmt);
 
   /// Returns the active transaction, starting an autocommit one if
@@ -62,14 +89,17 @@ class Connection {
   std::unique_ptr<Transaction> transaction_;  // explicit transaction
 };
 
-/// Streaming result: pulls chunks straight from the physical plan.
+/// Streaming result: pulls chunks straight from the physical plan. The
+/// plan is either owned (ad-hoc SendQuery) or borrowed from a
+/// PreparedStatement, which must then outlive this result.
 class StreamingQueryResult final : public QueryResult {
  public:
   StreamingQueryResult(Connection* connection,
-                       std::unique_ptr<PhysicalOperator> plan,
-                       std::vector<std::string> names,
+                       std::unique_ptr<PhysicalOperator> owned_plan,
+                       PhysicalOperator* plan, std::vector<std::string> names,
                        std::vector<TypeId> types, bool owns_transaction,
-                       std::unique_ptr<Transaction> txn);
+                       std::unique_ptr<Transaction> txn,
+                       std::shared_ptr<void> lease = nullptr);
   ~StreamingQueryResult() override;
 
   /// Next chunk or nullptr at the end. The returned chunk is the
@@ -81,9 +111,11 @@ class StreamingQueryResult final : public QueryResult {
 
  private:
   Connection* connection_;
-  std::unique_ptr<PhysicalOperator> plan_;
+  std::unique_ptr<PhysicalOperator> owned_plan_;
+  PhysicalOperator* plan_;
   bool owns_transaction_;
   std::unique_ptr<Transaction> txn_;
+  std::shared_ptr<void> lease_;  // released on Close()
   bool done_ = false;
 };
 

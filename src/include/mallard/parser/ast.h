@@ -28,6 +28,7 @@ enum class PExprType : uint8_t {
   kBetween,
   kInList,
   kLike,
+  kParameter,  // prepared-statement placeholder: ? or $N
 };
 
 /// A parsed expression. One node type with per-kind fields keeps the AST
@@ -44,6 +45,7 @@ struct ParsedExpression {
   bool negated = false;  // NOT LIKE / NOT IN / IS NOT NULL / NOT BETWEEN
   bool has_else = false;  // CASE
   TypeId cast_type = TypeId::kInvalid;
+  idx_t parameter_index = 0;  // kParameter payload (0-based)
   std::vector<std::unique_ptr<ParsedExpression>> children;
 
   explicit ParsedExpression(PExprType t) : type(t) {}

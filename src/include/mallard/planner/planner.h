@@ -33,11 +33,23 @@ class Planner {
   Planner(Catalog* catalog, ResourceGovernor* governor)
       : catalog_(catalog), governor_(governor) {}
 
+  /// Enables prepared-statement parameters: placeholders bind against the
+  /// shared slot, recording their inferred types in it. Without this, a
+  /// statement containing ? or $N fails to bind.
+  void SetParameterData(std::shared_ptr<BoundParameterData> parameters) {
+    parameters_ = std::move(parameters);
+  }
+
   Result<PreparedPlan> PlanSelect(const SelectStatement& stmt);
   Result<PreparedPlan> PlanInsert(const InsertStatement& stmt);
   Result<PreparedPlan> PlanUpdate(const UpdateStatement& stmt);
   Result<PreparedPlan> PlanDelete(const DeleteStatement& stmt);
   Result<PreparedPlan> PlanCopyFrom(const CopyStatement& stmt);
+
+  /// Plans any plannable statement (SELECT / INSERT / UPDATE / DELETE /
+  /// COPY FROM) — the shared entry point of the prepare-then-execute
+  /// pipeline. Returns NotImplemented for other statement types.
+  Result<PreparedPlan> PlanStatement(const SQLStatement& stmt);
 
   /// Internal binder/planner state (public for the implementation files).
   struct Impl;
@@ -45,6 +57,7 @@ class Planner {
  private:
   Catalog* catalog_;
   ResourceGovernor* governor_;
+  std::shared_ptr<BoundParameterData> parameters_;
 };
 
 }  // namespace mallard

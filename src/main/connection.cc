@@ -2,6 +2,7 @@
 
 #include "mallard/common/string_util.h"
 #include "mallard/etl/csv.h"
+#include "mallard/main/prepared_statement.h"
 #include "mallard/parser/parser.h"
 #include "mallard/planner/planner.h"
 
@@ -74,8 +75,10 @@ Result<std::unique_ptr<MaterializedQueryResult>> Connection::Query(
   return result;
 }
 
-Result<std::unique_ptr<MaterializedQueryResult>> Connection::ExecutePlan(
-    PreparedPlan prepared) {
+Result<std::unique_ptr<MaterializedQueryResult>>
+Connection::ExecutePhysicalPlan(PhysicalOperator* plan,
+                                const std::vector<std::string>& names,
+                                const std::vector<TypeId>& types) {
   bool started = false;
   MALLARD_ASSIGN_OR_RETURN(Transaction * txn, ActiveTransaction(&started));
   ExecutionContext context;
@@ -86,8 +89,8 @@ Result<std::unique_ptr<MaterializedQueryResult>> Connection::ExecutePlan(
   Status status = Status::OK();
   while (true) {
     auto chunk = std::make_unique<DataChunk>();
-    chunk->Initialize(prepared.types);
-    status = prepared.plan->GetChunk(&context, chunk.get());
+    chunk->Initialize(types);
+    status = plan->GetChunk(&context, chunk.get());
     if (!status.ok()) break;
     if (chunk->size() == 0) break;
     chunks.push_back(std::move(chunk));
@@ -104,9 +107,14 @@ Result<std::unique_ptr<MaterializedQueryResult>> Connection::ExecutePlan(
     return status;
   }
   MALLARD_RETURN_NOT_OK(FinishAutocommit(started, true));
-  return std::make_unique<MaterializedQueryResult>(
-      std::move(prepared.names), std::move(prepared.types),
-      std::move(chunks));
+  return std::make_unique<MaterializedQueryResult>(names, types,
+                                                   std::move(chunks));
+}
+
+Result<std::unique_ptr<MaterializedQueryResult>> Connection::ExecutePlan(
+    PreparedPlan prepared) {
+  return ExecutePhysicalPlan(prepared.plan.get(), prepared.names,
+                             prepared.types);
 }
 
 namespace {
@@ -128,28 +136,13 @@ Result<std::unique_ptr<MaterializedQueryResult>> Connection::ExecuteStatement(
     SQLStatement* stmt) {
   Planner planner(&db_->catalog(), &db_->governor());
   switch (stmt->type) {
-    case StatementType::kSelect: {
-      MALLARD_ASSIGN_OR_RETURN(
-          auto plan,
-          planner.PlanSelect(static_cast<const SelectStatement&>(*stmt)));
-      return ExecutePlan(std::move(plan));
-    }
-    case StatementType::kInsert: {
-      MALLARD_ASSIGN_OR_RETURN(
-          auto plan,
-          planner.PlanInsert(static_cast<const InsertStatement&>(*stmt)));
-      return ExecutePlan(std::move(plan));
-    }
-    case StatementType::kUpdate: {
-      MALLARD_ASSIGN_OR_RETURN(
-          auto plan,
-          planner.PlanUpdate(static_cast<const UpdateStatement&>(*stmt)));
-      return ExecutePlan(std::move(plan));
-    }
+    // Plannable statements share one prepare-then-execute pipeline with
+    // SendQuery and Connection::Prepare.
+    case StatementType::kSelect:
+    case StatementType::kInsert:
+    case StatementType::kUpdate:
     case StatementType::kDelete: {
-      MALLARD_ASSIGN_OR_RETURN(
-          auto plan,
-          planner.PlanDelete(static_cast<const DeleteStatement&>(*stmt)));
+      MALLARD_ASSIGN_OR_RETURN(auto plan, planner.PlanStatement(*stmt));
       return ExecutePlan(std::move(plan));
     }
     case StatementType::kCreateTable: {
@@ -243,7 +236,7 @@ Result<std::unique_ptr<MaterializedQueryResult>> Connection::ExecuteStatement(
     case StatementType::kCopy: {
       auto& copy = static_cast<CopyStatement&>(*stmt);
       if (copy.is_from) {
-        MALLARD_ASSIGN_OR_RETURN(auto plan, planner.PlanCopyFrom(copy));
+        MALLARD_ASSIGN_OR_RETURN(auto plan, planner.PlanStatement(copy));
         return ExecutePlan(std::move(plan));
       }
       // COPY table TO 'path': run SELECT * and write CSV.
@@ -369,28 +362,66 @@ Result<std::unique_ptr<StreamingQueryResult>> Connection::SendQuery(
         "SendQuery supports exactly one SELECT statement");
   }
   Planner planner(&db_->catalog(), &db_->governor());
-  MALLARD_ASSIGN_OR_RETURN(
-      auto plan,
-      planner.PlanSelect(static_cast<const SelectStatement&>(*statements[0])));
+  MALLARD_ASSIGN_OR_RETURN(auto plan, planner.PlanStatement(*statements[0]));
+  PhysicalOperator* raw = plan.plan.get();
+  return StreamPlan(std::move(plan.plan), raw, std::move(plan.names),
+                    std::move(plan.types));
+}
+
+Result<std::unique_ptr<StreamingQueryResult>> Connection::StreamPlan(
+    std::unique_ptr<PhysicalOperator> owned_plan, PhysicalOperator* plan,
+    std::vector<std::string> names, std::vector<TypeId> types,
+    std::shared_ptr<void> lease) {
   bool owns = !transaction_;
   std::unique_ptr<Transaction> txn;
   if (owns) {
     txn = db_->transactions().Begin();
   }
   return std::make_unique<StreamingQueryResult>(
-      this, std::move(plan.plan), std::move(plan.names),
-      std::move(plan.types), owns, std::move(txn));
+      this, std::move(owned_plan), plan, std::move(names), std::move(types),
+      owns, std::move(txn), std::move(lease));
+}
+
+Result<std::unique_ptr<PreparedStatement>> Connection::Prepare(
+    const std::string& sql) {
+  MALLARD_ASSIGN_OR_RETURN(auto statements, Parser::Parse(sql));
+  if (statements.size() != 1) {
+    return Status::InvalidArgument(
+        "Prepare expects exactly one statement, got " +
+        std::to_string(statements.size()));
+  }
+  auto parameters = std::make_shared<BoundParameterData>();
+  Planner planner(&db_->catalog(), &db_->governor());
+  planner.SetParameterData(parameters);
+  uint64_t catalog_version = db_->catalog().version();
+  MALLARD_ASSIGN_OR_RETURN(auto plan, planner.PlanStatement(*statements[0]));
+  // $N numbering must be gapless: a skipped slot would demand a binding
+  // for a parameter that appears nowhere in the SQL.
+  for (idx_t i = 0; i < parameters->Count(); i++) {
+    if (!parameters->referenced[i]) {
+      return Status::Binder(
+          "parameter $" + std::to_string(i + 1) +
+          " is never referenced; parameters must be numbered "
+          "consecutively from $1");
+    }
+  }
+  return std::unique_ptr<PreparedStatement>(new PreparedStatement(
+      this, std::move(statements[0]), std::move(parameters), std::move(plan),
+      catalog_version));
 }
 
 StreamingQueryResult::StreamingQueryResult(
-    Connection* connection, std::unique_ptr<PhysicalOperator> plan,
-    std::vector<std::string> names, std::vector<TypeId> types,
-    bool owns_transaction, std::unique_ptr<Transaction> txn)
+    Connection* connection, std::unique_ptr<PhysicalOperator> owned_plan,
+    PhysicalOperator* plan, std::vector<std::string> names,
+    std::vector<TypeId> types, bool owns_transaction,
+    std::unique_ptr<Transaction> txn, std::shared_ptr<void> lease)
     : QueryResult(std::move(names), std::move(types)),
       connection_(connection),
-      plan_(std::move(plan)),
+      owned_plan_(std::move(owned_plan)),
+      plan_(plan),
       owns_transaction_(owns_transaction),
-      txn_(std::move(txn)) {}
+      txn_(std::move(txn)),
+      lease_(std::move(lease)) {}
 
 StreamingQueryResult::~StreamingQueryResult() {
   Status status = Close();
@@ -417,6 +448,7 @@ Result<std::unique_ptr<DataChunk>> StreamingQueryResult::Fetch() {
 Status StreamingQueryResult::Close() {
   if (done_) return Status::OK();
   done_ = true;
+  lease_.reset();  // the borrowed plan may be rewound/re-planned again
   if (owns_transaction_ && txn_) {
     Status status =
         connection_->db_->transactions().Commit(txn_.get());

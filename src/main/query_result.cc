@@ -3,6 +3,9 @@
 namespace mallard {
 
 Value MaterializedQueryResult::GetValue(idx_t column, idx_t row) const {
+  // Out-of-range access returns a NULL value instead of walking off the
+  // chunk vector.
+  if (column >= ColumnCount() || row >= row_count_) return Value();
   idx_t offset = 0;
   for (const auto& chunk : chunks_) {
     if (row < offset + chunk->size()) {

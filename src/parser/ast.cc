@@ -14,6 +14,7 @@ std::unique_ptr<ParsedExpression> ParsedExpression::Copy() const {
   copy->negated = negated;
   copy->has_else = has_else;
   copy->cast_type = cast_type;
+  copy->parameter_index = parameter_index;
   for (const auto& child : children) {
     copy->children.push_back(child->Copy());
   }
@@ -26,6 +27,7 @@ bool ParsedExpression::Equals(const ParsedExpression& other) const {
       arith_op != other.arith_op || is_and != other.is_and ||
       negated != other.negated || has_else != other.has_else ||
       cast_type != other.cast_type ||
+      parameter_index != other.parameter_index ||
       children.size() != other.children.size()) {
     return false;
   }
@@ -100,6 +102,8 @@ std::string ParsedExpression::ToString() const {
     case PExprType::kLike:
       return children[0]->ToString() + (negated ? " NOT LIKE " : " LIKE ") +
              children[1]->ToString();
+    case PExprType::kParameter:
+      return "$" + std::to_string(parameter_index + 1);
   }
   return "?";
 }

@@ -1,5 +1,6 @@
 #include "mallard/parser/parser.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdlib>
 
@@ -20,6 +21,7 @@ enum class TokenType : uint8_t {
   kString,
   kSymbol,  // one of ( ) , ; . * + - / %
   kOperator,  // = <> != < <= > >=
+  kParameter,  // ? (text empty) or $N (text = N)
   kEnd,
 };
 
@@ -113,6 +115,25 @@ class Lexer {
         }
         if (!closed) return Status::Parser("unterminated quoted identifier");
         tokens->push_back({TokenType::kIdentifier, value, i});
+        continue;
+      }
+      // Prepared-statement parameter placeholders.
+      if (c == '?') {
+        tokens->push_back({TokenType::kParameter, "", i});
+        i++;
+        continue;
+      }
+      if (c == '$') {
+        size_t start = ++i;
+        while (i < sql_.size() &&
+               std::isdigit(static_cast<unsigned char>(sql_[i]))) {
+          i++;
+        }
+        if (i == start) {
+          return Status::Parser("expected parameter number after '$'");
+        }
+        tokens->push_back(
+            {TokenType::kParameter, sql_.substr(start, i - start), start});
         continue;
       }
       // Operators.
@@ -827,6 +848,28 @@ class ParserImpl {
           return PExpr(std::make_unique<ParsedExpression>(PExprType::kStar));
         }
         return Error("unexpected symbol in expression");
+      case TokenType::kParameter: {
+        Advance();
+        auto node = std::make_unique<ParsedExpression>(PExprType::kParameter);
+        if (token.text.empty()) {
+          // Positional '?': takes the next slot after everything seen so
+          // far, so mixing with $N never aliases an explicit slot.
+          node->parameter_index = next_positional_parameter_++;
+        } else {
+          constexpr int64_t kMaxParameterNumber = 65535;
+          int64_t n = std::strtoll(token.text.c_str(), nullptr, 10);
+          if (n < 1) {
+            return Error("parameter numbers start at $1");
+          }
+          if (n > kMaxParameterNumber) {
+            return Error("parameter number exceeds the maximum of $65535");
+          }
+          node->parameter_index = static_cast<idx_t>(n - 1);
+          next_positional_parameter_ =
+              std::max(next_positional_parameter_, static_cast<idx_t>(n));
+        }
+        return PExpr(std::move(node));
+      }
       case TokenType::kIdentifier:
         return ParseIdentifierExpression();
       default:
@@ -971,6 +1014,7 @@ class ParserImpl {
   std::vector<Token> tokens_;
   const std::string& sql_;
   size_t position_ = 0;
+  idx_t next_positional_parameter_ = 0;  // index assigned to the next '?'
 };
 
 }  // namespace

@@ -97,6 +97,17 @@ bool ExprHasColumnRef(const BoundExpression& expr) {
   return found;
 }
 
+// Parameters look constant to the folder but change between executions of
+// a prepared statement; expressions containing them must stay unfolded.
+bool ExprHasParameter(const BoundExpression& expr) {
+  if (expr.expr_class() == ExprClass::kParameter) return true;
+  bool found = false;
+  VisitChildren(expr, [&](const BoundExpression& child) {
+    if (ExprHasParameter(child)) found = true;
+  });
+  return found;
+}
+
 void CollectColumnIndexes(const BoundExpression& expr, std::set<idx_t>* out) {
   if (expr.expr_class() == ExprClass::kColumnRef) {
     out->insert(static_cast<const BoundColumnRef&>(expr).index());
@@ -202,7 +213,7 @@ Status RemapColumnRefs(BoundExpression* expr,
 }
 
 // Rough cardinality estimate for join planning.
-idx_t EstimateRows(const PhysicalOperator* op) {
+[[maybe_unused]] idx_t EstimateRows(const PhysicalOperator* op) {
   std::string n = op->name();
   if (StringUtil::StartsWith(n, "SEQ_SCAN")) {
     // Encoded row count unavailable here; handled by caller for scans.
@@ -226,6 +237,7 @@ uint64_t EstimateBytes(PhysicalOperator* op, idx_t rows) {
 struct Planner::Impl {
   Catalog* catalog;
   ResourceGovernor* governor;
+  std::shared_ptr<BoundParameterData> parameters;  // null: params rejected
 
   // --- binding context ------------------------------------------------------
   struct Leaf {
@@ -243,6 +255,7 @@ struct Planner::Impl {
     std::unique_ptr<PhysicalOperator> subquery_plan;
     idx_t approx_rows = 1000;
     std::vector<TableFilter> scan_filters;  // zone-map filters (base only)
+    std::vector<LateBoundTableFilter> late_filters;  // parameterized ones
   };
 
   std::vector<Leaf> leaves;
@@ -294,8 +307,23 @@ struct Planner::Impl {
   }
 
   // --- type coercion --------------------------------------------------------
+
+  /// An untyped parameter adopts the type required by its context.
+  static void ResolveUntypedParameter(const ExprPtr& expr, TypeId target) {
+    if (expr->expr_class() == ExprClass::kParameter &&
+        expr->return_type() == TypeId::kInvalid &&
+        target != TypeId::kInvalid) {
+      static_cast<BoundParameter*>(expr.get())->ResolveType(target);
+    }
+  }
+
   static Result<std::pair<ExprPtr, ExprPtr>> CoerceToSame(ExprPtr left,
                                                           ExprPtr right) {
+    ResolveUntypedParameter(left, right->return_type());
+    ResolveUntypedParameter(right, left->return_type());
+    // Two untyped parameters compared against each other: default VARCHAR.
+    ResolveUntypedParameter(left, TypeId::kVarchar);
+    ResolveUntypedParameter(right, left->return_type());
     TypeId lt = left->return_type(), rt = right->return_type();
     if (lt == rt) return std::make_pair(std::move(left), std::move(right));
     TypeId target;
@@ -323,6 +351,7 @@ struct Planner::Impl {
   }
 
   static ExprPtr CastTo(ExprPtr expr, TypeId target) {
+    ResolveUntypedParameter(expr, target);
     if (expr->return_type() == target) return expr;
     return std::make_unique<BoundCast>(std::move(expr), target);
   }
@@ -331,6 +360,7 @@ struct Planner::Impl {
   static ExprPtr Fold(ExprPtr expr) {
     if (expr->expr_class() == ExprClass::kConstant) return expr;
     if (ExprHasColumnRef(*expr)) return expr;
+    if (ExprHasParameter(*expr)) return expr;
     auto value = ExpressionExecutor::ExecuteScalar(*expr, {});
     if (!value.ok()) return expr;  // fold lazily; runtime will error
     Value v = *value;
@@ -356,6 +386,19 @@ struct Planner::Impl {
     switch (expr.type) {
       case PExprType::kConstant: {
         return ExprPtr(std::make_unique<BoundConstant>(expr.constant));
+      }
+      case PExprType::kParameter: {
+        if (!parameters) {
+          return Status::Binder(
+              "statement contains parameters ($" +
+              std::to_string(expr.parameter_index + 1) +
+              "); use Connection::Prepare to execute it");
+        }
+        parameters->EnsureSize(expr.parameter_index + 1);
+        parameters->referenced[expr.parameter_index] = true;
+        return ExprPtr(std::make_unique<BoundParameter>(
+            expr.parameter_index, parameters,
+            parameters->types[expr.parameter_index]));
       }
       case PExprType::kColumnRef: {
         if (binding_agg_mode) {
@@ -632,6 +675,20 @@ struct Planner::Impl {
       } else {
         agg.return_type = TypeId::kBigInt;
       }
+      // Reuse an identical aggregate already requested by another clause
+      // (SELECT sum(v) ... HAVING sum(v) > 4 computes one sum).
+      for (idx_t i = 0; i < aggregates->size(); i++) {
+        const BoundAggregate& existing = (*aggregates)[i];
+        bool same_arg =
+            (!existing.arg && !agg.arg) ||
+            (existing.arg && agg.arg &&
+             existing.arg->ToString() == agg.arg->ToString());
+        if (existing.type == agg.type && same_arg) {
+          return ExprPtr(std::make_unique<BoundColumnRef>(
+              bound_groups->size() + i, existing.return_type,
+              expr.ToString()));
+        }
+      }
       idx_t index = bound_groups->size() + aggregates->size();
       TypeId type = agg.return_type;
       aggregates->push_back(std::move(agg));
@@ -702,7 +759,8 @@ struct Planner::Impl {
       return std::unique_ptr<PhysicalOperator>(
           std::make_unique<PhysicalTableScan>(leaf->table, column_ids,
                                               leaf->scan_filters,
-                                              leaf->types));
+                                              leaf->types,
+                                              leaf->late_filters));
     }
     if (!leaf->csv_path.empty()) {
       return std::unique_ptr<PhysicalOperator>(
@@ -769,7 +827,7 @@ void SplitConjuncts(ExprPtr expr, std::vector<ExprPtr>* out) {
   out->push_back(std::move(expr));
 }
 
-ExprPtr CombineConjuncts(std::vector<ExprPtr> exprs) {
+[[maybe_unused]] ExprPtr CombineConjuncts(std::vector<ExprPtr> exprs) {
   if (exprs.empty()) return nullptr;
   if (exprs.size() == 1) return std::move(exprs[0]);
   return std::make_unique<BoundConjunction>(true, std::move(exprs));

@@ -1,0 +1,304 @@
+// Prepared-statement API tests: Prepare / Bind / Execute round-trips,
+// re-execution without re-planning, parameter typing, and the error
+// paths (unbound, out-of-range, type mismatch, invalid SQL, dropped
+// table) — the client-API surface of paper section 3.
+
+#include <gtest/gtest.h>
+
+#include "mallard/main/connection.h"
+#include "mallard/main/database.h"
+#include "mallard/main/prepared_statement.h"
+
+namespace mallard {
+namespace {
+
+class PreparedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = Database::Open(":memory:");
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    con_ = std::make_unique<Connection>(db_.get());
+    ASSERT_TRUE(con_->Query("CREATE TABLE t (a INTEGER, s VARCHAR)").ok());
+    ASSERT_TRUE(con_->Query("INSERT INTO t VALUES "
+                            "(1, 'one'), (2, 'two'), (3, 'three'), "
+                            "(4, 'four'), (5, 'two')")
+                    .ok());
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<Connection> con_;
+};
+
+TEST_F(PreparedTest, RoundTripWithMixedPlaceholders) {
+  // The acceptance query: '?' and '$N' placeholders in one statement.
+  auto prepared = con_->Prepare("SELECT a FROM t WHERE a > ? AND s = $2");
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  auto& stmt = *prepared;
+  EXPECT_EQ(stmt->ParameterCount(), 2u);
+  EXPECT_EQ(stmt->ParameterType(1), TypeId::kInteger);
+  EXPECT_EQ(stmt->ParameterType(2), TypeId::kVarchar);
+
+  ASSERT_TRUE(stmt->Bind(1, 1).ok());
+  ASSERT_TRUE(stmt->Bind(2, "two").ok());
+  auto r1 = stmt->Execute();
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  ASSERT_EQ((*r1)->RowCount(), 2u);  // a in {2, 5}
+
+  // Re-bind and re-execute: different results, no re-parse/re-plan.
+  ASSERT_TRUE(stmt->Bind(1, 4).ok());
+  auto r2 = stmt->Execute();
+  ASSERT_TRUE(r2.ok());
+  ASSERT_EQ((*r2)->RowCount(), 1u);
+  EXPECT_EQ((*r2)->GetValue(0, 0).GetInteger(), 5);
+
+  ASSERT_TRUE(stmt->Bind(1, 0).ok());
+  ASSERT_TRUE(stmt->Bind(2, "three").ok());
+  auto r3 = stmt->Execute();
+  ASSERT_TRUE(r3.ok());
+  ASSERT_EQ((*r3)->RowCount(), 1u);
+  EXPECT_EQ((*r3)->GetValue(0, 0).GetInteger(), 3);
+}
+
+TEST_F(PreparedTest, ExecuteStreamDeliversChunks) {
+  auto prepared = con_->Prepare("SELECT a FROM t WHERE a >= $1");
+  ASSERT_TRUE(prepared.ok());
+  ASSERT_TRUE((*prepared)->Bind(1, 2).ok());
+  auto stream = (*prepared)->ExecuteStream();
+  ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+  idx_t rows = 0;
+  while (true) {
+    auto chunk = (*stream)->Fetch();
+    ASSERT_TRUE(chunk.ok());
+    if (!*chunk) break;
+    rows += (*chunk)->size();
+  }
+  EXPECT_EQ(rows, 4u);
+  // Streaming again after re-binding works too.
+  ASSERT_TRUE((*stream)->Close().ok());
+  ASSERT_TRUE((*prepared)->Bind(1, 5).ok());
+  auto stream2 = (*prepared)->ExecuteStream();
+  ASSERT_TRUE(stream2.ok());
+  auto chunk = (*stream2)->Fetch();
+  ASSERT_TRUE(chunk.ok());
+  ASSERT_NE(*chunk, nullptr);
+  EXPECT_EQ((*chunk)->size(), 1u);
+}
+
+TEST_F(PreparedTest, PreparedInsertReExecutes) {
+  ASSERT_TRUE(con_->Query("CREATE TABLE log (id INTEGER, v DOUBLE)").ok());
+  auto prepared = con_->Prepare("INSERT INTO log VALUES (?, ?)");
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  EXPECT_EQ((*prepared)->ParameterCount(), 2u);
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE((*prepared)->Bind(1, i).ok());
+    ASSERT_TRUE((*prepared)->Bind(2, i * 0.5).ok());
+    auto r = (*prepared)->Execute();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ((*r)->GetValue(0, 0).GetBigInt(), 1);
+  }
+  auto check = con_->Query("SELECT count(*), sum(v) FROM log");
+  ASSERT_TRUE(check.ok());
+  EXPECT_EQ((*check)->GetValue(0, 0).GetBigInt(), 100);
+  EXPECT_DOUBLE_EQ((*check)->GetValue(1, 0).GetDouble(), 99 * 100 / 2 * 0.5);
+}
+
+TEST_F(PreparedTest, PreparedUpdateAndDelete) {
+  auto update = con_->Prepare("UPDATE t SET s = $2 WHERE a = $1");
+  ASSERT_TRUE(update.ok()) << update.status().ToString();
+  ASSERT_TRUE((*update)->Bind(1, 1).ok());
+  ASSERT_TRUE((*update)->Bind(2, "uno").ok());
+  auto r = (*update)->Execute();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->GetValue(0, 0).GetBigInt(), 1);
+
+  auto del = con_->Prepare("DELETE FROM t WHERE a > ?");
+  ASSERT_TRUE(del.ok());
+  ASSERT_TRUE((*del)->Bind(1, 3).ok());
+  r = (*del)->Execute();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->GetValue(0, 0).GetBigInt(), 2);
+  auto check = con_->Query("SELECT count(*) FROM t WHERE s = 'uno'");
+  EXPECT_EQ((*check)->GetValue(0, 0).GetBigInt(), 1);
+}
+
+// --- error paths ------------------------------------------------------------
+
+TEST_F(PreparedTest, ExecuteWithUnboundParameterFails) {
+  auto prepared = con_->Prepare("SELECT a FROM t WHERE a > $1 AND s = $2");
+  ASSERT_TRUE(prepared.ok());
+  auto r = (*prepared)->Execute();
+  EXPECT_FALSE(r.ok());
+  // Binding only one of two parameters still fails.
+  ASSERT_TRUE((*prepared)->Bind(1, 0).ok());
+  r = (*prepared)->Execute();
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("$2"), std::string::npos);
+  // Binding the rest makes it succeed.
+  ASSERT_TRUE((*prepared)->Bind(2, "two").ok());
+  EXPECT_TRUE((*prepared)->Execute().ok());
+  // ClearBindings() returns to the unbound state.
+  (*prepared)->ClearBindings();
+  EXPECT_FALSE((*prepared)->Execute().ok());
+}
+
+TEST_F(PreparedTest, BindOutOfRangeIndexFails) {
+  auto prepared = con_->Prepare("SELECT a FROM t WHERE a > $1");
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_FALSE((*prepared)->Bind(0, 1).ok());  // indexes are 1-based
+  EXPECT_FALSE((*prepared)->Bind(2, 1).ok());
+  EXPECT_FALSE((*prepared)->Bind(99, 1).ok());
+  EXPECT_TRUE((*prepared)->Bind(1, 1).ok());
+}
+
+TEST_F(PreparedTest, TypeMismatchedBindFails) {
+  auto prepared = con_->Prepare("SELECT a FROM t WHERE a > $1");
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_EQ((*prepared)->ParameterType(1), TypeId::kInteger);
+  EXPECT_FALSE((*prepared)->Bind(1, "not a number").ok());
+  // Numeric strings and exact-type values are fine.
+  EXPECT_TRUE((*prepared)->Bind(1, "3").ok());
+  auto r = (*prepared)->Execute();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->RowCount(), 2u);
+}
+
+TEST_F(PreparedTest, NullBindings) {
+  auto prepared = con_->Prepare("SELECT count(*) FROM t WHERE a > $1");
+  ASSERT_TRUE(prepared.ok());
+  ASSERT_TRUE((*prepared)->BindNull(1).ok());
+  auto r = (*prepared)->Execute();
+  ASSERT_TRUE(r.ok());
+  // a > NULL matches nothing.
+  EXPECT_EQ((*r)->GetValue(0, 0).GetBigInt(), 0);
+}
+
+TEST_F(PreparedTest, PrepareInvalidSqlFailsAndRecovers) {
+  EXPECT_FALSE(con_->Prepare("SELEKT 1").ok());
+  EXPECT_FALSE(con_->Prepare("SELECT FROM t").ok());
+  EXPECT_FALSE(con_->Prepare("SELECT * FROM missing_table").ok());
+  // Two statements cannot be prepared as one unit.
+  EXPECT_FALSE(con_->Prepare("SELECT 1; SELECT 2").ok());
+  // DDL is not preparable.
+  EXPECT_FALSE(con_->Prepare("CREATE TABLE x (a INTEGER)").ok());
+  // The connection is unaffected: a correct re-Prepare works.
+  auto ok = con_->Prepare("SELECT a FROM t WHERE a = ?");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  ASSERT_TRUE((*ok)->Bind(1, 2).ok());
+  EXPECT_TRUE((*ok)->Execute().ok());
+}
+
+TEST_F(PreparedTest, ExecuteAfterTableDroppedFails) {
+  auto prepared = con_->Prepare("SELECT a FROM t WHERE a > $1");
+  ASSERT_TRUE(prepared.ok());
+  ASSERT_TRUE((*prepared)->Bind(1, 0).ok());
+  ASSERT_TRUE((*prepared)->Execute().ok());
+  ASSERT_TRUE(con_->Query("DROP TABLE t").ok());
+  auto r = (*prepared)->Execute();
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("does not exist"), std::string::npos);
+}
+
+TEST_F(PreparedTest, SurvivesUnrelatedDdlByReplanning) {
+  auto prepared = con_->Prepare("SELECT count(*) FROM t WHERE a > ?");
+  ASSERT_TRUE(prepared.ok());
+  ASSERT_TRUE((*prepared)->Bind(1, 0).ok());
+  auto r1 = (*prepared)->Execute();
+  ASSERT_TRUE(r1.ok());
+  // DDL on another table bumps the catalog version; the statement
+  // re-plans transparently and keeps its bindings.
+  ASSERT_TRUE(con_->Query("CREATE TABLE other (x INTEGER)").ok());
+  auto r2 = (*prepared)->Execute();
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_EQ((*r2)->GetValue(0, 0).GetBigInt(),
+            (*r1)->GetValue(0, 0).GetBigInt());
+}
+
+TEST_F(PreparedTest, PreparedSeesNewlyCommittedData) {
+  auto prepared = con_->Prepare("SELECT count(*) FROM t WHERE a > ?");
+  ASSERT_TRUE(prepared.ok());
+  ASSERT_TRUE((*prepared)->Bind(1, 0).ok());
+  auto r1 = (*prepared)->Execute();
+  ASSERT_TRUE(r1.ok());
+  int64_t before = (*r1)->GetValue(0, 0).GetBigInt();
+  ASSERT_TRUE(con_->Query("INSERT INTO t VALUES (42, 'new')").ok());
+  auto r2 = (*prepared)->Execute();
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ((*r2)->GetValue(0, 0).GetBigInt(), before + 1);
+}
+
+TEST_F(PreparedTest, DirectQueryWithPlaceholdersIsRejected) {
+  auto r = con_->Query("SELECT a FROM t WHERE a > ?");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("Prepare"), std::string::npos);
+}
+
+TEST_F(PreparedTest, BareParameterDefaultsToVarchar) {
+  auto prepared = con_->Prepare("SELECT ?");
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  EXPECT_EQ((*prepared)->ParameterType(1), TypeId::kVarchar);
+  ASSERT_TRUE((*prepared)->Bind(1, "hello").ok());
+  auto r = (*prepared)->Execute();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->GetValue(0, 0).GetString(), "hello");
+}
+
+TEST_F(PreparedTest, HugeParameterNumberIsAParseError) {
+  // Must fail cleanly instead of resizing the parameter slots to $N.
+  EXPECT_FALSE(con_->Prepare("SELECT $4000000000").ok());
+  EXPECT_FALSE(con_->Prepare("SELECT $99999999999999999999").ok());
+  EXPECT_FALSE(con_->Prepare("SELECT $65536").ok());
+}
+
+TEST_F(PreparedTest, SparseParameterNumberingRejectedAtPrepare) {
+  auto r = con_->Prepare("SELECT a FROM t WHERE a = $2");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("$1"), std::string::npos);
+  EXPECT_FALSE(con_->Prepare("SELECT a FROM t WHERE a = $1 AND a < $3").ok());
+}
+
+TEST_F(PreparedTest, PositionalAfterNumberedDoesNotAlias) {
+  // '?' after '$1' must take slot 2, not re-use slot 1.
+  auto prepared = con_->Prepare("SELECT a FROM t WHERE a = $1 AND s = ?");
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  EXPECT_EQ((*prepared)->ParameterCount(), 2u);
+  ASSERT_TRUE((*prepared)->Bind(1, 2).ok());
+  ASSERT_TRUE((*prepared)->Bind(2, "two").ok());
+  auto r = (*prepared)->Execute();
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ((*r)->RowCount(), 1u);
+  EXPECT_EQ((*r)->GetValue(0, 0).GetInteger(), 2);
+}
+
+TEST_F(PreparedTest, ExecuteWhileStreamOpenIsRejected) {
+  auto prepared = con_->Prepare("SELECT a FROM t WHERE a >= $1");
+  ASSERT_TRUE(prepared.ok());
+  ASSERT_TRUE((*prepared)->Bind(1, 1).ok());
+  auto stream = (*prepared)->ExecuteStream();
+  ASSERT_TRUE(stream.ok());
+  // Both materialized and streaming re-execution must refuse while the
+  // stream is live (they would rewind the plan under it).
+  EXPECT_FALSE((*prepared)->Execute().ok());
+  EXPECT_FALSE((*prepared)->ExecuteStream().ok());
+  // After closing the stream, execution works again.
+  ASSERT_TRUE((*stream)->Close().ok());
+  EXPECT_TRUE((*prepared)->Execute().ok());
+}
+
+// --- MaterializedQueryResult::GetValue bounds (satellite) -------------------
+
+TEST_F(PreparedTest, GetValueOutOfRangeReturnsNull) {
+  auto r = con_->Query("SELECT a, s FROM t ORDER BY a");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ((*r)->RowCount(), 5u);
+  EXPECT_FALSE((*r)->GetValue(0, 0).is_null());
+  // Row out of range.
+  EXPECT_TRUE((*r)->GetValue(0, 5).is_null());
+  EXPECT_TRUE((*r)->GetValue(0, 1u << 20).is_null());
+  // Column out of range.
+  EXPECT_TRUE((*r)->GetValue(2, 0).is_null());
+  EXPECT_TRUE((*r)->GetValue(static_cast<idx_t>(-1), 0).is_null());
+}
+
+}  // namespace
+}  // namespace mallard
