@@ -1,0 +1,164 @@
+/*
+ * C quickstart: the embedded-analytics loop through the stable C ABI.
+ *
+ * This file is compiled as real C99 (not C++) — it doubles as the
+ * proof that mallard.h stays C-clean. It walks the whole surface:
+ * open -> connect -> DDL/DML -> prepared insert loop -> ad-hoc query
+ * -> value accessors -> streaming fetch -> teardown, with the C error
+ * model (state returns + mallard_*_error) used throughout.
+ */
+#include <stdint.h>
+#include <stdio.h>
+#include <stdlib.h>
+
+#include "mallard/c_api/mallard.h"
+
+static void die(const char *context, const char *message) {
+  fprintf(stderr, "%s: %s\n", context, message ? message : "unknown error");
+  exit(1);
+}
+
+int main(void) {
+  printf("%s\n", mallard_version());
+
+  /* ":memory:" for a transient database; a file path for a persistent
+   * single-file database (plus a .wal side file). */
+  mallard_database *db = NULL;
+  if (mallard_open(":memory:", &db) != MALLARD_SUCCESS) {
+    die("open", NULL);
+  }
+  mallard_connection *con = NULL;
+  if (mallard_connect(db, &con) != MALLARD_SUCCESS) {
+    die("connect", NULL);
+  }
+
+  /* Ad-hoc statements: a result handle is produced even on failure and
+   * must always be destroyed. */
+  mallard_result *res = NULL;
+  if (mallard_query(con,
+                    "CREATE TABLE readings (sensor VARCHAR, ts TIMESTAMP, "
+                    "value DOUBLE)",
+                    &res) != MALLARD_SUCCESS) {
+    die("create table", mallard_result_error(res));
+  }
+  mallard_destroy_result(&res);
+
+  /* Prepared statements: parse + plan once, execute many times — the
+   * edge-sensor ingest loop at in-process call cost. */
+  mallard_prepared_statement *insert = NULL;
+  if (mallard_prepare(con, "INSERT INTO readings VALUES ($1, $2, $3)",
+                      &insert) != MALLARD_SUCCESS) {
+    die("prepare insert", mallard_prepare_error(insert));
+  }
+  printf("insert has %d parameters\n", (int)mallard_nparams(insert));
+  for (int i = 0; i < 1000; i++) {
+    /* Binds cast eagerly to the inferred parameter type: the ISO string
+     * below becomes a TIMESTAMP at bind time, not mid-query. */
+    char ts[32];
+    snprintf(ts, sizeof(ts), "2026-07-31 12:%02d:%02d", (i / 60) % 60,
+             i % 60);
+    if (mallard_bind_varchar(insert, 1, (i % 2) ? "s_temp" : "s_hum") !=
+            MALLARD_SUCCESS ||
+        mallard_bind_varchar(insert, 2, ts) != MALLARD_SUCCESS ||
+        mallard_bind_double(insert, 3, 20.0 + (double)(i % 50) / 10.0) !=
+            MALLARD_SUCCESS) {
+      die("bind", mallard_prepare_error(insert));
+    }
+    mallard_result *ins = NULL;
+    if (mallard_execute_prepared(insert, &ins) != MALLARD_SUCCESS) {
+      die("insert", mallard_result_error(ins));
+    }
+    mallard_destroy_result(&ins);
+  }
+  mallard_destroy_prepare(&insert);
+
+  /* Materialized query + value accessors. */
+  if (mallard_query(con,
+                    "SELECT sensor, count(*) AS n, avg(value) AS avg_value "
+                    "FROM readings GROUP BY sensor ORDER BY sensor",
+                    &res) != MALLARD_SUCCESS) {
+    die("aggregate", mallard_result_error(res));
+  }
+  uint64_t rows = mallard_row_count(res);
+  uint64_t cols = mallard_column_count(res);
+  printf("aggregate: %d rows x %d cols\n", (int)rows, (int)cols);
+  for (uint64_t c = 0; c < cols; c++) {
+    printf("%s%s", c ? "\t" : "", mallard_column_name(res, c));
+  }
+  printf("\n");
+  for (uint64_t r = 0; r < rows; r++) {
+    printf("%s\t%lld\t%.3f\n", mallard_value_varchar(res, 0, r),
+           (long long)mallard_value_int64(res, 1, r),
+           mallard_value_double(res, 2, r));
+  }
+  mallard_destroy_result(&res);
+
+  /* Parameterized lookup, re-executed with fresh bindings. */
+  mallard_prepared_statement *lookup = NULL;
+  if (mallard_prepare(con,
+                      "SELECT max(value) FROM readings WHERE sensor = ?",
+                      &lookup) != MALLARD_SUCCESS) {
+    die("prepare lookup", mallard_prepare_error(lookup));
+  }
+  const char *sensors[] = {"s_temp", "s_hum"};
+  for (int s = 0; s < 2; s++) {
+    mallard_bind_varchar(lookup, 1, sensors[s]);
+    mallard_result *r = NULL;
+    if (mallard_execute_prepared(lookup, &r) != MALLARD_SUCCESS) {
+      die("lookup", mallard_result_error(r));
+    }
+    printf("max(%s) = %.1f\n", sensors[s], mallard_value_double(r, 0, 0));
+    mallard_destroy_result(&r);
+  }
+
+  /* Streaming: chunks are pulled straight from the plan; each fetched
+   * chunk is a small result handle with the same accessors. */
+  mallard_prepared_statement *scan = NULL;
+  if (mallard_prepare(con, "SELECT value FROM readings WHERE value > $1",
+                      &scan) != MALLARD_SUCCESS) {
+    die("prepare scan", mallard_prepare_error(scan));
+  }
+  mallard_bind_double(scan, 1, 22.5);
+  mallard_stream *stream = NULL;
+  if (mallard_execute_prepared_streaming(scan, &stream) != MALLARD_SUCCESS) {
+    die("stream", mallard_prepare_error(scan));
+  }
+  uint64_t streamed = 0;
+  double total = 0.0;
+  for (;;) {
+    mallard_result *chunk = NULL;
+    if (mallard_stream_fetch_chunk(stream, &chunk) != MALLARD_SUCCESS) {
+      die("fetch", mallard_stream_error(stream));
+    }
+    if (chunk == NULL) break; /* exhausted */
+    uint64_t n = mallard_row_count(chunk);
+    for (uint64_t i = 0; i < n; i++) {
+      total += mallard_value_double(chunk, 0, i);
+    }
+    streamed += n;
+    mallard_destroy_result(&chunk);
+  }
+  mallard_destroy_stream(&stream);
+  mallard_destroy_prepare(&scan);
+  printf("streamed %d hot readings, sum %.1f\n", (int)streamed, total);
+
+  /* The C error model: failures come back as states + messages, never
+   * as crashes — even on closed handles. */
+  if (mallard_query(con, "SELECT FROM FROM", &res) == MALLARD_SUCCESS) {
+    die("error demo", "bad SQL unexpectedly succeeded");
+  }
+  printf("bad SQL reported: %s\n", mallard_result_error(res));
+  mallard_destroy_result(&res);
+
+  mallard_disconnect(&con);
+  if (mallard_bind_double(lookup, 1, 1.0) != MALLARD_ERROR) {
+    die("error demo", "bind after disconnect unexpectedly succeeded");
+  }
+  printf("bind after disconnect reported: %s\n",
+         mallard_prepare_error(lookup));
+  mallard_destroy_prepare(&lookup);
+
+  mallard_close(&db);
+  printf("done\n");
+  return 0;
+}

@@ -1,3 +1,13 @@
+/**
+ * @file appender.h
+ * @brief Appender: bulk ingest without SQL round-trips.
+ *
+ * Error model: append errors are sticky — the first failure is
+ * remembered and returned from EndRow()/Flush()/Close(); subsequent
+ * Append() calls become no-ops until then.
+ * Lifetime: the Database must outlive the appender. Thread safety: one
+ * appender per thread.
+ */
 #ifndef MALLARD_MAIN_APPENDER_H_
 #define MALLARD_MAIN_APPENDER_H_
 
@@ -14,6 +24,11 @@ namespace mallard {
 /// its data; once filled, they are handed over and appended").
 class Appender {
  public:
+  /// Creates an appender for `table`.
+  ///
+  /// \param db    the owning database (must outlive the appender).
+  /// \param table target table name.
+  /// \return the appender, or a catalog error for unknown tables.
   static Result<std::unique_ptr<Appender>> Create(Database* db,
                                                   const std::string& table);
   ~Appender();

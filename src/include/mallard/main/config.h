@@ -1,3 +1,8 @@
+/**
+ * @file config.h
+ * @brief DBConfig: resource and behavior knobs passed to
+ *        Database::Open, all adjustable at runtime via PRAGMA.
+ */
 #ifndef MALLARD_MAIN_CONFIG_H_
 #define MALLARD_MAIN_CONFIG_H_
 

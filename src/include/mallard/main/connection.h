@@ -1,3 +1,13 @@
+/**
+ * @file connection.h
+ * @brief Connection (SQL entry point) and StreamingQueryResult.
+ *
+ * Lifetime: a Connection must outlive the PreparedStatements and
+ * streaming results it hands out; destroying it rolls back an open
+ * explicit transaction.
+ * Thread safety: a Connection and everything derived from it belong to
+ * one thread at a time (no internal locking) — open one per thread.
+ */
 #ifndef MALLARD_MAIN_CONNECTION_H_
 #define MALLARD_MAIN_CONNECTION_H_
 
@@ -26,14 +36,22 @@ class Connection {
   Connection(const Connection&) = delete;
   Connection& operator=(const Connection&) = delete;
 
-  /// Parses and executes `sql` (possibly multiple statements); returns
-  /// the materialized result of the last one.
+  /// Parses and executes `sql` (possibly multiple ';'-separated
+  /// statements).
+  ///
+  /// \param sql one or more SQL statements.
+  /// \return the materialized result of the last statement, or the
+  ///         first parse/bind/execution error (later statements are
+  ///         not run after a failure).
   Result<std::unique_ptr<MaterializedQueryResult>> Query(
       const std::string& sql);
 
   /// Executes a single SELECT and streams chunks as they are produced —
   /// the client application becomes the root of the plan (paper
   /// section 5).
+  ///
+  /// \param sql exactly one SELECT statement.
+  /// \return a streaming result that must not outlive this connection.
   Result<std::unique_ptr<StreamingQueryResult>> SendQuery(
       const std::string& sql);
 

@@ -1,3 +1,12 @@
+/**
+ * @file database.h
+ * @brief Database: the embedded instance a host application links in.
+ *
+ * Lifetime: the Database must outlive every Connection, Appender,
+ * PreparedStatement and streaming result created from it.
+ * Thread safety: one Database may be shared across threads; open one
+ * Connection per thread (MVCC isolates them).
+ */
 #ifndef MALLARD_MAIN_DATABASE_H_
 #define MALLARD_MAIN_DATABASE_H_
 
@@ -21,8 +30,14 @@ namespace mallard {
 /// application's process (paper sections 1 and 6).
 class Database {
  public:
-  /// Opens (creating if needed) the database at `path`; "" or ":memory:"
-  /// opens a transient in-memory database.
+  /// Opens (creating if needed) the database at `path`.
+  ///
+  /// \param path   filesystem path of the single database file (a
+  ///               `.wal` side file is created next to it); "" or
+  ///               ":memory:" opens a transient in-memory database.
+  /// \param config resource/behavior knobs, see DBConfig.
+  /// \return the instance, or a Status describing why the file could
+  ///         not be opened, recovered or created.
   static Result<std::unique_ptr<Database>> Open(const std::string& path,
                                                 DBConfig config = {});
   /// Closes the database; persistent databases are checkpointed if no

@@ -1,3 +1,13 @@
+/**
+ * @file prepared_statement.h
+ * @brief PreparedStatement: parse/bind/plan once, execute many times.
+ *
+ * Lifetime: the owning Connection must outlive the statement; a
+ * streaming result borrowed from the statement must be closed before
+ * the statement is destroyed or re-executed.
+ * Thread safety: same single-thread rule as the Connection it came
+ * from.
+ */
 #ifndef MALLARD_MAIN_PREPARED_STATEMENT_H_
 #define MALLARD_MAIN_PREPARED_STATEMENT_H_
 
@@ -45,9 +55,16 @@ class PreparedStatement {
   /// kInvalid when the context did not constrain it.
   TypeId ParameterType(idx_t index) const;
 
-  /// Binds a value to parameter `index` (1-based). The value is cast to
-  /// the inferred parameter type eagerly, so type mismatches surface at
-  /// bind time, not mid-query.
+  /// Binds a value to parameter `index`.
+  ///
+  /// \param index 1-based parameter slot ($1 is the first; `?`
+  ///              placeholders number left to right).
+  /// \param value bound value; cast to the inferred parameter type
+  ///              eagerly, so type mismatches surface at bind time,
+  ///              not mid-query. Bindings persist across Execute()
+  ///              calls until rebound.
+  /// \return InvalidArgument for an out-of-range index or impossible
+  ///         cast.
   Status Bind(idx_t index, Value value);
   Status Bind(idx_t index, bool value) { return Bind(index, Value::Boolean(value)); }
   Status Bind(idx_t index, int32_t value) { return Bind(index, Value::Integer(value)); }

@@ -1,3 +1,13 @@
+/**
+ * @file query_result.h
+ * @brief QueryResult base and MaterializedQueryResult.
+ *
+ * Ownership: chunks own their payloads (VARCHAR bytes live in
+ * per-vector heaps), so a materialized result stays readable after its
+ * connection — even its database — is gone. Chunks obtained from
+ * Fetch() are handed over, not copied.
+ * Thread safety: a result belongs to the thread using it; no locking.
+ */
 #ifndef MALLARD_MAIN_QUERY_RESULT_H_
 #define MALLARD_MAIN_QUERY_RESULT_H_
 
@@ -50,6 +60,12 @@ class MaterializedQueryResult final : public QueryResult {
 
   /// Value-based access: O(chunks) per call by design (mirrors
   /// sqlite3_column-style APIs the paper benchmarks against).
+  ///
+  /// \param column 0-based column index.
+  /// \param row    0-based row index across all chunks.
+  /// \return the boxed value; out-of-range coordinates — and rows whose
+  ///         chunk was already handed over via Fetch() — yield a NULL
+  ///         Value rather than undefined behavior.
   Value GetValue(idx_t column, idx_t row) const;
 
   /// Streams the materialized chunks (no copies).
@@ -66,6 +82,7 @@ class MaterializedQueryResult final : public QueryResult {
   std::vector<std::unique_ptr<DataChunk>> chunks_;
   idx_t row_count_ = 0;
   idx_t fetch_position_ = 0;
+  idx_t consumed_rows_ = 0;  // rows handed over by Fetch() so far
 };
 
 }  // namespace mallard

@@ -1,0 +1,193 @@
+// C ABI entry points: database/connection lifecycle and ad-hoc queries.
+// Every function here upholds the two header guarantees: no exception
+// crosses the boundary (each body is wrapped in try/catch) and NULL or
+// closed handles degrade to an error return, never a crash.
+
+#include "c_api_internal.h"
+
+namespace mallard {
+namespace c_api {
+
+mallard_type ToCType(TypeId type) {
+  switch (type) {
+    case TypeId::kBoolean:
+      return MALLARD_TYPE_BOOLEAN;
+    case TypeId::kInteger:
+      return MALLARD_TYPE_INTEGER;
+    case TypeId::kBigInt:
+      return MALLARD_TYPE_BIGINT;
+    case TypeId::kDouble:
+      return MALLARD_TYPE_DOUBLE;
+    case TypeId::kVarchar:
+      return MALLARD_TYPE_VARCHAR;
+    case TypeId::kDate:
+      return MALLARD_TYPE_DATE;
+    case TypeId::kTimestamp:
+      return MALLARD_TYPE_TIMESTAMP;
+    case TypeId::kInvalid:
+      break;
+  }
+  return MALLARD_TYPE_INVALID;
+}
+
+mallard_result* NewErrorResult(const std::string& message) {
+  try {
+    auto* result = new mallard_result();
+    result->has_error = true;
+    result->error = message;
+    return result;
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+}  // namespace c_api
+}  // namespace mallard
+
+using mallard::c_api::ConnectionLive;
+using mallard::c_api::kClosedConnectionError;
+using mallard::c_api::NewErrorResult;
+
+namespace {
+
+// Failure channel for the two calls that have no handle to carry a
+// message (open/connect). Thread-local, overwritten by the next
+// open/connect on this thread — exactly the lifetime the header
+// documents for mallard_open_error().
+thread_local std::string t_open_error;
+thread_local bool t_open_failed = false;
+
+void SetOpenError(std::string message) {
+  try {
+    t_open_error = std::move(message);
+    t_open_failed = true;
+  } catch (...) {
+    t_open_failed = false;  // message lost, but the state return stands
+  }
+}
+
+void ClearOpenError() { t_open_failed = false; }
+
+}  // namespace
+
+extern "C" {
+
+const char* mallard_version(void) { return "mallard 0.2.0"; }
+
+const char* mallard_open_error(void) {
+  return t_open_failed ? t_open_error.c_str() : nullptr;
+}
+
+mallard_state mallard_open(const char* path, mallard_database** out_database) {
+  if (out_database == nullptr) return MALLARD_ERROR;
+  *out_database = nullptr;
+  try {
+    auto db = mallard::Database::Open(path == nullptr ? "" : path);
+    if (!db.ok()) {
+      SetOpenError(db.status().ToString());
+      return MALLARD_ERROR;
+    }
+    auto* handle = new mallard_database();
+    handle->db = std::shared_ptr<mallard::Database>(std::move(*db));
+    *out_database = handle;
+    ClearOpenError();
+    return MALLARD_SUCCESS;
+  } catch (const std::exception& e) {
+    SetOpenError(std::string("internal exception: ") + e.what());
+    return MALLARD_ERROR;
+  } catch (...) {
+    SetOpenError("unknown internal exception");
+    return MALLARD_ERROR;
+  }
+}
+
+void mallard_close(mallard_database** database) {
+  if (database == nullptr || *database == nullptr) return;
+  try {
+    delete *database;
+  } catch (...) {
+    // Swallow: a throwing shutdown must not propagate into C callers.
+  }
+  *database = nullptr;
+}
+
+mallard_state mallard_connect(mallard_database* database,
+                              mallard_connection** out_connection) {
+  if (out_connection == nullptr) return MALLARD_ERROR;
+  *out_connection = nullptr;
+  if (database == nullptr || database->db == nullptr) {
+    SetOpenError("database handle is NULL or closed");
+    return MALLARD_ERROR;
+  }
+  try {
+    auto state = std::make_shared<mallard::c_api::ConnectionState>();
+    state->db = database->db;
+    state->connection = std::make_unique<mallard::Connection>(state->db.get());
+    auto* handle = new mallard_connection();
+    handle->state = std::move(state);
+    *out_connection = handle;
+    ClearOpenError();
+    return MALLARD_SUCCESS;
+  } catch (const std::exception& e) {
+    SetOpenError(std::string("internal exception: ") + e.what());
+    return MALLARD_ERROR;
+  } catch (...) {
+    SetOpenError("unknown internal exception");
+    return MALLARD_ERROR;
+  }
+}
+
+void mallard_disconnect(mallard_connection** connection) {
+  if (connection == nullptr || *connection == nullptr) return;
+  try {
+    auto& state = (*connection)->state;
+    if (state != nullptr) {
+      // Roll back now, not at destruction: statements/streams still
+      // holding the state keep the Connection alive arbitrarily long,
+      // and the header promises the transaction dies at disconnect.
+      if (state->connection != nullptr && state->connection->InTransaction()) {
+        (void)state->connection->Rollback();
+      }
+      // Mark closed: surviving dependent handles must observe the
+      // closure even though they keep the state alive.
+      state->closed = true;
+    }
+    delete *connection;
+  } catch (...) {
+  }
+  *connection = nullptr;
+}
+
+mallard_state mallard_query(mallard_connection* connection, const char* sql,
+                            mallard_result** out_result) {
+  if (out_result == nullptr) return MALLARD_ERROR;
+  *out_result = nullptr;
+  try {
+    if (connection == nullptr || !ConnectionLive(connection->state)) {
+      *out_result = NewErrorResult(kClosedConnectionError);
+      return MALLARD_ERROR;
+    }
+    if (sql == nullptr) {
+      *out_result = NewErrorResult("sql string is NULL");
+      return MALLARD_ERROR;
+    }
+    auto result = connection->state->connection->Query(sql);
+    if (!result.ok()) {
+      *out_result = NewErrorResult(result.status().ToString());
+      return MALLARD_ERROR;
+    }
+    auto* handle = new mallard_result();
+    handle->result = std::move(*result);
+    *out_result = handle;
+    return MALLARD_SUCCESS;
+  } catch (const std::exception& e) {
+    *out_result = NewErrorResult(std::string("internal exception: ") +
+                                 e.what());
+    return MALLARD_ERROR;
+  } catch (...) {
+    *out_result = NewErrorResult("unknown internal exception");
+    return MALLARD_ERROR;
+  }
+}
+
+}  // extern "C"

@@ -1,0 +1,100 @@
+// Internal handle layout of the C ABI (src/include/mallard/c_api/mallard.h).
+// This header is NOT part of the public surface: bindings see only the
+// opaque typedefs; the structs below may change freely between versions.
+//
+// Lifetime model: handles reference-count the objects under them so the
+// C side can destroy handles in any order. A ConnectionState outlives
+// the `mallard_connection` wrapper for as long as statements or streams
+// derived from it exist; mallard_disconnect() flips `closed`, which
+// every later operation checks before touching the engine.
+#ifndef MALLARD_MAIN_C_API_C_API_INTERNAL_H_
+#define MALLARD_MAIN_C_API_C_API_INTERNAL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "mallard/c_api/mallard.h"
+#include "mallard/main/connection.h"
+#include "mallard/main/database.h"
+#include "mallard/main/prepared_statement.h"
+#include "mallard/main/query_result.h"
+
+namespace mallard {
+namespace c_api {
+
+/// Connection plus everything it needs to stay valid. Declaration order
+/// matters: members are destroyed bottom-up, so the Connection goes
+/// before the Database it points into.
+struct ConnectionState {
+  std::shared_ptr<Database> db;
+  std::unique_ptr<Connection> connection;
+  /// Set by mallard_disconnect(); operations on dependent handles check
+  /// this and fail with "connection is closed" instead of executing.
+  bool closed = false;
+};
+
+/// Maps the engine's TypeId onto the frozen C enum.
+mallard_type ToCType(TypeId type);
+
+/// Allocates an errored mallard_result carrying `message` (never throws;
+/// returns nullptr if even the allocation fails).
+mallard_result* NewErrorResult(const std::string& message);
+
+/// True when the handle chain down to the engine Connection is intact
+/// and not closed.
+inline bool ConnectionLive(const std::shared_ptr<ConnectionState>& state) {
+  return state != nullptr && !state->closed && state->connection != nullptr;
+}
+
+constexpr char kClosedConnectionError[] = "connection is closed";
+
+}  // namespace c_api
+}  // namespace mallard
+
+// --- Opaque handle definitions (layouts private to src/main/c_api/) ---
+
+struct mallard_database {
+  std::shared_ptr<mallard::Database> db;
+};
+
+struct mallard_connection {
+  std::shared_ptr<mallard::c_api::ConnectionState> state;
+};
+
+struct mallard_result {
+  // Null when the result carries an error instead of rows.
+  std::unique_ptr<mallard::MaterializedQueryResult> result;
+  bool has_error = false;
+  std::string error;
+  // Backing store for mallard_value_varchar(): the C contract is that
+  // returned strings live as long as the result handle, so rendered
+  // values are cached here keyed by (column, row). std::map nodes are
+  // stable, so handed-out c_str() pointers survive later lookups.
+  std::map<std::pair<uint64_t, uint64_t>, std::string> string_cache;
+};
+
+struct mallard_prepared_statement {
+  // Keeps the connection (and through it the database) alive; declared
+  // before the statement so the statement is destroyed first.
+  std::shared_ptr<mallard::c_api::ConnectionState> connection;
+  // Shared (not unique) so open streams can pin the plan they borrow.
+  // Null when Prepare itself failed.
+  std::shared_ptr<mallard::PreparedStatement> statement;
+  bool has_error = false;
+  std::string error;  // latest prepare/bind/execute failure
+};
+
+struct mallard_stream {
+  // Destruction order (bottom-up): stream first — its Close() touches
+  // both the borrowed plan and the connection — then statement, then
+  // connection state.
+  std::shared_ptr<mallard::c_api::ConnectionState> connection;
+  std::shared_ptr<mallard::PreparedStatement> statement;
+  std::unique_ptr<mallard::StreamingQueryResult> stream;
+  bool has_error = false;
+  std::string error;
+};
+
+#endif  // MALLARD_MAIN_C_API_C_API_INTERNAL_H_

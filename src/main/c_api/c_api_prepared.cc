@@ -1,0 +1,278 @@
+// C ABI prepared statements and streaming execution. Mirrors the C++
+// PreparedStatement surface (Bind/Execute/ExecuteStream) with the C
+// error model: state returns plus a per-handle latest-error slot, and
+// a guarantee that closed/invalid handles error instead of crashing.
+
+#include "c_api_internal.h"
+
+#include "mallard/common/value.h"
+
+using mallard::c_api::ConnectionLive;
+using mallard::c_api::kClosedConnectionError;
+using mallard::c_api::NewErrorResult;
+
+namespace {
+
+void SetError(mallard_prepared_statement* statement, std::string message) {
+  statement->has_error = true;
+  statement->error = std::move(message);
+}
+
+// Common preamble of bind/execute: validates the handle chain, records
+// the failure on the statement when broken.
+bool StatementReady(mallard_prepared_statement* statement) {
+  if (statement == nullptr) return false;
+  try {
+    if (statement->statement == nullptr) {
+      SetError(statement, "statement was not successfully prepared");
+      return false;
+    }
+    if (!ConnectionLive(statement->connection)) {
+      SetError(statement, kClosedConnectionError);
+      return false;
+    }
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+mallard_state BindValue(mallard_prepared_statement* statement, uint64_t index,
+                        mallard::Value value) {
+  if (!StatementReady(statement)) return MALLARD_ERROR;
+  try {
+    mallard::Status status =
+        statement->statement->Bind(index, std::move(value));
+    if (!status.ok()) {
+      SetError(statement, status.ToString());
+      return MALLARD_ERROR;
+    }
+    statement->has_error = false;
+    return MALLARD_SUCCESS;
+  } catch (const std::exception& e) {
+    SetError(statement, std::string("internal exception: ") + e.what());
+    return MALLARD_ERROR;
+  } catch (...) {
+    SetError(statement, "unknown internal exception");
+    return MALLARD_ERROR;
+  }
+}
+
+}  // namespace
+
+extern "C" {
+
+mallard_state mallard_prepare(mallard_connection* connection, const char* sql,
+                              mallard_prepared_statement** out_statement) {
+  if (out_statement == nullptr) return MALLARD_ERROR;
+  *out_statement = nullptr;
+  try {
+    auto handle = std::make_unique<mallard_prepared_statement>();
+    if (connection == nullptr || !ConnectionLive(connection->state)) {
+      SetError(handle.get(), kClosedConnectionError);
+      *out_statement = handle.release();
+      return MALLARD_ERROR;
+    }
+    handle->connection = connection->state;
+    if (sql == nullptr) {
+      SetError(handle.get(), "sql string is NULL");
+      *out_statement = handle.release();
+      return MALLARD_ERROR;
+    }
+    auto prepared = connection->state->connection->Prepare(sql);
+    if (!prepared.ok()) {
+      SetError(handle.get(), prepared.status().ToString());
+      *out_statement = handle.release();
+      return MALLARD_ERROR;
+    }
+    handle->statement = std::move(*prepared);
+    *out_statement = handle.release();
+    return MALLARD_SUCCESS;
+  } catch (...) {
+    return MALLARD_ERROR;
+  }
+}
+
+void mallard_destroy_prepare(mallard_prepared_statement** statement) {
+  if (statement == nullptr || *statement == nullptr) return;
+  try {
+    delete *statement;
+  } catch (...) {
+  }
+  *statement = nullptr;
+}
+
+const char* mallard_prepare_error(mallard_prepared_statement* statement) {
+  if (statement == nullptr || !statement->has_error) return nullptr;
+  return statement->error.c_str();
+}
+
+uint64_t mallard_nparams(mallard_prepared_statement* statement) {
+  if (statement == nullptr || statement->statement == nullptr) return 0;
+  return statement->statement->ParameterCount();
+}
+
+mallard_type mallard_param_type(mallard_prepared_statement* statement,
+                                uint64_t index) {
+  if (statement == nullptr || statement->statement == nullptr) {
+    return MALLARD_TYPE_INVALID;
+  }
+  return mallard::c_api::ToCType(statement->statement->ParameterType(index));
+}
+
+mallard_state mallard_bind_null(mallard_prepared_statement* statement,
+                                uint64_t index) {
+  return BindValue(statement, index, mallard::Value());
+}
+
+mallard_state mallard_bind_boolean(mallard_prepared_statement* statement,
+                                   uint64_t index, bool value) {
+  return BindValue(statement, index, mallard::Value::Boolean(value));
+}
+
+mallard_state mallard_bind_int32(mallard_prepared_statement* statement,
+                                 uint64_t index, int32_t value) {
+  return BindValue(statement, index, mallard::Value::Integer(value));
+}
+
+mallard_state mallard_bind_int64(mallard_prepared_statement* statement,
+                                 uint64_t index, int64_t value) {
+  return BindValue(statement, index, mallard::Value::BigInt(value));
+}
+
+mallard_state mallard_bind_double(mallard_prepared_statement* statement,
+                                  uint64_t index, double value) {
+  return BindValue(statement, index, mallard::Value::Double(value));
+}
+
+mallard_state mallard_bind_varchar(mallard_prepared_statement* statement,
+                                   uint64_t index, const char* value) {
+  if (value == nullptr) {
+    // Bind a typed NULL rather than dereferencing: C callers routinely
+    // pass optional strings straight through.
+    return mallard_bind_null(statement, index);
+  }
+  return BindValue(statement, index, mallard::Value::Varchar(value));
+}
+
+mallard_state mallard_execute_prepared(mallard_prepared_statement* statement,
+                                       mallard_result** out_result) {
+  if (out_result == nullptr) return MALLARD_ERROR;
+  *out_result = nullptr;
+  if (!StatementReady(statement)) {
+    *out_result = NewErrorResult(
+        statement != nullptr && statement->has_error ? statement->error
+                                                     : "invalid statement");
+    return MALLARD_ERROR;
+  }
+  try {
+    auto result = statement->statement->Execute();
+    if (!result.ok()) {
+      SetError(statement, result.status().ToString());
+      *out_result = NewErrorResult(statement->error);
+      return MALLARD_ERROR;
+    }
+    statement->has_error = false;
+    auto* handle = new mallard_result();
+    handle->result = std::move(*result);
+    *out_result = handle;
+    return MALLARD_SUCCESS;
+  } catch (const std::exception& e) {
+    SetError(statement, std::string("internal exception: ") + e.what());
+    *out_result = NewErrorResult(statement->error);
+    return MALLARD_ERROR;
+  } catch (...) {
+    SetError(statement, "unknown internal exception");
+    *out_result = NewErrorResult(statement->error);
+    return MALLARD_ERROR;
+  }
+}
+
+mallard_state mallard_execute_prepared_streaming(
+    mallard_prepared_statement* statement, mallard_stream** out_stream) {
+  if (out_stream == nullptr) return MALLARD_ERROR;
+  *out_stream = nullptr;
+  if (!StatementReady(statement)) return MALLARD_ERROR;
+  try {
+    auto result = statement->statement->ExecuteStream();
+    if (!result.ok()) {
+      SetError(statement, result.status().ToString());
+      return MALLARD_ERROR;
+    }
+    statement->has_error = false;
+    auto* handle = new mallard_stream();
+    handle->connection = statement->connection;
+    handle->statement = statement->statement;  // pins the borrowed plan
+    handle->stream = std::move(*result);
+    *out_stream = handle;
+    return MALLARD_SUCCESS;
+  } catch (const std::exception& e) {
+    SetError(statement, std::string("internal exception: ") + e.what());
+    return MALLARD_ERROR;
+  } catch (...) {
+    SetError(statement, "unknown internal exception");
+    return MALLARD_ERROR;
+  }
+}
+
+mallard_state mallard_stream_fetch_chunk(mallard_stream* stream,
+                                         mallard_result** out_chunk) {
+  if (out_chunk == nullptr) return MALLARD_ERROR;
+  *out_chunk = nullptr;
+  if (stream == nullptr) return MALLARD_ERROR;
+  try {
+    if (stream->stream == nullptr) {
+      stream->has_error = true;
+      stream->error = "stream is not open";
+      return MALLARD_ERROR;
+    }
+    if (!ConnectionLive(stream->connection)) {
+      stream->has_error = true;
+      stream->error = kClosedConnectionError;
+      return MALLARD_ERROR;
+    }
+    auto chunk = stream->stream->Fetch();
+    if (!chunk.ok()) {
+      stream->has_error = true;
+      stream->error = chunk.status().ToString();
+      return MALLARD_ERROR;
+    }
+    if (*chunk == nullptr) {
+      // Exhausted: success with *out_chunk left NULL.
+      return MALLARD_SUCCESS;
+    }
+    // Wrap the chunk as a single-chunk materialized result so the
+    // regular accessors (and ownership rules) apply unchanged.
+    std::vector<std::unique_ptr<mallard::DataChunk>> chunks;
+    chunks.push_back(std::move(*chunk));
+    auto* handle = new mallard_result();
+    handle->result = std::make_unique<mallard::MaterializedQueryResult>(
+        stream->stream->names(), stream->stream->types(), std::move(chunks));
+    *out_chunk = handle;
+    return MALLARD_SUCCESS;
+  } catch (const std::exception& e) {
+    stream->has_error = true;
+    stream->error = std::string("internal exception: ") + e.what();
+    return MALLARD_ERROR;
+  } catch (...) {
+    stream->has_error = true;
+    stream->error = "unknown internal exception";
+    return MALLARD_ERROR;
+  }
+}
+
+const char* mallard_stream_error(mallard_stream* stream) {
+  if (stream == nullptr || !stream->has_error) return nullptr;
+  return stream->error.c_str();
+}
+
+void mallard_destroy_stream(mallard_stream** stream) {
+  if (stream == nullptr || *stream == nullptr) return;
+  try {
+    delete *stream;
+  } catch (...) {
+  }
+  *stream = nullptr;
+}
+
+}  // extern "C"

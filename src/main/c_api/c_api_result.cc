@@ -1,0 +1,146 @@
+// C ABI result accessors. An errored result (or a NULL handle) answers
+// every accessor with a harmless default — 0 rows, 0 columns, NULL
+// strings — so C callers can probe freely without pre-checking.
+
+#include "c_api_internal.h"
+
+#include "mallard/common/value.h"
+
+namespace {
+
+bool HasRows(mallard_result* result) {
+  return result != nullptr && result->result != nullptr;
+}
+
+// Fetches (column, row) cast to `target`; NULL Value for SQL NULLs,
+// out-of-range coordinates, or impossible casts.
+mallard::Value GetCastValue(mallard_result* result, uint64_t column,
+                            uint64_t row, mallard::TypeId target) {
+  if (!HasRows(result)) return mallard::Value();
+  mallard::Value value = result->result->GetValue(column, row);
+  if (value.is_null()) return mallard::Value();
+  auto cast = value.CastTo(target);
+  if (!cast.ok()) return mallard::Value();
+  return std::move(*cast);
+}
+
+}  // namespace
+
+extern "C" {
+
+void mallard_destroy_result(mallard_result** result) {
+  if (result == nullptr || *result == nullptr) return;
+  try {
+    delete *result;
+  } catch (...) {
+  }
+  *result = nullptr;
+}
+
+const char* mallard_result_error(mallard_result* result) {
+  if (result == nullptr || !result->has_error) return nullptr;
+  return result->error.c_str();
+}
+
+uint64_t mallard_row_count(mallard_result* result) {
+  if (!HasRows(result)) return 0;
+  return result->result->RowCount();
+}
+
+uint64_t mallard_column_count(mallard_result* result) {
+  if (!HasRows(result)) return 0;
+  return result->result->ColumnCount();
+}
+
+const char* mallard_column_name(mallard_result* result, uint64_t column) {
+  if (!HasRows(result) || column >= result->result->names().size()) {
+    return nullptr;
+  }
+  return result->result->names()[column].c_str();
+}
+
+mallard_type mallard_column_type(mallard_result* result, uint64_t column) {
+  if (!HasRows(result) || column >= result->result->types().size()) {
+    return MALLARD_TYPE_INVALID;
+  }
+  return mallard::c_api::ToCType(result->result->types()[column]);
+}
+
+bool mallard_value_is_null(mallard_result* result, uint64_t column,
+                           uint64_t row) {
+  try {
+    if (!HasRows(result)) return true;
+    // MaterializedQueryResult::GetValue reports out-of-range coordinates
+    // as NULL values too, which matches the header contract.
+    return result->result->GetValue(column, row).is_null();
+  } catch (...) {
+    return true;
+  }
+}
+
+bool mallard_value_boolean(mallard_result* result, uint64_t column,
+                           uint64_t row) {
+  try {
+    mallard::Value v =
+        GetCastValue(result, column, row, mallard::TypeId::kBoolean);
+    return v.is_null() ? false : v.GetBoolean();
+  } catch (...) {
+    return false;
+  }
+}
+
+int32_t mallard_value_int32(mallard_result* result, uint64_t column,
+                            uint64_t row) {
+  try {
+    mallard::Value v =
+        GetCastValue(result, column, row, mallard::TypeId::kInteger);
+    return v.is_null() ? 0 : v.GetInteger();
+  } catch (...) {
+    return 0;
+  }
+}
+
+int64_t mallard_value_int64(mallard_result* result, uint64_t column,
+                            uint64_t row) {
+  try {
+    mallard::Value v =
+        GetCastValue(result, column, row, mallard::TypeId::kBigInt);
+    return v.is_null() ? 0 : v.GetBigInt();
+  } catch (...) {
+    return 0;
+  }
+}
+
+double mallard_value_double(mallard_result* result, uint64_t column,
+                            uint64_t row) {
+  try {
+    mallard::Value v =
+        GetCastValue(result, column, row, mallard::TypeId::kDouble);
+    return v.is_null() ? 0.0 : v.GetDouble();
+  } catch (...) {
+    return 0.0;
+  }
+}
+
+const char* mallard_value_varchar(mallard_result* result, uint64_t column,
+                                  uint64_t row) {
+  try {
+    if (!HasRows(result)) return nullptr;
+    auto key = std::make_pair(column, row);
+    auto cached = result->string_cache.find(key);
+    if (cached != result->string_cache.end()) return cached->second.c_str();
+    mallard::Value value = result->result->GetValue(column, row);
+    if (value.is_null()) return nullptr;
+    std::string rendered = value.type() == mallard::TypeId::kVarchar
+                               ? value.GetString()
+                               : value.ToString();
+    // std::map nodes are stable: the c_str() below survives later
+    // insertions, which is what pins the string to the handle lifetime.
+    auto inserted = result->string_cache.emplace(key, std::move(rendered));
+    return inserted.first->second.c_str();
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+}  // extern "C"

@@ -4,10 +4,13 @@ namespace mallard {
 
 Value MaterializedQueryResult::GetValue(idx_t column, idx_t row) const {
   // Out-of-range access returns a NULL value instead of walking off the
-  // chunk vector.
+  // chunk vector; so do rows whose chunk was already handed over via
+  // Fetch() (the unique_ptr slot is moved-out then).
   if (column >= ColumnCount() || row >= row_count_) return Value();
-  idx_t offset = 0;
-  for (const auto& chunk : chunks_) {
+  if (row < consumed_rows_) return Value();
+  idx_t offset = consumed_rows_;
+  for (idx_t i = fetch_position_; i < chunks_.size(); i++) {
+    const auto& chunk = chunks_[i];
     if (row < offset + chunk->size()) {
       return chunk->GetValue(column, row - offset);
     }
@@ -18,7 +21,9 @@ Value MaterializedQueryResult::GetValue(idx_t column, idx_t row) const {
 
 Result<std::unique_ptr<DataChunk>> MaterializedQueryResult::Fetch() {
   if (fetch_position_ >= chunks_.size()) return std::unique_ptr<DataChunk>();
-  return std::move(chunks_[fetch_position_++]);
+  auto chunk = std::move(chunks_[fetch_position_++]);
+  consumed_rows_ += chunk->size();
+  return chunk;
 }
 
 std::string MaterializedQueryResult::ToString(idx_t max_rows) const {
@@ -30,6 +35,7 @@ std::string MaterializedQueryResult::ToString(idx_t max_rows) const {
   result += "\n";
   idx_t printed = 0;
   for (const auto& chunk : chunks_) {
+    if (!chunk) continue;  // handed over via Fetch()
     for (idx_t r = 0; r < chunk->size() && printed < max_rows; r++) {
       for (idx_t c = 0; c < chunk->ColumnCount(); c++) {
         if (c > 0) result += "\t";

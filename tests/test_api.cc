@@ -112,6 +112,36 @@ TEST_F(ApiTest, ValueApiMatchesChunkApi) {
   EXPECT_EQ((*r)->GetValue(1, 0).GetString(), "x");
 }
 
+TEST_F(ApiTest, ValueApiAfterPartialFetch) {
+  // Mixing the two documented access styles: chunks handed over by
+  // Fetch() read back as NULL values, rows still held stay readable.
+  ASSERT_TRUE(con_->Query("CREATE TABLE t (a INTEGER)").ok());
+  auto app = Appender::Create(db_.get(), "t");
+  const idx_t kRows = 3 * kVectorSize;
+  for (idx_t i = 0; i < kRows; i++) {
+    (*app)->Append(static_cast<int32_t>(i));
+    ASSERT_TRUE((*app)->EndRow().ok());
+  }
+  ASSERT_TRUE((*app)->Close().ok());
+  auto r = con_->Query("SELECT a FROM t");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ((*r)->RowCount(), kRows);
+  auto first = (*r)->Fetch();
+  ASSERT_TRUE(first.ok());
+  ASSERT_NE(*first, nullptr);
+  idx_t consumed = (*first)->size();
+  ASSERT_LT(consumed, kRows);
+  // Consumed region: NULL values, no crash; ToString still works.
+  EXPECT_TRUE((*r)->GetValue(0, 0).is_null());
+  EXPECT_TRUE((*r)->GetValue(0, consumed - 1).is_null());
+  (void)(*r)->ToString();
+  // Unfetched region still addresses the right rows.
+  EXPECT_EQ((*r)->GetValue(0, consumed).GetInteger(),
+            static_cast<int32_t>(consumed));
+  EXPECT_EQ((*r)->GetValue(0, kRows - 1).GetInteger(),
+            static_cast<int32_t>(kRows - 1));
+}
+
 // --- CSV ETL -----------------------------------------------------------------
 
 class CsvTest : public ApiTest {
