@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench_util.h"
 #include "mallard/common/random.h"
 #include "mallard/execution/physical_join.h"
 #include "mallard/execution/operators.h"
@@ -96,7 +97,8 @@ std::pair<double, double> RunJoin(Database* db, JoinAlgorithm algo,
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  mallard_bench::BenchReporter reporter("bench_join_tradeoff", argc, argv);
   const char* scale_env = std::getenv("MALLARD_JOIN_SCALE");
   double scale = scale_env ? std::strtod(scale_env, nullptr) : 1.0;
   DBConfig config;
@@ -129,6 +131,11 @@ int main() {
                 hash_mb, merge_ms, merge_mb, spilled / 1e6,
                 pick == JoinAlgorithm::kHash ? "hash" : "merge",
                 rows_h == rows_m ? "" : "  RESULT MISMATCH!");
+    idx_t probe_rows = static_cast<idx_t>(200000 * scale);
+    reporter.Add("hash_join/build=" + std::to_string(build_rows), 1,
+                 hash_ms * 1e6, probe_rows / (hash_ms / 1e3));
+    reporter.Add("merge_join/build=" + std::to_string(build_rows), 1,
+                 merge_ms * 1e6, probe_rows / (merge_ms / 1e3));
   }
   std::printf("\nShape check vs paper: hash join time stays low but its "
               "memory grows linearly with the build side; merge join "

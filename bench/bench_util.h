@@ -1,0 +1,80 @@
+// Shared bench reporting: every bench binary accepts `--json out.json`
+// (or `--json=out.json`) and writes its measurements as machine-readable
+// JSON — (name, iters, ns/op, rows/s) per data point — so the perf
+// trajectory can be tracked across PRs (BENCH_join.json, BENCH_agg.json
+// at the repo root are produced this way).
+
+#ifndef MALLARD_BENCH_BENCH_UTIL_H_
+#define MALLARD_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace mallard_bench {
+
+struct BenchResult {
+  std::string name;
+  long long iters;
+  double ns_per_op;
+  double rows_per_sec;
+};
+
+/// Collects bench data points and writes them as JSON on destruction
+/// when the command line asked for it. Usage:
+///   BenchReporter reporter("bench_join", argc, argv);
+///   reporter.Add("hash_join/build=10000", 1, ms * 1e6, rows / sec);
+class BenchReporter {
+ public:
+  BenchReporter(std::string bench_name, int argc, char** argv)
+      : bench_name_(std::move(bench_name)) {
+    for (int i = 1; i < argc; i++) {
+      if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+        json_path_ = argv[i + 1];
+      } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+        json_path_ = argv[i] + 7;
+      }
+    }
+  }
+
+  ~BenchReporter() { Write(); }
+
+  void Add(const std::string& name, long long iters, double ns_per_op,
+           double rows_per_sec) {
+    results_.push_back(BenchResult{name, iters, ns_per_op, rows_per_sec});
+  }
+
+  /// Writes the JSON file now (also done by the destructor; idempotent).
+  void Write() {
+    if (json_path_.empty() || written_) return;
+    std::FILE* f = std::fopen(json_path_.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "bench: cannot write %s\n", json_path_.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [\n",
+                 bench_name_.c_str());
+    for (size_t i = 0; i < results_.size(); i++) {
+      const BenchResult& r = results_[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"iters\": %lld, "
+                   "\"ns_per_op\": %.1f, \"rows_per_sec\": %.0f}%s\n",
+                   r.name.c_str(), r.iters, r.ns_per_op, r.rows_per_sec,
+                   i + 1 < results_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    written_ = true;
+  }
+
+ private:
+  std::string bench_name_;
+  std::string json_path_;
+  std::vector<BenchResult> results_;
+  bool written_ = false;
+};
+
+}  // namespace mallard_bench
+
+#endif  // MALLARD_BENCH_BENCH_UTIL_H_

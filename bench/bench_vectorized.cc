@@ -3,11 +3,14 @@
 // Runs TPC-H Q1- and Q6-shaped aggregations through both engines over
 // the same stored table and reports the speedup.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench_util.h"
 #include "mallard/baseline/row_engine.h"
+#include "mallard/main/appender.h"
 #include "mallard/main/connection.h"
 #include "mallard/main/database.h"
 #include "mallard/tpch/tpch.h"
@@ -25,9 +28,23 @@ ExprPtr ColRef(idx_t i, TypeId t) {
   return std::make_unique<BoundColumnRef>(i, t, "c" + std::to_string(i));
 }
 ExprPtr Const(Value v) { return std::make_unique<BoundConstant>(v); }
+
+// Best-of-three wall time for a query, in ms.
+double BestMs(Connection* con, const std::string& sql) {
+  double best = 1e18;
+  for (int i = 0; i < 3; i++) {
+    auto start = Clock::now();
+    auto r = con->Query(sql);
+    double ms = Ms(start);
+    if (!r.ok()) return -1.0;
+    if (ms < best) best = ms;
+  }
+  return best;
+}
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  mallard_bench::BenchReporter reporter("bench_vectorized", argc, argv);
   const char* sf_env = std::getenv("MALLARD_SF");
   double sf = sf_env ? std::strtod(sf_env, nullptr) : 0.05;
   auto db = Database::Open(":memory:");
@@ -103,6 +120,8 @@ int main() {
     std::printf("%-26s %-18.1f %-18.1f %.1fx   (%llu groups)\n",
                 "Q1 (grouped aggregate)", vec_ms, row_ms, row_ms / vec_ms,
                 static_cast<unsigned long long>(out_rows));
+    reporter.Add("q1_grouped_aggregate", 1, vec_ms * 1e6,
+                 rows / (vec_ms / 1e3));
   }
 
   // ---- Q6 shape: selective filter + ungrouped aggregate -----------------
@@ -155,6 +174,73 @@ int main() {
     std::printf("%-26s %-18.1f %-18.1f %.1fx   (results agree: %s)\n",
                 "Q6 (filter + aggregate)", vec_ms, row_ms, row_ms / vec_ms,
                 std::abs(vec_result - row_result) < 1e-3 ? "yes" : "NO");
+    reporter.Add("q6_filter_aggregate", 1, vec_ms * 1e6,
+                 rows / (vec_ms / 1e3));
+  }
+
+  // ---- grouped-aggregate microbench ------------------------------------
+  // Narrow tables where the aggregation operator dominates the query, so
+  // the hash-table hot path (group lookup + state update) is what gets
+  // measured: a Q1-shaped VARCHAR low-cardinality GROUP BY and a BIGINT
+  // high-cardinality one (~100k groups, multi-vector emission).
+  {
+    const char* rows_env = std::getenv("MALLARD_AGG_ROWS");
+    idx_t agg_rows = rows_env
+                         ? static_cast<idx_t>(std::strtoull(rows_env,
+                                                            nullptr, 10))
+                         : 2000000;
+    static const char* kFlags[] = {"AF", "NF", "NO", "RF", "AO", "RO"};
+    (void)con.Query("CREATE TABLE agg_lo (flag VARCHAR, v DOUBLE)");
+    (void)con.Query("CREATE TABLE agg_hi (k BIGINT, v DOUBLE)");
+    {
+      auto app_lo = Appender::Create(db->get(), "agg_lo");
+      auto app_hi = Appender::Create(db->get(), "agg_hi");
+      if (!app_lo.ok() || !app_hi.ok()) return 1;
+      DataChunk lo, hi;
+      lo.Initialize({TypeId::kVarchar, TypeId::kDouble});
+      hi.Initialize({TypeId::kBigInt, TypeId::kDouble});
+      idx_t produced = 0;
+      while (produced < agg_rows) {
+        lo.Reset();
+        hi.Reset();
+        idx_t n = std::min<idx_t>(kVectorSize, agg_rows - produced);
+        for (idx_t i = 0; i < n; i++) {
+          idx_t r = produced + i;
+          const char* flag = kFlags[r % 6];
+          lo.column(0).SetString(i, flag, 2);
+          lo.column(1).data<double>()[i] = (r % 1000) * 0.25;
+          hi.column(0).data<int64_t>()[i] =
+              static_cast<int64_t>((r * 2654435761ull) % 100000);
+          hi.column(1).data<double>()[i] = (r % 1000) * 0.25;
+        }
+        lo.SetCardinality(n);
+        hi.SetCardinality(n);
+        if (!(*app_lo)->AppendChunk(lo).ok()) return 1;
+        if (!(*app_hi)->AppendChunk(hi).ok()) return 1;
+        produced += n;
+      }
+      if (!(*app_lo)->Close().ok()) return 1;
+      if (!(*app_hi)->Close().ok()) return 1;
+    }
+    std::printf("\n=== grouped-aggregate microbench — %llu rows ===\n\n",
+                static_cast<unsigned long long>(agg_rows));
+    double lo_ms = BestMs(&con,
+                          "SELECT flag, count(*), sum(v), avg(v) "
+                          "FROM agg_lo GROUP BY flag");
+    double hi_ms = BestMs(&con,
+                          "SELECT k, count(*), sum(v), min(v), max(v) "
+                          "FROM agg_hi GROUP BY k");
+    if (lo_ms < 0 || hi_ms < 0) return 1;
+    std::printf("%-38s %10.1f ms  %12.0f rows/s\n",
+                "GROUP BY flag (varchar, 6 groups)", lo_ms,
+                agg_rows / (lo_ms / 1e3));
+    std::printf("%-38s %10.1f ms  %12.0f rows/s\n",
+                "GROUP BY k (bigint, 100k groups)", hi_ms,
+                agg_rows / (hi_ms / 1e3));
+    reporter.Add("groupby_micro/varchar_6_groups", 3, lo_ms * 1e6,
+                 agg_rows / (lo_ms / 1e3));
+    reporter.Add("groupby_micro/bigint_100k_groups", 3, hi_ms * 1e6,
+                 agg_rows / (hi_ms / 1e3));
   }
   std::printf("\nShape check vs paper: the vectorized interpreter "
               "amortizes interpretation overhead over %llu-row vectors "

@@ -1,0 +1,317 @@
+#include "mallard/execution/aggregate_hashtable.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "mallard/common/hash.h"
+#include "mallard/vector/vector_hash.h"
+
+namespace mallard {
+
+AggregateHashTable::AggregateHashTable(std::vector<TypeId> group_types,
+                                       idx_t aggregate_count,
+                                       idx_t initial_capacity)
+    : group_types_(std::move(group_types)),
+      aggregate_count_(aggregate_count) {
+  idx_t capacity = NextPowerOfTwo(std::max<idx_t>(2, initial_capacity));
+  entries_.assign(capacity, Entry{0, kInvalidIndex});
+  mask_ = capacity - 1;
+  hash_scratch_.resize(kVectorSize);
+}
+
+void AggregateHashTable::Resize(idx_t new_capacity) {
+  std::vector<Entry> old = std::move(entries_);
+  entries_.assign(new_capacity, Entry{0, kInvalidIndex});
+  mask_ = new_capacity - 1;
+  for (const Entry& e : old) {
+    if (e.group == kInvalidIndex) continue;
+    uint64_t slot = e.hash & mask_;
+    while (entries_[slot].group != kInvalidIndex) slot = (slot + 1) & mask_;
+    entries_[slot] = e;
+  }
+}
+
+void AggregateHashTable::EnsureCapacity(idx_t incoming) {
+  // Keep load factor under 50% even if every incoming row is a new
+  // group, so the probe loop below never needs a mid-batch resize.
+  idx_t needed = (group_count_ + incoming) * 2;
+  if (needed > entries_.size()) {
+    Resize(NextPowerOfTwo(needed));
+  }
+}
+
+bool AggregateHashTable::GroupEquals(idx_t group, const DataChunk& groups,
+                                     idx_t row) const {
+  const DataChunk& chunk = *group_chunks_[group / kVectorSize];
+  idx_t stored_row = group % kVectorSize;
+  for (idx_t c = 0; c < group_types_.size(); c++) {
+    const Vector& stored = chunk.column(c);
+    const Vector& probe = groups.column(c);
+    bool stored_valid = stored.validity().RowIsValid(stored_row);
+    bool probe_valid = probe.validity().RowIsValid(row);
+    if (stored_valid != probe_valid) return false;
+    if (!stored_valid) continue;  // NULL = NULL for grouping
+    switch (group_types_[c]) {
+      case TypeId::kBoolean:
+        if (stored.data<int8_t>()[stored_row] != probe.data<int8_t>()[row]) {
+          return false;
+        }
+        break;
+      case TypeId::kInteger:
+      case TypeId::kDate:
+        if (stored.data<int32_t>()[stored_row] !=
+            probe.data<int32_t>()[row]) {
+          return false;
+        }
+        break;
+      case TypeId::kBigInt:
+      case TypeId::kTimestamp:
+        if (stored.data<int64_t>()[stored_row] !=
+            probe.data<int64_t>()[row]) {
+          return false;
+        }
+        break;
+      case TypeId::kDouble: {
+        // Normalized bit-pattern compare: -0.0 == +0.0, NaN groups
+        // with NaN (matches the old sort-key-encoding semantics).
+        double s = NormalizeDouble(stored.data<double>()[stored_row]);
+        double p = NormalizeDouble(probe.data<double>()[row]);
+        if (std::memcmp(&s, &p, 8) != 0) return false;
+        break;
+      }
+      case TypeId::kVarchar: {
+        const StringRef& a = stored.data<StringRef>()[stored_row];
+        const StringRef& b = probe.data<StringRef>()[row];
+        if (!(a == b)) return false;
+        break;
+      }
+      default:
+        return false;
+    }
+  }
+  return true;
+}
+
+idx_t AggregateHashTable::AppendGroup(const DataChunk& groups, idx_t row) {
+  idx_t local = group_count_ % kVectorSize;
+  if (local == 0) {
+    auto chunk = std::make_unique<DataChunk>();
+    chunk->Initialize(group_types_);
+    group_chunks_.push_back(std::move(chunk));
+  }
+  DataChunk& chunk = *group_chunks_.back();
+  for (idx_t c = 0; c < group_types_.size(); c++) {
+    chunk.column(c).CopyFrom(groups.column(c), 1, row, local);
+  }
+  chunk.SetCardinality(local + 1);
+  states_.resize(states_.size() + aggregate_count_);
+  return group_count_++;
+}
+
+void AggregateHashTable::FindOrCreateGroups(const DataChunk& groups,
+                                            idx_t count, idx_t* group_ids) {
+  EnsureCapacity(count);
+  HashKeyColumns(groups, count, hash_scratch_.data());
+  for (idx_t r = 0; r < count; r++) {
+    uint64_t hash = hash_scratch_[r];
+    uint64_t slot = hash & mask_;
+    while (true) {
+      Entry& e = entries_[slot];
+      if (e.group == kInvalidIndex) {
+        e.hash = hash;
+        e.group = AppendGroup(groups, r);
+        group_ids[r] = e.group;
+        break;
+      }
+      if (e.hash == hash && GroupEquals(e.group, groups, r)) {
+        group_ids[r] = e.group;
+        break;
+      }
+      slot = (slot + 1) & mask_;
+    }
+  }
+}
+
+void AggregateHashTable::UpdateStates(const BoundAggregate& aggregate,
+                                      idx_t agg_index, const Vector* arg,
+                                      idx_t count, const idx_t* group_ids) {
+  AggState* states = states_.data() + agg_index;
+  const idx_t stride = aggregate_count_;
+  auto state_at = [&](idx_t r) -> AggState* {
+    return states + group_ids[r] * stride;
+  };
+  if (aggregate.type == AggType::kCountStar) {
+    for (idx_t r = 0; r < count; r++) state_at(r)->count++;
+    return;
+  }
+  const ValidityMask& validity = arg->validity();
+  switch (aggregate.type) {
+    case AggType::kCount:
+      for (idx_t r = 0; r < count; r++) {
+        if (validity.RowIsValid(r)) state_at(r)->count++;
+      }
+      return;
+    case AggType::kSum:
+    case AggType::kAvg:
+      switch (arg->type()) {
+        case TypeId::kInteger: {
+          const int32_t* data = arg->data<int32_t>();
+          for (idx_t r = 0; r < count; r++) {
+            if (!validity.RowIsValid(r)) continue;
+            AggState* s = state_at(r);
+            s->count++;
+            s->isum += data[r];
+            s->dsum += data[r];
+            s->seen = true;
+          }
+          return;
+        }
+        case TypeId::kBigInt: {
+          const int64_t* data = arg->data<int64_t>();
+          for (idx_t r = 0; r < count; r++) {
+            if (!validity.RowIsValid(r)) continue;
+            AggState* s = state_at(r);
+            s->count++;
+            s->isum += data[r];
+            s->dsum += static_cast<double>(data[r]);
+            s->seen = true;
+          }
+          return;
+        }
+        case TypeId::kDouble: {
+          const double* data = arg->data<double>();
+          for (idx_t r = 0; r < count; r++) {
+            if (!validity.RowIsValid(r)) continue;
+            AggState* s = state_at(r);
+            s->count++;
+            s->dsum += data[r];
+            s->seen = true;
+          }
+          return;
+        }
+        default:
+          break;
+      }
+      break;
+    case AggType::kMin:
+    case AggType::kMax: {
+      const bool is_min = aggregate.type == AggType::kMin;
+      // Typed comparisons on the raw arrays; a Value is boxed only when
+      // the running extreme actually improves.
+      switch (arg->type()) {
+        case TypeId::kInteger: {
+          const int32_t* data = arg->data<int32_t>();
+          for (idx_t r = 0; r < count; r++) {
+            if (!validity.RowIsValid(r)) continue;
+            AggState* s = state_at(r);
+            int32_t v = data[r];
+            if (!s->seen || (is_min ? v < s->extreme.GetInteger()
+                                    : v > s->extreme.GetInteger())) {
+              s->extreme = Value::Integer(v);
+              s->seen = true;
+            }
+          }
+          return;
+        }
+        case TypeId::kDate: {
+          const int32_t* data = arg->data<int32_t>();
+          for (idx_t r = 0; r < count; r++) {
+            if (!validity.RowIsValid(r)) continue;
+            AggState* s = state_at(r);
+            int32_t v = data[r];
+            if (!s->seen || (is_min ? v < s->extreme.GetDate()
+                                    : v > s->extreme.GetDate())) {
+              s->extreme = Value::Date(v);
+              s->seen = true;
+            }
+          }
+          return;
+        }
+        case TypeId::kBigInt: {
+          const int64_t* data = arg->data<int64_t>();
+          for (idx_t r = 0; r < count; r++) {
+            if (!validity.RowIsValid(r)) continue;
+            AggState* s = state_at(r);
+            int64_t v = data[r];
+            if (!s->seen || (is_min ? v < s->extreme.GetBigInt()
+                                    : v > s->extreme.GetBigInt())) {
+              s->extreme = Value::BigInt(v);
+              s->seen = true;
+            }
+          }
+          return;
+        }
+        case TypeId::kTimestamp: {
+          const int64_t* data = arg->data<int64_t>();
+          for (idx_t r = 0; r < count; r++) {
+            if (!validity.RowIsValid(r)) continue;
+            AggState* s = state_at(r);
+            int64_t v = data[r];
+            if (!s->seen || (is_min ? v < s->extreme.GetTimestamp()
+                                    : v > s->extreme.GetTimestamp())) {
+              s->extreme = Value::Timestamp(v);
+              s->seen = true;
+            }
+          }
+          return;
+        }
+        case TypeId::kDouble: {
+          const double* data = arg->data<double>();
+          for (idx_t r = 0; r < count; r++) {
+            if (!validity.RowIsValid(r)) continue;
+            AggState* s = state_at(r);
+            double v = data[r];
+            if (!s->seen || (is_min ? v < s->extreme.GetDouble()
+                                    : v > s->extreme.GetDouble())) {
+              s->extreme = Value::Double(v);
+              s->seen = true;
+            }
+          }
+          return;
+        }
+        case TypeId::kVarchar: {
+          const StringRef* data = arg->data<StringRef>();
+          for (idx_t r = 0; r < count; r++) {
+            if (!validity.RowIsValid(r)) continue;
+            AggState* s = state_at(r);
+            const StringRef& v = data[r];
+            bool better = !s->seen;
+            if (!better) {
+              const std::string& cur = s->extreme.GetString();
+              StringRef cur_ref(cur.data(),
+                                static_cast<uint32_t>(cur.size()));
+              better = is_min ? v < cur_ref : cur_ref < v;
+            }
+            if (better) {
+              s->extreme = Value::Varchar(v.ToString());
+              s->seen = true;
+            }
+          }
+          return;
+        }
+        default:
+          break;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  // Fallback for type combinations without a dedicated kernel.
+  for (idx_t r = 0; r < count; r++) {
+    AggregateFunction::Update(aggregate.type, arg, r, state_at(r));
+  }
+}
+
+void AggregateHashTable::EmitKeys(idx_t start, idx_t count,
+                                  DataChunk* out) const {
+  assert(start % kVectorSize == 0);
+  assert(count <= kVectorSize);
+  const DataChunk& chunk = *group_chunks_[start / kVectorSize];
+  for (idx_t c = 0; c < group_types_.size(); c++) {
+    out->column(c).CopyFrom(chunk.column(c), count, 0, 0);
+  }
+}
+
+}  // namespace mallard

@@ -1,0 +1,194 @@
+#include "mallard/execution/join_hashtable.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "mallard/common/hash.h"
+#include "mallard/vector/vector_hash.h"
+
+namespace mallard {
+
+namespace {
+
+constexpr uint64_t kBuildSegmentSize = 1 << 20;
+
+}  // namespace
+
+JoinHashTable::JoinHashTable(std::vector<TypeId> key_types,
+                             std::vector<TypeId> payload_types,
+                             idx_t directory_size_hint)
+    : key_types_(key_types),
+      key_codec_(std::move(key_types)),
+      payload_codec_(std::move(payload_types)),
+      directory_size_hint_(directory_size_hint) {
+  hash_scratch_.resize(kVectorSize);
+}
+
+Status JoinHashTable::Append(ExecutionContext* context, const DataChunk& keys,
+                             const DataChunk& payload, idx_t count) {
+  HashKeyColumns(keys, count, hash_scratch_.data());
+  for (idx_t r = 0; r < count; r++) {
+    bool has_null = false;
+    for (idx_t c = 0; c < keys.ColumnCount(); c++) {
+      if (!keys.column(c).validity().RowIsValid(r)) {
+        has_null = true;
+        break;
+      }
+    }
+    if (has_null) continue;  // NULL keys never match any probe row
+    row_scratch_.clear();
+    row_scratch_.resize(kHeaderSize);
+    uint64_t next = kNullRef;
+    std::memcpy(row_scratch_.data(), &next, 8);
+    std::memcpy(row_scratch_.data() + 8, &hash_scratch_[r], 8);
+    key_codec_.EncodeRow(keys, r, &row_scratch_);
+    uint32_t key_bytes = static_cast<uint32_t>(row_scratch_.size() -
+                                               kHeaderSize);
+    std::memcpy(row_scratch_.data() + 16, &key_bytes, 4);
+    payload_codec_.EncodeRow(payload, r, &row_scratch_);
+    uint64_t row_size = row_scratch_.size();
+    if (segments_.empty() ||
+        segment_used_ + row_size > segments_.back().size()) {
+      MALLARD_ASSIGN_OR_RETURN(
+          BufferHandle handle,
+          context->buffers->Allocate(
+              std::max<uint64_t>(kBuildSegmentSize, row_size),
+              /*spillable=*/false));
+      segments_.push_back(std::move(handle));
+      segment_used_ = 0;
+    }
+    std::memcpy(segments_.back().data() + segment_used_, row_scratch_.data(),
+                row_size);
+    refs_.push_back(((segments_.size() - 1) << kOffsetBits) | segment_used_);
+    segment_used_ += row_size;
+    build_bytes_ += row_size;
+  }
+  return Status::OK();
+}
+
+void JoinHashTable::Finalize() {
+  idx_t capacity = directory_size_hint_
+                       ? NextPowerOfTwo(directory_size_hint_)
+                       : NextPowerOfTwo(std::max<idx_t>(1024, 2 * refs_.size()));
+  directory_.assign(capacity, kNullRef);
+  mask_ = capacity - 1;
+  // Head insertion reverses chain order, so inserting in reverse build
+  // order leaves every chain in build order — join output then matches
+  // the row-at-a-time implementation this table replaced.
+  for (idx_t i = refs_.size(); i > 0; i--) {
+    uint64_t ref = refs_[i - 1];
+    uint8_t* row = ResolveMutable(ref);
+    uint64_t hash;
+    std::memcpy(&hash, row + 8, 8);
+    uint64_t slot = hash & mask_;
+    std::memcpy(row, &directory_[slot], 8);  // next = old head
+    directory_[slot] = ref;
+  }
+}
+
+void JoinHashTable::ProbeHeads(const DataChunk& keys, idx_t count,
+                               uint64_t* hashes, uint64_t* heads) const {
+  HashKeyColumns(keys, count, hashes);
+  for (idx_t r = 0; r < count; r++) {
+    heads[r] = directory_[hashes[r] & mask_];
+  }
+  // Rows with a NULL key component never match.
+  for (idx_t c = 0; c < keys.ColumnCount(); c++) {
+    const ValidityMask& validity = keys.column(c).validity();
+    if (validity.AllValid()) continue;
+    for (idx_t r = 0; r < count; r++) {
+      if (!validity.RowIsValid(r)) heads[r] = kNullRef;
+    }
+  }
+}
+
+bool JoinHashTable::MatchKeys(const uint8_t* stored, const DataChunk& keys,
+                              idx_t row) const {
+  const uint8_t* p = stored;
+  for (idx_t c = 0; c < key_types_.size(); c++) {
+    p++;  // validity byte; stored keys are never NULL
+    const Vector& col = keys.column(c);
+    switch (key_types_[c]) {
+      case TypeId::kBoolean: {
+        if (*reinterpret_cast<const int8_t*>(p) != col.data<int8_t>()[row]) {
+          return false;
+        }
+        p += 1;
+        break;
+      }
+      case TypeId::kInteger:
+      case TypeId::kDate: {
+        int32_t v;
+        std::memcpy(&v, p, 4);
+        if (v != col.data<int32_t>()[row]) return false;
+        p += 4;
+        break;
+      }
+      case TypeId::kBigInt:
+      case TypeId::kTimestamp: {
+        int64_t v;
+        std::memcpy(&v, p, 8);
+        if (v != col.data<int64_t>()[row]) return false;
+        p += 8;
+        break;
+      }
+      case TypeId::kDouble: {
+        // Bit-pattern compare on normalized doubles: -0.0 == +0.0, and
+        // NaN keys group bitwise (same behavior as the sort-key
+        // encoding the row-at-a-time join used).
+        double s, d = NormalizeDouble(col.data<double>()[row]);
+        std::memcpy(&s, p, 8);
+        s = NormalizeDouble(s);
+        if (std::memcmp(&s, &d, 8) != 0) return false;
+        p += 8;
+        break;
+      }
+      case TypeId::kVarchar: {
+        uint32_t len;
+        std::memcpy(&len, p, 4);
+        const StringRef& probe = col.data<StringRef>()[row];
+        if (len != probe.size ||
+            std::memcmp(p + 4, probe.data, len) != 0) {
+          return false;
+        }
+        p += 4 + len;
+        break;
+      }
+      default:
+        return false;
+    }
+  }
+  return true;
+}
+
+uint64_t JoinHashTable::FirstMatch(uint64_t ref, const DataChunk& keys,
+                                   idx_t row, uint64_t hash) const {
+  while (ref != kNullRef) {
+    const uint8_t* stored = Resolve(ref);
+    uint64_t stored_hash;
+    std::memcpy(&stored_hash, stored + 8, 8);
+    if (stored_hash == hash && MatchKeys(stored + kHeaderSize, keys, row)) {
+      return ref;
+    }
+    std::memcpy(&ref, stored, 8);
+  }
+  return kNullRef;
+}
+
+uint64_t JoinHashTable::NextMatch(uint64_t ref, const DataChunk& keys,
+                                  idx_t row, uint64_t hash) const {
+  uint64_t next;
+  std::memcpy(&next, Resolve(ref), 8);
+  return FirstMatch(next, keys, row, hash);
+}
+
+void JoinHashTable::DecodePayload(uint64_t ref, DataChunk* out, idx_t out_row,
+                                  idx_t first_column) const {
+  const uint8_t* row = Resolve(ref);
+  uint32_t key_bytes;
+  std::memcpy(&key_bytes, row + 16, 4);
+  payload_codec_.DecodeRow(row + kHeaderSize + key_bytes, out, out_row,
+                           first_column);
+}
+
+}  // namespace mallard

@@ -1,5 +1,7 @@
 #include "mallard/execution/physical_aggregate.h"
 
+#include <algorithm>
+
 #include "mallard/expression/expression_executor.h"
 
 namespace mallard {
@@ -91,50 +93,38 @@ PhysicalHashAggregate::PhysicalHashAggregate(
 }
 
 Status PhysicalHashAggregate::Sink(ExecutionContext* context) {
-  std::vector<SortSpec> key_specs;
-  for (idx_t g = 0; g < groups_.size(); g++) {
-    key_specs.push_back(SortSpec{g, true, true});
-  }
+  std::vector<TypeId> group_types;
+  for (const auto& g : groups_) group_types.push_back(g->return_type());
+  table_ = std::make_unique<AggregateHashTable>(std::move(group_types),
+                                                aggregates_.size());
+  group_ids_.resize(kVectorSize);
   std::vector<Vector> arg_vectors;
   for (const auto& agg : aggregates_) {
     arg_vectors.emplace_back(agg.arg ? agg.arg->return_type()
                                      : TypeId::kBigInt);
   }
-  std::string key;
   while (true) {
     MALLARD_RETURN_NOT_OK(child(0)->GetChunk(context, &child_chunk_));
     if (child_chunk_.size() == 0) break;
+    idx_t count = child_chunk_.size();
     group_chunk_.Reset();
     for (idx_t g = 0; g < groups_.size(); g++) {
       MALLARD_RETURN_NOT_OK(ExpressionExecutor::Execute(
           *groups_[g], child_chunk_, &group_chunk_.column(g)));
     }
-    group_chunk_.SetCardinality(child_chunk_.size());
-    // Evaluate aggregate arguments once per chunk.
+    group_chunk_.SetCardinality(count);
+    table_->FindOrCreateGroups(group_chunk_, count, group_ids_.data());
+    // Evaluate aggregate arguments once per chunk, then fold each into
+    // the per-group states in one typed batch.
     for (idx_t a = 0; a < aggregates_.size(); a++) {
+      const Vector* arg = nullptr;
       if (aggregates_[a].arg) {
         arg_vectors[a].Reset();
         MALLARD_RETURN_NOT_OK(ExpressionExecutor::Execute(
             *aggregates_[a].arg, child_chunk_, &arg_vectors[a]));
+        arg = &arg_vectors[a];
       }
-    }
-    for (idx_t r = 0; r < child_chunk_.size(); r++) {
-      EncodeSortKey(group_chunk_, r, key_specs, &key);
-      auto [it, inserted] = group_map_.try_emplace(key, group_rows_.size());
-      idx_t group_idx = it->second;
-      if (inserted) {
-        std::vector<Value> row;
-        for (idx_t g = 0; g < groups_.size(); g++) {
-          row.push_back(group_chunk_.GetValue(g, r));
-        }
-        group_rows_.push_back(std::move(row));
-        states_.emplace_back(aggregates_.size());
-      }
-      for (idx_t a = 0; a < aggregates_.size(); a++) {
-        const Vector* arg = aggregates_[a].arg ? &arg_vectors[a] : nullptr;
-        AggregateFunction::Update(aggregates_[a].type, arg, r,
-                                  &states_[group_idx][a]);
-      }
+      table_->UpdateStates(aggregates_[a], a, arg, count, group_ids_.data());
     }
   }
   return Status::OK();
@@ -147,20 +137,22 @@ Status PhysicalHashAggregate::GetChunk(ExecutionContext* context,
     sunk_ = true;
   }
   out->Reset();
-  idx_t produced = 0;
-  while (output_position_ < group_rows_.size() && produced < kVectorSize) {
-    const auto& row = group_rows_[output_position_];
-    for (idx_t g = 0; g < groups_.size(); g++) {
-      out->SetValue(g, produced, row[g]);
+  // Emission is aligned to the table's group-chunk boundaries, so each
+  // output chunk is one plain columnar copy plus per-group finalizes.
+  idx_t remaining = table_->GroupCount() - output_position_;
+  idx_t produced = std::min<idx_t>(remaining, kVectorSize);
+  if (produced > 0) {
+    table_->EmitKeys(output_position_, produced, out);
+    for (idx_t i = 0; i < produced; i++) {
+      idx_t group = output_position_ + i;
+      for (idx_t a = 0; a < aggregates_.size(); a++) {
+        out->SetValue(groups_.size() + a, i,
+                      AggregateFunction::Finalize(aggregates_[a].type,
+                                                  aggregates_[a].return_type,
+                                                  table_->State(group, a)));
+      }
     }
-    for (idx_t a = 0; a < aggregates_.size(); a++) {
-      out->SetValue(groups_.size() + a, produced,
-                    AggregateFunction::Finalize(
-                        aggregates_[a].type, aggregates_[a].return_type,
-                        states_[output_position_][a]));
-    }
-    output_position_++;
-    produced++;
+    output_position_ += produced;
   }
   out->SetCardinality(produced);
   return Status::OK();

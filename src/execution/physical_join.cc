@@ -9,8 +9,6 @@ namespace mallard {
 
 namespace {
 
-constexpr uint64_t kBuildSegmentSize = 1 << 20;
-
 std::vector<TypeId> JoinOutputTypes(JoinType join_type,
                                     const std::vector<TypeId>& left,
                                     const std::vector<TypeId>& right) {
@@ -29,17 +27,6 @@ std::vector<TypeId> KeyTypes(const std::vector<JoinCondition>& conditions,
                               : c.right->return_type());
   }
   return types;
-}
-
-// Encodes the join key of row `r`; returns false if any key part is NULL
-// (SQL equality never matches NULLs).
-bool EncodeJoinKey(const DataChunk& keys, idx_t r,
-                   const std::vector<SortSpec>& specs, std::string* out) {
-  for (idx_t c = 0; c < keys.ColumnCount(); c++) {
-    if (!keys.column(c).validity().RowIsValid(r)) return false;
-  }
-  EncodeSortKey(keys, r, specs, out);
-  return true;
 }
 
 std::vector<SortSpec> KeySpecs(idx_t count) {
@@ -62,11 +49,14 @@ PhysicalHashJoin::PhysicalHashJoin(JoinType join_type,
           JoinOutputTypes(join_type, left->types(), right->types())),
       join_type_(join_type),
       conditions_(std::move(conditions)),
-      right_types_(right->types()),
-      build_codec_(right->types()) {
+      right_types_(right->types()) {
   probe_chunk_.Initialize(left->types());
   probe_keys_.Initialize(KeyTypes(conditions_, /*left_side=*/true));
-  build_row_scratch_.Initialize(right_types_);
+  for (auto& c : conditions_) probe_exprs_.push_back(c.left->Copy());
+  probe_hashes_.resize(kVectorSize);
+  probe_heads_.resize(kVectorSize);
+  match_sel_.resize(kVectorSize);
+  match_refs_.resize(kVectorSize);
   AddChild(std::move(left));
   AddChild(std::move(right));
 }
@@ -84,44 +74,71 @@ Status PhysicalHashJoin::EvaluateKeys(const std::vector<ExprPtr>& exprs,
 }
 
 Status PhysicalHashJoin::Build(ExecutionContext* context) {
+  table_ = std::make_unique<JoinHashTable>(
+      KeyTypes(conditions_, /*left_side=*/false), right_types_);
   DataChunk build_chunk;
   build_chunk.Initialize(right_types_);
   DataChunk key_chunk;
   key_chunk.Initialize(KeyTypes(conditions_, /*left_side=*/false));
   std::vector<ExprPtr> right_exprs;
   for (auto& c : conditions_) right_exprs.push_back(c.right->Copy());
-  auto specs = KeySpecs(conditions_.size());
-  std::string key;
-  std::vector<uint8_t> row;
   while (true) {
     MALLARD_RETURN_NOT_OK(child(1)->GetChunk(context, &build_chunk));
     if (build_chunk.size() == 0) break;
     MALLARD_RETURN_NOT_OK(EvaluateKeys(right_exprs, build_chunk, &key_chunk));
-    for (idx_t r = 0; r < build_chunk.size(); r++) {
-      if (!EncodeJoinKey(key_chunk, r, specs, &key)) continue;
-      row.clear();
-      build_codec_.EncodeRow(build_chunk, r, &row);
-      // Place the row in the current segment (new segment if needed).
-      if (segments_.empty() ||
-          segment_used_ + row.size() > segments_.back().size()) {
-        MALLARD_ASSIGN_OR_RETURN(
-            BufferHandle handle,
-            context->buffers->Allocate(
-                std::max<uint64_t>(kBuildSegmentSize, row.size()),
-                /*spillable=*/false));
-        segments_.push_back(std::move(handle));
-        segment_used_ = 0;
-      }
-      std::memcpy(segments_.back().data() + segment_used_, row.data(),
-                  row.size());
-      uint64_t ref = ((segments_.size() - 1) << 24) | segment_used_;
-      segment_used_ += row.size();
-      build_bytes_ += row.size();
-      table_[key].push_back(ref);
-    }
+    MALLARD_RETURN_NOT_OK(
+        table_->Append(context, key_chunk, build_chunk, build_chunk.size()));
   }
+  table_->Finalize();
   built_ = true;
   return Status::OK();
+}
+
+idx_t PhysicalHashJoin::GatherMatches(idx_t capacity, uint32_t* sel,
+                                      uint64_t* refs) {
+  constexpr uint64_t kNullRef = JoinHashTable::kNullRef;
+  idx_t n = 0;
+  const bool walk_chains =
+      join_type_ == JoinType::kInner || join_type_ == JoinType::kLeft;
+  while (n < capacity && probe_position_ < probe_chunk_.size()) {
+    idx_t r = probe_position_;
+    if (walk_chains) {
+      if (!chain_active_) {
+        chain_ref_ = table_->FirstMatch(probe_heads_[r], probe_keys_, r,
+                                        probe_hashes_[r]);
+        chain_active_ = true;
+        row_matched_ = false;
+      }
+      while (chain_ref_ != kNullRef && n < capacity) {
+        sel[n] = static_cast<uint32_t>(r);
+        refs[n] = chain_ref_;
+        n++;
+        row_matched_ = true;
+        chain_ref_ =
+            table_->NextMatch(chain_ref_, probe_keys_, r, probe_hashes_[r]);
+      }
+      if (chain_ref_ != kNullRef) break;  // capacity filled mid-chain
+      if (join_type_ == JoinType::kLeft && !row_matched_) {
+        if (n >= capacity) break;  // emit the NULL-padded row next call
+        sel[n] = static_cast<uint32_t>(r);
+        refs[n] = kNullRef;
+        n++;
+      }
+      probe_position_++;
+      chain_active_ = false;
+    } else {
+      // Semi/anti: existence check only, one output row at most.
+      uint64_t match = table_->FirstMatch(probe_heads_[r], probe_keys_, r,
+                                          probe_hashes_[r]);
+      if ((join_type_ == JoinType::kSemi) == (match != kNullRef)) {
+        sel[n] = static_cast<uint32_t>(r);
+        refs[n] = kNullRef;
+        n++;
+      }
+      probe_position_++;
+    }
+  }
+  return n;
 }
 
 Status PhysicalHashJoin::GetChunk(ExecutionContext* context, DataChunk* out) {
@@ -129,101 +146,49 @@ Status PhysicalHashJoin::GetChunk(ExecutionContext* context, DataChunk* out) {
     MALLARD_RETURN_NOT_OK(Build(context));
   }
   out->Reset();
-  build_row_scratch_.Reset();
-  std::vector<ExprPtr> left_exprs;
-  for (auto& c : conditions_) left_exprs.push_back(c.left->Copy());
-  auto specs = KeySpecs(conditions_.size());
-  std::string key;
   idx_t produced = 0;
   idx_t left_width = probe_chunk_.ColumnCount();
   bool emit_right =
       join_type_ == JoinType::kInner || join_type_ == JoinType::kLeft;
 
   while (produced < kVectorSize) {
-    if (current_matches_) {
-      // Continue emitting matches for the current probe row.
-      while (match_position_ < current_matches_->size() &&
-             produced < kVectorSize) {
-        uint64_t ref = (*current_matches_)[match_position_++];
-        idx_t seg = ref >> 24, off = ref & 0xFFFFFF;
-        for (idx_t c = 0; c < left_width; c++) {
-          out->column(c).CopyFrom(probe_chunk_.column(c), 1,
-                                  probe_position_, produced);
-        }
-        if (emit_right) {
-          build_codec_.DecodeRow(segments_[seg].data() + off,
-                                 &build_row_scratch_, 0);
-          for (idx_t c = 0; c < right_types_.size(); c++) {
-            out->column(left_width + c)
-                .CopyFrom(build_row_scratch_.column(c), 1, 0, produced);
-          }
-        }
-        produced++;
-      }
-      if (match_position_ >= current_matches_->size()) {
-        current_matches_ = nullptr;
-        probe_position_++;
-      }
-      continue;
-    }
     if (probe_position_ >= probe_chunk_.size()) {
       if (probe_exhausted_) break;
       MALLARD_RETURN_NOT_OK(child(0)->GetChunk(context, &probe_chunk_));
       probe_position_ = 0;
+      chain_active_ = false;
       if (probe_chunk_.size() == 0) {
         probe_exhausted_ = true;
         break;
       }
       MALLARD_RETURN_NOT_OK(
-          EvaluateKeys(left_exprs, probe_chunk_, &probe_keys_));
+          EvaluateKeys(probe_exprs_, probe_chunk_, &probe_keys_));
+      table_->ProbeHeads(probe_keys_, probe_chunk_.size(),
+                         probe_hashes_.data(), probe_heads_.data());
       continue;
     }
-    bool has_key =
-        EncodeJoinKey(probe_keys_, probe_position_, specs, &key);
-    const std::vector<uint64_t>* matches = nullptr;
-    if (has_key) {
-      auto it = table_.find(key);
-      if (it != table_.end()) matches = &it->second;
+    idx_t n = GatherMatches(kVectorSize - produced, match_sel_.data(),
+                            match_refs_.data());
+    if (n == 0) continue;
+    // Probe side: one selection-vector copy per column; build side:
+    // decode each matched row straight into the output chunk.
+    for (idx_t c = 0; c < left_width; c++) {
+      out->column(c).CopySelection(probe_chunk_.column(c), match_sel_.data(),
+                                   n, produced);
     }
-    switch (join_type_) {
-      case JoinType::kInner:
-        if (matches) {
-          current_matches_ = matches;
-          match_position_ = 0;
+    if (emit_right) {
+      for (idx_t i = 0; i < n; i++) {
+        if (match_refs_[i] != JoinHashTable::kNullRef) {
+          table_->DecodePayload(match_refs_[i], out, produced + i,
+                                left_width);
         } else {
-          probe_position_++;
-        }
-        break;
-      case JoinType::kLeft:
-        if (matches) {
-          current_matches_ = matches;
-          match_position_ = 0;
-        } else {
-          for (idx_t c = 0; c < left_width; c++) {
-            out->column(c).CopyFrom(probe_chunk_.column(c), 1,
-                                    probe_position_, produced);
-          }
           for (idx_t c = left_width; c < out->ColumnCount(); c++) {
-            out->column(c).validity().SetInvalid(produced);
+            out->column(c).validity().SetInvalid(produced + i);
           }
-          produced++;
-          probe_position_++;
         }
-        break;
-      case JoinType::kSemi:
-      case JoinType::kAnti: {
-        bool emit = (join_type_ == JoinType::kSemi) == (matches != nullptr);
-        if (emit) {
-          for (idx_t c = 0; c < left_width; c++) {
-            out->column(c).CopyFrom(probe_chunk_.column(c), 1,
-                                    probe_position_, produced);
-          }
-          produced++;
-        }
-        probe_position_++;
-        break;
       }
     }
+    produced += n;
   }
   out->SetCardinality(produced);
   return Status::OK();

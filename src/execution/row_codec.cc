@@ -28,10 +28,10 @@ void RowCodec::EncodeRow(const DataChunk& chunk, idx_t row,
 }
 
 size_t RowCodec::DecodeRow(const uint8_t* data, DataChunk* out,
-                           idx_t out_row) const {
+                           idx_t out_row, idx_t first_column) const {
   size_t pos = 0;
   for (idx_t c = 0; c < types_.size(); c++) {
-    Vector& col = out->column(c);
+    Vector& col = out->column(first_column + c);
     bool valid = data[pos++] != 0;
     if (!valid) {
       col.validity().SetInvalid(out_row);

@@ -32,6 +32,14 @@ inline uint64_t HashCombine(uint64_t a, uint64_t b) {
   return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
 }
 
+/// Smallest power of two >= n (n = 0 or 1 gives 1). Hash-table
+/// capacities are kept power-of-two so slot = hash & (capacity - 1).
+inline uint64_t NextPowerOfTwo(uint64_t n) {
+  uint64_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
 }  // namespace mallard
 
 #endif  // MALLARD_COMMON_HASH_H_

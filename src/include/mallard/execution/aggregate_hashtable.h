@@ -1,0 +1,86 @@
+#ifndef MALLARD_EXECUTION_AGGREGATE_HASHTABLE_H_
+#define MALLARD_EXECUTION_AGGREGATE_HASHTABLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "mallard/execution/aggregate_function.h"
+#include "mallard/vector/data_chunk.h"
+
+namespace mallard {
+
+/// Vectorized hash table for GROUP BY aggregation.
+///
+/// A power-of-two linear-probe array of {hash, group id} entries maps
+/// group keys to dense group ids; the group key rows themselves live in
+/// columnar chunks (kVectorSize rows each, creation order) so emission
+/// is a plain chunk copy and key comparison is typed array access.
+/// Aggregate states are a flat array, `aggregate_count` per group.
+///
+/// Semantics: NULL = NULL for grouping (a NULL key forms its own
+/// group); doubles compare on a normalized bit pattern (-0.0 == +0.0,
+/// NaN groups with NaN) — the same grouping the order-preserving
+/// sort-key encoding produced before this table existed.
+///
+/// Per input chunk, FindOrCreateGroups does one batch hash pass and one
+/// probe loop, returning a group id per row; the caller then updates
+/// aggregate states in typed batches (see UpdateStates) with no
+/// per-row map lookups or Value boxing on the hot path.
+class AggregateHashTable {
+ public:
+  /// `initial_capacity` is rounded up to a power of two; tests pass a
+  /// tiny value to force collisions and exercise linear probing.
+  AggregateHashTable(std::vector<TypeId> group_types, idx_t aggregate_count,
+                     idx_t initial_capacity = 1024);
+
+  /// Maps the first `count` rows of `groups` to dense group ids
+  /// (creating groups for unseen keys) and writes them to `group_ids`.
+  void FindOrCreateGroups(const DataChunk& groups, idx_t count,
+                          idx_t* group_ids);
+
+  /// Folds rows [0, count) of `arg` into the states selected by
+  /// `group_ids` for aggregate slot `agg_index`. One type dispatch per
+  /// call, typed loops inside; MIN/MAX box a Value only when the
+  /// running extreme improves.
+  void UpdateStates(const BoundAggregate& aggregate, idx_t agg_index,
+                    const Vector* arg, idx_t count, const idx_t* group_ids);
+
+  idx_t GroupCount() const { return group_count_; }
+  idx_t Capacity() const { return entries_.size(); }
+
+  const AggState& State(idx_t group_id, idx_t agg_index) const {
+    return states_[group_id * aggregate_count_ + agg_index];
+  }
+
+  /// Copies group key rows [start, start+count) into the leading
+  /// columns of `out`. `start` must be kVectorSize-aligned and the
+  /// range must not straddle a chunk boundary (emit at most kVectorSize
+  /// rows per call, aligned — the natural GetChunk cadence).
+  void EmitKeys(idx_t start, idx_t count, DataChunk* out) const;
+
+ private:
+  struct Entry {
+    uint64_t hash;
+    idx_t group;  // kInvalidIndex = empty slot
+  };
+
+  void Resize(idx_t new_capacity);
+  void EnsureCapacity(idx_t incoming);
+  bool GroupEquals(idx_t group, const DataChunk& groups, idx_t row) const;
+  idx_t AppendGroup(const DataChunk& groups, idx_t row);
+
+  std::vector<TypeId> group_types_;
+  idx_t aggregate_count_;
+  std::vector<Entry> entries_;
+  uint64_t mask_ = 0;
+  idx_t group_count_ = 0;
+  // Group keys, columnar, creation order; chunk g/kVectorSize row
+  // g%kVectorSize holds group g.
+  std::vector<std::unique_ptr<DataChunk>> group_chunks_;
+  std::vector<AggState> states_;  // group-major: group * aggregate_count_
+  std::vector<uint64_t> hash_scratch_;
+};
+
+}  // namespace mallard
+
+#endif  // MALLARD_EXECUTION_AGGREGATE_HASHTABLE_H_

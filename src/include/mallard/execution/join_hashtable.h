@@ -1,0 +1,115 @@
+#ifndef MALLARD_EXECUTION_JOIN_HASHTABLE_H_
+#define MALLARD_EXECUTION_JOIN_HASHTABLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "mallard/execution/physical_operator.h"
+#include "mallard/execution/row_codec.h"
+#include "mallard/storage/buffer_manager.h"
+
+namespace mallard {
+
+/// Vectorized hash table for the build side of a hash join.
+///
+/// Hashes are computed batch-at-a-time over typed vector data (no Value
+/// boxing, no string serialization); build rows are stored in compact
+/// row layout ([next ref | hash | key row | payload row]) inside
+/// buffer-manager segments so the governor's memory accounting sees
+/// them. The probe directory is a power-of-two array of chain heads:
+/// each slot points at the most convenient build row, rows chain via
+/// their embedded next ref. Rows whose key contains a NULL are never
+/// inserted (SQL equality never matches NULL).
+///
+/// Probe flow (one type dispatch per vector, tight loops inside):
+///   1. HashKeyColumns over the probe key chunk -> hashes[0..n)
+///   2. ProbeHeads -> per-row chain head refs (kNullRef for NULL keys)
+///   3. FirstMatch/NextMatch walk a chain comparing stored hash, then
+///      stored key bytes, against the typed probe vectors
+///   4. DecodePayload writes a matched build row straight into the
+///      output chunk at the join's right-hand column offset
+class JoinHashTable {
+ public:
+  /// Sentinel row reference: end of chain / no candidate.
+  static constexpr uint64_t kNullRef = ~uint64_t(0);
+
+  /// `directory_size_hint` forces the initial directory capacity
+  /// (rounded up to a power of two); 0 sizes it from the build count.
+  /// Tests use a tiny hint to force chain collisions.
+  JoinHashTable(std::vector<TypeId> key_types,
+                std::vector<TypeId> payload_types,
+                idx_t directory_size_hint = 0);
+
+  /// Appends the first `count` rows of `keys`+`payload` to the build
+  /// side. Rows with a NULL key column are skipped.
+  Status Append(ExecutionContext* context, const DataChunk& keys,
+                const DataChunk& payload, idx_t count);
+
+  /// Builds the probe directory. Call exactly once, after all Appends.
+  /// Chains preserve build order (first-built row is first in chain).
+  void Finalize();
+
+  /// Number of build rows stored (NULL-key rows excluded).
+  idx_t Count() const { return refs_.size(); }
+  uint64_t BuildBytes() const { return build_bytes_; }
+  idx_t DirectoryCapacity() const { return directory_.size(); }
+
+  /// Hashes the probe key chunk and resolves per-row chain heads:
+  /// heads[r] is the first *candidate* ref for probe row r (the chain
+  /// may contain rows of other hashes), kNullRef for rows with NULL
+  /// keys. `hashes` is filled as a side effect and must be passed to
+  /// FirstMatch/NextMatch.
+  void ProbeHeads(const DataChunk& keys, idx_t count, uint64_t* hashes,
+                  uint64_t* heads) const;
+
+  /// First ref in the chain starting at `ref` (inclusive) whose stored
+  /// key equals probe row `row`; kNullRef if the chain has no match.
+  uint64_t FirstMatch(uint64_t ref, const DataChunk& keys, idx_t row,
+                      uint64_t hash) const;
+
+  /// Next match strictly after `ref` in its chain for the same probe row.
+  uint64_t NextMatch(uint64_t ref, const DataChunk& keys, idx_t row,
+                     uint64_t hash) const;
+
+  /// Decodes the payload of build row `ref` into row `out_row` of `out`,
+  /// writing columns starting at `first_column`.
+  void DecodePayload(uint64_t ref, DataChunk* out, idx_t out_row,
+                     idx_t first_column) const;
+
+ private:
+  // Row refs pack (segment index, byte offset): 24 bits segment,
+  // 40 bits offset.
+  static constexpr int kOffsetBits = 40;
+  static constexpr uint64_t kOffsetMask = (uint64_t(1) << kOffsetBits) - 1;
+  // Row header: [next ref: 8][hash: 8][key bytes: 4] — the key length is
+  // recorded at build time so DecodePayload jumps straight to the
+  // payload instead of re-walking the key encoding per emitted match.
+  static constexpr idx_t kHeaderSize = 20;
+
+  const uint8_t* Resolve(uint64_t ref) const {
+    return segments_[ref >> kOffsetBits].data() + (ref & kOffsetMask);
+  }
+  uint8_t* ResolveMutable(uint64_t ref) {
+    return segments_[ref >> kOffsetBits].data() + (ref & kOffsetMask);
+  }
+  bool MatchKeys(const uint8_t* stored_keys, const DataChunk& keys,
+                 idx_t row) const;
+
+  std::vector<TypeId> key_types_;
+  RowCodec key_codec_;
+  RowCodec payload_codec_;
+  idx_t directory_size_hint_;
+
+  std::vector<BufferHandle> segments_;
+  uint64_t segment_used_ = 0;
+  uint64_t build_bytes_ = 0;
+  std::vector<uint64_t> refs_;       // all build rows, in build order
+  std::vector<uint64_t> directory_;  // slot -> chain head ref
+  uint64_t mask_ = 0;
+  std::vector<uint8_t> row_scratch_;
+  std::vector<uint64_t> hash_scratch_;
+};
+
+}  // namespace mallard
+
+#endif  // MALLARD_EXECUTION_JOIN_HASHTABLE_H_

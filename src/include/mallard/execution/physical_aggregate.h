@@ -3,12 +3,11 @@
 
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "mallard/execution/aggregate_function.h"
+#include "mallard/execution/aggregate_hashtable.h"
 #include "mallard/execution/physical_operator.h"
-#include "mallard/execution/row_codec.h"
 
 namespace mallard {
 
@@ -33,8 +32,10 @@ class PhysicalUngroupedAggregate final : public PhysicalOperator {
 };
 
 /// Hash aggregation: output columns are the group keys followed by the
-/// aggregates. Groups are keyed by an order-preserving encoding of the
-/// group expressions.
+/// aggregates. Backed by the vectorized AggregateHashTable — group
+/// lookup is a batch hash pass plus a linear-probe loop per chunk, and
+/// aggregate states update in typed batches (no per-row key
+/// serialization or map lookups).
 class PhysicalHashAggregate final : public PhysicalOperator {
  public:
   PhysicalHashAggregate(std::vector<ExprPtr> groups,
@@ -44,13 +45,11 @@ class PhysicalHashAggregate final : public PhysicalOperator {
   std::string name() const override;
 
   /// Number of distinct groups seen (stats for tests/benches).
-  idx_t GroupCount() const { return group_rows_.size(); }
+  idx_t GroupCount() const { return table_ ? table_->GroupCount() : 0; }
 
  protected:
   Status ResetOperator() override {
-    group_map_.clear();
-    group_rows_.clear();
-    states_.clear();
+    table_.reset();
     sunk_ = false;
     output_position_ = 0;
     return Status::OK();
@@ -64,9 +63,8 @@ class PhysicalHashAggregate final : public PhysicalOperator {
   DataChunk child_chunk_;
   DataChunk group_chunk_;  // evaluated group expressions
 
-  std::unordered_map<std::string, idx_t> group_map_;
-  std::vector<std::vector<Value>> group_rows_;
-  std::vector<std::vector<AggState>> states_;
+  std::unique_ptr<AggregateHashTable> table_;
+  std::vector<idx_t> group_ids_;  // per-chunk scratch
   bool sunk_ = false;
   idx_t output_position_ = 0;
 };

@@ -3,11 +3,11 @@
 
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "mallard/execution/chunk_collection.h"
 #include "mallard/execution/external_sort.h"
+#include "mallard/execution/join_hashtable.h"
 #include "mallard/execution/physical_operator.h"
 #include "mallard/execution/row_codec.h"
 #include "mallard/expression/bound_expression.h"
@@ -26,9 +26,13 @@ struct JoinCondition {
 
 /// In-memory hash join: builds on the right child, probes with the left.
 /// Fast but memory-hungry — the RAM-for-CPU side of the trade-off the
-/// reactive governor arbitrates (paper section 4). Build rows are stored
-/// in buffer-manager segments so the memory cost is visible to the
-/// governor's accounting.
+/// reactive governor arbitrates (paper section 4). Backed by the
+/// vectorized JoinHashTable: keys are hashed batch-at-a-time over typed
+/// vector data, matches are gathered into a selection vector, and
+/// output is emitted with CopySelection for the probe side plus direct
+/// row decodes for the build side — no per-row key serialization or map
+/// lookups. Build rows live in buffer-manager segments so the memory
+/// cost is visible to the governor's accounting.
 class PhysicalHashJoin final : public PhysicalOperator {
  public:
   PhysicalHashJoin(JoinType join_type, std::vector<JoinCondition> conditions,
@@ -37,18 +41,20 @@ class PhysicalHashJoin final : public PhysicalOperator {
   Status GetChunk(ExecutionContext* context, DataChunk* out) override;
   std::string name() const override;
 
-  uint64_t BuildBytes() const { return build_bytes_; }
+  uint64_t BuildBytes() const { return table_ ? table_->BuildBytes() : 0; }
 
  protected:
   Status ResetOperator() override {
-    segments_.clear();
-    segment_used_ = 0;
-    table_.clear();
-    build_bytes_ = 0;
+    table_.reset();
     built_ = false;
+    // Drop the probe cursor completely: probe_heads_/chain_ref_ hold refs
+    // into the destroyed table, and a stale probe_chunk_ cardinality
+    // would replay old rows against the rebuilt one.
+    probe_chunk_.Reset();
     probe_position_ = 0;
-    current_matches_ = nullptr;
-    match_position_ = 0;
+    chain_ref_ = JoinHashTable::kNullRef;
+    chain_active_ = false;
+    row_matched_ = false;
     probe_exhausted_ = false;
     return Status::OK();
   }
@@ -57,26 +63,30 @@ class PhysicalHashJoin final : public PhysicalOperator {
   Status Build(ExecutionContext* context);
   Status EvaluateKeys(const std::vector<ExprPtr>& exprs,
                       const DataChunk& input, DataChunk* keys);
+  /// Gathers up to `capacity` output rows from the current probe chunk
+  /// into (probe row, build ref) pairs; build ref kNullRef marks a
+  /// NULL-padded left-join row. Resumes mid-chain across calls.
+  idx_t GatherMatches(idx_t capacity, uint32_t* sel, uint64_t* refs);
 
   JoinType join_type_;
   std::vector<JoinCondition> conditions_;
   std::vector<TypeId> right_types_;
-  RowCodec build_codec_;
 
-  // Build storage: encoded rows in pinned 1MB segments.
-  std::vector<BufferHandle> segments_;
-  uint64_t segment_used_ = 0;
-  std::unordered_map<std::string, std::vector<uint64_t>> table_;  // key -> refs
-  uint64_t build_bytes_ = 0;
+  std::unique_ptr<JoinHashTable> table_;
   bool built_ = false;
 
   // Probe state.
   DataChunk probe_chunk_;
   DataChunk probe_keys_;
-  DataChunk build_row_scratch_;
+  std::vector<ExprPtr> probe_exprs_;
+  std::vector<uint64_t> probe_hashes_;  // per probe chunk
+  std::vector<uint64_t> probe_heads_;
+  std::vector<uint32_t> match_sel_;  // gather scratch
+  std::vector<uint64_t> match_refs_;
   idx_t probe_position_ = 0;
-  const std::vector<uint64_t>* current_matches_ = nullptr;
-  idx_t match_position_ = 0;
+  uint64_t chain_ref_ = JoinHashTable::kNullRef;
+  bool chain_active_ = false;  // FirstMatch already run for current row
+  bool row_matched_ = false;   // current row produced a match (left join)
   bool probe_exhausted_ = false;
 };
 

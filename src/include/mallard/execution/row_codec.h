@@ -28,9 +28,12 @@ class RowCodec {
   void EncodeRow(const DataChunk& chunk, idx_t row,
                  std::vector<uint8_t>* out) const;
 
-  /// Decodes one row from `data` into row `out_row` of `out`; returns the
-  /// number of bytes consumed.
-  size_t DecodeRow(const uint8_t* data, DataChunk* out, idx_t out_row) const;
+  /// Decodes one row from `data` into row `out_row` of `out`, writing
+  /// columns starting at `first_column` (so a payload row can be decoded
+  /// straight into the right-hand side of a join output chunk); returns
+  /// the number of bytes consumed.
+  size_t DecodeRow(const uint8_t* data, DataChunk* out, idx_t out_row,
+                   idx_t first_column = 0) const;
 
  private:
   std::vector<TypeId> types_;

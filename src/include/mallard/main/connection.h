@@ -13,6 +13,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "mallard/main/database.h"
@@ -30,7 +31,7 @@ class StreamingQueryResult;
 /// concurrently under MVCC — the paper's dashboard scenario (section 2).
 class Connection {
  public:
-  explicit Connection(Database* db) : db_(db) {}
+  explicit Connection(Database* db);
   ~Connection();
 
   Connection(const Connection&) = delete;
@@ -39,12 +40,24 @@ class Connection {
   /// Parses and executes `sql` (possibly multiple ';'-separated
   /// statements).
   ///
+  /// Single plannable statements (SELECT/INSERT/UPDATE/DELETE) are
+  /// transparently cached by SQL text: a repeated Query with the exact
+  /// same string reuses the cached physical plan (rewound via
+  /// PhysicalOperator::Reset()) and skips the parse-bind-plan pipeline —
+  /// ORMs get prepared-statement performance without code changes. A
+  /// catalog version change (DDL) triggers a transparent re-plan; the
+  /// cache holds at most kPlanCacheCapacity entries, evicted LRU.
+  /// `PRAGMA plan_cache=off` disables (and clears) it.
+  ///
   /// \param sql one or more SQL statements.
   /// \return the materialized result of the last statement, or the
   ///         first parse/bind/execution error (later statements are
   ///         not run after a failure).
   Result<std::unique_ptr<MaterializedQueryResult>> Query(
       const std::string& sql);
+
+  /// Number of entries currently in the plan cache (tests/benches).
+  idx_t PlanCacheSize() const { return plan_cache_.size(); }
 
   /// Executes a single SELECT and streams chunks as they are produced —
   /// the client application becomes the root of the plan (paper
@@ -103,8 +116,26 @@ class Connection {
   Result<Transaction*> ActiveTransaction(bool* started);
   Status FinishAutocommit(bool started, bool success);
 
+  /// Plans a single already-parsed statement into a cached-plan entry
+  /// (no parameter slots — Query-path SQL carries literal values).
+  Result<std::unique_ptr<PreparedStatement>> PreparePlanned(
+      std::unique_ptr<SQLStatement> statement);
+
+  static constexpr idx_t kPlanCacheCapacity = 64;
+
+  struct PlanCacheEntry {
+    std::unique_ptr<PreparedStatement> statement;
+    uint64_t last_used = 0;
+  };
+
   Database* db_;
   std::unique_ptr<Transaction> transaction_;  // explicit transaction
+
+  // Transparent per-connection plan cache for Connection::Query,
+  // keyed by exact SQL text (LRU, bounded).
+  std::unordered_map<std::string, PlanCacheEntry> plan_cache_;
+  uint64_t plan_cache_tick_ = 0;
+  bool plan_cache_enabled_ = true;
 };
 
 /// Streaming result: pulls chunks straight from the physical plan. The

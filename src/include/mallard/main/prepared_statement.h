@@ -106,6 +106,11 @@ class PreparedStatement {
   /// Re-plans from the stored AST when DDL has moved the catalog version
   /// (bound values survive; a dropped table surfaces as a binder error).
   Status EnsureCurrentPlan();
+  /// Rewinds the plan, dropping per-execution operator state (join build
+  /// tables, aggregate tables, sort runs). The plan-cache path calls this
+  /// after executing so idle cached plans don't pin their last
+  /// execution's memory; Execute() rewinds again before running anyway.
+  Status ClearExecutionState() { return plan_.plan->Reset(); }
   Status CheckAllBound() const;
   /// Errors while a streaming result borrowed from this statement is
   /// still open — executing would rewind (or free, on re-plan) the plan

@@ -153,6 +153,9 @@ class BufferManager {
   double bad_region_probability_ = 0.0;
   int faults_per_region_ = 3;
   uint64_t rng_state_ = 0x9E3779B97f4A7C15ULL;
+  // Regions that failed the allocation-time memory test: owned here so
+  // they are never reused (and never reported as leaked).
+  std::vector<std::unique_ptr<uint8_t[]>> quarantined_regions_;
 
   BufferManagerStats stats_;
 };

@@ -1,0 +1,36 @@
+#ifndef MALLARD_VECTOR_VECTOR_HASH_H_
+#define MALLARD_VECTOR_VECTOR_HASH_H_
+
+#include "mallard/vector/data_chunk.h"
+
+namespace mallard {
+
+/// Hash assigned to NULL values. A fixed non-zero constant so that NULL
+/// group keys land in one bucket (GROUP BY treats NULL = NULL) and so
+/// that combining with further key columns still mixes.
+constexpr uint64_t kNullHash = 0xbf58476d1ce4e5b9ULL;
+
+/// Batch hash kernels over typed vector data: no Value boxing, no
+/// per-row serialization. One type dispatch per vector, then a tight
+/// loop over the raw array. Doubles are hashed on a normalized bit
+/// pattern (-0.0 folded into +0.0) so the hash is consistent with SQL
+/// equality; NaN hashes on its bit pattern.
+
+/// Writes the hash of rows [0, count) of `input` into `hashes`.
+void VectorHash(const Vector& input, idx_t count, uint64_t* hashes);
+
+/// Combines the hash of rows [0, count) of `input` into existing
+/// `hashes` (boost-style combine; order-sensitive across columns).
+void VectorHashCombine(const Vector& input, idx_t count, uint64_t* hashes);
+
+/// Hashes all columns of `keys` together: VectorHash on column 0,
+/// VectorHashCombine on the rest.
+void HashKeyColumns(const DataChunk& keys, idx_t count, uint64_t* hashes);
+
+/// Folds -0.0 into +0.0 so bit-pattern hashing/equality matches SQL
+/// equality on doubles.
+inline double NormalizeDouble(double d) { return d == 0.0 ? 0.0 : d; }
+
+}  // namespace mallard
+
+#endif  // MALLARD_VECTOR_VECTOR_HASH_H_

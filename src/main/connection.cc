@@ -8,6 +8,8 @@
 
 namespace mallard {
 
+Connection::Connection(Database* db) : db_(db) {}
+
 Connection::~Connection() {
   if (transaction_) {
     db_->transactions().Rollback(transaction_.get());
@@ -62,17 +64,79 @@ Status Connection::FinishAutocommit(bool started, bool success) {
   return status;
 }
 
+namespace {
+bool IsPlanCacheable(StatementType type) {
+  switch (type) {
+    case StatementType::kSelect:
+    case StatementType::kInsert:
+    case StatementType::kUpdate:
+    case StatementType::kDelete:
+      return true;
+    default:
+      return false;
+  }
+}
+}  // namespace
+
 Result<std::unique_ptr<MaterializedQueryResult>> Connection::Query(
     const std::string& sql) {
+  if (plan_cache_enabled_) {
+    auto it = plan_cache_.find(sql);
+    if (it != plan_cache_.end()) {
+      // Cache hit: skip parse-bind-plan entirely; the statement rewinds
+      // its plan (and transparently re-plans after DDL) on Execute.
+      it->second.last_used = ++plan_cache_tick_;
+      auto result = it->second.statement->Execute();
+      if (!result.ok() ||
+          !it->second.statement->ClearExecutionState().ok()) {
+        // A failing entry (e.g. its table was dropped) is not worth
+        // keeping; the next Query re-plans from scratch.
+        plan_cache_.erase(it);
+      }
+      return result;
+    }
+  }
   MALLARD_ASSIGN_OR_RETURN(auto statements, Parser::Parse(sql));
   if (statements.empty()) {
     return Status::InvalidArgument("no statements to execute");
+  }
+  if (plan_cache_enabled_ && statements.size() == 1 &&
+      IsPlanCacheable(statements[0]->type)) {
+    MALLARD_ASSIGN_OR_RETURN(auto prepared,
+                             PreparePlanned(std::move(statements[0])));
+    auto result = prepared->Execute();
+    // Idle cached plans must not pin their last execution's operator
+    // state (join build tables live in non-spillable buffer segments).
+    if (result.ok() && prepared->ClearExecutionState().ok()) {
+      if (plan_cache_.size() >= kPlanCacheCapacity) {
+        auto victim = plan_cache_.begin();
+        for (auto e = plan_cache_.begin(); e != plan_cache_.end(); ++e) {
+          if (e->second.last_used < victim->second.last_used) victim = e;
+        }
+        plan_cache_.erase(victim);
+      }
+      plan_cache_.emplace(
+          sql, PlanCacheEntry{std::move(prepared), ++plan_cache_tick_});
+    }
+    return result;
   }
   std::unique_ptr<MaterializedQueryResult> result;
   for (auto& stmt : statements) {
     MALLARD_ASSIGN_OR_RETURN(result, ExecuteStatement(stmt.get()));
   }
   return result;
+}
+
+Result<std::unique_ptr<PreparedStatement>> Connection::PreparePlanned(
+    std::unique_ptr<SQLStatement> statement) {
+  // Planned without parameter data: a stray `?` placeholder fails with
+  // the same binder error the uncached Query path produced.
+  Planner planner(&db_->catalog(), &db_->governor());
+  uint64_t catalog_version = db_->catalog().version();
+  MALLARD_ASSIGN_OR_RETURN(auto plan, planner.PlanStatement(*statement));
+  return std::unique_ptr<PreparedStatement>(new PreparedStatement(
+      this, std::move(statement), std::make_shared<BoundParameterData>(),
+      std::move(plan), catalog_version));
 }
 
 Result<std::unique_ptr<MaterializedQueryResult>>
@@ -343,6 +407,14 @@ Status Connection::ExecutePragma(const PragmaStatement& stmt) {
       return Status::InvalidArgument(
           "compression must be none, light or heavy");
     }
+    return Status::OK();
+  }
+  if (name == "plan_cache") {
+    bool enable = StringUtil::CIEquals(stmt.value, "true") ||
+                  StringUtil::CIEquals(stmt.value, "on") ||
+                  stmt.value == "1";
+    plan_cache_enabled_ = enable;
+    if (!enable) plan_cache_.clear();
     return Status::OK();
   }
   if (name == "memtest_on_allocation") {

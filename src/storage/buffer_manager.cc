@@ -183,11 +183,15 @@ Result<std::unique_ptr<uint8_t[]>> BufferManager::AllocateTested(
       }
       return data;
     }
-    // Quarantine: intentionally leak this region so it is never reused —
-    // the "avoid broken memory areas" mitigation from paper section 3.
+    // Quarantine: park this region in the quarantine list so it is never
+    // handed out again — the "avoid broken memory areas" mitigation from
+    // paper section 3. The list owns the regions (keeping LSAN clean) and
+    // only releases them when the buffer manager itself is destroyed,
+    // which is when a real deployment would have to give the pages back
+    // anyway.
     stats_.quarantined_allocations++;
     stats_.quarantined_bytes += size;
-    data.release();  // NOLINT: deliberate leak, region is quarantined
+    quarantined_regions_.push_back(std::move(data));
   }
   return Status::HardwareFailure(
       "memory allocation failed the allocation-time test repeatedly; "

@@ -1,0 +1,110 @@
+#include "mallard/vector/vector_hash.h"
+
+#include <cstring>
+
+#include "mallard/common/hash.h"
+
+namespace mallard {
+
+namespace {
+
+// kCombine=false overwrites hashes, kCombine=true mixes into them.
+template <typename T, bool kCombine>
+void HashFixedLoop(const Vector& input, idx_t count, uint64_t* hashes) {
+  const T* data = input.data<T>();
+  const ValidityMask& validity = input.validity();
+  if (validity.AllValid()) {
+    for (idx_t r = 0; r < count; r++) {
+      uint64_t h = HashInt(static_cast<uint64_t>(data[r]));
+      hashes[r] = kCombine ? HashCombine(hashes[r], h) : h;
+    }
+    return;
+  }
+  for (idx_t r = 0; r < count; r++) {
+    uint64_t h = validity.RowIsValid(r)
+                     ? HashInt(static_cast<uint64_t>(data[r]))
+                     : kNullHash;
+    hashes[r] = kCombine ? HashCombine(hashes[r], h) : h;
+  }
+}
+
+template <bool kCombine>
+void HashDoubleLoop(const Vector& input, idx_t count, uint64_t* hashes) {
+  const double* data = input.data<double>();
+  const ValidityMask& validity = input.validity();
+  for (idx_t r = 0; r < count; r++) {
+    uint64_t h;
+    if (validity.RowIsValid(r)) {
+      double d = NormalizeDouble(data[r]);
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      h = HashInt(bits);
+    } else {
+      h = kNullHash;
+    }
+    hashes[r] = kCombine ? HashCombine(hashes[r], h) : h;
+  }
+}
+
+template <bool kCombine>
+void HashStringLoop(const Vector& input, idx_t count, uint64_t* hashes) {
+  const StringRef* data = input.data<StringRef>();
+  const ValidityMask& validity = input.validity();
+  for (idx_t r = 0; r < count; r++) {
+    uint64_t h = validity.RowIsValid(r)
+                     ? HashBytes(data[r].data, data[r].size)
+                     : kNullHash;
+    hashes[r] = kCombine ? HashCombine(hashes[r], h) : h;
+  }
+}
+
+template <bool kCombine>
+void HashTypeDispatch(const Vector& input, idx_t count, uint64_t* hashes) {
+  switch (input.type()) {
+    case TypeId::kBoolean:
+      HashFixedLoop<int8_t, kCombine>(input, count, hashes);
+      break;
+    case TypeId::kInteger:
+    case TypeId::kDate:
+      HashFixedLoop<int32_t, kCombine>(input, count, hashes);
+      break;
+    case TypeId::kBigInt:
+    case TypeId::kTimestamp:
+      HashFixedLoop<int64_t, kCombine>(input, count, hashes);
+      break;
+    case TypeId::kDouble:
+      HashDoubleLoop<kCombine>(input, count, hashes);
+      break;
+    case TypeId::kVarchar:
+      HashStringLoop<kCombine>(input, count, hashes);
+      break;
+    default:
+      for (idx_t r = 0; r < count; r++) {
+        hashes[r] = kCombine ? HashCombine(hashes[r], kNullHash) : kNullHash;
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+void VectorHash(const Vector& input, idx_t count, uint64_t* hashes) {
+  HashTypeDispatch<false>(input, count, hashes);
+}
+
+void VectorHashCombine(const Vector& input, idx_t count, uint64_t* hashes) {
+  HashTypeDispatch<true>(input, count, hashes);
+}
+
+void HashKeyColumns(const DataChunk& keys, idx_t count, uint64_t* hashes) {
+  if (keys.ColumnCount() == 0) {
+    for (idx_t r = 0; r < count; r++) hashes[r] = kNullHash;
+    return;
+  }
+  VectorHash(keys.column(0), count, hashes);
+  for (idx_t c = 1; c < keys.ColumnCount(); c++) {
+    VectorHashCombine(keys.column(c), count, hashes);
+  }
+}
+
+}  // namespace mallard

@@ -300,5 +300,104 @@ TEST_F(PreparedTest, GetValueOutOfRangeReturnsNull) {
   EXPECT_TRUE((*r)->GetValue(static_cast<idx_t>(-1), 0).is_null());
 }
 
+// --- transparent plan cache (satellite: named & cached statements) ----------
+
+TEST_F(PreparedTest, PlanCacheReusesAndStaysCorrect) {
+  idx_t initial = con_->PlanCacheSize();  // fixture INSERT is cached too
+  auto r1 = con_->Query("SELECT a FROM t WHERE a > 2");
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ((*r1)->RowCount(), 3u);
+  EXPECT_EQ(con_->PlanCacheSize(), initial + 1);
+  // Cached re-execution returns the same result...
+  auto r2 = con_->Query("SELECT a FROM t WHERE a > 2");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ((*r2)->RowCount(), 3u);
+  // ...and sees data committed after the plan was cached.
+  ASSERT_TRUE(con_->Query("INSERT INTO t VALUES (9, 'nine')").ok());
+  auto r3 = con_->Query("SELECT a FROM t WHERE a > 2");
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ((*r3)->RowCount(), 4u);
+}
+
+TEST_F(PreparedTest, PlanCacheSurvivesDdlByReplanning) {
+  auto r1 = con_->Query("SELECT a FROM t WHERE a > 2");
+  ASSERT_TRUE(r1.ok());
+  // Catalog version moves: the cached plan transparently re-plans.
+  ASSERT_TRUE(con_->Query("CREATE TABLE other (x INTEGER)").ok());
+  auto r2 = con_->Query("SELECT a FROM t WHERE a > 2");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ((*r2)->RowCount(), 3u);
+  // Dropping the table turns the cached entry into a clean error and
+  // evicts it; recreating the table works again.
+  ASSERT_TRUE(con_->Query("DROP TABLE t").ok());
+  EXPECT_FALSE(con_->Query("SELECT a FROM t WHERE a > 2").ok());
+  ASSERT_TRUE(con_->Query("CREATE TABLE t (a INTEGER, s VARCHAR)").ok());
+  auto r3 = con_->Query("SELECT a FROM t WHERE a > 2");
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ((*r3)->RowCount(), 0u);
+}
+
+TEST_F(PreparedTest, PlanCacheCachesDmlToo) {
+  ASSERT_TRUE(con_->Query("CREATE TABLE sink (x INTEGER)").ok());
+  for (int i = 0; i < 3; i++) {
+    ASSERT_TRUE(con_->Query("INSERT INTO sink VALUES (1)").ok());
+  }
+  auto r = con_->Query("SELECT count(*) FROM sink");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->GetValue(0, 0).GetBigInt(), 3);
+}
+
+TEST_F(PreparedTest, PlanCacheEvictsLeastRecentlyUsed) {
+  // Fill the cache past capacity with distinct texts; it stays bounded.
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(
+        con_->Query("SELECT a FROM t WHERE a > " + std::to_string(i)).ok());
+  }
+  EXPECT_LE(con_->PlanCacheSize(), 64u);
+}
+
+TEST_F(PreparedTest, PlanCachePragmaDisables) {
+  ASSERT_TRUE(con_->Query("SELECT a FROM t").ok());
+  EXPECT_GE(con_->PlanCacheSize(), 1u);
+  ASSERT_TRUE(con_->Query("PRAGMA plan_cache=off").ok());
+  EXPECT_EQ(con_->PlanCacheSize(), 0u);
+  ASSERT_TRUE(con_->Query("SELECT a FROM t").ok());
+  EXPECT_EQ(con_->PlanCacheSize(), 0u);
+  ASSERT_TRUE(con_->Query("PRAGMA plan_cache=on").ok());
+  ASSERT_TRUE(con_->Query("SELECT a FROM t").ok());
+  EXPECT_EQ(con_->PlanCacheSize(), 1u);
+}
+
+TEST_F(PreparedTest, PlanCacheDoesNotPinExecutionMemory) {
+  // A cached join plan must not keep its build-side hash table (pinned,
+  // non-spillable buffer segments) alive while the connection is idle.
+  ASSERT_TRUE(con_->Query("CREATE TABLE big (k INTEGER, v INTEGER)").ok());
+  std::string ins = "INSERT INTO big VALUES (0,0)";
+  for (int i = 1; i < 20000; i++) {
+    ins += ",(" + std::to_string(i) + "," + std::to_string(i) + ")";
+  }
+  ASSERT_TRUE(con_->Query(ins).ok());
+  uint64_t before = db_->buffers().memory_used();
+  auto r = con_->Query(
+      "SELECT count(*) FROM t JOIN big ON t.a = big.k");
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(con_->PlanCacheSize(), 1u);
+  // The ~1MB build segment is released once the query finishes, even
+  // though the plan stays cached.
+  EXPECT_LT(db_->buffers().memory_used(), before + (1u << 18));
+}
+
+TEST_F(PreparedTest, PlanCacheRespectsExplicitTransactions) {
+  // Warm the cache, then use the same text inside a rolled-back
+  // transaction: the rollback must win over the cached plan.
+  ASSERT_TRUE(con_->Query("INSERT INTO t VALUES (7, 'seven')").ok());
+  ASSERT_TRUE(con_->Query("BEGIN").ok());
+  ASSERT_TRUE(con_->Query("INSERT INTO t VALUES (7, 'seven')").ok());
+  ASSERT_TRUE(con_->Query("ROLLBACK").ok());
+  auto r = con_->Query("SELECT count(*) FROM t WHERE a = 7");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->GetValue(0, 0).GetBigInt(), 1);
+}
+
 }  // namespace
 }  // namespace mallard
