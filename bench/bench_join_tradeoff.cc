@@ -51,8 +51,11 @@ void Fill(Database* db, const std::string& table, idx_t rows,
 }
 
 // Runs probe JOIN build with a forced algorithm; returns (ms, peak MB).
+// `threads` > 0 attaches the scheduler with that thread budget (the
+// morsel-driven parallel build path); 0 keeps the classic serial pull
+// loop so the algorithm sweep below stays comparable across PRs.
 std::pair<double, double> RunJoin(Database* db, JoinAlgorithm algo,
-                                  idx_t* out_rows) {
+                                  idx_t* out_rows, int threads = 0) {
   auto probe_table = db->catalog().GetTable("probe");
   auto build_table = db->catalog().GetTable("build");
   auto make_scan = [](DataTable* t) {
@@ -79,6 +82,10 @@ std::pair<double, double> RunJoin(Database* db, JoinAlgorithm algo,
   context.txn = txn.get();
   context.buffers = &db->buffers();
   context.governor = &db->governor();
+  if (threads > 0) {
+    context.scheduler = &db->scheduler();
+    context.thread_limit = threads;
+  }
   db->buffers().ResetPeak();
   DataChunk out;
   out.Initialize(join->types());
@@ -142,5 +149,30 @@ int main(int argc, char** argv) {
               "memory stays bounded (spilling to disk) at higher CPU "
               "cost. The governor switches to merge once the estimated "
               "build no longer fits the budget.\n");
+
+  // ---- morsel-driven parallel scaling ----------------------------------
+  // Hash join with the largest build side at 1/2/4 worker threads: the
+  // build scans row-group morsels into per-worker partitions merged into
+  // one table (docs/CONCURRENCY.md); the probe stays single-threaded.
+  // The sweep's last iteration already filled "build" with exactly this
+  // row count and seed; reuse it.
+  idx_t scaling_build = static_cast<idx_t>(1600000 * scale);
+  std::printf("\n=== parallel scaling — hash join, build=%llu ===\n\n",
+              static_cast<unsigned long long>(scaling_build));
+  idx_t rows_serial = 0;
+  for (int threads : {1, 2, 4}) {
+    idx_t rows = 0;
+    auto [ms, mb] = RunJoin(db->get(), JoinAlgorithm::kHash, &rows, threads);
+    if (threads == 1) {
+      rows_serial = rows;
+    } else if (rows != rows_serial) {
+      std::printf("RESULT MISMATCH at threads=%d!\n", threads);
+      return 1;
+    }
+    std::printf("threads=%d %14.1f ms %10.1f MB\n", threads, ms, mb);
+    idx_t probe_rows = static_cast<idx_t>(200000 * scale);
+    reporter.Add("hash_join/build=1600000/threads=" + std::to_string(threads),
+                 1, ms * 1e6, probe_rows / (ms / 1e3));
+  }
   return 0;
 }

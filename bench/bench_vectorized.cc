@@ -241,6 +241,28 @@ int main(int argc, char** argv) {
                  agg_rows / (lo_ms / 1e3));
     reporter.Add("groupby_micro/bigint_100k_groups", 3, hi_ms * 1e6,
                  agg_rows / (hi_ms / 1e3));
+
+    // ---- morsel-driven parallel scaling --------------------------------
+    // The same high-cardinality aggregation at an explicit per-connection
+    // thread count (PRAGMA threads pins the budget; docs/BENCHMARKS.md
+    // documents the protocol). threads=1 is the serial baseline of the
+    // scaling table in BENCH_agg.json.
+    std::printf("\n=== parallel scaling — GROUP BY k (bigint, 100k groups) "
+                "===\n\n");
+    for (int threads : {1, 2, 4}) {
+      if (!con.Query("PRAGMA threads = " + std::to_string(threads)).ok()) {
+        return 1;
+      }
+      double ms = BestMs(&con,
+                         "SELECT k, count(*), sum(v), min(v), max(v) "
+                         "FROM agg_hi GROUP BY k");
+      if (ms < 0) return 1;
+      std::printf("threads=%d %36.1f ms  %12.0f rows/s\n", threads, ms,
+                  agg_rows / (ms / 1e3));
+      reporter.Add("groupby_micro/bigint_100k_groups/threads=" +
+                       std::to_string(threads),
+                   3, ms * 1e6, agg_rows / (ms / 1e3));
+    }
   }
   std::printf("\nShape check vs paper: the vectorized interpreter "
               "amortizes interpretation overhead over %llu-row vectors "

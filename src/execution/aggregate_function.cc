@@ -99,6 +99,33 @@ void AggregateFunction::UpdateValue(AggType type, const Value& v,
   }
 }
 
+void AggregateFunction::Combine(AggType type, const AggState& src,
+                                AggState* dst) {
+  switch (type) {
+    case AggType::kCountStar:
+    case AggType::kCount:
+      dst->count += src.count;
+      break;
+    case AggType::kSum:
+    case AggType::kAvg:
+      dst->count += src.count;
+      dst->isum += src.isum;
+      dst->dsum += src.dsum;
+      dst->seen = dst->seen || src.seen;
+      break;
+    case AggType::kMin:
+    case AggType::kMax:
+      if (!src.seen) break;
+      if (!dst->seen || (type == AggType::kMin
+                             ? src.extreme.Compare(dst->extreme) < 0
+                             : src.extreme.Compare(dst->extreme) > 0)) {
+        dst->extreme = src.extreme;
+        dst->seen = true;
+      }
+      break;
+  }
+}
+
 Value AggregateFunction::Finalize(AggType type, TypeId result_type,
                                   const AggState& state) {
   switch (type) {

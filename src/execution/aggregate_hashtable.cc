@@ -304,6 +304,24 @@ void AggregateHashTable::UpdateStates(const BoundAggregate& aggregate,
   }
 }
 
+void AggregateHashTable::Merge(const AggregateHashTable& other,
+                               const std::vector<BoundAggregate>& aggregates) {
+  std::vector<idx_t> ids(kVectorSize);
+  for (idx_t base = 0; base < other.group_count_; base += kVectorSize) {
+    idx_t count = std::min<idx_t>(kVectorSize, other.group_count_ - base);
+    const DataChunk& keys = *other.group_chunks_[base / kVectorSize];
+    FindOrCreateGroups(keys, count, ids.data());
+    for (idx_t r = 0; r < count; r++) {
+      const AggState* src =
+          other.states_.data() + (base + r) * aggregate_count_;
+      AggState* dst = states_.data() + ids[r] * aggregate_count_;
+      for (idx_t a = 0; a < aggregate_count_; a++) {
+        AggregateFunction::Combine(aggregates[a].type, src[a], &dst[a]);
+      }
+    }
+  }
+}
+
 void AggregateHashTable::EmitKeys(idx_t start, idx_t count,
                                   DataChunk* out) const {
   assert(start % kVectorSize == 0);

@@ -66,6 +66,26 @@ Status JoinHashTable::Append(ExecutionContext* context, const DataChunk& keys,
   return Status::OK();
 }
 
+void JoinHashTable::MergePartition(JoinHashTable&& other) {
+  uint64_t segment_base = segments_.size();
+  for (auto& segment : other.segments_) {
+    segments_.push_back(std::move(segment));
+  }
+  refs_.reserve(refs_.size() + other.refs_.size());
+  for (uint64_t ref : other.refs_) {
+    refs_.push_back((((ref >> kOffsetBits) + segment_base) << kOffsetBits) |
+                    (ref & kOffsetMask));
+  }
+  // Appends after a merge continue in the stolen tail segment (an empty
+  // donor leaves the current tail untouched).
+  if (segment_base != segments_.size()) segment_used_ = other.segment_used_;
+  build_bytes_ += other.build_bytes_;
+  other.segments_.clear();
+  other.refs_.clear();
+  other.segment_used_ = 0;
+  other.build_bytes_ = 0;
+}
+
 void JoinHashTable::Finalize() {
   idx_t capacity = directory_size_hint_
                        ? NextPowerOfTwo(directory_size_hint_)

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "mallard/expression/expression_executor.h"
+#include "mallard/parallel/morsel.h"
 
 namespace mallard {
 
@@ -20,25 +21,29 @@ PhysicalTableScan::PhysicalTableScan(
       filters_(std::move(filters)),
       late_filters_(std::move(late_filters)) {}
 
+std::vector<TableFilter> PhysicalTableScan::EffectiveFilters() const {
+  std::vector<TableFilter> filters = filters_;
+  // Materialize parameterized zone-map filters from the values bound
+  // at this execution. Unbound/NULL/uncastable values just skip the
+  // pruning; the residual filter above the scan keeps results exact.
+  for (const auto& late : late_filters_) {
+    if (late.parameter_index >= late.parameters->values.size() ||
+        !late.parameters->is_set[late.parameter_index]) {
+      continue;
+    }
+    const Value& bound = late.parameters->values[late.parameter_index];
+    if (bound.is_null()) continue;
+    auto cast = bound.CastTo(late.column_type);
+    if (!cast.ok()) continue;
+    filters.push_back(
+        TableFilter{late.column_index, late.op, std::move(*cast)});
+  }
+  return filters;
+}
+
 Status PhysicalTableScan::GetChunk(ExecutionContext* context, DataChunk* out) {
   if (!initialized_) {
-    std::vector<TableFilter> filters = filters_;
-    // Materialize parameterized zone-map filters from the values bound
-    // at this execution. Unbound/NULL/uncastable values just skip the
-    // pruning; the residual filter above the scan keeps results exact.
-    for (const auto& late : late_filters_) {
-      if (late.parameter_index >= late.parameters->values.size() ||
-          !late.parameters->is_set[late.parameter_index]) {
-        continue;
-      }
-      const Value& bound = late.parameters->values[late.parameter_index];
-      if (bound.is_null()) continue;
-      auto cast = bound.CastTo(late.column_type);
-      if (!cast.ok()) continue;
-      filters.push_back(
-          TableFilter{late.column_index, late.op, std::move(*cast)});
-    }
-    table_->InitializeScan(&state_, column_ids_, std::move(filters));
+    table_->InitializeScan(&state_, column_ids_, EffectiveFilters());
     initialized_ = true;
   }
   out->Reset();
@@ -48,6 +53,13 @@ Status PhysicalTableScan::GetChunk(ExecutionContext* context, DataChunk* out) {
 
 std::string PhysicalTableScan::name() const {
   return "SEQ_SCAN(" + table_->name() + ")";
+}
+
+std::unique_ptr<PhysicalOperator> PhysicalTableScan::MorselClone(
+    const ParallelCloneContext& ctx) const {
+  return std::make_unique<PhysicalMorselScan>(ctx.source, ctx.worker, table_,
+                                              column_ids_, EffectiveFilters(),
+                                              types_);
 }
 
 // ---------------------------------------------------------------------------
@@ -89,6 +101,14 @@ std::string PhysicalFilter::name() const {
   return "FILTER(" + predicate_->ToString() + ")";
 }
 
+std::unique_ptr<PhysicalOperator> PhysicalFilter::MorselClone(
+    const ParallelCloneContext& ctx) const {
+  auto child_clone = children_[0]->MorselClone(ctx);
+  if (!child_clone) return nullptr;
+  return std::make_unique<PhysicalFilter>(predicate_->Copy(),
+                                          std::move(child_clone));
+}
+
 // ---------------------------------------------------------------------------
 // PhysicalProjection
 // ---------------------------------------------------------------------------
@@ -125,6 +145,16 @@ std::string PhysicalProjection::name() const {
     result += expressions_[i]->ToString();
   }
   return result + ")";
+}
+
+std::unique_ptr<PhysicalOperator> PhysicalProjection::MorselClone(
+    const ParallelCloneContext& ctx) const {
+  auto child_clone = children_[0]->MorselClone(ctx);
+  if (!child_clone) return nullptr;
+  std::vector<ExprPtr> expressions;
+  for (const auto& e : expressions_) expressions.push_back(e->Copy());
+  return std::make_unique<PhysicalProjection>(std::move(expressions),
+                                              std::move(child_clone));
 }
 
 // ---------------------------------------------------------------------------

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "mallard/expression/expression_executor.h"
+#include "mallard/parallel/morsel.h"
+#include "mallard/parallel/task_scheduler.h"
 
 namespace mallard {
 
@@ -25,8 +27,70 @@ PhysicalUngroupedAggregate::PhysicalUngroupedAggregate(
     std::unique_ptr<PhysicalOperator> child)
     : PhysicalOperator(AggregateTypes({}, aggregates)),
       aggregates_(std::move(aggregates)) {
-  child_chunk_.Initialize(child->types());
   AddChild(std::move(child));
+}
+
+std::vector<ExprPtr> PhysicalUngroupedAggregate::CopyArgExprs() const {
+  std::vector<ExprPtr> exprs;
+  for (const auto& agg : aggregates_) {
+    exprs.push_back(agg.arg ? agg.arg->Copy() : nullptr);
+  }
+  return exprs;
+}
+
+Status PhysicalUngroupedAggregate::AggregateSource(
+    ExecutionContext* context, PhysicalOperator* source,
+    const std::vector<ExprPtr>& arg_exprs, std::vector<AggState>* states) {
+  DataChunk chunk;
+  chunk.Initialize(source->types());
+  std::vector<Vector> arg_vectors;
+  for (const auto& agg : aggregates_) {
+    arg_vectors.emplace_back(agg.arg ? agg.arg->return_type()
+                                     : TypeId::kBigInt);
+  }
+  while (true) {
+    MALLARD_RETURN_NOT_OK(source->GetChunk(context, &chunk));
+    if (chunk.size() == 0) break;
+    for (idx_t a = 0; a < aggregates_.size(); a++) {
+      const Vector* arg = nullptr;
+      if (arg_exprs[a]) {
+        arg_vectors[a].Reset();
+        MALLARD_RETURN_NOT_OK(ExpressionExecutor::Execute(
+            *arg_exprs[a], chunk, &arg_vectors[a]));
+        arg = &arg_vectors[a];
+      }
+      for (idx_t r = 0; r < chunk.size(); r++) {
+        AggregateFunction::Update(aggregates_[a].type, arg, r,
+                                  &(*states)[a]);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status PhysicalUngroupedAggregate::ParallelAggregate(
+    ExecutionContext* context, std::vector<AggState>* states, bool* done) {
+  std::vector<std::vector<ExprPtr>> arg_exprs;
+  std::vector<std::vector<AggState>> partials;
+  MALLARD_RETURN_NOT_OK(parallel::RunMorselPipeline(
+      context, child(0), done,
+      [&](idx_t workers) {
+        partials.assign(workers, std::vector<AggState>(aggregates_.size()));
+        for (idx_t w = 0; w < workers; w++) {
+          arg_exprs.push_back(CopyArgExprs());
+        }
+      },
+      [&](int w, PhysicalOperator* scan) -> Status {
+        return AggregateSource(context, scan, arg_exprs[w], &partials[w]);
+      }));
+  if (!*done) return Status::OK();
+  for (const auto& partial : partials) {
+    for (idx_t a = 0; a < aggregates_.size(); a++) {
+      AggregateFunction::Combine(aggregates_[a].type, partial[a],
+                                 &(*states)[a]);
+    }
+  }
+  return Status::OK();
 }
 
 Status PhysicalUngroupedAggregate::GetChunk(ExecutionContext* context,
@@ -34,26 +98,11 @@ Status PhysicalUngroupedAggregate::GetChunk(ExecutionContext* context,
   out->Reset();
   if (done_) return Status::OK();
   std::vector<AggState> states(aggregates_.size());
-  std::vector<Vector> arg_vectors;
-  for (const auto& agg : aggregates_) {
-    arg_vectors.emplace_back(agg.arg ? agg.arg->return_type()
-                                     : TypeId::kBigInt);
-  }
-  while (true) {
-    MALLARD_RETURN_NOT_OK(child(0)->GetChunk(context, &child_chunk_));
-    if (child_chunk_.size() == 0) break;
-    for (idx_t a = 0; a < aggregates_.size(); a++) {
-      const Vector* arg = nullptr;
-      if (aggregates_[a].arg) {
-        arg_vectors[a].Reset();
-        MALLARD_RETURN_NOT_OK(ExpressionExecutor::Execute(
-            *aggregates_[a].arg, child_chunk_, &arg_vectors[a]));
-        arg = &arg_vectors[a];
-      }
-      for (idx_t r = 0; r < child_chunk_.size(); r++) {
-        AggregateFunction::Update(aggregates_[a].type, arg, r, &states[a]);
-      }
-    }
+  bool parallel_done = false;
+  MALLARD_RETURN_NOT_OK(ParallelAggregate(context, &states, &parallel_done));
+  if (!parallel_done) {
+    MALLARD_RETURN_NOT_OK(
+        AggregateSource(context, child(0), CopyArgExprs(), &states));
   }
   for (idx_t a = 0; a < aggregates_.size(); a++) {
     out->SetValue(a, 0,
@@ -85,49 +134,122 @@ PhysicalHashAggregate::PhysicalHashAggregate(
     : PhysicalOperator(AggregateTypes(groups, aggregates)),
       groups_(std::move(groups)),
       aggregates_(std::move(aggregates)) {
-  child_chunk_.Initialize(child->types());
-  std::vector<TypeId> group_types;
-  for (const auto& g : groups_) group_types.push_back(g->return_type());
-  group_chunk_.Initialize(group_types);
   AddChild(std::move(child));
 }
 
-Status PhysicalHashAggregate::Sink(ExecutionContext* context) {
-  std::vector<TypeId> group_types;
-  for (const auto& g : groups_) group_types.push_back(g->return_type());
-  table_ = std::make_unique<AggregateHashTable>(std::move(group_types),
-                                                aggregates_.size());
-  group_ids_.resize(kVectorSize);
+std::vector<TypeId> PhysicalHashAggregate::GroupTypes() const {
+  std::vector<TypeId> types;
+  for (const auto& g : groups_) types.push_back(g->return_type());
+  return types;
+}
+
+std::vector<ExprPtr> PhysicalHashAggregate::CopyGroupExprs() const {
+  std::vector<ExprPtr> exprs;
+  for (const auto& g : groups_) exprs.push_back(g->Copy());
+  return exprs;
+}
+
+std::vector<ExprPtr> PhysicalHashAggregate::CopyArgExprs() const {
+  std::vector<ExprPtr> exprs;
+  for (const auto& a : aggregates_) {
+    exprs.push_back(a.arg ? a.arg->Copy() : nullptr);
+  }
+  return exprs;
+}
+
+Status PhysicalHashAggregate::SinkSource(
+    ExecutionContext* context, PhysicalOperator* source,
+    const std::vector<ExprPtr>& group_exprs,
+    const std::vector<ExprPtr>& arg_exprs, AggregateHashTable* table) {
+  DataChunk chunk;
+  chunk.Initialize(source->types());
+  DataChunk group_chunk;
+  group_chunk.Initialize(GroupTypes());
+  std::vector<idx_t> group_ids(kVectorSize);
   std::vector<Vector> arg_vectors;
   for (const auto& agg : aggregates_) {
     arg_vectors.emplace_back(agg.arg ? agg.arg->return_type()
                                      : TypeId::kBigInt);
   }
   while (true) {
-    MALLARD_RETURN_NOT_OK(child(0)->GetChunk(context, &child_chunk_));
-    if (child_chunk_.size() == 0) break;
-    idx_t count = child_chunk_.size();
-    group_chunk_.Reset();
-    for (idx_t g = 0; g < groups_.size(); g++) {
+    MALLARD_RETURN_NOT_OK(source->GetChunk(context, &chunk));
+    if (chunk.size() == 0) break;
+    idx_t count = chunk.size();
+    group_chunk.Reset();
+    for (idx_t g = 0; g < group_exprs.size(); g++) {
       MALLARD_RETURN_NOT_OK(ExpressionExecutor::Execute(
-          *groups_[g], child_chunk_, &group_chunk_.column(g)));
+          *group_exprs[g], chunk, &group_chunk.column(g)));
     }
-    group_chunk_.SetCardinality(count);
-    table_->FindOrCreateGroups(group_chunk_, count, group_ids_.data());
+    group_chunk.SetCardinality(count);
+    table->FindOrCreateGroups(group_chunk, count, group_ids.data());
     // Evaluate aggregate arguments once per chunk, then fold each into
     // the per-group states in one typed batch.
     for (idx_t a = 0; a < aggregates_.size(); a++) {
       const Vector* arg = nullptr;
-      if (aggregates_[a].arg) {
+      if (arg_exprs[a]) {
         arg_vectors[a].Reset();
         MALLARD_RETURN_NOT_OK(ExpressionExecutor::Execute(
-            *aggregates_[a].arg, child_chunk_, &arg_vectors[a]));
+            *arg_exprs[a], chunk, &arg_vectors[a]));
         arg = &arg_vectors[a];
       }
-      table_->UpdateStates(aggregates_[a], a, arg, count, group_ids_.data());
+      table->UpdateStates(aggregates_[a], a, arg, count, group_ids.data());
     }
   }
   return Status::OK();
+}
+
+Status PhysicalHashAggregate::ParallelSink(ExecutionContext* context,
+                                           bool* done) {
+  std::vector<TypeId> group_types = GroupTypes();
+  // Per-worker copies of the group and argument expressions, made up
+  // front so workers never evaluate through shared trees.
+  std::vector<std::vector<ExprPtr>> group_exprs;
+  std::vector<std::vector<ExprPtr>> arg_exprs;
+  std::vector<std::unique_ptr<AggregateHashTable>> partials;
+  MALLARD_RETURN_NOT_OK(parallel::RunMorselPipeline(
+      context, child(0), done,
+      [&](idx_t workers) {
+        partials.resize(workers);
+        for (idx_t w = 0; w < workers; w++) {
+          group_exprs.push_back(CopyGroupExprs());
+          arg_exprs.push_back(CopyArgExprs());
+        }
+      },
+      [&](int w, PhysicalOperator* scan) -> Status {
+        auto local = std::make_unique<AggregateHashTable>(group_types,
+                                                          aggregates_.size());
+        MALLARD_RETURN_NOT_OK(SinkSource(context, scan, group_exprs[w],
+                                         arg_exprs[w], local.get()));
+        partials[w] = std::move(local);
+        return Status::OK();
+      }));
+  if (!*done) return Status::OK();
+  // Final merge pass: the first partition becomes the result table and
+  // the rest fold into it (group creation order = partition order;
+  // clamped-away workers leave null slots).
+  for (auto& partial : partials) {
+    if (!partial) continue;
+    if (!table_) {
+      table_ = std::move(partial);
+    } else {
+      table_->Merge(*partial, aggregates_);
+    }
+  }
+  if (!table_) {
+    table_ = std::make_unique<AggregateHashTable>(group_types,
+                                                  aggregates_.size());
+  }
+  return Status::OK();
+}
+
+Status PhysicalHashAggregate::Sink(ExecutionContext* context) {
+  bool parallel_done = false;
+  MALLARD_RETURN_NOT_OK(ParallelSink(context, &parallel_done));
+  if (parallel_done) return Status::OK();
+  table_ = std::make_unique<AggregateHashTable>(GroupTypes(),
+                                                aggregates_.size());
+  return SinkSource(context, child(0), CopyGroupExprs(), CopyArgExprs(),
+                    table_.get());
 }
 
 Status PhysicalHashAggregate::GetChunk(ExecutionContext* context,

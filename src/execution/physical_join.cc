@@ -4,6 +4,8 @@
 
 #include "mallard/expression/expression_executor.h"
 #include "mallard/governor/resource_governor.h"
+#include "mallard/parallel/morsel.h"
+#include "mallard/parallel/task_scheduler.h"
 
 namespace mallard {
 
@@ -73,21 +75,67 @@ Status PhysicalHashJoin::EvaluateKeys(const std::vector<ExprPtr>& exprs,
   return Status::OK();
 }
 
-Status PhysicalHashJoin::Build(ExecutionContext* context) {
-  table_ = std::make_unique<JoinHashTable>(
-      KeyTypes(conditions_, /*left_side=*/false), right_types_);
+Status PhysicalHashJoin::SinkBuildSide(ExecutionContext* context,
+                                       PhysicalOperator* source,
+                                       const std::vector<ExprPtr>& key_exprs,
+                                       JoinHashTable* table) {
   DataChunk build_chunk;
   build_chunk.Initialize(right_types_);
   DataChunk key_chunk;
   key_chunk.Initialize(KeyTypes(conditions_, /*left_side=*/false));
-  std::vector<ExprPtr> right_exprs;
-  for (auto& c : conditions_) right_exprs.push_back(c.right->Copy());
   while (true) {
-    MALLARD_RETURN_NOT_OK(child(1)->GetChunk(context, &build_chunk));
+    MALLARD_RETURN_NOT_OK(source->GetChunk(context, &build_chunk));
     if (build_chunk.size() == 0) break;
-    MALLARD_RETURN_NOT_OK(EvaluateKeys(right_exprs, build_chunk, &key_chunk));
+    MALLARD_RETURN_NOT_OK(EvaluateKeys(key_exprs, build_chunk, &key_chunk));
     MALLARD_RETURN_NOT_OK(
-        table_->Append(context, key_chunk, build_chunk, build_chunk.size()));
+        table->Append(context, key_chunk, build_chunk, build_chunk.size()));
+  }
+  return Status::OK();
+}
+
+Status PhysicalHashJoin::ParallelBuild(ExecutionContext* context,
+                                       bool* done) {
+  std::vector<TypeId> key_types = KeyTypes(conditions_, /*left_side=*/false);
+  // Per-worker expression copies are made up front on the calling
+  // thread; workers then never touch the shared condition trees.
+  std::vector<std::vector<ExprPtr>> exprs;
+  std::vector<std::unique_ptr<JoinHashTable>> partitions;
+  MALLARD_RETURN_NOT_OK(parallel::RunMorselPipeline(
+      context, child(1), done,
+      [&](idx_t workers) {
+        exprs.resize(workers);
+        partitions.resize(workers);
+        for (auto& worker_exprs : exprs) {
+          for (auto& c : conditions_) worker_exprs.push_back(c.right->Copy());
+        }
+      },
+      [&](int w, PhysicalOperator* scan) -> Status {
+        auto partition =
+            std::make_unique<JoinHashTable>(key_types, right_types_);
+        MALLARD_RETURN_NOT_OK(
+            SinkBuildSide(context, scan, exprs[w], partition.get()));
+        partitions[w] = std::move(partition);
+        return Status::OK();
+      }));
+  if (!*done) return Status::OK();
+  for (auto& partition : partitions) {
+    // Clamped-away workers leave a null slot; their morsels were
+    // claimed by the workers that did run.
+    if (partition) table_->MergePartition(std::move(*partition));
+  }
+  return Status::OK();
+}
+
+Status PhysicalHashJoin::Build(ExecutionContext* context) {
+  table_ = std::make_unique<JoinHashTable>(
+      KeyTypes(conditions_, /*left_side=*/false), right_types_);
+  bool built_parallel = false;
+  MALLARD_RETURN_NOT_OK(ParallelBuild(context, &built_parallel));
+  if (!built_parallel) {
+    std::vector<ExprPtr> right_exprs;
+    for (auto& c : conditions_) right_exprs.push_back(c.right->Copy());
+    MALLARD_RETURN_NOT_OK(
+        SinkBuildSide(context, child(1), right_exprs, table_.get()));
   }
   table_->Finalize();
   built_ = true;

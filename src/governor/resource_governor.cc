@@ -16,10 +16,11 @@ uint64_t ResourceGovernor::DbmsMemoryUsed() const {
 }
 
 uint64_t ResourceGovernor::EffectiveMemoryBudget() const {
-  if (!config_.reactive || !monitor_) {
+  AppResourceMonitor* monitor = monitor_.load();
+  if (!reactive_.load() || !monitor) {
     return config_.dbms_memory_limit;
   }
-  uint64_t app = monitor_->AppMemoryBytes();
+  uint64_t app = monitor->AppMemoryBytes();
   uint64_t headroom = config_.total_memory / 8;
   uint64_t available =
       config_.total_memory > app + headroom
@@ -29,10 +30,11 @@ uint64_t ResourceGovernor::EffectiveMemoryBudget() const {
 }
 
 CompressionLevel ResourceGovernor::ChooseCompressionLevel() const {
-  if (!config_.reactive || !monitor_) {
+  AppResourceMonitor* monitor = monitor_.load();
+  if (!reactive_.load() || !monitor) {
     return manual_compression_;
   }
-  uint64_t app = monitor_->AppMemoryBytes();
+  uint64_t app = monitor->AppMemoryBytes();
   uint64_t dbms = DbmsMemoryUsed();
   double pressure =
       static_cast<double>(app + dbms) / static_cast<double>(config_.total_memory);
@@ -50,13 +52,29 @@ JoinAlgorithm ResourceGovernor::ChooseJoinAlgorithm(
   return JoinAlgorithm::kMerge;
 }
 
+int ResourceGovernor::EffectiveThreadBudget() const {
+  int cap = max_threads_.load();
+  if (cap < 1) cap = 1;
+  AppResourceMonitor* monitor = monitor_.load();
+  if (!reactive_.load() || !monitor) return cap;
+  // Scale the cap by the CPU share the application leaves free, rounding
+  // to nearest: an app at 100% CPU squeezes the DBMS down to one worker,
+  // an idle app leaves the full cap.
+  double free_share = 1.0 - monitor->AppCpuUtilization();
+  if (free_share < 0.0) free_share = 0.0;
+  int budget = static_cast<int>(cap * free_share + 0.5);
+  return std::max(1, std::min(cap, budget));
+}
+
 GovernorSample ResourceGovernor::Sample() const {
+  AppResourceMonitor* monitor = monitor_.load();
   GovernorSample s;
-  s.app_memory = monitor_ ? monitor_->AppMemoryBytes() : 0;
+  s.app_memory = monitor ? monitor->AppMemoryBytes() : 0;
   s.dbms_memory = DbmsMemoryUsed();
-  s.app_cpu = monitor_ ? monitor_->AppCpuUtilization() : 0.0;
+  s.app_cpu = monitor ? monitor->AppCpuUtilization() : 0.0;
   s.compression = ChooseCompressionLevel();
   s.effective_budget = EffectiveMemoryBudget();
+  s.thread_budget = EffectiveThreadBudget();
   return s;
 }
 

@@ -29,6 +29,11 @@ class AggregateFunction {
   /// Boxed-value update used by the baseline row engine.
   static void UpdateValue(AggType type, const Value& v, AggState* state);
 
+  /// Folds `src` (a partial aggregate over a disjoint subset of the
+  /// group's rows) into `dst` — the merge step of parallel
+  /// pre-aggregation into thread-local tables.
+  static void Combine(AggType type, const AggState& src, AggState* dst);
+
   /// Produces the aggregate result.
   static Value Finalize(AggType type, TypeId result_type,
                         const AggState& state);

@@ -45,6 +45,13 @@ class AggregateHashTable {
   void UpdateStates(const BoundAggregate& aggregate, idx_t agg_index,
                     const Vector* arg, idx_t count, const idx_t* group_ids);
 
+  /// Folds every group of `other` (a thread-local partial aggregate over
+  /// a disjoint row subset) into this table: unseen keys create new
+  /// groups, existing keys combine states via AggregateFunction::Combine.
+  /// `aggregates` must be the same list both tables were updated with.
+  void Merge(const AggregateHashTable& other,
+             const std::vector<BoundAggregate>& aggregates);
+
   idx_t GroupCount() const { return group_count_; }
   idx_t Capacity() const { return entries_.size(); }
 

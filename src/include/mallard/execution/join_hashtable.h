@@ -49,6 +49,14 @@ class JoinHashTable {
   /// Chains preserve build order (first-built row is first in chain).
   void Finalize();
 
+  /// Steals `other`'s build rows (segments + refs) into this table —
+  /// the merge step of a partitioned parallel build, where each worker
+  /// appends into a private table and the coordinator combines them.
+  /// Both tables must share the same key/payload layout and neither may
+  /// be finalized yet; `other` is left empty. Chains later preserve
+  /// merge order (partition by partition, build order within each).
+  void MergePartition(JoinHashTable&& other);
+
   /// Number of build rows stored (NULL-key rows excluded).
   idx_t Count() const { return refs_.size(); }
   uint64_t BuildBytes() const { return build_bytes_; }

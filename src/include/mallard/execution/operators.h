@@ -33,6 +33,9 @@ class PhysicalTableScan final : public PhysicalOperator {
                     std::vector<LateBoundTableFilter> late_filters = {});
   Status GetChunk(ExecutionContext* context, DataChunk* out) override;
   std::string name() const override;
+  const DataTable* ParallelSourceTable() const override { return table_; }
+  std::unique_ptr<PhysicalOperator> MorselClone(
+      const ParallelCloneContext& ctx) const override;
 
  protected:
   Status ResetOperator() override {
@@ -42,6 +45,11 @@ class PhysicalTableScan final : public PhysicalOperator {
   }
 
  private:
+  /// Plan-time filters plus zone-map filters materialized from the
+  /// currently bound parameter values (late-bound filters with unbound,
+  /// NULL or uncastable values are skipped — pruning stays optional).
+  std::vector<TableFilter> EffectiveFilters() const;
+
   DataTable* table_;
   std::vector<idx_t> column_ids_;
   std::vector<TableFilter> filters_;
@@ -56,6 +64,11 @@ class PhysicalFilter final : public PhysicalOperator {
   PhysicalFilter(ExprPtr predicate, std::unique_ptr<PhysicalOperator> child);
   Status GetChunk(ExecutionContext* context, DataChunk* out) override;
   std::string name() const override;
+  const DataTable* ParallelSourceTable() const override {
+    return children_[0]->ParallelSourceTable();
+  }
+  std::unique_ptr<PhysicalOperator> MorselClone(
+      const ParallelCloneContext& ctx) const override;
 
  private:
   ExprPtr predicate_;
@@ -69,6 +82,11 @@ class PhysicalProjection final : public PhysicalOperator {
                      std::unique_ptr<PhysicalOperator> child);
   Status GetChunk(ExecutionContext* context, DataChunk* out) override;
   std::string name() const override;
+  const DataTable* ParallelSourceTable() const override {
+    return children_[0]->ParallelSourceTable();
+  }
+  std::unique_ptr<PhysicalOperator> MorselClone(
+      const ParallelCloneContext& ctx) const override;
 
  private:
   std::vector<ExprPtr> expressions_;

@@ -26,8 +26,21 @@ class PhysicalUngroupedAggregate final : public PhysicalOperator {
   }
 
  private:
+  /// Thread-local partial states combined with AggregateFunction::Combine;
+  /// sets `*done` when the parallel path ran.
+  Status ParallelAggregate(ExecutionContext* context,
+                           std::vector<AggState>* states, bool* done);
+  /// The accumulation loop shared by the serial path and every parallel
+  /// worker: pull chunks from `source`, evaluate `arg_exprs` (null
+  /// entry = COUNT(*)), fold into `states`. One body keeps serial and
+  /// parallel semantics from diverging.
+  Status AggregateSource(ExecutionContext* context, PhysicalOperator* source,
+                         const std::vector<ExprPtr>& arg_exprs,
+                         std::vector<AggState>* states);
+  /// One nullable Copy of each aggregate's argument expression.
+  std::vector<ExprPtr> CopyArgExprs() const;
+
   std::vector<BoundAggregate> aggregates_;
-  DataChunk child_chunk_;
   bool done_ = false;
 };
 
@@ -57,14 +70,29 @@ class PhysicalHashAggregate final : public PhysicalOperator {
 
  private:
   Status Sink(ExecutionContext* context);
+  /// Morsel-driven pre-aggregation: workers aggregate disjoint morsels
+  /// into thread-local AggregateHashTables, merged into table_ in a
+  /// final single-threaded pass. Sets `*done` when the parallel path
+  /// ran; otherwise the caller runs the serial sink loop.
+  Status ParallelSink(ExecutionContext* context, bool* done);
+  /// The sink loop shared by the serial path (source = child(0), table
+  /// = table_) and every parallel worker (source = its morsel clone,
+  /// table = its thread-local table): pull chunks, evaluate groups,
+  /// FindOrCreateGroups, update states. One body keeps serial and
+  /// parallel semantics from diverging. Argument entries may be null
+  /// (COUNT(*)).
+  Status SinkSource(ExecutionContext* context, PhysicalOperator* source,
+                    const std::vector<ExprPtr>& group_exprs,
+                    const std::vector<ExprPtr>& arg_exprs,
+                    AggregateHashTable* table);
+  std::vector<TypeId> GroupTypes() const;
+  std::vector<ExprPtr> CopyGroupExprs() const;
+  std::vector<ExprPtr> CopyArgExprs() const;
 
   std::vector<ExprPtr> groups_;
   std::vector<BoundAggregate> aggregates_;
-  DataChunk child_chunk_;
-  DataChunk group_chunk_;  // evaluated group expressions
 
   std::unique_ptr<AggregateHashTable> table_;
-  std::vector<idx_t> group_ids_;  // per-chunk scratch
   bool sunk_ = false;
   idx_t output_position_ = 0;
 };

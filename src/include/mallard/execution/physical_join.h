@@ -61,8 +61,22 @@ class PhysicalHashJoin final : public PhysicalOperator {
 
  private:
   Status Build(ExecutionContext* context);
-  Status EvaluateKeys(const std::vector<ExprPtr>& exprs,
-                      const DataChunk& input, DataChunk* keys);
+  /// Morsel-driven partitioned build: workers scan disjoint row-group
+  /// morsels of the build side into private JoinHashTable partitions,
+  /// which are then merged into table_ (still un-finalized). Sets
+  /// `*done` when the parallel path ran; otherwise the caller falls
+  /// back to the serial pull loop.
+  Status ParallelBuild(ExecutionContext* context, bool* done);
+  /// The build-side sink loop shared by the serial path (source =
+  /// child(1), table = table_) and every parallel worker (source = its
+  /// morsel clone, table = its partition): pull chunks, evaluate keys,
+  /// append. Keeping one body keeps serial and parallel semantics from
+  /// diverging.
+  Status SinkBuildSide(ExecutionContext* context, PhysicalOperator* source,
+                       const std::vector<ExprPtr>& key_exprs,
+                       JoinHashTable* table);
+  static Status EvaluateKeys(const std::vector<ExprPtr>& exprs,
+                             const DataChunk& input, DataChunk* keys);
   /// Gathers up to `capacity` output rows from the current probe chunk
   /// into (probe row, build ref) pairs; build ref kNullRef marks a
   /// NULL-padded left-join row. Resumes mid-chain across calls.

@@ -13,12 +13,31 @@ namespace mallard {
 class Transaction;
 class BufferManager;
 class ResourceGovernor;
+class TaskScheduler;
+class TableMorselSource;
+class DataTable;
 
-/// Per-query execution state threaded through the operator tree.
+/// Per-query execution state threaded through the operator tree. The
+/// struct is read-only while a query runs, so one instance is safely
+/// shared by every worker of a parallel pipeline.
 struct ExecutionContext {
   Transaction* txn = nullptr;
   BufferManager* buffers = nullptr;
   ResourceGovernor* governor = nullptr;
+  /// Worker pool for morsel-driven parallel sinks; null = serial only
+  /// (contexts built outside Connection, e.g. unit tests, stay serial
+  /// unless they opt in).
+  TaskScheduler* scheduler = nullptr;
+  /// Per-connection PRAGMA threads override; 0 = use the governor's
+  /// (possibly reactive) thread budget.
+  int thread_limit = 0;
+};
+
+/// Inputs for cloning a subtree into one worker's copy of a parallel
+/// pipeline (see PhysicalOperator::MorselClone).
+struct ParallelCloneContext {
+  std::shared_ptr<TableMorselSource> source;
+  int worker = 0;
 };
 
 /// Base class of the "Vector Volcano" pull-based execution model (paper
@@ -53,6 +72,24 @@ class PhysicalOperator {
   }
 
   virtual std::string name() const = 0;
+
+  /// The table a morsel-driven parallel pipeline over this subtree would
+  /// scan, or null when the subtree has no parallel implementation.
+  /// Streaming per-chunk operators (filter, projection) delegate to
+  /// their child; everything else defaults to "not parallelizable".
+  virtual const DataTable* ParallelSourceTable() const { return nullptr; }
+
+  /// Clones this subtree for one worker of a parallel pipeline: the leaf
+  /// table scan becomes a PhysicalMorselScan pulling from ctx.source,
+  /// and every operator above it gets private chunk/expression state so
+  /// workers never share mutable data. Returns null when the subtree (or
+  /// any operator in it) has no parallel implementation — the sink then
+  /// falls back to the serial pull loop.
+  virtual std::unique_ptr<PhysicalOperator> MorselClone(
+      const ParallelCloneContext& ctx) const {
+    (void)ctx;
+    return nullptr;
+  }
 
   std::vector<std::unique_ptr<PhysicalOperator>>& children() {
     return children_;

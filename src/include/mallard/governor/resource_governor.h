@@ -61,6 +61,9 @@ struct GovernorSample {
   double app_cpu;
   CompressionLevel compression;
   uint64_t effective_budget;
+  /// Worker threads a parallel operator launched now would be allowed
+  /// (reactive mode shrinks this under host-application CPU pressure).
+  int thread_budget;
 };
 
 /// Resource governor: implements both the manual caps and the reactive
@@ -69,15 +72,31 @@ struct GovernorSample {
 class ResourceGovernor {
  public:
   explicit ResourceGovernor(const GovernorConfig& config)
-      : config_(config) {}
+      : config_(config),
+        max_threads_(config.max_threads),
+        reactive_(config.reactive) {}
 
-  void SetMonitor(AppResourceMonitor* monitor) { monitor_ = monitor; }
+  /// Monitor, reactive flag and thread cap are atomic: PRAGMAs on one
+  /// connection may flip them while another connection's parallel
+  /// workers read them at morsel boundaries.
+  void SetMonitor(AppResourceMonitor* monitor) { monitor_.store(monitor); }
   void SetBufferManager(BufferManager* buffers) { buffers_ = buffers; }
+  /// Initial configuration (runtime state lives in the atomics below).
   const GovernorConfig& config() const { return config_; }
-  void SetReactive(bool reactive) { config_.reactive = reactive; }
+  void SetReactive(bool reactive) { reactive_.store(reactive); }
+  bool reactive() const { return reactive_.load(); }
   void SetMemoryLimit(uint64_t bytes);
-  void SetThreads(int threads) { config_.max_threads = threads; }
-  int max_threads() const { return config_.max_threads; }
+  /// Thread cap is atomic: parallel operators re-read it at morsel
+  /// boundaries while another thread may be adjusting it.
+  void SetThreads(int threads) { max_threads_.store(threads); }
+  int max_threads() const { return max_threads_.load(); }
+
+  /// Worker threads a parallel pipeline may use right now. Manual mode:
+  /// the configured cap. Reactive mode: the cap scaled by the CPU share
+  /// the host application leaves free (never below 1 — the query always
+  /// makes progress). Morsel sources consult this between morsels, so a
+  /// running query sheds workers when the application gets busy.
+  int EffectiveThreadBudget() const;
 
   /// Memory the DBMS should currently use for query intermediates.
   /// Manual mode: the configured cap. Reactive mode: what is left of the
@@ -106,7 +125,9 @@ class ResourceGovernor {
   uint64_t DbmsMemoryUsed() const;
 
   GovernorConfig config_;
-  AppResourceMonitor* monitor_ = nullptr;
+  std::atomic<int> max_threads_;
+  std::atomic<bool> reactive_;
+  std::atomic<AppResourceMonitor*> monitor_{nullptr};
   BufferManager* buffers_ = nullptr;
   CompressionLevel manual_compression_ = CompressionLevel::kNone;
 };

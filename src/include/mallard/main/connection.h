@@ -59,6 +59,11 @@ class Connection {
   /// Number of entries currently in the plan cache (tests/benches).
   idx_t PlanCacheSize() const { return plan_cache_.size(); }
 
+  /// This connection's `PRAGMA threads` override for parallel operators
+  /// (0 = follow the governor's budget). Other connections on the same
+  /// Database are unaffected.
+  int ThreadOverride() const { return thread_override_; }
+
   /// Executes a single SELECT and streams chunks as they are produced —
   /// the client application becomes the root of the plan (paper
   /// section 5).
@@ -130,6 +135,8 @@ class Connection {
 
   Database* db_;
   std::unique_ptr<Transaction> transaction_;  // explicit transaction
+  // Per-connection PRAGMA threads override; 0 = governor budget.
+  int thread_override_ = 0;
 
   // Transparent per-connection plan cache for Connection::Query,
   // keyed by exact SQL text (LRU, bounded).

@@ -18,6 +18,7 @@
 #include "mallard/common/result.h"
 #include "mallard/governor/resource_governor.h"
 #include "mallard/main/config.h"
+#include "mallard/parallel/task_scheduler.h"
 #include "mallard/storage/block_manager.h"
 #include "mallard/storage/buffer_manager.h"
 #include "mallard/storage/wal.h"
@@ -58,6 +59,12 @@ class Database {
   BlockManager* blocks() { return blocks_.get(); }
   WriteAheadLog* wal() { return wal_.get(); }
 
+  /// The morsel-driven scheduler. The object exists from Open (it is a
+  /// queue + empty pool, no lock needed to reach it); worker threads
+  /// spawn lazily on the first parallel pipeline run — see
+  /// docs/CONCURRENCY.md. Thread-safe.
+  TaskScheduler& scheduler() { return *scheduler_; }
+
   /// Writes a checkpoint and truncates the WAL. Fails with a transaction
   /// context error while transactions are active.
   Status Checkpoint();
@@ -76,6 +83,9 @@ class Database {
   std::unique_ptr<BlockManager> blocks_;
   std::unique_ptr<WriteAheadLog> wal_;
   std::mutex checkpoint_lock_;
+  // Declared last: destroyed first, so pool threads are gone before any
+  // engine state they might reference.
+  std::unique_ptr<TaskScheduler> scheduler_;
 };
 
 }  // namespace mallard

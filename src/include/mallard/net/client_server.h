@@ -1,6 +1,7 @@
 #ifndef MALLARD_NET_CLIENT_SERVER_H_
 #define MALLARD_NET_CLIENT_SERVER_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <thread>
@@ -36,7 +37,7 @@ class QueryServer {
   int client_fd() const { return client_fd_; }
 
   /// Bytes written to the socket since start (transfer volume metric).
-  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t bytes_sent() const { return bytes_sent_.load(); }
 
  private:
   QueryServer(Database* db, Protocol protocol, int server_fd, int client_fd);
@@ -49,7 +50,8 @@ class QueryServer {
   int server_fd_;
   int client_fd_;
   std::thread thread_;
-  uint64_t bytes_sent_ = 0;
+  // Written by the server thread, read by the benchmarking thread.
+  std::atomic<uint64_t> bytes_sent_{0};
 };
 
 /// Client side: sends SQL, deserializes the response into a materialized

@@ -1,0 +1,131 @@
+/**
+ * @file morsel.h
+ * @brief Morsel-driven parallel table scans (Leis et al., SIGMOD 2014).
+ *
+ * A morsel is one row group (kRowGroupSize rows) of a DataTable. A
+ * TableMorselSource hands out morsels to workers on demand, so fast
+ * workers automatically take more of the table (work stealing by
+ * construction) and the governor's reactive thread budget is re-checked
+ * at every morsel boundary — a worker whose index no longer fits the
+ * budget simply stops asking and exits.
+ */
+#ifndef MALLARD_PARALLEL_MORSEL_H_
+#define MALLARD_PARALLEL_MORSEL_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mallard/execution/physical_operator.h"
+#include "mallard/storage/table/data_table.h"
+
+namespace mallard {
+
+class ResourceGovernor;
+
+/// Hands out row-group morsels of one table scan to a set of workers.
+/// Shared by every per-worker PhysicalMorselScan clone of the scan.
+class TableMorselSource {
+ public:
+  /// `row_group_count` is a snapshot taken when the pipeline launches;
+  /// row groups appended later hold rows that are invisible to the
+  /// running transaction's snapshot anyway. `thread_limit` > 0 (the
+  /// connection's PRAGMA threads override) pins the budget; otherwise
+  /// the governor's reactive budget is consulted live.
+  TableMorselSource(idx_t row_group_count, const ResourceGovernor* governor,
+                    int thread_limit);
+
+  /// Claims the next morsel for `worker`. Returns false when the table
+  /// is exhausted — or, for workers other than 0, when the thread
+  /// budget has dropped to `worker` or below (the drain point of
+  /// reactive governing; worker 0 never drains, so the query always
+  /// makes progress).
+  bool Next(int worker, idx_t* row_group);
+
+  idx_t row_group_count() const { return row_group_count_; }
+
+  /// Thread budget at this instant (PRAGMA override or governor).
+  int EffectiveBudget() const;
+
+  /// Morsels handed to `worker` so far (tests observe draining).
+  idx_t MorselsClaimed(int worker) const {
+    return claimed_[worker < kMaxWorkers ? worker : 0].load();
+  }
+
+  static constexpr int kMaxWorkers = 64;
+
+ private:
+  std::atomic<idx_t> next_{0};
+  idx_t row_group_count_;
+  const ResourceGovernor* governor_;
+  int thread_limit_;
+  std::atomic<idx_t> claimed_[kMaxWorkers] = {};
+};
+
+/// Per-worker leaf of a parallel pipeline: scans whatever morsels the
+/// shared source hands it, with the same projection/filter behavior as
+/// the PhysicalTableScan it was cloned from.
+class PhysicalMorselScan final : public PhysicalOperator {
+ public:
+  PhysicalMorselScan(std::shared_ptr<TableMorselSource> source, int worker,
+                     const DataTable* table, std::vector<idx_t> column_ids,
+                     std::vector<TableFilter> filters,
+                     std::vector<TypeId> types);
+  Status GetChunk(ExecutionContext* context, DataChunk* out) override;
+  std::string name() const override;
+
+ private:
+  std::shared_ptr<TableMorselSource> source_;
+  int worker_;
+  const DataTable* table_;
+  std::vector<idx_t> column_ids_;
+  std::vector<TableFilter> filters_;
+  TableScanState state_;
+  bool morsel_active_ = false;
+};
+
+namespace parallel {
+
+/// A planned parallel scan of the table under `subtree`: how many
+/// workers to launch and the morsel source they share. `threads == 1`
+/// (and a null source) means the subtree has no parallel implementation,
+/// no scheduler is attached, or the table is too small to split.
+struct ParallelRun {
+  int threads = 1;
+  std::shared_ptr<TableMorselSource> source;
+};
+
+/// Decides the degree of parallelism for sinking `subtree`: the
+/// connection's PRAGMA threads override or the governor's effective
+/// budget, clamped to the number of row-group morsels the leaf table
+/// offers and to TableMorselSource::kMaxWorkers.
+ParallelRun PlanParallelScan(ExecutionContext* context,
+                             const PhysicalOperator* subtree);
+
+/// Builds one per-worker clone of `subtree` per planned thread, each
+/// pulling from run.source. Returns an empty vector if any operator in
+/// the subtree refuses to clone (caller falls back to serial).
+std::vector<std::unique_ptr<PhysicalOperator>> CloneWorkers(
+    const ParallelRun& run, const PhysicalOperator* subtree);
+
+/// The shared launch protocol of every parallel sink: plan the scan,
+/// clone the subtree per worker, and run `worker(w, clone_w)` on the
+/// scheduler (width pinned when the connection's PRAGMA threads
+/// override is set, governed otherwise). `prepare(workers)` runs once
+/// on the calling thread before fan-out — size per-worker state and
+/// copy expressions there. Sets `*ran` = false (without calling
+/// anything) when the subtree stays serial; the caller then runs its
+/// serial loop. Workers the scheduler clamps away below the planned
+/// width simply never run — their morsels are claimed by the others,
+/// so per-worker results must tolerate untouched slots.
+Status RunMorselPipeline(
+    ExecutionContext* context, const PhysicalOperator* subtree, bool* ran,
+    const std::function<void(idx_t workers)>& prepare,
+    const std::function<Status(int worker, PhysicalOperator* scan)>& worker);
+
+}  // namespace parallel
+
+}  // namespace mallard
+
+#endif  // MALLARD_PARALLEL_MORSEL_H_

@@ -1,0 +1,84 @@
+/**
+ * @file task_scheduler.h
+ * @brief TaskScheduler: the per-Database worker pool behind morsel-driven
+ *        parallel execution.
+ *
+ * Sizing: the pool never holds more worker threads than the governor's
+ * thread cap demanded so far, and threads are spawned lazily on the first
+ * parallel Run — a Database that only ever runs serial queries never
+ * creates a single thread (the embedded engine stays invisible to hosts
+ * that don't need parallelism).
+ * Thread safety: Run may be called concurrently from multiple
+ * connections; jobs share one queue and one pool.
+ */
+#ifndef MALLARD_PARALLEL_TASK_SCHEDULER_H_
+#define MALLARD_PARALLEL_TASK_SCHEDULER_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "mallard/common/status.h"
+
+namespace mallard {
+
+class ResourceGovernor;
+
+/// Fork-join scheduler for morsel-driven pipelines. A parallel operator
+/// calls Run(n, task); the calling thread becomes worker 0 and up to
+/// n-1 pool threads run the same task with distinct worker indexes. The
+/// task typically loops pulling morsels from a shared TableMorselSource
+/// until it is exhausted (or the source drains the worker because the
+/// governor's thread budget dropped — see morsel.h).
+class TaskScheduler {
+ public:
+  /// `governor` (may be null in tests) caps every Run at its current
+  /// EffectiveThreadBudget.
+  explicit TaskScheduler(ResourceGovernor* governor);
+  ~TaskScheduler();
+
+  TaskScheduler(const TaskScheduler&) = delete;
+  TaskScheduler& operator=(const TaskScheduler&) = delete;
+
+  /// Runs `task(worker)` for worker in [0, n), blocking until every
+  /// worker returns; n = min(requested_threads, governor budget at
+  /// launch) when `governed`, or exactly requested_threads when the
+  /// caller pinned the width (PRAGMA threads override). Worker 0 runs
+  /// on the calling thread, so Run(1, task) degenerates to a plain call
+  /// with no synchronization. Returns the first non-OK status any
+  /// worker produced.
+  ///
+  /// Tasks must not call Run themselves (no nested parallelism): a task
+  /// blocking in an inner Run could deadlock the pool.
+  Status Run(int requested_threads, const std::function<Status(int)>& task,
+             bool governed = true);
+
+  /// Worker threads currently alive in the pool (tests/introspection).
+  int pool_size() const;
+
+ private:
+  struct RunState {
+    std::mutex mutex;
+    std::condition_variable done;
+    int remaining = 0;
+    Status first_error;
+  };
+
+  /// Grows the pool to at least `count` threads. Caller holds mutex_.
+  void EnsureWorkers(int count);
+  void WorkerLoop();
+
+  ResourceGovernor* governor_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+};
+
+}  // namespace mallard
+
+#endif  // MALLARD_PARALLEL_TASK_SCHEDULER_H_

@@ -23,6 +23,10 @@ struct TableScanState {
   idx_t row_group_index = 0;
   idx_t offset = 0;             // within the current row group
   bool zonemap_checked = false;  // for the current row group
+  /// Exclusive upper bound on row groups this cursor may visit; the
+  /// default (kInvalidIndex) scans to the end of the table. Morsel
+  /// scans bound it to a single row group.
+  idx_t max_row_group = kInvalidIndex;
 };
 
 /// The physical storage of one table: an ordered list of row groups.
@@ -65,6 +69,8 @@ class DataTable {
   idx_t VisibleRowCount(const Transaction& txn) const;
   /// Fast upper bound of the physical row count (planner statistics).
   idx_t ApproxRowCount() const;
+  /// Current number of row groups — the morsel count of a parallel scan.
+  idx_t RowGroupCount() const;
 
   /// Garbage-collects undo chains across all row groups.
   void CleanupUpdates(uint64_t lowest_active_start);

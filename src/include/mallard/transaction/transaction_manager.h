@@ -53,6 +53,7 @@ class TransactionManager {
  private:
   Status CommitInternal(Transaction* txn, bool write_wal);
   void StampCommitted(Transaction* txn, uint64_t commit_id);
+  void UndoAll(Transaction* txn);
   void RemoveActive(Transaction* txn);
 
   mutable std::mutex mutex_;

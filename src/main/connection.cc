@@ -1,8 +1,12 @@
 #include "mallard/main/connection.h"
 
+#include <cerrno>
+#include <cstdlib>
+
 #include "mallard/common/string_util.h"
 #include "mallard/etl/csv.h"
 #include "mallard/main/prepared_statement.h"
+#include "mallard/parallel/morsel.h"
 #include "mallard/parser/parser.h"
 #include "mallard/planner/planner.h"
 
@@ -149,6 +153,8 @@ Connection::ExecutePhysicalPlan(PhysicalOperator* plan,
   context.txn = txn;
   context.buffers = &db_->buffers();
   context.governor = &db_->governor();
+  context.scheduler = &db_->scheduler();
+  context.thread_limit = thread_override_;
   std::vector<std::unique_ptr<DataChunk>> chunks;
   Status status = Status::OK();
   while (true) {
@@ -232,6 +238,8 @@ Result<std::unique_ptr<MaterializedQueryResult>> Connection::ExecuteStatement(
         context.txn = txn;
         context.buffers = &db_->buffers();
         context.governor = &db_->governor();
+        context.scheduler = &db_->scheduler();
+        context.thread_limit = thread_override_;
         DataChunk chunk;
         chunk.Initialize(sub.types);
         int64_t inserted = 0;
@@ -385,10 +393,22 @@ Status Connection::ExecutePragma(const PragmaStatement& stmt) {
     return Status::OK();
   }
   if (name == "threads") {
-    int threads = static_cast<int>(std::strtol(stmt.value.c_str(), nullptr,
-                                               10));
-    if (threads < 1) return Status::InvalidArgument("threads must be >= 1");
-    db_->governor().SetThreads(threads);
+    char* end = nullptr;
+    errno = 0;
+    long threads = std::strtol(stmt.value.c_str(), &end, 10);
+    // Full-string parse, no overflow, bounded: anything beyond the
+    // morsel source's worker ceiling is meaningless as a pin.
+    if (end == stmt.value.c_str() || *end != '\0' || errno == ERANGE ||
+        threads < 0 || threads > TableMorselSource::kMaxWorkers) {
+      return Status::InvalidArgument(
+          "threads must be 1.." +
+          std::to_string(TableMorselSource::kMaxWorkers) +
+          ", or 0 to follow the governor's budget");
+    }
+    // Per-connection override: this connection's parallel pipelines use
+    // exactly `threads` workers; other connections keep following the
+    // governor's (possibly reactive) budget. 0 clears the override.
+    thread_override_ = static_cast<int>(threads);
     return Status::OK();
   }
   if (name == "reactive") {
@@ -507,6 +527,8 @@ Result<std::unique_ptr<DataChunk>> StreamingQueryResult::Fetch() {
                                   : connection_->transaction_.get();
   context.buffers = &connection_->db_->buffers();
   context.governor = &connection_->db_->governor();
+  context.scheduler = &connection_->db_->scheduler();
+  context.thread_limit = connection_->thread_override_;
   auto chunk = std::make_unique<DataChunk>();
   chunk->Initialize(types_);
   MALLARD_RETURN_NOT_OK(plan_->GetChunk(&context, chunk.get()));

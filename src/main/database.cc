@@ -1,5 +1,8 @@
 #include "mallard/main/database.h"
 
+#include <algorithm>
+#include <thread>
+
 #include "mallard/storage/checkpoint.h"
 
 namespace mallard {
@@ -22,10 +25,16 @@ Status Database::Initialize(const std::string& path) {
   GovernorConfig gc;
   gc.total_memory = config_.total_memory;
   gc.dbms_memory_limit = config_.memory_limit;
-  gc.max_threads = config_.threads;
+  // threads <= 0 = auto-detect: exactly as parallel as the hardware.
+  gc.max_threads =
+      config_.threads > 0
+          ? config_.threads
+          : std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
   gc.reactive = config_.reactive;
   governor_ = std::make_unique<ResourceGovernor>(gc);
   governor_->SetBufferManager(buffers_.get());
+  // Thread-less until the first parallel Run spawns workers.
+  scheduler_ = std::make_unique<TaskScheduler>(governor_.get());
 
   if (persistent) {
     bool created = false;

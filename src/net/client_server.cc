@@ -13,7 +13,7 @@ namespace net {
 namespace {
 // Message framing: [u32 length][payload].
 Status WriteFrame(int fd, const void* data, uint32_t len,
-                  uint64_t* bytes_counter) {
+                  std::atomic<uint64_t>* bytes_counter) {
   uint32_t header = len;
   const uint8_t* parts[2] = {reinterpret_cast<const uint8_t*>(&header),
                              static_cast<const uint8_t*>(data)};
@@ -26,7 +26,7 @@ Status WriteFrame(int fd, const void* data, uint32_t len,
       done += static_cast<size_t>(n);
     }
   }
-  if (bytes_counter) *bytes_counter += sizeof(header) + len;
+  if (bytes_counter) bytes_counter->fetch_add(sizeof(header) + len);
   return Status::OK();
 }
 

@@ -1,0 +1,124 @@
+#include "mallard/parallel/morsel.h"
+
+#include <algorithm>
+
+#include "mallard/governor/resource_governor.h"
+#include "mallard/parallel/task_scheduler.h"
+
+namespace mallard {
+
+TableMorselSource::TableMorselSource(idx_t row_group_count,
+                                     const ResourceGovernor* governor,
+                                     int thread_limit)
+    : row_group_count_(row_group_count),
+      governor_(governor),
+      thread_limit_(thread_limit) {}
+
+int TableMorselSource::EffectiveBudget() const {
+  if (thread_limit_ > 0) return thread_limit_;
+  if (governor_) return governor_->EffectiveThreadBudget();
+  return 1;
+}
+
+bool TableMorselSource::Next(int worker, idx_t* row_group) {
+  // The drain point of reactive governing: budgets are only re-read
+  // between morsels, so a budget cut never interrupts in-flight work —
+  // it just stops surplus workers from claiming more.
+  if (worker > 0 && worker >= EffectiveBudget()) return false;
+  idx_t g = next_.fetch_add(1);
+  if (g >= row_group_count_) return false;
+  claimed_[worker < kMaxWorkers ? worker : 0].fetch_add(1);
+  *row_group = g;
+  return true;
+}
+
+PhysicalMorselScan::PhysicalMorselScan(
+    std::shared_ptr<TableMorselSource> source, int worker,
+    const DataTable* table, std::vector<idx_t> column_ids,
+    std::vector<TableFilter> filters, std::vector<TypeId> types)
+    : PhysicalOperator(std::move(types)),
+      source_(std::move(source)),
+      worker_(worker),
+      table_(table),
+      column_ids_(std::move(column_ids)),
+      filters_(std::move(filters)) {}
+
+Status PhysicalMorselScan::GetChunk(ExecutionContext* context,
+                                    DataChunk* out) {
+  out->Reset();
+  while (true) {
+    if (!morsel_active_) {
+      idx_t row_group;
+      if (!source_->Next(worker_, &row_group)) return Status::OK();
+      state_ = TableScanState{};
+      state_.column_ids = column_ids_;
+      state_.filters = filters_;
+      state_.row_group_index = row_group;
+      state_.max_row_group = row_group + 1;
+      morsel_active_ = true;
+    }
+    if (table_->Scan(*context->txn, &state_, out)) return Status::OK();
+    morsel_active_ = false;  // morsel exhausted; claim the next one
+  }
+}
+
+std::string PhysicalMorselScan::name() const {
+  return "MORSEL_SCAN(" + table_->name() + ", worker " +
+         std::to_string(worker_) + ")";
+}
+
+namespace parallel {
+
+ParallelRun PlanParallelScan(ExecutionContext* context,
+                             const PhysicalOperator* subtree) {
+  ParallelRun run;
+  if (!context || !context->scheduler || !context->governor) return run;
+  const DataTable* table = subtree->ParallelSourceTable();
+  if (!table) return run;
+  int budget = context->thread_limit > 0
+                   ? context->thread_limit
+                   : context->governor->EffectiveThreadBudget();
+  idx_t groups = table->RowGroupCount();
+  int threads = std::min<int>(budget, TableMorselSource::kMaxWorkers);
+  threads = static_cast<int>(
+      std::min<idx_t>(static_cast<idx_t>(std::max(threads, 1)), groups));
+  if (threads <= 1) return run;
+  run.threads = threads;
+  run.source = std::make_shared<TableMorselSource>(groups, context->governor,
+                                                   context->thread_limit);
+  return run;
+}
+
+std::vector<std::unique_ptr<PhysicalOperator>> CloneWorkers(
+    const ParallelRun& run, const PhysicalOperator* subtree) {
+  std::vector<std::unique_ptr<PhysicalOperator>> clones;
+  for (int w = 0; w < run.threads; w++) {
+    ParallelCloneContext ctx{run.source, w};
+    auto clone = subtree->MorselClone(ctx);
+    if (!clone) return {};
+    clones.push_back(std::move(clone));
+  }
+  return clones;
+}
+
+Status RunMorselPipeline(
+    ExecutionContext* context, const PhysicalOperator* subtree, bool* ran,
+    const std::function<void(idx_t workers)>& prepare,
+    const std::function<Status(int worker, PhysicalOperator* scan)>& worker) {
+  *ran = false;
+  ParallelRun run = PlanParallelScan(context, subtree);
+  if (run.threads <= 1) return Status::OK();
+  auto clones = CloneWorkers(run, subtree);
+  if (clones.empty()) return Status::OK();
+  prepare(clones.size());
+  auto task = [&](int w) -> Status { return worker(w, clones[w].get()); };
+  MALLARD_RETURN_NOT_OK(
+      context->scheduler->Run(static_cast<int>(clones.size()), task,
+                              /*governed=*/context->thread_limit == 0));
+  *ran = true;
+  return Status::OK();
+}
+
+}  // namespace parallel
+
+}  // namespace mallard

@@ -1,0 +1,103 @@
+#include "mallard/parallel/task_scheduler.h"
+
+#include <algorithm>
+
+#include "mallard/governor/resource_governor.h"
+
+namespace mallard {
+
+TaskScheduler::TaskScheduler(ResourceGovernor* governor)
+    : governor_(governor) {}
+
+TaskScheduler::~TaskScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+int TaskScheduler::pool_size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(workers_.size());
+}
+
+void TaskScheduler::EnsureWorkers(int count) {
+  while (static_cast<int>(workers_.size()) < count) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void TaskScheduler::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_available_.wait(lock,
+                         [this] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (shutdown_) return;
+      continue;
+    }
+    auto job = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    job();
+    lock.lock();
+  }
+}
+
+namespace {
+
+// No exception may escape into the fork-join machinery (or, on the
+// degenerate single-thread path, past it): every task invocation runs
+// behind the same Status conversion.
+Status RunGuarded(const std::function<Status(int)>& task, int worker) {
+  try {
+    return task(worker);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("parallel task threw: ") + e.what());
+  } catch (...) {
+    return Status::Internal("parallel task threw");
+  }
+}
+
+}  // namespace
+
+Status TaskScheduler::Run(int requested_threads,
+                          const std::function<Status(int)>& task,
+                          bool governed) {
+  int threads = requested_threads;
+  if (governed && governor_) {
+    threads = std::min(threads, governor_->EffectiveThreadBudget());
+  }
+  if (threads <= 1) return RunGuarded(task, 0);
+
+  auto state = std::make_shared<RunState>();
+  state->remaining = threads - 1;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    EnsureWorkers(threads - 1);
+    for (int w = 1; w < threads; w++) {
+      // `task` outlives the job: Run blocks below until remaining == 0.
+      queue_.push_back([state, task_ptr = &task, w] {
+        Status status = RunGuarded(*task_ptr, w);
+        std::lock_guard<std::mutex> guard(state->mutex);
+        if (!status.ok() && state->first_error.ok()) {
+          state->first_error = status;
+        }
+        if (--state->remaining == 0) state->done.notify_all();
+      });
+    }
+  }
+  work_available_.notify_all();
+
+  Status local = RunGuarded(task, 0);
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done.wait(lock, [&] { return state->remaining == 0; });
+  if (!local.ok()) return local;
+  return state->first_error;
+}
+
+}  // namespace mallard

@@ -36,7 +36,14 @@ Status DataTable::Append(Transaction* txn, const DataChunk& chunk) {
       std::shared_lock<std::shared_mutex> guard(row_groups_lock_);
       if (!row_groups_.empty()) last = row_groups_.back().get();
     }
-    if (!last || last->count() == last->Capacity()) {
+    bool full = false;
+    if (last) {
+      // count() is written under the row group's unique lock (another
+      // transaction's RevertAppend can shrink it concurrently).
+      std::shared_lock<std::shared_mutex> rg_guard(last->lock());
+      full = last->count() == last->Capacity();
+    }
+    if (!last || full) {
       std::unique_lock<std::shared_mutex> guard(row_groups_lock_);
       row_groups_.push_back(std::make_unique<RowGroup>(
           row_groups_.size() * kRowGroupSize, types_));
@@ -66,7 +73,10 @@ bool DataTable::Scan(const Transaction& txn, TableScanState* state,
     RowGroup* rg = nullptr;
     {
       std::shared_lock<std::shared_mutex> guard(row_groups_lock_);
-      if (state->row_group_index >= row_groups_.size()) return false;
+      if (state->row_group_index >=
+          std::min<idx_t>(row_groups_.size(), state->max_row_group)) {
+        return false;
+      }
       rg = row_groups_[state->row_group_index].get();
     }
     std::shared_lock<std::shared_mutex> rg_guard(rg->lock());
@@ -207,8 +217,18 @@ idx_t DataTable::VisibleRowCount(const Transaction& txn) const {
 idx_t DataTable::ApproxRowCount() const {
   std::shared_lock<std::shared_mutex> guard(row_groups_lock_);
   idx_t total = 0;
-  for (const auto& rg : row_groups_) total += rg->count();
+  for (const auto& rg : row_groups_) {
+    // Per-row-group shared lock: concurrent appenders write count()
+    // under the unique lock (the planner may run while DML commits).
+    std::shared_lock<std::shared_mutex> rg_guard(rg->lock());
+    total += rg->count();
+  }
   return total;
+}
+
+idx_t DataTable::RowGroupCount() const {
+  std::shared_lock<std::shared_mutex> guard(row_groups_lock_);
+  return row_groups_.size();
 }
 
 void DataTable::CleanupUpdates(uint64_t lowest_active_start) {
@@ -247,7 +267,10 @@ Status DataTable::DeserializeData(BinaryReader* reader) {
 idx_t DataTable::MemoryUsage() const {
   std::shared_lock<std::shared_mutex> guard(row_groups_lock_);
   idx_t total = 0;
-  for (const auto& rg : row_groups_) total += rg->MemoryUsage();
+  for (const auto& rg : row_groups_) {
+    std::shared_lock<std::shared_mutex> rg_guard(rg->lock());
+    total += rg->MemoryUsage();
+  }
   return total;
 }
 

@@ -17,6 +17,8 @@ std::unique_ptr<Transaction> TransactionManager::Begin() {
 
 void TransactionManager::StampCommitted(Transaction* txn,
                                         uint64_t commit_id) {
+  // CommitAppend/CommitDelete take the row group's unique lock
+  // internally; the direct UpdateInfo write needs it taken here.
   for (const auto& entry : txn->appends()) {
     entry.row_group->CommitAppend(commit_id, entry.start, entry.count);
   }
@@ -42,16 +44,7 @@ Status TransactionManager::CommitInternal(Transaction* txn, bool write_wal) {
     if (!wal_status.ok()) {
       // Durability cannot be guaranteed: abort instead of committing.
       // (Rollback without re-acquiring the manager lock.)
-      for (auto it = txn->updates().rbegin(); it != txn->updates().rend();
-           ++it) {
-        it->row_group->RollbackUpdate(it->column_index, it->info);
-      }
-      for (const auto& entry : txn->deletes()) {
-        entry.row_group->RevertDelete(entry.rows);
-      }
-      for (const auto& entry : txn->appends()) {
-        entry.row_group->RevertAppend(entry.start, entry.count);
-      }
+      UndoAll(txn);
       RemoveActive(txn);
       return Status::IOError("commit aborted, WAL write failed: " +
                              wal_status.message());
@@ -81,10 +74,10 @@ Status TransactionManager::CommitWithoutWal(Transaction* txn) {
   return CommitInternal(txn, /*write_wal=*/false);
 }
 
-void TransactionManager::Rollback(Transaction* txn) {
-  std::lock_guard<std::mutex> guard(mutex_);
+void TransactionManager::UndoAll(Transaction* txn) {
   // Undo in reverse order so later updates of the same row are rolled
-  // back before earlier ones.
+  // back before earlier ones (each revert takes its row group's unique
+  // lock internally).
   for (auto it = txn->updates().rbegin(); it != txn->updates().rend(); ++it) {
     it->row_group->RollbackUpdate(it->column_index, it->info);
   }
@@ -94,6 +87,11 @@ void TransactionManager::Rollback(Transaction* txn) {
   for (const auto& entry : txn->appends()) {
     entry.row_group->RevertAppend(entry.start, entry.count);
   }
+}
+
+void TransactionManager::Rollback(Transaction* txn) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  UndoAll(txn);
   RemoveActive(txn);
 }
 

@@ -183,12 +183,17 @@ TEST_F(MvccTest, DashboardScenarioConcurrentReadersAndWriter) {
   std::atomic<int> writer_commits{0};
   std::atomic<int> invariant_violations{0};
 
+  // Clear the fixture rows before any thread starts: a reader whose
+  // snapshot predates this DELETE would (correctly) see the initial sum
+  // of 30 and report a false invariant violation.
+  {
+    Connection con(db_.get());
+    ASSERT_TRUE(con.Query("DELETE FROM t").ok());
+  }
   // Writer: appends pairs of rows whose b values always sum to 100 per
   // transaction, so the total is a multiple of 100 in every snapshot.
   std::thread writer([&] {
     Connection con(db_.get());
-    auto setup = con.Query("DELETE FROM t");
-    if (!setup.ok()) return;
     for (int i = 0; i < 60 && !stop.load(); i++) {
       auto r = con.Query(
           "BEGIN; INSERT INTO t VALUES (1, 40); "

@@ -1,0 +1,393 @@
+// Tests for morsel-driven parallel execution (docs/CONCURRENCY.md):
+// result equivalence against threads=1 for join and aggregation over
+// multi-row-group tables, morsel counts smaller than the worker count,
+// reactive mid-query thread-budget reduction via SyntheticAppMonitor,
+// TaskScheduler semantics (clamping, error propagation, lazy pool), and
+// the per-connection PRAGMA threads override. The whole file is part of
+// the TSAN target in CI (see .github/workflows/ci.yml).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "mallard/governor/resource_governor.h"
+#include "mallard/main/connection.h"
+#include "mallard/parallel/morsel.h"
+#include "mallard/parallel/task_scheduler.h"
+
+namespace mallard {
+namespace {
+
+// --- TaskScheduler unit tests ----------------------------------------------
+
+TEST(TaskSchedulerTest, RunsEveryWorkerExactlyOnce) {
+  TaskScheduler scheduler(nullptr);
+  std::atomic<int> calls{0};
+  std::atomic<uint64_t> worker_mask{0};
+  Status status = scheduler.Run(4, [&](int worker) {
+    calls.fetch_add(1);
+    worker_mask.fetch_or(uint64_t(1) << worker);
+    return Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls.load(), 4);
+  EXPECT_EQ(worker_mask.load(), 0b1111u);
+  EXPECT_EQ(scheduler.pool_size(), 3);
+}
+
+TEST(TaskSchedulerTest, SingleThreadRunsInline) {
+  TaskScheduler scheduler(nullptr);
+  std::thread::id caller = std::this_thread::get_id();
+  Status status = scheduler.Run(1, [&](int worker) {
+    EXPECT_EQ(worker, 0);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    return Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+  // No pool thread was ever needed.
+  EXPECT_EQ(scheduler.pool_size(), 0);
+}
+
+TEST(TaskSchedulerTest, PropagatesFirstWorkerError) {
+  TaskScheduler scheduler(nullptr);
+  Status status = scheduler.Run(4, [&](int worker) {
+    if (worker == 2) return Status::Internal("worker 2 failed");
+    return Status::OK();
+  });
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("worker 2 failed"), std::string::npos);
+}
+
+TEST(TaskSchedulerTest, GovernorClampsLaunchWidth) {
+  GovernorConfig config;
+  config.max_threads = 2;
+  ResourceGovernor governor(config);
+  TaskScheduler scheduler(&governor);
+  std::atomic<int> calls{0};
+  ASSERT_TRUE(scheduler.Run(8, [&](int) {
+                         calls.fetch_add(1);
+                         return Status::OK();
+                       })
+                  .ok());
+  EXPECT_EQ(calls.load(), 2);
+  EXPECT_EQ(scheduler.pool_size(), 1);
+}
+
+TEST(TaskSchedulerTest, PoolIsReusedAcrossRuns) {
+  TaskScheduler scheduler(nullptr);
+  for (int round = 0; round < 10; round++) {
+    std::atomic<int> calls{0};
+    ASSERT_TRUE(scheduler.Run(3, [&](int) {
+                           calls.fetch_add(1);
+                           return Status::OK();
+                         })
+                    .ok());
+    EXPECT_EQ(calls.load(), 3);
+  }
+  EXPECT_EQ(scheduler.pool_size(), 2);
+}
+
+// --- Governor thread budget ------------------------------------------------
+
+TEST(ThreadBudgetTest, ReactiveBudgetShrinksUnderAppCpuPressure) {
+  GovernorConfig config;
+  config.max_threads = 4;
+  config.reactive = true;
+  ResourceGovernor governor(config);
+  SyntheticAppMonitor monitor;
+  governor.SetMonitor(&monitor);
+
+  monitor.SetCpu(0.0);
+  EXPECT_EQ(governor.EffectiveThreadBudget(), 4);
+  monitor.SetCpu(0.5);
+  EXPECT_EQ(governor.EffectiveThreadBudget(), 2);
+  monitor.SetCpu(1.0);
+  EXPECT_EQ(governor.EffectiveThreadBudget(), 1);  // never starves to 0
+  monitor.SetCpu(0.25);
+  EXPECT_EQ(governor.EffectiveThreadBudget(), 3);
+  EXPECT_EQ(governor.Sample().thread_budget, 3);
+
+  // Manual mode ignores the monitor entirely.
+  governor.SetReactive(false);
+  monitor.SetCpu(1.0);
+  EXPECT_EQ(governor.EffectiveThreadBudget(), 4);
+}
+
+// --- Morsel source ---------------------------------------------------------
+
+TEST(MorselSourceTest, HandsOutEveryRowGroupExactlyOnce) {
+  TableMorselSource source(10, nullptr, /*thread_limit=*/4);
+  std::set<idx_t> seen;
+  idx_t g;
+  while (source.Next(0, &g)) seen.insert(g);
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 9u);
+  EXPECT_FALSE(source.Next(1, &g));  // exhausted for everyone
+  EXPECT_EQ(source.MorselsClaimed(0), 10u);
+  EXPECT_EQ(source.MorselsClaimed(1), 0u);
+}
+
+TEST(MorselSourceTest, SurplusWorkersDrainWhenReactiveBudgetDrops) {
+  GovernorConfig config;
+  config.max_threads = 4;
+  config.reactive = true;
+  ResourceGovernor governor(config);
+  SyntheticAppMonitor monitor;
+  governor.SetMonitor(&monitor);
+  monitor.SetCpu(0.0);
+
+  TableMorselSource source(100, &governor, /*thread_limit=*/0);
+  idx_t g;
+  ASSERT_TRUE(source.Next(3, &g));  // full budget: worker 3 gets morsels
+
+  // The application gets busy mid-query: budget 4 -> 1. Workers 1..3
+  // stop at the next morsel boundary; worker 0 keeps the query going.
+  monitor.SetCpu(1.0);
+  EXPECT_FALSE(source.Next(3, &g));
+  EXPECT_FALSE(source.Next(1, &g));
+  EXPECT_TRUE(source.Next(0, &g));
+
+  // Pressure clears: surplus workers would resume (the scheduler keeps
+  // them parked only if the sink already joined).
+  monitor.SetCpu(0.0);
+  EXPECT_TRUE(source.Next(3, &g));
+}
+
+TEST(MorselSourceTest, PragmaOverridePinsBudgetAgainstMonitor) {
+  GovernorConfig config;
+  config.max_threads = 4;
+  config.reactive = true;
+  ResourceGovernor governor(config);
+  SyntheticAppMonitor monitor;
+  governor.SetMonitor(&monitor);
+  monitor.SetCpu(1.0);  // reactive budget = 1
+
+  // thread_limit > 0 (PRAGMA threads) wins over the reactive budget.
+  TableMorselSource source(10, &governor, /*thread_limit=*/3);
+  idx_t g;
+  EXPECT_TRUE(source.Next(2, &g));
+  EXPECT_FALSE(source.Next(3, &g));  // beyond the pinned limit
+}
+
+// --- SQL-level equivalence -------------------------------------------------
+
+class ParallelSqlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = Database::Open(":memory:");
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    con_ = std::make_unique<Connection>(db_.get());
+  }
+
+  // Builds a table of `rows` rows spanning rows/kRowGroupSize row groups:
+  // k cycles through `keys` values (plus NULLs every 97th row), v counts
+  // up. Integer-only so parallel sums are bit-exact at any thread count.
+  void FillKeyed(const std::string& table, int rows, int keys) {
+    ASSERT_TRUE(
+        con_->Query("CREATE TABLE " + table + " (k BIGINT, v BIGINT)").ok());
+    std::string ins;
+    for (int i = 0; i < rows; i++) {
+      ins += ins.empty() ? "INSERT INTO " + table + " VALUES " : ",";
+      std::string k =
+          i % 97 == 0 ? "NULL" : std::to_string((i * 7919) % keys);
+      ins += "(" + k + "," + std::to_string(i) + ")";
+      if (ins.size() > (1u << 20)) {
+        ASSERT_TRUE(con_->Query(ins).ok());
+        ins.clear();
+      }
+    }
+    if (!ins.empty()) ASSERT_TRUE(con_->Query(ins).ok());
+  }
+
+  // Canonical row multiset of a query result (parallel plans may emit
+  // groups/matches in a different order; SQL results are unordered).
+  std::multiset<std::string> Rows(const std::string& sql) {
+    auto r = con_->Query(sql);
+    EXPECT_TRUE(r.ok()) << sql << ": " << r.status().ToString();
+    std::multiset<std::string> rows;
+    if (!r.ok()) return rows;
+    for (idx_t i = 0; i < (*r)->RowCount(); i++) {
+      std::string row;
+      for (idx_t c = 0; c < (*r)->ColumnCount(); c++) {
+        row += (*r)->GetValue(c, i).ToString() + "|";
+      }
+      rows.insert(row);
+    }
+    return rows;
+  }
+
+  std::multiset<std::string> RowsAtThreads(int threads,
+                                           const std::string& sql) {
+    EXPECT_TRUE(
+        con_->Query("PRAGMA threads = " + std::to_string(threads)).ok());
+    return Rows(sql);
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<Connection> con_;
+};
+
+TEST_F(ParallelSqlTest, AggregateMatchesSerialAcrossThreadCounts) {
+  // ~5 row groups, 500 groups, NULL group included.
+  FillKeyed("t", 40000, 500);
+  const std::string sql =
+      "SELECT k, count(*), sum(v), min(v), max(v) FROM t GROUP BY k";
+  auto serial = RowsAtThreads(1, sql);
+  EXPECT_EQ(serial.size(), 501u);  // 500 keys + NULL group
+  for (int threads : {2, 4, 8}) {
+    EXPECT_EQ(serial, RowsAtThreads(threads, sql)) << threads << " threads";
+  }
+}
+
+TEST_F(ParallelSqlTest, UngroupedAggregateMatchesSerial) {
+  FillKeyed("t", 30000, 100);
+  const std::string sql =
+      "SELECT count(*), count(k), sum(v), min(v), max(v) FROM t";
+  auto serial = RowsAtThreads(1, sql);
+  EXPECT_EQ(serial, RowsAtThreads(4, sql));
+}
+
+TEST_F(ParallelSqlTest, HashJoinMatchesSerialAcrossThreadCounts) {
+  // Build side spans multiple row groups with duplicate and NULL keys.
+  FillKeyed("probe_t", 6000, 300);
+  FillKeyed("build_t", 30000, 300);
+  const std::string sql =
+      "SELECT probe_t.k, probe_t.v, build_t.v FROM probe_t "
+      "JOIN build_t ON probe_t.k = build_t.k WHERE probe_t.v < 600";
+  auto serial = RowsAtThreads(1, sql);
+  EXPECT_GT(serial.size(), 0u);
+  for (int threads : {2, 4}) {
+    EXPECT_EQ(serial, RowsAtThreads(threads, sql)) << threads << " threads";
+  }
+  // Left/semi/anti run through the same parallel build.
+  for (const char* shape :
+       {"SELECT probe_t.v FROM probe_t LEFT JOIN build_t "
+        "ON probe_t.k = build_t.k WHERE build_t.v IS NULL",
+        "SELECT probe_t.v FROM probe_t SEMI JOIN build_t "
+        "ON probe_t.k = build_t.k",
+        "SELECT probe_t.v FROM probe_t ANTI JOIN build_t "
+        "ON probe_t.k = build_t.k"}) {
+    auto one = RowsAtThreads(1, shape);
+    auto four = RowsAtThreads(4, shape);
+    EXPECT_EQ(one, four) << shape;
+  }
+}
+
+TEST_F(ParallelSqlTest, FilterAndProjectionCloneIntoWorkers) {
+  FillKeyed("t", 40000, 50);
+  const std::string sql =
+      "SELECT k * 2, sum(v + 1) FROM t WHERE v % 3 = 0 AND k IS NOT NULL "
+      "GROUP BY k * 2";
+  auto serial = RowsAtThreads(1, sql);
+  EXPECT_EQ(serial.size(), 50u);
+  EXPECT_EQ(serial, RowsAtThreads(4, sql));
+}
+
+TEST_F(ParallelSqlTest, MorselCountSmallerThanThreadCount) {
+  // One row group: the pipeline stays serial (nothing to split); with
+  // two row groups, six of the eight requested workers find no morsel.
+  FillKeyed("tiny", 100, 5);
+  FillKeyed("two_groups", 10000, 5);
+  for (const char* table : {"tiny", "two_groups"}) {
+    std::string sql = std::string("SELECT k, count(*), sum(v) FROM ") +
+                      table + " GROUP BY k";
+    auto serial = RowsAtThreads(1, sql);
+    EXPECT_EQ(serial, RowsAtThreads(8, sql)) << table;
+  }
+}
+
+TEST_F(ParallelSqlTest, PerConnectionThreadOverride) {
+  FillKeyed("t", 20000, 20);
+  Connection other(db_.get());
+  ASSERT_TRUE(con_->Query("PRAGMA threads = 2").ok());
+  EXPECT_EQ(con_->ThreadOverride(), 2);
+  // The second connection keeps the governor default.
+  EXPECT_EQ(other.ThreadOverride(), 0);
+  // 0 clears the override (back to the governor's budget); negatives
+  // and garbage are rejected.
+  ASSERT_TRUE(con_->Query("PRAGMA threads = 0").ok());
+  EXPECT_EQ(con_->ThreadOverride(), 0);
+  EXPECT_FALSE(con_->Query("PRAGMA threads = -1").ok());
+  ASSERT_TRUE(con_->Query("PRAGMA threads = 2").ok());
+  // Both produce the same (correct) result.
+  auto a = Rows("SELECT k, sum(v) FROM t GROUP BY k");
+  auto b = [&] {
+    auto r = other.Query("SELECT k, sum(v) FROM t GROUP BY k");
+    EXPECT_TRUE(r.ok());
+    std::multiset<std::string> rows;
+    for (idx_t i = 0; i < (*r)->RowCount(); i++) {
+      std::string row;
+      for (idx_t c = 0; c < (*r)->ColumnCount(); c++) {
+        row += (*r)->GetValue(c, i).ToString() + "|";
+      }
+      rows.insert(row);
+    }
+    return rows;
+  }();
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(ParallelSqlTest, MidQueryBudgetReductionKeepsResultsExact) {
+  // A reactive governor whose monitor flips to "application busy" while
+  // parallel aggregations are running: surplus workers drain at morsel
+  // boundaries and results stay identical. The cap is raised explicitly
+  // so the pipeline fans out even on a small CI host (the default cap
+  // is the core count).
+  FillKeyed("t", 60000, 1000);
+  SyntheticAppMonitor monitor;
+  db_->governor().SetThreads(4);
+  db_->governor().SetMonitor(&monitor);
+  db_->governor().SetReactive(true);
+  monitor.SetCpu(0.0);
+
+  const std::string sql =
+      "SELECT k, count(*), sum(v), min(v), max(v) FROM t GROUP BY k";
+  auto expected = Rows(sql);
+  EXPECT_EQ(expected.size(), 1001u);
+
+  std::atomic<bool> stop{false};
+  std::thread pressure([&] {
+    // Oscillate the app's CPU usage as fast as possible while queries
+    // run, forcing budget re-evaluation at many morsel boundaries.
+    bool busy = false;
+    while (!stop.load()) {
+      monitor.SetCpu(busy ? 1.0 : 0.0);
+      busy = !busy;
+      std::this_thread::yield();
+    }
+  });
+  for (int round = 0; round < 20; round++) {
+    EXPECT_EQ(expected, Rows(sql)) << "round " << round;
+  }
+  stop.store(true);
+  pressure.join();
+  db_->governor().SetReactive(false);
+  db_->governor().SetMonitor(nullptr);
+}
+
+TEST_F(ParallelSqlTest, ConcurrentConnectionsRunParallelQueries) {
+  // Two threads, each with its own connection, hammer parallel
+  // aggregations against the shared scheduler and buffer manager.
+  FillKeyed("t", 40000, 200);
+  db_->governor().SetThreads(4);  // fan out even on a 1-core host
+  auto expected = Rows("SELECT k, sum(v) FROM t GROUP BY k");
+  auto worker = [&](int rounds) {
+    Connection con(db_.get());
+    for (int i = 0; i < rounds; i++) {
+      auto r = con.Query("SELECT k, sum(v) FROM t GROUP BY k");
+      ASSERT_TRUE(r.ok());
+      ASSERT_EQ((*r)->RowCount(), expected.size());
+    }
+  };
+  std::thread a(worker, 10), b(worker, 10);
+  a.join();
+  b.join();
+}
+
+}  // namespace
+}  // namespace mallard
