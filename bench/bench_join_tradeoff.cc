@@ -50,12 +50,21 @@ void Fill(Database* db, const std::string& table, idx_t rows,
   (void)(*app)->Close();
 }
 
-// Runs probe JOIN build with a forced algorithm; returns (ms, peak MB).
+struct JoinRun {
+  double ms = 0;
+  double peak_mb = 0;
+  double build_ms = 0;  // hash join only: sink + Finalize
+  double probe_ms = 0;  // hash join only: probe / result drain
+};
+
+// Runs probe JOIN build with a forced algorithm; returns wall time, peak
+// memory and (for the hash join) the build/probe phase breakdown.
 // `threads` > 0 attaches the scheduler with that thread budget (the
-// morsel-driven parallel build path); 0 keeps the classic serial pull
-// loop so the algorithm sweep below stays comparable across PRs.
-std::pair<double, double> RunJoin(Database* db, JoinAlgorithm algo,
-                                  idx_t* out_rows, int threads = 0) {
+// morsel-driven parallel build *and* probe paths); 0 keeps the classic
+// serial pull loop so the algorithm sweep below stays comparable across
+// PRs.
+JoinRun RunJoin(Database* db, JoinAlgorithm algo, idx_t* out_rows,
+                int threads = 0) {
   auto probe_table = db->catalog().GetTable("probe");
   auto build_table = db->catalog().GetTable("build");
   auto make_scan = [](DataTable* t) {
@@ -99,8 +108,15 @@ std::pair<double, double> RunJoin(Database* db, JoinAlgorithm algo,
   double ms = Ms(start);
   (void)db->transactions().Commit(txn.get());
   *out_rows = rows;
-  double peak_mb = db->buffers().GetStats().peak_memory / 1e6;
-  return {ms, peak_mb};
+  JoinRun run;
+  run.ms = ms;
+  run.peak_mb = db->buffers().GetStats().peak_memory / 1e6;
+  if (algo == JoinAlgorithm::kHash) {
+    auto* hash_join = static_cast<PhysicalHashJoin*>(join.get());
+    run.build_ms = hash_join->BuildMs();
+    run.probe_ms = hash_join->ProbeMs();
+  }
+  return run;
 }
 }  // namespace
 
@@ -124,25 +140,24 @@ int main(int argc, char** argv) {
                            idx_t(1600000)}) {
     Fill(db->get(), "build", static_cast<idx_t>(build_rows * scale), 2);
     idx_t rows_h = 0, rows_m = 0;
-    auto [hash_ms, hash_mb] =
-        RunJoin(db->get(), JoinAlgorithm::kHash, &rows_h);
+    JoinRun hash = RunJoin(db->get(), JoinAlgorithm::kHash, &rows_h);
     uint64_t spill_before = db->get()->buffers().GetStats().spilled_bytes;
-    auto [merge_ms, merge_mb] =
-        RunJoin(db->get(), JoinAlgorithm::kMerge, &rows_m);
+    JoinRun merge = RunJoin(db->get(), JoinAlgorithm::kMerge, &rows_m);
     uint64_t spilled =
         db->get()->buffers().GetStats().spilled_bytes - spill_before;
     JoinAlgorithm pick = db->get()->governor().ChooseJoinAlgorithm(
         build_rows * 17);  // ~bytes/row estimate
     std::printf("%-14llu %-14.1f %-12.1f %-14.1f %-12.1f %-14.1f %-10s%s\n",
-                static_cast<unsigned long long>(build_rows), hash_ms,
-                hash_mb, merge_ms, merge_mb, spilled / 1e6,
+                static_cast<unsigned long long>(build_rows), hash.ms,
+                hash.peak_mb, merge.ms, merge.peak_mb, spilled / 1e6,
                 pick == JoinAlgorithm::kHash ? "hash" : "merge",
                 rows_h == rows_m ? "" : "  RESULT MISMATCH!");
     idx_t probe_rows = static_cast<idx_t>(200000 * scale);
     reporter.Add("hash_join/build=" + std::to_string(build_rows), 1,
-                 hash_ms * 1e6, probe_rows / (hash_ms / 1e3));
+                 hash.ms * 1e6, probe_rows / (hash.ms / 1e3),
+                 {{"build_ms", hash.build_ms}, {"probe_ms", hash.probe_ms}});
     reporter.Add("merge_join/build=" + std::to_string(build_rows), 1,
-                 merge_ms * 1e6, probe_rows / (merge_ms / 1e3));
+                 merge.ms * 1e6, probe_rows / (merge.ms / 1e3));
   }
   std::printf("\nShape check vs paper: hash join time stays low but its "
               "memory grows linearly with the build side; merge join "
@@ -153,26 +168,31 @@ int main(int argc, char** argv) {
   // ---- morsel-driven parallel scaling ----------------------------------
   // Hash join with the largest build side at 1/2/4 worker threads: the
   // build scans row-group morsels into per-worker partitions merged into
-  // one table (docs/CONCURRENCY.md); the probe stays single-threaded.
-  // The sweep's last iteration already filled "build" with exactly this
-  // row count and seed; reuse it.
+  // one table, and the probe fans out over the finalized (immutable)
+  // table into per-worker result buffers (docs/CONCURRENCY.md). The
+  // build_ms/probe_ms breakdown shows which phase scales. The sweep's
+  // last iteration already filled "build" with exactly this row count
+  // and seed; reuse it.
   idx_t scaling_build = static_cast<idx_t>(1600000 * scale);
   std::printf("\n=== parallel scaling — hash join, build=%llu ===\n\n",
               static_cast<unsigned long long>(scaling_build));
   idx_t rows_serial = 0;
   for (int threads : {1, 2, 4}) {
     idx_t rows = 0;
-    auto [ms, mb] = RunJoin(db->get(), JoinAlgorithm::kHash, &rows, threads);
+    JoinRun run = RunJoin(db->get(), JoinAlgorithm::kHash, &rows, threads);
     if (threads == 1) {
       rows_serial = rows;
     } else if (rows != rows_serial) {
       std::printf("RESULT MISMATCH at threads=%d!\n", threads);
       return 1;
     }
-    std::printf("threads=%d %14.1f ms %10.1f MB\n", threads, ms, mb);
+    std::printf("threads=%d %14.1f ms %10.1f MB  (build %.1f ms, probe "
+                "%.1f ms)\n",
+                threads, run.ms, run.peak_mb, run.build_ms, run.probe_ms);
     idx_t probe_rows = static_cast<idx_t>(200000 * scale);
     reporter.Add("hash_join/build=1600000/threads=" + std::to_string(threads),
-                 1, ms * 1e6, probe_rows / (ms / 1e3));
+                 1, run.ms * 1e6, probe_rows / (run.ms / 1e3),
+                 {{"build_ms", run.build_ms}, {"probe_ms", run.probe_ms}});
   }
   return 0;
 }

@@ -1,8 +1,9 @@
 // Shared bench reporting: every bench binary accepts `--json out.json`
 // (or `--json=out.json`) and writes its measurements as machine-readable
-// JSON — (name, iters, ns/op, rows/s) per data point — so the perf
-// trajectory can be tracked across PRs (BENCH_join.json, BENCH_agg.json
-// at the repo root are produced this way).
+// JSON — (name, iters, ns/op, rows/s, plus optional per-point numeric
+// breakdown fields such as phase timings) — so the perf trajectory can
+// be tracked across PRs (BENCH_join.json, BENCH_agg.json at the repo
+// root are produced this way; field contract in docs/BENCHMARKS.md).
 
 #ifndef MALLARD_BENCH_BENCH_UTIL_H_
 #define MALLARD_BENCH_BENCH_UTIL_H_
@@ -10,6 +11,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace mallard_bench {
@@ -19,12 +21,16 @@ struct BenchResult {
   long long iters;
   double ns_per_op;
   double rows_per_sec;
+  /// Optional numeric breakdown fields appended verbatim to the record,
+  /// e.g. {{"build_ms", 41.2}, {"probe_ms", 103.9}}.
+  std::vector<std::pair<std::string, double>> extra;
 };
 
 /// Collects bench data points and writes them as JSON on destruction
 /// when the command line asked for it. Usage:
 ///   BenchReporter reporter("bench_join", argc, argv);
 ///   reporter.Add("hash_join/build=10000", 1, ms * 1e6, rows / sec);
+///   reporter.Add("...", 1, ns, rps, {{"probe_ms", probe_ms}});
 class BenchReporter {
  public:
   BenchReporter(std::string bench_name, int argc, char** argv)
@@ -41,8 +47,10 @@ class BenchReporter {
   ~BenchReporter() { Write(); }
 
   void Add(const std::string& name, long long iters, double ns_per_op,
-           double rows_per_sec) {
-    results_.push_back(BenchResult{name, iters, ns_per_op, rows_per_sec});
+           double rows_per_sec,
+           std::vector<std::pair<std::string, double>> extra = {}) {
+    results_.push_back(BenchResult{name, iters, ns_per_op, rows_per_sec,
+                                   std::move(extra)});
   }
 
   /// Writes the JSON file now (also done by the destructor; idempotent).
@@ -59,9 +67,13 @@ class BenchReporter {
       const BenchResult& r = results_[i];
       std::fprintf(f,
                    "    {\"name\": \"%s\", \"iters\": %lld, "
-                   "\"ns_per_op\": %.1f, \"rows_per_sec\": %.0f}%s\n",
-                   r.name.c_str(), r.iters, r.ns_per_op, r.rows_per_sec,
-                   i + 1 < results_.size() ? "," : "");
+                   "\"ns_per_op\": %.1f, \"rows_per_sec\": %.0f",
+                   r.name.c_str(), r.iters, r.ns_per_op, r.rows_per_sec);
+      for (const auto& field : r.extra) {
+        std::fprintf(f, ", \"%s\": %.1f", field.first.c_str(),
+                     field.second);
+      }
+      std::fprintf(f, "}%s\n", i + 1 < results_.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

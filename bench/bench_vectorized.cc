@@ -10,6 +10,8 @@
 
 #include "bench_util.h"
 #include "mallard/baseline/row_engine.h"
+#include "mallard/execution/operators.h"
+#include "mallard/execution/physical_aggregate.h"
 #include "mallard/main/appender.h"
 #include "mallard/main/connection.h"
 #include "mallard/main/database.h"
@@ -243,25 +245,75 @@ int main(int argc, char** argv) {
                  agg_rows / (hi_ms / 1e3));
 
     // ---- morsel-driven parallel scaling --------------------------------
-    // The same high-cardinality aggregation at an explicit per-connection
-    // thread count (PRAGMA threads pins the budget; docs/BENCHMARKS.md
-    // documents the protocol). threads=1 is the serial baseline of the
-    // scaling table in BENCH_agg.json.
+    // The same high-cardinality aggregation at pinned thread counts,
+    // constructed directly (scan → hash aggregate) so the sink/merge
+    // phase breakdown of the radix-partitioned parallel merge is
+    // observable in the JSON (docs/BENCHMARKS.md documents the field
+    // contract). threads=1 is the serial baseline of the scaling table
+    // in BENCH_agg.json.
     std::printf("\n=== parallel scaling — GROUP BY k (bigint, 100k groups) "
                 "===\n\n");
+    auto agg_table = db->get()->catalog().GetTable("agg_hi");
+    if (!agg_table.ok()) return 1;
+    idx_t rows_serial = 0;
     for (int threads : {1, 2, 4}) {
-      if (!con.Query("PRAGMA threads = " + std::to_string(threads)).ok()) {
+      double best = 1e18, best_sink = 0, best_merge = 0;
+      idx_t out_rows = 0;
+      for (int rep = 0; rep < 3; rep++) {
+        auto scan = std::make_unique<PhysicalTableScan>(
+            *agg_table, std::vector<idx_t>{0, 1}, std::vector<TableFilter>{},
+            (*agg_table)->ColumnTypes());
+        std::vector<ExprPtr> groups;
+        groups.push_back(ColRef(0, TypeId::kBigInt));
+        std::vector<BoundAggregate> aggs;
+        aggs.push_back({AggType::kCountStar, nullptr, TypeId::kBigInt});
+        aggs.push_back(
+            {AggType::kSum, ColRef(1, TypeId::kDouble), TypeId::kDouble});
+        aggs.push_back(
+            {AggType::kMin, ColRef(1, TypeId::kDouble), TypeId::kDouble});
+        aggs.push_back(
+            {AggType::kMax, ColRef(1, TypeId::kDouble), TypeId::kDouble});
+        auto agg = std::make_unique<PhysicalHashAggregate>(
+            std::move(groups), std::move(aggs), std::move(scan));
+        auto txn = db->get()->transactions().Begin();
+        ExecutionContext context;
+        context.txn = txn.get();
+        context.buffers = &db->get()->buffers();
+        context.governor = &db->get()->governor();
+        context.scheduler = &db->get()->scheduler();
+        context.thread_limit = threads;
+        DataChunk out;
+        out.Initialize(agg->types());
+        auto start = Clock::now();
+        idx_t rows = 0;
+        while (true) {
+          if (!agg->GetChunk(&context, &out).ok()) return 1;
+          if (out.size() == 0) break;
+          rows += out.size();
+        }
+        double ms = Ms(start);
+        (void)db->get()->transactions().Commit(txn.get());
+        if (ms < best) {
+          best = ms;
+          best_sink = agg->SinkMs();
+          best_merge = agg->MergeMs();
+          out_rows = rows;
+        }
+      }
+      if (threads == 1) {
+        rows_serial = out_rows;
+      } else if (out_rows != rows_serial) {
+        std::printf("RESULT MISMATCH at threads=%d!\n", threads);
         return 1;
       }
-      double ms = BestMs(&con,
-                         "SELECT k, count(*), sum(v), min(v), max(v) "
-                         "FROM agg_hi GROUP BY k");
-      if (ms < 0) return 1;
-      std::printf("threads=%d %36.1f ms  %12.0f rows/s\n", threads, ms,
-                  agg_rows / (ms / 1e3));
+      std::printf("threads=%d %36.1f ms  %12.0f rows/s  (sink %.1f ms, "
+                  "merge %.1f ms)\n",
+                  threads, best, agg_rows / (best / 1e3), best_sink,
+                  best_merge);
       reporter.Add("groupby_micro/bigint_100k_groups/threads=" +
                        std::to_string(threads),
-                   3, ms * 1e6, agg_rows / (ms / 1e3));
+                   3, best * 1e6, agg_rows / (best / 1e3),
+                   {{"sink_ms", best_sink}, {"merge_ms", best_merge}});
     }
   }
   std::printf("\nShape check vs paper: the vectorized interpreter "

@@ -165,4 +165,376 @@ const char* AggregateFunction::Name(AggType type) {
   return "unknown";
 }
 
+// ---------------------------------------------------------------------------
+// AggStateLayout — compact fixed-width state rows
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Slot state structs. All are trivially copyable and all-zero-initial;
+// rows are 8-aligned so direct member access through a cast is safe.
+struct SumI64 {
+  int64_t sum;
+  int64_t count;
+};
+struct SumF64 {
+  double sum;
+  int64_t count;
+};
+struct MinMax32 {
+  int32_t value;
+  int32_t seen;
+};
+template <typename T>
+struct MinMax64 {
+  T value;
+  int64_t seen;
+};
+
+template <typename T, typename State>
+void UpdateSumSlot(const Vector& arg, idx_t count, const idx_t* group_ids,
+                   const uint32_t* sel, uint8_t* base, idx_t row_size,
+                   uint32_t offset) {
+  const T* data = arg.data<T>();
+  const ValidityMask& validity = arg.validity();
+  for (idx_t i = 0; i < count; i++) {
+    idx_t r = sel ? sel[i] : i;
+    if (!validity.RowIsValid(r)) continue;
+    State* s =
+        reinterpret_cast<State*>(base + group_ids[i] * row_size + offset);
+    s->sum += data[r];
+    s->count++;
+  }
+}
+
+template <typename T, typename State, bool kIsMin>
+void UpdateMinMaxSlot(const Vector& arg, idx_t count, const idx_t* group_ids,
+                      const uint32_t* sel, uint8_t* base, idx_t row_size,
+                      uint32_t offset) {
+  const T* data = arg.data<T>();
+  const ValidityMask& validity = arg.validity();
+  for (idx_t i = 0; i < count; i++) {
+    idx_t r = sel ? sel[i] : i;
+    if (!validity.RowIsValid(r)) continue;
+    State* s =
+        reinterpret_cast<State*>(base + group_ids[i] * row_size + offset);
+    T v = data[r];
+    if (!s->seen || (kIsMin ? v < s->value : v > s->value)) {
+      s->value = v;
+      s->seen = 1;
+    }
+  }
+}
+
+template <typename State, bool kIsMin>
+void CombineMinMaxSlot(const uint8_t* src_base, idx_t src_first, idx_t count,
+                       const idx_t* dst_ids, uint8_t* dst_base,
+                       idx_t row_size, uint32_t offset) {
+  for (idx_t i = 0; i < count; i++) {
+    const State* src = reinterpret_cast<const State*>(
+        src_base + (src_first + i) * row_size + offset);
+    if (!src->seen) continue;
+    State* dst =
+        reinterpret_cast<State*>(dst_base + dst_ids[i] * row_size + offset);
+    if (!dst->seen ||
+        (kIsMin ? src->value < dst->value : src->value > dst->value)) {
+      dst->value = src->value;
+      dst->seen = 1;
+    }
+  }
+}
+
+template <typename State>
+void CombineSumSlot(const uint8_t* src_base, idx_t src_first, idx_t count,
+                    const idx_t* dst_ids, uint8_t* dst_base, idx_t row_size,
+                    uint32_t offset) {
+  for (idx_t i = 0; i < count; i++) {
+    const State* src = reinterpret_cast<const State*>(
+        src_base + (src_first + i) * row_size + offset);
+    State* dst =
+        reinterpret_cast<State*>(dst_base + dst_ids[i] * row_size + offset);
+    dst->sum += src->sum;
+    dst->count += src->count;
+  }
+}
+
+/// Bytes of a slot's state; 0 = no fixed-width encoding exists.
+uint32_t SlotSize(AggType type, TypeId arg_type) {
+  switch (type) {
+    case AggType::kCountStar:
+      return 8;
+    case AggType::kCount:
+      // COUNT(x) only reads the argument's validity mask; any argument
+      // type works.
+      return 8;
+    case AggType::kSum:
+    case AggType::kAvg:
+      switch (arg_type) {
+        case TypeId::kInteger:
+        case TypeId::kBigInt:
+        case TypeId::kDouble:
+          return 16;
+        default:
+          return 0;
+      }
+    case AggType::kMin:
+    case AggType::kMax:
+      switch (arg_type) {
+        case TypeId::kInteger:
+        case TypeId::kDate:
+          return 8;
+        case TypeId::kBigInt:
+        case TypeId::kTimestamp:
+        case TypeId::kDouble:
+          return 16;
+        default:
+          return 0;  // VARCHAR/BOOLEAN extremes keep the AggState path
+      }
+  }
+  return 0;
+}
+
+}  // namespace
+
+bool AggStateLayout::Compactable(AggType type, TypeId arg_type) {
+  return SlotSize(type, arg_type) != 0;
+}
+
+AggStateLayout AggStateLayout::Plan(
+    const std::vector<BoundAggregate>& aggregates) {
+  AggStateLayout layout;
+  uint32_t offset = 0;
+  for (const auto& agg : aggregates) {
+    TypeId arg_type = agg.arg ? agg.arg->return_type() : TypeId::kInvalid;
+    uint32_t size = SlotSize(agg.type, arg_type);
+    if (size == 0) return AggStateLayout{};  // compact() == false
+    layout.slots_.push_back(
+        AggStateSlot{agg.type, arg_type, agg.return_type, offset});
+    offset += size;  // slots are 8 or 16 bytes: 8-alignment is preserved
+  }
+  layout.row_size_ = offset;
+  layout.compact_ = true;
+  return layout;
+}
+
+void AggStateLayout::Update(idx_t slot_index, const Vector* arg, idx_t count,
+                            const idx_t* group_ids, const uint32_t* sel,
+                            uint8_t* base) const {
+  const AggStateSlot& slot = slots_[slot_index];
+  const idx_t row_size = row_size_;
+  const uint32_t offset = slot.offset;
+  if (slot.type == AggType::kCountStar) {
+    for (idx_t i = 0; i < count; i++) {
+      ++*reinterpret_cast<int64_t*>(base + group_ids[i] * row_size + offset);
+    }
+    return;
+  }
+  if (slot.type == AggType::kCount) {
+    const ValidityMask& validity = arg->validity();
+    for (idx_t i = 0; i < count; i++) {
+      idx_t r = sel ? sel[i] : i;
+      if (!validity.RowIsValid(r)) continue;
+      ++*reinterpret_cast<int64_t*>(base + group_ids[i] * row_size + offset);
+    }
+    return;
+  }
+  if (slot.type == AggType::kSum || slot.type == AggType::kAvg) {
+    switch (slot.arg_type) {
+      case TypeId::kInteger:
+        UpdateSumSlot<int32_t, SumI64>(*arg, count, group_ids, sel, base,
+                                       row_size, offset);
+        return;
+      case TypeId::kBigInt:
+        UpdateSumSlot<int64_t, SumI64>(*arg, count, group_ids, sel, base,
+                                       row_size, offset);
+        return;
+      case TypeId::kDouble:
+        UpdateSumSlot<double, SumF64>(*arg, count, group_ids, sel, base,
+                                      row_size, offset);
+        return;
+      default:
+        return;
+    }
+  }
+  const bool is_min = slot.type == AggType::kMin;
+  switch (slot.arg_type) {
+    case TypeId::kInteger:
+    case TypeId::kDate:
+      if (is_min) {
+        UpdateMinMaxSlot<int32_t, MinMax32, true>(*arg, count, group_ids, sel,
+                                                  base, row_size, offset);
+      } else {
+        UpdateMinMaxSlot<int32_t, MinMax32, false>(*arg, count, group_ids,
+                                                   sel, base, row_size,
+                                                   offset);
+      }
+      return;
+    case TypeId::kBigInt:
+    case TypeId::kTimestamp:
+      if (is_min) {
+        UpdateMinMaxSlot<int64_t, MinMax64<int64_t>, true>(
+            *arg, count, group_ids, sel, base, row_size, offset);
+      } else {
+        UpdateMinMaxSlot<int64_t, MinMax64<int64_t>, false>(
+            *arg, count, group_ids, sel, base, row_size, offset);
+      }
+      return;
+    case TypeId::kDouble:
+      if (is_min) {
+        UpdateMinMaxSlot<double, MinMax64<double>, true>(
+            *arg, count, group_ids, sel, base, row_size, offset);
+      } else {
+        UpdateMinMaxSlot<double, MinMax64<double>, false>(
+            *arg, count, group_ids, sel, base, row_size, offset);
+      }
+      return;
+    default:
+      return;
+  }
+}
+
+void AggStateLayout::Combine(const uint8_t* src_base, idx_t src_first,
+                             idx_t count, const idx_t* dst_ids,
+                             uint8_t* dst_base) const {
+  const idx_t row_size = row_size_;
+  for (const AggStateSlot& slot : slots_) {
+    const uint32_t offset = slot.offset;
+    switch (slot.type) {
+      case AggType::kCountStar:
+      case AggType::kCount:
+        for (idx_t i = 0; i < count; i++) {
+          *reinterpret_cast<int64_t*>(dst_base + dst_ids[i] * row_size +
+                                      offset) +=
+              *reinterpret_cast<const int64_t*>(
+                  src_base + (src_first + i) * row_size + offset);
+        }
+        break;
+      case AggType::kSum:
+      case AggType::kAvg:
+        if (slot.arg_type == TypeId::kDouble) {
+          CombineSumSlot<SumF64>(src_base, src_first, count, dst_ids,
+                                 dst_base, row_size, offset);
+        } else {
+          CombineSumSlot<SumI64>(src_base, src_first, count, dst_ids,
+                                 dst_base, row_size, offset);
+        }
+        break;
+      case AggType::kMin:
+      case AggType::kMax: {
+        const bool is_min = slot.type == AggType::kMin;
+        switch (slot.arg_type) {
+          case TypeId::kInteger:
+          case TypeId::kDate:
+            if (is_min) {
+              CombineMinMaxSlot<MinMax32, true>(src_base, src_first, count,
+                                                dst_ids, dst_base, row_size,
+                                                offset);
+            } else {
+              CombineMinMaxSlot<MinMax32, false>(src_base, src_first, count,
+                                                 dst_ids, dst_base, row_size,
+                                                 offset);
+            }
+            break;
+          case TypeId::kBigInt:
+          case TypeId::kTimestamp:
+            if (is_min) {
+              CombineMinMaxSlot<MinMax64<int64_t>, true>(
+                  src_base, src_first, count, dst_ids, dst_base, row_size,
+                  offset);
+            } else {
+              CombineMinMaxSlot<MinMax64<int64_t>, false>(
+                  src_base, src_first, count, dst_ids, dst_base, row_size,
+                  offset);
+            }
+            break;
+          case TypeId::kDouble:
+            if (is_min) {
+              CombineMinMaxSlot<MinMax64<double>, true>(
+                  src_base, src_first, count, dst_ids, dst_base, row_size,
+                  offset);
+            } else {
+              CombineMinMaxSlot<MinMax64<double>, false>(
+                  src_base, src_first, count, dst_ids, dst_base, row_size,
+                  offset);
+            }
+            break;
+          default:
+            break;
+        }
+        break;
+      }
+    }
+  }
+}
+
+Value AggStateLayout::Finalize(idx_t slot_index, const uint8_t* row) const {
+  const AggStateSlot& slot = slots_[slot_index];
+  const uint8_t* p = row + slot.offset;
+  switch (slot.type) {
+    case AggType::kCountStar:
+    case AggType::kCount:
+      return Value::BigInt(*reinterpret_cast<const int64_t*>(p));
+    case AggType::kSum: {
+      if (slot.arg_type == TypeId::kDouble) {
+        const SumF64* s = reinterpret_cast<const SumF64*>(p);
+        return s->count ? Value::Double(s->sum)
+                        : Value::Null(slot.result_type);
+      }
+      const SumI64* s = reinterpret_cast<const SumI64*>(p);
+      return s->count ? Value::BigInt(s->sum) : Value::Null(slot.result_type);
+    }
+    case AggType::kAvg: {
+      if (slot.arg_type == TypeId::kDouble) {
+        const SumF64* s = reinterpret_cast<const SumF64*>(p);
+        return s->count
+                   ? Value::Double(s->sum / static_cast<double>(s->count))
+                   : Value::Null(TypeId::kDouble);
+      }
+      // Integer arguments accumulate an exact int64 sum; dividing once at
+      // finalize is at least as accurate as the old per-row double
+      // accumulation.
+      const SumI64* s = reinterpret_cast<const SumI64*>(p);
+      return s->count
+                 ? Value::Double(static_cast<double>(s->sum) /
+                                 static_cast<double>(s->count))
+                 : Value::Null(TypeId::kDouble);
+    }
+    case AggType::kMin:
+    case AggType::kMax:
+      switch (slot.arg_type) {
+        case TypeId::kInteger: {
+          const MinMax32* s = reinterpret_cast<const MinMax32*>(p);
+          return s->seen ? Value::Integer(s->value)
+                         : Value::Null(slot.result_type);
+        }
+        case TypeId::kDate: {
+          const MinMax32* s = reinterpret_cast<const MinMax32*>(p);
+          return s->seen ? Value::Date(s->value)
+                         : Value::Null(slot.result_type);
+        }
+        case TypeId::kBigInt: {
+          const MinMax64<int64_t>* s =
+              reinterpret_cast<const MinMax64<int64_t>*>(p);
+          return s->seen ? Value::BigInt(s->value)
+                         : Value::Null(slot.result_type);
+        }
+        case TypeId::kTimestamp: {
+          const MinMax64<int64_t>* s =
+              reinterpret_cast<const MinMax64<int64_t>*>(p);
+          return s->seen ? Value::Timestamp(s->value)
+                         : Value::Null(slot.result_type);
+        }
+        case TypeId::kDouble: {
+          const MinMax64<double>* s =
+              reinterpret_cast<const MinMax64<double>*>(p);
+          return s->seen ? Value::Double(s->value)
+                         : Value::Null(slot.result_type);
+        }
+        default:
+          return Value::Null(slot.result_type);
+      }
+  }
+  return Value();
+}
+
 }  // namespace mallard

@@ -20,6 +20,14 @@ AggregateHashTable::AggregateHashTable(std::vector<TypeId> group_types,
   hash_scratch_.resize(kVectorSize);
 }
 
+AggregateHashTable::AggregateHashTable(
+    std::vector<TypeId> group_types,
+    const std::vector<BoundAggregate>& aggregates, idx_t initial_capacity)
+    : AggregateHashTable(std::move(group_types), aggregates.size(),
+                         initial_capacity) {
+  layout_ = AggStateLayout::Plan(aggregates);
+}
+
 void AggregateHashTable::Resize(idx_t new_capacity) {
   std::vector<Entry> old = std::move(entries_);
   entries_.assign(new_capacity, Entry{0, kInvalidIndex});
@@ -93,7 +101,8 @@ bool AggregateHashTable::GroupEquals(idx_t group, const DataChunk& groups,
   return true;
 }
 
-idx_t AggregateHashTable::AppendGroup(const DataChunk& groups, idx_t row) {
+idx_t AggregateHashTable::AppendGroup(const DataChunk& groups, idx_t row,
+                                      uint64_t hash) {
   idx_t local = group_count_ % kVectorSize;
   if (local == 0) {
     auto chunk = std::make_unique<DataChunk>();
@@ -105,8 +114,32 @@ idx_t AggregateHashTable::AppendGroup(const DataChunk& groups, idx_t row) {
     chunk.column(c).CopyFrom(groups.column(c), 1, row, local);
   }
   chunk.SetCardinality(local + 1);
-  states_.resize(states_.size() + aggregate_count_);
+  group_hashes_.push_back(hash);
+  if (layout_.compact()) {
+    // New rows are value-initialized to zero — the initial state of
+    // every compact slot.
+    state_rows_.resize(state_rows_.size() + layout_.row_size());
+  } else {
+    states_.resize(states_.size() + aggregate_count_);
+  }
   return group_count_++;
+}
+
+idx_t AggregateHashTable::FindOrCreateOne(const DataChunk& groups, idx_t row,
+                                          uint64_t hash) {
+  uint64_t slot = hash & mask_;
+  while (true) {
+    Entry& e = entries_[slot];
+    if (e.group == kInvalidIndex) {
+      e.hash = hash;
+      e.group = AppendGroup(groups, row, hash);
+      return e.group;
+    }
+    if (e.hash == hash && GroupEquals(e.group, groups, row)) {
+      return e.group;
+    }
+    slot = (slot + 1) & mask_;
+  }
 }
 
 void AggregateHashTable::FindOrCreateGroups(const DataChunk& groups,
@@ -114,42 +147,46 @@ void AggregateHashTable::FindOrCreateGroups(const DataChunk& groups,
   EnsureCapacity(count);
   HashKeyColumns(groups, count, hash_scratch_.data());
   for (idx_t r = 0; r < count; r++) {
-    uint64_t hash = hash_scratch_[r];
-    uint64_t slot = hash & mask_;
-    while (true) {
-      Entry& e = entries_[slot];
-      if (e.group == kInvalidIndex) {
-        e.hash = hash;
-        e.group = AppendGroup(groups, r);
-        group_ids[r] = e.group;
-        break;
-      }
-      if (e.hash == hash && GroupEquals(e.group, groups, r)) {
-        group_ids[r] = e.group;
-        break;
-      }
-      slot = (slot + 1) & mask_;
-    }
+    group_ids[r] = FindOrCreateOne(groups, r, hash_scratch_[r]);
+  }
+}
+
+void AggregateHashTable::FindOrCreateGroupsSel(const DataChunk& groups,
+                                               const uint32_t* sel,
+                                               idx_t count,
+                                               const uint64_t* hashes,
+                                               idx_t* group_ids) {
+  EnsureCapacity(count);
+  for (idx_t i = 0; i < count; i++) {
+    idx_t r = sel[i];
+    group_ids[i] = FindOrCreateOne(groups, r, hashes[r]);
   }
 }
 
 void AggregateHashTable::UpdateStates(const BoundAggregate& aggregate,
                                       idx_t agg_index, const Vector* arg,
-                                      idx_t count, const idx_t* group_ids) {
+                                      idx_t count, const idx_t* group_ids,
+                                      const uint32_t* sel) {
+  if (layout_.compact()) {
+    layout_.Update(agg_index, arg, count, group_ids, sel,
+                   state_rows_.data());
+    return;
+  }
   AggState* states = states_.data() + agg_index;
   const idx_t stride = aggregate_count_;
-  auto state_at = [&](idx_t r) -> AggState* {
-    return states + group_ids[r] * stride;
+  auto state_at = [&](idx_t i) -> AggState* {
+    return states + group_ids[i] * stride;
   };
+  auto row_at = [&](idx_t i) -> idx_t { return sel ? sel[i] : i; };
   if (aggregate.type == AggType::kCountStar) {
-    for (idx_t r = 0; r < count; r++) state_at(r)->count++;
+    for (idx_t i = 0; i < count; i++) state_at(i)->count++;
     return;
   }
   const ValidityMask& validity = arg->validity();
   switch (aggregate.type) {
     case AggType::kCount:
-      for (idx_t r = 0; r < count; r++) {
-        if (validity.RowIsValid(r)) state_at(r)->count++;
+      for (idx_t i = 0; i < count; i++) {
+        if (validity.RowIsValid(row_at(i))) state_at(i)->count++;
       }
       return;
     case AggType::kSum:
@@ -157,9 +194,10 @@ void AggregateHashTable::UpdateStates(const BoundAggregate& aggregate,
       switch (arg->type()) {
         case TypeId::kInteger: {
           const int32_t* data = arg->data<int32_t>();
-          for (idx_t r = 0; r < count; r++) {
+          for (idx_t i = 0; i < count; i++) {
+            idx_t r = row_at(i);
             if (!validity.RowIsValid(r)) continue;
-            AggState* s = state_at(r);
+            AggState* s = state_at(i);
             s->count++;
             s->isum += data[r];
             s->dsum += data[r];
@@ -169,9 +207,10 @@ void AggregateHashTable::UpdateStates(const BoundAggregate& aggregate,
         }
         case TypeId::kBigInt: {
           const int64_t* data = arg->data<int64_t>();
-          for (idx_t r = 0; r < count; r++) {
+          for (idx_t i = 0; i < count; i++) {
+            idx_t r = row_at(i);
             if (!validity.RowIsValid(r)) continue;
-            AggState* s = state_at(r);
+            AggState* s = state_at(i);
             s->count++;
             s->isum += data[r];
             s->dsum += static_cast<double>(data[r]);
@@ -181,9 +220,10 @@ void AggregateHashTable::UpdateStates(const BoundAggregate& aggregate,
         }
         case TypeId::kDouble: {
           const double* data = arg->data<double>();
-          for (idx_t r = 0; r < count; r++) {
+          for (idx_t i = 0; i < count; i++) {
+            idx_t r = row_at(i);
             if (!validity.RowIsValid(r)) continue;
-            AggState* s = state_at(r);
+            AggState* s = state_at(i);
             s->count++;
             s->dsum += data[r];
             s->seen = true;
@@ -202,9 +242,10 @@ void AggregateHashTable::UpdateStates(const BoundAggregate& aggregate,
       switch (arg->type()) {
         case TypeId::kInteger: {
           const int32_t* data = arg->data<int32_t>();
-          for (idx_t r = 0; r < count; r++) {
+          for (idx_t i = 0; i < count; i++) {
+            idx_t r = row_at(i);
             if (!validity.RowIsValid(r)) continue;
-            AggState* s = state_at(r);
+            AggState* s = state_at(i);
             int32_t v = data[r];
             if (!s->seen || (is_min ? v < s->extreme.GetInteger()
                                     : v > s->extreme.GetInteger())) {
@@ -216,9 +257,10 @@ void AggregateHashTable::UpdateStates(const BoundAggregate& aggregate,
         }
         case TypeId::kDate: {
           const int32_t* data = arg->data<int32_t>();
-          for (idx_t r = 0; r < count; r++) {
+          for (idx_t i = 0; i < count; i++) {
+            idx_t r = row_at(i);
             if (!validity.RowIsValid(r)) continue;
-            AggState* s = state_at(r);
+            AggState* s = state_at(i);
             int32_t v = data[r];
             if (!s->seen || (is_min ? v < s->extreme.GetDate()
                                     : v > s->extreme.GetDate())) {
@@ -230,9 +272,10 @@ void AggregateHashTable::UpdateStates(const BoundAggregate& aggregate,
         }
         case TypeId::kBigInt: {
           const int64_t* data = arg->data<int64_t>();
-          for (idx_t r = 0; r < count; r++) {
+          for (idx_t i = 0; i < count; i++) {
+            idx_t r = row_at(i);
             if (!validity.RowIsValid(r)) continue;
-            AggState* s = state_at(r);
+            AggState* s = state_at(i);
             int64_t v = data[r];
             if (!s->seen || (is_min ? v < s->extreme.GetBigInt()
                                     : v > s->extreme.GetBigInt())) {
@@ -244,9 +287,10 @@ void AggregateHashTable::UpdateStates(const BoundAggregate& aggregate,
         }
         case TypeId::kTimestamp: {
           const int64_t* data = arg->data<int64_t>();
-          for (idx_t r = 0; r < count; r++) {
+          for (idx_t i = 0; i < count; i++) {
+            idx_t r = row_at(i);
             if (!validity.RowIsValid(r)) continue;
-            AggState* s = state_at(r);
+            AggState* s = state_at(i);
             int64_t v = data[r];
             if (!s->seen || (is_min ? v < s->extreme.GetTimestamp()
                                     : v > s->extreme.GetTimestamp())) {
@@ -258,9 +302,10 @@ void AggregateHashTable::UpdateStates(const BoundAggregate& aggregate,
         }
         case TypeId::kDouble: {
           const double* data = arg->data<double>();
-          for (idx_t r = 0; r < count; r++) {
+          for (idx_t i = 0; i < count; i++) {
+            idx_t r = row_at(i);
             if (!validity.RowIsValid(r)) continue;
-            AggState* s = state_at(r);
+            AggState* s = state_at(i);
             double v = data[r];
             if (!s->seen || (is_min ? v < s->extreme.GetDouble()
                                     : v > s->extreme.GetDouble())) {
@@ -272,9 +317,10 @@ void AggregateHashTable::UpdateStates(const BoundAggregate& aggregate,
         }
         case TypeId::kVarchar: {
           const StringRef* data = arg->data<StringRef>();
-          for (idx_t r = 0; r < count; r++) {
+          for (idx_t i = 0; i < count; i++) {
+            idx_t r = row_at(i);
             if (!validity.RowIsValid(r)) continue;
-            AggState* s = state_at(r);
+            AggState* s = state_at(i);
             const StringRef& v = data[r];
             bool better = !s->seen;
             if (!better) {
@@ -299,27 +345,49 @@ void AggregateHashTable::UpdateStates(const BoundAggregate& aggregate,
       break;
   }
   // Fallback for type combinations without a dedicated kernel.
-  for (idx_t r = 0; r < count; r++) {
-    AggregateFunction::Update(aggregate.type, arg, r, state_at(r));
+  for (idx_t i = 0; i < count; i++) {
+    AggregateFunction::Update(aggregate.type, arg, row_at(i), state_at(i));
   }
 }
 
 void AggregateHashTable::Merge(const AggregateHashTable& other,
                                const std::vector<BoundAggregate>& aggregates) {
-  std::vector<idx_t> ids(kVectorSize);
+  assert(layout_.compact() == other.layout_.compact());
+  merge_ids_.resize(kVectorSize);
+  EnsureCapacity(other.group_count_);
   for (idx_t base = 0; base < other.group_count_; base += kVectorSize) {
     idx_t count = std::min<idx_t>(kVectorSize, other.group_count_ - base);
     const DataChunk& keys = *other.group_chunks_[base / kVectorSize];
-    FindOrCreateGroups(keys, count, ids.data());
+    // Insert with the donor's retained hashes — the merge pass never
+    // re-hashes group keys.
+    for (idx_t r = 0; r < count; r++) {
+      merge_ids_[r] =
+          FindOrCreateOne(keys, r, other.group_hashes_[base + r]);
+    }
+    if (layout_.compact()) {
+      layout_.Combine(other.state_rows_.data(), base, count,
+                      merge_ids_.data(), state_rows_.data());
+      continue;
+    }
     for (idx_t r = 0; r < count; r++) {
       const AggState* src =
           other.states_.data() + (base + r) * aggregate_count_;
-      AggState* dst = states_.data() + ids[r] * aggregate_count_;
+      AggState* dst = states_.data() + merge_ids_[r] * aggregate_count_;
       for (idx_t a = 0; a < aggregate_count_; a++) {
         AggregateFunction::Combine(aggregates[a].type, src[a], &dst[a]);
       }
     }
   }
+}
+
+Value AggregateHashTable::FinalizeState(idx_t group_id, idx_t agg_index,
+                                        const BoundAggregate& aggregate) const {
+  if (layout_.compact()) {
+    return layout_.Finalize(
+        agg_index, state_rows_.data() + group_id * layout_.row_size());
+  }
+  return AggregateFunction::Finalize(aggregate.type, aggregate.return_type,
+                                     State(group_id, agg_index));
 }
 
 void AggregateHashTable::EmitKeys(idx_t start, idx_t count,
@@ -329,6 +397,75 @@ void AggregateHashTable::EmitKeys(idx_t start, idx_t count,
   const DataChunk& chunk = *group_chunks_[start / kVectorSize];
   for (idx_t c = 0; c < group_types_.size(); c++) {
     out->column(c).CopyFrom(chunk.column(c), count, 0, 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RadixPartitionedAggregateTable
+// ---------------------------------------------------------------------------
+
+RadixPartitionedAggregateTable::RadixPartitionedAggregateTable(
+    std::vector<TypeId> group_types,
+    const std::vector<BoundAggregate>& aggregates, bool partitioned) {
+  idx_t partitions = partitioned ? kPartitions : 1;
+  for (idx_t p = 0; p < partitions; p++) {
+    partitions_.push_back(std::make_unique<AggregateHashTable>(
+        group_types, aggregates,
+        // Thread-local partitions start small: groups spread over 16
+        // tables, and most queries have few groups.
+        partitioned ? 64 : 1024));
+  }
+  hashes_.resize(kVectorSize);
+  if (partitioned) {
+    part_sel_.resize(kPartitions * kVectorSize);
+    part_ids_.resize(kPartitions * kVectorSize);
+  } else {
+    ids_.resize(kVectorSize);
+  }
+}
+
+idx_t RadixPartitionedAggregateTable::GroupCount() const {
+  idx_t total = 0;
+  for (const auto& p : partitions_) total += p->GroupCount();
+  return total;
+}
+
+void RadixPartitionedAggregateTable::FindOrCreateGroups(
+    const DataChunk& groups, idx_t count) {
+  if (partitions_.size() == 1) {
+    // Unpartitioned fast path — identical to the classic serial sink.
+    partitions_[0]->FindOrCreateGroups(groups, count, ids_.data());
+    return;
+  }
+  HashKeyColumns(groups, count, hashes_.data());
+  std::memset(part_count_, 0, sizeof(part_count_));
+  for (idx_t r = 0; r < count; r++) {
+    idx_t p = PartitionOf(hashes_[r]);
+    part_sel_[p * kVectorSize + part_count_[p]++] =
+        static_cast<uint32_t>(r);
+  }
+  for (idx_t p = 0; p < kPartitions; p++) {
+    if (part_count_[p] == 0) continue;
+    partitions_[p]->FindOrCreateGroupsSel(
+        groups, part_sel_.data() + p * kVectorSize, part_count_[p],
+        hashes_.data(), part_ids_.data() + p * kVectorSize);
+  }
+}
+
+void RadixPartitionedAggregateTable::UpdateStates(
+    const BoundAggregate& aggregate, idx_t agg_index, const Vector* arg,
+    idx_t count) {
+  if (partitions_.size() == 1) {
+    partitions_[0]->UpdateStates(aggregate, agg_index, arg, count,
+                                 ids_.data());
+    return;
+  }
+  (void)count;
+  for (idx_t p = 0; p < kPartitions; p++) {
+    if (part_count_[p] == 0) continue;
+    partitions_[p]->UpdateStates(aggregate, agg_index, arg, part_count_[p],
+                                 part_ids_.data() + p * kVectorSize,
+                                 part_sel_.data() + p * kVectorSize);
   }
 }
 

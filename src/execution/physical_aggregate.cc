@@ -1,6 +1,7 @@
 #include "mallard/execution/physical_aggregate.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "mallard/expression/expression_executor.h"
 #include "mallard/parallel/morsel.h"
@@ -160,12 +161,12 @@ std::vector<ExprPtr> PhysicalHashAggregate::CopyArgExprs() const {
 Status PhysicalHashAggregate::SinkSource(
     ExecutionContext* context, PhysicalOperator* source,
     const std::vector<ExprPtr>& group_exprs,
-    const std::vector<ExprPtr>& arg_exprs, AggregateHashTable* table) {
+    const std::vector<ExprPtr>& arg_exprs,
+    RadixPartitionedAggregateTable* table) {
   DataChunk chunk;
   chunk.Initialize(source->types());
   DataChunk group_chunk;
   group_chunk.Initialize(GroupTypes());
-  std::vector<idx_t> group_ids(kVectorSize);
   std::vector<Vector> arg_vectors;
   for (const auto& agg : aggregates_) {
     arg_vectors.emplace_back(agg.arg ? agg.arg->return_type()
@@ -181,7 +182,7 @@ Status PhysicalHashAggregate::SinkSource(
           *group_exprs[g], chunk, &group_chunk.column(g)));
     }
     group_chunk.SetCardinality(count);
-    table->FindOrCreateGroups(group_chunk, count, group_ids.data());
+    table->FindOrCreateGroups(group_chunk, count);
     // Evaluate aggregate arguments once per chunk, then fold each into
     // the per-group states in one typed batch.
     for (idx_t a = 0; a < aggregates_.size(); a++) {
@@ -192,7 +193,7 @@ Status PhysicalHashAggregate::SinkSource(
             *arg_exprs[a], chunk, &arg_vectors[a]));
         arg = &arg_vectors[a];
       }
-      table->UpdateStates(aggregates_[a], a, arg, count, group_ids.data());
+      table->UpdateStates(aggregates_[a], a, arg, count);
     }
   }
   return Status::OK();
@@ -205,7 +206,7 @@ Status PhysicalHashAggregate::ParallelSink(ExecutionContext* context,
   // front so workers never evaluate through shared trees.
   std::vector<std::vector<ExprPtr>> group_exprs;
   std::vector<std::vector<ExprPtr>> arg_exprs;
-  std::vector<std::unique_ptr<AggregateHashTable>> partials;
+  std::vector<std::unique_ptr<RadixPartitionedAggregateTable>> partials;
   MALLARD_RETURN_NOT_OK(parallel::RunMorselPipeline(
       context, child(0), done,
       [&](idx_t workers) {
@@ -216,40 +217,63 @@ Status PhysicalHashAggregate::ParallelSink(ExecutionContext* context,
         }
       },
       [&](int w, PhysicalOperator* scan) -> Status {
-        auto local = std::make_unique<AggregateHashTable>(group_types,
-                                                          aggregates_.size());
+        auto local = std::make_unique<RadixPartitionedAggregateTable>(
+            group_types, aggregates_, /*partitioned=*/true);
         MALLARD_RETURN_NOT_OK(SinkSource(context, scan, group_exprs[w],
                                          arg_exprs[w], local.get()));
         partials[w] = std::move(local);
         return Status::OK();
       }));
   if (!*done) return Status::OK();
-  // Final merge pass: the first partition becomes the result table and
-  // the rest fold into it (group creation order = partition order;
-  // clamped-away workers leave null slots).
+  // Per-partition merge: the first partial becomes the result and the
+  // rest fold into it, partition by partition. All thread-local tables
+  // radix-partition by the same hash bits, so the kPartitions merges
+  // touch disjoint group sets and run in parallel under the governor's
+  // budget (clamped-away workers leave null partials).
+  auto merge_start = std::chrono::steady_clock::now();
+  std::vector<RadixPartitionedAggregateTable*> rest;
   for (auto& partial : partials) {
     if (!partial) continue;
     if (!table_) {
       table_ = std::move(partial);
     } else {
-      table_->Merge(*partial, aggregates_);
+      rest.push_back(partial.get());
     }
   }
   if (!table_) {
-    table_ = std::make_unique<AggregateHashTable>(group_types,
-                                                  aggregates_.size());
+    table_ = std::make_unique<RadixPartitionedAggregateTable>(
+        group_types, aggregates_, /*partitioned=*/true);
   }
+  if (!rest.empty()) {
+    MALLARD_RETURN_NOT_OK(parallel::RunPartitionedTasks(
+        context, table_->PartitionCount(), [&](idx_t p) -> Status {
+          for (RadixPartitionedAggregateTable* other : rest) {
+            table_->partition(p).Merge(other->partition(p), aggregates_);
+          }
+          return Status::OK();
+        }));
+  }
+  merge_ms_ += std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - merge_start)
+                   .count();
   return Status::OK();
 }
 
 Status PhysicalHashAggregate::Sink(ExecutionContext* context) {
+  auto sink_start = std::chrono::steady_clock::now();
   bool parallel_done = false;
-  MALLARD_RETURN_NOT_OK(ParallelSink(context, &parallel_done));
-  if (parallel_done) return Status::OK();
-  table_ = std::make_unique<AggregateHashTable>(GroupTypes(),
-                                                aggregates_.size());
-  return SinkSource(context, child(0), CopyGroupExprs(), CopyArgExprs(),
-                    table_.get());
+  Status status = ParallelSink(context, &parallel_done);
+  if (status.ok() && !parallel_done) {
+    table_ = std::make_unique<RadixPartitionedAggregateTable>(
+        GroupTypes(), aggregates_, /*partitioned=*/false);
+    status = SinkSource(context, child(0), CopyGroupExprs(), CopyArgExprs(),
+                        table_.get());
+  }
+  sink_ms_ += std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - sink_start)
+                  .count() -
+              merge_ms_;
+  return status;
 }
 
 Status PhysicalHashAggregate::GetChunk(ExecutionContext* context,
@@ -259,22 +283,30 @@ Status PhysicalHashAggregate::GetChunk(ExecutionContext* context,
     sunk_ = true;
   }
   out->Reset();
-  // Emission is aligned to the table's group-chunk boundaries, so each
-  // output chunk is one plain columnar copy plus per-group finalizes.
-  idx_t remaining = table_->GroupCount() - output_position_;
-  idx_t produced = std::min<idx_t>(remaining, kVectorSize);
-  if (produced > 0) {
-    table_->EmitKeys(output_position_, produced, out);
+  // Emission walks the partitions in order; within a partition it is
+  // aligned to the table's group-chunk boundaries, so each output chunk
+  // is one plain columnar copy plus per-group finalizes. Chunks shrink
+  // at partition tails (never to zero before the last partition).
+  idx_t produced = 0;
+  while (emit_partition_ < table_->PartitionCount()) {
+    const AggregateHashTable& part = table_->partition(emit_partition_);
+    idx_t remaining = part.GroupCount() - emit_offset_;
+    if (remaining == 0) {
+      emit_partition_++;
+      emit_offset_ = 0;
+      continue;
+    }
+    produced = std::min<idx_t>(remaining, kVectorSize);
+    part.EmitKeys(emit_offset_, produced, out);
     for (idx_t i = 0; i < produced; i++) {
-      idx_t group = output_position_ + i;
+      idx_t group = emit_offset_ + i;
       for (idx_t a = 0; a < aggregates_.size(); a++) {
         out->SetValue(groups_.size() + a, i,
-                      AggregateFunction::Finalize(aggregates_[a].type,
-                                                  aggregates_[a].return_type,
-                                                  table_->State(group, a)));
+                      part.FinalizeState(group, a, aggregates_[a]));
       }
     }
-    output_position_ += produced;
+    emit_offset_ += produced;
+    break;
   }
   out->SetCardinality(produced);
   return Status::OK();

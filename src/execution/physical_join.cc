@@ -1,5 +1,7 @@
 #include "mallard/execution/physical_join.h"
 
+#include <atomic>
+#include <chrono>
 #include <cstring>
 
 #include "mallard/expression/expression_executor.h"
@@ -52,15 +54,20 @@ PhysicalHashJoin::PhysicalHashJoin(JoinType join_type,
       join_type_(join_type),
       conditions_(std::move(conditions)),
       right_types_(right->types()) {
-  probe_chunk_.Initialize(left->types());
-  probe_keys_.Initialize(KeyTypes(conditions_, /*left_side=*/true));
-  for (auto& c : conditions_) probe_exprs_.push_back(c.left->Copy());
-  probe_hashes_.resize(kVectorSize);
-  probe_heads_.resize(kVectorSize);
-  match_sel_.resize(kVectorSize);
-  match_refs_.resize(kVectorSize);
   AddChild(std::move(left));
   AddChild(std::move(right));
+  InitCursor(&probe_);
+}
+
+void PhysicalHashJoin::InitCursor(ProbeCursor* cursor) const {
+  cursor->chunk.Initialize(children_[0]->types());
+  cursor->keys.Initialize(KeyTypes(conditions_, /*left_side=*/true));
+  cursor->exprs.clear();
+  for (const auto& c : conditions_) cursor->exprs.push_back(c.left->Copy());
+  cursor->hashes.resize(kVectorSize);
+  cursor->heads.resize(kVectorSize);
+  cursor->sel.resize(kVectorSize);
+  cursor->refs.resize(kVectorSize);
 }
 
 Status PhysicalHashJoin::EvaluateKeys(const std::vector<ExprPtr>& exprs,
@@ -127,6 +134,7 @@ Status PhysicalHashJoin::ParallelBuild(ExecutionContext* context,
 }
 
 Status PhysicalHashJoin::Build(ExecutionContext* context) {
+  auto build_start = std::chrono::steady_clock::now();
   table_ = std::make_unique<JoinHashTable>(
       KeyTypes(conditions_, /*left_side=*/false), right_types_);
   bool built_parallel = false;
@@ -139,99 +147,99 @@ Status PhysicalHashJoin::Build(ExecutionContext* context) {
   }
   table_->Finalize();
   built_ = true;
+  build_ms_ += std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - build_start)
+                   .count();
   return Status::OK();
 }
 
-idx_t PhysicalHashJoin::GatherMatches(idx_t capacity, uint32_t* sel,
-                                      uint64_t* refs) {
+idx_t PhysicalHashJoin::GatherMatches(ProbeCursor* cursor, idx_t capacity,
+                                      uint32_t* sel, uint64_t* refs) {
   constexpr uint64_t kNullRef = JoinHashTable::kNullRef;
+  ProbeCursor& c = *cursor;
   idx_t n = 0;
   const bool walk_chains =
       join_type_ == JoinType::kInner || join_type_ == JoinType::kLeft;
-  while (n < capacity && probe_position_ < probe_chunk_.size()) {
-    idx_t r = probe_position_;
+  while (n < capacity && c.position < c.chunk.size()) {
+    idx_t r = c.position;
     if (walk_chains) {
-      if (!chain_active_) {
-        chain_ref_ = table_->FirstMatch(probe_heads_[r], probe_keys_, r,
-                                        probe_hashes_[r]);
-        chain_active_ = true;
-        row_matched_ = false;
+      if (!c.chain_active) {
+        c.chain_ref =
+            table_->FirstMatch(c.heads[r], c.keys, r, c.hashes[r]);
+        c.chain_active = true;
+        c.row_matched = false;
       }
-      while (chain_ref_ != kNullRef && n < capacity) {
+      while (c.chain_ref != kNullRef && n < capacity) {
         sel[n] = static_cast<uint32_t>(r);
-        refs[n] = chain_ref_;
+        refs[n] = c.chain_ref;
         n++;
-        row_matched_ = true;
-        chain_ref_ =
-            table_->NextMatch(chain_ref_, probe_keys_, r, probe_hashes_[r]);
+        c.row_matched = true;
+        c.chain_ref = table_->NextMatch(c.chain_ref, c.keys, r, c.hashes[r]);
       }
-      if (chain_ref_ != kNullRef) break;  // capacity filled mid-chain
-      if (join_type_ == JoinType::kLeft && !row_matched_) {
+      if (c.chain_ref != kNullRef) break;  // capacity filled mid-chain
+      if (join_type_ == JoinType::kLeft && !c.row_matched) {
         if (n >= capacity) break;  // emit the NULL-padded row next call
         sel[n] = static_cast<uint32_t>(r);
         refs[n] = kNullRef;
         n++;
       }
-      probe_position_++;
-      chain_active_ = false;
+      c.position++;
+      c.chain_active = false;
     } else {
       // Semi/anti: existence check only, one output row at most.
-      uint64_t match = table_->FirstMatch(probe_heads_[r], probe_keys_, r,
-                                          probe_hashes_[r]);
+      uint64_t match = table_->FirstMatch(c.heads[r], c.keys, r, c.hashes[r]);
       if ((join_type_ == JoinType::kSemi) == (match != kNullRef)) {
         sel[n] = static_cast<uint32_t>(r);
         refs[n] = kNullRef;
         n++;
       }
-      probe_position_++;
+      c.position++;
     }
   }
   return n;
 }
 
-Status PhysicalHashJoin::GetChunk(ExecutionContext* context, DataChunk* out) {
-  if (!built_) {
-    MALLARD_RETURN_NOT_OK(Build(context));
-  }
+Status PhysicalHashJoin::ProbeChunk(ExecutionContext* context,
+                                    PhysicalOperator* source,
+                                    ProbeCursor* cursor, DataChunk* out) {
+  ProbeCursor& c = *cursor;
   out->Reset();
   idx_t produced = 0;
-  idx_t left_width = probe_chunk_.ColumnCount();
+  idx_t left_width = c.chunk.ColumnCount();
   bool emit_right =
       join_type_ == JoinType::kInner || join_type_ == JoinType::kLeft;
 
   while (produced < kVectorSize) {
-    if (probe_position_ >= probe_chunk_.size()) {
-      if (probe_exhausted_) break;
-      MALLARD_RETURN_NOT_OK(child(0)->GetChunk(context, &probe_chunk_));
-      probe_position_ = 0;
-      chain_active_ = false;
-      if (probe_chunk_.size() == 0) {
-        probe_exhausted_ = true;
+    if (c.position >= c.chunk.size()) {
+      if (c.exhausted) break;
+      MALLARD_RETURN_NOT_OK(source->GetChunk(context, &c.chunk));
+      c.position = 0;
+      c.chain_active = false;
+      if (c.chunk.size() == 0) {
+        c.exhausted = true;
         break;
       }
-      MALLARD_RETURN_NOT_OK(
-          EvaluateKeys(probe_exprs_, probe_chunk_, &probe_keys_));
-      table_->ProbeHeads(probe_keys_, probe_chunk_.size(),
-                         probe_hashes_.data(), probe_heads_.data());
+      MALLARD_RETURN_NOT_OK(EvaluateKeys(c.exprs, c.chunk, &c.keys));
+      table_->ProbeHeads(c.keys, c.chunk.size(), c.hashes.data(),
+                         c.heads.data());
       continue;
     }
-    idx_t n = GatherMatches(kVectorSize - produced, match_sel_.data(),
-                            match_refs_.data());
+    idx_t n = GatherMatches(cursor, kVectorSize - produced, c.sel.data(),
+                            c.refs.data());
     if (n == 0) continue;
     // Probe side: one selection-vector copy per column; build side:
     // decode each matched row straight into the output chunk.
-    for (idx_t c = 0; c < left_width; c++) {
-      out->column(c).CopySelection(probe_chunk_.column(c), match_sel_.data(),
-                                   n, produced);
+    for (idx_t col = 0; col < left_width; col++) {
+      out->column(col).CopySelection(c.chunk.column(col), c.sel.data(), n,
+                                     produced);
     }
     if (emit_right) {
       for (idx_t i = 0; i < n; i++) {
-        if (match_refs_[i] != JoinHashTable::kNullRef) {
-          table_->DecodePayload(match_refs_[i], out, produced + i,
-                                left_width);
+        if (c.refs[i] != JoinHashTable::kNullRef) {
+          table_->DecodePayload(c.refs[i], out, produced + i, left_width);
         } else {
-          for (idx_t c = left_width; c < out->ColumnCount(); c++) {
-            out->column(c).validity().SetInvalid(produced + i);
+          for (idx_t col = left_width; col < out->ColumnCount(); col++) {
+            out->column(col).validity().SetInvalid(produced + i);
           }
         }
       }
@@ -240,6 +248,124 @@ Status PhysicalHashJoin::GetChunk(ExecutionContext* context, DataChunk* out) {
   }
   out->SetCardinality(produced);
   return Status::OK();
+}
+
+Status PhysicalHashJoin::PlanParallelProbe(ExecutionContext* context) {
+  // Per-worker cursors (private expression copies, chunks, scratch) are
+  // sized up front on the calling thread; each worker then only touches
+  // its own cursor and its own result collection. The hash table itself
+  // is finalized and immutable: FirstMatch/NextMatch/DecodePayload are
+  // const and scratch-free, so concurrent probing is read-only-safe
+  // (docs/CONCURRENCY.md).
+  parallel_probe_ = probe_pipeline_.Plan(context, child(0));
+  if (!parallel_probe_) return Status::OK();
+  probe_cursors_.clear();
+  for (int w = 0; w < probe_pipeline_.threads(); w++) {
+    probe_cursors_.push_back(std::make_unique<ProbeCursor>());
+    InitCursor(probe_cursors_.back().get());
+  }
+  return Status::OK();
+}
+
+Status PhysicalHashJoin::RunProbePass(ExecutionContext* context) {
+  // Bound what one pass may materialize: a share of the governor's
+  // current memory budget per cursor (floored so tiny budgets still
+  // make progress one chunk at a time). The result buffers are the only
+  // probe-side state that grows with the *output*, so this cap is what
+  // keeps a high-fanout join from buffering an unbounded result — the
+  // caller drains the buffers and runs another pass instead.
+  const uint64_t pass_budget = std::max<uint64_t>(
+      1ull << 22, context->governor->EffectiveMemoryBudget() /
+                      (4 * static_cast<uint64_t>(probe_pipeline_.threads())));
+  probe_results_.clear();
+  probe_results_.resize(probe_cursors_.size());
+  // Unfinished cursors are claimed from a shared queue rather than
+  // bound to the runner's own index: a governed pass the scheduler
+  // clamps to fewer runners than cursors (reactive budget collapse)
+  // still drives every pending cursor — otherwise a cursor paused on
+  // the pass budget could starve forever and GetChunk would spin.
+  std::vector<int> pending;
+  for (int i = 0; i < static_cast<int>(probe_cursors_.size()); i++) {
+    if (!probe_cursors_[i]->exhausted) pending.push_back(i);
+  }
+  std::atomic<size_t> next{0};
+  return probe_pipeline_.RunPass(
+      context, [&](int, PhysicalOperator*) -> Status {
+        while (true) {
+          size_t claim = next.fetch_add(1);
+          if (claim >= pending.size()) return Status::OK();
+          int cw = pending[claim];
+          ProbeCursor& cursor = *probe_cursors_[cw];
+          PhysicalOperator* scan = probe_pipeline_.clone(cw);
+          auto result =
+              std::make_unique<ChunkCollection>(types(), context->governor);
+          DataChunk chunk;
+          chunk.Initialize(types());
+          while (true) {
+            MALLARD_RETURN_NOT_OK(
+                ProbeChunk(context, scan, &cursor, &chunk));
+            if (chunk.size() == 0) break;  // cursor.exhausted is now set
+            MALLARD_RETURN_NOT_OK(result->Append(chunk));
+            if (result->MemoryBytes() >= pass_budget) break;  // next pass
+          }
+          result->Finalize();
+          probe_results_[cw] = std::move(result);
+        }
+      });
+}
+
+bool PhysicalHashJoin::AllProbeWorkersDone() const {
+  for (const auto& cursor : probe_cursors_) {
+    if (!cursor->exhausted) return false;
+  }
+  return true;
+}
+
+Status PhysicalHashJoin::GetChunk(ExecutionContext* context, DataChunk* out) {
+  if (!built_) {
+    MALLARD_RETURN_NOT_OK(Build(context));
+  }
+  auto probe_start = std::chrono::steady_clock::now();
+  auto track_probe = [&]() {
+    probe_ms_ += std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - probe_start)
+                     .count();
+  };
+  if (!probe_planned_) {
+    MALLARD_RETURN_NOT_OK(PlanParallelProbe(context));
+    probe_planned_ = true;
+  }
+  if (parallel_probe_) {
+    out->Reset();
+    while (true) {
+      // Drain this pass's per-worker buffers in worker-index order, so
+      // the output stream does not depend on worker completion timing.
+      while (drain_index_ < probe_results_.size()) {
+        if (!probe_results_[drain_index_]) {
+          drain_index_++;
+          continue;
+        }
+        MALLARD_RETURN_NOT_OK(
+            probe_results_[drain_index_]->Scan(&drain_scan_, out));
+        if (out->size() > 0) {
+          track_probe();
+          return Status::OK();
+        }
+        drain_index_++;
+        drain_scan_ = ChunkCollection::ScanState{};
+      }
+      if (AllProbeWorkersDone()) break;
+      MALLARD_RETURN_NOT_OK(RunProbePass(context));
+      drain_index_ = 0;
+      drain_scan_ = ChunkCollection::ScanState{};
+    }
+    out->SetCardinality(0);
+    track_probe();
+    return Status::OK();
+  }
+  Status status = ProbeChunk(context, child(0), &probe_, out);
+  track_probe();
+  return status;
 }
 
 std::string PhysicalHashJoin::name() const {

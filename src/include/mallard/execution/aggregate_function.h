@@ -1,12 +1,18 @@
 #ifndef MALLARD_EXECUTION_AGGREGATE_FUNCTION_H_
 #define MALLARD_EXECUTION_AGGREGATE_FUNCTION_H_
 
+#include <vector>
+
 #include "mallard/expression/bound_expression.h"
 
 namespace mallard {
 
 /// Accumulator for one aggregate over one group. A single struct covers
-/// all aggregate kinds; Finalize interprets it per function.
+/// all aggregate kinds; Finalize interprets it per function. This is the
+/// *generic* representation (~64B + a boxed Value): the vectorized hash
+/// aggregate only falls back to it when an aggregate has no fixed-width
+/// state (MIN/MAX over VARCHAR); everything else runs on the compact
+/// AggStateLayout rows below.
 struct AggState {
   int64_t count = 0;
   int64_t isum = 0;
@@ -39,6 +45,70 @@ class AggregateFunction {
                         const AggState& state);
 
   static const char* Name(AggType type);
+};
+
+/// One aggregate's slot inside a compact fixed-width state row.
+struct AggStateSlot {
+  AggType type;
+  TypeId arg_type;     // kInvalid for COUNT(*)
+  TypeId result_type;
+  uint32_t offset;     // byte offset inside the state row (8-aligned)
+};
+
+/// Fixed-width row layout for aggregate states: one state row per group,
+/// one slot per aggregate, all slots 8 or 16 bytes. Compared to a
+/// `std::vector<AggState>` (~64B + a heap Value per state) this roughly
+/// halves-or-better the bytes touched per aggregation update, and makes
+/// the merge step of parallel aggregation a typed batch combine over raw
+/// rows instead of per-state Value comparisons.
+///
+/// Slot contents (all-zero bytes are the initial state of every slot):
+///   COUNT(*)/COUNT(x)           [int64 count]
+///   SUM/AVG over INT/BIGINT     [int64 sum][int64 count]
+///   SUM/AVG over DOUBLE         [double sum][int64 count]
+///   MIN/MAX over INT/DATE       [int32 value][int32 seen]
+///   MIN/MAX over BIGINT/TS/DBL  [8B value][int64 seen]
+///
+/// MIN/MAX over VARCHAR (or any non-fixed-width argument) has no slot
+/// encoding; Plan() then reports compact() == false and the caller keeps
+/// the generic AggState path.
+class AggStateLayout {
+ public:
+  /// True when `type` over `arg_type` has a fixed-width slot encoding.
+  static bool Compactable(AggType type, TypeId arg_type);
+
+  /// Plans a layout over `aggregates`. When any aggregate is not
+  /// compactable the returned layout has compact() == false and must not
+  /// be used for state storage.
+  static AggStateLayout Plan(const std::vector<BoundAggregate>& aggregates);
+
+  bool compact() const { return compact_; }
+  /// Bytes per state row (multiple of 8; 0 for an empty aggregate list).
+  idx_t row_size() const { return row_size_; }
+  const std::vector<AggStateSlot>& slots() const { return slots_; }
+
+  /// Folds rows of `arg` into slot `slot_index` of the state rows of the
+  /// rows' groups: input row i (or sel[i] when `sel` is given) updates
+  /// the state row of group group_ids[i] inside `base`. `arg` is null
+  /// for COUNT(*). One type dispatch per call, typed loops inside.
+  void Update(idx_t slot_index, const Vector* arg, idx_t count,
+              const idx_t* group_ids, const uint32_t* sel,
+              uint8_t* base) const;
+
+  /// Batch combine: folds `count` consecutive source state rows
+  /// (groups src_first .. src_first+count of `src_base`) into the
+  /// destination state rows of groups dst_ids[0..count) — slot-major
+  /// typed loops, the merge kernel of radix-partitioned aggregation.
+  void Combine(const uint8_t* src_base, idx_t src_first, idx_t count,
+               const idx_t* dst_ids, uint8_t* dst_base) const;
+
+  /// Produces the result of slot `slot_index` from one state row.
+  Value Finalize(idx_t slot_index, const uint8_t* row) const;
+
+ private:
+  bool compact_ = false;
+  idx_t row_size_ = 0;
+  std::vector<AggStateSlot> slots_;
 };
 
 }  // namespace mallard

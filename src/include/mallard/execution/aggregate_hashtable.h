@@ -15,7 +15,16 @@ namespace mallard {
 /// group keys to dense group ids; the group key rows themselves live in
 /// columnar chunks (kVectorSize rows each, creation order) so emission
 /// is a plain chunk copy and key comparison is typed array access.
-/// Aggregate states are a flat array, `aggregate_count` per group.
+///
+/// Aggregate states: when every aggregate in the list has a fixed-width
+/// encoding (see AggStateLayout) the states are compact byte rows —
+/// `layout.row_size()` bytes per group, updated/combined by typed batch
+/// kernels. Otherwise (MIN/MAX over VARCHAR) states fall back to a flat
+/// `AggState` array, `aggregate_count` per group. Construction with only
+/// an aggregate *count* (tests) always uses the AggState fallback.
+///
+/// Each group's hash is retained in creation order (`group_hashes_`), so
+/// merging partial tables and radix-partitioning groups never re-hash.
 ///
 /// Semantics: NULL = NULL for grouping (a NULL key forms its own
 /// group); doubles compare on a normalized bit pattern (-0.0 == +0.0,
@@ -28,36 +37,69 @@ namespace mallard {
 /// per-row map lookups or Value boxing on the hot path.
 class AggregateHashTable {
  public:
-  /// `initial_capacity` is rounded up to a power of two; tests pass a
-  /// tiny value to force collisions and exercise linear probing.
+  /// Generic-state construction (aggregate semantics unknown): states
+  /// are AggState structs. `initial_capacity` is rounded up to a power
+  /// of two; tests pass a tiny value to force collisions and exercise
+  /// linear probing.
   AggregateHashTable(std::vector<TypeId> group_types, idx_t aggregate_count,
                      idx_t initial_capacity = 1024);
+
+  /// Preferred construction: plans a compact fixed-width state layout
+  /// over `aggregates` and uses it when every aggregate is compactable,
+  /// falling back to AggState rows otherwise.
+  AggregateHashTable(std::vector<TypeId> group_types,
+                     const std::vector<BoundAggregate>& aggregates,
+                     idx_t initial_capacity = 1024);
+
+  /// True when states are compact fixed-width rows (tests/benches).
+  bool CompactLayout() const { return layout_.compact(); }
 
   /// Maps the first `count` rows of `groups` to dense group ids
   /// (creating groups for unseen keys) and writes them to `group_ids`.
   void FindOrCreateGroups(const DataChunk& groups, idx_t count,
                           idx_t* group_ids);
 
-  /// Folds rows [0, count) of `arg` into the states selected by
-  /// `group_ids` for aggregate slot `agg_index`. One type dispatch per
-  /// call, typed loops inside; MIN/MAX box a Value only when the
-  /// running extreme improves.
+  /// Selection-vector variant used by radix-partitioned sinks: row
+  /// sel[i] of `groups` (with precomputed hash hashes[sel[i]]) maps to
+  /// group_ids[i]. `hashes` is indexed by *original* row number.
+  void FindOrCreateGroupsSel(const DataChunk& groups, const uint32_t* sel,
+                             idx_t count, const uint64_t* hashes,
+                             idx_t* group_ids);
+
+  /// Folds rows of `arg` into the states selected by `group_ids` for
+  /// aggregate slot `agg_index`: input row i — or sel[i] when `sel` is
+  /// given — updates group_ids[i]. One type dispatch per call, typed
+  /// loops inside; the AggState fallback boxes a Value only when a
+  /// MIN/MAX extreme improves.
   void UpdateStates(const BoundAggregate& aggregate, idx_t agg_index,
-                    const Vector* arg, idx_t count, const idx_t* group_ids);
+                    const Vector* arg, idx_t count, const idx_t* group_ids,
+                    const uint32_t* sel = nullptr);
 
   /// Folds every group of `other` (a thread-local partial aggregate over
   /// a disjoint row subset) into this table: unseen keys create new
-  /// groups, existing keys combine states via AggregateFunction::Combine.
-  /// `aggregates` must be the same list both tables were updated with.
+  /// groups, existing keys combine states — a typed batch kernel for
+  /// compact layouts, AggregateFunction::Combine otherwise. Uses
+  /// `other`'s stored group hashes (no re-hashing). `aggregates` must be
+  /// the same list both tables were updated with, and both tables must
+  /// share the same layout mode.
   void Merge(const AggregateHashTable& other,
              const std::vector<BoundAggregate>& aggregates);
 
   idx_t GroupCount() const { return group_count_; }
   idx_t Capacity() const { return entries_.size(); }
 
+  /// Hash of group `group_id` as retained at creation.
+  uint64_t GroupHash(idx_t group_id) const { return group_hashes_[group_id]; }
+
+  /// Generic-state accessor (AggState fallback layouts only).
   const AggState& State(idx_t group_id, idx_t agg_index) const {
     return states_[group_id * aggregate_count_ + agg_index];
   }
+
+  /// Produces the result of aggregate `agg_index` for `group_id`,
+  /// whichever state representation is in use.
+  Value FinalizeState(idx_t group_id, idx_t agg_index,
+                      const BoundAggregate& aggregate) const;
 
   /// Copies group key rows [start, start+count) into the leading
   /// columns of `out`. `start` must be kVectorSize-aligned and the
@@ -74,18 +116,78 @@ class AggregateHashTable {
   void Resize(idx_t new_capacity);
   void EnsureCapacity(idx_t incoming);
   bool GroupEquals(idx_t group, const DataChunk& groups, idx_t row) const;
-  idx_t AppendGroup(const DataChunk& groups, idx_t row);
+  idx_t AppendGroup(const DataChunk& groups, idx_t row, uint64_t hash);
+  /// Linear-probe find-or-create for one row with a precomputed hash.
+  idx_t FindOrCreateOne(const DataChunk& groups, idx_t row, uint64_t hash);
 
   std::vector<TypeId> group_types_;
   idx_t aggregate_count_;
+  AggStateLayout layout_;
   std::vector<Entry> entries_;
   uint64_t mask_ = 0;
   idx_t group_count_ = 0;
   // Group keys, columnar, creation order; chunk g/kVectorSize row
   // g%kVectorSize holds group g.
   std::vector<std::unique_ptr<DataChunk>> group_chunks_;
-  std::vector<AggState> states_;  // group-major: group * aggregate_count_
+  std::vector<uint64_t> group_hashes_;  // creation order, for merge/radix
+  std::vector<AggState> states_;   // fallback: group * aggregate_count_
+  std::vector<uint8_t> state_rows_;  // compact: group * layout_.row_size()
   std::vector<uint64_t> hash_scratch_;
+  std::vector<idx_t> merge_ids_;  // Merge scratch
+};
+
+/// Radix-partitioned front for thread-local aggregation sinks: groups
+/// are routed to one of kPartitions inner AggregateHashTables by the
+/// high bits of their hash (the directory probes use the low bits, so
+/// the two are independent). Because every thread-local table partitions
+/// by the *same* hash, the final merge of N worker tables decomposes
+/// into kPartitions disjoint merges that can run on different threads —
+/// the serial-merge bottleneck of high-cardinality parallel GROUP BY
+/// becomes embarrassingly parallel.
+///
+/// With `partitioned = false` the wrapper holds a single inner table and
+/// routes nothing: the serial aggregation path keeps its exact hot path
+/// while sharing the one sink body (physical_aggregate.cc).
+class RadixPartitionedAggregateTable {
+ public:
+  static constexpr idx_t kRadixBits = 4;
+  static constexpr idx_t kPartitions = idx_t(1) << kRadixBits;
+
+  RadixPartitionedAggregateTable(std::vector<TypeId> group_types,
+                                 const std::vector<BoundAggregate>& aggregates,
+                                 bool partitioned);
+
+  /// Partition of a group hash: its top kRadixBits bits.
+  static idx_t PartitionOf(uint64_t hash) { return hash >> (64 - kRadixBits); }
+
+  /// Maps the first `count` rows of `groups` to their partitions'
+  /// groups, creating unseen groups. Retains the per-partition routing
+  /// (selection vectors + group ids) for the UpdateStates calls that
+  /// must follow for the same chunk.
+  void FindOrCreateGroups(const DataChunk& groups, idx_t count);
+
+  /// Folds rows of `arg` into aggregate slot `agg_index` of the groups
+  /// resolved by the preceding FindOrCreateGroups call.
+  void UpdateStates(const BoundAggregate& aggregate, idx_t agg_index,
+                    const Vector* arg, idx_t count);
+
+  idx_t PartitionCount() const { return partitions_.size(); }
+  AggregateHashTable& partition(idx_t p) { return *partitions_[p]; }
+  const AggregateHashTable& partition(idx_t p) const {
+    return *partitions_[p];
+  }
+
+  idx_t GroupCount() const;
+
+ private:
+  std::vector<std::unique_ptr<AggregateHashTable>> partitions_;
+  // Per-chunk routing scratch (valid between FindOrCreateGroups and the
+  // UpdateStates calls for the same chunk).
+  std::vector<uint64_t> hashes_;
+  std::vector<uint32_t> part_sel_;   // kPartitions x kVectorSize
+  std::vector<idx_t> part_ids_;      // kPartitions x kVectorSize
+  idx_t part_count_[kPartitions] = {};
+  std::vector<idx_t> ids_;  // unpartitioned fast path
 };
 
 }  // namespace mallard

@@ -47,8 +47,15 @@ class PhysicalUngroupedAggregate final : public PhysicalOperator {
 /// Hash aggregation: output columns are the group keys followed by the
 /// aggregates. Backed by the vectorized AggregateHashTable — group
 /// lookup is a batch hash pass plus a linear-probe loop per chunk, and
-/// aggregate states update in typed batches (no per-row key
-/// serialization or map lookups).
+/// aggregate states update in typed batches over compact fixed-width
+/// state rows (no per-row key serialization, map lookups, or Value
+/// boxing on fixed-width aggregates).
+///
+/// Parallel sink: workers pre-aggregate disjoint morsels into
+/// thread-local *radix-partitioned* tables, so the final merge
+/// decomposes into kPartitions disjoint per-partition merges that run in
+/// parallel under the governor's budget (serial sinks keep a single
+/// unpartitioned table and skip routing entirely).
 class PhysicalHashAggregate final : public PhysicalOperator {
  public:
   PhysicalHashAggregate(std::vector<ExprPtr> groups,
@@ -60,31 +67,41 @@ class PhysicalHashAggregate final : public PhysicalOperator {
   /// Number of distinct groups seen (stats for tests/benches).
   idx_t GroupCount() const { return table_ ? table_->GroupCount() : 0; }
 
+  /// Phase timing of the last execution (benches): time spent in the
+  /// (possibly parallel) input sink, and in the partition-merge pass
+  /// (0 for serial sinks, which have no merge).
+  double SinkMs() const { return sink_ms_; }
+  double MergeMs() const { return merge_ms_; }
+
  protected:
   Status ResetOperator() override {
     table_.reset();
     sunk_ = false;
-    output_position_ = 0;
+    emit_partition_ = 0;
+    emit_offset_ = 0;
+    sink_ms_ = 0;
+    merge_ms_ = 0;
     return Status::OK();
   }
 
  private:
   Status Sink(ExecutionContext* context);
   /// Morsel-driven pre-aggregation: workers aggregate disjoint morsels
-  /// into thread-local AggregateHashTables, merged into table_ in a
-  /// final single-threaded pass. Sets `*done` when the parallel path
-  /// ran; otherwise the caller runs the serial sink loop.
+  /// into thread-local radix-partitioned tables; the per-partition
+  /// merges then run through parallel::RunPartitionedTasks. Sets `*done`
+  /// when the parallel path ran; otherwise the caller runs the serial
+  /// sink loop.
   Status ParallelSink(ExecutionContext* context, bool* done);
-  /// The sink loop shared by the serial path (source = child(0), table
-  /// = table_) and every parallel worker (source = its morsel clone,
-  /// table = its thread-local table): pull chunks, evaluate groups,
-  /// FindOrCreateGroups, update states. One body keeps serial and
-  /// parallel semantics from diverging. Argument entries may be null
-  /// (COUNT(*)).
+  /// The sink loop shared by the serial path (source = child(0), one
+  /// unpartitioned table) and every parallel worker (source = its morsel
+  /// clone, table = its thread-local partitioned table): pull chunks,
+  /// evaluate groups, FindOrCreateGroups, update states. One body keeps
+  /// serial and parallel semantics from diverging. Argument entries may
+  /// be null (COUNT(*)).
   Status SinkSource(ExecutionContext* context, PhysicalOperator* source,
                     const std::vector<ExprPtr>& group_exprs,
                     const std::vector<ExprPtr>& arg_exprs,
-                    AggregateHashTable* table);
+                    RadixPartitionedAggregateTable* table);
   std::vector<TypeId> GroupTypes() const;
   std::vector<ExprPtr> CopyGroupExprs() const;
   std::vector<ExprPtr> CopyArgExprs() const;
@@ -92,9 +109,14 @@ class PhysicalHashAggregate final : public PhysicalOperator {
   std::vector<ExprPtr> groups_;
   std::vector<BoundAggregate> aggregates_;
 
-  std::unique_ptr<AggregateHashTable> table_;
+  std::unique_ptr<RadixPartitionedAggregateTable> table_;
   bool sunk_ = false;
-  idx_t output_position_ = 0;
+  // Emission cursor: partition-major, kVectorSize-aligned within each
+  // partition.
+  idx_t emit_partition_ = 0;
+  idx_t emit_offset_ = 0;
+  double sink_ms_ = 0;
+  double merge_ms_ = 0;
 };
 
 }  // namespace mallard

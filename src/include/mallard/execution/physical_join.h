@@ -11,6 +11,7 @@
 #include "mallard/execution/physical_operator.h"
 #include "mallard/execution/row_codec.h"
 #include "mallard/expression/bound_expression.h"
+#include "mallard/parallel/morsel.h"
 #include "mallard/storage/buffer_manager.h"
 
 namespace mallard {
@@ -33,6 +34,21 @@ struct JoinCondition {
 /// row decodes for the build side — no per-row key serialization or map
 /// lookups. Build rows live in buffer-manager segments so the memory
 /// cost is visible to the governor's accounting.
+///
+/// Parallel probe: after the single Finalize the hash table is immutable
+/// and its probe entry points are const and scratch-free, so the probe
+/// side runs morsel-parallel when it is a scan-shaped pipeline — each
+/// worker owns a private ProbeCursor and a private ChunkCollection of
+/// result chunks, drained in worker-index order afterwards. Covers
+/// inner/left/semi/anti; the governor's budget is re-read at every
+/// morsel boundary exactly like the build side. Memory is bounded: the
+/// pipeline runs in *passes* — each pass materializes at most a
+/// governor-derived byte budget per worker, GetChunk drains those
+/// buffers, and the next pass resumes from the shared morsel counter
+/// (and mid-morsel cursors), so a high-fanout join never buffers more
+/// than one pass of output. When the probe subtree has no parallel
+/// shape (or the budget is 1) the classic streaming serial probe runs
+/// unchanged.
 class PhysicalHashJoin final : public PhysicalOperator {
  public:
   PhysicalHashJoin(JoinType join_type, std::vector<JoinCondition> conditions,
@@ -43,23 +59,61 @@ class PhysicalHashJoin final : public PhysicalOperator {
 
   uint64_t BuildBytes() const { return table_ ? table_->BuildBytes() : 0; }
 
+  /// Phase timing of the last execution (benches): build = sink +
+  /// Finalize of the hash table; probe = everything after (for a
+  /// parallel probe, the whole materialization lands in the first
+  /// GetChunk and is counted here).
+  double BuildMs() const { return build_ms_; }
+  double ProbeMs() const { return probe_ms_; }
+
  protected:
   Status ResetOperator() override {
     table_.reset();
     built_ = false;
-    // Drop the probe cursor completely: probe_heads_/chain_ref_ hold refs
-    // into the destroyed table, and a stale probe_chunk_ cardinality
-    // would replay old rows against the rebuilt one.
-    probe_chunk_.Reset();
-    probe_position_ = 0;
-    chain_ref_ = JoinHashTable::kNullRef;
-    chain_active_ = false;
-    row_matched_ = false;
-    probe_exhausted_ = false;
+    // Drop the probe cursor completely: its chain head refs point into
+    // the destroyed table, and a stale probe chunk cardinality would
+    // replay old rows against the rebuilt one.
+    probe_.chunk.Reset();
+    probe_.position = 0;
+    probe_.chain_ref = JoinHashTable::kNullRef;
+    probe_.chain_active = false;
+    probe_.row_matched = false;
+    probe_.exhausted = false;
+    // Parallel probe pipeline and result buffers are per-execution
+    // state: an abandoned mid-drain stream must not replay stale chunks
+    // or resume a stale morsel counter.
+    probe_planned_ = false;
+    parallel_probe_ = false;
+    probe_pipeline_ = parallel::MorselPipeline{};
+    probe_cursors_.clear();
+    probe_results_.clear();
+    drain_index_ = 0;
+    drain_scan_ = ChunkCollection::ScanState{};
+    build_ms_ = 0;
+    probe_ms_ = 0;
     return Status::OK();
   }
 
  private:
+  /// Per-worker (or serial) probe-side state: the current probe chunk,
+  /// its evaluated keys/hashes/chain heads, and the mid-chain resume
+  /// position. Each parallel probe worker owns one; the serial path uses
+  /// the operator's own instance.
+  struct ProbeCursor {
+    DataChunk chunk;
+    DataChunk keys;
+    std::vector<ExprPtr> exprs;
+    std::vector<uint64_t> hashes;
+    std::vector<uint64_t> heads;
+    std::vector<uint32_t> sel;   // gather scratch
+    std::vector<uint64_t> refs;  // gather scratch
+    idx_t position = 0;
+    uint64_t chain_ref = JoinHashTable::kNullRef;
+    bool chain_active = false;  // FirstMatch already run for current row
+    bool row_matched = false;   // current row produced a match (left join)
+    bool exhausted = false;  // source drained and cursor fully consumed
+  };
+
   Status Build(ExecutionContext* context);
   /// Morsel-driven partitioned build: workers scan disjoint row-group
   /// morsels of the build side into private JoinHashTable partitions,
@@ -75,12 +129,39 @@ class PhysicalHashJoin final : public PhysicalOperator {
   Status SinkBuildSide(ExecutionContext* context, PhysicalOperator* source,
                        const std::vector<ExprPtr>& key_exprs,
                        JoinHashTable* table);
+  /// Sizes a cursor's chunks/scratch and fills its key expressions with
+  /// private copies of the probe-side condition expressions.
+  void InitCursor(ProbeCursor* cursor) const;
+  /// Produces the next output chunk (up to kVectorSize rows) by pulling
+  /// probe chunks from `source` through `cursor` — the probe loop body
+  /// shared by the serial path (source = child(0), cursor = probe_) and
+  /// every parallel worker (source = its morsel clone, cursor = its
+  /// private one). An empty output chunk signals source exhaustion.
+  Status ProbeChunk(ExecutionContext* context, PhysicalOperator* source,
+                    ProbeCursor* cursor, DataChunk* out);
+  /// Plans the morsel-parallel probe over the (finalized, immutable)
+  /// hash table: clones the probe subtree per worker and sizes the
+  /// per-worker cursors. Sets parallel_probe_; when false the serial
+  /// streaming probe runs instead.
+  Status PlanParallelProbe(ExecutionContext* context);
+  /// One bounded pass: every unfinished cursor probes morsels into a
+  /// fresh private ChunkCollection until the source is exhausted for it
+  /// or the pass's per-cursor byte budget is reached (mid-morsel
+  /// cursors resume next pass). Pass runners claim pending cursors from
+  /// a shared queue, so every unfinished cursor advances even when the
+  /// governor clamps a pass to fewer runners than cursors — the pass
+  /// always makes progress. GetChunk drains the buffers in cursor order
+  /// between passes.
+  Status RunProbePass(ExecutionContext* context);
+  /// True when every cursor has fully drained its morsels.
+  bool AllProbeWorkersDone() const;
   static Status EvaluateKeys(const std::vector<ExprPtr>& exprs,
                              const DataChunk& input, DataChunk* keys);
-  /// Gathers up to `capacity` output rows from the current probe chunk
-  /// into (probe row, build ref) pairs; build ref kNullRef marks a
-  /// NULL-padded left-join row. Resumes mid-chain across calls.
-  idx_t GatherMatches(idx_t capacity, uint32_t* sel, uint64_t* refs);
+  /// Gathers up to `capacity` output rows from the cursor's current
+  /// probe chunk into (probe row, build ref) pairs; build ref kNullRef
+  /// marks a NULL-padded left-join row. Resumes mid-chain across calls.
+  idx_t GatherMatches(ProbeCursor* cursor, idx_t capacity, uint32_t* sel,
+                      uint64_t* refs);
 
   JoinType join_type_;
   std::vector<JoinCondition> conditions_;
@@ -89,19 +170,20 @@ class PhysicalHashJoin final : public PhysicalOperator {
   std::unique_ptr<JoinHashTable> table_;
   bool built_ = false;
 
-  // Probe state.
-  DataChunk probe_chunk_;
-  DataChunk probe_keys_;
-  std::vector<ExprPtr> probe_exprs_;
-  std::vector<uint64_t> probe_hashes_;  // per probe chunk
-  std::vector<uint64_t> probe_heads_;
-  std::vector<uint32_t> match_sel_;  // gather scratch
-  std::vector<uint64_t> match_refs_;
-  idx_t probe_position_ = 0;
-  uint64_t chain_ref_ = JoinHashTable::kNullRef;
-  bool chain_active_ = false;  // FirstMatch already run for current row
-  bool row_matched_ = false;   // current row produced a match (left join)
-  bool probe_exhausted_ = false;
+  // Serial probe state.
+  ProbeCursor probe_;
+  // Parallel probe state: the resumable pipeline, per-worker cursors,
+  // this pass's per-worker result buffers (null for workers that did
+  // not run this pass) and the drain cursor over them.
+  bool probe_planned_ = false;
+  bool parallel_probe_ = false;
+  parallel::MorselPipeline probe_pipeline_;
+  std::vector<std::unique_ptr<ProbeCursor>> probe_cursors_;
+  std::vector<std::unique_ptr<ChunkCollection>> probe_results_;
+  idx_t drain_index_ = 0;
+  ChunkCollection::ScanState drain_scan_;
+  double build_ms_ = 0;
+  double probe_ms_ = 0;
 };
 
 /// Sort-merge join over both children using the out-of-core external

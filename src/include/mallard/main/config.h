@@ -20,9 +20,11 @@ struct DBConfig {
   /// Total machine memory envelope (reactive-mode denominator).
   uint64_t total_memory = 4ull << 30;  // 4 GiB
   /// Maximum worker threads for intra-query parallelism. 0 (default) =
-  /// auto: the hardware's core count, so the embedded engine is exactly
-  /// as parallel as the machine and never oversubscribes a small host
-  /// (on a 1-core machine auto means fully serial execution).
+  /// auto: the MALLARD_THREADS environment variable when set (CI pins
+  /// whole test runs this way), else the hardware's core count — so the
+  /// embedded engine is exactly as parallel as the machine and never
+  /// oversubscribes a small host (on a 1-core machine auto means fully
+  /// serial execution).
   int threads = 0;
   /// Verify CRC32C block checksums on every read (paper section 3).
   bool enable_checksums = true;

@@ -114,7 +114,11 @@ class Connection {
       std::vector<std::string> names, std::vector<TypeId> types,
       std::shared_ptr<void> lease = nullptr);
 
-  Status ExecutePragma(const PragmaStatement& stmt);
+  /// Executes one PRAGMA. Most pragmas return a single `ok` row;
+  /// `PRAGMA threads` with no value returns the connection's effective
+  /// thread budget (the pinned override or the governor's live budget).
+  Result<std::unique_ptr<MaterializedQueryResult>> ExecutePragma(
+      const PragmaStatement& stmt);
 
   /// Returns the active transaction, starting an autocommit one if
   /// needed; `started` reports whether this call opened it.

@@ -96,10 +96,17 @@ struct ParallelRun {
   std::shared_ptr<TableMorselSource> source;
 };
 
-/// Decides the degree of parallelism for sinking `subtree`: the
-/// connection's PRAGMA threads override or the governor's effective
-/// budget, clamped to the number of row-group morsels the leaf table
-/// offers and to TableMorselSource::kMaxWorkers.
+/// Resolves how wide a parallel phase launched right now may fan out:
+/// the connection's PRAGMA threads override or the governor's effective
+/// budget, clamped to TableMorselSource::kMaxWorkers and to
+/// `item_count` (morsels, partitions, ...), floored at 1. The single
+/// definition of the launch-width contract — every parallel phase
+/// (scan pipelines, partition-task fan-out) resolves through it.
+int ResolveLaunchWidth(const ExecutionContext* context, idx_t item_count);
+
+/// Decides the degree of parallelism for sinking `subtree`:
+/// ResolveLaunchWidth over the number of row-group morsels the leaf
+/// table offers.
 ParallelRun PlanParallelScan(ExecutionContext* context,
                              const PhysicalOperator* subtree);
 
@@ -108,6 +115,40 @@ ParallelRun PlanParallelScan(ExecutionContext* context,
 /// the subtree refuses to clone (caller falls back to serial).
 std::vector<std::unique_ptr<PhysicalOperator>> CloneWorkers(
     const ParallelRun& run, const PhysicalOperator* subtree);
+
+/// A resumable morsel pipeline: Plan() decides parallelism and builds
+/// the per-worker subtree clones once; each RunPass() then fans the
+/// workers out over whatever morsels remain unclaimed (the shared
+/// source's atomic counter persists across passes). Sinks that must
+/// bound how much they materialize per fan-out — the parallel probe's
+/// result buffers — run several passes, draining between them;
+/// single-shot sinks use RunMorselPipeline below.
+class MorselPipeline {
+ public:
+  /// Plans the scan and clones the subtree per worker. Returns false
+  /// (and stays unplanned) when the subtree stays serial.
+  bool Plan(ExecutionContext* context, const PhysicalOperator* subtree);
+
+  /// Launches one pass: `worker(w, clone_w)` for every planned worker.
+  /// NOTE: the scheduler may clamp a governed pass below the planned
+  /// width, in which case worker indices at and above the clamp are
+  /// never invoked in that pass — a multi-pass sink whose per-worker
+  /// state must make progress regardless should claim work items from
+  /// a shared queue inside `worker` (keyed by clone index via clone()),
+  /// not rely on its own index being launched.
+  Status RunPass(
+      ExecutionContext* context,
+      const std::function<Status(int worker, PhysicalOperator* scan)>& worker);
+
+  int threads() const { return run_.threads; }
+  /// Worker w's subtree clone — for passes that drive another worker's
+  /// pending state after a governed clamp (see RunPass note).
+  PhysicalOperator* clone(int w) { return clones_[w].get(); }
+
+ private:
+  ParallelRun run_;
+  std::vector<std::unique_ptr<PhysicalOperator>> clones_;
+};
 
 /// The shared launch protocol of every parallel sink: plan the scan,
 /// clone the subtree per worker, and run `worker(w, clone_w)` on the
@@ -123,6 +164,18 @@ Status RunMorselPipeline(
     ExecutionContext* context, const PhysicalOperator* subtree, bool* ran,
     const std::function<void(idx_t workers)>& prepare,
     const std::function<Status(int worker, PhysicalOperator* scan)>& worker);
+
+/// Runs `task(i)` for i in [0, task_count) across the worker pool, each
+/// task claimed from a shared atomic counter (the non-scan sibling of a
+/// morsel source — used for e.g. the per-partition merges of
+/// radix-partitioned aggregation). Honors the same budget contract as
+/// morsel scans: launch width is the PRAGMA override or the governor's
+/// budget, the budget is re-read at every task boundary so surplus
+/// workers drain mid-merge, and worker 0 is exempt so the work always
+/// completes. Runs inline on the calling thread when the context has no
+/// scheduler or the budget is 1.
+Status RunPartitionedTasks(ExecutionContext* context, idx_t task_count,
+                           const std::function<Status(idx_t task)>& task);
 
 }  // namespace parallel
 

@@ -342,9 +342,7 @@ Result<std::unique_ptr<MaterializedQueryResult>> Connection::ExecuteStatement(
       return SingleValueResult("ok", Value::Boolean(true));
     }
     case StatementType::kPragma: {
-      MALLARD_RETURN_NOT_OK(
-          ExecutePragma(static_cast<const PragmaStatement&>(*stmt)));
-      return SingleValueResult("ok", Value::Boolean(true));
+      return ExecutePragma(static_cast<const PragmaStatement&>(*stmt));
     }
     case StatementType::kExplain: {
       auto& explain = static_cast<ExplainStatement&>(*stmt);
@@ -382,7 +380,9 @@ Result<std::unique_ptr<MaterializedQueryResult>> Connection::ExecuteStatement(
   return Status::NotImplemented("statement type not supported");
 }
 
-Status Connection::ExecutePragma(const PragmaStatement& stmt) {
+Result<std::unique_ptr<MaterializedQueryResult>> Connection::ExecutePragma(
+    const PragmaStatement& stmt) {
+  auto ok_result = [] { return SingleValueResult("ok", Value::Boolean(true)); };
   std::string name = StringUtil::Lower(stmt.name);
   if (name == "memory_limit") {
     uint64_t bytes = std::strtoull(stmt.value.c_str(), nullptr, 10);
@@ -390,9 +390,23 @@ Status Connection::ExecutePragma(const PragmaStatement& stmt) {
       return Status::InvalidArgument("memory_limit must be bytes > 0");
     }
     db_->governor().SetMemoryLimit(bytes);
-    return Status::OK();
+    return ok_result();
   }
   if (name == "threads") {
+    if (stmt.value.empty()) {
+      // Readback: `PRAGMA threads` (no value) reports the number of
+      // workers a parallel pipeline launched by *this connection* would
+      // use right now — the pinned override if one is set, else the
+      // governor's (possibly reactive) budget, clamped to the morsel
+      // source's worker ceiling. Scaling tests assert this to prove
+      // what they actually ran with.
+      int effective =
+          thread_override_ > 0
+              ? thread_override_
+              : std::min(db_->governor().EffectiveThreadBudget(),
+                         TableMorselSource::kMaxWorkers);
+      return SingleValueResult("threads", Value::BigInt(effective));
+    }
     char* end = nullptr;
     errno = 0;
     long threads = std::strtol(stmt.value.c_str(), &end, 10);
@@ -409,12 +423,12 @@ Status Connection::ExecutePragma(const PragmaStatement& stmt) {
     // exactly `threads` workers; other connections keep following the
     // governor's (possibly reactive) budget. 0 clears the override.
     thread_override_ = static_cast<int>(threads);
-    return Status::OK();
+    return ok_result();
   }
   if (name == "reactive") {
     db_->governor().SetReactive(StringUtil::CIEquals(stmt.value, "true") ||
                                 stmt.value == "1");
-    return Status::OK();
+    return ok_result();
   }
   if (name == "compression") {
     if (StringUtil::CIEquals(stmt.value, "none")) {
@@ -427,7 +441,7 @@ Status Connection::ExecutePragma(const PragmaStatement& stmt) {
       return Status::InvalidArgument(
           "compression must be none, light or heavy");
     }
-    return Status::OK();
+    return ok_result();
   }
   if (name == "plan_cache") {
     bool enable = StringUtil::CIEquals(stmt.value, "true") ||
@@ -435,12 +449,12 @@ Status Connection::ExecutePragma(const PragmaStatement& stmt) {
                   stmt.value == "1";
     plan_cache_enabled_ = enable;
     if (!enable) plan_cache_.clear();
-    return Status::OK();
+    return ok_result();
   }
   if (name == "memtest_on_allocation") {
     db_->buffers().EnableAllocationTesting(
         StringUtil::CIEquals(stmt.value, "true") || stmt.value == "1");
-    return Status::OK();
+    return ok_result();
   }
   return Status::InvalidArgument("unknown pragma '" + stmt.name + "'");
 }

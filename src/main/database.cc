@@ -1,6 +1,7 @@
 #include "mallard/main/database.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <thread>
 
 #include "mallard/storage/checkpoint.h"
@@ -25,11 +26,18 @@ Status Database::Initialize(const std::string& path) {
   GovernorConfig gc;
   gc.total_memory = config_.total_memory;
   gc.dbms_memory_limit = config_.memory_limit;
-  // threads <= 0 = auto-detect: exactly as parallel as the hardware.
-  gc.max_threads =
-      config_.threads > 0
-          ? config_.threads
-          : std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  // threads <= 0 = auto-detect: the MALLARD_THREADS environment variable
+  // when set (CI pins the whole test suite to a thread count this way),
+  // else exactly as parallel as the hardware.
+  int auto_threads = 0;
+  if (const char* env = std::getenv("MALLARD_THREADS")) {
+    auto_threads = std::atoi(env);
+  }
+  if (auto_threads <= 0) {
+    auto_threads =
+        std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  }
+  gc.max_threads = config_.threads > 0 ? config_.threads : auto_threads;
   gc.reactive = config_.reactive;
   governor_ = std::make_unique<ResourceGovernor>(gc);
   governor_->SetBufferManager(buffers_.get());

@@ -69,19 +69,23 @@ std::string PhysicalMorselScan::name() const {
 
 namespace parallel {
 
+int ResolveLaunchWidth(const ExecutionContext* context, idx_t item_count) {
+  int budget = context->thread_limit > 0
+                   ? context->thread_limit
+                   : context->governor->EffectiveThreadBudget();
+  int width = std::min<int>(budget, TableMorselSource::kMaxWorkers);
+  return static_cast<int>(std::min<idx_t>(
+      static_cast<idx_t>(std::max(width, 1)), item_count));
+}
+
 ParallelRun PlanParallelScan(ExecutionContext* context,
                              const PhysicalOperator* subtree) {
   ParallelRun run;
   if (!context || !context->scheduler || !context->governor) return run;
   const DataTable* table = subtree->ParallelSourceTable();
   if (!table) return run;
-  int budget = context->thread_limit > 0
-                   ? context->thread_limit
-                   : context->governor->EffectiveThreadBudget();
   idx_t groups = table->RowGroupCount();
-  int threads = std::min<int>(budget, TableMorselSource::kMaxWorkers);
-  threads = static_cast<int>(
-      std::min<idx_t>(static_cast<idx_t>(std::max(threads, 1)), groups));
+  int threads = ResolveLaunchWidth(context, groups);
   if (threads <= 1) return run;
   run.threads = threads;
   run.source = std::make_shared<TableMorselSource>(groups, context->governor,
@@ -101,22 +105,70 @@ std::vector<std::unique_ptr<PhysicalOperator>> CloneWorkers(
   return clones;
 }
 
+bool MorselPipeline::Plan(ExecutionContext* context,
+                          const PhysicalOperator* subtree) {
+  run_ = PlanParallelScan(context, subtree);
+  if (run_.threads <= 1) return false;
+  clones_ = CloneWorkers(run_, subtree);
+  if (clones_.empty()) {
+    run_ = ParallelRun{};
+    return false;
+  }
+  return true;
+}
+
+Status MorselPipeline::RunPass(
+    ExecutionContext* context,
+    const std::function<Status(int worker, PhysicalOperator* scan)>& worker) {
+  auto task = [&](int w) -> Status { return worker(w, clones_[w].get()); };
+  return context->scheduler->Run(static_cast<int>(clones_.size()), task,
+                                 /*governed=*/context->thread_limit == 0);
+}
+
 Status RunMorselPipeline(
     ExecutionContext* context, const PhysicalOperator* subtree, bool* ran,
     const std::function<void(idx_t workers)>& prepare,
     const std::function<Status(int worker, PhysicalOperator* scan)>& worker) {
   *ran = false;
-  ParallelRun run = PlanParallelScan(context, subtree);
-  if (run.threads <= 1) return Status::OK();
-  auto clones = CloneWorkers(run, subtree);
-  if (clones.empty()) return Status::OK();
-  prepare(clones.size());
-  auto task = [&](int w) -> Status { return worker(w, clones[w].get()); };
-  MALLARD_RETURN_NOT_OK(
-      context->scheduler->Run(static_cast<int>(clones.size()), task,
-                              /*governed=*/context->thread_limit == 0));
+  MorselPipeline pipeline;
+  if (!pipeline.Plan(context, subtree)) return Status::OK();
+  prepare(pipeline.threads());
+  MALLARD_RETURN_NOT_OK(pipeline.RunPass(context, worker));
   *ran = true;
   return Status::OK();
+}
+
+Status RunPartitionedTasks(ExecutionContext* context, idx_t task_count,
+                           const std::function<Status(idx_t task)>& task) {
+  auto run_serial = [&]() -> Status {
+    for (idx_t i = 0; i < task_count; i++) {
+      MALLARD_RETURN_NOT_OK(task(i));
+    }
+    return Status::OK();
+  };
+  if (!context || !context->scheduler || !context->governor ||
+      task_count <= 1) {
+    return run_serial();
+  }
+  int width = ResolveLaunchWidth(context, task_count);
+  if (width <= 1) return run_serial();
+  std::atomic<idx_t> next{0};
+  auto claim = [&](int worker) -> Status {
+    while (true) {
+      // Budget re-read at every task boundary, mirroring
+      // TableMorselSource::Next: surplus workers stop claiming, worker 0
+      // drains whatever is left.
+      if (worker > 0 && context->thread_limit <= 0 &&
+          worker >= context->governor->EffectiveThreadBudget()) {
+        return Status::OK();
+      }
+      idx_t i = next.fetch_add(1);
+      if (i >= task_count) return Status::OK();
+      MALLARD_RETURN_NOT_OK(task(i));
+    }
+  };
+  return context->scheduler->Run(width, claim,
+                                 /*governed=*/context->thread_limit == 0);
 }
 
 }  // namespace parallel

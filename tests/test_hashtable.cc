@@ -279,6 +279,184 @@ TEST(AggregateHashTableTest, ManyGroupsEmitAcrossVectors) {
   EXPECT_EQ(seen.size(), kGroups);
 }
 
+// --- Compact fixed-width aggregate states ----------------------------------
+
+namespace {
+ExprPtr AggArg(TypeId type) {
+  return std::make_unique<BoundColumnRef>(0, type, "arg");
+}
+std::vector<BoundAggregate> FixedWidthAggregates() {
+  std::vector<BoundAggregate> aggs;
+  aggs.push_back({AggType::kCountStar, nullptr, TypeId::kBigInt});
+  aggs.push_back({AggType::kCount, AggArg(TypeId::kBigInt), TypeId::kBigInt});
+  aggs.push_back({AggType::kSum, AggArg(TypeId::kBigInt), TypeId::kBigInt});
+  aggs.push_back({AggType::kAvg, AggArg(TypeId::kBigInt), TypeId::kDouble});
+  aggs.push_back({AggType::kMin, AggArg(TypeId::kBigInt), TypeId::kBigInt});
+  aggs.push_back({AggType::kMax, AggArg(TypeId::kBigInt), TypeId::kBigInt});
+  return aggs;
+}
+}  // namespace
+
+TEST(AggStateLayoutTest, CompactStatesMatchGenericStates) {
+  // The same updates through the compact fixed-width rows and through
+  // the generic AggState fallback must finalize identically — including
+  // NULL handling (every 7th argument NULL, one all-NULL group).
+  auto aggs = FixedWidthAggregates();
+  AggregateHashTable compact({TypeId::kBigInt}, aggs);
+  AggregateHashTable generic({TypeId::kBigInt}, aggs.size());
+  ASSERT_TRUE(compact.CompactLayout());
+  ASSERT_FALSE(generic.CompactLayout());
+
+  DataChunk groups;
+  groups.Initialize({TypeId::kBigInt});
+  Vector arg(TypeId::kBigInt);
+  std::vector<idx_t> ids(kVectorSize);
+  for (int pass = 0; pass < 3; pass++) {
+    const idx_t n = 900;
+    for (idx_t r = 0; r < n; r++) {
+      groups.column(0).data<int64_t>()[r] = static_cast<int64_t>(r % 37);
+      arg.data<int64_t>()[r] = static_cast<int64_t>(pass * 1000 + r) - 450;
+      if (r % 7 == 0) arg.validity().SetInvalid(r);
+      if (r % 37 == 5) arg.validity().SetInvalid(r);  // group 5: mixed
+    }
+    // Group 36 never sees a valid argument: SUM/AVG/MIN/MAX must
+    // finalize NULL while COUNT(*) stays nonzero.
+    for (idx_t r = 36; r < n; r += 37) arg.validity().SetInvalid(r);
+    groups.SetCardinality(n);
+    for (AggregateHashTable* table : {&compact, &generic}) {
+      table->FindOrCreateGroups(groups, n, ids.data());
+      for (idx_t a = 0; a < aggs.size(); a++) {
+        const Vector* v = aggs[a].arg ? &arg : nullptr;
+        table->UpdateStates(aggs[a], a, v, n, ids.data());
+      }
+    }
+    arg.Reset();
+  }
+  ASSERT_EQ(compact.GroupCount(), generic.GroupCount());
+  for (idx_t g = 0; g < compact.GroupCount(); g++) {
+    for (idx_t a = 0; a < aggs.size(); a++) {
+      Value c = compact.FinalizeState(g, a, aggs[a]);
+      Value e = generic.FinalizeState(g, a, aggs[a]);
+      EXPECT_EQ(c.ToString(), e.ToString())
+          << "group " << g << " aggregate " << a;
+    }
+  }
+}
+
+TEST(AggStateLayoutTest, VarcharExtremesAreNotCompactable) {
+  EXPECT_FALSE(AggStateLayout::Compactable(AggType::kMin, TypeId::kVarchar));
+  EXPECT_FALSE(AggStateLayout::Compactable(AggType::kMax, TypeId::kVarchar));
+  // COUNT only reads validity: compactable for any argument type.
+  EXPECT_TRUE(AggStateLayout::Compactable(AggType::kCount, TypeId::kVarchar));
+  std::vector<BoundAggregate> aggs;
+  aggs.push_back({AggType::kSum, AggArg(TypeId::kBigInt), TypeId::kBigInt});
+  aggs.push_back(
+      {AggType::kMin, AggArg(TypeId::kVarchar), TypeId::kVarchar});
+  // One non-compactable aggregate sends the whole table to the AggState
+  // fallback (states must live side by side per group).
+  AggregateHashTable table({TypeId::kInteger}, aggs);
+  EXPECT_FALSE(table.CompactLayout());
+}
+
+TEST(AggStateLayoutTest, CompactMergeMatchesSingleTable) {
+  // Two partial compact tables over disjoint row halves, merged, must
+  // equal one table that saw every row — the batch Combine kernel under
+  // the parallel merge.
+  auto aggs = FixedWidthAggregates();
+  AggregateHashTable merged({TypeId::kBigInt}, aggs);
+  AggregateHashTable partial({TypeId::kBigInt}, aggs);
+  AggregateHashTable reference({TypeId::kBigInt}, aggs);
+
+  DataChunk groups;
+  groups.Initialize({TypeId::kBigInt});
+  Vector arg(TypeId::kBigInt);
+  std::vector<idx_t> ids(kVectorSize);
+  auto feed = [&](AggregateHashTable* table, idx_t begin, idx_t end) {
+    idx_t n = 0;
+    for (idx_t i = begin; i < end; i++, n++) {
+      groups.column(0).data<int64_t>()[n] = static_cast<int64_t>(i % 101);
+      arg.data<int64_t>()[n] = static_cast<int64_t>(i * 3) - 1000;
+      if (i % 11 == 0) arg.validity().SetInvalid(n);
+    }
+    groups.SetCardinality(n);
+    table->FindOrCreateGroups(groups, n, ids.data());
+    for (idx_t a = 0; a < aggs.size(); a++) {
+      table->UpdateStates(aggs[a], a, aggs[a].arg ? &arg : nullptr, n,
+                          ids.data());
+    }
+    arg.Reset();
+  };
+  feed(&merged, 0, 1000);
+  feed(&partial, 1000, 2000);
+  feed(&reference, 0, 1000);
+  feed(&reference, 1000, 2000);
+  merged.Merge(partial, aggs);
+  ASSERT_EQ(merged.GroupCount(), reference.GroupCount());
+  // Group creation order differs between merged and reference only when
+  // the second half introduces new keys; with 101 keys over 1000 rows
+  // both halves see every key, so ids align.
+  for (idx_t g = 0; g < merged.GroupCount(); g++) {
+    EXPECT_EQ(merged.GroupHash(g), reference.GroupHash(g));
+    for (idx_t a = 0; a < aggs.size(); a++) {
+      EXPECT_EQ(merged.FinalizeState(g, a, aggs[a]).ToString(),
+                reference.FinalizeState(g, a, aggs[a]).ToString())
+          << "group " << g << " aggregate " << a;
+    }
+  }
+}
+
+TEST(RadixPartitionedTableTest, PartitionsGroupsByHashHighBits) {
+  auto aggs = FixedWidthAggregates();
+  RadixPartitionedAggregateTable table({TypeId::kBigInt}, aggs,
+                                       /*partitioned=*/true);
+  RadixPartitionedAggregateTable single({TypeId::kBigInt}, aggs,
+                                        /*partitioned=*/false);
+  EXPECT_EQ(table.PartitionCount(),
+            RadixPartitionedAggregateTable::kPartitions);
+  EXPECT_EQ(single.PartitionCount(), 1u);
+
+  DataChunk groups;
+  groups.Initialize({TypeId::kBigInt});
+  Vector arg(TypeId::kBigInt);
+  const idx_t kRows = 2000, kKeys = 500;
+  idx_t fed = 0;
+  while (fed < kRows) {
+    idx_t n = std::min<idx_t>(kVectorSize, kRows - fed);
+    for (idx_t r = 0; r < n; r++) {
+      groups.column(0).data<int64_t>()[r] =
+          static_cast<int64_t>((fed + r) % kKeys);
+      arg.data<int64_t>()[r] = static_cast<int64_t>(fed + r);
+    }
+    groups.SetCardinality(n);
+    for (RadixPartitionedAggregateTable* t : {&table, &single}) {
+      t->FindOrCreateGroups(groups, n);
+      for (idx_t a = 0; a < aggs.size(); a++) {
+        t->UpdateStates(aggs[a], a, aggs[a].arg ? &arg : nullptr, n);
+      }
+    }
+    fed += n;
+  }
+  EXPECT_EQ(table.GroupCount(), kKeys);
+  EXPECT_EQ(single.GroupCount(), kKeys);
+  // Every group sits in the partition its hash selects, and the
+  // partitioned/unpartitioned tables agree on the global aggregates.
+  int64_t part_rows = 0, single_rows = 0;
+  for (idx_t p = 0; p < table.PartitionCount(); p++) {
+    const AggregateHashTable& part = table.partition(p);
+    for (idx_t g = 0; g < part.GroupCount(); g++) {
+      EXPECT_EQ(RadixPartitionedAggregateTable::PartitionOf(part.GroupHash(g)),
+                p);
+      part_rows += part.FinalizeState(g, 0, aggs[0]).GetBigInt();
+    }
+  }
+  for (idx_t g = 0; g < single.partition(0).GroupCount(); g++) {
+    single_rows +=
+        single.partition(0).FinalizeState(g, 0, aggs[0]).GetBigInt();
+  }
+  EXPECT_EQ(part_rows, static_cast<int64_t>(kRows));
+  EXPECT_EQ(single_rows, static_cast<int64_t>(kRows));
+}
+
 // --- SQL-level semantics ----------------------------------------------------
 
 class HashTableSqlTest : public ::testing::Test {

@@ -9,12 +9,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
 #include <string>
 #include <thread>
 
 #include "mallard/governor/resource_governor.h"
+#include "mallard/main/appender.h"
 #include "mallard/main/connection.h"
+#include "mallard/main/prepared_statement.h"
 #include "mallard/parallel/morsel.h"
 #include "mallard/parallel/task_scheduler.h"
 
@@ -204,6 +207,28 @@ class ParallelSqlTest : public ::testing::Test {
     if (!ins.empty()) ASSERT_TRUE(con_->Query(ins).ok());
   }
 
+  // Bulk variant of FillKeyed through the Appender (large tables would
+  // spend the whole test budget in INSERT parsing). Same shape: k
+  // cycles through `keys` values with NULLs every 97th row — except
+  // `keys` == 0, which makes every k distinct (k = row index).
+  void FillAppender(const std::string& table, int rows, int keys) {
+    ASSERT_TRUE(
+        con_->Query("CREATE TABLE " + table + " (k BIGINT, v BIGINT)").ok());
+    auto app = Appender::Create(db_.get(), table);
+    ASSERT_TRUE(app.ok());
+    for (int i = 0; i < rows; i++) {
+      if (i % 97 == 0) {
+        (*app)->AppendNull();
+      } else {
+        (*app)->Append(
+            static_cast<int64_t>(keys ? (i * 7919LL) % keys : i));
+      }
+      (*app)->Append(static_cast<int64_t>(i));
+      ASSERT_TRUE((*app)->EndRow().ok());
+    }
+    ASSERT_TRUE((*app)->Close().ok());
+  }
+
   // Canonical row multiset of a query result (parallel plans may emit
   // groups/matches in a different order; SQL results are unordered).
   std::multiset<std::string> Rows(const std::string& sql) {
@@ -368,6 +393,259 @@ TEST_F(ParallelSqlTest, MidQueryBudgetReductionKeepsResultsExact) {
   pressure.join();
   db_->governor().SetReactive(false);
   db_->governor().SetMonitor(nullptr);
+}
+
+TEST_F(ParallelSqlTest, PragmaThreadsReadbackReportsEffectiveBudget) {
+  // No value = readback: the pinned override, else the governor budget.
+  db_->governor().SetThreads(4);
+  auto r = con_->Query("PRAGMA threads");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->GetValue(0, 0).GetBigInt(), 4);
+  ASSERT_TRUE(con_->Query("PRAGMA threads = 3").ok());
+  r = con_->Query("PRAGMA threads");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->GetValue(0, 0).GetBigInt(), 3);
+  // The readback is per-connection: a sibling connection still follows
+  // the governor.
+  Connection other(db_.get());
+  auto other_r = other.Query("PRAGMA threads");
+  ASSERT_TRUE(other_r.ok());
+  EXPECT_EQ((*other_r)->GetValue(0, 0).GetBigInt(), 4);
+  // Clearing the override returns to the governor's budget, which the
+  // readback tracks live (reactive shrink included).
+  ASSERT_TRUE(con_->Query("PRAGMA threads = 0").ok());
+  SyntheticAppMonitor monitor;
+  db_->governor().SetMonitor(&monitor);
+  db_->governor().SetReactive(true);
+  monitor.SetCpu(0.5);
+  r = con_->Query("PRAGMA threads");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->GetValue(0, 0).GetBigInt(), 2);
+  db_->governor().SetReactive(false);
+  db_->governor().SetMonitor(nullptr);
+}
+
+TEST_F(ParallelSqlTest, HashJoinProbeMatchesSerialAcrossThreadCounts) {
+  // The PROBE side spans many row groups while the build side fits in
+  // one, so the parallel phase under test is the probe (the build stays
+  // serial: one row group = nothing to split). Keys duplicate on both
+  // sides and go NULL every 97th row (FillKeyed).
+  FillKeyed("probe_t", 50000, 400);
+  FillKeyed("build_t", 5000, 400);
+  const std::string inner =
+      "SELECT probe_t.k, probe_t.v, build_t.v FROM probe_t "
+      "JOIN build_t ON probe_t.k = build_t.k WHERE probe_t.v % 20 = 0";
+  auto serial = RowsAtThreads(1, inner);
+  EXPECT_GT(serial.size(), 0u);
+  for (int threads : {2, 4, 8}) {
+    EXPECT_EQ(serial, RowsAtThreads(threads, inner)) << threads
+                                                     << " threads";
+  }
+  // Left join emits the NULL-padded build columns; semi/anti emit probe
+  // rows only. All three probe morsel-parallel through the same cursor.
+  for (const char* shape :
+       {"SELECT probe_t.k, probe_t.v, build_t.v FROM probe_t "
+        "LEFT JOIN build_t ON probe_t.k = build_t.k "
+        "WHERE probe_t.v < 2500",
+        "SELECT probe_t.v FROM probe_t SEMI JOIN build_t "
+        "ON probe_t.k = build_t.k",
+        "SELECT probe_t.v FROM probe_t ANTI JOIN build_t "
+        "ON probe_t.k = build_t.k"}) {
+    auto one = RowsAtThreads(1, shape);
+    auto four = RowsAtThreads(4, shape);
+    EXPECT_EQ(one, four) << shape;
+  }
+  // Both sides multi-row-group: parallel build AND parallel probe in
+  // one query.
+  FillKeyed("big_build", 30000, 400);
+  const std::string both =
+      "SELECT count(*), sum(probe_t.v + big_build.v) FROM probe_t "
+      "JOIN big_build ON probe_t.k = big_build.k";
+  EXPECT_EQ(RowsAtThreads(1, both), RowsAtThreads(4, both));
+}
+
+TEST_F(ParallelSqlTest, HighFanoutParallelProbeRunsInBoundedPasses) {
+  // Every probe key matches ~50 build rows: the join output (~3M rows)
+  // is far larger than one pass's per-worker byte budget under a small
+  // memory limit, so the probe must run several drain/resume passes —
+  // and still produce exactly the serial result.
+  FillKeyed("probe_t", 60000, 100);
+  FillKeyed("build_t", 5000, 100);
+  ASSERT_TRUE(con_->Query("PRAGMA memory_limit = 16000000").ok());
+  const std::string sql =
+      "SELECT count(*), sum(probe_t.v + build_t.v) FROM probe_t "
+      "JOIN build_t ON probe_t.k = build_t.k";
+  auto serial = RowsAtThreads(1, sql);
+  EXPECT_EQ(serial, RowsAtThreads(4, sql));
+}
+
+TEST_F(ParallelSqlTest, SustainedBudgetCollapseDrainsMultiPassProbe) {
+  // A multi-pass probe (small memory limit + high fanout) whose
+  // reactive budget collapses to 1 mid-query and STAYS there: later
+  // passes launch a single runner, which must still drive every
+  // pass-budget-paused cursor to completion (cursors are claimed from a
+  // queue, not bound to runner indices) — a starved cursor would spin
+  // GetChunk forever.
+  FillKeyed("probe_t", 60000, 100);
+  FillKeyed("build_t", 5000, 100);
+  ASSERT_TRUE(con_->Query("PRAGMA memory_limit = 16000000").ok());
+  SyntheticAppMonitor monitor;
+  db_->governor().SetThreads(4);
+  db_->governor().SetMonitor(&monitor);
+  db_->governor().SetReactive(true);
+
+  const std::string sql =
+      "SELECT count(*), sum(probe_t.v + build_t.v) FROM probe_t "
+      "JOIN build_t ON probe_t.k = build_t.k";
+  monitor.SetCpu(0.0);
+  auto expected = Rows(sql);
+  for (int round = 0; round < 5; round++) {
+    monitor.SetCpu(0.0);  // full budget at plan time: probe fans out
+    std::thread collapse([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2 * round));
+      monitor.SetCpu(1.0);  // budget -> 1, permanently, mid-query
+    });
+    EXPECT_EQ(expected, Rows(sql)) << "round " << round;
+    collapse.join();
+  }
+  db_->governor().SetReactive(false);
+  db_->governor().SetMonitor(nullptr);
+}
+
+TEST_F(ParallelSqlTest, MidProbeBudgetShrinkKeepsJoinExact) {
+  // The reactive governor's monitor flips to "application busy" while
+  // parallel probes are running: surplus probe workers drain at morsel
+  // boundaries, results stay identical (integer sums are bit-exact).
+  FillKeyed("probe_t", 60000, 300);
+  FillKeyed("build_t", 4000, 300);
+  SyntheticAppMonitor monitor;
+  db_->governor().SetThreads(4);
+  db_->governor().SetMonitor(&monitor);
+  db_->governor().SetReactive(true);
+  monitor.SetCpu(0.0);
+
+  const std::string sql =
+      "SELECT count(*), sum(probe_t.v + build_t.v) FROM probe_t "
+      "JOIN build_t ON probe_t.k = build_t.k";
+  auto expected = Rows(sql);
+
+  std::atomic<bool> stop{false};
+  std::thread pressure([&] {
+    bool busy = false;
+    while (!stop.load()) {
+      monitor.SetCpu(busy ? 1.0 : 0.0);
+      busy = !busy;
+      std::this_thread::yield();
+    }
+  });
+  for (int round = 0; round < 10; round++) {
+    EXPECT_EQ(expected, Rows(sql)) << "round " << round;
+  }
+  stop.store(true);
+  pressure.join();
+  db_->governor().SetReactive(false);
+  db_->governor().SetMonitor(nullptr);
+}
+
+TEST_F(ParallelSqlTest, ParallelProbeAbandonedMidStreamThenReExecuted) {
+  // Extends JoinResetMidProbeDiscardsStaleState to the parallel probe:
+  // abandoning a streamed join mid-drain and re-executing must clear the
+  // per-worker result buffers and the drain cursor, not replay them.
+  FillKeyed("probe_t", 40000, 200);
+  FillKeyed("build_t", 3000, 200);
+  ASSERT_TRUE(con_->Query("PRAGMA threads = 4").ok());
+  const std::string sql =
+      "SELECT probe_t.k, probe_t.v, build_t.v FROM probe_t "
+      "JOIN build_t ON probe_t.k = build_t.k WHERE probe_t.v % 10 = 0";
+  auto expected = Rows(sql);
+  ASSERT_GT(expected.size(), size_t(kVectorSize));  // spans several chunks
+
+  auto prepared = con_->Prepare(sql);
+  ASSERT_TRUE(prepared.ok());
+  auto stream = (*prepared)->ExecuteStream();
+  ASSERT_TRUE(stream.ok());
+  auto chunk = (*stream)->Fetch();  // join is now mid-drain
+  ASSERT_TRUE(chunk.ok());
+  ASSERT_NE(chunk->get(), nullptr);
+  ASSERT_TRUE((*stream)->Close().ok());
+
+  auto full = (*prepared)->Execute();
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  EXPECT_EQ((*full)->RowCount(), expected.size());
+}
+
+TEST_F(ParallelSqlTest, RadixMergeEquivalenceAcrossGroupCounts) {
+  // Radix-partitioned merge at the degenerate and fan-out extremes: one
+  // group (+ the NULL group), 6 groups, and 100k groups — every group
+  // count must be identical at any thread count.
+  struct Case {
+    const char* table;
+    int rows;
+    int keys;
+  };
+  for (const Case& c : {Case{"g1", 30000, 1}, Case{"g6", 30000, 6}}) {
+    FillKeyed(c.table, c.rows, c.keys);
+    std::string sql =
+        std::string("SELECT k, count(*), sum(v), min(v), max(v) FROM ") +
+        c.table + " GROUP BY k";
+    auto serial = RowsAtThreads(1, sql);
+    EXPECT_EQ(serial.size(), static_cast<size_t>(c.keys) + 1) << c.table;
+    for (int threads : {2, 4, 8}) {
+      EXPECT_EQ(serial, RowsAtThreads(threads, sql))
+          << c.table << " at " << threads << " threads";
+    }
+  }
+  // 100k groups over 300k rows via the appender (SQL INSERT would
+  // dominate the test's runtime).
+  FillAppender("g100k", 300000, 100000);
+  const std::string sql =
+      "SELECT k, count(*), sum(v), min(v), max(v) FROM g100k GROUP BY k";
+  auto serial = RowsAtThreads(1, sql);
+  EXPECT_EQ(serial.size(), 100001u);
+  EXPECT_EQ(serial, RowsAtThreads(4, sql));
+}
+
+TEST_F(ParallelSqlTest, VarcharExtremesKeepGenericStatesUnderParallelism) {
+  // MIN/MAX over VARCHAR has no fixed-width state: thread-local tables
+  // fall back to generic AggState rows, and the radix merge must still
+  // combine them correctly at any thread count.
+  ASSERT_TRUE(
+      con_->Query("CREATE TABLE vt (s VARCHAR, w VARCHAR, v BIGINT)").ok());
+  std::string ins;
+  for (int i = 0; i < 20000; i++) {
+    ins += ins.empty() ? "INSERT INTO vt VALUES " : ",";
+    std::string s = i % 97 == 0 ? "NULL" : "'k" + std::to_string(i % 83) + "'";
+    std::string w =
+        i % 89 == 0 ? "NULL" : "'v" + std::to_string((i * 7919) % 10007) + "'";
+    ins += "(" + s + "," + w + "," + std::to_string(i) + ")";
+    if (ins.size() > (1u << 20)) {
+      ASSERT_TRUE(con_->Query(ins).ok());
+      ins.clear();
+    }
+  }
+  if (!ins.empty()) {
+    ASSERT_TRUE(con_->Query(ins).ok());
+  }
+  const std::string sql =
+      "SELECT s, min(w), max(w), count(*), sum(v) FROM vt GROUP BY s";
+  auto serial = RowsAtThreads(1, sql);
+  EXPECT_EQ(serial.size(), 84u);  // 83 keys + NULL group
+  for (int threads : {2, 4}) {
+    EXPECT_EQ(serial, RowsAtThreads(threads, sql)) << threads << " threads";
+  }
+}
+
+TEST_F(ParallelSqlTest, RadixMergeMillionGroups) {
+  // 1M rows, every row its own group: the merge pass dominates and every
+  // partition carries ~62k groups. Compared via an aggregate-of-
+  // aggregates checksum (a 1M-row multiset compare would swamp the
+  // test).
+  FillAppender("big", 1000000, 0);  // keys=0: k = row index, all distinct
+  const std::string sql =
+      "SELECT count(*), sum(s), min(s), max(s), sum(c) FROM "
+      "(SELECT k, sum(v) AS s, count(*) AS c FROM big GROUP BY k) q";
+  auto serial = RowsAtThreads(1, sql);
+  EXPECT_EQ(serial, RowsAtThreads(4, sql));
 }
 
 TEST_F(ParallelSqlTest, ConcurrentConnectionsRunParallelQueries) {
