@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "mallard/common/hash.h"
+#include "mallard/governor/resource_governor.h"
 #include "mallard/vector/vector_hash.h"
 
 namespace mallard {
@@ -122,7 +123,58 @@ idx_t AggregateHashTable::AppendGroup(const DataChunk& groups, idx_t row,
   } else {
     states_.resize(states_.size() + aggregate_count_);
   }
+  // Spill accounting: retained hash + directory share (two 16-byte
+  // entries at the <=50% load factor) + state + key payload.
+  uint64_t group_bytes = 8 + 2 * sizeof(Entry);
+  group_bytes += layout_.compact() ? layout_.row_size()
+                                   : aggregate_count_ * sizeof(AggState);
+  for (idx_t c = 0; c < group_types_.size(); c++) {
+    switch (group_types_[c]) {
+      case TypeId::kBoolean:
+        group_bytes += 1;
+        break;
+      case TypeId::kInteger:
+      case TypeId::kDate:
+        group_bytes += 4;
+        break;
+      case TypeId::kVarchar:
+        group_bytes += sizeof(StringRef);
+        if (groups.column(c).validity().RowIsValid(row)) {
+          group_bytes += groups.column(c).data<StringRef>()[row].size;
+        }
+        break;
+      default:
+        group_bytes += 8;
+        break;
+    }
+  }
+  approx_bytes_ += group_bytes;
   return group_count_++;
+}
+
+void AggregateHashTable::Reset(idx_t initial_capacity) {
+  idx_t capacity = NextPowerOfTwo(std::max<idx_t>(2, initial_capacity));
+  entries_.assign(capacity, Entry{0, kInvalidIndex});
+  mask_ = capacity - 1;
+  group_count_ = 0;
+  group_chunks_.clear();
+  group_hashes_.clear();
+  states_.clear();
+  state_rows_.clear();
+  approx_bytes_ = 0;
+}
+
+void AggregateHashTable::MergeRows(const DataChunk& keys, idx_t count,
+                                   const uint64_t* hashes,
+                                   const uint8_t* state_rows) {
+  assert(layout_.compact());
+  merge_ids_.resize(kVectorSize);
+  EnsureCapacity(count);
+  for (idx_t r = 0; r < count; r++) {
+    merge_ids_[r] = FindOrCreateOne(keys, r, hashes[r]);
+  }
+  layout_.Combine(state_rows, 0, count, merge_ids_.data(),
+                  state_rows_.data());
 }
 
 idx_t AggregateHashTable::FindOrCreateOne(const DataChunk& groups, idx_t row,
@@ -422,6 +474,7 @@ RadixPartitionedAggregateTable::RadixPartitionedAggregateTable(
   } else {
     ids_.resize(kVectorSize);
   }
+  group_types_ = std::move(group_types);
 }
 
 idx_t RadixPartitionedAggregateTable::GroupCount() const {
@@ -467,6 +520,245 @@ void RadixPartitionedAggregateTable::UpdateStates(
                                  part_ids_.data() + p * kVectorSize,
                                  part_sel_.data() + p * kVectorSize);
   }
+}
+
+// -- Out-of-core aggregation ------------------------------------------------
+
+void RadixPartitionedAggregateTable::EnableSpilling(
+    const ResourceGovernor* governor, BufferManager* buffers,
+    uint64_t divisor, const std::vector<BoundAggregate>* aggregates) {
+  // The AggState fallback (MIN/MAX over VARCHAR) has no fixed-width
+  // serialization; those queries stay fully in memory.
+  if (!partitions_[0]->CompactLayout()) return;
+  governor_ = governor;
+  buffers_ = buffers;
+  spill_divisor_ = std::max<uint64_t>(1, divisor);
+  spill_aggregates_ = aggregates;
+  key_codec_ = std::make_unique<RowCodec>(group_types_);
+}
+
+uint64_t RadixPartitionedAggregateTable::SpillBudget() const {
+  // Re-read every time: the governor's budget is reactive.
+  uint64_t effective = governor_->EffectiveMemoryBudget();
+  return std::max<uint64_t>(uint64_t(1) << 20, effective / spill_divisor_);
+}
+
+uint64_t RadixPartitionedAggregateTable::EmitBudget() const {
+  return std::max<uint64_t>(uint64_t(1) << 20, SpillBudget() / 2);
+}
+
+Status RadixPartitionedAggregateTable::SerializeTable(
+    AggregateHashTable* table, int shift,
+    std::array<std::unique_ptr<SpillRowStore>, kPartitions>* sinks) {
+  const idx_t row_size = table->layout().row_size();
+  // Scratch is local, not a member: MaybeSpillPartition serializes
+  // distinct partitions concurrently during the parallel merge.
+  std::vector<uint8_t> scratch;
+  const idx_t count = table->GroupCount();
+  for (idx_t g = 0; g < count; g++) {
+    uint64_t hash = table->GroupHash(g);
+    scratch.clear();
+    scratch.resize(8 + row_size);
+    std::memcpy(scratch.data(), &hash, 8);
+    std::memcpy(scratch.data() + 8, table->StateRow(g), row_size);
+    key_codec_->EncodeRow(table->GroupChunk(g / kVectorSize),
+                          g % kVectorSize, &scratch);
+    idx_t dest = PartitionOfShift(hash, shift);
+    auto& sink = (*sinks)[dest];
+    if (!sink) sink = std::make_unique<SpillRowStore>(buffers_);
+    MALLARD_RETURN_NOT_OK(
+        sink->Append(scratch.data(), static_cast<uint32_t>(scratch.size())));
+  }
+  for (auto& sink : *sinks) {
+    if (sink) sink->FinishAppend();
+  }
+  return Status::OK();
+}
+
+Status RadixPartitionedAggregateTable::SpillPartitionTable(idx_t table_index) {
+  AggregateHashTable* table = partitions_[table_index].get();
+  if (table->GroupCount() == 0) return Status::OK();
+  // Shift 0 routes by the top 4 hash bits — for a partitioned table this
+  // lands every row in runs_[table_index]; for the single unpartitioned
+  // table it scatters the groups to their radix homes.
+  std::array<std::unique_ptr<SpillRowStore>, kPartitions> sinks;
+  MALLARD_RETURN_NOT_OK(SerializeTable(table, 0, &sinks));
+  for (idx_t p = 0; p < kPartitions; p++) {
+    if (sinks[p]) runs_[p].push_back(std::move(sinks[p]));
+  }
+  table->Reset();
+  spilled_.store(true, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void RadixPartitionedAggregateTable::UpgradeToPartitioned() {
+  while (partitions_.size() < kPartitions) {
+    partitions_.push_back(std::make_unique<AggregateHashTable>(
+        group_types_, *spill_aggregates_, 64));
+  }
+  part_sel_.resize(kPartitions * kVectorSize);
+  part_ids_.resize(kPartitions * kVectorSize);
+}
+
+Status RadixPartitionedAggregateTable::MaybeSpill() {
+  if (!governor_ || !buffers_ || !spill_aggregates_) return Status::OK();
+  uint64_t budget = SpillBudget();
+  while (true) {
+    uint64_t resident = 0;
+    idx_t victim = kInvalidIndex;
+    uint64_t victim_bytes = 0;
+    for (idx_t p = 0; p < partitions_.size(); p++) {
+      uint64_t bytes = partitions_[p]->ApproxBytes();
+      resident += bytes;
+      if (partitions_[p]->GroupCount() > 0 && bytes >= victim_bytes) {
+        victim = p;
+        victim_bytes = bytes;
+      }
+    }
+    if (resident <= budget || victim == kInvalidIndex) break;
+    MALLARD_RETURN_NOT_OK(SpillPartitionTable(victim));
+    // The serial sink runs unpartitioned; the first spill scattered its
+    // groups across all 16 runs, so give new groups radix homes too.
+    if (partitions_.size() == 1) UpgradeToPartitioned();
+  }
+  return Status::OK();
+}
+
+Status RadixPartitionedAggregateTable::MaybeSpillPartition(idx_t p) {
+  if (!governor_ || !buffers_ || !spill_aggregates_) return Status::OK();
+  if (partitions_.size() != kPartitions) return Status::OK();
+  if (partitions_[p]->ApproxBytes() <= SpillBudget() / kPartitions) {
+    return Status::OK();
+  }
+  return SpillPartitionTable(p);
+}
+
+void RadixPartitionedAggregateTable::AdoptRuns(
+    RadixPartitionedAggregateTable* other) {
+  for (idx_t p = 0; p < kPartitions; p++) {
+    for (auto& run : other->runs_[p]) {
+      runs_[p].push_back(std::move(run));
+    }
+    other->runs_[p].clear();
+  }
+  if (other->Spilled()) spilled_.store(true, std::memory_order_relaxed);
+}
+
+Status RadixPartitionedAggregateTable::NextEmitTable(
+    AggregateHashTable** out) {
+  *out = nullptr;
+  while (true) {
+    // Drain the recursion stack before advancing to the next partition.
+    if (!emit_jobs_.empty()) {
+      EmitJob job = std::move(emit_jobs_.back());
+      emit_jobs_.pop_back();
+      bool produced = false;
+      MALLARD_RETURN_NOT_OK(ProcessEmitJob(std::move(job), &produced));
+      if (produced) {
+        *out = emit_table_.get();
+        return Status::OK();
+      }
+      continue;
+    }
+    if (emit_next_partition_ >= kPartitions) return Status::OK();
+    idx_t p = emit_next_partition_++;
+    AggregateHashTable* resident =
+        p < partitions_.size() ? partitions_[p].get() : nullptr;
+    if (!runs_[p].empty()) {
+      // Externalize the resident remainder so one merge job covers the
+      // whole partition — a group may live in any subset of the runs.
+      if (resident && resident->GroupCount() > 0) {
+        MALLARD_RETURN_NOT_OK(SpillPartitionTable(p));
+      }
+      EmitJob job;
+      job.runs = std::move(runs_[p]);
+      runs_[p].clear();
+      emit_jobs_.push_back(std::move(job));
+      continue;
+    }
+    if (!resident || resident->GroupCount() == 0) continue;
+    *out = resident;
+    return Status::OK();
+  }
+}
+
+Status RadixPartitionedAggregateTable::ProcessEmitJob(EmitJob job,
+                                                      bool* produced) {
+  *produced = false;
+  if (!emit_table_) {
+    emit_table_ = std::make_unique<AggregateHashTable>(
+        group_types_, *spill_aggregates_, 1024);
+  } else {
+    emit_table_->Reset(1024);
+  }
+  const uint64_t budget = EmitBudget();
+  const idx_t row_size = emit_table_->layout().row_size();
+  const bool can_split = job.shift <= kMaxRadixShift;
+  DataChunk keys;
+  keys.Initialize(group_types_);
+  std::vector<uint64_t> hashes(kVectorSize);
+  std::vector<uint8_t> states(kVectorSize * row_size);
+  idx_t batch = 0;
+  auto flush = [&]() {
+    if (batch == 0) return;
+    keys.SetCardinality(batch);
+    emit_table_->MergeRows(keys, batch, hashes.data(), states.data());
+    keys.Reset();
+    batch = 0;
+  };
+  bool splitting = false;
+  std::array<std::unique_ptr<SpillRowStore>, kPartitions> subs;
+  for (auto& run : job.runs) {
+    SpillRowStore::Cursor cursor;
+    const uint8_t* row = nullptr;
+    uint32_t len = 0;
+    while (true) {
+      MALLARD_RETURN_NOT_OK(run->Next(&cursor, &row, &len));
+      if (!row) break;
+      uint64_t hash;
+      std::memcpy(&hash, row, 8);
+      if (splitting) {
+        // Rows are already in run format — route them raw.
+        idx_t dest = PartitionOfShift(hash, job.shift);
+        auto& sink = subs[dest];
+        if (!sink) sink = std::make_unique<SpillRowStore>(buffers_);
+        MALLARD_RETURN_NOT_OK(sink->Append(row, len));
+        continue;
+      }
+      hashes[batch] = hash;
+      std::memcpy(states.data() + batch * row_size, row + 8, row_size);
+      key_codec_->DecodeRow(row + 8 + row_size, &keys, batch);
+      batch++;
+      if (batch < kVectorSize) continue;
+      flush();
+      if (can_split && emit_table_->ApproxBytes() > budget) {
+        // This hash slice still outgrows the emission budget: re-route
+        // by the next 4 hash bits. The partial merge is serialized into
+        // the sub-runs first — combining is associative, so groups
+        // merged twice finalize identically.
+        splitting = true;
+        MALLARD_RETURN_NOT_OK(
+            SerializeTable(emit_table_.get(), job.shift, &subs));
+        emit_table_->Reset(1024);
+      }
+    }
+  }
+  if (!splitting) {
+    flush();
+    *produced = emit_table_->GroupCount() > 0;
+    return Status::OK();
+  }
+  for (auto& sink : subs) {
+    if (sink) sink->FinishAppend();
+  }
+  for (idx_t p = kPartitions; p-- > 0;) {
+    if (!subs[p] || subs[p]->rows() == 0) continue;
+    EmitJob sub;
+    sub.runs.push_back(std::move(subs[p]));
+    sub.shift = job.shift + static_cast<int>(kRadixBits);
+    emit_jobs_.push_back(std::move(sub));
+  }
+  return Status::OK();
 }
 
 }  // namespace mallard

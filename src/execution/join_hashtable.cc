@@ -4,15 +4,10 @@
 #include <cstring>
 
 #include "mallard/common/hash.h"
+#include "mallard/governor/resource_governor.h"
 #include "mallard/vector/vector_hash.h"
 
 namespace mallard {
-
-namespace {
-
-constexpr uint64_t kBuildSegmentSize = 1 << 20;
-
-}  // namespace
 
 JoinHashTable::JoinHashTable(std::vector<TypeId> key_types,
                              std::vector<TypeId> payload_types,
@@ -22,6 +17,21 @@ JoinHashTable::JoinHashTable(std::vector<TypeId> key_types,
       payload_codec_(std::move(payload_types)),
       directory_size_hint_(directory_size_hint) {
   hash_scratch_.resize(kVectorSize);
+}
+
+void JoinHashTable::EnableSpilling(const ResourceGovernor* governor,
+                                   uint64_t divisor, int radix_shift) {
+  governor_ = governor;
+  spill_divisor_ = std::max<uint64_t>(1, divisor);
+  radix_shift_ = radix_shift;
+  spill_enabled_ = true;
+}
+
+uint64_t JoinHashTable::SpillBudget() const {
+  if (!spill_enabled_ || !governor_) return ~uint64_t(0);
+  return std::max<uint64_t>(uint64_t(1) << 20,
+                            governor_->EffectiveMemoryBudget() /
+                                spill_divisor_);
 }
 
 Status JoinHashTable::Append(ExecutionContext* context, const DataChunk& keys,
@@ -46,57 +56,187 @@ Status JoinHashTable::Append(ExecutionContext* context, const DataChunk& keys,
                                                kHeaderSize);
     std::memcpy(row_scratch_.data() + 16, &key_bytes, 4);
     payload_codec_.EncodeRow(payload, r, &row_scratch_);
-    uint64_t row_size = row_scratch_.size();
-    if (segments_.empty() ||
-        segment_used_ + row_size > segments_.back().size()) {
-      MALLARD_ASSIGN_OR_RETURN(
-          BufferHandle handle,
-          context->buffers->Allocate(
-              std::max<uint64_t>(kBuildSegmentSize, row_size),
-              /*spillable=*/false));
-      segments_.push_back(std::move(handle));
-      segment_used_ = 0;
+    MALLARD_RETURN_NOT_OK(
+        AppendRow(context, PartitionOf(hash_scratch_[r], radix_shift_),
+                  row_scratch_.data(), row_scratch_.size()));
+  }
+  if (spill_enabled_) return MaybeSpill();
+  return Status::OK();
+}
+
+Status JoinHashTable::AppendRow(ExecutionContext* context, idx_t partition,
+                                const uint8_t* row, uint64_t size) {
+  buffers_ = context->buffers;
+  Partition& part = partitions_[partition];
+  bool need_segment =
+      part.segments.empty() ||
+      part.tail_used + size > part.segments.back().buffer->size();
+  if (need_segment) {
+    // Geometric growth capped at 1 MiB: a 16-way split of a small build
+    // must not pay 16 full-size segments.
+    uint64_t target =
+        std::min(kMaxSegmentBytes, std::max(kMinSegmentBytes, part.bytes));
+    MALLARD_ASSIGN_OR_RETURN(
+        BufferHandle handle,
+        buffers_->Allocate(std::max(target, size), /*spillable=*/true));
+    Segment segment;
+    segment.buffer = handle.buffer();
+    segment.data = handle.data();
+    segment.pin = std::move(handle);
+    if (!part.resident && !part.segments.empty()) {
+      // An unloaded partition keeps only its tail pinned.
+      part.segments.back().pin.Release();
+      part.segments.back().data = nullptr;
     }
-    std::memcpy(segments_.back().data() + segment_used_, row_scratch_.data(),
-                row_size);
-    refs_.push_back(((segments_.size() - 1) << kOffsetBits) | segment_used_);
-    segment_used_ += row_size;
-    build_bytes_ += row_size;
+    part.segments.push_back(std::move(segment));
+    part.tail_used = 0;
+  } else if (!part.segments.back().pin) {
+    // Appending into an unloaded partition: re-pin just the tail (the
+    // buffer manager reloads it if eviction already moved it to disk).
+    Segment& tail = part.segments.back();
+    MALLARD_ASSIGN_OR_RETURN(tail.pin, buffers_->Pin(tail.buffer));
+    tail.data = tail.pin.data();
+    tail.pin.MarkDirty();
+  }
+  Segment& tail = part.segments.back();
+  std::memcpy(tail.data + part.tail_used, row, size);
+  part.refs.push_back((static_cast<uint64_t>(partition)
+                       << (kOffsetBits + kSegmentBits)) |
+                      ((part.segments.size() - 1) << kOffsetBits) |
+                      part.tail_used);
+  part.tail_used += size;
+  part.bytes += size;
+  build_bytes_ += size;
+  count_++;
+  return Status::OK();
+}
+
+Status JoinHashTable::MaybeSpill() {
+  uint64_t budget = SpillBudget();
+  while (true) {
+    uint64_t resident_bytes = 0;
+    idx_t victim = kInvalidIndex;
+    uint64_t victim_bytes = 0;
+    for (idx_t p = 0; p < kPartitions; p++) {
+      if (!partitions_[p].resident) continue;
+      resident_bytes += partitions_[p].bytes;
+      if (partitions_[p].bytes > victim_bytes) {
+        victim_bytes = partitions_[p].bytes;
+        victim = p;
+      }
+    }
+    if (resident_bytes <= budget || victim == kInvalidIndex ||
+        victim_bytes == 0) {
+      break;
+    }
+    UnloadPartition(victim);
+    spilled_any_ = true;
   }
   return Status::OK();
 }
 
-void JoinHashTable::MergePartition(JoinHashTable&& other) {
-  uint64_t segment_base = segments_.size();
-  for (auto& segment : other.segments_) {
-    segments_.push_back(std::move(segment));
+void JoinHashTable::UnloadPartition(idx_t p) {
+  Partition& part = partitions_[p];
+  for (Segment& segment : part.segments) {
+    segment.pin.Release();
+    segment.data = nullptr;
   }
-  refs_.reserve(refs_.size() + other.refs_.size());
-  for (uint64_t ref : other.refs_) {
-    refs_.push_back((((ref >> kOffsetBits) + segment_base) << kOffsetBits) |
-                    (ref & kOffsetMask));
-  }
-  // Appends after a merge continue in the stolen tail segment (an empty
-  // donor leaves the current tail untouched).
-  if (segment_base != segments_.size()) segment_used_ = other.segment_used_;
-  build_bytes_ += other.build_bytes_;
-  other.segments_.clear();
-  other.refs_.clear();
-  other.segment_used_ = 0;
-  other.build_bytes_ = 0;
+  part.resident = false;
 }
 
-void JoinHashTable::Finalize() {
+Status JoinHashTable::LoadPartition(idx_t p) {
+  Partition& part = partitions_[p];
+  for (Segment& segment : part.segments) {
+    if (!segment.pin) {
+      MALLARD_ASSIGN_OR_RETURN(segment.pin, buffers_->Pin(segment.buffer));
+      segment.data = segment.pin.data();
+    }
+  }
+  part.resident = true;
+  return Status::OK();
+}
+
+void JoinHashTable::DropPartition(idx_t p) { partitions_[p] = Partition{}; }
+
+void JoinHashTable::MergePartition(JoinHashTable&& other) {
+  for (idx_t p = 0; p < kPartitions; p++) {
+    Partition& mine = partitions_[p];
+    Partition& theirs = other.partitions_[p];
+    if (theirs.segments.empty()) continue;
+    uint64_t segment_base = mine.segments.size();
+    for (Segment& segment : theirs.segments) {
+      mine.segments.push_back(std::move(segment));
+    }
+    mine.refs.reserve(mine.refs.size() + theirs.refs.size());
+    for (uint64_t ref : theirs.refs) {
+      uint64_t segment = ((ref >> kOffsetBits) & kSegmentMask) + segment_base;
+      mine.refs.push_back((static_cast<uint64_t>(p)
+                           << (kOffsetBits + kSegmentBits)) |
+                          (segment << kOffsetBits) | (ref & kOffsetMask));
+    }
+    // Appends after a merge continue in the stolen tail segment.
+    mine.tail_used = theirs.tail_used;
+    mine.bytes += theirs.bytes;
+    mine.resident = mine.resident && theirs.resident;
+    theirs = Partition{};
+  }
+  count_ += other.count_;
+  build_bytes_ += other.build_bytes_;
+  spilled_any_ = spilled_any_ || other.spilled_any_;
+  if (!buffers_) buffers_ = other.buffers_;
+  other.count_ = 0;
+  other.build_bytes_ = 0;
+  other.spilled_any_ = false;
+}
+
+Status JoinHashTable::Finalize() {
+  grace_ = spill_enabled_ && (spilled_any_ || build_bytes_ > SpillBudget());
+  if (grace_) {
+    // Grace hash join: no global directory. Release every pin so the
+    // operator can process partitions one at a time under the budget.
+    for (idx_t p = 0; p < kPartitions; p++) UnloadPartition(p);
+    return Status::OK();
+  }
+  for (idx_t p = 0; p < kPartitions; p++) {
+    MALLARD_RETURN_NOT_OK(LoadPartition(p));
+  }
   idx_t capacity = directory_size_hint_
                        ? NextPowerOfTwo(directory_size_hint_)
-                       : NextPowerOfTwo(std::max<idx_t>(1024, 2 * refs_.size()));
+                       : NextPowerOfTwo(std::max<idx_t>(1024, 2 * count_));
   directory_.assign(capacity, kNullRef);
   mask_ = capacity - 1;
+  for (idx_t p = kPartitions; p > 0; p--) {
+    InsertRefs(partitions_[p - 1].refs);
+  }
+  return Status::OK();
+}
+
+Status JoinHashTable::FinalizePartition(idx_t p) {
+  Partition& part = partitions_[p];
+  // Chain insertion writes next refs through the segment data; reloaded
+  // segments must be re-marked dirty or a later clean eviction would
+  // reuse the stale on-disk copy.
+  for (Segment& segment : part.segments) {
+    segment.pin.MarkDirty();
+  }
+  idx_t capacity =
+      directory_size_hint_
+          ? NextPowerOfTwo(directory_size_hint_)
+          : NextPowerOfTwo(std::max<idx_t>(1024, 2 * part.refs.size()));
+  directory_.assign(capacity, kNullRef);
+  mask_ = capacity - 1;
+  InsertRefs(part.refs);
+  return Status::OK();
+}
+
+void JoinHashTable::InsertRefs(const std::vector<uint64_t>& refs) {
   // Head insertion reverses chain order, so inserting in reverse build
   // order leaves every chain in build order — join output then matches
-  // the row-at-a-time implementation this table replaced.
-  for (idx_t i = refs_.size(); i > 0; i--) {
-    uint64_t ref = refs_[i - 1];
+  // the row-at-a-time implementation this table replaced. (Equal keys
+  // hash equal, so they always land in the same partition; per-partition
+  // insertion preserves their relative order.)
+  for (idx_t i = refs.size(); i > 0; i--) {
+    uint64_t ref = refs[i - 1];
     uint8_t* row = ResolveMutable(ref);
     uint64_t hash;
     std::memcpy(&hash, row + 8, 8);
@@ -104,6 +244,41 @@ void JoinHashTable::Finalize() {
     std::memcpy(row, &directory_[slot], 8);  // next = old head
     directory_[slot] = ref;
   }
+}
+
+Status JoinHashTable::ScanPartition(idx_t p, ScanCursor* cursor,
+                                    DataChunk* keys, DataChunk* payload,
+                                    idx_t* count) const {
+  const Partition& part = partitions_[p];
+  keys->Reset();
+  payload->Reset();
+  idx_t n = 0;
+  while (n < kVectorSize && cursor->ref_index < part.refs.size()) {
+    uint64_t ref = part.refs[cursor->ref_index];
+    idx_t segment = (ref >> kOffsetBits) & kSegmentMask;
+    if (cursor->pinned_segment != segment) {
+      cursor->pin.Release();
+      MALLARD_ASSIGN_OR_RETURN(cursor->pin,
+                               buffers_->Pin(part.segments[segment].buffer));
+      cursor->data = cursor->pin.data();
+      cursor->pinned_segment = segment;
+    }
+    const uint8_t* row = cursor->data + (ref & kOffsetMask);
+    uint32_t key_bytes;
+    std::memcpy(&key_bytes, row + 16, 4);
+    key_codec_.DecodeRow(row + kHeaderSize, keys, n, 0);
+    payload_codec_.DecodeRow(row + kHeaderSize + key_bytes, payload, n, 0);
+    n++;
+    cursor->ref_index++;
+  }
+  if (cursor->ref_index >= part.refs.size()) {
+    cursor->pin.Release();
+    cursor->data = nullptr;
+  }
+  keys->SetCardinality(n);
+  payload->SetCardinality(n);
+  *count = n;
+  return Status::OK();
 }
 
 void JoinHashTable::ProbeHeads(const DataChunk& keys, idx_t count,

@@ -195,6 +195,9 @@ Status PhysicalHashAggregate::SinkSource(
       }
       table->UpdateStates(aggregates_[a], a, arg, count);
     }
+    // The partition-sink budget consultation: externalizes the largest
+    // partition whenever resident groups exceed the operator's share.
+    MALLARD_RETURN_NOT_OK(table->MaybeSpill());
   }
   return Status::OK();
 }
@@ -207,9 +210,11 @@ Status PhysicalHashAggregate::ParallelSink(ExecutionContext* context,
   std::vector<std::vector<ExprPtr>> group_exprs;
   std::vector<std::vector<ExprPtr>> arg_exprs;
   std::vector<std::unique_ptr<RadixPartitionedAggregateTable>> partials;
+  idx_t worker_count = 1;
   MALLARD_RETURN_NOT_OK(parallel::RunMorselPipeline(
       context, child(0), done,
       [&](idx_t workers) {
+        worker_count = workers;
         partials.resize(workers);
         for (idx_t w = 0; w < workers; w++) {
           group_exprs.push_back(CopyGroupExprs());
@@ -219,6 +224,12 @@ Status PhysicalHashAggregate::ParallelSink(ExecutionContext* context,
       [&](int w, PhysicalOperator* scan) -> Status {
         auto local = std::make_unique<RadixPartitionedAggregateTable>(
             group_types, aggregates_, /*partitioned=*/true);
+        if (context->governor && context->buffers) {
+          // Workers split the operator's budget share evenly; each
+          // spills its thread-local partitions independently.
+          local->EnableSpilling(context->governor, context->buffers,
+                                2 * worker_count, &aggregates_);
+        }
         MALLARD_RETURN_NOT_OK(SinkSource(context, scan, group_exprs[w],
                                          arg_exprs[w], local.get()));
         partials[w] = std::move(local);
@@ -244,14 +255,26 @@ Status PhysicalHashAggregate::ParallelSink(ExecutionContext* context,
     table_ = std::make_unique<RadixPartitionedAggregateTable>(
         group_types, aggregates_, /*partitioned=*/true);
   }
+  if (context->governor && context->buffers) {
+    // One table survives the sink: it gets the full operator share back.
+    table_->EnableSpilling(context->governor, context->buffers, 2,
+                           &aggregates_);
+  }
   if (!rest.empty()) {
     MALLARD_RETURN_NOT_OK(parallel::RunPartitionedTasks(
         context, table_->PartitionCount(), [&](idx_t p) -> Status {
           for (RadixPartitionedAggregateTable* other : rest) {
             table_->partition(p).Merge(other->partition(p), aggregates_);
           }
-          return Status::OK();
+          // Partitions merge on different threads; each checks its own
+          // 1/16 share of the budget (disjoint state, atomic flag).
+          return table_->MaybeSpillPartition(p);
         }));
+  }
+  // Workers that spilled left runs behind; adopt them so emission merges
+  // every run of a partition in one pass.
+  for (RadixPartitionedAggregateTable* other : rest) {
+    table_->AdoptRuns(other);
   }
   merge_ms_ += std::chrono::duration<double, std::milli>(
                    std::chrono::steady_clock::now() - merge_start)
@@ -266,6 +289,10 @@ Status PhysicalHashAggregate::Sink(ExecutionContext* context) {
   if (status.ok() && !parallel_done) {
     table_ = std::make_unique<RadixPartitionedAggregateTable>(
         GroupTypes(), aggregates_, /*partitioned=*/false);
+    if (context->governor && context->buffers) {
+      table_->EnableSpilling(context->governor, context->buffers, 2,
+                             &aggregates_);
+    }
     status = SinkSource(context, child(0), CopyGroupExprs(), CopyArgExprs(),
                         table_.get());
   }
@@ -283,29 +310,35 @@ Status PhysicalHashAggregate::GetChunk(ExecutionContext* context,
     sunk_ = true;
   }
   out->Reset();
-  // Emission walks the partitions in order; within a partition it is
-  // aligned to the table's group-chunk boundaries, so each output chunk
-  // is one plain columnar copy plus per-group finalizes. Chunks shrink
-  // at partition tails (never to zero before the last partition).
+  // Emission pulls fully-merged tables from the radix front one at a
+  // time (a resident partition, or a partition's spill runs merged back
+  // in — see NextEmitTable); within a table it is aligned to group-chunk
+  // boundaries, so each output chunk is one plain columnar copy plus
+  // per-group finalizes. Chunks shrink at table tails (never to zero
+  // before the last table).
   idx_t produced = 0;
-  while (emit_partition_ < table_->PartitionCount()) {
-    const AggregateHashTable& part = table_->partition(emit_partition_);
-    idx_t remaining = part.GroupCount() - emit_offset_;
-    if (remaining == 0) {
-      emit_partition_++;
+  while (true) {
+    if (!emit_current_) {
+      MALLARD_RETURN_NOT_OK(table_->NextEmitTable(&emit_current_));
       emit_offset_ = 0;
+      if (!emit_current_) break;  // every group emitted
+    }
+    idx_t remaining = emit_current_->GroupCount() - emit_offset_;
+    if (remaining == 0) {
+      emit_current_ = nullptr;
       continue;
     }
     produced = std::min<idx_t>(remaining, kVectorSize);
-    part.EmitKeys(emit_offset_, produced, out);
+    emit_current_->EmitKeys(emit_offset_, produced, out);
     for (idx_t i = 0; i < produced; i++) {
       idx_t group = emit_offset_ + i;
       for (idx_t a = 0; a < aggregates_.size(); a++) {
         out->SetValue(groups_.size() + a, i,
-                      part.FinalizeState(group, a, aggregates_[a]));
+                      emit_current_->FinalizeState(group, a, aggregates_[a]));
       }
     }
     emit_offset_ += produced;
+    emitted_groups_ += produced;
     break;
   }
   out->SetCardinality(produced);

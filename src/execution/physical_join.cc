@@ -8,6 +8,7 @@
 #include "mallard/governor/resource_governor.h"
 #include "mallard/parallel/morsel.h"
 #include "mallard/parallel/task_scheduler.h"
+#include "mallard/vector/vector_hash.h"
 
 namespace mallard {
 
@@ -38,6 +39,37 @@ std::vector<SortSpec> KeySpecs(idx_t count) {
   for (idx_t i = 0; i < count; i++) specs.push_back(SortSpec{i, true, true});
   return specs;
 }
+
+/// Internal probe source for one grace job: streams the stashed probe
+/// rows ([hash | RowCodec-encoded row]) of a partition back out as
+/// chunks, so the regular ProbeChunk body replays them unchanged.
+class GraceStashScan final : public PhysicalOperator {
+ public:
+  GraceStashScan(std::vector<TypeId> types, SpillRowStore* store,
+                 const RowCodec* codec)
+      : PhysicalOperator(std::move(types)), store_(store), codec_(codec) {}
+
+  Status GetChunk(ExecutionContext*, DataChunk* out) override {
+    out->Reset();
+    idx_t n = 0;
+    while (n < kVectorSize) {
+      const uint8_t* row;
+      uint32_t len;
+      MALLARD_RETURN_NOT_OK(store_->Next(&cursor_, &row, &len));
+      if (!row) break;
+      codec_->DecodeRow(row + 8, out, n, 0);
+      n++;
+    }
+    out->SetCardinality(n);
+    return Status::OK();
+  }
+  std::string name() const override { return "GRACE_STASH_SCAN"; }
+
+ private:
+  SpillRowStore* store_;
+  const RowCodec* codec_;
+  SpillRowStore::Cursor cursor_;
+};
 
 }  // namespace
 
@@ -107,9 +139,11 @@ Status PhysicalHashJoin::ParallelBuild(ExecutionContext* context,
   // thread; workers then never touch the shared condition trees.
   std::vector<std::vector<ExprPtr>> exprs;
   std::vector<std::unique_ptr<JoinHashTable>> partitions;
+  idx_t worker_count = 1;
   MALLARD_RETURN_NOT_OK(parallel::RunMorselPipeline(
       context, child(1), done,
       [&](idx_t workers) {
+        worker_count = workers;
         exprs.resize(workers);
         partitions.resize(workers);
         for (auto& worker_exprs : exprs) {
@@ -119,6 +153,13 @@ Status PhysicalHashJoin::ParallelBuild(ExecutionContext* context,
       [&](int w, PhysicalOperator* scan) -> Status {
         auto partition =
             std::make_unique<JoinHashTable>(key_types, right_types_);
+        if (context->governor) {
+          // Each worker keeps its thread-local partitions under an equal
+          // share of the join's half of the budget and spills the rest
+          // independently — no cross-worker coordination needed.
+          partition->EnableSpilling(context->governor, 2 * worker_count,
+                                    /*radix_shift=*/0);
+        }
         MALLARD_RETURN_NOT_OK(
             SinkBuildSide(context, scan, exprs[w], partition.get()));
         partitions[w] = std::move(partition);
@@ -137,6 +178,13 @@ Status PhysicalHashJoin::Build(ExecutionContext* context) {
   auto build_start = std::chrono::steady_clock::now();
   table_ = std::make_unique<JoinHashTable>(
       KeyTypes(conditions_, /*left_side=*/false), right_types_);
+  if (context->governor) {
+    // The build side gets half the governor's budget; the other half
+    // covers the probe stashes and operator scratch. Exceeding it turns
+    // Finalize into grace mode instead of failing the query.
+    table_->EnableSpilling(context->governor, /*divisor=*/2,
+                           /*radix_shift=*/0);
+  }
   bool built_parallel = false;
   MALLARD_RETURN_NOT_OK(ParallelBuild(context, &built_parallel));
   if (!built_parallel) {
@@ -145,7 +193,8 @@ Status PhysicalHashJoin::Build(ExecutionContext* context) {
     MALLARD_RETURN_NOT_OK(
         SinkBuildSide(context, child(1), right_exprs, table_.get()));
   }
-  table_->Finalize();
+  MALLARD_RETURN_NOT_OK(table_->Finalize());
+  probe_table_ = table_.get();
   built_ = true;
   build_ms_ += std::chrono::duration<double, std::milli>(
                    std::chrono::steady_clock::now() - build_start)
@@ -165,7 +214,7 @@ idx_t PhysicalHashJoin::GatherMatches(ProbeCursor* cursor, idx_t capacity,
     if (walk_chains) {
       if (!c.chain_active) {
         c.chain_ref =
-            table_->FirstMatch(c.heads[r], c.keys, r, c.hashes[r]);
+            probe_table_->FirstMatch(c.heads[r], c.keys, r, c.hashes[r]);
         c.chain_active = true;
         c.row_matched = false;
       }
@@ -174,7 +223,7 @@ idx_t PhysicalHashJoin::GatherMatches(ProbeCursor* cursor, idx_t capacity,
         refs[n] = c.chain_ref;
         n++;
         c.row_matched = true;
-        c.chain_ref = table_->NextMatch(c.chain_ref, c.keys, r, c.hashes[r]);
+        c.chain_ref = probe_table_->NextMatch(c.chain_ref, c.keys, r, c.hashes[r]);
       }
       if (c.chain_ref != kNullRef) break;  // capacity filled mid-chain
       if (join_type_ == JoinType::kLeft && !c.row_matched) {
@@ -187,7 +236,7 @@ idx_t PhysicalHashJoin::GatherMatches(ProbeCursor* cursor, idx_t capacity,
       c.chain_active = false;
     } else {
       // Semi/anti: existence check only, one output row at most.
-      uint64_t match = table_->FirstMatch(c.heads[r], c.keys, r, c.hashes[r]);
+      uint64_t match = probe_table_->FirstMatch(c.heads[r], c.keys, r, c.hashes[r]);
       if ((join_type_ == JoinType::kSemi) == (match != kNullRef)) {
         sel[n] = static_cast<uint32_t>(r);
         refs[n] = kNullRef;
@@ -220,8 +269,8 @@ Status PhysicalHashJoin::ProbeChunk(ExecutionContext* context,
         break;
       }
       MALLARD_RETURN_NOT_OK(EvaluateKeys(c.exprs, c.chunk, &c.keys));
-      table_->ProbeHeads(c.keys, c.chunk.size(), c.hashes.data(),
-                         c.heads.data());
+      probe_table_->ProbeHeads(c.keys, c.chunk.size(), c.hashes.data(),
+                               c.heads.data());
       continue;
     }
     idx_t n = GatherMatches(cursor, kVectorSize - produced, c.sel.data(),
@@ -236,7 +285,7 @@ Status PhysicalHashJoin::ProbeChunk(ExecutionContext* context,
     if (emit_right) {
       for (idx_t i = 0; i < n; i++) {
         if (c.refs[i] != JoinHashTable::kNullRef) {
-          table_->DecodePayload(c.refs[i], out, produced + i, left_width);
+          probe_table_->DecodePayload(c.refs[i], out, produced + i, left_width);
         } else {
           for (idx_t col = left_width; col < out->ColumnCount(); col++) {
             out->column(col).validity().SetInvalid(produced + i);
@@ -331,6 +380,11 @@ Status PhysicalHashJoin::GetChunk(ExecutionContext* context, DataChunk* out) {
                      std::chrono::steady_clock::now() - probe_start)
                      .count();
   };
+  if (table_->GraceMode()) {
+    Status status = GraceProbe(context, out);
+    track_probe();
+    return status;
+  }
   if (!probe_planned_) {
     MALLARD_RETURN_NOT_OK(PlanParallelProbe(context));
     probe_planned_ = true;
@@ -366,6 +420,188 @@ Status PhysicalHashJoin::GetChunk(ExecutionContext* context, DataChunk* out) {
   Status status = ProbeChunk(context, child(0), &probe_, out);
   track_probe();
   return status;
+}
+
+Status PhysicalHashJoin::RouteProbeSide(ExecutionContext* context) {
+  probe_codec_ = std::make_unique<RowCodec>(children_[0]->types());
+  std::array<std::unique_ptr<SpillRowStore>, JoinHashTable::kPartitions>
+      stashes;
+  for (auto& stash : stashes) {
+    stash = std::make_unique<SpillRowStore>(context->buffers);
+  }
+  DataChunk chunk;
+  chunk.Initialize(children_[0]->types());
+  DataChunk keys;
+  keys.Initialize(KeyTypes(conditions_, /*left_side=*/true));
+  std::vector<ExprPtr> exprs;
+  for (const auto& c : conditions_) exprs.push_back(c.left->Copy());
+  std::vector<uint64_t> hashes(kVectorSize);
+  std::vector<uint8_t> row;
+  while (true) {
+    MALLARD_RETURN_NOT_OK(child(0)->GetChunk(context, &chunk));
+    if (chunk.size() == 0) break;
+    MALLARD_RETURN_NOT_OK(EvaluateKeys(exprs, chunk, &keys));
+    HashKeyColumns(keys, chunk.size(), hashes.data());
+    for (idx_t r = 0; r < chunk.size(); r++) {
+      row.clear();
+      row.resize(8);
+      std::memcpy(row.data(), &hashes[r], 8);
+      probe_codec_->EncodeRow(chunk, r, &row);
+      idx_t p = JoinHashTable::PartitionOf(hashes[r], table_->radix_shift());
+      MALLARD_RETURN_NOT_OK(
+          stashes[p]->Append(row.data(), static_cast<uint32_t>(row.size())));
+    }
+  }
+  for (auto& stash : stashes) stash->FinishAppend();
+  PushGraceJobs(nullptr, table_.get(), &stashes);
+  return Status::OK();
+}
+
+void PhysicalHashJoin::PushGraceJobs(
+    std::shared_ptr<JoinHashTable> owner, JoinHashTable* table,
+    std::array<std::unique_ptr<SpillRowStore>, JoinHashTable::kPartitions>*
+        stashes) {
+  // LIFO stack: spilled partitions go on first, resident ones on top, so
+  // resident partitions are joined before reload pressure from spilled
+  // ones can evict them.
+  for (int pass = 0; pass < 2; pass++) {
+    bool want_resident = pass == 1;
+    for (idx_t p = 0; p < JoinHashTable::kPartitions; p++) {
+      if (table->PartitionResident(p) != want_resident) continue;
+      GraceJob job;
+      job.owner = owner;
+      job.table = table;
+      job.partition = p;
+      job.stash = std::move((*stashes)[p]);
+      grace_jobs_.push_back(std::move(job));
+    }
+  }
+}
+
+Status PhysicalHashJoin::SplitGraceJob(ExecutionContext* context,
+                                       GraceJob job) {
+  JoinHashTable* table = job.table;
+  idx_t p = job.partition;
+  int child_shift = table->radix_shift() + JoinHashTable::kRadixBits;
+  auto sub = std::make_shared<JoinHashTable>(
+      KeyTypes(conditions_, /*left_side=*/false), right_types_);
+  sub->EnableSpilling(context->governor, /*divisor=*/2, child_shift);
+  // Rebuild the oversized partition into a table partitioned on the
+  // next 4 hash bits, scanning one segment at a time so the partition
+  // is never loaded wholesale.
+  DataChunk keys;
+  keys.Initialize(KeyTypes(conditions_, /*left_side=*/false));
+  DataChunk payload;
+  payload.Initialize(right_types_);
+  JoinHashTable::ScanCursor cursor;
+  while (true) {
+    idx_t n = 0;
+    MALLARD_RETURN_NOT_OK(
+        table->ScanPartition(p, &cursor, &keys, &payload, &n));
+    if (n == 0) break;
+    MALLARD_RETURN_NOT_OK(sub->Append(context, keys, payload, n));
+  }
+  table->DropPartition(p);
+  MALLARD_RETURN_NOT_OK(sub->Finalize());
+  if (!sub->GraceMode()) {
+    // The finer split fits in budget: probe the whole child table with
+    // the parent partition's stash.
+    GraceJob whole;
+    whole.owner = sub;
+    whole.table = sub.get();
+    whole.whole_table = true;
+    whole.stash = std::move(job.stash);
+    grace_jobs_.push_back(std::move(whole));
+    return Status::OK();
+  }
+  // Still over budget at the finer level (skewed keys): re-route the
+  // stash by the deeper radix digit and recurse per sub-partition.
+  std::array<std::unique_ptr<SpillRowStore>, JoinHashTable::kPartitions>
+      stashes;
+  for (auto& stash : stashes) {
+    stash = std::make_unique<SpillRowStore>(context->buffers);
+  }
+  SpillRowStore::Cursor read;
+  while (true) {
+    const uint8_t* row;
+    uint32_t len;
+    MALLARD_RETURN_NOT_OK(job.stash->Next(&read, &row, &len));
+    if (!row) break;
+    uint64_t hash;
+    std::memcpy(&hash, row, 8);
+    idx_t sp = JoinHashTable::PartitionOf(hash, child_shift);
+    MALLARD_RETURN_NOT_OK(stashes[sp]->Append(row, len));
+  }
+  for (auto& stash : stashes) stash->FinishAppend();
+  PushGraceJobs(sub, sub.get(), &stashes);
+  return Status::OK();
+}
+
+Status PhysicalHashJoin::PrepareGraceJob(ExecutionContext* context,
+                                         GraceJob job) {
+  JoinHashTable* table = job.table;
+  if (!job.whole_table) {
+    idx_t p = job.partition;
+    if (!job.stash || job.stash->rows() == 0) {
+      // No probe rows landed here: no matches and nothing to NULL-pad.
+      table->DropPartition(p);
+      return Status::OK();
+    }
+    // A partition that alone exceeds the budget splits recursively —
+    // unless the shift is exhausted (identical-hash skew) or the
+    // partition is small in rows; then it is processed whole, degraded.
+    if (table->PartitionBytes(p) > table->SpillBudget() &&
+        table->radix_shift() < JoinHashTable::kMaxRadixShift &&
+        table->PartitionRows(p) > kVectorSize) {
+      return SplitGraceJob(context, std::move(job));
+    }
+    MALLARD_RETURN_NOT_OK(table->LoadPartition(p));
+    MALLARD_RETURN_NOT_OK(table->FinalizePartition(p));
+  }
+  probe_table_ = table;
+  grace_source_ = std::make_unique<GraceStashScan>(
+      children_[0]->types(), job.stash.get(), probe_codec_.get());
+  // Fresh serial cursor for this job's stash replay.
+  probe_.chunk.Reset();
+  probe_.position = 0;
+  probe_.chain_ref = JoinHashTable::kNullRef;
+  probe_.chain_active = false;
+  probe_.row_matched = false;
+  probe_.exhausted = false;
+  grace_current_ = std::move(job);
+  grace_active_ = true;
+  return Status::OK();
+}
+
+Status PhysicalHashJoin::GraceProbe(ExecutionContext* context,
+                                    DataChunk* out) {
+  if (!grace_routed_) {
+    MALLARD_RETURN_NOT_OK(RouteProbeSide(context));
+    grace_routed_ = true;
+  }
+  while (true) {
+    if (grace_active_) {
+      MALLARD_RETURN_NOT_OK(
+          ProbeChunk(context, grace_source_.get(), &probe_, out));
+      if (out->size() > 0) return Status::OK();
+      // Job drained: free its partition (and stash) before the next.
+      if (!grace_current_.whole_table) {
+        grace_current_.table->DropPartition(grace_current_.partition);
+      }
+      grace_source_.reset();
+      grace_current_ = GraceJob{};
+      grace_active_ = false;
+      continue;
+    }
+    if (grace_jobs_.empty()) {
+      out->Reset();
+      out->SetCardinality(0);
+      return Status::OK();
+    }
+    GraceJob job = std::move(grace_jobs_.back());
+    grace_jobs_.pop_back();
+    MALLARD_RETURN_NOT_OK(PrepareGraceJob(context, std::move(job)));
+  }
 }
 
 std::string PhysicalHashJoin::name() const {

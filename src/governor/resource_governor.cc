@@ -46,7 +46,11 @@ CompressionLevel ResourceGovernor::ChooseCompressionLevel() const {
 JoinAlgorithm ResourceGovernor::ChooseJoinAlgorithm(
     uint64_t estimated_build_bytes) const {
   uint64_t budget = EffectiveMemoryBudget();
-  if (estimated_build_bytes <= budget / 2) {
+  // The grace hash join spills radix partitions of the build side, so a
+  // build larger than memory is fine — hash stays profitable until the
+  // working set dwarfs the budget so badly that partition reloads
+  // dominate; beyond 8x, sort-merge's sequential passes win.
+  if (budget > UINT64_MAX / 8 || estimated_build_bytes <= budget * 8) {
     return JoinAlgorithm::kHash;
   }
   return JoinAlgorithm::kMerge;

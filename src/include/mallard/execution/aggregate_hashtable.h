@@ -1,13 +1,19 @@
 #ifndef MALLARD_EXECUTION_AGGREGATE_HASHTABLE_H_
 #define MALLARD_EXECUTION_AGGREGATE_HASHTABLE_H_
 
+#include <array>
+#include <atomic>
 #include <memory>
 #include <vector>
 
 #include "mallard/execution/aggregate_function.h"
+#include "mallard/execution/row_codec.h"
+#include "mallard/execution/spill/spill_row_store.h"
 #include "mallard/vector/data_chunk.h"
 
 namespace mallard {
+
+class ResourceGovernor;
 
 /// Vectorized hash table for GROUP BY aggregation.
 ///
@@ -88,8 +94,36 @@ class AggregateHashTable {
   idx_t GroupCount() const { return group_count_; }
   idx_t Capacity() const { return entries_.size(); }
 
+  /// Approximate bytes held per group (keys + states + directory share),
+  /// maintained incrementally — the spill decision's accounting.
+  uint64_t ApproxBytes() const { return approx_bytes_; }
+
+  /// Drops every group and shrinks the directory back to
+  /// `initial_capacity` — the table is reusable afterwards. Used when a
+  /// partition's groups are externalized to a spill run.
+  void Reset(idx_t initial_capacity = 64);
+
+  /// Merges `count` externalized groups back in: row r of `keys` (with
+  /// retained hash hashes[r]) carries the contiguous compact state row
+  /// r of `state_rows`. Unseen keys create groups, existing keys batch-
+  /// combine — the external-aggregation reload path. Compact layouts
+  /// only (spilling is gated on CompactLayout()).
+  void MergeRows(const DataChunk& keys, idx_t count, const uint64_t* hashes,
+                 const uint8_t* state_rows);
+
   /// Hash of group `group_id` as retained at creation.
   uint64_t GroupHash(idx_t group_id) const { return group_hashes_[group_id]; }
+
+  /// Columnar key chunk `i` (groups [i*kVectorSize, ...) in creation
+  /// order) — run serialization walks these directly.
+  const DataChunk& GroupChunk(idx_t i) const { return *group_chunks_[i]; }
+
+  const AggStateLayout& layout() const { return layout_; }
+
+  /// Compact state row of one group (compact layouts only).
+  const uint8_t* StateRow(idx_t group_id) const {
+    return state_rows_.data() + group_id * layout_.row_size();
+  }
 
   /// Generic-state accessor (AggState fallback layouts only).
   const AggState& State(idx_t group_id, idx_t agg_index) const {
@@ -134,6 +168,7 @@ class AggregateHashTable {
   std::vector<uint8_t> state_rows_;  // compact: group * layout_.row_size()
   std::vector<uint64_t> hash_scratch_;
   std::vector<idx_t> merge_ids_;  // Merge scratch
+  uint64_t approx_bytes_ = 0;
 };
 
 /// Radix-partitioned front for thread-local aggregation sinks: groups
@@ -148,10 +183,28 @@ class AggregateHashTable {
 /// With `partitioned = false` the wrapper holds a single inner table and
 /// routes nothing: the serial aggregation path keeps its exact hot path
 /// while sharing the one sink body (physical_aggregate.cc).
+///
+/// External aggregation (EnableSpilling): after every sunk chunk the
+/// operator calls MaybeSpill, which re-reads the governor's budget and,
+/// while over it, externalizes the largest partition's groups into a
+/// spill *run* — rows of [group hash | compact state row | encoded key]
+/// in a spillable SpillRowStore — and resets that partition's table (an
+/// unpartitioned table first upgrades itself to 16 partitions so the
+/// runs have a radix home). The same group may appear in several runs
+/// and in the resident table; emission (NextEmitTable) walks partitions
+/// one at a time, merging a partition's resident groups and all its runs
+/// back into one bounded table via MergeRows before its groups are
+/// finalized — and when even one partition's merged groups exceed the
+/// emission budget, its runs are re-routed by the next 4 hash bits and
+/// processed recursively. Spilling is only engaged for compact state
+/// layouts (the VARCHAR MIN/MAX fallback never spills).
 class RadixPartitionedAggregateTable {
  public:
   static constexpr idx_t kRadixBits = 4;
   static constexpr idx_t kPartitions = idx_t(1) << kRadixBits;
+  /// Deepest recursion shift for emission re-partitioning (shifts 4, 8,
+  /// 12; identical-hash groups cannot split further).
+  static constexpr int kMaxRadixShift = 12;
 
   RadixPartitionedAggregateTable(std::vector<TypeId> group_types,
                                  const std::vector<BoundAggregate>& aggregates,
@@ -159,6 +212,12 @@ class RadixPartitionedAggregateTable {
 
   /// Partition of a group hash: its top kRadixBits bits.
   static idx_t PartitionOf(uint64_t hash) { return hash >> (64 - kRadixBits); }
+
+  /// Partition at recursion level `shift`: 4 bits starting `shift` below
+  /// the top (shift 0 == PartitionOf).
+  static idx_t PartitionOfShift(uint64_t hash, int shift) {
+    return (hash >> (64 - kRadixBits - shift)) & (kPartitions - 1);
+  }
 
   /// Maps the first `count` rows of `groups` to their partitions'
   /// groups, creating unseen groups. Retains the per-partition routing
@@ -179,7 +238,74 @@ class RadixPartitionedAggregateTable {
 
   idx_t GroupCount() const;
 
+  // -- Out-of-core aggregation --------------------------------------
+
+  /// Enables spilling: resident groups are kept under
+  /// governor->EffectiveMemoryBudget() / divisor, re-read at every
+  /// MaybeSpill. `aggregates` must outlive the table (the operator's
+  /// member list); needed to build replacement/merge tables. No-op
+  /// protection: spilling only ever engages when the state layout is
+  /// compact.
+  void EnableSpilling(const ResourceGovernor* governor,
+                      BufferManager* buffers, uint64_t divisor,
+                      const std::vector<BoundAggregate>* aggregates);
+
+  /// Re-shares the budget (e.g. back to /2 once parallel sink workers
+  /// have merged into the one surviving table).
+  void SetSpillDivisor(uint64_t divisor) { spill_divisor_ = divisor; }
+
+  /// True once any groups were externalized to runs.
+  bool Spilled() const { return spilled_.load(std::memory_order_relaxed); }
+
+  /// The partition-sink budget consultation: called after every sunk
+  /// chunk; while resident groups exceed the budget, externalizes the
+  /// largest partition into a run (upgrading an unpartitioned table to
+  /// 16 partitions on first spill).
+  Status MaybeSpill();
+
+  /// Per-partition variant for the parallel merge step: spills partition
+  /// `p` if it alone exceeds a 1/kPartitions share of the budget. Safe
+  /// to call concurrently for distinct `p` (runs and tables are
+  /// per-partition; only the spilled_ flag is shared, and it is atomic).
+  Status MaybeSpillPartition(idx_t p);
+
+  /// Steals `other`'s spill runs (parallel sink: workers spill
+  /// independently; the coordinator adopts their runs and merges them
+  /// lazily at emission). Resident groups are NOT adopted — merge those
+  /// with partition(p).Merge as before.
+  void AdoptRuns(RadixPartitionedAggregateTable* other);
+
+  /// Emission driver: returns the next fully-merged table of final
+  /// groups via `*out` (resident + all runs of one partition, or one
+  /// recursion slice of an oversized partition), or null when every
+  /// group has been emitted. The returned table stays valid until the
+  /// next call. Call only after sinking is complete.
+  Status NextEmitTable(AggregateHashTable** out);
+
  private:
+  uint64_t SpillBudget() const;
+  /// Per-emission-table cap; half the spill budget, so the merge table
+  /// plus the run cursors stay inside the operator's share.
+  uint64_t EmitBudget() const;
+  /// Externalizes every group of partitions_[table_index] into the runs
+  /// keyed by the groups' top-4 hash bits, then resets the table.
+  Status SpillPartitionTable(idx_t table_index);
+  /// Serializes one table's groups as run rows routed by
+  /// PartitionOfShift(hash, shift) into `sinks`.
+  Status SerializeTable(AggregateHashTable* table, int shift,
+                        std::array<std::unique_ptr<SpillRowStore>,
+                                   kPartitions>* sinks);
+  void UpgradeToPartitioned();
+
+  /// One emission unit: a set of runs covering a disjoint hash range,
+  /// to be merged into a single table (splitting at `shift` + 4 if the
+  /// merged table outgrows the emission budget).
+  struct EmitJob {
+    std::vector<std::unique_ptr<SpillRowStore>> runs;
+    int shift = kRadixBits;
+  };
+  Status ProcessEmitJob(EmitJob job, bool* produced);
+
   std::vector<std::unique_ptr<AggregateHashTable>> partitions_;
   // Per-chunk routing scratch (valid between FindOrCreateGroups and the
   // UpdateStates calls for the same chunk).
@@ -188,6 +314,20 @@ class RadixPartitionedAggregateTable {
   std::vector<idx_t> part_ids_;      // kPartitions x kVectorSize
   idx_t part_count_[kPartitions] = {};
   std::vector<idx_t> ids_;  // unpartitioned fast path
+
+  // Spilling state.
+  std::vector<TypeId> group_types_;
+  const std::vector<BoundAggregate>* spill_aggregates_ = nullptr;
+  const ResourceGovernor* governor_ = nullptr;
+  BufferManager* buffers_ = nullptr;
+  uint64_t spill_divisor_ = 2;
+  std::atomic<bool> spilled_{false};
+  std::unique_ptr<RowCodec> key_codec_;
+  std::array<std::vector<std::unique_ptr<SpillRowStore>>, kPartitions> runs_;
+  // Emission state.
+  idx_t emit_next_partition_ = 0;
+  std::vector<EmitJob> emit_jobs_;  // LIFO recursion stack
+  std::unique_ptr<AggregateHashTable> emit_table_;
 };
 
 }  // namespace mallard

@@ -1,6 +1,7 @@
 #ifndef MALLARD_EXECUTION_JOIN_HASHTABLE_H_
 #define MALLARD_EXECUTION_JOIN_HASHTABLE_H_
 
+#include <array>
 #include <memory>
 #include <vector>
 
@@ -10,16 +11,31 @@
 
 namespace mallard {
 
+class ResourceGovernor;
+
 /// Vectorized hash table for the build side of a hash join.
 ///
 /// Hashes are computed batch-at-a-time over typed vector data (no Value
 /// boxing, no string serialization); build rows are stored in compact
 /// row layout ([next ref | hash | key row | payload row]) inside
-/// buffer-manager segments so the governor's memory accounting sees
-/// them. The probe directory is a power-of-two array of chain heads:
-/// each slot points at the most convenient build row, rows chain via
-/// their embedded next ref. Rows whose key contains a NULL are never
+/// *spillable* buffer-manager segments, radix-partitioned 16 ways by the
+/// top hash bits. The probe directory is a power-of-two array of chain
+/// heads: each slot points at the most convenient build row, rows chain
+/// via their embedded next ref. Rows whose key contains a NULL are never
 /// inserted (SQL equality never matches NULL).
+///
+/// Out-of-core build (EnableSpilling): the partitions are the spill
+/// unit. After every appended chunk the governor's memory budget is
+/// re-read; while the resident partitions exceed the table's share, the
+/// largest one is unloaded — its segment pins are released, making them
+/// LRU-evictable, so the actual disk I/O falls out of the buffer
+/// manager's pin/unpin contract. If anything was unloaded (or the total
+/// build exceeds the budget at Finalize), the table enters *grace mode*:
+/// no global directory is built; instead the operator processes
+/// partitions one at a time — resident first, spilled ones reloaded via
+/// LoadPartition — building a per-partition directory with
+/// FinalizePartition and recursing through ScanPartition (at a deeper
+/// radix shift) when a single partition still exceeds the budget.
 ///
 /// Probe flow (one type dispatch per vector, tight loops inside):
 ///   1. HashKeyColumns over the probe key chunk -> hashes[0..n)
@@ -33,6 +49,20 @@ class JoinHashTable {
   /// Sentinel row reference: end of chain / no candidate.
   static constexpr uint64_t kNullRef = ~uint64_t(0);
 
+  static constexpr idx_t kRadixBits = 4;
+  static constexpr idx_t kPartitions = idx_t(1) << kRadixBits;
+  /// Deepest radix shift grace recursion may reach (shifts 0, 4, 8, 12
+  /// give four partitioning levels; identical-hash data cannot split, so
+  /// beyond this a partition is processed whole even if over budget).
+  static constexpr int kMaxRadixShift = 12;
+
+  /// Partition of `hash` at radix level `shift`: 4 bits starting
+  /// `shift` below the top (the directory uses the low bits, so the two
+  /// are independent at every level).
+  static idx_t PartitionOf(uint64_t hash, int shift) {
+    return (hash >> (64 - kRadixBits - shift)) & (kPartitions - 1);
+  }
+
   /// `directory_size_hint` forces the initial directory capacity
   /// (rounded up to a power of two); 0 sizes it from the build count.
   /// Tests use a tiny hint to force chain collisions.
@@ -40,27 +70,82 @@ class JoinHashTable {
                 std::vector<TypeId> payload_types,
                 idx_t directory_size_hint = 0);
 
+  /// Enables out-of-core build: this table's resident partitions are
+  /// kept under governor->EffectiveMemoryBudget() / divisor, re-read
+  /// after every Append (the same re-read contract morsels use for the
+  /// thread budget). `radix_shift` selects the hash bits partitioned on
+  /// (grace recursion uses shift + 4). Without this call the table is
+  /// purely in-memory (unit-test contexts with no governor).
+  void EnableSpilling(const ResourceGovernor* governor, uint64_t divisor,
+                      int radix_shift);
+
   /// Appends the first `count` rows of `keys`+`payload` to the build
   /// side. Rows with a NULL key column are skipped.
   Status Append(ExecutionContext* context, const DataChunk& keys,
                 const DataChunk& payload, idx_t count);
 
-  /// Builds the probe directory. Call exactly once, after all Appends.
-  /// Chains preserve build order (first-built row is first in chain).
-  void Finalize();
+  /// Ends the build. In-memory mode: pins every partition and builds the
+  /// global probe directory (chains preserve build order; first-built
+  /// row is first in chain). Grace mode (something spilled, or the build
+  /// exceeds the budget): releases every pin instead — the operator then
+  /// drives the per-partition API below. Call exactly once.
+  Status Finalize();
 
-  /// Steals `other`'s build rows (segments + refs) into this table —
-  /// the merge step of a partitioned parallel build, where each worker
-  /// appends into a private table and the coordinator combines them.
-  /// Both tables must share the same key/payload layout and neither may
-  /// be finalized yet; `other` is left empty. Chains later preserve
-  /// merge order (partition by partition, build order within each).
+  /// Steals `other`'s build rows (segments + refs), partition by
+  /// partition — the merge step of a partitioned parallel build, where
+  /// each worker appends into a private table and the coordinator
+  /// combines them. Both tables must share the same key/payload layout
+  /// and neither may be finalized yet; `other` is left empty. Chains
+  /// later preserve merge order (worker by worker, build order within
+  /// each). A donor that spilled leaves the merged table spilled.
   void MergePartition(JoinHashTable&& other);
 
   /// Number of build rows stored (NULL-key rows excluded).
-  idx_t Count() const { return refs_.size(); }
+  idx_t Count() const { return count_; }
   uint64_t BuildBytes() const { return build_bytes_; }
   idx_t DirectoryCapacity() const { return directory_.size(); }
+
+  /// True after Finalize when the table must be probed partition by
+  /// partition (grace hash join).
+  bool GraceMode() const { return grace_; }
+  int radix_shift() const { return radix_shift_; }
+  /// This table's current byte share of the governor's budget (re-read
+  /// on every call; ~0 when spilling is not enabled).
+  uint64_t SpillBudget() const;
+
+  // -- Grace-mode partition API (valid after Finalize) ----------------
+
+  uint64_t PartitionBytes(idx_t p) const { return partitions_[p].bytes; }
+  idx_t PartitionRows(idx_t p) const { return partitions_[p].refs.size(); }
+  /// True when the partition's segments are pinned resident (never
+  /// unloaded during the build). Grace processing orders resident
+  /// partitions first so they are probed before eviction pressure from
+  /// reloads can push them out.
+  bool PartitionResident(idx_t p) const { return partitions_[p].resident; }
+  /// Pins every segment of partition `p`, reloading spilled ones.
+  Status LoadPartition(idx_t p);
+  /// Builds the probe directory over partition `p` only (partition must
+  /// be loaded). Replaces any previous per-partition directory.
+  Status FinalizePartition(idx_t p);
+  /// Releases partition `p` entirely (probe done): segments, refs and
+  /// spill slots are freed.
+  void DropPartition(idx_t p);
+
+  /// Streaming decode of a partition's rows back into key + payload
+  /// chunks (grace recursion rebuilds a child table from these). Pins
+  /// one segment at a time, so an over-budget partition can be scanned
+  /// without loading it. Emits up to kVectorSize rows per call; 0 rows
+  /// signals the end.
+  struct ScanCursor {
+    idx_t ref_index = 0;
+    idx_t pinned_segment = kInvalidIndex;
+    BufferHandle pin;
+    const uint8_t* data = nullptr;
+  };
+  Status ScanPartition(idx_t p, ScanCursor* cursor, DataChunk* keys,
+                       DataChunk* payload, idx_t* count) const;
+
+  // -- Probe API (global directory, or per-partition in grace mode) ---
 
   /// Hashes the probe key chunk and resolves per-row chain heads:
   /// heads[r] is the first *candidate* ref for probe row r (the chain
@@ -85,37 +170,75 @@ class JoinHashTable {
                      idx_t first_column) const;
 
  private:
-  // Row refs pack (segment index, byte offset): 24 bits segment,
-  // 40 bits offset.
+  // Row refs pack (partition, segment index, byte offset):
+  // 4 | 20 | 40 bits.
   static constexpr int kOffsetBits = 40;
   static constexpr uint64_t kOffsetMask = (uint64_t(1) << kOffsetBits) - 1;
+  static constexpr int kSegmentBits = 20;
+  static constexpr uint64_t kSegmentMask = (uint64_t(1) << kSegmentBits) - 1;
   // Row header: [next ref: 8][hash: 8][key bytes: 4] — the key length is
   // recorded at build time so DecodePayload jumps straight to the
   // payload instead of re-walking the key encoding per emitted match.
   static constexpr idx_t kHeaderSize = 20;
+  // Per-partition segments grow geometrically so small builds do not pay
+  // 16 full-size segments.
+  static constexpr uint64_t kMinSegmentBytes = 16 * 1024;
+  static constexpr uint64_t kMaxSegmentBytes = 1 << 20;
+
+  struct Segment {
+    std::shared_ptr<ManagedBuffer> buffer;
+    BufferHandle pin;          // held while the partition is loaded
+    uint8_t* data = nullptr;   // cached pin.data(); refreshed on reload
+  };
+  struct Partition {
+    std::vector<Segment> segments;
+    std::vector<uint64_t> refs;  // build order within the partition
+    uint64_t tail_used = 0;
+    uint64_t bytes = 0;
+    bool resident = true;
+  };
 
   const uint8_t* Resolve(uint64_t ref) const {
-    return segments_[ref >> kOffsetBits].data() + (ref & kOffsetMask);
+    const Partition& part = partitions_[ref >> (kOffsetBits + kSegmentBits)];
+    return part.segments[(ref >> kOffsetBits) & kSegmentMask].data +
+           (ref & kOffsetMask);
   }
   uint8_t* ResolveMutable(uint64_t ref) {
-    return segments_[ref >> kOffsetBits].data() + (ref & kOffsetMask);
+    Partition& part = partitions_[ref >> (kOffsetBits + kSegmentBits)];
+    return part.segments[(ref >> kOffsetBits) & kSegmentMask].data +
+           (ref & kOffsetMask);
   }
   bool MatchKeys(const uint8_t* stored_keys, const DataChunk& keys,
                  idx_t row) const;
+  Status AppendRow(ExecutionContext* context, idx_t partition,
+                   const uint8_t* row, uint64_t size);
+  /// Unloads the largest resident partitions until the resident bytes
+  /// fit the current budget (the partition-sink budget consultation).
+  Status MaybeSpill();
+  void UnloadPartition(idx_t p);
+  /// Head-inserts `refs` in reverse, so chains come out in build order.
+  void InsertRefs(const std::vector<uint64_t>& refs);
 
   std::vector<TypeId> key_types_;
   RowCodec key_codec_;
   RowCodec payload_codec_;
   idx_t directory_size_hint_;
 
-  std::vector<BufferHandle> segments_;
-  uint64_t segment_used_ = 0;
+  std::array<Partition, kPartitions> partitions_;
+  idx_t count_ = 0;
   uint64_t build_bytes_ = 0;
-  std::vector<uint64_t> refs_;       // all build rows, in build order
   std::vector<uint64_t> directory_;  // slot -> chain head ref
   uint64_t mask_ = 0;
   std::vector<uint8_t> row_scratch_;
   std::vector<uint64_t> hash_scratch_;
+
+  BufferManager* buffers_ = nullptr;  // captured on first Append
+  const ResourceGovernor* governor_ = nullptr;
+  uint64_t spill_divisor_ = 2;
+  int radix_shift_ = 0;
+  bool spill_enabled_ = false;
+  bool spilled_any_ = false;
+  bool grace_ = false;
 };
 
 }  // namespace mallard

@@ -56,6 +56,15 @@ class PhysicalUngroupedAggregate final : public PhysicalOperator {
 /// decomposes into kPartitions disjoint per-partition merges that run in
 /// parallel under the governor's budget (serial sinks keep a single
 /// unpartitioned table and skip routing entirely).
+///
+/// External aggregation: when a governor is present the table's spilling
+/// is enabled and MaybeSpill runs after every sunk chunk, externalizing
+/// the largest radix partition to spill runs whenever resident groups
+/// exceed the operator's budget share (workers divide the share evenly;
+/// during the parallel merge each partition checks its own 1/16 share).
+/// Emission then goes through NextEmitTable, which merges each
+/// partition's runs back into one bounded table — recursing on the next
+/// 4 hash bits if a partition alone outgrows the emission budget.
 class PhysicalHashAggregate final : public PhysicalOperator {
  public:
   PhysicalHashAggregate(std::vector<ExprPtr> groups,
@@ -64,8 +73,16 @@ class PhysicalHashAggregate final : public PhysicalOperator {
   Status GetChunk(ExecutionContext* context, DataChunk* out) override;
   std::string name() const override;
 
-  /// Number of distinct groups seen (stats for tests/benches).
-  idx_t GroupCount() const { return table_ ? table_->GroupCount() : 0; }
+  /// Number of distinct groups seen (stats for tests/benches). When the
+  /// aggregate spilled, resident tables are drained during emission, so
+  /// the count of emitted groups takes over once emission ran.
+  idx_t GroupCount() const {
+    idx_t resident = table_ ? table_->GroupCount() : 0;
+    return emitted_groups_ > resident ? emitted_groups_ : resident;
+  }
+
+  /// True when any groups were externalized to spill runs (tests).
+  bool Spilled() const { return table_ && table_->Spilled(); }
 
   /// Phase timing of the last execution (benches): time spent in the
   /// (possibly parallel) input sink, and in the partition-merge pass
@@ -75,10 +92,11 @@ class PhysicalHashAggregate final : public PhysicalOperator {
 
  protected:
   Status ResetOperator() override {
+    emit_current_ = nullptr;
     table_.reset();
     sunk_ = false;
-    emit_partition_ = 0;
     emit_offset_ = 0;
+    emitted_groups_ = 0;
     sink_ms_ = 0;
     merge_ms_ = 0;
     return Status::OK();
@@ -111,10 +129,12 @@ class PhysicalHashAggregate final : public PhysicalOperator {
 
   std::unique_ptr<RadixPartitionedAggregateTable> table_;
   bool sunk_ = false;
-  // Emission cursor: partition-major, kVectorSize-aligned within each
-  // partition.
-  idx_t emit_partition_ = 0;
+  // Emission cursor: tables come from table_->NextEmitTable (resident
+  // partition or merged spill slice); the offset is kVectorSize-aligned
+  // within the current table.
+  AggregateHashTable* emit_current_ = nullptr;
   idx_t emit_offset_ = 0;
+  idx_t emitted_groups_ = 0;
   double sink_ms_ = 0;
   double merge_ms_ = 0;
 };

@@ -1,6 +1,7 @@
 #ifndef MALLARD_EXECUTION_PHYSICAL_JOIN_H_
 #define MALLARD_EXECUTION_PHYSICAL_JOIN_H_
 
+#include <array>
 #include <memory>
 #include <string>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "mallard/execution/join_hashtable.h"
 #include "mallard/execution/physical_operator.h"
 #include "mallard/execution/row_codec.h"
+#include "mallard/execution/spill/spill_row_store.h"
 #include "mallard/expression/bound_expression.h"
 #include "mallard/parallel/morsel.h"
 #include "mallard/storage/buffer_manager.h"
@@ -49,6 +51,20 @@ struct JoinCondition {
 /// than one pass of output. When the probe subtree has no parallel
 /// shape (or the budget is 1) the classic streaming serial probe runs
 /// unchanged.
+///
+/// Grace (out-of-core) mode: when the build side exceeds the governor's
+/// budget the JoinHashTable finalizes into grace mode — its 16 radix
+/// partitions stay unloaded instead of forming one global directory.
+/// The probe side is then routed once into 16 partition stashes
+/// (SpillRowStore of [hash | encoded probe row]; spillable, so the
+/// route itself stays in budget), and partitions are joined one at a
+/// time: resident ones first, spilled ones reloaded via LoadPartition +
+/// FinalizePartition, each probed by replaying its stash through the
+/// regular ProbeChunk body and dropped when drained. A partition that
+/// alone exceeds the budget is rebuilt into a child table partitioned
+/// on the next 4 hash bits (recursive grace), down to kMaxRadixShift.
+/// Every join type works unchanged because each probe row lives in
+/// exactly one stash and is replayed exactly once.
 class PhysicalHashJoin final : public PhysicalOperator {
  public:
   PhysicalHashJoin(JoinType join_type, std::vector<JoinCondition> conditions,
@@ -89,6 +105,14 @@ class PhysicalHashJoin final : public PhysicalOperator {
     probe_results_.clear();
     drain_index_ = 0;
     drain_scan_ = ChunkCollection::ScanState{};
+    // Grace probe state (stashes, job stack, the active job's source).
+    probe_table_ = nullptr;
+    grace_routed_ = false;
+    grace_active_ = false;
+    grace_source_.reset();
+    grace_current_ = GraceJob{};
+    grace_jobs_.clear();
+    probe_codec_.reset();
     build_ms_ = 0;
     probe_ms_ = 0;
     return Status::OK();
@@ -163,12 +187,55 @@ class PhysicalHashJoin final : public PhysicalOperator {
   idx_t GatherMatches(ProbeCursor* cursor, idx_t capacity, uint32_t* sel,
                       uint64_t* refs);
 
+  /// One unit of grace-mode probe work: join partition `partition` of
+  /// `table` against the stashed probe rows. `owner` keeps a recursion
+  /// child table alive for as long as any of its jobs are pending;
+  /// root jobs (over the operator's own table_) leave it null. A
+  /// `whole_table` job probes the entire table (a recursion child that
+  /// turned out to fit in memory) with the parent partition's stash.
+  struct GraceJob {
+    std::shared_ptr<JoinHashTable> owner;
+    JoinHashTable* table = nullptr;
+    idx_t partition = 0;
+    bool whole_table = false;
+    std::unique_ptr<SpillRowStore> stash;
+  };
+
+  /// Grace-mode driver: routes the probe side once, then pops jobs off
+  /// the LIFO stack until every partition has been joined.
+  Status GraceProbe(ExecutionContext* context, DataChunk* out);
+  /// Pulls the whole probe side and scatters it into one spillable
+  /// stash per build partition ([hash | RowCodec-encoded probe row]).
+  Status RouteProbeSide(ExecutionContext* context);
+  /// Activates a job (load + per-partition finalize + stash replay), or
+  /// splits it into 16 finer jobs when the partition alone exceeds the
+  /// budget (recursive grace at radix shift + 4).
+  Status PrepareGraceJob(ExecutionContext* context, GraceJob job);
+  Status SplitGraceJob(ExecutionContext* context, GraceJob job);
+  /// Pushes one job per partition, spilled partitions first so the LIFO
+  /// stack pops resident ones before reload pressure can evict them.
+  void PushGraceJobs(
+      std::shared_ptr<JoinHashTable> owner, JoinHashTable* table,
+      std::array<std::unique_ptr<SpillRowStore>, JoinHashTable::kPartitions>*
+          stashes);
+
   JoinType join_type_;
   std::vector<JoinCondition> conditions_;
   std::vector<TypeId> right_types_;
 
   std::unique_ptr<JoinHashTable> table_;
   bool built_ = false;
+
+  // Table the probe paths read from: table_ normally; in grace mode the
+  // per-partition (or recursion-child) table of the active job.
+  JoinHashTable* probe_table_ = nullptr;
+  // Grace probe state.
+  bool grace_routed_ = false;
+  bool grace_active_ = false;
+  std::unique_ptr<RowCodec> probe_codec_;
+  std::vector<GraceJob> grace_jobs_;  // LIFO; resident partitions on top
+  GraceJob grace_current_;
+  std::unique_ptr<PhysicalOperator> grace_source_;
 
   // Serial probe state.
   ProbeCursor probe_;

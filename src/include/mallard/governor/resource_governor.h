@@ -114,8 +114,10 @@ class ResourceGovernor {
     manual_compression_ = level;
   }
 
-  /// Hash vs merge join: hash if the estimated build side fits in half
-  /// of the current budget, else out-of-core merge join.
+  /// Hash vs merge join: hash while the estimated build side is within
+  /// 8x the current budget (the grace hash join spills radix partitions,
+  /// so builds larger than memory still complete), else out-of-core
+  /// merge join.
   JoinAlgorithm ChooseJoinAlgorithm(uint64_t estimated_build_bytes) const;
 
   /// Records the current state; the Figure 1 bench polls this.

@@ -15,7 +15,10 @@ namespace mallard {
 /// assume it owns the machine, so it starts with a conservative memory
 /// cap and a bounded thread count, both adjustable at runtime via PRAGMA.
 struct DBConfig {
-  /// Hard cap on DBMS buffer/intermediate memory.
+  /// Hard cap on DBMS buffer/intermediate memory. Left at the default,
+  /// the MALLARD_MEMORY_LIMIT environment variable (bytes) overrides it
+  /// when set (CI pins whole test runs to a tight budget this way);
+  /// out-of-core operators spill against this cap rather than failing.
   uint64_t memory_limit = 1ull << 30;  // 1 GiB
   /// Total machine memory envelope (reactive-mode denominator).
   uint64_t total_memory = 4ull << 30;  // 4 GiB

@@ -19,6 +19,8 @@ enum class FaultSite : uint8_t {
   kTornWrite,        // persist only a prefix of a block/WAL write
   kFsyncFailure,     // fsync reports failure
   kWalWrite,         // flip a bit in a WAL frame as it is written
+  kSpillWrite,       // spill-file write fails (out-of-core eviction)
+  kSpillRead,        // spill-file read fails (reload of an evicted buffer)
   kNumFaultSites,
 };
 

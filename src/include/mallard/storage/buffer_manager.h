@@ -43,6 +43,10 @@ class ManagedBuffer {
   int pin_count_ = 0;
   uint64_t spill_offset_ = ~uint64_t(0);
   uint64_t lru_tick_ = 0;
+  // True while the resident contents differ from the spill-file copy
+  // (fresh allocations are dirty; a reload makes the copies equal). A
+  // clean eviction whose spill slot is still valid skips the write.
+  bool dirty_ = true;
 };
 
 /// RAII pin on a ManagedBuffer. While a handle exists the buffer is
@@ -70,6 +74,11 @@ class BufferHandle {
   /// Unpins early (also done by the destructor).
   void Release();
 
+  /// Marks the buffer's contents as modified since the last spill, so a
+  /// future eviction rewrites the spill-file copy instead of reusing it.
+  /// Call after writing through data() on a re-pinned buffer.
+  void MarkDirty();
+
  private:
   BufferManager* manager_ = nullptr;
   std::shared_ptr<ManagedBuffer> buffer_;
@@ -80,9 +89,12 @@ struct BufferManagerStats {
   uint64_t memory_used = 0;
   uint64_t memory_limit = 0;
   uint64_t peak_memory = 0;
-  uint64_t spill_count = 0;
-  uint64_t spilled_bytes = 0;
-  uint64_t unspill_count = 0;
+  uint64_t spill_count = 0;        // spill-file writes
+  uint64_t spilled_bytes = 0;      // cumulative bytes written to the spill file
+  uint64_t unspill_count = 0;      // spill-file reads (reloads)
+  uint64_t eviction_count = 0;     // evictions (>= spill_count: clean
+                                   // re-evictions skip the write)
+  uint64_t spilled_bytes_now = 0;  // bytes currently evicted to disk
   uint64_t quarantined_allocations = 0;
   uint64_t quarantined_bytes = 0;
   uint64_t alloc_tests_run = 0;
@@ -130,6 +142,7 @@ class BufferManager {
 
   void Unpin(ManagedBuffer* buffer);
   void OnDestroy(ManagedBuffer* buffer);
+  void MarkDirty(ManagedBuffer* buffer);
   /// Evicts unpinned buffers until `needed` bytes fit under the limit.
   /// Must hold mutex_.
   Status EvictUntil(uint64_t needed);

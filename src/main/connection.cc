@@ -385,12 +385,47 @@ Result<std::unique_ptr<MaterializedQueryResult>> Connection::ExecutePragma(
   auto ok_result = [] { return SingleValueResult("ok", Value::Boolean(true)); };
   std::string name = StringUtil::Lower(stmt.name);
   if (name == "memory_limit") {
+    if (stmt.value.empty()) {
+      // Readback: `PRAGMA memory_limit` (no value) reports the budget
+      // the out-of-core operators spill against right now — the
+      // governor's effective (possibly reactive) number, not just the
+      // configured cap. Spill tests assert this to prove what budget
+      // they actually ran under.
+      return SingleValueResult(
+          "memory_limit",
+          Value::BigInt(static_cast<int64_t>(
+              db_->governor().EffectiveMemoryBudget())));
+    }
     uint64_t bytes = std::strtoull(stmt.value.c_str(), nullptr, 10);
     if (bytes == 0) {
       return Status::InvalidArgument("memory_limit must be bytes > 0");
     }
     db_->governor().SetMemoryLimit(bytes);
     return ok_result();
+  }
+  if (name == "buffer_stats") {
+    // One row of BufferManager counters: how much is resident, how much
+    // has ever spilled, and how much sits in the temp file right now.
+    BufferManagerStats stats = db_->buffers().GetStats();
+    auto chunk = std::make_unique<DataChunk>();
+    std::vector<std::string> names = {
+        "memory_used",    "memory_limit",   "peak_memory",
+        "spill_count",    "spilled_bytes",  "unspill_count",
+        "eviction_count", "spilled_bytes_now"};
+    std::vector<TypeId> types(names.size(), TypeId::kBigInt);
+    chunk->Initialize(types);
+    const uint64_t values[] = {
+        stats.memory_used,    stats.memory_limit,   stats.peak_memory,
+        stats.spill_count,    stats.spilled_bytes,  stats.unspill_count,
+        stats.eviction_count, stats.spilled_bytes_now};
+    for (idx_t c = 0; c < names.size(); c++) {
+      chunk->SetValue(c, 0, Value::BigInt(static_cast<int64_t>(values[c])));
+    }
+    chunk->SetCardinality(1);
+    std::vector<std::unique_ptr<DataChunk>> chunks;
+    chunks.push_back(std::move(chunk));
+    return std::make_unique<MaterializedQueryResult>(
+        std::move(names), std::move(types), std::move(chunks));
   }
   if (name == "threads") {
     if (stmt.value.empty()) {

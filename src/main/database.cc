@@ -20,6 +20,16 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& path,
 Status Database::Initialize(const std::string& path) {
   bool persistent = !path.empty() && path != ":memory:";
   path_ = persistent ? path : ":memory:";
+  // An untouched memory_limit follows the MALLARD_MEMORY_LIMIT
+  // environment variable (bytes) when set — CI runs the whole suite
+  // under a tight budget this way (mirror of MALLARD_THREADS). An
+  // explicit DBConfig value always wins.
+  if (config_.memory_limit == DBConfig{}.memory_limit) {
+    if (const char* env = std::getenv("MALLARD_MEMORY_LIMIT")) {
+      uint64_t bytes = std::strtoull(env, nullptr, 10);
+      if (bytes > 0) config_.memory_limit = bytes;
+    }
+  }
   buffers_ = std::make_unique<BufferManager>(
       config_.memory_limit, persistent ? path + ".tmp" : "");
   buffers_->EnableAllocationTesting(config_.memtest_on_allocation);

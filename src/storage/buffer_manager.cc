@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "mallard/resilience/fault_injector.h"
+
 namespace mallard {
 
 ManagedBuffer::~ManagedBuffer() { manager_->OnDestroy(this); }
@@ -24,6 +26,10 @@ void BufferHandle::Release() {
     manager_->Unpin(buffer_.get());
     buffer_.reset();
   }
+}
+
+void BufferHandle::MarkDirty() {
+  if (buffer_) manager_->MarkDirty(buffer_.get());
 }
 
 BufferManager::BufferManager(uint64_t memory_limit, std::string temp_path)
@@ -75,10 +81,17 @@ void BufferManager::OnDestroy(ManagedBuffer* buffer) {
   if (buffer->resident()) {
     memory_used_.fetch_sub(buffer->size_);
     evictable_.remove(buffer);
+  } else {
+    stats_.spilled_bytes_now -= buffer->size_;
   }
   if (buffer->spill_offset_ != ~uint64_t(0)) {
     free_spill_slots_[buffer->size_].push_back(buffer->spill_offset_);
   }
+}
+
+void BufferManager::MarkDirty(ManagedBuffer* buffer) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  buffer->dirty_ = true;
 }
 
 Status BufferManager::EvictUntil(uint64_t needed) {
@@ -86,7 +99,13 @@ Status BufferManager::EvictUntil(uint64_t needed) {
   while (memory_used_.load() + needed > limit && !evictable_.empty()) {
     ManagedBuffer* victim = evictable_.front();
     evictable_.pop_front();
-    MALLARD_RETURN_NOT_OK(SpillBuffer(victim));
+    Status status = SpillBuffer(victim);
+    if (!status.ok()) {
+      // The victim is still resident and unpinned: put it back so it
+      // stays reachable for later eviction (and for OnDestroy).
+      evictable_.push_front(victim);
+      return status;
+    }
   }
   // An allocation larger than the limit itself is allowed to proceed when
   // nothing can be evicted: the engine prefers degraded memory behaviour
@@ -108,34 +127,60 @@ Status BufferManager::EnsureSpillFile() {
 
 Status BufferManager::SpillBuffer(ManagedBuffer* buffer) {
   MALLARD_RETURN_NOT_OK(EnsureSpillFile());
-  uint64_t offset;
-  auto slot_it = free_spill_slots_.find(buffer->size_);
-  if (slot_it != free_spill_slots_.end() && !slot_it->second.empty()) {
-    offset = slot_it->second.back();
-    slot_it->second.pop_back();
-  } else {
-    offset = spill_file_size_;
-    spill_file_size_ += buffer->size_;
+  // A clean buffer whose spill slot is still valid needs no write: the
+  // on-disk copy from the previous eviction is already correct.
+  if (buffer->dirty_ || buffer->spill_offset_ == ~uint64_t(0)) {
+    uint64_t offset;
+    if (buffer->spill_offset_ != ~uint64_t(0)) {
+      offset = buffer->spill_offset_;  // dirty: rewrite the retained slot
+    } else {
+      auto slot_it = free_spill_slots_.find(buffer->size_);
+      if (slot_it != free_spill_slots_.end() && !slot_it->second.empty()) {
+        offset = slot_it->second.back();
+        slot_it->second.pop_back();
+      } else {
+        offset = spill_file_size_;
+        spill_file_size_ += buffer->size_;
+      }
+    }
+    Status status =
+        FaultInjector::Get().ShouldFire(FaultSite::kSpillWrite)
+            ? Status::IOError("spill write fault injected on '" +
+                              spill_file_->path() + "'")
+            : spill_file_->Write(buffer->data_.get(), buffer->size_, offset);
+    if (!status.ok()) {
+      if (buffer->spill_offset_ == ~uint64_t(0)) {
+        free_spill_slots_[buffer->size_].push_back(offset);
+      }
+      return status;
+    }
+    buffer->spill_offset_ = offset;
+    buffer->dirty_ = false;
+    stats_.spill_count++;
+    stats_.spilled_bytes += buffer->size_;
   }
-  MALLARD_RETURN_NOT_OK(
-      spill_file_->Write(buffer->data_.get(), buffer->size_, offset));
-  buffer->spill_offset_ = offset;
   buffer->data_.reset();
   memory_used_.fetch_sub(buffer->size_);
-  stats_.spill_count++;
-  stats_.spilled_bytes += buffer->size_;
+  stats_.eviction_count++;
+  stats_.spilled_bytes_now += buffer->size_;
   return Status::OK();
 }
 
 Status BufferManager::LoadBuffer(ManagedBuffer* buffer) {
+  if (FaultInjector::Get().ShouldFire(FaultSite::kSpillRead)) {
+    return Status::IOError("spill read fault injected on '" +
+                           spill_file_->path() + "'");
+  }
   MALLARD_ASSIGN_OR_RETURN(buffer->data_, AllocateTested(buffer->size_));
   MALLARD_RETURN_NOT_OK(spill_file_->Read(buffer->data_.get(), buffer->size_,
                                           buffer->spill_offset_));
-  free_spill_slots_[buffer->size_].push_back(buffer->spill_offset_);
-  buffer->spill_offset_ = ~uint64_t(0);
+  // The slot is retained (spill_offset_ stays valid): if this buffer is
+  // evicted again without being modified, the eviction skips the write.
+  buffer->dirty_ = false;
   memory_used_.fetch_add(buffer->size_);
   peak_memory_ = std::max(peak_memory_, memory_used_.load());
   stats_.unspill_count++;
+  stats_.spilled_bytes_now -= buffer->size_;
   return Status::OK();
 }
 
@@ -205,7 +250,10 @@ void BufferManager::SetMemoryLimit(uint64_t limit) {
   while (memory_used_.load() > limit && !evictable_.empty()) {
     ManagedBuffer* victim = evictable_.front();
     evictable_.pop_front();
-    if (!SpillBuffer(victim).ok()) break;
+    if (!SpillBuffer(victim).ok()) {
+      evictable_.push_front(victim);
+      break;
+    }
   }
 }
 
