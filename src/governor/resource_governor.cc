@@ -70,6 +70,16 @@ int ResourceGovernor::EffectiveThreadBudget() const {
   return std::max(1, std::min(cap, budget));
 }
 
+uint64_t ResourceGovernor::WalFlushIntervalMs() const {
+  constexpr uint64_t kBaseMs = 5;
+  AppResourceMonitor* monitor = monitor_.load();
+  if (!reactive_.load() || !monitor) return kBaseMs;
+  double cpu = monitor->AppCpuUtilization();
+  if (cpu < 0.0) cpu = 0.0;
+  if (cpu > 1.0) cpu = 1.0;
+  return kBaseMs + static_cast<uint64_t>(cpu * 3.0 * kBaseMs);
+}
+
 GovernorSample ResourceGovernor::Sample() const {
   AppResourceMonitor* monitor = monitor_.load();
   GovernorSample s;

@@ -30,6 +30,12 @@ class BinaryWriter {
   const std::vector<uint8_t>& data() const { return data_; }
   size_t size() const { return data_.size(); }
   void Clear() { data_.clear(); }
+  /// Drops the first `len` bytes. Used by streaming writers that flush a
+  /// completed prefix to disk while continuing to append at the tail,
+  /// keeping the in-memory buffer bounded.
+  void ConsumePrefix(size_t len) {
+    data_.erase(data_.begin(), data_.begin() + static_cast<ptrdiff_t>(len));
+  }
 
  private:
   void Append(const void* src, size_t len) {

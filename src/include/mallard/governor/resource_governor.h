@@ -114,6 +114,11 @@ class ResourceGovernor {
     manual_compression_ = level;
   }
 
+  /// Milliseconds the async WAL flusher sleeps between fsyncs. Base 5ms;
+  /// reactive mode stretches it up to 4x as host-application CPU demand
+  /// rises (a little durability lag traded for staying off a busy CPU).
+  uint64_t WalFlushIntervalMs() const;
+
   /// Hash vs merge join: hash while the estimated build side is within
   /// 8x the current budget (the grace hash join spills radix partitions,
   /// so builds larger than memory still complete), else out-of-core

@@ -35,6 +35,10 @@ struct DBConfig {
   bool memtest_on_allocation = false;
   /// Reactive resource governing (paper section 4 / Figure 1).
   bool reactive = false;
+  /// Write a final checkpoint (and truncate the WAL) when the database
+  /// closes cleanly. Disabled by recovery benchmarks/tests that want the
+  /// WAL preserved so the next open measures replay.
+  bool checkpoint_on_close = true;
 };
 
 }  // namespace mallard

@@ -65,8 +65,9 @@ class Database {
   /// docs/CONCURRENCY.md. Thread-safe.
   TaskScheduler& scheduler() { return *scheduler_; }
 
-  /// Writes a checkpoint and truncates the WAL. Fails with a transaction
-  /// context error while transactions are active.
+  /// Writes an online checkpoint and truncates the WAL. Commits are
+  /// briefly blocked (they queue on the commit gate); readers and
+  /// in-flight statements proceed on their MVCC snapshots throughout.
   Status Checkpoint();
 
  private:

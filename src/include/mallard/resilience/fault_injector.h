@@ -21,6 +21,11 @@ enum class FaultSite : uint8_t {
   kWalWrite,         // flip a bit in a WAL frame as it is written
   kSpillWrite,       // spill-file write fails (out-of-core eviction)
   kSpillRead,        // spill-file read fails (reload of an evicted buffer)
+  kWalAppend,        // WAL batch append fails (or process dies mid-append)
+  kWalFsync,         // WAL fsync fails (or process dies before syncing)
+  kWalTruncate,      // post-checkpoint WAL truncation fails (or dies first)
+  kCheckpointWrite,  // checkpoint block write fails (or dies mid-write)
+  kCheckpointRootSwap,  // root swap fails (or dies before the header flip)
   kNumFaultSites,
 };
 
@@ -43,6 +48,21 @@ class FaultInjector {
   /// Returns true if the fault should fire now; decrements one-shots.
   bool ShouldFire(FaultSite site);
 
+  /// Arms `site` as a process-kill point for the crash-recovery torture
+  /// harness: ShouldKill(site) returns true on the (skip+1)-th
+  /// opportunity after arming. The call site performs its partial effect
+  /// (e.g. a half-written batch) and then calls KillProcess(), modeling
+  /// power loss at exactly that point.
+  void ArmKillAfter(FaultSite site, uint64_t skip);
+  /// True exactly once when an armed kill point is reached.
+  bool ShouldKill(FaultSite site);
+  /// Immediate process death without destructors, flushes or atexit
+  /// handlers — the closest user-space approximation of power loss.
+  [[noreturn]] static void KillProcess();
+  /// Exit code KillProcess dies with; the torture driver asserts it to
+  /// distinguish an intended kill from an accidental crash.
+  static constexpr int kKillExitCode = 87;
+
   /// Flips a pseudo-random bit in the buffer; returns the flipped bit
   /// index. Used by sites that corrupt data.
   uint64_t FlipRandomBit(void* data, uint64_t len);
@@ -57,6 +77,8 @@ class FaultInjector {
     double probability = 0.0;
     std::atomic<int64_t> one_shots{0};
     std::atomic<uint64_t> fire_count{0};
+    // Kill countdown: -1 disarmed, 0 fire now, n>0 skip n opportunities.
+    std::atomic<int64_t> kill_countdown{-1};
   };
 
   mutable std::mutex mutex_;

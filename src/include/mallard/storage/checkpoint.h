@@ -3,15 +3,32 @@
 
 #include "mallard/catalog/catalog.h"
 #include "mallard/storage/block_manager.h"
+#include "mallard/transaction/transaction.h"
 
 namespace mallard {
+
+class TransactionManager;
+class ResourceGovernor;
 
 /// Writes a full checkpoint: catalog + all table data into fresh blocks,
 /// then atomically flips the database header to the new root (paper
 /// section 6: "checkpoints first write new blocks ... and as a last step
 /// update the root pointer and the free list in the header atomically").
-/// Returns the set of live blocks after the checkpoint.
-Status WriteCheckpoint(Catalog* catalog, BlockManager* blocks);
+///
+/// The checkpoint is *online*: it scans table data through `snapshot`
+/// (MVCC visibility), so concurrent readers and in-flight writers are
+/// unaffected. The only thing that must stand still is the committed
+/// state itself — the caller must hold a TransactionManager::CommitBlock
+/// (verified via `txns->CommitsBlocked()`; an Internal error is returned
+/// otherwise, making the exclusive-access contract a checked
+/// precondition instead of an implicit assumption).
+///
+/// Staging memory is bounded by `governor->EffectiveMemoryBudget()`:
+/// rows are re-compacted into serialized groups whose size shrinks under
+/// memory pressure, and completed meta blocks stream to disk eagerly.
+Status WriteCheckpoint(Catalog* catalog, BlockManager* blocks,
+                       TransactionManager* txns, const Transaction& snapshot,
+                       const ResourceGovernor* governor);
 
 /// Loads a checkpoint written by WriteCheckpoint into the catalog.
 Status LoadCheckpoint(Catalog* catalog, BlockManager* blocks);

@@ -31,6 +31,40 @@ class MetaBlockWriter {
   std::set<block_id_t> blocks_used_;
 };
 
+/// Streaming variant of MetaBlockWriter used by the online checkpointer:
+/// instead of buffering the whole checkpoint image in memory, completed
+/// chain blocks are written out as soon as the staged buffer fills one,
+/// so peak memory is one block plus whatever the caller stages between
+/// FlushFull() calls. Produces the exact same chain format. Checkpoint
+/// block writes are a kCheckpointWrite fault/kill site.
+class MetaBlockStreamWriter {
+ public:
+  explicit MetaBlockStreamWriter(BlockManager* blocks) : blocks_(blocks) {}
+
+  BinaryWriter& writer() { return writer_; }
+
+  /// Writes every complete chain block currently staged. Call after each
+  /// bounded unit of serialization (e.g. one row group).
+  Status FlushFull();
+
+  /// Writes the final partial block and terminates the chain. Returns
+  /// the head block id. No further writes are allowed afterwards.
+  Result<block_id_t> Finish();
+
+  const std::set<block_id_t>& blocks_used() const { return blocks_used_; }
+
+ private:
+  Status WriteChainBlock(uint64_t len, block_id_t id, block_id_t next);
+  block_id_t Allocate();
+
+  BlockManager* blocks_;
+  BinaryWriter writer_;
+  std::set<block_id_t> blocks_used_;
+  block_id_t head_ = kInvalidBlock;
+  block_id_t current_ = kInvalidBlock;  // reserved id of the next block
+  bool finished_ = false;
+};
+
 /// Reads a block chain written by MetaBlockWriter back into memory.
 class MetaBlockReader {
  public:

@@ -1,9 +1,11 @@
 #ifndef MALLARD_TRANSACTION_TRANSACTION_MANAGER_H_
 #define MALLARD_TRANSACTION_TRANSACTION_MANAGER_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <vector>
 
 #include "mallard/common/result.h"
@@ -32,8 +34,31 @@ class TransactionManager {
 
   std::unique_ptr<Transaction> Begin();
 
+  /// RAII guard that blocks all commits while alive. The checkpointer
+  /// holds one so the committed state it scans cannot advance (and no
+  /// commit can land in the WAL-durable-but-not-stamped window while the
+  /// WAL is truncated). Readers and in-flight statements are unaffected;
+  /// committers queue on the gate and proceed when the guard drops.
+  class CommitBlock {
+   public:
+    explicit CommitBlock(TransactionManager* manager);
+    ~CommitBlock();
+    CommitBlock(const CommitBlock&) = delete;
+    CommitBlock& operator=(const CommitBlock&) = delete;
+
+   private:
+    TransactionManager* manager_;
+  };
+
+  /// True while a CommitBlock is alive. WriteCheckpoint asserts this —
+  /// its exclusive-access contract is a hard precondition, not a hope.
+  bool CommitsBlocked() const { return commits_blocked_.load(); }
+
   /// Commits: assigns a commit id, flushes WAL records, stamps versions.
   /// On WAL failure the transaction is rolled back and an error returned.
+  /// The WAL write happens outside the manager mutex so concurrent
+  /// committers can share a group-commit fsync; a shared commit gate is
+  /// held from the WAL write through stamping (see CommitBlock).
   Status Commit(Transaction* txn);
 
   /// Commit variant used during WAL replay (no WAL re-write).
@@ -57,6 +82,10 @@ class TransactionManager {
   void RemoveActive(Transaction* txn);
 
   mutable std::mutex mutex_;
+  // Commit gate: shared by every committer across its WAL-write +
+  // stamping window, exclusive for CommitBlock (checkpoint).
+  std::shared_mutex commit_gate_;
+  std::atomic<bool> commits_blocked_{false};
   WriteAheadLog* wal_ = nullptr;
   uint64_t commit_counter_ = 1;          // commit ids start at 2
   uint64_t next_txn_offset_ = 0;         // txn ids: kTransactionIdBase + n

@@ -491,6 +491,61 @@ Result<std::unique_ptr<MaterializedQueryResult>> Connection::ExecutePragma(
         StringUtil::CIEquals(stmt.value, "true") || stmt.value == "1");
     return ok_result();
   }
+  if (name == "wal_commit_mode") {
+    WriteAheadLog* wal = db_->wal();
+    if (stmt.value.empty()) {
+      // Readback: the durability contract commits on this database get
+      // right now (in-memory databases have no WAL and report "none").
+      const char* mode =
+          wal == nullptr
+              ? "none"
+              : (wal->commit_mode() == WalCommitMode::kAsync ? "async"
+                                                             : "sync");
+      return SingleValueResult("wal_commit_mode", Value::Varchar(mode));
+    }
+    if (wal == nullptr) {
+      return Status::InvalidArgument(
+          "wal_commit_mode requires a persistent database");
+    }
+    if (StringUtil::CIEquals(stmt.value, "sync")) {
+      // Switching to sync flushes everything already acknowledged, so
+      // the stronger guarantee holds from this statement's return.
+      MALLARD_RETURN_NOT_OK(wal->SetCommitMode(WalCommitMode::kSync));
+    } else if (StringUtil::CIEquals(stmt.value, "async")) {
+      MALLARD_RETURN_NOT_OK(wal->SetCommitMode(WalCommitMode::kAsync));
+    } else {
+      return Status::InvalidArgument("wal_commit_mode must be sync or async");
+    }
+    return ok_result();
+  }
+  if (name == "wal_stats") {
+    // One row of WAL counters; the group-commit tests assert that
+    // `fsyncs` stays well below `commits` under concurrent writers.
+    if (db_->wal() == nullptr) {
+      return Status::InvalidArgument(
+          "wal_stats requires a persistent database");
+    }
+    WalStats stats = db_->wal()->GetStats();
+    auto chunk = std::make_unique<DataChunk>();
+    std::vector<std::string> names = {
+        "commits",    "fsyncs",       "flushes",
+        "group_commits", "max_group", "async_acks",
+        "flush_errors",  "bytes_written", "pending_bytes"};
+    std::vector<TypeId> types(names.size(), TypeId::kBigInt);
+    chunk->Initialize(types);
+    const uint64_t values[] = {
+        stats.commits,    stats.fsyncs,       stats.flushes,
+        stats.group_commits, stats.max_group, stats.async_acks,
+        stats.flush_errors,  stats.bytes_written, stats.pending_bytes};
+    for (idx_t c = 0; c < names.size(); c++) {
+      chunk->SetValue(c, 0, Value::BigInt(static_cast<int64_t>(values[c])));
+    }
+    chunk->SetCardinality(1);
+    std::vector<std::unique_ptr<DataChunk>> chunks;
+    chunks.push_back(std::move(chunk));
+    return std::make_unique<MaterializedQueryResult>(
+        std::move(names), std::move(types), std::move(chunks));
+  }
   return Status::InvalidArgument("unknown pragma '" + stmt.name + "'");
 }
 

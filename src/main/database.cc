@@ -63,9 +63,11 @@ Status Database::Initialize(const std::string& path) {
       MALLARD_RETURN_NOT_OK(LoadCheckpoint(&catalog_, blocks_.get()));
     }
     MALLARD_ASSIGN_OR_RETURN(wal_, WriteAheadLog::Open(path + ".wal"));
-    MALLARD_ASSIGN_OR_RETURN(idx_t replayed,
-                             wal_->Replay(&catalog_, &transactions_));
+    MALLARD_ASSIGN_OR_RETURN(
+        idx_t replayed,
+        wal_->Replay(&catalog_, &transactions_, blocks_->header().iteration));
     (void)replayed;
+    wal_->SetGovernor(governor_.get());
     transactions_.SetWal(wal_.get());
   }
   transactions_.SetCleanupHook([this](uint64_t lowest) {
@@ -78,20 +80,38 @@ Status Database::Initialize(const std::string& path) {
 Status Database::Checkpoint() {
   if (in_memory()) return Status::OK();
   std::lock_guard<std::mutex> guard(checkpoint_lock_);
-  if (transactions_.HasActiveTransactions()) {
-    return Status::TransactionContext(
-        "cannot checkpoint while transactions are active");
-  }
-  MALLARD_RETURN_NOT_OK(WriteCheckpoint(&catalog_, blocks_.get()));
-  if (wal_) MALLARD_RETURN_NOT_OK(wal_->Truncate());
+  // Online checkpoint: only commits stand still (the gate below);
+  // readers keep scanning their MVCC snapshots and in-flight writers
+  // keep executing — their uncommitted versions are invisible to the
+  // checkpoint snapshot and stay recoverable via the WAL once they
+  // commit after the gate drops.
+  TransactionManager::CommitBlock commit_block(&transactions_);
+  auto snapshot = transactions_.Begin();
+  Status status = WriteCheckpoint(&catalog_, blocks_.get(), &transactions_,
+                                  *snapshot, governor_.get());
+  transactions_.Rollback(snapshot.get());
+  MALLARD_RETURN_NOT_OK(status);
+  // The WAL may be truncated only now: the new block tree and its root
+  // are durable, and the commit gate guarantees no commit is sitting in
+  // the WAL-durable-but-not-stamped window. The truncation stamps the
+  // new root's iteration into the fresh log, so a crash between the two
+  // steps is detected at replay (the stale log is skipped, not
+  // re-applied) — the gate is still held here, which is what makes
+  // "stale log == fully checkpointed log" true.
+  if (wal_) MALLARD_RETURN_NOT_OK(wal_->Truncate(blocks_->header().iteration));
   return Status::OK();
 }
 
 Database::~Database() {
-  if (!in_memory() && !transactions_.HasActiveTransactions()) {
+  if (!in_memory() && config_.checkpoint_on_close &&
+      !transactions_.HasActiveTransactions()) {
     // Best-effort final checkpoint; committed data is already durable in
     // the WAL if this fails.
     Status status = Checkpoint();
+    (void)status;
+  } else if (wal_) {
+    // Still flush any async-acknowledged commits before closing.
+    Status status = wal_->FlushPending();
     (void)status;
   }
 }

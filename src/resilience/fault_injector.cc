@@ -1,5 +1,9 @@
 #include "mallard/resilience/fault_injector.h"
 
+#include <unistd.h>
+
+#include <cstdlib>
+
 namespace mallard {
 
 FaultInjector& FaultInjector::Get() {
@@ -22,6 +26,7 @@ void FaultInjector::Disarm(FaultSite site) {
   auto& s = sites_[static_cast<int>(site)];
   s.probability = 0.0;
   s.one_shots.store(0);
+  s.kill_countdown.store(-1);
 }
 
 void FaultInjector::Reset() {
@@ -30,7 +35,35 @@ void FaultInjector::Reset() {
     s.probability = 0.0;
     s.one_shots.store(0);
     s.fire_count.store(0);
+    s.kill_countdown.store(-1);
   }
+}
+
+void FaultInjector::ArmKillAfter(FaultSite site, uint64_t skip) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_[static_cast<int>(site)].kill_countdown.store(
+      static_cast<int64_t>(skip));
+}
+
+bool FaultInjector::ShouldKill(FaultSite site) {
+  auto& s = sites_[static_cast<int>(site)];
+  int64_t countdown = s.kill_countdown.load();
+  while (countdown >= 0) {
+    if (s.kill_countdown.compare_exchange_weak(countdown, countdown - 1)) {
+      if (countdown == 0) {
+        s.fire_count.fetch_add(1);
+        return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+void FaultInjector::KillProcess() {
+  // _exit, not abort/exit: no destructors, no stdio flush, no atexit —
+  // whatever reached the kernel is all the next process gets to see.
+  ::_exit(kKillExitCode);
 }
 
 bool FaultInjector::ShouldFire(FaultSite site) {

@@ -158,9 +158,20 @@ void BlockManager::SetLiveBlocks(const std::set<block_id_t>& live) {
 }
 
 Status BlockManager::WriteHeader(block_id_t meta_block) {
+  auto& injector = FaultInjector::Get();
+  // Fire before any in-memory mutation so a failed root swap leaves the
+  // manager consistent with the on-disk (old) root and a retry works.
+  if (injector.ShouldFire(FaultSite::kCheckpointRootSwap)) {
+    return Status::IOError("injected checkpoint root swap failure");
+  }
   // Make sure all data blocks referenced by the new root are durable
   // before the root becomes visible.
   MALLARD_RETURN_NOT_OK(file_->Sync());
+  if (injector.ShouldKill(FaultSite::kCheckpointRootSwap)) {
+    // Power loss between data durability and the header flip: reopen
+    // reads the old root; the WAL has not been truncated yet.
+    FaultInjector::KillProcess();
+  }
   header_.iteration++;
   header_.meta_block = meta_block;
   int slot = static_cast<int>(header_.iteration % 2);

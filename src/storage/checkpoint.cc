@@ -1,11 +1,112 @@
 #include "mallard/storage/checkpoint.h"
 
+#include <algorithm>
+#include <memory>
+#include <numeric>
+
+#include "mallard/governor/resource_governor.h"
 #include "mallard/storage/meta_block.h"
+#include "mallard/storage/table/column_segment.h"
+#include "mallard/storage/table/data_table.h"
+#include "mallard/transaction/transaction_manager.h"
 
 namespace mallard {
 
-Status WriteCheckpoint(Catalog* catalog, BlockManager* blocks) {
-  MetaBlockWriter meta(blocks);
+namespace {
+
+/// Streams one table's rows — as visible to `snapshot` — into the meta
+/// chain as re-compacted serialized row groups. Layout matches
+/// DataTable::DeserializeData: [num_groups u64] then per group
+/// [count u64][ncols u32][per-column segment].
+Status CheckpointTable(const DataTable& table, const Transaction& snapshot,
+                       const ResourceGovernor* governor,
+                       MetaBlockStreamWriter* meta) {
+  BinaryWriter& w = meta->writer();
+  std::vector<TypeId> types = table.ColumnTypes();
+  idx_t visible = table.VisibleRowCount(snapshot);
+
+  // Serialized-group granularity: the default row group size, shrunk
+  // under memory pressure so the staging segments (the only per-table
+  // buffering besides one meta block) respect the governor's budget.
+  // ~16 bytes/value is a deliberately pessimistic estimate; staging gets
+  // at most a quarter of the budget.
+  idx_t group_rows = kRowGroupSize;
+  if (governor) {
+    uint64_t bytes_per_row =
+        std::max<uint64_t>(1, types.size() * 16);
+    uint64_t budget_rows =
+        governor->EffectiveMemoryBudget() / 4 / bytes_per_row;
+    group_rows = static_cast<idx_t>(std::min<uint64_t>(
+        kRowGroupSize, std::max<uint64_t>(kVectorSize, budget_rows)));
+  }
+  uint64_t num_groups =
+      visible == 0 ? 0 : (visible + group_rows - 1) / group_rows;
+  w.WriteU64(num_groups);
+
+  std::vector<idx_t> column_ids(types.size());
+  std::iota(column_ids.begin(), column_ids.end(), idx_t(0));
+  TableScanState state;
+  table.InitializeScan(&state, column_ids);
+  DataChunk chunk;
+  chunk.Initialize(types);
+
+  std::vector<std::unique_ptr<ColumnSegment>> staged;
+  idx_t staged_count = 0;
+  auto start_group = [&]() {
+    staged.clear();
+    for (TypeId type : types) {
+      staged.push_back(std::make_unique<ColumnSegment>(type));
+    }
+    staged_count = 0;
+  };
+  uint64_t emitted = 0;
+  auto emit_group = [&]() -> Status {
+    w.WriteU64(staged_count);
+    w.WriteU32(static_cast<uint32_t>(types.size()));
+    for (idx_t c = 0; c < staged.size(); c++) {
+      staged[c]->Serialize(&w, staged_count);
+    }
+    emitted++;
+    start_group();
+    // Stream completed meta blocks out now, keeping memory bounded.
+    return meta->FlushFull();
+  };
+
+  start_group();
+  while (table.Scan(snapshot, &state, &chunk)) {
+    idx_t offset = 0;
+    while (offset < chunk.size()) {
+      idx_t n = std::min<idx_t>(group_rows - staged_count,
+                                chunk.size() - offset);
+      for (idx_t c = 0; c < staged.size(); c++) {
+        staged[c]->Append(chunk.column(c), offset, staged_count, n);
+      }
+      staged_count += n;
+      offset += n;
+      if (staged_count == group_rows) MALLARD_RETURN_NOT_OK(emit_group());
+    }
+  }
+  if (staged_count > 0) MALLARD_RETURN_NOT_OK(emit_group());
+  if (emitted != num_groups) {
+    // The visible set moved under us — only possible if the caller's
+    // CommitBlock contract was violated. Abort; the old root is intact.
+    return Status::Internal("checkpoint scan drifted from visible count in '" +
+                            table.name() + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteCheckpoint(Catalog* catalog, BlockManager* blocks,
+                       TransactionManager* txns, const Transaction& snapshot,
+                       const ResourceGovernor* governor) {
+  if (txns == nullptr || !txns->CommitsBlocked()) {
+    return Status::Internal(
+        "WriteCheckpoint requires the commit gate: hold a "
+        "TransactionManager::CommitBlock for the duration");
+  }
+  MetaBlockStreamWriter meta(blocks);
   BinaryWriter& w = meta.writer();
   std::vector<std::string> table_names = catalog->TableNames();
   w.WriteU32(static_cast<uint32_t>(table_names.size()));
@@ -17,7 +118,7 @@ Status WriteCheckpoint(Catalog* catalog, BlockManager* blocks) {
       w.WriteString(col.name);
       w.WriteU8(static_cast<uint8_t>(col.type));
     }
-    table->Serialize(&w);
+    MALLARD_RETURN_NOT_OK(CheckpointTable(*table, snapshot, governor, &meta));
   }
   std::vector<std::string> view_names = catalog->ViewNames();
   w.WriteU32(static_cast<uint32_t>(view_names.size()));
@@ -29,7 +130,9 @@ Status WriteCheckpoint(Catalog* catalog, BlockManager* blocks) {
     w.WriteU32(static_cast<uint32_t>(view->column_aliases.size()));
     for (const auto& a : view->column_aliases) w.WriteString(a);
   }
-  MALLARD_ASSIGN_OR_RETURN(block_id_t head, meta.Flush());
+  MALLARD_ASSIGN_OR_RETURN(block_id_t head, meta.Finish());
+  // Root swap: fsync the new block tree, then flip the header. Only
+  // after this returns may the caller truncate the WAL.
   MALLARD_RETURN_NOT_OK(blocks->WriteHeader(head));
   blocks->SetLiveBlocks(meta.blocks_used());
   return Status::OK();

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "mallard/resilience/fault_injector.h"
+
 namespace mallard {
 
 namespace {
@@ -38,6 +40,58 @@ Result<block_id_t> MetaBlockWriter::Flush() {
     remaining -= len;
   }
   return chain[0];
+}
+
+block_id_t MetaBlockStreamWriter::Allocate() {
+  block_id_t id = blocks_->AllocateBlock();
+  blocks_used_.insert(id);
+  if (head_ == kInvalidBlock) head_ = id;
+  return id;
+}
+
+Status MetaBlockStreamWriter::WriteChainBlock(uint64_t len, block_id_t id,
+                                              block_id_t next) {
+  auto& injector = FaultInjector::Get();
+  if (injector.ShouldKill(FaultSite::kCheckpointWrite)) {
+    // Power loss mid-checkpoint: the new block tree is incomplete but
+    // the header still points at the old root, so reopen sees the
+    // previous checkpoint plus the un-truncated WAL. Nothing is lost.
+    FaultInjector::KillProcess();
+  }
+  if (injector.ShouldFire(FaultSite::kCheckpointWrite)) {
+    return Status::IOError("injected checkpoint block write failure");
+  }
+  std::vector<uint8_t> buffer(kBlockPayloadSize, 0);
+  std::memcpy(buffer.data(), &next, sizeof(int64_t));
+  std::memcpy(buffer.data() + sizeof(int64_t), &len, sizeof(uint64_t));
+  if (len > 0) {
+    std::memcpy(buffer.data() + kChainHeader, writer_.data().data(), len);
+  }
+  return blocks_->WriteBlock(id, buffer.data());
+}
+
+Status MetaBlockStreamWriter::FlushFull() {
+  while (writer_.size() >= kChainPayload) {
+    if (current_ == kInvalidBlock) current_ = Allocate();
+    // A full block always has a successor: at minimum the final partial
+    // (possibly empty) block written by Finish().
+    block_id_t next = Allocate();
+    MALLARD_RETURN_NOT_OK(WriteChainBlock(kChainPayload, current_, next));
+    writer_.ConsumePrefix(kChainPayload);
+    current_ = next;
+  }
+  return Status::OK();
+}
+
+Result<block_id_t> MetaBlockStreamWriter::Finish() {
+  if (finished_) return Status::Internal("meta stream writer reused");
+  MALLARD_RETURN_NOT_OK(FlushFull());
+  if (current_ == kInvalidBlock) current_ = Allocate();
+  MALLARD_RETURN_NOT_OK(
+      WriteChainBlock(writer_.size(), current_, kInvalidBlock));
+  writer_.Clear();
+  finished_ = true;
+  return head_;
 }
 
 Status MetaBlockReader::Load(block_id_t head) {

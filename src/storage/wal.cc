@@ -1,11 +1,25 @@
 #include "mallard/storage/wal.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 
 #include "mallard/common/checksum.h"
+#include "mallard/governor/resource_governor.h"
 #include "mallard/resilience/fault_injector.h"
 #include "mallard/transaction/transaction_manager.h"
 #include "mallard/vector/chunk_serde.h"
+
+namespace {
+// Async mode: wake the flusher early once this many unflushed bytes
+// accumulate, bounding memory and crash-loss window under heavy load.
+constexpr size_t kAsyncForceFlushBytes = 256 * 1024;
+// Log file header: [magic u64][checkpoint generation u64], written at
+// creation and on every truncation. The generation ties the log to the
+// database root that last truncated it — see WriteAheadLog::Replay.
+constexpr uint64_t kWalMagic = 0x4D414C4C41524457ULL;  // "MALLARDW"
+constexpr uint64_t kWalHeaderSize = 16;
+}  // namespace
 
 namespace mallard {
 
@@ -98,11 +112,22 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
       auto file, FileHandle::Open(path, FileHandle::kRead |
                                             FileHandle::kWrite |
                                             FileHandle::kCreate));
-  return std::unique_ptr<WriteAheadLog>(
+  auto wal = std::unique_ptr<WriteAheadLog>(
       new WriteAheadLog(path, std::move(file)));
+  MALLARD_ASSIGN_OR_RETURN(wal->file_size_, wal->file_->Size());
+  return wal;
 }
 
-Status WriteAheadLog::WriteCommit(
+WriteAheadLog::~WriteAheadLog() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  flusher_cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+}
+
+std::vector<uint8_t> WriteAheadLog::FrameRecords(
     const std::vector<std::vector<uint8_t>>& records) {
   // Assemble all frames of the transaction into one buffer so a crash
   // mid-commit leaves at most one torn group at the tail.
@@ -128,22 +153,271 @@ Status WriteAheadLog::WriteCommit(
     batch.WriteU32(crc);
     batch.WriteBytes(payload.data(), payload.size());
   }
-  MALLARD_ASSIGN_OR_RETURN(uint64_t offset,
-                           file_->Append(batch.data().data(), batch.size()));
-  (void)offset;
-  return file_->Sync();
+  return batch.data();
+}
+
+Status WriteAheadLog::AppendAndSync(const std::vector<uint8_t>& batch) {
+  auto& injector = FaultInjector::Get();
+  uint64_t restore = file_size_;
+  Status status = Status::OK();
+  if (injector.ShouldKill(FaultSite::kWalAppend)) {
+    // Power loss mid-append: only a prefix of the batch reaches the
+    // kernel. Replay must discard this torn group.
+    (void)file_->Write(batch.data(), batch.size() / 2, restore);
+    FaultInjector::KillProcess();
+  }
+  if (injector.ShouldFire(FaultSite::kWalAppend)) {
+    status = Status::IOError("injected WAL append failure");
+  } else {
+    // Write at the tracked durable end rather than Append(): after an
+    // earlier failed flush the kernel file size may briefly disagree
+    // with the durable prefix, and this is immune to that.
+    status = file_->Write(batch.data(), batch.size(), restore);
+  }
+  if (status.ok()) {
+    uint32_t delay = fsync_delay_us_.load();
+    if (delay) {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay));
+    }
+    if (injector.ShouldKill(FaultSite::kWalFsync)) {
+      // Power loss after write() but before fsync(): the batch may or
+      // may not survive; either way the log ends on a frame boundary or
+      // a torn tail that replay discards.
+      FaultInjector::KillProcess();
+    }
+    if (injector.ShouldFire(FaultSite::kWalFsync)) {
+      status = Status::IOError("injected WAL fsync failure");
+    } else {
+      status = file_->Sync();
+    }
+  }
+  if (!status.ok()) {
+    // Roll the file back to the last durable frame boundary so a retried
+    // commit appends onto a clean prefix instead of after garbage.
+    (void)file_->Truncate(restore);
+    (void)file_->Sync();
+    return status;
+  }
+  file_size_ = restore + batch.size();
+  return Status::OK();
+}
+
+Status WriteAheadLog::WriteCommit(
+    const std::vector<std::vector<uint8_t>>& records) {
+  if (truncate_failed_.load()) {
+    // A failed post-checkpoint truncation left the log's generation
+    // behind the durable root; anything appended now would be skipped by
+    // replay. Refusing the commit is the only answer that cannot lose
+    // acknowledged data — a successful Checkpoint() retry clears this.
+    return Status::IOError(
+        "WAL is stale after a failed truncation; retry Checkpoint() to "
+        "restore durability");
+  }
+  std::vector<uint8_t> batch = FrameRecords(records);
+  if (commit_mode_.load() == WalCommitMode::kAsync) {
+    return CommitAsync(std::move(batch));
+  }
+  return CommitSync(std::move(batch));
+}
+
+void WriteAheadLog::AcquireFlushToken(std::unique_lock<std::mutex>* lock) {
+  cv_.wait(*lock, [this] { return !flush_in_progress_; });
+  flush_in_progress_ = true;
+}
+
+void WriteAheadLog::ReleaseFlushToken() {
+  flush_in_progress_ = false;
+  cv_.notify_all();
+}
+
+Status WriteAheadLog::CommitSync(std::vector<uint8_t> batch) {
+  if (!group_commit_.load()) {
+    // Benchmark baseline: every committer appends + fsyncs alone.
+    std::unique_lock<std::mutex> lock(mutex_);
+    AcquireFlushToken(&lock);
+    std::vector<uint8_t> combined;
+    combined.swap(pending_);  // acked async batches must precede us
+    combined.insert(combined.end(), batch.begin(), batch.end());
+    lock.unlock();
+    Status s = AppendAndSync(combined);
+    lock.lock();
+    if (s.ok()) {
+      stats_.commits++;
+      stats_.flushes++;
+      stats_.fsyncs++;
+      stats_.bytes_written += combined.size();
+      stats_.max_group = std::max<uint64_t>(stats_.max_group, 1);
+    }
+    ReleaseFlushToken();
+    return s;
+  }
+
+  CommitRequest req;
+  req.batch = std::move(batch);
+  std::unique_lock<std::mutex> lock(mutex_);
+  queue_.push_back(&req);
+  for (;;) {
+    if (req.done) return req.status;  // a leader flushed us
+    if (!flush_in_progress_) break;   // no leader: become one
+    cv_.wait(lock);
+  }
+  flush_in_progress_ = true;
+  std::vector<CommitRequest*> group(queue_.begin(), queue_.end());
+  queue_.clear();
+  std::vector<uint8_t> combined;
+  combined.swap(pending_);  // acked async batches must precede the group
+  for (CommitRequest* r : group) {
+    combined.insert(combined.end(), r->batch.begin(), r->batch.end());
+  }
+  lock.unlock();
+  Status s = AppendAndSync(combined);
+  lock.lock();
+  if (s.ok()) {
+    stats_.commits += group.size();
+    stats_.flushes++;
+    stats_.fsyncs++;
+    stats_.bytes_written += combined.size();
+    if (group.size() > 1) stats_.group_commits += group.size();
+    stats_.max_group = std::max<uint64_t>(stats_.max_group, group.size());
+  }
+  for (CommitRequest* r : group) {
+    r->done = true;
+    r->status = s;
+  }
+  ReleaseFlushToken();
+  return s;
+}
+
+Status WriteAheadLog::CommitAsync(std::vector<uint8_t> batch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pending_.insert(pending_.end(), batch.begin(), batch.end());
+  stats_.commits++;
+  stats_.async_acks++;
+  StartFlusherLocked();
+  if (pending_.size() >= kAsyncForceFlushBytes) flusher_cv_.notify_one();
+  return Status::OK();
+}
+
+void WriteAheadLog::StartFlusherLocked() {
+  if (flusher_.joinable() || shutdown_) return;
+  flusher_ = std::thread([this] { FlusherLoop(); });
+}
+
+void WriteAheadLog::FlusherLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    uint64_t interval = governor_ ? governor_->WalFlushIntervalMs() : 5;
+    flusher_cv_.wait_for(lock, std::chrono::milliseconds(interval), [this] {
+      return shutdown_ || pending_.size() >= kAsyncForceFlushBytes;
+    });
+    if (pending_.empty()) {
+      if (shutdown_) return;
+      continue;
+    }
+    AcquireFlushToken(&lock);
+    std::vector<uint8_t> combined;
+    combined.swap(pending_);
+    if (combined.empty()) {  // a sync leader drained us while we waited
+      ReleaseFlushToken();
+      if (shutdown_) return;
+      continue;
+    }
+    lock.unlock();
+    Status s = AppendAndSync(combined);
+    lock.lock();
+    if (s.ok()) {
+      stats_.flushes++;
+      stats_.fsyncs++;
+      stats_.bytes_written += combined.size();
+    } else {
+      // Acked-but-lost data: counted so tests and operators can see it.
+      stats_.flush_errors++;
+    }
+    ReleaseFlushToken();
+    if (shutdown_ && pending_.empty()) return;
+  }
+}
+
+Status WriteAheadLog::FlushPending() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  AcquireFlushToken(&lock);
+  std::vector<uint8_t> combined;
+  combined.swap(pending_);
+  if (combined.empty()) {
+    ReleaseFlushToken();
+    return Status::OK();
+  }
+  lock.unlock();
+  Status s = AppendAndSync(combined);
+  lock.lock();
+  if (s.ok()) {
+    stats_.flushes++;
+    stats_.fsyncs++;
+    stats_.bytes_written += combined.size();
+  } else {
+    stats_.flush_errors++;
+  }
+  ReleaseFlushToken();
+  return s;
+}
+
+Status WriteAheadLog::SetCommitMode(WalCommitMode mode) {
+  if (mode == commit_mode_.load()) return Status::OK();
+  if (mode == WalCommitMode::kSync) {
+    // The stronger guarantee must hold from this call's return onward:
+    // everything already acknowledged gets flushed before we switch.
+    commit_mode_.store(mode);
+    return FlushPending();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    StartFlusherLocked();
+  }
+  commit_mode_.store(mode);
+  return Status::OK();
+}
+
+WalStats WriteAheadLog::GetStats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  WalStats s = stats_;
+  s.pending_bytes = pending_.size();
+  return s;
 }
 
 Result<idx_t> WriteAheadLog::Replay(Catalog* catalog,
-                                    TransactionManager* txn_manager) {
+                                    TransactionManager* txn_manager,
+                                    uint64_t expected_generation) {
   MALLARD_ASSIGN_OR_RETURN(uint64_t size, file_->Size());
-  if (size == 0) return idx_t(0);
-  std::vector<uint8_t> data(size);
-  MALLARD_RETURN_NOT_OK(file_->Read(data.data(), size, 0));
+  bool stale = false;
+  if (size >= kWalHeaderSize) {
+    uint8_t header[kWalHeaderSize];
+    MALLARD_RETURN_NOT_OK(file_->Read(header, kWalHeaderSize, 0));
+    uint64_t magic, generation;
+    std::memcpy(&magic, header, sizeof(uint64_t));
+    std::memcpy(&generation, header + sizeof(uint64_t), sizeof(uint64_t));
+    // A generation behind the root means the process died between the
+    // checkpoint's root swap and the WAL truncation: every transaction in
+    // this log is already part of the durable image, and replaying it
+    // would duplicate rows. (The commit gate is held across both steps,
+    // so nothing newer can be in a stale log either.)
+    stale = magic != kWalMagic || generation != expected_generation;
+  }
+  if (size < kWalHeaderSize || stale) {
+    // Fresh, torn-at-creation or stale log: initialize it for the current
+    // root. The header must be durable before the first commit appends,
+    // or a crash could make that commit look stale.
+    MALLARD_RETURN_NOT_OK(file_->Truncate(0));
+    MALLARD_RETURN_NOT_OK(WriteWalHeader(expected_generation));
+    file_size_ = kWalHeaderSize;
+    return idx_t(0);
+  }
+  std::vector<uint8_t> data(size - kWalHeaderSize);
+  MALLARD_RETURN_NOT_OK(
+      file_->Read(data.data(), data.size(), kWalHeaderSize));
   BinaryReader reader(data.data(), data.size());
 
   idx_t applied_txns = 0;
-  uint64_t valid_end = 0;
+  uint64_t valid_end = kWalHeaderSize;
   // Records of the current (uncommitted) group.
   std::vector<std::pair<WalRecordType, std::vector<uint8_t>>> group;
   bool truncated = false;
@@ -181,7 +455,7 @@ Result<idx_t> WriteAheadLog::Replay(Catalog* catalog,
       if (apply_status.ok()) {
         MALLARD_RETURN_NOT_OK(txn_manager->CommitWithoutWal(txn.get()));
         applied_txns++;
-        valid_end = reader.position();
+        valid_end = kWalHeaderSize + reader.position();
       } else {
         txn_manager->Rollback(txn.get());
         return apply_status;
@@ -196,6 +470,7 @@ Result<idx_t> WriteAheadLog::Replay(Catalog* catalog,
     // prefix of committed groups.
     MALLARD_RETURN_NOT_OK(file_->Truncate(valid_end));
     MALLARD_RETURN_NOT_OK(file_->Sync());
+    file_size_ = valid_end;
   }
   return applied_txns;
 }
@@ -300,11 +575,52 @@ Status WriteAheadLog::ApplyRecord(BinaryReader* reader, WalRecordType type,
   return Status::Corruption("unknown WAL record type");
 }
 
-Status WriteAheadLog::Truncate() {
-  MALLARD_RETURN_NOT_OK(file_->Truncate(0));
+Status WriteAheadLog::WriteWalHeader(uint64_t generation) {
+  uint8_t header[kWalHeaderSize];
+  std::memcpy(header, &kWalMagic, sizeof(uint64_t));
+  std::memcpy(header + sizeof(uint64_t), &generation, sizeof(uint64_t));
+  MALLARD_RETURN_NOT_OK(file_->Write(header, kWalHeaderSize, 0));
   return file_->Sync();
 }
 
-Result<uint64_t> WriteAheadLog::SizeBytes() const { return file_->Size(); }
+Status WriteAheadLog::Truncate(uint64_t generation) {
+  auto& injector = FaultInjector::Get();
+  std::unique_lock<std::mutex> lock(mutex_);
+  AcquireFlushToken(&lock);
+  if (injector.ShouldKill(FaultSite::kWalTruncate)) {
+    // Power loss after the checkpoint's root swap became durable but
+    // before the log was truncated: on reopen the log's old generation
+    // no longer matches the root, so replay discards it instead of
+    // re-applying transactions that are already in the image.
+    FaultInjector::KillProcess();
+  }
+  // Discard acked-but-unflushed async batches too: every acknowledged
+  // commit is stamped in memory and thus part of the checkpoint image
+  // this truncation runs against.
+  pending_.clear();
+  lock.unlock();
+  Status s;
+  if (injector.ShouldFire(FaultSite::kWalTruncate)) {
+    s = Status::IOError("injected WAL truncation failure");
+  } else {
+    s = file_->Truncate(0);
+    if (s.ok()) s = WriteWalHeader(generation);
+  }
+  if (s.ok()) file_size_ = kWalHeaderSize;
+  // On failure the log no longer matches the durable root; commits are
+  // refused (WriteCommit) until a Checkpoint() retry truncates cleanly,
+  // because replay would skip a stale-generation log entirely.
+  truncate_failed_.store(!s.ok());
+  lock.lock();
+  ReleaseFlushToken();
+  return s;
+}
+
+Result<uint64_t> WriteAheadLog::SizeBytes() const {
+  // Log payload bytes: the 16-byte [magic][generation] header is not
+  // replayable content.
+  MALLARD_ASSIGN_OR_RETURN(uint64_t size, file_->Size());
+  return size <= kWalHeaderSize ? uint64_t(0) : size - kWalHeaderSize;
+}
 
 }  // namespace mallard

@@ -36,20 +36,38 @@ void TransactionManager::RemoveActive(Transaction* txn) {
                 active_.end());
 }
 
+TransactionManager::CommitBlock::CommitBlock(TransactionManager* manager)
+    : manager_(manager) {
+  manager_->commit_gate_.lock();
+  manager_->commits_blocked_.store(true);
+}
+
+TransactionManager::CommitBlock::~CommitBlock() {
+  manager_->commits_blocked_.store(false);
+  manager_->commit_gate_.unlock();
+}
+
 Status TransactionManager::CommitInternal(Transaction* txn, bool write_wal) {
-  std::lock_guard<std::mutex> guard(mutex_);
+  // Shared commit gate, held from the WAL write through stamping: a
+  // checkpoint (exclusive holder) can therefore never truncate the WAL
+  // between a commit's durability and its visibility — the window in
+  // which an acknowledged commit exists only in the log.
+  std::shared_lock<std::shared_mutex> gate(commit_gate_);
   if (write_wal && wal_ && !txn->wal_records().empty()) {
     txn->wal_records().push_back(wal_record::Commit());
+    // Deliberately outside mutex_: concurrent committers run into the
+    // WAL's group-commit queue in parallel and share one fsync instead
+    // of serializing the whole commit path on a per-commit sync.
     Status wal_status = wal_->WriteCommit(txn->wal_records());
     if (!wal_status.ok()) {
       // Durability cannot be guaranteed: abort instead of committing.
-      // (Rollback without re-acquiring the manager lock.)
-      UndoAll(txn);
-      RemoveActive(txn);
+      gate.unlock();
+      Rollback(txn);
       return Status::IOError("commit aborted, WAL write failed: " +
                              wal_status.message());
     }
   }
+  std::lock_guard<std::mutex> guard(mutex_);
   uint64_t commit_id = ++commit_counter_;
   txn->set_commit_id(commit_id);
   StampCommitted(txn, commit_id);

@@ -1,0 +1,509 @@
+// Durability and crash-recovery tests: WAL group commit (leader/follower
+// fsync sharing, PRAGMA wal_stats), async commit mode, armed fault-site
+// behavior (clean error + successful retry for every new WAL/checkpoint
+// site), online checkpoint vs concurrent readers and writers, and the
+// WriteCheckpoint commit-gate contract. The process-kill half of the
+// torture matrix lives in tests/torture/ (it needs fork()).
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mallard/main/appender.h"
+#include "mallard/main/connection.h"
+#include "mallard/main/database.h"
+#include "mallard/resilience/fault_injector.h"
+#include "mallard/storage/checkpoint.h"
+#include "mallard/storage/wal.h"
+
+namespace mallard {
+namespace {
+
+std::string TempPath(const std::string& tag) {
+  return "/tmp/mallard_test_" + tag + "_" + std::to_string(::getpid());
+}
+
+void Cleanup(const std::string& path) {
+  RemoveFile(path);
+  RemoveFile(path + ".wal");
+  RemoveFile(path + ".tmp");
+  RemoveFile(path + ".walstash");
+}
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = TempPath("recovery");
+    Cleanup(path_);
+    FaultInjector::Get().Reset();
+  }
+  void TearDown() override {
+    Cleanup(path_);
+    FaultInjector::Get().Reset();
+  }
+
+  int64_t Count(Connection* con, const std::string& table) {
+    auto r = con->Query("SELECT count(*) FROM " + table);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return (*r)->GetValue(0, 0).GetBigInt();
+  }
+
+  std::string path_;
+};
+
+// --- Armed fault sites: clean query error, no partial visibility,
+// --- successful retry (mirrors the PR 6 spill-fault tests).
+
+TEST_F(RecoveryTest, WalAppendFaultAbortsCommitCleanly) {
+  auto db = Database::Open(path_);
+  ASSERT_TRUE(db.ok());
+  Connection con(db->get());
+  ASSERT_TRUE(con.Query("CREATE TABLE t (a INTEGER)").ok());
+  FaultInjector::Get().ArmOnce(FaultSite::kWalAppend);
+  auto r = con.Query("INSERT INTO t VALUES (1)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError) << r.status().ToString();
+  // No partial visibility: the aborted insert is gone.
+  EXPECT_EQ(Count(&con, "t"), 0);
+  // Retry succeeds on the rolled-back log.
+  ASSERT_TRUE(con.Query("INSERT INTO t VALUES (2)").ok());
+  EXPECT_EQ(Count(&con, "t"), 1);
+}
+
+TEST_F(RecoveryTest, WalFsyncFaultAbortsCommitCleanly) {
+  auto db = Database::Open(path_);
+  ASSERT_TRUE(db.ok());
+  Connection con(db->get());
+  ASSERT_TRUE(con.Query("CREATE TABLE t (a INTEGER)").ok());
+  FaultInjector::Get().ArmOnce(FaultSite::kWalFsync);
+  auto r = con.Query("INSERT INTO t VALUES (1)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+  EXPECT_EQ(Count(&con, "t"), 0);
+  ASSERT_TRUE(con.Query("INSERT INTO t VALUES (2)").ok());
+  EXPECT_EQ(Count(&con, "t"), 1);
+  db->reset();
+  // The failed attempt truncated the log back to a durable prefix, so
+  // replay after reopen sees only what was acknowledged.
+  auto reopened = Database::Open(path_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  Connection con2(reopened->get());
+  EXPECT_EQ(Count(&con2, "t"), 1);
+}
+
+TEST_F(RecoveryTest, WalAppendFaultRollsLogBackForReplay) {
+  // A failed group flush must not leave garbage bytes that break replay
+  // of later successful commits.
+  {
+    auto db = Database::Open(path_);
+    Connection con(db->get());
+    ASSERT_TRUE(con.Query("CREATE TABLE t (a INTEGER)").ok());
+    ASSERT_TRUE(con.Query("INSERT INTO t VALUES (1)").ok());
+    FaultInjector::Get().ArmOnce(FaultSite::kWalAppend);
+    EXPECT_FALSE(con.Query("INSERT INTO t VALUES (2)").ok());
+    FaultInjector::Get().Reset();
+    ASSERT_TRUE(con.Query("INSERT INTO t VALUES (3)").ok());
+    // Skip the close-time checkpoint so reopen exercises WAL replay.
+    (*db)->config().checkpoint_on_close = false;
+  }
+  auto db = Database::Open(path_);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  Connection con(db->get());
+  auto r = con.Query("SELECT a FROM t ORDER BY a");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ((*r)->RowCount(), 2u);
+  EXPECT_EQ((*r)->GetValue(0, 0).GetInteger(), 1);
+  EXPECT_EQ((*r)->GetValue(0, 1).GetInteger(), 3);
+}
+
+TEST_F(RecoveryTest, CheckpointWriteFaultFailsCleanlyAndRetries) {
+  auto db = Database::Open(path_);
+  ASSERT_TRUE(db.ok());
+  Connection con(db->get());
+  ASSERT_TRUE(con.Query("CREATE TABLE t (a INTEGER)").ok());
+  ASSERT_TRUE(con.Query("INSERT INTO t VALUES (1), (2), (3)").ok());
+  FaultInjector::Get().ArmOnce(FaultSite::kCheckpointWrite);
+  Status s = (*db)->Checkpoint();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIOError) << s.ToString();
+  // The failed checkpoint changed nothing visible.
+  EXPECT_EQ(Count(&con, "t"), 3);
+  FaultInjector::Get().Reset();
+  ASSERT_TRUE((*db)->Checkpoint().ok());
+  db->reset();
+  auto reopened = Database::Open(path_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  Connection con2(reopened->get());
+  EXPECT_EQ(Count(&con2, "t"), 3);
+}
+
+TEST_F(RecoveryTest, CheckpointRootSwapFaultFailsCleanlyAndRetries) {
+  auto db = Database::Open(path_);
+  ASSERT_TRUE(db.ok());
+  Connection con(db->get());
+  ASSERT_TRUE(con.Query("CREATE TABLE t (a INTEGER)").ok());
+  ASSERT_TRUE(con.Query("INSERT INTO t VALUES (7)").ok());
+  FaultInjector::Get().ArmOnce(FaultSite::kCheckpointRootSwap);
+  Status s = (*db)->Checkpoint();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_EQ(Count(&con, "t"), 1);
+  FaultInjector::Get().Reset();
+  ASSERT_TRUE((*db)->Checkpoint().ok());
+  db->reset();
+  auto reopened = Database::Open(path_);
+  ASSERT_TRUE(reopened.ok());
+  Connection con2(reopened->get());
+  EXPECT_EQ(Count(&con2, "t"), 1);
+}
+
+TEST_F(RecoveryTest, WalTruncateFaultRefusesCommitsUntilRetry) {
+  // A failed post-checkpoint truncation leaves the log's generation
+  // behind the durable root: appending commits there would hand them to
+  // replay's stale-log discard path, so the WAL must refuse commits
+  // until a Checkpoint() retry truncates cleanly.
+  auto db = Database::Open(path_);
+  ASSERT_TRUE(db.ok());
+  Connection con(db->get());
+  ASSERT_TRUE(con.Query("CREATE TABLE t (a INTEGER)").ok());
+  ASSERT_TRUE(con.Query("INSERT INTO t VALUES (1)").ok());
+  FaultInjector::Get().ArmOnce(FaultSite::kWalTruncate);
+  Status s = (*db)->Checkpoint();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  // Commits are refused while the log is stale — a clean error, not
+  // silent data loss.
+  auto blocked = con.Query("INSERT INTO t VALUES (2)");
+  ASSERT_FALSE(blocked.ok());
+  EXPECT_EQ(blocked.status().code(), StatusCode::kIOError);
+  // Retry succeeds and restores the commit path.
+  FaultInjector::Get().Reset();
+  ASSERT_TRUE((*db)->Checkpoint().ok());
+  ASSERT_TRUE(con.Query("INSERT INTO t VALUES (3)").ok());
+  EXPECT_EQ(Count(&con, "t"), 2);
+  db->reset();
+  auto reopened = Database::Open(path_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  Connection con2(reopened->get());
+  EXPECT_EQ(Count(&con2, "t"), 2);
+}
+
+TEST_F(RecoveryTest, StaleWalIsSkippedNotReplayedTwice) {
+  // Simulate dying between the checkpoint's root swap and the WAL
+  // truncation: checkpoint, then restore the pre-checkpoint WAL next to
+  // the post-checkpoint database file. Replay must discard the stale
+  // log (generation behind the root) — re-applying it would duplicate
+  // every row.
+  {
+    auto db = Database::Open(path_);
+    Connection con(db->get());
+    ASSERT_TRUE(con.Query("CREATE TABLE t (a INTEGER)").ok());
+    ASSERT_TRUE(con.Query("INSERT INTO t VALUES (1), (2), (3)").ok());
+    (*db)->config().checkpoint_on_close = false;
+    // Stash the WAL as it stands before any checkpoint.
+    std::ifstream src(path_ + ".wal", std::ios::binary);
+    std::ofstream dst(path_ + ".walstash", std::ios::binary);
+    dst << src.rdbuf();
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+  }
+  {
+    // Put the stale pre-checkpoint WAL back — as if truncation never
+    // made it to disk.
+    std::ifstream src(path_ + ".walstash", std::ios::binary);
+    std::ofstream dst(path_ + ".wal", std::ios::binary | std::ios::trunc);
+    dst << src.rdbuf();
+  }
+  auto db = Database::Open(path_);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  Connection con(db->get());
+  EXPECT_EQ(Count(&con, "t"), 3);  // not 6
+  RemoveFile(path_ + ".walstash");
+}
+
+TEST_F(RecoveryTest, FailedCheckpointKeepsWalSoNothingIsLost) {
+  // Root swap fails, then the process "exits" without a clean close:
+  // the WAL still holds everything, so reopen recovers it all.
+  {
+    auto db = Database::Open(path_);
+    Connection con(db->get());
+    ASSERT_TRUE(con.Query("CREATE TABLE t (a INTEGER)").ok());
+    ASSERT_TRUE(con.Query("INSERT INTO t VALUES (1), (2)").ok());
+    FaultInjector::Get().ArmOnce(FaultSite::kCheckpointRootSwap);
+    EXPECT_FALSE((*db)->Checkpoint().ok());
+    FaultInjector::Get().Reset();
+    (*db)->config().checkpoint_on_close = false;
+  }
+  auto db = Database::Open(path_);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  Connection con(db->get());
+  EXPECT_EQ(Count(&con, "t"), 2);
+}
+
+// --- Group commit: concurrent writers share fsyncs, every acknowledged
+// --- commit survives reopen, counters exposed via PRAGMA wal_stats.
+
+TEST_F(RecoveryTest, GroupCommitSharesFsyncsAcrossWriters) {
+  constexpr int kWriters = 4;
+  constexpr int kCommitsPerWriter = 25;
+  uint64_t fsyncs = 0, commits = 0, group_commits = 0;
+  {
+    auto db = Database::Open(path_);
+    ASSERT_TRUE(db.ok());
+    {
+      Connection con(db->get());
+      ASSERT_TRUE(con.Query("CREATE TABLE t (a INTEGER)").ok());
+    }
+    // Slow down fsync so committers deterministically pile up on the
+    // leader in flight (tmpfs fsyncs too fast to observe batching).
+    (*db)->wal()->SetFsyncDelayForTest(2000);
+    std::atomic<int> failures{0};
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kWriters; w++) {
+      writers.emplace_back([&, w] {
+        Connection wcon(db->get());
+        for (int i = 0; i < kCommitsPerWriter; i++) {
+          int value = w * 1000 + i;
+          auto r =
+              wcon.Query("INSERT INTO t VALUES (" + std::to_string(value) +
+                         ")");
+          if (!r.ok()) failures.fetch_add(1);
+        }
+      });
+    }
+    for (auto& t : writers) t.join();
+    EXPECT_EQ(failures.load(), 0);
+    (*db)->wal()->SetFsyncDelayForTest(0);
+
+    Connection con(db->get());
+    auto stats = con.Query("PRAGMA wal_stats");
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    commits = static_cast<uint64_t>((*stats)->GetValue(0, 0).GetBigInt());
+    fsyncs = static_cast<uint64_t>((*stats)->GetValue(1, 0).GetBigInt());
+    group_commits =
+        static_cast<uint64_t>((*stats)->GetValue(3, 0).GetBigInt());
+    EXPECT_EQ(Count(&con, "t"), kWriters * kCommitsPerWriter);
+  }
+  // +1: the CREATE TABLE commit.
+  EXPECT_EQ(commits, uint64_t(kWriters * kCommitsPerWriter + 1));
+  // "Well below N*M": the whole point of group commit.
+  EXPECT_LT(fsyncs, uint64_t(kWriters * kCommitsPerWriter) / 2);
+  EXPECT_GT(group_commits, 0u);
+
+  // Every acknowledged commit survives reopen.
+  auto db = Database::Open(path_);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  Connection con(db->get());
+  EXPECT_EQ(Count(&con, "t"), kWriters * kCommitsPerWriter);
+}
+
+TEST_F(RecoveryTest, PerCommitFsyncBaselineSyncsEveryCommit) {
+  auto db = Database::Open(path_);
+  ASSERT_TRUE(db.ok());
+  (*db)->wal()->EnableGroupCommitForTest(false);
+  Connection con(db->get());
+  ASSERT_TRUE(con.Query("CREATE TABLE t (a INTEGER)").ok());
+  for (int i = 0; i < 5; i++) {
+    ASSERT_TRUE(
+        con.Query("INSERT INTO t VALUES (" + std::to_string(i) + ")").ok());
+  }
+  auto stats = con.Query("PRAGMA wal_stats");
+  ASSERT_TRUE(stats.ok());
+  int64_t commits = (*stats)->GetValue(0, 0).GetBigInt();
+  int64_t fsyncs = (*stats)->GetValue(1, 0).GetBigInt();
+  EXPECT_EQ(commits, 6);  // CREATE TABLE + 5 inserts
+  EXPECT_EQ(fsyncs, commits);
+}
+
+// --- Async commit mode.
+
+TEST_F(RecoveryTest, AsyncModeAcknowledgesBeforeFsyncAndFlushesOnClose) {
+  {
+    auto db = Database::Open(path_);
+    ASSERT_TRUE(db.ok());
+    (*db)->config().checkpoint_on_close = false;  // force WAL-based reopen
+    Connection con(db->get());
+    ASSERT_TRUE(con.Query("CREATE TABLE t (a INTEGER)").ok());
+    ASSERT_TRUE(con.Query("PRAGMA wal_commit_mode=async").ok());
+    auto mode = con.Query("PRAGMA wal_commit_mode");
+    ASSERT_TRUE(mode.ok());
+    EXPECT_EQ((*mode)->GetValue(0, 0).GetString(), "async");
+    for (int i = 0; i < 10; i++) {
+      ASSERT_TRUE(
+          con.Query("INSERT INTO t VALUES (" + std::to_string(i) + ")").ok());
+    }
+    auto stats = con.Query("PRAGMA wal_stats");
+    ASSERT_TRUE(stats.ok());
+    EXPECT_GT((*stats)->GetValue(5, 0).GetBigInt(), 0);  // async_acks
+  }  // close: pending async batches are flushed
+  auto db = Database::Open(path_);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  Connection con(db->get());
+  EXPECT_EQ(Count(&con, "t"), 10);
+}
+
+TEST_F(RecoveryTest, SwitchingBackToSyncFlushesPending) {
+  auto db = Database::Open(path_);
+  ASSERT_TRUE(db.ok());
+  Connection con(db->get());
+  ASSERT_TRUE(con.Query("CREATE TABLE t (a INTEGER)").ok());
+  ASSERT_TRUE(con.Query("PRAGMA wal_commit_mode=async").ok());
+  ASSERT_TRUE(con.Query("INSERT INTO t VALUES (1)").ok());
+  ASSERT_TRUE(con.Query("PRAGMA wal_commit_mode=sync").ok());
+  auto stats = con.Query("PRAGMA wal_stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ((*stats)->GetValue(8, 0).GetBigInt(), 0);  // pending_bytes
+  auto mode = con.Query("PRAGMA wal_commit_mode");
+  ASSERT_TRUE(mode.ok());
+  EXPECT_EQ((*mode)->GetValue(0, 0).GetString(), "sync");
+}
+
+TEST_F(RecoveryTest, WalCommitModePragmaRejectsBadValues) {
+  auto db = Database::Open(path_);
+  ASSERT_TRUE(db.ok());
+  Connection con(db->get());
+  EXPECT_FALSE(con.Query("PRAGMA wal_commit_mode=eventually").ok());
+  // In-memory databases have no WAL: readback reports "none", setting
+  // is an error.
+  auto mem = Database::Open(":memory:");
+  ASSERT_TRUE(mem.ok());
+  Connection mcon(mem->get());
+  auto mode = mcon.Query("PRAGMA wal_commit_mode");
+  ASSERT_TRUE(mode.ok());
+  EXPECT_EQ((*mode)->GetValue(0, 0).GetString(), "none");
+  EXPECT_FALSE(mcon.Query("PRAGMA wal_commit_mode=sync").ok());
+  EXPECT_FALSE(mcon.Query("PRAGMA wal_stats").ok());
+}
+
+// --- Online checkpoint vs readers and writers.
+
+TEST_F(RecoveryTest, ReaderOnOldSnapshotUnaffectedByCheckpoint) {
+  auto db = Database::Open(path_);
+  ASSERT_TRUE(db.ok());
+  Connection writer(db->get());
+  ASSERT_TRUE(writer.Query("CREATE TABLE t (a INTEGER)").ok());
+  std::string sql = "INSERT INTO t VALUES (0)";
+  for (int i = 1; i < 6000; i++) sql += ",(" + std::to_string(i) + ")";
+  ASSERT_TRUE(writer.Query(sql).ok());
+
+  // Pin a reader on the pre-checkpoint snapshot and pull one chunk.
+  Connection reader(db->get());
+  auto stream = reader.SendQuery("SELECT a FROM t");
+  ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+  idx_t rows_seen = 0;
+  auto first = (*stream)->Fetch();
+  ASSERT_TRUE(first.ok());
+  ASSERT_NE(*first, nullptr);
+  rows_seen += (*first)->size();
+
+  // Underneath the pinned reader: more commits, a full checkpoint, and
+  // the WAL truncation that follows it.
+  ASSERT_TRUE(writer.Query("INSERT INTO t VALUES (999111)").ok());
+  ASSERT_TRUE((*db)->Checkpoint().ok());
+  auto wal_size = (*db)->wal()->SizeBytes();
+  ASSERT_TRUE(wal_size.ok());
+  EXPECT_EQ(*wal_size, 0u);
+
+  // The stream keeps producing its snapshot: exactly the 6000 original
+  // rows, not the post-snapshot insert.
+  while (true) {
+    auto chunk = (*stream)->Fetch();
+    ASSERT_TRUE(chunk.ok()) << chunk.status().ToString();
+    if (*chunk == nullptr) break;
+    rows_seen += (*chunk)->size();
+  }
+  EXPECT_EQ(rows_seen, 6000u);
+
+  // A fresh query sees everything including the post-snapshot insert.
+  EXPECT_EQ(Count(&writer, "t"), 6001);
+}
+
+TEST_F(RecoveryTest, CheckpointRacingAppenderBulkLoad) {
+  constexpr int kRows = 20000;
+  {
+    auto db = Database::Open(path_);
+    ASSERT_TRUE(db.ok());
+    {
+      Connection con(db->get());
+      ASSERT_TRUE(con.Query("CREATE TABLE t (a BIGINT)").ok());
+    }
+    std::atomic<bool> done{false};
+    std::thread loader([&] {
+      auto appender = Appender::Create(db->get(), "t");
+      ASSERT_TRUE(appender.ok());
+      for (int i = 0; i < kRows; i++) {
+        (*appender)->Append(static_cast<int64_t>(i));
+        ASSERT_TRUE((*appender)->EndRow().ok());
+      }
+      ASSERT_TRUE((*appender)->Close().ok());
+      done.store(true);
+    });
+    // Checkpoint repeatedly while the bulk load commits underneath.
+    int checkpoints = 0;
+    while (!done.load()) {
+      Status s = (*db)->Checkpoint();
+      ASSERT_TRUE(s.ok()) << s.ToString();
+      checkpoints++;
+    }
+    loader.join();
+    ASSERT_GT(checkpoints, 0);
+    Connection con(db->get());
+    EXPECT_EQ(Count(&con, "t"), kRows);
+  }
+  auto db = Database::Open(path_);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  Connection con(db->get());
+  EXPECT_EQ(Count(&con, "t"), kRows);
+}
+
+TEST_F(RecoveryTest, WriteCheckpointRefusesWithoutCommitGate) {
+  // The exclusive-access contract is an explicit checked precondition:
+  // calling WriteCheckpoint without holding the commit gate must fail
+  // loudly instead of silently producing a torn image.
+  auto db = Database::Open(path_);
+  ASSERT_TRUE(db.ok());
+  Connection con(db->get());
+  ASSERT_TRUE(con.Query("CREATE TABLE t (a INTEGER)").ok());
+  auto snapshot = (*db)->transactions().Begin();
+  Status s = WriteCheckpoint(&(*db)->catalog(), (*db)->blocks(),
+                             &(*db)->transactions(), *snapshot,
+                             &(*db)->governor());
+  (*db)->transactions().Rollback(snapshot.get());
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal) << s.ToString();
+  // And with the gate held it works.
+  ASSERT_TRUE((*db)->Checkpoint().ok());
+}
+
+TEST_F(RecoveryTest, CheckpointUnderTightMemoryBudget) {
+  // The checkpoint stages rows under the governor budget; a tiny budget
+  // must shrink the serialized groups, not break the image.
+  DBConfig config;
+  config.memory_limit = 8ull << 20;  // 8 MiB
+  {
+    auto db = Database::Open(path_, config);
+    ASSERT_TRUE(db.ok());
+    Connection con(db->get());
+    ASSERT_TRUE(con.Query("CREATE TABLE t (a INTEGER, s VARCHAR)").ok());
+    std::string sql = "INSERT INTO t VALUES (0, 'x0')";
+    for (int i = 1; i < 10000; i++) {
+      sql += ",(" + std::to_string(i) + ", 'x" + std::to_string(i) + "')";
+    }
+    ASSERT_TRUE(con.Query(sql).ok());
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+  }
+  auto db = Database::Open(path_, config);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  Connection con(db->get());
+  EXPECT_EQ(Count(&con, "t"), 10000);
+  auto r = con.Query("SELECT s FROM t WHERE a = 9999");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->GetValue(0, 0).GetString(), "x9999");
+}
+
+}  // namespace
+}  // namespace mallard

@@ -1,0 +1,293 @@
+// Crash-recovery torture harness.
+//
+// Each scenario forks a child that runs a committing workload against a
+// fresh database with a process-kill fault armed (ArmKillAfter): the
+// child dies with _exit(87) mid-WAL-append, mid-fsync, mid-checkpoint
+// block write or mid-root-swap — the closest user-space model of power
+// loss. The child appends every *acknowledged* commit marker to an
+// oracle file (fsync'd per line) before issuing the next commit.
+//
+// The parent waits for the kill, then forks a second child that reopens
+// the database (running WAL replay) and checks the recovery invariants:
+//
+//   atomicity    every marker is visible with ALL of its rows or none;
+//   durability   sync mode: every oracle-acknowledged marker is visible
+//                (async mode acks before fsync, so recovered markers
+//                need only be a prefix of the acknowledged sequence);
+//   ordering     visible markers form a contiguous prefix 0..k — WAL
+//                replay never skips a committed transaction;
+//   torn tail    a WAL truncated mid-record replays everything up to
+//                the torn frame and nothing after it.
+//
+// Every Database open/close happens in a forked child, so the parent
+// never carries engine threads across fork(). The harness is built as
+// its own single-process binary (tests/*.cc glob is non-recursive) and
+// must stay fork-safe: no gtest, no global engine state in the parent.
+//
+// Usage: mallard_torture [site mode]
+//   site: wal-append | wal-fsync | checkpoint-write | root-swap |
+//         wal-truncate | torn-tail
+//   mode: sync | async
+// With no arguments the full matrix runs.
+
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mallard/main/connection.h"
+#include "mallard/main/database.h"
+#include "mallard/resilience/fault_injector.h"
+#include "mallard/storage/file_handle.h"
+
+namespace mallard {
+namespace {
+
+constexpr int kRowsPerCommit = 5;
+constexpr int kMaxMarkers = 400;
+constexpr int kCheckpointEvery = 15;  // commits between child checkpoints
+
+struct Scenario {
+  const char* name;
+  FaultSite site;
+  uint64_t kill_skip;   // fault opportunities to let pass before dying
+  bool async;
+  bool torn_tail;       // no kill: exit cleanly, then truncate the WAL
+};
+
+std::string DbPath(const Scenario& s) {
+  return "/tmp/mallard_torture_" + std::string(s.name) + "_" +
+         (s.async ? "async_" : "sync_") + std::to_string(::getpid());
+}
+
+void Cleanup(const std::string& path) {
+  RemoveFile(path);
+  RemoveFile(path + ".wal");
+  RemoveFile(path + ".tmp");
+  RemoveFile(path + ".oracle");
+}
+
+// --- Child: the doomed workload. Runs in a fork, expected to die at the
+// --- armed kill point (or exit 0 for the torn-tail scenario).
+
+int ChildWorkload(const Scenario& s, const std::string& path) {
+  DBConfig config;
+  config.checkpoint_on_close = false;  // recovery must come from the WAL
+  auto db = Database::Open(path, config);
+  if (!db.ok()) return 2;
+  Connection con(db->get());
+  if (!con.Query("CREATE TABLE t (marker INTEGER, v INTEGER)").ok()) return 2;
+  if (s.async && !con.Query("PRAGMA wal_commit_mode=async").ok()) return 2;
+
+  // Oracle file: one marker per line, appended + fsync'd only after the
+  // engine acknowledged that commit.
+  FILE* oracle = std::fopen((path + ".oracle").c_str(), "w");
+  if (oracle == nullptr) return 2;
+
+  if (!s.torn_tail) {
+    FaultInjector::Get().ArmKillAfter(s.site, s.kill_skip);
+  }
+  int markers = s.torn_tail ? 30 : kMaxMarkers;
+  for (int m = 0; m < markers; m++) {
+    std::string sql = "INSERT INTO t VALUES";
+    for (int r = 0; r < kRowsPerCommit; r++) {
+      sql += (r == 0 ? " (" : ",(") + std::to_string(m) + "," +
+             std::to_string(r) + ")";
+    }
+    if (!con.Query(sql).ok()) return 3;  // armed kills die, they don't error
+    std::fprintf(oracle, "%d\n", m);
+    std::fflush(oracle);
+    ::fsync(::fileno(oracle));
+    // Periodic online checkpoints: the checkpoint kill sites fire here.
+    bool checkpoint_site = s.site == FaultSite::kCheckpointWrite ||
+                           s.site == FaultSite::kCheckpointRootSwap ||
+                           s.site == FaultSite::kWalTruncate;
+    if (checkpoint_site && m > 0 && m % kCheckpointEvery == 0) {
+      if (!(*db)->Checkpoint().ok()) return 3;
+    }
+  }
+  std::fclose(oracle);
+  if (s.torn_tail) return 0;  // clean exit; parent tears the WAL tail
+  return 4;  // survived the whole workload: the kill never fired
+}
+
+// --- Verifier: also runs in a fork so replay/open never happens in the
+// --- parent. Exit 0 = invariants hold.
+
+int VerifyRecovery(const Scenario& s, const std::string& path) {
+  std::vector<int> oracle;
+  {
+    std::ifstream in(path + ".oracle");
+    int m;
+    while (in >> m) oracle.push_back(m);
+  }
+
+  DBConfig config;
+  config.checkpoint_on_close = false;
+  auto db = Database::Open(path, config);
+  if (!db.ok()) {
+    std::fprintf(stderr, "  reopen failed: %s\n",
+                 db.status().ToString().c_str());
+    return 1;
+  }
+  Connection con(db->get());
+  auto result = con.Query("SELECT marker FROM t");
+  if (!result.ok()) {
+    std::fprintf(stderr, "  scan failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::map<int, int> rows_per_marker;
+  for (idx_t i = 0; i < (*result)->RowCount(); i++) {
+    rows_per_marker[(*result)->GetValue(0, i).GetInteger()]++;
+  }
+
+  // Atomicity: no partially visible commit.
+  for (const auto& [marker, rows] : rows_per_marker) {
+    if (rows != kRowsPerCommit) {
+      std::fprintf(stderr, "  TORN COMMIT: marker %d has %d/%d rows\n",
+                   marker, rows, kRowsPerCommit);
+      return 1;
+    }
+  }
+  // Ordering: visible markers are a contiguous prefix 0..k.
+  int expect = 0;
+  for (const auto& [marker, rows] : rows_per_marker) {
+    if (marker != expect++) {
+      std::fprintf(stderr, "  GAP: marker %d missing (found %d)\n",
+                   expect - 1, marker);
+      return 1;
+    }
+  }
+  int recovered = static_cast<int>(rows_per_marker.size());
+  int acked = static_cast<int>(oracle.size());
+
+  if (s.torn_tail) {
+    // The parent tore the last frame: exactly the last commit is lost.
+    if (recovered != acked - 1) {
+      std::fprintf(stderr, "  torn tail: recovered %d, expected %d\n",
+                   recovered, acked - 1);
+      return 1;
+    }
+    return 0;
+  }
+  if (!s.async && recovered < acked) {
+    // Sync mode: the commit was acknowledged only after its group's
+    // fsync, so every oracle line must have survived.
+    std::fprintf(stderr, "  LOST ACKED COMMITS: recovered %d < acked %d\n",
+                 recovered, acked);
+    return 1;
+  }
+  if (s.async && recovered > acked) {
+    // Async acks strictly precede durability; more durable than acked
+    // would mean the oracle write was skipped.
+    std::fprintf(stderr, "  async: recovered %d > acked %d\n", recovered,
+                 acked);
+    return 1;
+  }
+  std::fprintf(stderr, "  recovered %d/%d acked commits\n", recovered, acked);
+  return 0;
+}
+
+// Tear off the last few bytes of the WAL, leaving a torn final record.
+bool TearWalTail(const std::string& path) {
+  std::string wal = path + ".wal";
+  struct stat st;
+  if (::stat(wal.c_str(), &st) != 0 || st.st_size < 4) return false;
+  return ::truncate(wal.c_str(), st.st_size - 3) == 0;
+}
+
+int RunScenario(const Scenario& s) {
+  std::string path = DbPath(s);
+  Cleanup(path);
+  std::fprintf(stderr, "[%s/%s]\n", s.name, s.async ? "async" : "sync");
+
+  pid_t child = ::fork();
+  if (child < 0) return 1;
+  if (child == 0) ::_exit(ChildWorkload(s, path));
+  int wstatus = 0;
+  if (::waitpid(child, &wstatus, 0) != child || !WIFEXITED(wstatus)) {
+    std::fprintf(stderr, "  child did not exit normally\n");
+    return 1;
+  }
+  int code = WEXITSTATUS(wstatus);
+  int expected = s.torn_tail ? 0 : FaultInjector::kKillExitCode;
+  if (code != expected) {
+    std::fprintf(stderr, "  child exited %d, expected %d\n", code, expected);
+    return 1;
+  }
+  if (s.torn_tail && !TearWalTail(path)) {
+    std::fprintf(stderr, "  could not tear WAL tail\n");
+    return 1;
+  }
+
+  pid_t verifier = ::fork();
+  if (verifier < 0) return 1;
+  if (verifier == 0) ::_exit(VerifyRecovery(s, path));
+  if (::waitpid(verifier, &wstatus, 0) != verifier || !WIFEXITED(wstatus) ||
+      WEXITSTATUS(wstatus) != 0) {
+    std::fprintf(stderr, "  FAILED\n");
+    return 1;
+  }
+  std::fprintf(stderr, "  ok\n");
+  Cleanup(path);
+  return 0;
+}
+
+std::vector<Scenario> BuildMatrix() {
+  // kill_skip values let a healthy run of commits land first, then die:
+  // the append/fsync sites see one opportunity per WAL flush, the
+  // checkpoint sites one per chain-block write / root swap.
+  std::vector<Scenario> matrix;
+  for (bool async : {false, true}) {
+    matrix.push_back({"wal-append", FaultSite::kWalAppend, 7, async, false});
+    matrix.push_back({"wal-fsync", FaultSite::kWalFsync, 7, async, false});
+    matrix.push_back(
+        {"checkpoint-write", FaultSite::kCheckpointWrite, 2, async, false});
+    matrix.push_back(
+        {"root-swap", FaultSite::kCheckpointRootSwap, 0, async, false});
+    // Dies after the checkpoint root swap is durable but before the WAL
+    // is truncated: replay must skip the stale log (its generation is
+    // behind the root) instead of re-applying transactions that are
+    // already in the image — the classic double-apply window.
+    matrix.push_back(
+        {"wal-truncate", FaultSite::kWalTruncate, 0, async, false});
+  }
+  matrix.push_back({"torn-tail", FaultSite::kNumFaultSites, 0, false, true});
+  return matrix;
+}
+
+int TortureMain(int argc, char** argv) {
+  auto matrix = BuildMatrix();
+  if (argc == 3) {  // single scenario: mallard_torture <site> <mode>
+    bool async = std::strcmp(argv[2], "async") == 0;
+    for (const auto& s : matrix) {
+      if (std::strcmp(s.name, argv[1]) == 0 &&
+          (s.torn_tail || s.async == async)) {
+        return RunScenario(s);
+      }
+    }
+    std::fprintf(stderr, "unknown scenario %s %s\n", argv[1], argv[2]);
+    return 1;
+  }
+  int failures = 0;
+  for (const auto& s : matrix) failures += RunScenario(s);
+  if (failures == 0) {
+    std::fprintf(stderr, "all scenarios passed\n");
+  } else {
+    std::fprintf(stderr, "%d scenario(s) FAILED\n", failures);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace mallard
+
+int main(int argc, char** argv) { return mallard::TortureMain(argc, argv); }
