@@ -1,0 +1,202 @@
+// Compressed execution bench: Q6-shaped filter scans and 100k-group
+// aggregates over plain vs dictionary vs FOR/bit-packed column
+// segments. The same binary builds identical tables under each forced
+// encoding (MALLARD_FORCE_ENCODING) plus the auto heuristic, so the
+// "before" baseline (forced plain) and the encoded runs share machine,
+// build and protocol. Best-of-three per point; --json for the
+// machine-readable record (field contract in docs/BENCHMARKS.md).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "mallard/main/appender.h"
+#include "mallard/main/connection.h"
+#include "mallard/main/database.h"
+
+using namespace mallard;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double Ms(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+// Best-of-three wall time for a query, in ms.
+double BestMs(Connection* con, const std::string& sql) {
+  double best = 1e18;
+  for (int i = 0; i < 3; i++) {
+    auto start = Clock::now();
+    auto r = con->Query(sql);
+    double ms = Ms(start);
+    if (!r.ok()) {
+      std::fprintf(stderr, "query failed: %s\n%s\n", sql.c_str(),
+                   r.status().ToString().c_str());
+      return -1.0;
+    }
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+// Filter-scan table: id BIGINT dense, grp INTEGER cycling over
+// `cardinality` values, name VARCHAR = "name_<grp>" (dictionary- and
+// FOR-friendly; every full row group encodes).
+bool BuildFilterTable(Database* db, Connection* con, idx_t rows,
+                      idx_t cardinality) {
+  if (!con->Query("CREATE TABLE t (id BIGINT, grp INTEGER, name VARCHAR)")
+           .ok()) {
+    return false;
+  }
+  auto appender = Appender::Create(db, "t");
+  if (!appender.ok()) return false;
+  for (idx_t i = 0; i < rows; i++) {
+    idx_t g = i % cardinality;
+    (*appender)->Append(static_cast<int64_t>(i));
+    (*appender)->Append(static_cast<int32_t>(g));
+    (*appender)->Append("name_" + std::to_string(g));
+    if (!(*appender)->EndRow().ok()) return false;
+  }
+  return (*appender)->Close().ok();
+}
+
+// Group-by table: 100k-distinct varchar and bigint key columns over the
+// same value domain, so the varchar-vs-bigint aggregation gap is an
+// apples-to-apples hashing comparison.
+bool BuildGroupTable(Database* db, Connection* con, idx_t rows,
+                     idx_t groups) {
+  if (!con->Query("CREATE TABLE g (ks VARCHAR, kb BIGINT, v BIGINT)").ok()) {
+    return false;
+  }
+  auto appender = Appender::Create(db, "g");
+  if (!appender.ok()) return false;
+  for (idx_t i = 0; i < rows; i++) {
+    idx_t k = (i * 2654435761u) % groups;
+    (*appender)->Append("key_" + std::to_string(k));
+    (*appender)->Append(static_cast<int64_t>(k));
+    (*appender)->Append(static_cast<int64_t>(i));
+    if (!(*appender)->EndRow().ok()) return false;
+  }
+  return (*appender)->Close().ok();
+}
+
+struct EncodingRun {
+  double int_filter_ms = -1;    // Q6 shape: int range predicate
+  double varchar_eq_ms = -1;    // varchar point predicate
+  double varchar_gb_ms = -1;    // 100k-group varchar aggregate
+  double bigint_gb_ms = -1;     // 100k-group bigint aggregate
+  double logical_mb = 0;        // storage_stats footprints
+  double encoded_mb = 0;
+};
+
+double StorageStatMb(Connection* con, const std::string& column) {
+  auto r = con->Query("PRAGMA storage_stats");
+  if (!r.ok()) return 0;
+  for (idx_t c = 0; c < (*r)->ColumnCount(); c++) {
+    if ((*r)->names()[c] == column) {
+      return static_cast<double>((*r)->GetValue(c, 0).GetBigInt()) /
+             (1024.0 * 1024.0);
+    }
+  }
+  return 0;
+}
+
+// Builds both tables under `force` ("plain"/"dict"/"for"/nullptr=auto)
+// in a fresh database and measures every point there.
+EncodingRun RunEncoding(const char* force, idx_t rows, idx_t groups) {
+  EncodingRun out;
+  if (force) {
+    ::setenv("MALLARD_FORCE_ENCODING", force, 1);
+  } else {
+    ::unsetenv("MALLARD_FORCE_ENCODING");
+  }
+  auto db = Database::Open(":memory:");
+  if (!db.ok()) return out;
+  Connection con(db->get());
+  if (!BuildFilterTable(db->get(), &con, rows, 1000)) return out;
+  if (!BuildGroupTable(db->get(), &con, rows, groups)) return out;
+  ::unsetenv("MALLARD_FORCE_ENCODING");
+  out.logical_mb = StorageStatMb(&con, "logical_bytes");
+  out.encoded_mb = StorageStatMb(&con, "encoded_bytes");
+  // Serial: the compression win must not hide behind parallelism.
+  auto threads = con.Query("PRAGMA threads=1");
+  if (!threads.ok()) return out;
+  out.int_filter_ms = BestMs(
+      &con, "SELECT count(*), sum(id) FROM t WHERE grp >= 100 AND grp < 140");
+  out.varchar_eq_ms =
+      BestMs(&con, "SELECT count(*), sum(id) FROM t WHERE name = 'name_500'");
+  out.varchar_gb_ms = BestMs(
+      &con, "SELECT ks, count(*), sum(v) FROM g GROUP BY ks");
+  out.bigint_gb_ms = BestMs(
+      &con, "SELECT kb, count(*), sum(v) FROM g GROUP BY kb");
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mallard_bench::BenchReporter reporter("bench_scan", argc, argv);
+  const char* rows_env = std::getenv("MALLARD_BENCH_ROWS");
+  idx_t rows = rows_env ? std::strtoull(rows_env, nullptr, 10) : 2000000;
+  idx_t groups = 100000;
+
+  struct Config {
+    const char* label;
+    const char* force;  // nullptr = auto heuristic
+  };
+  const Config configs[] = {
+      {"plain", "plain"}, {"dict", "dict"}, {"for", "for"}, {"auto", nullptr}};
+
+  std::printf("=== Compressed execution: filter scans + 100k-group "
+              "aggregates, %llu rows, serial ===\n\n",
+              static_cast<unsigned long long>(rows));
+  std::printf("%-8s %-14s %-14s %-16s %-16s %-10s\n", "enc",
+              "int_filter", "varchar_eq", "varchar_groupby",
+              "bigint_groupby", "enc/logical");
+
+  double plain_int = -1, plain_veq = -1, plain_vgb = -1, plain_bgb = -1;
+  for (const Config& config : configs) {
+    EncodingRun run = RunEncoding(config.force, rows, groups);
+    if (run.int_filter_ms < 0 || run.varchar_gb_ms < 0) {
+      std::fprintf(stderr, "bench run failed for enc=%s\n", config.label);
+      return 1;
+    }
+    double ratio =
+        run.logical_mb > 0 ? run.encoded_mb / run.logical_mb : 1.0;
+    std::printf("%-8s %10.1fms %10.1fms %12.1fms %12.1fms %9.2f\n",
+                config.label, run.int_filter_ms, run.varchar_eq_ms,
+                run.varchar_gb_ms, run.bigint_gb_ms, ratio);
+    if (std::string(config.label) == "plain") {
+      plain_int = run.int_filter_ms;
+      plain_veq = run.varchar_eq_ms;
+      plain_vgb = run.varchar_gb_ms;
+      plain_bgb = run.bigint_gb_ms;
+    }
+    std::string prefix = std::string("enc=") + config.label;
+    auto add = [&](const char* point, double ms) {
+      reporter.Add(prefix + "/" + point, 3, ms * 1e6,
+                   ms > 0 ? rows / (ms / 1000.0) : 0,
+                   {{"logical_mb", run.logical_mb},
+                    {"encoded_mb", run.encoded_mb}});
+    };
+    add("filter_scan/int_range", run.int_filter_ms);
+    add("filter_scan/varchar_eq", run.varchar_eq_ms);
+    add("groupby/varchar_100k_groups", run.varchar_gb_ms);
+    add("groupby/bigint_100k_groups", run.bigint_gb_ms);
+  }
+
+  if (plain_int > 0) {
+    std::printf("\nspeedup vs forced-plain is the headline number; the "
+                "varchar/bigint group-by gap is the late-materialization "
+                "check (target: varchar within 2x of bigint).\n");
+  }
+  (void)plain_veq;
+  (void)plain_vgb;
+  (void)plain_bgb;
+  return 0;
+}

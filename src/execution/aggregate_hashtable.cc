@@ -90,8 +90,10 @@ bool AggregateHashTable::GroupEquals(idx_t group, const DataChunk& groups,
         break;
       }
       case TypeId::kVarchar: {
-        const StringRef& a = stored.data<StringRef>()[stored_row];
-        const StringRef& b = probe.data<StringRef>()[row];
+        // Stored group chunks are always flat; the probe side may be a
+        // dictionary vector straight off a scan.
+        StringRef a = stored.data<StringRef>()[stored_row];
+        StringRef b = probe.StringAt(row);
         if (!(a == b)) return false;
         break;
       }
@@ -140,7 +142,7 @@ idx_t AggregateHashTable::AppendGroup(const DataChunk& groups, idx_t row,
       case TypeId::kVarchar:
         group_bytes += sizeof(StringRef);
         if (groups.column(c).validity().RowIsValid(row)) {
-          group_bytes += groups.column(c).data<StringRef>()[row].size;
+          group_bytes += groups.column(c).StringAt(row).size;
         }
         break;
       default:
@@ -368,12 +370,11 @@ void AggregateHashTable::UpdateStates(const BoundAggregate& aggregate,
           return;
         }
         case TypeId::kVarchar: {
-          const StringRef* data = arg->data<StringRef>();
           for (idx_t i = 0; i < count; i++) {
             idx_t r = row_at(i);
             if (!validity.RowIsValid(r)) continue;
             AggState* s = state_at(i);
-            const StringRef& v = data[r];
+            StringRef v = arg->StringAt(r);
             bool better = !s->seen;
             if (!better) {
               const std::string& cur = s->extreme.GetString();

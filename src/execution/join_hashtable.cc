@@ -341,7 +341,7 @@ bool JoinHashTable::MatchKeys(const uint8_t* stored, const DataChunk& keys,
       case TypeId::kVarchar: {
         uint32_t len;
         std::memcpy(&len, p, 4);
-        const StringRef& probe = col.data<StringRef>()[row];
+        StringRef probe = col.StringAt(row);
         if (len != probe.size ||
             std::memcmp(p + 4, probe.data, len) != 0) {
           return false;

@@ -12,7 +12,7 @@ void RowCodec::EncodeRow(const DataChunk& chunk, idx_t row,
     out->push_back(valid ? 1 : 0);
     if (!valid) continue;
     if (types_[c] == TypeId::kVarchar) {
-      const StringRef& s = col.data<StringRef>()[row];
+      StringRef s = col.StringAt(row);
       uint32_t len = s.size;
       size_t pos = out->size();
       out->resize(pos + 4 + len);
@@ -97,7 +97,7 @@ void EncodeValueBytes(const Vector& col, idx_t row, std::string* key) {
       break;
     }
     case TypeId::kVarchar: {
-      const StringRef& s = col.data<StringRef>()[row];
+      StringRef s = col.StringAt(row);
       // Escape embedded zeros (0x00 -> 0x00 0xFF) and terminate with
       // 0x00 0x00 so shorter strings order before their extensions.
       for (uint32_t i = 0; i < s.size; i++) {

@@ -1,5 +1,6 @@
 #include "mallard/expression/expression_executor.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "mallard/common/string_util.h"
@@ -64,6 +65,134 @@ void CompareDispatchOp(const Vector& left, const Vector& right, idx_t count,
   }
 }
 
+// VARCHAR comparison that tolerates dictionary inputs on either side by
+// gathering through StringAt (no flattening, no string copies).
+template <typename Compare>
+void CompareVarcharLoop(const Vector& left, const Vector& right, idx_t count,
+                        Vector* result, Compare cmp) {
+  int8_t* out = result->data<int8_t>();
+  for (idx_t i = 0; i < count; i++) {
+    if (!left.validity().RowIsValid(i) || !right.validity().RowIsValid(i)) {
+      result->validity().SetInvalid(i);
+      continue;
+    }
+    out[i] = cmp(left.StringAt(i), right.StringAt(i)) ? 1 : 0;
+  }
+}
+
+void CompareVarcharDispatch(const Vector& left, const Vector& right,
+                            idx_t count, CompareOp op, Vector* result) {
+  if (!left.is_dictionary() && !right.is_dictionary()) {
+    CompareDispatchOp<StringRef>(left, right, count, op, result);
+    return;
+  }
+  using S = const StringRef&;
+  switch (op) {
+    case CompareOp::kEqual:
+      CompareVarcharLoop(left, right, count, result,
+                         [](S a, S b) { return a == b; });
+      break;
+    case CompareOp::kNotEqual:
+      CompareVarcharLoop(left, right, count, result,
+                         [](S a, S b) { return !(a == b); });
+      break;
+    case CompareOp::kLess:
+      CompareVarcharLoop(left, right, count, result,
+                         [](S a, S b) { return a < b; });
+      break;
+    case CompareOp::kLessEqual:
+      CompareVarcharLoop(left, right, count, result,
+                         [](S a, S b) { return !(b < a); });
+      break;
+    case CompareOp::kGreater:
+      CompareVarcharLoop(left, right, count, result,
+                         [](S a, S b) { return b < a; });
+      break;
+    case CompareOp::kGreaterEqual:
+      CompareVarcharLoop(left, right, count, result,
+                         [](S a, S b) { return !(a < b); });
+      break;
+  }
+}
+
+/// Compares a dictionary VARCHAR vector against one constant: the
+/// constant is located in the sorted dictionary once (binary search) and
+/// every row then compares bit-packed codes against an index range.
+void CompareDictWithConstant(const Vector& dict_vec, const Value& constant,
+                             idx_t count, CompareOp op, Vector* result) {
+  int8_t* out = result->data<int8_t>();
+  if (constant.is_null()) {
+    for (idx_t i = 0; i < count; i++) result->validity().SetInvalid(i);
+    return;
+  }
+  const auto& entries = dict_vec.dictionary().entries;
+  const std::string& s = constant.GetString();
+  StringRef ref(s.data(), static_cast<uint32_t>(s.size()));
+  uint32_t lower = static_cast<uint32_t>(
+      std::lower_bound(entries.begin(), entries.end(), ref) - entries.begin());
+  uint32_t upper = static_cast<uint32_t>(
+      std::upper_bound(entries.begin(), entries.end(), ref) - entries.begin());
+  // Pass iff lo <= code < hi, possibly inverted.
+  uint32_t lo = 0, hi = 0;
+  bool invert = false;
+  switch (op) {
+    case CompareOp::kEqual:
+      lo = lower;
+      hi = upper;
+      break;
+    case CompareOp::kNotEqual:
+      lo = lower;
+      hi = upper;
+      invert = true;
+      break;
+    case CompareOp::kLess:
+      lo = 0;
+      hi = lower;
+      break;
+    case CompareOp::kLessEqual:
+      lo = 0;
+      hi = upper;
+      break;
+    case CompareOp::kGreater:
+      lo = upper;
+      hi = static_cast<uint32_t>(entries.size());
+      break;
+    case CompareOp::kGreaterEqual:
+      lo = lower;
+      hi = static_cast<uint32_t>(entries.size());
+      break;
+  }
+  const uint32_t* codes = dict_vec.data<uint32_t>();
+  for (idx_t i = 0; i < count; i++) {
+    if (!dict_vec.validity().RowIsValid(i)) {
+      result->validity().SetInvalid(i);
+      continue;
+    }
+    bool in = codes[i] >= lo && codes[i] < hi;
+    out[i] = (in != invert) ? 1 : 0;
+  }
+}
+
+CompareOp MirrorOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLess:
+      return CompareOp::kGreater;
+    case CompareOp::kLessEqual:
+      return CompareOp::kGreaterEqual;
+    case CompareOp::kGreater:
+      return CompareOp::kLess;
+    case CompareOp::kGreaterEqual:
+      return CompareOp::kLessEqual;
+    default:
+      return op;
+  }
+}
+
+bool IsConstantClass(const BoundExpression& expr) {
+  return expr.expr_class() == ExprClass::kConstant ||
+         expr.expr_class() == ExprClass::kParameter;
+}
+
 Status CompareVectors(const Vector& left, const Vector& right, idx_t count,
                       CompareOp op, Vector* result) {
   switch (left.type()) {
@@ -82,7 +211,7 @@ Status CompareVectors(const Vector& left, const Vector& right, idx_t count,
       CompareDispatchOp<double>(left, right, count, op, result);
       break;
     case TypeId::kVarchar:
-      CompareDispatchOp<StringRef>(left, right, count, op, result);
+      CompareVarcharDispatch(left, right, count, op, result);
       break;
     default:
       return Status::Internal("comparison on invalid type");
@@ -302,6 +431,20 @@ Status ExpressionExecutor::Execute(const BoundExpression& expr,
       Vector right(e.right().return_type());
       MALLARD_RETURN_NOT_OK(Execute(e.left(), input, &left));
       MALLARD_RETURN_NOT_OK(Execute(e.right(), input, &right));
+      // Dictionary fast path: column vs constant translates the constant
+      // into code space once instead of gathering strings per row.
+      if (count > 0 && left.type() == TypeId::kVarchar) {
+        if (left.is_dictionary() && IsConstantClass(e.right())) {
+          CompareDictWithConstant(left, right.GetValue(0), count, e.op(),
+                                  result);
+          return Status::OK();
+        }
+        if (right.is_dictionary() && IsConstantClass(e.left())) {
+          CompareDictWithConstant(right, left.GetValue(0), count,
+                                  MirrorOp(e.op()), result);
+          return Status::OK();
+        }
+      }
       return CompareVectors(left, right, count, e.op(), result);
     }
     case ExprClass::kConjunction: {
@@ -462,8 +605,32 @@ Status ExpressionExecutor::Execute(const BoundExpression& expr,
       const auto& e = static_cast<const BoundLike&>(expr);
       Vector child(TypeId::kVarchar);
       MALLARD_RETURN_NOT_OK(Execute(e.child(), input, &child));
-      const StringRef* strs = child.data<StringRef>();
       int8_t* out = result->data<int8_t>();
+      if (child.is_dictionary()) {
+        // Match each distinct dictionary entry at most once, then fan
+        // the verdict out to rows by code.
+        const auto& entries = child.dictionary().entries;
+        const uint32_t* codes = child.data<uint32_t>();
+        std::vector<int8_t> memo(entries.size(), -1);
+        for (idx_t i = 0; i < count; i++) {
+          if (!child.validity().RowIsValid(i)) {
+            result->validity().SetInvalid(i);
+            continue;
+          }
+          uint32_t code = codes[i];
+          if (memo[code] < 0) {
+            memo[code] = StringUtil::Like(entries[code].data,
+                                          entries[code].size,
+                                          e.pattern().data(),
+                                          e.pattern().size())
+                             ? 1
+                             : 0;
+          }
+          out[i] = ((memo[code] != 0) != e.negated()) ? 1 : 0;
+        }
+        return Status::OK();
+      }
+      const StringRef* strs = child.data<StringRef>();
       for (idx_t i = 0; i < count; i++) {
         if (!child.validity().RowIsValid(i)) {
           result->validity().SetInvalid(i);

@@ -54,7 +54,7 @@ Status LengthImpl(const std::vector<Vector*>& args, idx_t count,
                   Vector* result) {
   return UnaryKernel(args, count, result,
                      [](const Vector& a, idx_t i, Vector* out) {
-                       out->data<int64_t>()[i] = a.data<StringRef>()[i].size;
+                       out->data<int64_t>()[i] = a.StringAt(i).size;
                      });
 }
 
@@ -62,7 +62,7 @@ Status LowerImpl(const std::vector<Vector*>& args, idx_t count,
                  Vector* result) {
   return UnaryKernel(args, count, result,
                      [](const Vector& a, idx_t i, Vector* out) {
-                       std::string s = a.data<StringRef>()[i].ToString();
+                       std::string s = a.StringAt(i).ToString();
                        out->SetString(i, StringUtil::Lower(s));
                      });
 }
@@ -71,7 +71,7 @@ Status UpperImpl(const std::vector<Vector*>& args, idx_t count,
                  Vector* result) {
   return UnaryKernel(args, count, result,
                      [](const Vector& a, idx_t i, Vector* out) {
-                       std::string s = a.data<StringRef>()[i].ToString();
+                       std::string s = a.StringAt(i).ToString();
                        out->SetString(i, StringUtil::Upper(s));
                      });
 }
@@ -145,7 +145,7 @@ Status SubstrImpl(const std::vector<Vector*>& args, idx_t count,
       result->validity().SetInvalid(i);
       continue;
     }
-    const StringRef& s = a.data<StringRef>()[i];
+    StringRef s = a.StringAt(i);
     // SQL substring: 1-based start.
     int64_t begin = std::max<int64_t>(1, start.data<int32_t>()[i]) - 1;
     int64_t n = std::max<int64_t>(0, len.data<int32_t>()[i]);
@@ -169,7 +169,7 @@ Status ConcatImpl(const std::vector<Vector*>& args, idx_t count,
         any_null = true;
         break;
       }
-      out += arg->data<StringRef>()[i].ToString();
+      out += arg->StringAt(i).ToString();
     }
     if (any_null) {
       result->validity().SetInvalid(i);
@@ -189,8 +189,8 @@ Status ContainsImpl(const std::vector<Vector*>& args, idx_t count,
       result->validity().SetInvalid(i);
       continue;
     }
-    std::string hay = a.data<StringRef>()[i].ToString();
-    std::string needle = b.data<StringRef>()[i].ToString();
+    std::string hay = a.StringAt(i).ToString();
+    std::string needle = b.StringAt(i).ToString();
     result->data<int8_t>()[i] =
         hay.find(needle) != std::string::npos ? 1 : 0;
   }
@@ -206,8 +206,8 @@ Status StartsWithImpl(const std::vector<Vector*>& args, idx_t count,
       result->validity().SetInvalid(i);
       continue;
     }
-    const StringRef& s = a.data<StringRef>()[i];
-    const StringRef& prefix = b.data<StringRef>()[i];
+    StringRef s = a.StringAt(i);
+    StringRef prefix = b.StringAt(i);
     bool match = s.size >= prefix.size &&
                  std::memcmp(s.data, prefix.data, prefix.size) == 0;
     result->data<int8_t>()[i] = match ? 1 : 0;

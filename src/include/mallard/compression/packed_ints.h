@@ -1,0 +1,74 @@
+/**
+ * @file packed_ints.h
+ * @brief Word-wise bit-packed integer arrays used by encoded column
+ *        segments (dictionary codes, frame-of-reference deltas).
+ *
+ * Unlike bitpack::Pack/Unpack in codec.h (a self-describing block format
+ * for spill/bench use), these are raw random-access primitives: the
+ * caller owns the buffer, the bit width and the element count. Widths up
+ * to 56 bits are supported so every access is a single unaligned 64-bit
+ * load/store; buffers must be padded with kPadBytes tail bytes.
+ */
+#ifndef MALLARD_COMPRESSION_PACKED_INTS_H_
+#define MALLARD_COMPRESSION_PACKED_INTS_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace mallard {
+namespace packedbits {
+
+/// Maximum supported element width: 56 bits keeps (bitpos & 7) + width
+/// inside one 64-bit window.
+constexpr uint8_t kMaxBits = 56;
+/// Tail padding so the last element's 8-byte window stays in bounds.
+constexpr size_t kPadBytes = 8;
+
+inline uint64_t MaskOf(uint8_t bits) {
+  return bits >= 64 ? ~uint64_t(0) : ((uint64_t(1) << bits) - 1);
+}
+
+/// Bytes needed to hold `count` elements of `bits` width, padding included.
+inline size_t BytesFor(uint64_t count, uint8_t bits) {
+  return static_cast<size_t>((count * bits + 7) / 8) + kPadBytes;
+}
+
+/// Smallest width that can represent every value in [0, max_value].
+inline uint8_t BitsFor(uint64_t max_value) {
+  uint8_t bits = 0;
+  while (max_value != 0) {
+    bits++;
+    max_value >>= 1;
+  }
+  return bits;
+}
+
+inline uint64_t Get(const uint8_t* data, uint64_t index, uint8_t bits) {
+  if (bits == 0) return 0;
+  uint64_t bitpos = index * bits;
+  uint64_t word;
+  std::memcpy(&word, data + (bitpos >> 3), 8);
+  return (word >> (bitpos & 7)) & MaskOf(bits);
+}
+
+/// Stores `value` (must fit in `bits`) at `index`. Elements must be
+/// written into zeroed or previously-written slots; the read-modify-write
+/// touches neighbouring elements' bits, so concurrent writers need
+/// external synchronization (segment encoding runs under the row group's
+/// unique lock).
+inline void Set(uint8_t* data, uint64_t index, uint8_t bits, uint64_t value) {
+  if (bits == 0) return;
+  uint64_t bitpos = index * bits;
+  uint8_t* p = data + (bitpos >> 3);
+  uint64_t word;
+  std::memcpy(&word, p, 8);
+  uint64_t shift = bitpos & 7;
+  word &= ~(MaskOf(bits) << shift);
+  word |= (value & MaskOf(bits)) << shift;
+  std::memcpy(p, &word, 8);
+}
+
+}  // namespace packedbits
+}  // namespace mallard
+
+#endif  // MALLARD_COMPRESSION_PACKED_INTS_H_

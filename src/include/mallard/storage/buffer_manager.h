@@ -2,6 +2,7 @@
 #define MALLARD_STORAGE_BUFFER_MANAGER_H_
 
 #include <atomic>
+#include <functional>
 #include <list>
 #include <map>
 #include <memory>
@@ -11,6 +12,7 @@
 
 #include "mallard/common/constants.h"
 #include "mallard/common/result.h"
+#include "mallard/compression/codec.h"
 #include "mallard/resilience/memtest.h"
 #include "mallard/storage/file_handle.h"
 
@@ -42,6 +44,10 @@ class ManagedBuffer {
   std::unique_ptr<uint8_t[]> data_;
   int pin_count_ = 0;
   uint64_t spill_offset_ = ~uint64_t(0);
+  /// Bytes of the current on-disk copy (== size_ when uncompressed).
+  uint64_t spill_bytes_ = 0;
+  /// Codec the current on-disk copy was written with.
+  CompressionLevel spill_level_ = CompressionLevel::kNone;
   uint64_t lru_tick_ = 0;
   // True while the resident contents differ from the spill-file copy
   // (fresh allocations are dirty; a reload makes the copies equal). A
@@ -95,6 +101,8 @@ struct BufferManagerStats {
   uint64_t eviction_count = 0;     // evictions (>= spill_count: clean
                                    // re-evictions skip the write)
   uint64_t spilled_bytes_now = 0;  // bytes currently evicted to disk
+  uint64_t spill_compressed_count = 0;  // spill writes that compressed
+  uint64_t spill_saved_bytes = 0;  // I/O bytes avoided by compression
   uint64_t quarantined_allocations = 0;
   uint64_t quarantined_bytes = 0;
   uint64_t alloc_tests_run = 0;
@@ -124,6 +132,16 @@ class BufferManager {
   uint64_t memory_used() const { return memory_used_.load(); }
   BufferManagerStats GetStats() const;
   void ResetPeak();
+
+  /// Installs the policy that picks a compression level for spill
+  /// writes (typically the governor's pressure staircase: none under
+  /// 50% application memory pressure, RLE under 75%, LZ above). Spill
+  /// slots stay full-size — the saving is I/O bytes, not file footprint
+  /// — and LoadBuffer transparently decompresses.
+  void SetSpillCompression(std::function<CompressionLevel()> chooser) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    spill_compression_ = std::move(chooser);
+  }
 
   /// Enables the fast walking-bits screen on every new allocation.
   void EnableAllocationTesting(bool enable) { test_on_alloc_ = enable; }
@@ -161,6 +179,7 @@ class BufferManager {
   std::map<uint64_t, std::vector<uint64_t>> free_spill_slots_;
   std::list<ManagedBuffer*> evictable_;  // LRU order, front = oldest
   uint64_t lru_counter_ = 0;
+  std::function<CompressionLevel()> spill_compression_;
 
   bool test_on_alloc_ = false;
   double bad_region_probability_ = 0.0;

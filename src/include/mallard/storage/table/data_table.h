@@ -29,6 +29,19 @@ struct TableScanState {
   idx_t max_row_group = kInvalidIndex;
 };
 
+/// Per-table encoding statistics aggregated over all column segments
+/// (PRAGMA storage_stats).
+struct TableEncodingStats {
+  idx_t segments_total = 0;
+  idx_t segments_plain = 0;
+  idx_t segments_dict = 0;
+  idx_t segments_for = 0;
+  idx_t logical_bytes = 0;  // bytes the plain representation would need
+  idx_t encoded_bytes = 0;  // bytes the current representation holds
+  idx_t dict_entries = 0;   // total dictionary entries
+  idx_t dict_rows = 0;      // rows covered by dictionary segments
+};
+
 /// The physical storage of one table: an ordered list of row groups.
 /// Provides transactional vectorized scans, bulk appends, bulk deletes
 /// and per-column bulk updates — the combined OLAP & ETL workload of
@@ -80,6 +93,9 @@ class DataTable {
   Status DeserializeData(BinaryReader* reader);
 
   idx_t MemoryUsage() const;
+
+  /// Aggregates per-segment encoding statistics (PRAGMA storage_stats).
+  TableEncodingStats EncodingStats() const;
 
  private:
   RowGroup* GetRowGroupForRow(idx_t row_id) const;

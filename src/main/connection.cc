@@ -9,6 +9,7 @@
 #include "mallard/parallel/morsel.h"
 #include "mallard/parser/parser.h"
 #include "mallard/planner/planner.h"
+#include "mallard/storage/table/column_segment.h"
 
 namespace mallard {
 
@@ -409,15 +410,65 @@ Result<std::unique_ptr<MaterializedQueryResult>> Connection::ExecutePragma(
     BufferManagerStats stats = db_->buffers().GetStats();
     auto chunk = std::make_unique<DataChunk>();
     std::vector<std::string> names = {
-        "memory_used",    "memory_limit",   "peak_memory",
-        "spill_count",    "spilled_bytes",  "unspill_count",
-        "eviction_count", "spilled_bytes_now"};
+        "memory_used",    "memory_limit",      "peak_memory",
+        "spill_count",    "spilled_bytes",     "unspill_count",
+        "eviction_count", "spilled_bytes_now", "spill_compressed_count",
+        "spill_saved_bytes"};
     std::vector<TypeId> types(names.size(), TypeId::kBigInt);
     chunk->Initialize(types);
     const uint64_t values[] = {
-        stats.memory_used,    stats.memory_limit,   stats.peak_memory,
-        stats.spill_count,    stats.spilled_bytes,  stats.unspill_count,
-        stats.eviction_count, stats.spilled_bytes_now};
+        stats.memory_used,    stats.memory_limit,
+        stats.peak_memory,    stats.spill_count,
+        stats.spilled_bytes,  stats.unspill_count,
+        stats.eviction_count, stats.spilled_bytes_now,
+        stats.spill_compressed_count, stats.spill_saved_bytes};
+    for (idx_t c = 0; c < names.size(); c++) {
+      chunk->SetValue(c, 0, Value::BigInt(static_cast<int64_t>(values[c])));
+    }
+    chunk->SetCardinality(1);
+    std::vector<std::unique_ptr<DataChunk>> chunks;
+    chunks.push_back(std::move(chunk));
+    return std::make_unique<MaterializedQueryResult>(
+        std::move(names), std::move(types), std::move(chunks));
+  }
+  if (name == "storage_stats") {
+    // One row of compressed-storage counters across every table: how
+    // many finalized segments landed on each encoding, the logical vs
+    // encoded footprint, and the global encode/decode/filter-window
+    // counters. The compression tests assert encoded_bytes <
+    // logical_bytes on dictionary/FOR-friendly data.
+    TableEncodingStats total;
+    db_->catalog().ForEachTable([&total](DataTable* table) {
+      TableEncodingStats s = table->EncodingStats();
+      total.segments_total += s.segments_total;
+      total.segments_plain += s.segments_plain;
+      total.segments_dict += s.segments_dict;
+      total.segments_for += s.segments_for;
+      total.logical_bytes += s.logical_bytes;
+      total.encoded_bytes += s.encoded_bytes;
+      total.dict_entries += s.dict_entries;
+      total.dict_rows += s.dict_rows;
+    });
+    auto chunk = std::make_unique<DataChunk>();
+    std::vector<std::string> names = {
+        "segments_total", "segments_plain", "segments_dict",
+        "segments_for",   "logical_bytes",  "encoded_bytes",
+        "dict_entries",   "dict_rows",      "encode_count",
+        "decode_count",   "code_filter_windows"};
+    std::vector<TypeId> types(names.size(), TypeId::kBigInt);
+    chunk->Initialize(types);
+    const uint64_t values[] = {
+        total.segments_total,
+        total.segments_plain,
+        total.segments_dict,
+        total.segments_for,
+        total.logical_bytes,
+        total.encoded_bytes,
+        total.dict_entries,
+        total.dict_rows,
+        SegmentEncodingCounters::encodes.load(),
+        SegmentEncodingCounters::decodes.load(),
+        SegmentEncodingCounters::filter_windows.load()};
     for (idx_t c = 0; c < names.size(); c++) {
       chunk->SetValue(c, 0, Value::BigInt(static_cast<int64_t>(values[c])));
     }

@@ -51,6 +51,11 @@ Status Database::Initialize(const std::string& path) {
   gc.reactive = config_.reactive;
   governor_ = std::make_unique<ResourceGovernor>(gc);
   governor_->SetBufferManager(buffers_.get());
+  // Spilled buffers compress through the governor's pressure staircase
+  // (none under light pressure, RLE, then LZ) — evicted intermediates
+  // shrink exactly when memory is scarce.
+  buffers_->SetSpillCompression(
+      [gov = governor_.get()] { return gov->ChooseCompressionLevel(); });
   // Thread-less until the first parallel Run spawns workers.
   scheduler_ = std::make_unique<TaskScheduler>(governor_.get());
 

@@ -143,11 +143,31 @@ Status BufferManager::SpillBuffer(ManagedBuffer* buffer) {
         spill_file_size_ += buffer->size_;
       }
     }
+    // Compress the payload when the governor's pressure staircase says
+    // so. The spill slot stays full-size (slots are reused by buffer
+    // size); the saving is the bytes that never hit the disk.
+    CompressionLevel level = spill_compression_ ? spill_compression_()
+                                                : CompressionLevel::kNone;
+    const uint8_t* payload = buffer->data_.get();
+    uint64_t payload_len = buffer->size_;
+    std::vector<uint8_t> compressed;
+    if (const Codec* codec = CodecForLevel(level)) {
+      codec->Compress(buffer->data_.get(), buffer->size_, &compressed);
+      if (compressed.size() < buffer->size_) {
+        payload = compressed.data();
+        payload_len = compressed.size();
+      } else {
+        // Compression backfired on incompressible data; keep raw.
+        level = CompressionLevel::kNone;
+      }
+    } else {
+      level = CompressionLevel::kNone;
+    }
     Status status =
         FaultInjector::Get().ShouldFire(FaultSite::kSpillWrite)
             ? Status::IOError("spill write fault injected on '" +
                               spill_file_->path() + "'")
-            : spill_file_->Write(buffer->data_.get(), buffer->size_, offset);
+            : spill_file_->Write(payload, payload_len, offset);
     if (!status.ok()) {
       if (buffer->spill_offset_ == ~uint64_t(0)) {
         free_spill_slots_[buffer->size_].push_back(offset);
@@ -155,9 +175,15 @@ Status BufferManager::SpillBuffer(ManagedBuffer* buffer) {
       return status;
     }
     buffer->spill_offset_ = offset;
+    buffer->spill_bytes_ = payload_len;
+    buffer->spill_level_ = level;
     buffer->dirty_ = false;
     stats_.spill_count++;
-    stats_.spilled_bytes += buffer->size_;
+    stats_.spilled_bytes += payload_len;
+    if (level != CompressionLevel::kNone) {
+      stats_.spill_compressed_count++;
+      stats_.spill_saved_bytes += buffer->size_ - payload_len;
+    }
   }
   buffer->data_.reset();
   memory_used_.fetch_sub(buffer->size_);
@@ -172,8 +198,22 @@ Status BufferManager::LoadBuffer(ManagedBuffer* buffer) {
                            spill_file_->path() + "'");
   }
   MALLARD_ASSIGN_OR_RETURN(buffer->data_, AllocateTested(buffer->size_));
-  MALLARD_RETURN_NOT_OK(spill_file_->Read(buffer->data_.get(), buffer->size_,
-                                          buffer->spill_offset_));
+  if (buffer->spill_level_ != CompressionLevel::kNone) {
+    std::vector<uint8_t> compressed(buffer->spill_bytes_);
+    MALLARD_RETURN_NOT_OK(spill_file_->Read(
+        compressed.data(), compressed.size(), buffer->spill_offset_));
+    const Codec* codec = CodecForLevel(buffer->spill_level_);
+    std::vector<uint8_t> raw;
+    MALLARD_RETURN_NOT_OK(
+        codec->Decompress(compressed.data(), compressed.size(), &raw));
+    if (raw.size() != buffer->size_) {
+      return Status::Corruption("spilled buffer decompressed to wrong size");
+    }
+    std::memcpy(buffer->data_.get(), raw.data(), raw.size());
+  } else {
+    MALLARD_RETURN_NOT_OK(spill_file_->Read(
+        buffer->data_.get(), buffer->size_, buffer->spill_offset_));
+  }
   // The slot is retained (spill_offset_ stays valid): if this buffer is
   // evicted again without being modified, the eviction skips the write.
   buffer->dirty_ = false;

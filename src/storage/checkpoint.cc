@@ -64,6 +64,9 @@ Status CheckpointTable(const DataTable& table, const Transaction& snapshot,
     w.WriteU64(staged_count);
     w.WriteU32(static_cast<uint32_t>(types.size()));
     for (idx_t c = 0; c < staged.size(); c++) {
+      // Pick a per-segment encoding for the compacted group — this is
+      // where checkpointed data earns its dictionary/FOR form on disk.
+      staged[c]->FinalizeEncoding(staged_count);
       staged[c]->Serialize(&w, staged_count);
     }
     emitted++;

@@ -111,6 +111,27 @@ bool DataTable::Scan(const Transaction& txn, TableScanState* state,
       state->offset += n;
       continue;
     }
+    // Code-space filtering: each pushed filter prunes the selection
+    // against the column segment directly — on encoded segments the
+    // constant is translated into code space once and rows compare
+    // bit-packed codes, so pruned rows are never materialized. Columns
+    // with an active undo chain are skipped here (the base data may not
+    // be this transaction's snapshot); the residual filter in the plan
+    // recomputes the same predicate, so dropping rows early is safe and
+    // keeping them is merely conservative.
+    if (!state->filters.empty()) {
+      for (const auto& f : state->filters) {
+        const UpdateSegment* useg = rg->update_segment(f.column_index);
+        if (useg && useg->HasUpdates()) continue;
+        m = rg->column(f.column_index)
+                .FilterWindow(f.op, f.constant, state->offset, sel, m);
+        if (m == 0) break;
+      }
+      if (m == 0) {
+        state->offset += n;
+        continue;
+      }
+    }
     for (idx_t c = 0; c < state->column_ids.size(); c++) {
       idx_t col_id = state->column_ids[c];
       Vector& out_col = out->column(c);
@@ -124,9 +145,16 @@ bool DataTable::Scan(const Transaction& txn, TableScanState* state,
       if (m == n) {
         rg->ReadColumnWindow(txn, col_id, state->offset, n, &out_col);
       } else {
-        Vector scratch(types_[col_id]);
-        rg->ReadColumnWindow(txn, col_id, state->offset, n, &scratch);
-        out_col.CopySelection(scratch, sel, m);
+        const UpdateSegment* useg = rg->update_segment(col_id);
+        if (useg && useg->HasUpdates()) {
+          Vector scratch(types_[col_id]);
+          rg->ReadColumnWindow(txn, col_id, state->offset, n, &scratch);
+          out_col.CopySelection(scratch, sel, m);
+        } else {
+          // Late materialization: gather only the surviving rows
+          // straight from the (possibly encoded) segment.
+          rg->column(col_id).ReadSelection(state->offset, sel, m, &out_col);
+        }
       }
     }
     out->SetCardinality(m);
@@ -272,6 +300,35 @@ idx_t DataTable::MemoryUsage() const {
     total += rg->MemoryUsage();
   }
   return total;
+}
+
+TableEncodingStats DataTable::EncodingStats() const {
+  TableEncodingStats stats;
+  std::shared_lock<std::shared_mutex> guard(row_groups_lock_);
+  for (const auto& rg : row_groups_) {
+    std::shared_lock<std::shared_mutex> rg_guard(rg->lock());
+    idx_t rows = rg->count();
+    for (idx_t c = 0; c < types_.size(); c++) {
+      const ColumnSegment& seg = rg->column(c);
+      stats.segments_total++;
+      switch (seg.encoding()) {
+        case SegmentEncoding::kPlain:
+          stats.segments_plain++;
+          break;
+        case SegmentEncoding::kDictionary:
+          stats.segments_dict++;
+          stats.dict_entries += seg.dict_entry_count();
+          stats.dict_rows += rows;
+          break;
+        case SegmentEncoding::kFor:
+          stats.segments_for++;
+          break;
+      }
+      stats.logical_bytes += seg.LogicalBytes(rows);
+      stats.encoded_bytes += seg.EncodedBytes(rows);
+    }
+  }
+  return stats;
 }
 
 }  // namespace mallard

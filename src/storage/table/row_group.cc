@@ -44,6 +44,15 @@ idx_t RowGroup::Append(Transaction* txn, const DataChunk& chunk,
   }
   txn->RecordAppend(this, count_, to_append);
   count_ += to_append;
+  if (count_ == kRowGroupSize) {
+    // The row group is full and will never see another append; pick a
+    // compressed representation per column. Encoding only changes the
+    // physical form, so rows of a transaction that later aborts are
+    // unaffected (they stay invisible and compact away at checkpoint).
+    for (auto& col : columns_) {
+      col->FinalizeEncoding(kRowGroupSize);
+    }
+  }
   return to_append;
 }
 
@@ -218,6 +227,9 @@ void RowGroup::Serialize(BinaryWriter* writer) const {
       written += batch;
       i += batch;
     }
+    // Checkpoint in encoded form: the segment round-trips its dictionary
+    // or FOR representation and reopens without re-encoding.
+    compacted.FinalizeEncoding(live.size());
     compacted.Serialize(writer, live.size());
   }
 }

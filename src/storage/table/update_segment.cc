@@ -30,6 +30,9 @@ UpdateInfo* UpdateSegment::Update(const Transaction& txn,
                                   ColumnSegment* column, const uint32_t* rows,
                                   const uint32_t* value_idx, idx_t count,
                                   const Vector& new_values) {
+  // Pre-images below read the plain array directly; decode first if the
+  // segment is dictionary/FOR encoded.
+  column->EnsurePlain();
   auto info = std::make_unique<UpdateInfo>();
   info->version = txn.txn_id();
   info->rows.assign(rows, rows + count);

@@ -18,11 +18,11 @@ void SerializeChunk(const DataChunk& chunk, BinaryWriter* writer) {
       writer->WriteU64(word);
     }
     if (col.type() == TypeId::kVarchar) {
-      const StringRef* refs = col.data<StringRef>();
       for (idx_t i = 0; i < chunk.size(); i++) {
         if (col.validity().RowIsValid(i)) {
-          writer->WriteU32(refs[i].size);
-          writer->WriteBytes(refs[i].data, refs[i].size);
+          StringRef s = col.StringAt(i);
+          writer->WriteU32(s.size);
+          writer->WriteBytes(s.data, s.size);
         } else {
           writer->WriteU32(0);
         }

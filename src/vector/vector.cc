@@ -2,7 +2,19 @@
 
 #include <cassert>
 
+#include "mallard/common/hash.h"
+
 namespace mallard {
+
+const std::vector<uint64_t>& VectorDictionary::EntryHashes() const {
+  std::call_once(hash_once_, [this] {
+    hashes_.resize(entries.size());
+    for (size_t i = 0; i < entries.size(); i++) {
+      hashes_[i] = HashBytes(entries[i].data, entries[i].size);
+    }
+  });
+  return hashes_;
+}
 
 Vector::Vector(TypeId type)
     : type_(type),
@@ -10,7 +22,38 @@ Vector::Vector(TypeId type)
   data_ = buffer_->data.get();
 }
 
+void Vector::Flatten() {
+  if (!dict_) return;
+  std::shared_ptr<const VectorDictionary> dict = std::move(dict_);
+  idx_t rows = dict_rows_;
+  dict_rows_ = 0;
+  if (buffer_.use_count() > 1) {
+    // Another vector still reads codes through this buffer; decode into
+    // a fresh one instead of rewriting shared bytes.
+    auto fresh = std::make_shared<VectorBuffer>(TypeSize(type_) * kVectorSize);
+    const uint32_t* codes = reinterpret_cast<const uint32_t*>(data_);
+    StringRef* dst = reinterpret_cast<StringRef*>(fresh->data.get());
+    for (idx_t i = 0; i < rows; i++) {
+      dst[i] = validity_.RowIsValid(i) ? dict->entries[codes[i]] : StringRef();
+    }
+    buffer_ = std::move(fresh);
+    data_ = buffer_->data.get();
+  } else {
+    // In-place: a 4-byte code expands into a 16-byte ref, so walk
+    // back-to-front (slot i's ref never overwrites an unread code j>i).
+    StringRef* dst = reinterpret_cast<StringRef*>(data_);
+    const uint32_t* codes = reinterpret_cast<const uint32_t*>(data_);
+    for (idx_t i = rows; i-- > 0;) {
+      uint32_t code = codes[i];
+      dst[i] = validity_.RowIsValid(i) ? dict->entries[code] : StringRef();
+    }
+  }
+  // The refs point into the dictionary arena; pin it to the buffer.
+  buffer_->keepalive = std::move(dict);
+}
+
 void Vector::SetValue(idx_t row, const Value& value) {
+  if (dict_) Flatten();
   if (value.is_null()) {
     validity_.SetInvalid(row);
     return;
@@ -58,10 +101,8 @@ Value Vector::GetValue(idx_t row) const {
       return Value::Timestamp(data<int64_t>()[row]);
     case TypeId::kDouble:
       return Value::Double(data<double>()[row]);
-    case TypeId::kVarchar: {
-      const StringRef& s = data<StringRef>()[row];
-      return Value::Varchar(s.ToString());
-    }
+    case TypeId::kVarchar:
+      return Value::Varchar(StringAt(row).ToString());
     default:
       return Value();
   }
@@ -72,6 +113,8 @@ void Vector::Reference(const Vector& other) {
   buffer_ = other.buffer_;
   data_ = other.data_;
   validity_ = other.validity_;
+  dict_ = other.dict_;
+  dict_rows_ = other.dict_rows_;
 }
 
 void Vector::CopyFrom(const Vector& other, idx_t count, idx_t source_offset,
@@ -79,12 +122,12 @@ void Vector::CopyFrom(const Vector& other, idx_t count, idx_t source_offset,
   assert(type_ == other.type_);
   idx_t width = TypeSize(type_);
   if (type_ == TypeId::kVarchar) {
-    const StringRef* src = other.data<StringRef>();
+    if (dict_) Flatten();
     StringRef* dst = data<StringRef>();
     for (idx_t i = 0; i < count; i++) {
       idx_t s = source_offset + i, t = target_offset + i;
       if (other.validity_.RowIsValid(s)) {
-        dst[t] = buffer_->heap.AddString(src[s]);
+        dst[t] = buffer_->heap.AddString(other.StringAt(s));
         validity_.SetValid(t);
       } else {
         validity_.SetInvalid(t);
@@ -111,12 +154,12 @@ void Vector::CopySelection(const Vector& other, const uint32_t* sel,
   assert(type_ == other.type_);
   switch (type_) {
     case TypeId::kVarchar: {
-      const StringRef* src = other.data<StringRef>();
+      if (dict_) Flatten();
       StringRef* dst = data<StringRef>();
       for (idx_t i = 0; i < count; i++) {
         idx_t s = sel[i], t = target_offset + i;
         if (other.validity_.RowIsValid(s)) {
-          dst[t] = buffer_->heap.AddString(src[s]);
+          dst[t] = buffer_->heap.AddString(other.StringAt(s));
           validity_.SetValid(t);
         } else {
           validity_.SetInvalid(t);
@@ -163,7 +206,10 @@ void Vector::Reset() {
     data_ = buffer_->data.get();
   } else if (type_ == TypeId::kVarchar) {
     buffer_->heap.Reset();
+    buffer_->keepalive.reset();
   }
+  dict_.reset();
+  dict_rows_ = 0;
   validity_.SetAllValid();
 }
 

@@ -48,8 +48,21 @@ void HashDoubleLoop(const Vector& input, idx_t count, uint64_t* hashes) {
 
 template <bool kCombine>
 void HashStringLoop(const Vector& input, idx_t count, uint64_t* hashes) {
-  const StringRef* data = input.data<StringRef>();
   const ValidityMask& validity = input.validity();
+  if (input.is_dictionary()) {
+    // Hash dictionary codes directly: each distinct string is hashed
+    // once per segment lifetime (memoized in the dictionary) and rows
+    // just gather — no string bytes touched.
+    const auto& entry_hashes = input.dictionary().EntryHashes();
+    const uint32_t* codes = input.data<uint32_t>();
+    for (idx_t r = 0; r < count; r++) {
+      uint64_t h =
+          validity.RowIsValid(r) ? entry_hashes[codes[r]] : kNullHash;
+      hashes[r] = kCombine ? HashCombine(hashes[r], h) : h;
+    }
+    return;
+  }
+  const StringRef* data = input.data<StringRef>();
   for (idx_t r = 0; r < count; r++) {
     uint64_t h = validity.RowIsValid(r)
                      ? HashBytes(data[r].data, data[r].size)

@@ -415,10 +415,11 @@ TEST_F(SpillQueryTest, PragmaBufferStatsShape) {
   auto r = con_->Query("PRAGMA buffer_stats");
   ASSERT_TRUE(r.ok());
   ASSERT_EQ((*r)->RowCount(), 1u);
-  ASSERT_EQ((*r)->ColumnCount(), 8u);
+  ASSERT_EQ((*r)->ColumnCount(), 10u);
   EXPECT_EQ((*r)->names()[0], "memory_used");
   EXPECT_EQ((*r)->names()[4], "spilled_bytes");
   EXPECT_EQ((*r)->names()[7], "spilled_bytes_now");
+  EXPECT_EQ((*r)->names()[9], "spill_saved_bytes");
   EXPECT_EQ((*r)->GetValue(1, 0).GetBigInt(),
             static_cast<int64_t>(1ull << 29));  // memory_limit
 }
