@@ -44,6 +44,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Hardware failure";
     case StatusCode::kInterrupted:
       return "Interrupted";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
   }
   return "Unknown";
 }
@@ -126,6 +128,9 @@ Status Status::HardwareFailure(std::string msg) {
 }
 Status Status::Interrupted(std::string msg) {
   return Status(StatusCode::kInterrupted, std::move(msg));
+}
+Status Status::ResourceExhausted(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
 }
 
 }  // namespace mallard

@@ -2,7 +2,8 @@
 
 namespace mallard {
 
-Status PhysicalCsvScan::GetChunk(ExecutionContext*, DataChunk* out) {
+Status PhysicalCsvScan::GetChunk(ExecutionContext* context, DataChunk* out) {
+  MALLARD_RETURN_NOT_OK(context->CheckInterrupt());
   if (!initialized_) {
     MALLARD_ASSIGN_OR_RETURN(reader_, CsvReader::Open(path_, options_));
     if (reader_->ColumnTypes() != file_types_) {

@@ -42,6 +42,7 @@ std::vector<TableFilter> PhysicalTableScan::EffectiveFilters() const {
 }
 
 Status PhysicalTableScan::GetChunk(ExecutionContext* context, DataChunk* out) {
+  MALLARD_RETURN_NOT_OK(context->CheckInterrupt());
   if (!initialized_) {
     table_->InitializeScan(&state_, column_ids_, EffectiveFilters());
     initialized_ = true;

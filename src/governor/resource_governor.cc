@@ -1,6 +1,7 @@
 #include "mallard/governor/resource_governor.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "mallard/storage/buffer_manager.h"
 
@@ -78,6 +79,110 @@ uint64_t ResourceGovernor::WalFlushIntervalMs() const {
   if (cpu < 0.0) cpu = 0.0;
   if (cpu > 1.0) cpu = 1.0;
   return kBaseMs + static_cast<uint64_t>(cpu * 3.0 * kBaseMs);
+}
+
+int AdmissionController::EffectiveLimit() const {
+  int limit = max_active_.load();
+  if (limit > 0) return limit;
+  // Auto: enough concurrency to keep the pool busy across blocking
+  // clients, bounded so a connection storm queues instead of thrashing.
+  int threads = governor_ ? governor_->max_threads() : 4;
+  return std::max(4, 4 * std::max(1, threads));
+}
+
+bool AdmissionController::HasCapacity() const {
+  // An idle engine always admits: whatever the budgets say, one query
+  // must be able to run or a tight-memory host would wedge forever.
+  if (active_ == 0) return true;
+  if (active_ >= EffectiveLimit()) return false;
+  // Memory saturation gate: with queries already running and the buffer
+  // pool at (or beyond) the governor's budget, adding load would only
+  // deepen spilling — queue instead.
+  if (buffers_ && governor_ &&
+      buffers_->memory_used() >= governor_->EffectiveMemoryBudget()) {
+    return false;
+  }
+  return true;
+}
+
+bool AdmissionController::IsNextInLine(int cls, uint64_t seq) const {
+  for (int higher = cls + 1; higher < kClasses; higher++) {
+    if (!waiters_[higher].empty()) return false;
+  }
+  return !waiters_[cls].empty() && waiters_[cls].front() == seq;
+}
+
+Status AdmissionController::Admit(int priority_class) {
+  int cls = std::max(0, std::min(priority_class, kClasses - 1));
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Fast path: capacity free and nobody of equal or higher priority is
+  // already queued ahead (a high-priority arrival may overtake queued
+  // lower classes — that is what priority means here).
+  bool ahead = false;
+  for (int c = cls; c < kClasses; c++) {
+    if (!waiters_[c].empty()) ahead = true;
+  }
+  if (!ahead && HasCapacity()) {
+    active_++;
+    admitted_++;
+    return Status::OK();
+  }
+  if (waiting_ >= queue_depth_.load()) {
+    shed_++;
+    return Status::ResourceExhausted(
+        "admission queue is full (" + std::to_string(waiting_) +
+        " queries waiting); shed instead of queueing — retry later or "
+        "raise PRAGMA admission_queue_depth");
+  }
+  uint64_t seq = next_seq_++;
+  waiters_[cls].push_back(seq);
+  waiting_++;
+  queued_++;
+  bool got_slot = slot_free_.wait_for(
+      lock, std::chrono::milliseconds(timeout_ms_.load()),
+      [&] { return HasCapacity() && IsNextInLine(cls, seq); });
+  auto& queue = waiters_[cls];
+  for (auto it = queue.begin(); it != queue.end(); ++it) {
+    if (*it == seq) {
+      queue.erase(it);
+      break;
+    }
+  }
+  waiting_--;
+  if (!got_slot) {
+    timeouts_++;
+    // Our departure may unblock a waiter behind us in line.
+    slot_free_.notify_all();
+    return Status::ResourceExhausted(
+        "timed out after " + std::to_string(timeout_ms_.load()) +
+        " ms waiting for an execution slot (" + std::to_string(active_) +
+        " active); retry later or raise PRAGMA admission_timeout_ms");
+  }
+  active_++;
+  admitted_++;
+  // More than one slot may have freed; wake the next in line too.
+  slot_free_.notify_all();
+  return Status::OK();
+}
+
+void AdmissionController::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    active_--;
+  }
+  slot_free_.notify_all();
+}
+
+AdmissionStats AdmissionController::GetStats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  AdmissionStats stats;
+  stats.admitted = admitted_;
+  stats.queued = queued_;
+  stats.shed = shed_;
+  stats.timeouts = timeouts_;
+  stats.active = active_;
+  stats.waiting = waiting_;
+  return stats;
 }
 
 GovernorSample ResourceGovernor::Sample() const {

@@ -173,6 +173,21 @@ const char *mallard_version(void);
 mallard_state mallard_query(mallard_connection *connection, const char *sql,
                             mallard_result **out_result);
 
+/**
+ * Requests cancellation of the statement `connection` is currently
+ * running (or, if none is running, of its next one). The statement
+ * stops at its next chunk boundary and reports an "Interrupted" error
+ * through the normal result channel; the connection stays usable.
+ *
+ * The one connection call that is safe from any thread — this is how a
+ * UI thread cancels a long query the worker thread launched through
+ * this handle. Safe on NULL/closed handles (no-op).
+ *
+ * @return ::MALLARD_SUCCESS, or ::MALLARD_ERROR for a NULL/closed
+ *         handle.
+ */
+mallard_state mallard_interrupt(mallard_connection *connection);
+
 /*===========================================================================
  * Result access
  *===========================================================================*/

@@ -30,6 +30,7 @@ enum class StatusCode : uint8_t {
   kConstraint,
   kHardwareFailure,
   kInterrupted,
+  kResourceExhausted,
 };
 
 /// Returns a human-readable name for a status code ("IO error", ...).
@@ -68,6 +69,7 @@ class Status {
   static Status Constraint(std::string msg);
   static Status HardwareFailure(std::string msg);
   static Status Interrupted(std::string msg);
+  static Status ResourceExhausted(std::string msg);
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -79,6 +81,10 @@ class Status {
   bool IsCorruption() const { return code() == StatusCode::kCorruption; }
   bool IsTransactionConflict() const {
     return code() == StatusCode::kTransactionConflict;
+  }
+  bool IsInterrupted() const { return code() == StatusCode::kInterrupted; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
   }
 
  private:

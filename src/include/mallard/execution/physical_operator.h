@@ -1,6 +1,7 @@
 #ifndef MALLARD_EXECUTION_PHYSICAL_OPERATOR_H_
 #define MALLARD_EXECUTION_PHYSICAL_OPERATOR_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -16,6 +17,7 @@ class ResourceGovernor;
 class TaskScheduler;
 class TableMorselSource;
 class DataTable;
+class QueryTicket;
 
 /// Per-query execution state threaded through the operator tree. The
 /// struct is read-only while a query runs, so one instance is safely
@@ -31,6 +33,27 @@ struct ExecutionContext {
   /// Per-connection PRAGMA threads override; 0 = use the governor's
   /// (possibly reactive) thread budget.
   int thread_limit = 0;
+  /// This query's registration with the shared scheduler (null outside
+  /// Connection). Parallel phases clamp their width to the ticket's
+  /// fair share so concurrent queries split the pool.
+  const QueryTicket* ticket = nullptr;
+  /// Connection::Interrupt() flag; scans poll it at chunk/morsel
+  /// boundaries and fail with kInterrupted when set. Null = never
+  /// interrupted (contexts built outside Connection).
+  std::atomic<bool>* interrupt = nullptr;
+
+  /// Chunk/morsel-boundary cancellation point: a pending
+  /// Connection::Interrupt() becomes kInterrupted. The check only loads
+  /// (every parallel worker sees it and stops at its next boundary);
+  /// the Connection clears the flag when the statement finishes, so one
+  /// Interrupt() kills at most one statement and the connection stays
+  /// reusable.
+  Status CheckInterrupt() const {
+    if (interrupt && interrupt->load(std::memory_order_relaxed)) {
+      return Status::Interrupted("query canceled by Connection::Interrupt()");
+    }
+    return Status::OK();
+  }
 };
 
 /// Inputs for cloning a subtree into one worker's copy of a parallel

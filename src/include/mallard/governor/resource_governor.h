@@ -2,11 +2,14 @@
 #define MALLARD_GOVERNOR_RESOURCE_GOVERNOR_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <vector>
 
+#include "mallard/common/status.h"
 #include "mallard/compression/codec.h"
 
 namespace mallard {
@@ -137,6 +140,80 @@ class ResourceGovernor {
   std::atomic<AppResourceMonitor*> monitor_{nullptr};
   BufferManager* buffers_ = nullptr;
   CompressionLevel manual_compression_ = CompressionLevel::kNone;
+};
+
+/// Counters exposed via PRAGMA scheduler_stats.
+struct AdmissionStats {
+  uint64_t admitted = 0;   ///< queries that got an execution slot
+  uint64_t queued = 0;     ///< arrivals that had to wait first
+  uint64_t shed = 0;       ///< rejected immediately: queue full
+  uint64_t timeouts = 0;   ///< rejected after waiting out the timeout
+  int active = 0;          ///< slots held right now
+  int waiting = 0;         ///< queries queued right now
+};
+
+/// The governor's admission gate: every query acquires an execution slot
+/// before running and releases it when done. When thread or memory
+/// budgets are saturated, new queries queue — bounded, FIFO within
+/// priority class (high jumps ahead of normal ahead of low) — or are
+/// shed with kResourceExhausted when the queue is full or the wait times
+/// out. One query is always admitted when none is active, so a single
+/// connection can never be wedged by a tight budget.
+class AdmissionController {
+ public:
+  /// `governor` supplies the memory budget and the auto thread-derived
+  /// concurrency limit; `buffers` (set later, may be null in tests)
+  /// supplies current memory usage for the saturation gate.
+  explicit AdmissionController(const ResourceGovernor* governor)
+      : governor_(governor) {}
+
+  void SetBufferManager(const BufferManager* buffers) { buffers_ = buffers; }
+
+  /// 0 = auto (4x the governor's thread cap).
+  void SetMaxActive(int limit) { max_active_.store(limit); }
+  int max_active() const { return max_active_.load(); }
+  void SetQueueDepth(int depth) { queue_depth_.store(depth); }
+  int queue_depth() const { return queue_depth_.load(); }
+  void SetTimeoutMs(uint64_t ms) { timeout_ms_.store(ms); }
+  uint64_t timeout_ms() const { return timeout_ms_.load(); }
+
+  /// Blocks until an execution slot is free (or returns
+  /// kResourceExhausted when the bounded queue is full / the wait timed
+  /// out). `priority_class`: 0 = low, 1 = normal, 2 = high; admission is
+  /// FIFO within a class, higher classes first.
+  Status Admit(int priority_class);
+  /// Returns the slot acquired by a successful Admit.
+  void Release();
+
+  AdmissionStats GetStats() const;
+
+ private:
+  /// Effective concurrency limit right now. Thread-safe.
+  int EffectiveLimit() const;
+  /// One more query may start. Caller holds mutex_.
+  bool HasCapacity() const;
+  /// `seq` is the next waiter to be served in `cls` and no higher class
+  /// has waiters. Caller holds mutex_.
+  bool IsNextInLine(int cls, uint64_t seq) const;
+
+  static constexpr int kClasses = 3;
+
+  const ResourceGovernor* governor_;
+  const BufferManager* buffers_ = nullptr;
+  std::atomic<int> max_active_{0};
+  std::atomic<int> queue_depth_{64};
+  std::atomic<uint64_t> timeout_ms_{10000};
+
+  mutable std::mutex mutex_;
+  std::condition_variable slot_free_;
+  int active_ = 0;
+  int waiting_ = 0;
+  uint64_t next_seq_ = 0;
+  std::deque<uint64_t> waiters_[kClasses];
+  uint64_t admitted_ = 0;
+  uint64_t queued_ = 0;
+  uint64_t shed_ = 0;
+  uint64_t timeouts_ = 0;
 };
 
 }  // namespace mallard

@@ -39,6 +39,17 @@ struct DBConfig {
   /// closes cleanly. Disabled by recovery benchmarks/tests that want the
   /// WAL preserved so the next open measures replay.
   bool checkpoint_on_close = true;
+  /// Admission control: maximum queries executing concurrently before
+  /// new arrivals queue. 0 (default) = auto: 4x the thread cap. Runtime:
+  /// PRAGMA admission_limit.
+  int max_active_queries = 0;
+  /// Bounded admission queue: arrivals beyond this many waiters are shed
+  /// with kResourceExhausted instead of queueing. Runtime:
+  /// PRAGMA admission_queue_depth.
+  int admission_queue_depth = 64;
+  /// How long a queued query waits for admission before giving up with
+  /// kResourceExhausted. Runtime: PRAGMA admission_timeout_ms.
+  uint64_t admission_timeout_ms = 10000;
 };
 
 }  // namespace mallard

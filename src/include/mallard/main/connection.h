@@ -7,16 +7,19 @@
  * explicit transaction.
  * Thread safety: a Connection and everything derived from it belong to
  * one thread at a time (no internal locking) — open one per thread.
+ * The single exception is Interrupt(), which any thread may call to
+ * cancel the statement the owning thread is running.
  */
 #ifndef MALLARD_MAIN_CONNECTION_H_
 #define MALLARD_MAIN_CONNECTION_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "mallard/main/database.h"
+#include "mallard/main/plan_cache.h"
 #include "mallard/main/query_result.h"
 #include "mallard/parser/ast.h"
 #include "mallard/transaction/transaction.h"
@@ -29,6 +32,9 @@ class StreamingQueryResult;
 /// A connection: the unit of transactional context. Multiple connections
 /// (one per application thread) can operate on the same Database
 /// concurrently under MVCC — the paper's dashboard scenario (section 2).
+/// Each connection gets a session id; the scheduler multiplexes the
+/// worker pool fairly across sessions and the admission gate bounds how
+/// many statements execute at once.
 class Connection {
  public:
   explicit Connection(Database* db);
@@ -40,14 +46,15 @@ class Connection {
   /// Parses and executes `sql` (possibly multiple ';'-separated
   /// statements).
   ///
-  /// Single plannable statements (SELECT/INSERT/UPDATE/DELETE) are
-  /// transparently cached by SQL text: a repeated Query with the exact
-  /// same string reuses the cached physical plan (rewound via
-  /// PhysicalOperator::Reset()) and skips the parse-bind-plan pipeline —
-  /// ORMs get prepared-statement performance without code changes. A
-  /// catalog version change (DDL) triggers a transparent re-plan; the
-  /// cache holds at most kPlanCacheCapacity entries, evicted LRU.
-  /// `PRAGMA plan_cache=off` disables (and clears) it.
+  /// Single plannable statements (SELECT/INSERT/UPDATE/DELETE) go
+  /// through the Database's shared plan cache: literals are normalized
+  /// into parameter slots, so `WHERE id=7` and `WHERE id=9` — from any
+  /// connection — reuse one physical plan (rewound via
+  /// PhysicalOperator::Reset()) and skip the parse-bind-plan pipeline.
+  /// A catalog version change (DDL) triggers a transparent re-plan.
+  /// `PRAGMA plan_cache=off` bypasses it for this connection (and
+  /// clears the shared cache); `PRAGMA plan_cache_stats` reports the
+  /// counters.
   ///
   /// \param sql one or more SQL statements.
   /// \return the materialized result of the last statement, or the
@@ -56,13 +63,28 @@ class Connection {
   Result<std::unique_ptr<MaterializedQueryResult>> Query(
       const std::string& sql);
 
-  /// Number of entries currently in the plan cache (tests/benches).
-  idx_t PlanCacheSize() const { return plan_cache_.size(); }
+  /// Requests cancellation of the statement this connection is
+  /// currently running (or, if none is running, of the next one). The
+  /// statement stops at its next chunk/morsel boundary with
+  /// kInterrupted, releases its resources normally, and the connection
+  /// stays usable. The one Connection member safe to call from another
+  /// thread.
+  void Interrupt() { interrupt_.store(true, std::memory_order_relaxed); }
+
+  /// Number of entries currently in the Database's shared plan cache
+  /// (tests/benches).
+  idx_t PlanCacheSize() const { return db_->plan_cache().size(); }
 
   /// This connection's `PRAGMA threads` override for parallel operators
   /// (0 = follow the governor's budget). Other connections on the same
   /// Database are unaffected.
   int ThreadOverride() const { return thread_override_; }
+
+  /// The scheduler-fairness identity of this connection.
+  uint64_t session_id() const { return session_id_; }
+  /// Fair-share weight set by `PRAGMA priority` (low=1, normal=2,
+  /// high=4).
+  int priority_weight() const { return priority_weight_; }
 
   /// Executes a single SELECT and streams chunks as they are produced —
   /// the client application becomes the root of the plan (paper
@@ -96,7 +118,8 @@ class Connection {
       SQLStatement* stmt);
 
   /// The shared execute stage of the prepare-then-execute pipeline:
-  /// transaction setup (autocommit or explicit), chunk pull loop, and
+  /// admission slot, fair-share ticket, transaction setup (autocommit or
+  /// explicit), chunk pull loop with interrupt checks, and
   /// commit/rollback. Query, prepared Execute and CTAS all route here;
   /// the plan is borrowed, so prepared statements can re-run it.
   Result<std::unique_ptr<MaterializedQueryResult>> ExecutePhysicalPlan(
@@ -108,7 +131,8 @@ class Connection {
   /// Shared streaming stage: wraps a plan (owned or borrowed) in a
   /// StreamingQueryResult with autocommit handling. `lease` (if any) is
   /// held by the stream until it closes, letting the plan's owner detect
-  /// that a stream is still live.
+  /// that a stream is still live. The stream holds its admission slot
+  /// and fair-share ticket until Close.
   Result<std::unique_ptr<StreamingQueryResult>> StreamPlan(
       std::unique_ptr<PhysicalOperator> owned_plan, PhysicalOperator* plan,
       std::vector<std::string> names, std::vector<TypeId> types,
@@ -125,33 +149,57 @@ class Connection {
   Result<Transaction*> ActiveTransaction(bool* started);
   Status FinishAutocommit(bool started, bool success);
 
-  /// Plans a single already-parsed statement into a cached-plan entry
-  /// (no parameter slots — Query-path SQL carries literal values).
-  Result<std::unique_ptr<PreparedStatement>> PreparePlanned(
-      std::unique_ptr<SQLStatement> statement);
+  /// Fills the execution context every chunk-pull loop uses: txn,
+  /// engine services, thread override, fair-share ticket and the
+  /// interrupt flag.
+  void SetupContext(struct ExecutionContext* context, Transaction* txn,
+                    const QueryTicket* ticket);
 
-  static constexpr idx_t kPlanCacheCapacity = 64;
+  /// Acquires an admission slot (blocking/shedding per the controller).
+  /// The returned handle releases it; null when this connection already
+  /// holds one (nested execution, e.g. COPY TO's inner SELECT, rides
+  /// the outer slot — and cannot deadlock on it).
+  Result<std::shared_ptr<void>> AdmitSlot();
 
-  struct PlanCacheEntry {
-    std::unique_ptr<PreparedStatement> statement;
-    uint64_t last_used = 0;
-  };
+  /// Plans the normalized text of a cacheable statement into a
+  /// shared-cache entry: parameter slots are pre-typed from the
+  /// extracted literals, so binding reproduces the cold plan's literal
+  /// coercions exactly.
+  Result<std::unique_ptr<SharedPlanCache::Entry>> PlanNormalized(
+      const NormalizedQuery& normalized);
+
+  /// Executes a checked-out cache entry with `literals` bound to its
+  /// parameter slots (re-planning first if DDL moved the catalog
+  /// version) and releases it.
+  Result<std::unique_ptr<MaterializedQueryResult>> ExecuteCachedEntry(
+      SharedPlanCache::Entry* entry, const std::vector<Value>& literals);
 
   Database* db_;
   std::unique_ptr<Transaction> transaction_;  // explicit transaction
   // Per-connection PRAGMA threads override; 0 = governor budget.
   int thread_override_ = 0;
 
-  // Transparent per-connection plan cache for Connection::Query,
-  // keyed by exact SQL text (LRU, bounded).
-  std::unordered_map<std::string, PlanCacheEntry> plan_cache_;
-  uint64_t plan_cache_tick_ = 0;
+  uint64_t session_id_;
+  // PRAGMA priority: weight divides the thread budget, class orders the
+  // admission queue (0 = low, 1 = normal, 2 = high).
+  int priority_weight_ = 2;
+  int priority_class_ = 1;
+  // Admission slots this connection currently holds (a running
+  // statement, an open stream); nested executions skip re-admission.
+  int admission_depth_ = 0;
+
+  // Set by Interrupt() from any thread; checked at chunk/morsel
+  // boundaries, cleared when the statement finishes.
+  std::atomic<bool> interrupt_{false};
+
   bool plan_cache_enabled_ = true;
 };
 
 /// Streaming result: pulls chunks straight from the physical plan. The
 /// plan is either owned (ad-hoc SendQuery) or borrowed from a
-/// PreparedStatement, which must then outlive this result.
+/// PreparedStatement, which must then outlive this result. While open
+/// it holds an admission slot and counts as an active query for fair
+/// scheduling.
 class StreamingQueryResult final : public QueryResult {
  public:
   StreamingQueryResult(Connection* connection,
@@ -159,14 +207,18 @@ class StreamingQueryResult final : public QueryResult {
                        PhysicalOperator* plan, std::vector<std::string> names,
                        std::vector<TypeId> types, bool owns_transaction,
                        std::unique_ptr<Transaction> txn,
-                       std::shared_ptr<void> lease = nullptr);
+                       std::shared_ptr<void> lease = nullptr,
+                       std::unique_ptr<QueryTicket> ticket = nullptr,
+                       std::shared_ptr<void> admission = nullptr);
   ~StreamingQueryResult() override;
 
   /// Next chunk or nullptr at the end. The returned chunk is the
-  /// engine's own buffer — zero-copy hand-over.
+  /// engine's own buffer — zero-copy hand-over. Interrupt() surfaces
+  /// here as kInterrupted.
   Result<std::unique_ptr<DataChunk>> Fetch() override;
 
-  /// Finishes the stream early (commits the autocommit transaction).
+  /// Finishes the stream early (commits the autocommit transaction,
+  /// releases the admission slot and fair-share ticket).
   Status Close();
 
  private:
@@ -175,7 +227,9 @@ class StreamingQueryResult final : public QueryResult {
   PhysicalOperator* plan_;
   bool owns_transaction_;
   std::unique_ptr<Transaction> txn_;
-  std::shared_ptr<void> lease_;  // released on Close()
+  std::shared_ptr<void> lease_;               // released on Close()
+  std::unique_ptr<QueryTicket> ticket_;       // released on Close()
+  std::shared_ptr<void> admission_;           // released on Close()
   bool done_ = false;
 };
 

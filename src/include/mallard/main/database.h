@@ -10,6 +10,7 @@
 #ifndef MALLARD_MAIN_DATABASE_H_
 #define MALLARD_MAIN_DATABASE_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -18,6 +19,7 @@
 #include "mallard/common/result.h"
 #include "mallard/governor/resource_governor.h"
 #include "mallard/main/config.h"
+#include "mallard/main/plan_cache.h"
 #include "mallard/parallel/task_scheduler.h"
 #include "mallard/storage/block_manager.h"
 #include "mallard/storage/buffer_manager.h"
@@ -65,6 +67,18 @@ class Database {
   /// docs/CONCURRENCY.md. Thread-safe.
   TaskScheduler& scheduler() { return *scheduler_; }
 
+  /// The admission gate every statement passes before executing.
+  /// Thread-safe.
+  AdmissionController& admission() { return *admission_; }
+
+  /// The cross-connection shared plan cache behind Connection::Query.
+  /// Thread-safe.
+  SharedPlanCache& plan_cache() { return plan_cache_; }
+
+  /// Hands each new Connection a unique session id (the unit of fair
+  /// scheduling and round-robin task pickup). Thread-safe.
+  uint64_t NextSessionId() { return next_session_id_.fetch_add(1); }
+
   /// Writes an online checkpoint and truncates the WAL. Commits are
   /// briefly blocked (they queue on the commit gate); readers and
   /// in-flight statements proceed on their MVCC snapshots throughout.
@@ -83,6 +97,9 @@ class Database {
   std::unique_ptr<ResourceGovernor> governor_;
   std::unique_ptr<BlockManager> blocks_;
   std::unique_ptr<WriteAheadLog> wal_;
+  std::unique_ptr<AdmissionController> admission_;
+  SharedPlanCache plan_cache_;
+  std::atomic<uint64_t> next_session_id_{1};
   std::mutex checkpoint_lock_;
   // Declared last: destroyed first, so pool threads are gone before any
   // engine state they might reference.

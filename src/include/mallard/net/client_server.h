@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,40 +23,68 @@ namespace net {
 /// in-process chunk hand-over avoids entirely.
 enum class Protocol : uint8_t { kText = 0, kBinaryColumnar = 1 };
 
-/// A query server bound to one end of a socket pair, executing SQL
-/// against an embedded Database on behalf of a simulated remote client.
+/// A multi-client query server: each client hangs off its own socket
+/// pair and is served by its own thread holding a persistent Connection
+/// (so per-client session state — priority, thread pins, transactions —
+/// and the shared plan cache behave exactly as for N embedded threads).
+/// Concurrent clients exercise the shared scheduler: their statements
+/// are admitted, ticketed and scheduled fairly like any other
+/// connections on the Database.
 class QueryServer {
  public:
-  /// Spawns the server thread; `client_fd()` is the application's end.
+  /// Spawns the server with one client slot; `client_fd()` is the
+  /// application's end of it.
   static Result<std::unique_ptr<QueryServer>> Start(Database* db,
                                                     Protocol protocol);
+  /// Orderly shutdown: closes every client socket and joins every
+  /// serving thread (in-flight statements finish first).
   ~QueryServer();
 
   QueryServer(const QueryServer&) = delete;
   QueryServer& operator=(const QueryServer&) = delete;
 
-  int client_fd() const { return client_fd_; }
+  /// The first client's socket end.
+  int client_fd() const;
 
-  /// Bytes written to the socket since start (transfer volume metric).
+  /// Adds another concurrently served client (own thread, own
+  /// persistent Connection) and returns the application's socket end.
+  /// Thread-safe.
+  Result<int> AddClient();
+
+  /// Clients currently served. Thread-safe.
+  size_t client_count() const;
+
+  /// Bytes written to all sockets since start (transfer volume metric).
   uint64_t bytes_sent() const { return bytes_sent_.load(); }
 
  private:
-  QueryServer(Database* db, Protocol protocol, int server_fd, int client_fd);
-  void Run();
-  Status ServeOne(const std::string& sql);
-  Status SendAll(const void* data, size_t len);
+  struct ClientSession {
+    int server_fd = -1;
+    int client_fd = -1;
+    std::thread thread;
+  };
+
+  QueryServer(Database* db, Protocol protocol)
+      : db_(db), protocol_(protocol) {}
+  /// Creates a socket pair + serving thread; thread-safe.
+  Result<ClientSession*> NewSession();
+  void Run(ClientSession* session);
+  Status ServeOne(Connection* con, ClientSession* session,
+                  const std::string& sql);
+  Status SendAll(ClientSession* session, const void* data, size_t len);
 
   Database* db_;
   Protocol protocol_;
-  int server_fd_;
-  int client_fd_;
-  std::thread thread_;
-  // Written by the server thread, read by the benchmarking thread.
+  // Guards sessions_ growth; serving threads only touch their own
+  // session (pointers stay stable under push_back of unique_ptrs).
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<ClientSession>> sessions_;
+  // Written by serving threads, read by the benchmarking thread.
   std::atomic<uint64_t> bytes_sent_{0};
 };
 
 /// Client side: sends SQL, deserializes the response into a materialized
-/// result.
+/// result. One instance per socket; use from one thread at a time.
 class QueryClient {
  public:
   QueryClient(int fd, Protocol protocol) : fd_(fd), protocol_(protocol) {}

@@ -32,9 +32,12 @@ class TableMorselSource {
   /// row groups appended later hold rows that are invisible to the
   /// running transaction's snapshot anyway. `thread_limit` > 0 (the
   /// connection's PRAGMA threads override) pins the budget; otherwise
-  /// the governor's reactive budget is consulted live.
+  /// the governor's reactive budget — further clamped to the query's
+  /// fair share when `scheduler`+`ticket` are given — is consulted live,
+  /// so a running scan sheds workers the moment a second query arrives.
   TableMorselSource(idx_t row_group_count, const ResourceGovernor* governor,
-                    int thread_limit);
+                    int thread_limit, const TaskScheduler* scheduler = nullptr,
+                    const QueryTicket* ticket = nullptr);
 
   /// Claims the next morsel for `worker`. Returns false when the table
   /// is exhausted — or, for workers other than 0, when the thread
@@ -60,6 +63,8 @@ class TableMorselSource {
   idx_t row_group_count_;
   const ResourceGovernor* governor_;
   int thread_limit_;
+  const TaskScheduler* scheduler_;
+  const QueryTicket* ticket_;
   std::atomic<idx_t> claimed_[kMaxWorkers] = {};
 };
 
@@ -97,11 +102,13 @@ struct ParallelRun {
 };
 
 /// Resolves how wide a parallel phase launched right now may fan out:
-/// the connection's PRAGMA threads override or the governor's effective
-/// budget, clamped to TableMorselSource::kMaxWorkers and to
-/// `item_count` (morsels, partitions, ...), floored at 1. The single
-/// definition of the launch-width contract — every parallel phase
-/// (scan pipelines, partition-task fan-out) resolves through it.
+/// the connection's PRAGMA threads override, or the governor's effective
+/// budget clamped to the query's fair share of the pool (when the
+/// context carries a QueryTicket), clamped to
+/// TableMorselSource::kMaxWorkers and to `item_count` (morsels,
+/// partitions, ...), floored at 1. The single definition of the
+/// launch-width contract — every parallel phase (scan pipelines,
+/// partition-task fan-out) resolves through it.
 int ResolveLaunchWidth(const ExecutionContext* context, idx_t item_count);
 
 /// Decides the degree of parallelism for sinking `subtree`:

@@ -1,22 +1,37 @@
 /**
  * @file task_scheduler.h
- * @brief TaskScheduler: the per-Database worker pool behind morsel-driven
- *        parallel execution.
+ * @brief TaskScheduler: the shared per-Database worker pool behind
+ *        morsel-driven parallel execution — multiplexed across every
+ *        concurrently running query.
  *
  * Sizing: the pool never holds more worker threads than the governor's
  * thread cap demanded so far, and threads are spawned lazily on the first
  * parallel Run — a Database that only ever runs serial queries never
  * creates a single thread (the embedded engine stays invisible to hosts
  * that don't need parallelism).
+ *
+ * Fairness: each executing query registers a QueryTicket (session id +
+ * priority weight). Pool jobs are queued per session and workers pick
+ * round-robin across sessions, so a long scan that enqueued fifty jobs
+ * cannot starve the point query that enqueued one. FairThreadShare()
+ * divides the governor's thread budget across active queries by weight;
+ * morsel sources re-read it at every morsel boundary, so a running query
+ * sheds surplus workers the moment a second query arrives.
+ *
  * Thread safety: Run may be called concurrently from multiple
- * connections; jobs share one queue and one pool.
+ * connections; jobs share one pool. Tickets are registered/dropped from
+ * any thread.
  */
 #ifndef MALLARD_PARALLEL_TASK_SCHEDULER_H_
 #define MALLARD_PARALLEL_TASK_SCHEDULER_H_
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -26,6 +41,40 @@
 namespace mallard {
 
 class ResourceGovernor;
+class TaskScheduler;
+
+/// RAII registration of one executing query with the scheduler: while
+/// alive, the query counts toward the fair-share divisor and its pool
+/// jobs are queued under `session_id`. Destroying it (query finished,
+/// success or error) returns its thread share to the others.
+class QueryTicket {
+ public:
+  ~QueryTicket();
+
+  QueryTicket(const QueryTicket&) = delete;
+  QueryTicket& operator=(const QueryTicket&) = delete;
+
+  uint64_t session_id() const { return session_id_; }
+  /// Priority weight (PRAGMA priority: low=1, normal=2, high=4).
+  int weight() const { return weight_; }
+
+ private:
+  friend class TaskScheduler;
+  QueryTicket(TaskScheduler* scheduler, uint64_t session_id, int weight)
+      : scheduler_(scheduler), session_id_(session_id), weight_(weight) {}
+
+  TaskScheduler* scheduler_;
+  uint64_t session_id_;
+  int weight_;
+};
+
+/// Counters exposed via PRAGMA scheduler_stats.
+struct SchedulerStats {
+  uint64_t tasks_executed = 0;  ///< pool jobs run to completion
+  uint64_t runs = 0;            ///< fork-join Run() invocations
+  int active_queries = 0;       ///< live QueryTickets right now
+  int pool_size = 0;            ///< worker threads alive
+};
 
 /// Fork-join scheduler for morsel-driven pipelines. A parallel operator
 /// calls Run(n, task); the calling thread becomes worker 0 and up to
@@ -43,23 +92,45 @@ class TaskScheduler {
   TaskScheduler(const TaskScheduler&) = delete;
   TaskScheduler& operator=(const TaskScheduler&) = delete;
 
+  /// Registers one executing query for fair scheduling. The ticket must
+  /// not outlive the scheduler (Database owns both; Connection holds the
+  /// ticket only for the duration of a statement / open stream).
+  std::unique_ptr<QueryTicket> RegisterQuery(uint64_t session_id, int weight);
+
+  /// Worker threads this query may use right now: the governor budget
+  /// divided across active queries proportionally to ticket weight,
+  /// floored at 1 (every query always makes progress) and capped at the
+  /// full budget. With no ticket, or when this is the only active query,
+  /// the full budget. Morsel sources re-read this at every morsel
+  /// boundary — it is the drain point of inter-query fairness.
+  int FairThreadShare(const QueryTicket* ticket) const;
+
   /// Runs `task(worker)` for worker in [0, n), blocking until every
   /// worker returns; n = min(requested_threads, governor budget at
-  /// launch) when `governed`, or exactly requested_threads when the
-  /// caller pinned the width (PRAGMA threads override). Worker 0 runs
-  /// on the calling thread, so Run(1, task) degenerates to a plain call
-  /// with no synchronization. Returns the first non-OK status any
-  /// worker produced.
+  /// launch, fair share of `ticket` if given) when `governed`, or
+  /// exactly requested_threads when the caller pinned the width (PRAGMA
+  /// threads override). Worker 0 runs on the calling thread, so
+  /// Run(1, task) degenerates to a plain call with no synchronization.
+  /// Pool jobs are tagged with the ticket's session; workers drain
+  /// sessions round-robin. Returns the first non-OK status any worker
+  /// produced.
   ///
   /// Tasks must not call Run themselves (no nested parallelism): a task
   /// blocking in an inner Run could deadlock the pool.
   Status Run(int requested_threads, const std::function<Status(int)>& task,
-             bool governed = true);
+             bool governed = true, const QueryTicket* ticket = nullptr);
 
   /// Worker threads currently alive in the pool (tests/introspection).
   int pool_size() const;
 
+  /// Live QueryTickets right now (tests/PRAGMA scheduler_stats).
+  int active_queries() const { return active_queries_.load(); }
+
+  SchedulerStats GetStats() const;
+
  private:
+  friend class QueryTicket;
+
   struct RunState {
     std::mutex mutex;
     std::condition_variable done;
@@ -67,16 +138,30 @@ class TaskScheduler {
     Status first_error;
   };
 
+  void Unregister(const QueryTicket* ticket);
+
   /// Grows the pool to at least `count` threads. Caller holds mutex_.
   void EnsureWorkers(int count);
   void WorkerLoop();
+  /// Pops the next job round-robin across sessions. Caller holds mutex_;
+  /// returns false when no job is queued.
+  bool PopJob(std::function<void()>* job);
 
   ResourceGovernor* governor_;
   mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  /// Per-session job queues (FIFO within a session). An ordered map so
+  /// round-robin "next session after the cursor" is a lower_bound.
+  std::map<uint64_t, std::deque<std::function<void()>>> queues_;
+  size_t queued_jobs_ = 0;
+  uint64_t rr_cursor_ = 0;  ///< session served last; next pick is after it
   bool shutdown_ = false;
+
+  std::atomic<int> active_queries_{0};
+  std::atomic<int> active_weight_{0};
+  std::atomic<uint64_t> tasks_executed_{0};
+  std::atomic<uint64_t> runs_{0};
 };
 
 }  // namespace mallard

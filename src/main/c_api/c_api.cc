@@ -158,6 +158,18 @@ void mallard_disconnect(mallard_connection** connection) {
   *connection = nullptr;
 }
 
+mallard_state mallard_interrupt(mallard_connection* connection) {
+  try {
+    if (connection == nullptr || !ConnectionLive(connection->state)) {
+      return MALLARD_ERROR;
+    }
+    connection->state->connection->Interrupt();
+    return MALLARD_SUCCESS;
+  } catch (...) {
+    return MALLARD_ERROR;
+  }
+}
+
 mallard_state mallard_query(mallard_connection* connection, const char* sql,
                             mallard_result** out_result) {
   if (out_result == nullptr) return MALLARD_ERROR;

@@ -13,7 +13,8 @@
 
 namespace mallard {
 
-Connection::Connection(Database* db) : db_(db) {}
+Connection::Connection(Database* db)
+    : db_(db), session_id_(db->NextSessionId()) {}
 
 Connection::~Connection() {
   if (transaction_) {
@@ -69,6 +70,27 @@ Status Connection::FinishAutocommit(bool started, bool success) {
   return status;
 }
 
+void Connection::SetupContext(ExecutionContext* context, Transaction* txn,
+                              const QueryTicket* ticket) {
+  context->txn = txn;
+  context->buffers = &db_->buffers();
+  context->governor = &db_->governor();
+  context->scheduler = &db_->scheduler();
+  context->thread_limit = thread_override_;
+  context->ticket = ticket;
+  context->interrupt = &interrupt_;
+}
+
+Result<std::shared_ptr<void>> Connection::AdmitSlot() {
+  if (admission_depth_ > 0) return std::shared_ptr<void>();
+  MALLARD_RETURN_NOT_OK(db_->admission().Admit(priority_class_));
+  admission_depth_++;
+  return std::shared_ptr<void>(static_cast<void*>(this), [this](void*) {
+    admission_depth_--;
+    db_->admission().Release();
+  });
+}
+
 namespace {
 bool IsPlanCacheable(StatementType type) {
   switch (type) {
@@ -86,44 +108,34 @@ bool IsPlanCacheable(StatementType type) {
 Result<std::unique_ptr<MaterializedQueryResult>> Connection::Query(
     const std::string& sql) {
   if (plan_cache_enabled_) {
-    auto it = plan_cache_.find(sql);
-    if (it != plan_cache_.end()) {
-      // Cache hit: skip parse-bind-plan entirely; the statement rewinds
-      // its plan (and transparently re-plans after DDL) on Execute.
-      it->second.last_used = ++plan_cache_tick_;
-      auto result = it->second.statement->Execute();
-      if (!result.ok() ||
-          !it->second.statement->ClearExecutionState().ok()) {
-        // A failing entry (e.g. its table was dropped) is not worth
-        // keeping; the next Query re-plans from scratch.
-        plan_cache_.erase(it);
+    NormalizedQuery normalized = NormalizeQueryText(sql);
+    if (normalized.cacheable) {
+      SharedPlanCache& cache = db_->plan_cache();
+      bool busy = false;
+      SharedPlanCache::Entry* entry = cache.Acquire(normalized.key, &busy);
+      if (entry) {
+        return ExecuteCachedEntry(entry, normalized.literals);
       }
-      return result;
+      if (!busy) {
+        auto planned = PlanNormalized(normalized);
+        if (planned.ok()) {
+          entry = cache.Insert(std::move(*planned));
+          return ExecuteCachedEntry(entry, normalized.literals);
+        }
+        // Planning the normalized text failed — either the error is
+        // real (missing table: the uncached path below reproduces it
+        // with the original text) or the normalizer misjudged a literal
+        // position; both execute uncached.
+      }
+      // A busy entry means another connection is executing this exact
+      // plan right now: plan fresh, uncached, instead of waiting.
+    } else {
+      db_->plan_cache().RecordUncacheable();
     }
   }
   MALLARD_ASSIGN_OR_RETURN(auto statements, Parser::Parse(sql));
   if (statements.empty()) {
     return Status::InvalidArgument("no statements to execute");
-  }
-  if (plan_cache_enabled_ && statements.size() == 1 &&
-      IsPlanCacheable(statements[0]->type)) {
-    MALLARD_ASSIGN_OR_RETURN(auto prepared,
-                             PreparePlanned(std::move(statements[0])));
-    auto result = prepared->Execute();
-    // Idle cached plans must not pin their last execution's operator
-    // state (join build tables live in non-spillable buffer segments).
-    if (result.ok() && prepared->ClearExecutionState().ok()) {
-      if (plan_cache_.size() >= kPlanCacheCapacity) {
-        auto victim = plan_cache_.begin();
-        for (auto e = plan_cache_.begin(); e != plan_cache_.end(); ++e) {
-          if (e->second.last_used < victim->second.last_used) victim = e;
-        }
-        plan_cache_.erase(victim);
-      }
-      plan_cache_.emplace(
-          sql, PlanCacheEntry{std::move(prepared), ++plan_cache_tick_});
-    }
-    return result;
   }
   std::unique_ptr<MaterializedQueryResult> result;
   for (auto& stmt : statements) {
@@ -132,33 +144,87 @@ Result<std::unique_ptr<MaterializedQueryResult>> Connection::Query(
   return result;
 }
 
-Result<std::unique_ptr<PreparedStatement>> Connection::PreparePlanned(
-    std::unique_ptr<SQLStatement> statement) {
-  // Planned without parameter data: a stray `?` placeholder fails with
-  // the same binder error the uncached Query path produced.
+Result<std::unique_ptr<SharedPlanCache::Entry>> Connection::PlanNormalized(
+    const NormalizedQuery& normalized) {
+  MALLARD_ASSIGN_OR_RETURN(auto statements,
+                           Parser::Parse(normalized.normalized_sql));
+  if (statements.size() != 1 || !IsPlanCacheable(statements[0]->type)) {
+    return Status::InvalidArgument("normalized statement is not cacheable");
+  }
+  auto entry = std::make_unique<SharedPlanCache::Entry>();
+  entry->key = normalized.key;
+  entry->parameters = std::make_shared<BoundParameterData>();
+  entry->parameters->EnsureSize(normalized.literals.size());
+  // Pre-typing each slot with its literal's parsed type makes the
+  // binder coerce exactly as it would have with the literal in place —
+  // `id = 7` and `id = 7.5` already landed on different cache keys.
+  for (idx_t i = 0; i < normalized.literals.size(); i++) {
+    entry->parameters->types[i] = normalized.literals[i].type();
+  }
   Planner planner(&db_->catalog(), &db_->governor());
-  uint64_t catalog_version = db_->catalog().version();
-  MALLARD_ASSIGN_OR_RETURN(auto plan, planner.PlanStatement(*statement));
-  return std::unique_ptr<PreparedStatement>(new PreparedStatement(
-      this, std::move(statement), std::make_shared<BoundParameterData>(),
-      std::move(plan), catalog_version));
+  planner.SetParameterData(entry->parameters);
+  entry->catalog_version = db_->catalog().version();
+  MALLARD_ASSIGN_OR_RETURN(entry->plan,
+                           planner.PlanStatement(*statements[0]));
+  entry->statement = std::move(statements[0]);
+  return entry;
+}
+
+Result<std::unique_ptr<MaterializedQueryResult>>
+Connection::ExecuteCachedEntry(SharedPlanCache::Entry* entry,
+                               const std::vector<Value>& literals) {
+  SharedPlanCache& cache = db_->plan_cache();
+  uint64_t current_version = db_->catalog().version();
+  if (entry->catalog_version != current_version) {
+    // DDL since planning: re-plan in place from the stored AST, like
+    // PreparedStatement::EnsureCurrentPlan. A dropped table surfaces
+    // here as a binder error and the entry dies.
+    cache.RecordInvalidation();
+    Planner planner(&db_->catalog(), &db_->governor());
+    planner.SetParameterData(entry->parameters);
+    auto plan = planner.PlanStatement(*entry->statement);
+    if (!plan.ok()) {
+      cache.Release(entry, /*keep=*/false);
+      return plan.status();
+    }
+    entry->plan = std::move(*plan);
+    entry->catalog_version = current_version;
+  }
+  for (idx_t i = 0; i < literals.size(); i++) {
+    entry->parameters->values[i] = literals[i];
+    entry->parameters->is_set[i] = true;
+  }
+  Status rewind = entry->plan.plan->Reset();
+  if (!rewind.ok()) {
+    cache.Release(entry, /*keep=*/false);
+    return rewind;
+  }
+  auto result = ExecutePhysicalPlan(entry->plan.plan.get(), entry->plan.names,
+                                    entry->plan.types);
+  // Idle cached plans must not pin their last execution's operator
+  // state (join build tables live in non-spillable buffer segments).
+  Status clear = entry->plan.plan->Reset();
+  cache.Release(entry, result.ok() && clear.ok());
+  return result;
 }
 
 Result<std::unique_ptr<MaterializedQueryResult>>
 Connection::ExecutePhysicalPlan(PhysicalOperator* plan,
                                 const std::vector<std::string>& names,
                                 const std::vector<TypeId>& types) {
+  MALLARD_ASSIGN_OR_RETURN(auto slot, AdmitSlot());
+  auto ticket = db_->scheduler().RegisterQuery(session_id_, priority_weight_);
   bool started = false;
   MALLARD_ASSIGN_OR_RETURN(Transaction * txn, ActiveTransaction(&started));
   ExecutionContext context;
-  context.txn = txn;
-  context.buffers = &db_->buffers();
-  context.governor = &db_->governor();
-  context.scheduler = &db_->scheduler();
-  context.thread_limit = thread_override_;
+  SetupContext(&context, txn, ticket.get());
   std::vector<std::unique_ptr<DataChunk>> chunks;
   Status status = Status::OK();
   while (true) {
+    // Chunk-boundary interrupt check: even a plan whose operators never
+    // look at the flag (VALUES, tiny scans) cancels between chunks.
+    status = context.CheckInterrupt();
+    if (!status.ok()) break;
     auto chunk = std::make_unique<DataChunk>();
     chunk->Initialize(types);
     status = plan->GetChunk(&context, chunk.get());
@@ -166,6 +232,9 @@ Connection::ExecutePhysicalPlan(PhysicalOperator* plan,
     if (chunk->size() == 0) break;
     chunks.push_back(std::move(chunk));
   }
+  // One Interrupt() cancels at most one statement: the flag is consumed
+  // when the statement it hit (or outlived) completes.
+  interrupt_.store(false, std::memory_order_relaxed);
   if (!status.ok()) {
     if (status.IsTransactionConflict()) db_->transactions().CountConflict();
     Status finish = FinishAutocommit(started, false);
@@ -222,6 +291,9 @@ Result<std::unique_ptr<MaterializedQueryResult>> Connection::ExecuteStatement(
         // CTAS: plan the select, create the table, insert.
         MALLARD_ASSIGN_OR_RETURN(auto sub,
                                  planner.PlanSelect(*create.as_select));
+        MALLARD_ASSIGN_OR_RETURN(auto slot, AdmitSlot());
+        auto ticket =
+            db_->scheduler().RegisterQuery(session_id_, priority_weight_);
         std::vector<ColumnDefinition> columns;
         for (idx_t i = 0; i < sub.names.size(); i++) {
           columns.emplace_back(sub.names[i], sub.types[i]);
@@ -236,31 +308,28 @@ Result<std::unique_ptr<MaterializedQueryResult>> Connection::ExecuteStatement(
         MALLARD_ASSIGN_OR_RETURN(DataTable * table,
                                  db_->catalog().GetTable(create.name));
         ExecutionContext context;
-        context.txn = txn;
-        context.buffers = &db_->buffers();
-        context.governor = &db_->governor();
-        context.scheduler = &db_->scheduler();
-        context.thread_limit = thread_override_;
+        SetupContext(&context, txn, ticket.get());
         DataChunk chunk;
         chunk.Initialize(sub.types);
         int64_t inserted = 0;
+        Status status = Status::OK();
         while (true) {
-          Status s = sub.plan->GetChunk(&context, &chunk);
-          if (!s.ok()) {
-            Status f = FinishAutocommit(started, false);
-            (void)f;
-            return s;
-          }
+          status = context.CheckInterrupt();
+          if (!status.ok()) break;
+          status = sub.plan->GetChunk(&context, &chunk);
+          if (!status.ok()) break;
           if (chunk.size() == 0) break;
-          Status s2 = table->Append(txn, chunk);
-          if (!s2.ok()) {
-            Status f = FinishAutocommit(started, false);
-            (void)f;
-            return s2;
-          }
+          status = table->Append(txn, chunk);
+          if (!status.ok()) break;
           txn->wal_records().push_back(
               wal_record::Append(create.name, chunk));
           inserted += chunk.size();
+        }
+        interrupt_.store(false, std::memory_order_relaxed);
+        if (!status.ok()) {
+          Status finish = FinishAutocommit(started, false);
+          (void)finish;
+          return status;
         }
         MALLARD_RETURN_NOT_OK(FinishAutocommit(started, true));
         return SingleValueResult("count", Value::BigInt(inserted));
@@ -381,9 +450,40 @@ Result<std::unique_ptr<MaterializedQueryResult>> Connection::ExecuteStatement(
   return Status::NotImplemented("statement type not supported");
 }
 
+namespace {
+/// Builds a one-row result from parallel name/value arrays (the shape
+/// every *_stats PRAGMA returns).
+std::unique_ptr<MaterializedQueryResult> CountersResult(
+    std::vector<std::string> names, const std::vector<uint64_t>& values) {
+  auto chunk = std::make_unique<DataChunk>();
+  std::vector<TypeId> types(names.size(), TypeId::kBigInt);
+  chunk->Initialize(types);
+  for (idx_t c = 0; c < names.size(); c++) {
+    chunk->SetValue(c, 0, Value::BigInt(static_cast<int64_t>(values[c])));
+  }
+  chunk->SetCardinality(1);
+  std::vector<std::unique_ptr<DataChunk>> chunks;
+  chunks.push_back(std::move(chunk));
+  return std::make_unique<MaterializedQueryResult>(
+      std::move(names), std::move(types), std::move(chunks));
+}
+}  // namespace
+
 Result<std::unique_ptr<MaterializedQueryResult>> Connection::ExecutePragma(
     const PragmaStatement& stmt) {
   auto ok_result = [] { return SingleValueResult("ok", Value::Boolean(true)); };
+  auto parse_int = [](const std::string& text, long min_value,
+                      long max_value, long* out) -> bool {
+    char* end = nullptr;
+    errno = 0;
+    long v = std::strtol(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE ||
+        v < min_value || v > max_value) {
+      return false;
+    }
+    *out = v;
+    return true;
+  };
   std::string name = StringUtil::Lower(stmt.name);
   if (name == "memory_limit") {
     if (stmt.value.empty()) {
@@ -408,28 +508,14 @@ Result<std::unique_ptr<MaterializedQueryResult>> Connection::ExecutePragma(
     // One row of BufferManager counters: how much is resident, how much
     // has ever spilled, and how much sits in the temp file right now.
     BufferManagerStats stats = db_->buffers().GetStats();
-    auto chunk = std::make_unique<DataChunk>();
-    std::vector<std::string> names = {
-        "memory_used",    "memory_limit",      "peak_memory",
-        "spill_count",    "spilled_bytes",     "unspill_count",
-        "eviction_count", "spilled_bytes_now", "spill_compressed_count",
-        "spill_saved_bytes"};
-    std::vector<TypeId> types(names.size(), TypeId::kBigInt);
-    chunk->Initialize(types);
-    const uint64_t values[] = {
-        stats.memory_used,    stats.memory_limit,
-        stats.peak_memory,    stats.spill_count,
-        stats.spilled_bytes,  stats.unspill_count,
-        stats.eviction_count, stats.spilled_bytes_now,
-        stats.spill_compressed_count, stats.spill_saved_bytes};
-    for (idx_t c = 0; c < names.size(); c++) {
-      chunk->SetValue(c, 0, Value::BigInt(static_cast<int64_t>(values[c])));
-    }
-    chunk->SetCardinality(1);
-    std::vector<std::unique_ptr<DataChunk>> chunks;
-    chunks.push_back(std::move(chunk));
-    return std::make_unique<MaterializedQueryResult>(
-        std::move(names), std::move(types), std::move(chunks));
+    return CountersResult(
+        {"memory_used", "memory_limit", "peak_memory", "spill_count",
+         "spilled_bytes", "unspill_count", "eviction_count",
+         "spilled_bytes_now", "spill_compressed_count", "spill_saved_bytes"},
+        {stats.memory_used, stats.memory_limit, stats.peak_memory,
+         stats.spill_count, stats.spilled_bytes, stats.unspill_count,
+         stats.eviction_count, stats.spilled_bytes_now,
+         stats.spill_compressed_count, stats.spill_saved_bytes});
   }
   if (name == "storage_stats") {
     // One row of compressed-storage counters across every table: how
@@ -449,34 +535,16 @@ Result<std::unique_ptr<MaterializedQueryResult>> Connection::ExecutePragma(
       total.dict_entries += s.dict_entries;
       total.dict_rows += s.dict_rows;
     });
-    auto chunk = std::make_unique<DataChunk>();
-    std::vector<std::string> names = {
-        "segments_total", "segments_plain", "segments_dict",
-        "segments_for",   "logical_bytes",  "encoded_bytes",
-        "dict_entries",   "dict_rows",      "encode_count",
-        "decode_count",   "code_filter_windows"};
-    std::vector<TypeId> types(names.size(), TypeId::kBigInt);
-    chunk->Initialize(types);
-    const uint64_t values[] = {
-        total.segments_total,
-        total.segments_plain,
-        total.segments_dict,
-        total.segments_for,
-        total.logical_bytes,
-        total.encoded_bytes,
-        total.dict_entries,
-        total.dict_rows,
-        SegmentEncodingCounters::encodes.load(),
-        SegmentEncodingCounters::decodes.load(),
-        SegmentEncodingCounters::filter_windows.load()};
-    for (idx_t c = 0; c < names.size(); c++) {
-      chunk->SetValue(c, 0, Value::BigInt(static_cast<int64_t>(values[c])));
-    }
-    chunk->SetCardinality(1);
-    std::vector<std::unique_ptr<DataChunk>> chunks;
-    chunks.push_back(std::move(chunk));
-    return std::make_unique<MaterializedQueryResult>(
-        std::move(names), std::move(types), std::move(chunks));
+    return CountersResult(
+        {"segments_total", "segments_plain", "segments_dict", "segments_for",
+         "logical_bytes", "encoded_bytes", "dict_entries", "dict_rows",
+         "encode_count", "decode_count", "code_filter_windows"},
+        {total.segments_total, total.segments_plain, total.segments_dict,
+         total.segments_for, total.logical_bytes, total.encoded_bytes,
+         total.dict_entries, total.dict_rows,
+         SegmentEncodingCounters::encodes.load(),
+         SegmentEncodingCounters::decodes.load(),
+         SegmentEncodingCounters::filter_windows.load()});
   }
   if (name == "threads") {
     if (stmt.value.empty()) {
@@ -493,13 +561,10 @@ Result<std::unique_ptr<MaterializedQueryResult>> Connection::ExecutePragma(
                          TableMorselSource::kMaxWorkers);
       return SingleValueResult("threads", Value::BigInt(effective));
     }
-    char* end = nullptr;
-    errno = 0;
-    long threads = std::strtol(stmt.value.c_str(), &end, 10);
+    long threads = 0;
     // Full-string parse, no overflow, bounded: anything beyond the
     // morsel source's worker ceiling is meaningless as a pin.
-    if (end == stmt.value.c_str() || *end != '\0' || errno == ERANGE ||
-        threads < 0 || threads > TableMorselSource::kMaxWorkers) {
+    if (!parse_int(stmt.value, 0, TableMorselSource::kMaxWorkers, &threads)) {
       return Status::InvalidArgument(
           "threads must be 1.." +
           std::to_string(TableMorselSource::kMaxWorkers) +
@@ -510,6 +575,102 @@ Result<std::unique_ptr<MaterializedQueryResult>> Connection::ExecutePragma(
     // governor's (possibly reactive) budget. 0 clears the override.
     thread_override_ = static_cast<int>(threads);
     return ok_result();
+  }
+  if (name == "priority") {
+    if (stmt.value.empty()) {
+      // Readback: this connection's fair-share class.
+      const char* level = priority_class_ == 0
+                              ? "low"
+                              : (priority_class_ == 2 ? "high" : "normal");
+      return SingleValueResult("priority", Value::Varchar(level));
+    }
+    // Weight divides the scheduler's thread budget across concurrent
+    // queries; class orders the admission queue. Takes effect on this
+    // connection's next statement.
+    if (StringUtil::CIEquals(stmt.value, "low")) {
+      priority_weight_ = 1;
+      priority_class_ = 0;
+    } else if (StringUtil::CIEquals(stmt.value, "normal")) {
+      priority_weight_ = 2;
+      priority_class_ = 1;
+    } else if (StringUtil::CIEquals(stmt.value, "high")) {
+      priority_weight_ = 4;
+      priority_class_ = 2;
+    } else {
+      return Status::InvalidArgument(
+          "priority must be low, normal or high");
+    }
+    return ok_result();
+  }
+  if (name == "admission_limit") {
+    if (stmt.value.empty()) {
+      // Readback: concurrent statements admitted right now before new
+      // arrivals queue (0 = auto: 4x the governor's thread cap).
+      return SingleValueResult(
+          "admission_limit",
+          Value::BigInt(db_->admission().max_active()));
+    }
+    long limit = 0;
+    if (!parse_int(stmt.value, 0, 1 << 20, &limit)) {
+      return Status::InvalidArgument(
+          "admission_limit must be >= 1, or 0 for auto (4x thread cap)");
+    }
+    db_->admission().SetMaxActive(static_cast<int>(limit));
+    return ok_result();
+  }
+  if (name == "admission_queue_depth") {
+    if (stmt.value.empty()) {
+      return SingleValueResult(
+          "admission_queue_depth",
+          Value::BigInt(db_->admission().queue_depth()));
+    }
+    long depth = 0;
+    if (!parse_int(stmt.value, 0, 1 << 20, &depth)) {
+      return Status::InvalidArgument(
+          "admission_queue_depth must be >= 0 (0 sheds instead of queueing)");
+    }
+    db_->admission().SetQueueDepth(static_cast<int>(depth));
+    return ok_result();
+  }
+  if (name == "admission_timeout_ms") {
+    if (stmt.value.empty()) {
+      return SingleValueResult(
+          "admission_timeout_ms",
+          Value::BigInt(static_cast<int64_t>(db_->admission().timeout_ms())));
+    }
+    long timeout = 0;
+    if (!parse_int(stmt.value, 1, 1L << 40, &timeout)) {
+      return Status::InvalidArgument("admission_timeout_ms must be >= 1");
+    }
+    db_->admission().SetTimeoutMs(static_cast<uint64_t>(timeout));
+    return ok_result();
+  }
+  if (name == "scheduler_stats") {
+    // One row of shared-pool counters; the fairness tests use
+    // tasks_executed as a progress proxy and active_queries to observe
+    // concurrent registration.
+    SchedulerStats stats = db_->scheduler().GetStats();
+    return CountersResult(
+        {"tasks_executed", "runs", "active_queries", "pool_size"},
+        {stats.tasks_executed, stats.runs,
+         static_cast<uint64_t>(stats.active_queries),
+         static_cast<uint64_t>(stats.pool_size)});
+  }
+  if (name == "admission_stats") {
+    AdmissionStats stats = db_->admission().GetStats();
+    return CountersResult(
+        {"admitted", "queued", "shed", "timeouts", "active", "waiting"},
+        {stats.admitted, stats.queued, stats.shed, stats.timeouts,
+         static_cast<uint64_t>(stats.active),
+         static_cast<uint64_t>(stats.waiting)});
+  }
+  if (name == "plan_cache_stats") {
+    PlanCacheStats stats = db_->plan_cache().GetStats();
+    return CountersResult(
+        {"hits", "misses", "evictions", "invalidations", "busy_skips",
+         "uncacheable", "entries"},
+        {stats.hits, stats.misses, stats.evictions, stats.invalidations,
+         stats.busy_skips, stats.uncacheable, stats.entries});
   }
   if (name == "reactive") {
     db_->governor().SetReactive(StringUtil::CIEquals(stmt.value, "true") ||
@@ -534,7 +695,10 @@ Result<std::unique_ptr<MaterializedQueryResult>> Connection::ExecutePragma(
                   StringUtil::CIEquals(stmt.value, "on") ||
                   stmt.value == "1";
     plan_cache_enabled_ = enable;
-    if (!enable) plan_cache_.clear();
+    // Turning the cache off drops the shared cache's plans too — the
+    // PRAGMA's contract is "stop holding plans", not just "stop using
+    // them on this connection".
+    if (!enable) db_->plan_cache().Clear();
     return ok_result();
   }
   if (name == "memtest_on_allocation") {
@@ -577,25 +741,12 @@ Result<std::unique_ptr<MaterializedQueryResult>> Connection::ExecutePragma(
           "wal_stats requires a persistent database");
     }
     WalStats stats = db_->wal()->GetStats();
-    auto chunk = std::make_unique<DataChunk>();
-    std::vector<std::string> names = {
-        "commits",    "fsyncs",       "flushes",
-        "group_commits", "max_group", "async_acks",
-        "flush_errors",  "bytes_written", "pending_bytes"};
-    std::vector<TypeId> types(names.size(), TypeId::kBigInt);
-    chunk->Initialize(types);
-    const uint64_t values[] = {
-        stats.commits,    stats.fsyncs,       stats.flushes,
-        stats.group_commits, stats.max_group, stats.async_acks,
-        stats.flush_errors,  stats.bytes_written, stats.pending_bytes};
-    for (idx_t c = 0; c < names.size(); c++) {
-      chunk->SetValue(c, 0, Value::BigInt(static_cast<int64_t>(values[c])));
-    }
-    chunk->SetCardinality(1);
-    std::vector<std::unique_ptr<DataChunk>> chunks;
-    chunks.push_back(std::move(chunk));
-    return std::make_unique<MaterializedQueryResult>(
-        std::move(names), std::move(types), std::move(chunks));
+    return CountersResult(
+        {"commits", "fsyncs", "flushes", "group_commits", "max_group",
+         "async_acks", "flush_errors", "bytes_written", "pending_bytes"},
+        {stats.commits, stats.fsyncs, stats.flushes, stats.group_commits,
+         stats.max_group, stats.async_acks, stats.flush_errors,
+         stats.bytes_written, stats.pending_bytes});
   }
   return Status::InvalidArgument("unknown pragma '" + stmt.name + "'");
 }
@@ -619,6 +770,11 @@ Result<std::unique_ptr<StreamingQueryResult>> Connection::StreamPlan(
     std::unique_ptr<PhysicalOperator> owned_plan, PhysicalOperator* plan,
     std::vector<std::string> names, std::vector<TypeId> types,
     std::shared_ptr<void> lease) {
+  // An open stream is an executing query: it holds its admission slot
+  // and fair-share ticket until Close, so a client that opens a stream
+  // and fetches slowly still counts against concurrency and fairness.
+  MALLARD_ASSIGN_OR_RETURN(auto slot, AdmitSlot());
+  auto ticket = db_->scheduler().RegisterQuery(session_id_, priority_weight_);
   bool owns = !transaction_;
   std::unique_ptr<Transaction> txn;
   if (owns) {
@@ -626,7 +782,8 @@ Result<std::unique_ptr<StreamingQueryResult>> Connection::StreamPlan(
   }
   return std::make_unique<StreamingQueryResult>(
       this, std::move(owned_plan), plan, std::move(names), std::move(types),
-      owns, std::move(txn), std::move(lease));
+      owns, std::move(txn), std::move(lease), std::move(ticket),
+      std::move(slot));
 }
 
 Result<std::unique_ptr<PreparedStatement>> Connection::Prepare(
@@ -661,14 +818,17 @@ StreamingQueryResult::StreamingQueryResult(
     Connection* connection, std::unique_ptr<PhysicalOperator> owned_plan,
     PhysicalOperator* plan, std::vector<std::string> names,
     std::vector<TypeId> types, bool owns_transaction,
-    std::unique_ptr<Transaction> txn, std::shared_ptr<void> lease)
+    std::unique_ptr<Transaction> txn, std::shared_ptr<void> lease,
+    std::unique_ptr<QueryTicket> ticket, std::shared_ptr<void> admission)
     : QueryResult(std::move(names), std::move(types)),
       connection_(connection),
       owned_plan_(std::move(owned_plan)),
       plan_(plan),
       owns_transaction_(owns_transaction),
       txn_(std::move(txn)),
-      lease_(std::move(lease)) {}
+      lease_(std::move(lease)),
+      ticket_(std::move(ticket)),
+      admission_(std::move(admission)) {}
 
 StreamingQueryResult::~StreamingQueryResult() {
   Status status = Close();
@@ -678,12 +838,12 @@ StreamingQueryResult::~StreamingQueryResult() {
 Result<std::unique_ptr<DataChunk>> StreamingQueryResult::Fetch() {
   if (done_) return std::unique_ptr<DataChunk>();
   ExecutionContext context;
-  context.txn = owns_transaction_ ? txn_.get()
-                                  : connection_->transaction_.get();
-  context.buffers = &connection_->db_->buffers();
-  context.governor = &connection_->db_->governor();
-  context.scheduler = &connection_->db_->scheduler();
-  context.thread_limit = connection_->thread_override_;
+  connection_->SetupContext(&context,
+                            owns_transaction_
+                                ? txn_.get()
+                                : connection_->transaction_.get(),
+                            ticket_.get());
+  MALLARD_RETURN_NOT_OK(context.CheckInterrupt());
   auto chunk = std::make_unique<DataChunk>();
   chunk->Initialize(types_);
   MALLARD_RETURN_NOT_OK(plan_->GetChunk(&context, chunk.get()));
@@ -698,6 +858,11 @@ Status StreamingQueryResult::Close() {
   if (done_) return Status::OK();
   done_ = true;
   lease_.reset();  // the borrowed plan may be rewound/re-planned again
+  ticket_.reset();
+  admission_.reset();
+  // The stream was this connection's running statement; closing it
+  // consumes a pending interrupt just like statement completion does.
+  connection_->interrupt_.store(false, std::memory_order_relaxed);
   if (owns_transaction_ && txn_) {
     Status status =
         connection_->db_->transactions().Commit(txn_.get());

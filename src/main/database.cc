@@ -58,6 +58,13 @@ Status Database::Initialize(const std::string& path) {
       [gov = governor_.get()] { return gov->ChooseCompressionLevel(); });
   // Thread-less until the first parallel Run spawns workers.
   scheduler_ = std::make_unique<TaskScheduler>(governor_.get());
+  admission_ = std::make_unique<AdmissionController>(governor_.get());
+  admission_->SetBufferManager(buffers_.get());
+  if (config_.max_active_queries > 0) {
+    admission_->SetMaxActive(config_.max_active_queries);
+  }
+  admission_->SetQueueDepth(config_.admission_queue_depth);
+  admission_->SetTimeoutMs(config_.admission_timeout_ms);
 
   if (persistent) {
     bool created = false;

@@ -9,15 +9,25 @@ namespace mallard {
 
 TableMorselSource::TableMorselSource(idx_t row_group_count,
                                      const ResourceGovernor* governor,
-                                     int thread_limit)
+                                     int thread_limit,
+                                     const TaskScheduler* scheduler,
+                                     const QueryTicket* ticket)
     : row_group_count_(row_group_count),
       governor_(governor),
-      thread_limit_(thread_limit) {}
+      thread_limit_(thread_limit),
+      scheduler_(scheduler),
+      ticket_(ticket) {}
 
 int TableMorselSource::EffectiveBudget() const {
   if (thread_limit_ > 0) return thread_limit_;
-  if (governor_) return governor_->EffectiveThreadBudget();
-  return 1;
+  int budget = governor_ ? governor_->EffectiveThreadBudget() : 1;
+  if (scheduler_ && ticket_) {
+    // Inter-query fairness: this query's weighted slice of the pool,
+    // re-read at every morsel boundary so a long scan sheds workers the
+    // moment another query registers.
+    budget = std::min(budget, scheduler_->FairThreadShare(ticket_));
+  }
+  return budget;
 }
 
 bool TableMorselSource::Next(int worker, idx_t* row_group) {
@@ -47,6 +57,7 @@ Status PhysicalMorselScan::GetChunk(ExecutionContext* context,
                                     DataChunk* out) {
   out->Reset();
   while (true) {
+    MALLARD_RETURN_NOT_OK(context->CheckInterrupt());
     if (!morsel_active_) {
       idx_t row_group;
       if (!source_->Next(worker_, &row_group)) return Status::OK();
@@ -73,6 +84,10 @@ int ResolveLaunchWidth(const ExecutionContext* context, idx_t item_count) {
   int budget = context->thread_limit > 0
                    ? context->thread_limit
                    : context->governor->EffectiveThreadBudget();
+  if (context->thread_limit <= 0 && context->scheduler && context->ticket) {
+    budget =
+        std::min(budget, context->scheduler->FairThreadShare(context->ticket));
+  }
   int width = std::min<int>(budget, TableMorselSource::kMaxWorkers);
   return static_cast<int>(std::min<idx_t>(
       static_cast<idx_t>(std::max(width, 1)), item_count));
@@ -88,8 +103,9 @@ ParallelRun PlanParallelScan(ExecutionContext* context,
   int threads = ResolveLaunchWidth(context, groups);
   if (threads <= 1) return run;
   run.threads = threads;
-  run.source = std::make_shared<TableMorselSource>(groups, context->governor,
-                                                   context->thread_limit);
+  run.source = std::make_shared<TableMorselSource>(
+      groups, context->governor, context->thread_limit, context->scheduler,
+      context->ticket);
   return run;
 }
 
@@ -122,7 +138,8 @@ Status MorselPipeline::RunPass(
     const std::function<Status(int worker, PhysicalOperator* scan)>& worker) {
   auto task = [&](int w) -> Status { return worker(w, clones_[w].get()); };
   return context->scheduler->Run(static_cast<int>(clones_.size()), task,
-                                 /*governed=*/context->thread_limit == 0);
+                                 /*governed=*/context->thread_limit == 0,
+                                 context->ticket);
 }
 
 Status RunMorselPipeline(
@@ -157,9 +174,11 @@ Status RunPartitionedTasks(ExecutionContext* context, idx_t task_count,
     while (true) {
       // Budget re-read at every task boundary, mirroring
       // TableMorselSource::Next: surplus workers stop claiming, worker 0
-      // drains whatever is left.
+      // drains whatever is left. The fair-share clamp inside
+      // ResolveLaunchWidth applies here too, so partition merges shed
+      // workers to concurrent queries just like scans do.
       if (worker > 0 && context->thread_limit <= 0 &&
-          worker >= context->governor->EffectiveThreadBudget()) {
+          worker >= ResolveLaunchWidth(context, task_count)) {
         return Status::OK();
       }
       idx_t i = next.fetch_add(1);
@@ -168,7 +187,8 @@ Status RunPartitionedTasks(ExecutionContext* context, idx_t task_count,
     }
   };
   return context->scheduler->Run(width, claim,
-                                 /*governed=*/context->thread_limit == 0);
+                                 /*governed=*/context->thread_limit == 0,
+                                 context->ticket);
 }
 
 }  // namespace parallel

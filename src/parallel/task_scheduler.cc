@@ -6,6 +6,10 @@
 
 namespace mallard {
 
+QueryTicket::~QueryTicket() {
+  if (scheduler_) scheduler_->Unregister(this);
+}
+
 TaskScheduler::TaskScheduler(ResourceGovernor* governor)
     : governor_(governor) {}
 
@@ -20,9 +24,49 @@ TaskScheduler::~TaskScheduler() {
   }
 }
 
+std::unique_ptr<QueryTicket> TaskScheduler::RegisterQuery(uint64_t session_id,
+                                                          int weight) {
+  weight = std::max(1, weight);
+  active_queries_.fetch_add(1);
+  active_weight_.fetch_add(weight);
+  return std::unique_ptr<QueryTicket>(
+      new QueryTicket(this, session_id, weight));
+}
+
+void TaskScheduler::Unregister(const QueryTicket* ticket) {
+  active_queries_.fetch_sub(1);
+  active_weight_.fetch_sub(ticket->weight());
+}
+
+int TaskScheduler::FairThreadShare(const QueryTicket* ticket) const {
+  int budget = governor_
+                   ? governor_->EffectiveThreadBudget()
+                   : static_cast<int>(
+                         std::max(1u, std::thread::hardware_concurrency()));
+  if (!ticket) return budget;
+  int active = active_queries_.load();
+  int total_weight = active_weight_.load();
+  if (active <= 1 || total_weight <= ticket->weight()) return budget;
+  // Weighted share, rounded up so weights always buy at least their
+  // proportional slice; floored at 1 so every query makes progress.
+  int share = static_cast<int>(
+      (static_cast<int64_t>(budget) * ticket->weight() + total_weight - 1) /
+      total_weight);
+  return std::max(1, std::min(share, budget));
+}
+
 int TaskScheduler::pool_size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return static_cast<int>(workers_.size());
+}
+
+SchedulerStats TaskScheduler::GetStats() const {
+  SchedulerStats stats;
+  stats.tasks_executed = tasks_executed_.load();
+  stats.runs = runs_.load();
+  stats.active_queries = active_queries_.load();
+  stats.pool_size = pool_size();
+  return stats;
 }
 
 void TaskScheduler::EnsureWorkers(int count) {
@@ -31,19 +75,34 @@ void TaskScheduler::EnsureWorkers(int count) {
   }
 }
 
+bool TaskScheduler::PopJob(std::function<void()>* job) {
+  if (queued_jobs_ == 0) return false;
+  // Round-robin across sessions: serve the first non-empty session queue
+  // strictly after the one served last, wrapping around. FIFO within a
+  // session preserves a query's own fork-join order.
+  auto it = queues_.upper_bound(rr_cursor_);
+  if (it == queues_.end()) it = queues_.begin();
+  rr_cursor_ = it->first;
+  *job = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) queues_.erase(it);
+  queued_jobs_--;
+  return true;
+}
+
 void TaskScheduler::WorkerLoop() {
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
     work_available_.wait(lock,
-                         [this] { return shutdown_ || !queue_.empty(); });
-    if (queue_.empty()) {
+                         [this] { return shutdown_ || queued_jobs_ > 0; });
+    std::function<void()> job;
+    if (!PopJob(&job)) {
       if (shutdown_) return;
       continue;
     }
-    auto job = std::move(queue_.front());
-    queue_.pop_front();
     lock.unlock();
     job();
+    tasks_executed_.fetch_add(1);
     lock.lock();
   }
 }
@@ -67,21 +126,31 @@ Status RunGuarded(const std::function<Status(int)>& task, int worker) {
 
 Status TaskScheduler::Run(int requested_threads,
                           const std::function<Status(int)>& task,
-                          bool governed) {
+                          bool governed, const QueryTicket* ticket) {
+  runs_.fetch_add(1);
   int threads = requested_threads;
   if (governed && governor_) {
     threads = std::min(threads, governor_->EffectiveThreadBudget());
   }
+  if (governed && ticket) {
+    // Inter-query fairness at launch: this query's weighted slice of the
+    // budget. The morsel source re-checks the share at every boundary,
+    // so an already-launched wide pass also sheds workers when a second
+    // query registers mid-flight.
+    threads = std::min(threads, FairThreadShare(ticket));
+  }
   if (threads <= 1) return RunGuarded(task, 0);
 
+  uint64_t session = ticket ? ticket->session_id() : 0;
   auto state = std::make_shared<RunState>();
   state->remaining = threads - 1;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     EnsureWorkers(threads - 1);
+    auto& queue = queues_[session];
     for (int w = 1; w < threads; w++) {
       // `task` outlives the job: Run blocks below until remaining == 0.
-      queue_.push_back([state, task_ptr = &task, w] {
+      queue.push_back([state, task_ptr = &task, w] {
         Status status = RunGuarded(*task_ptr, w);
         std::lock_guard<std::mutex> guard(state->mutex);
         if (!status.ok() && state->first_error.ok()) {
@@ -90,6 +159,7 @@ Status TaskScheduler::Run(int requested_threads,
         if (--state->remaining == 0) state->done.notify_all();
       });
     }
+    queued_jobs_ += static_cast<size_t>(threads - 1);
   }
   work_available_.notify_all();
 
