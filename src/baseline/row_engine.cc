@@ -30,7 +30,10 @@ Result<bool> RowScan::Next(std::vector<Value>* row) {
       position_++;
       return true;
     }
-    if (!table_->Scan(*txn_, &state_, &chunk_)) return false;
+    if (!table_->Scan(*txn_, &state_, &chunk_)) {
+      if (!state_.error.ok()) return std::move(state_.error);
+      return false;
+    }
     position_ = 0;
   }
 }

@@ -45,10 +45,15 @@ Status PhysicalTableScan::GetChunk(ExecutionContext* context, DataChunk* out) {
   MALLARD_RETURN_NOT_OK(context->CheckInterrupt());
   if (!initialized_) {
     table_->InitializeScan(&state_, column_ids_, EffectiveFilters());
+    state_.salvage = context->salvage_mode;
     initialized_ = true;
   }
   out->Reset();
-  table_->Scan(*context->txn, &state_, out);
+  if (!table_->Scan(*context->txn, &state_, out) && !state_.error.ok()) {
+    // A quarantined row group outside salvage mode: surface the
+    // corruption instead of silently truncating the result.
+    return std::move(state_.error);
+  }
   return Status::OK();
 }
 

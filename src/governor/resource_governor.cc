@@ -81,6 +81,16 @@ uint64_t ResourceGovernor::WalFlushIntervalMs() const {
   return kBaseMs + static_cast<uint64_t>(cpu * 3.0 * kBaseMs);
 }
 
+uint64_t ResourceGovernor::ScrubPauseMicros() const {
+  constexpr uint64_t kMaxPauseMicros = 2000;
+  AppResourceMonitor* monitor = monitor_.load();
+  if (!reactive_.load() || !monitor) return 0;
+  double cpu = monitor->AppCpuUtilization();
+  if (cpu < 0.0) cpu = 0.0;
+  if (cpu > 1.0) cpu = 1.0;
+  return static_cast<uint64_t>(cpu * kMaxPauseMicros);
+}
+
 int AdmissionController::EffectiveLimit() const {
   int limit = max_active_.load();
   if (limit > 0) return limit;

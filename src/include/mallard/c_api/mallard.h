@@ -205,6 +205,27 @@ void mallard_destroy_result(mallard_result **result);
  */
 const char *mallard_result_error(mallard_result *result);
 
+/**
+ * Machine-readable class of a result's error, for callers that must
+ * distinguish "retry later" (IO) from "restore or salvage" (CORRUPTION)
+ * from "replace the RAM" (HARDWARE) without parsing message text.
+ * Values are frozen for ABI stability; new classes may only be appended.
+ */
+typedef enum mallard_error_code {
+  MALLARD_ERROR_NONE = 0,        /* result carries rows, not an error */
+  MALLARD_ERROR_GENERIC = 1,     /* any error class not listed below */
+  MALLARD_ERROR_IO = 2,          /* I/O failure after bounded retries */
+  MALLARD_ERROR_CORRUPTION = 3,  /* checksum or invariant violation */
+  MALLARD_ERROR_INTERRUPTED = 4, /* interrupt or statement timeout */
+  MALLARD_ERROR_HARDWARE = 5     /* failed memory/hardware self-test */
+} mallard_error_code;
+
+/**
+ * @return the machine-readable class of a failed result's error, or
+ *         MALLARD_ERROR_NONE when the result is OK (or NULL).
+ */
+mallard_error_code mallard_result_error_code(mallard_result *result);
+
 /** @return number of rows; 0 for errored/NULL results. */
 uint64_t mallard_row_count(mallard_result *result);
 

@@ -78,6 +78,7 @@ class Status {
   /// "<code name>: <message>", or "OK".
   std::string ToString() const;
 
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
   bool IsCorruption() const { return code() == StatusCode::kCorruption; }
   bool IsTransactionConflict() const {
     return code() == StatusCode::kTransactionConflict;

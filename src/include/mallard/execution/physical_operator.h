@@ -2,6 +2,7 @@
 #define MALLARD_EXECUTION_PHYSICAL_OPERATOR_H_
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
@@ -41,16 +42,26 @@ struct ExecutionContext {
   /// boundaries and fail with kInterrupted when set. Null = never
   /// interrupted (contexts built outside Connection).
   std::atomic<bool>* interrupt = nullptr;
+  /// Statement deadline (PRAGMA statement_timeout_ms); checked at the
+  /// same chunk/morsel boundaries as `interrupt`. Unset = no timeout.
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+  /// PRAGMA salvage_mode: table scans skip quarantined row groups
+  /// (reporting skipped counts) instead of failing with kCorruption.
+  bool salvage_mode = false;
 
   /// Chunk/morsel-boundary cancellation point: a pending
-  /// Connection::Interrupt() becomes kInterrupted. The check only loads
-  /// (every parallel worker sees it and stops at its next boundary);
-  /// the Connection clears the flag when the statement finishes, so one
-  /// Interrupt() kills at most one statement and the connection stays
-  /// reusable.
+  /// Connection::Interrupt() becomes kInterrupted, as does an expired
+  /// statement deadline. The check only loads (every parallel worker
+  /// sees it and stops at its next boundary); the Connection clears the
+  /// flag when the statement finishes, so one Interrupt() kills at most
+  /// one statement and the connection stays reusable.
   Status CheckInterrupt() const {
     if (interrupt && interrupt->load(std::memory_order_relaxed)) {
       return Status::Interrupted("query canceled by Connection::Interrupt()");
+    }
+    if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
+      return Status::Interrupted("statement timeout reached");
     }
     return Status::OK();
   }

@@ -122,6 +122,14 @@ class ResourceGovernor {
   /// rises (a little durability lag traded for staying off a busy CPU).
   uint64_t WalFlushIntervalMs() const;
 
+  /// Microseconds the integrity scrubber pauses between objects (blocks,
+  /// row groups). Zero when the machine is otherwise idle — a scrub on a
+  /// quiet embedded host should just finish; reactive mode stretches the
+  /// pause up to 2ms per object as the host application's CPU demand
+  /// rises, so background verification never competes with the
+  /// foreground workload (paper section 4's cooperation stance).
+  uint64_t ScrubPauseMicros() const;
+
   /// Hash vs merge join: hash while the estimated build side is within
   /// 8x the current budget (the grace hash join spills radix partitions,
   /// so builds larger than memory still complete), else out-of-core

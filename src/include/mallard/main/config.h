@@ -33,6 +33,16 @@ struct DBConfig {
   bool enable_checksums = true;
   /// Run the walking-bits memory test on every buffer allocation.
   bool memtest_on_allocation = false;
+  /// Run a memory self-test once at Database::Open (walking bits, moving
+  /// inversions and address-in-address over a scratch region) and refuse
+  /// to open with kHardwareFailure if any bit misbehaves — an engine on
+  /// bad RAM corrupts data faster than it detects it. Left false, the
+  /// MALLARD_MEMTEST=1 environment variable turns it on for a whole run.
+  bool verify_memory = false;
+  /// Start connections in salvage mode: scans skip quarantined row
+  /// groups (counting skipped rows) instead of failing with kCorruption.
+  /// Runtime: PRAGMA salvage_mode.
+  bool salvage_mode = false;
   /// Reactive resource governing (paper section 4 / Figure 1).
   bool reactive = false;
   /// Write a final checkpoint (and truncate the WAL) when the database

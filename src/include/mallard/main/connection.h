@@ -192,6 +192,11 @@ class Connection {
   // boundaries, cleared when the statement finishes.
   std::atomic<bool> interrupt_{false};
 
+  // PRAGMA statement_timeout_ms: per-statement wall-clock budget,
+  // enforced at the same chunk/morsel boundaries as Interrupt().
+  // 0 = no timeout.
+  uint64_t statement_timeout_ms_ = 0;
+
   bool plan_cache_enabled_ = true;
 };
 

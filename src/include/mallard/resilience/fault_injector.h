@@ -40,6 +40,10 @@ class FaultInjector {
   void Arm(FaultSite site, double probability);
   /// Arms `site` to fire exactly once on the next opportunity.
   void ArmOnce(FaultSite site);
+  /// Arms `site` to fire on the next `failures` opportunities and then
+  /// succeed — models a transient fault (loose cable, overloaded disk
+  /// queue) that a bounded retry loop should ride out.
+  void ArmTransient(FaultSite site, uint64_t failures);
   /// Disarms a single site.
   void Disarm(FaultSite site);
   /// Disarms everything (call in test teardown).
@@ -76,6 +80,8 @@ class FaultInjector {
   struct SiteState {
     double probability = 0.0;
     std::atomic<int64_t> one_shots{0};
+    // Transient countdown: fire while > 0, decrementing; then succeed.
+    std::atomic<int64_t> transient_failures{0};
     std::atomic<uint64_t> fire_count{0};
     // Kill countdown: -1 disarmed, 0 fire now, n>0 skip n opportunities.
     std::atomic<int64_t> kill_countdown{-1};

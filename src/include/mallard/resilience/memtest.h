@@ -5,6 +5,8 @@
 #include <memory>
 #include <vector>
 
+#include "mallard/common/status.h"
+
 namespace mallard {
 
 /// Abstraction over a memory region for the test algorithms. Healthy RAM
@@ -93,6 +95,13 @@ MemtestResult MovingInversionsTest(MemoryDevice& mem, uint64_t pattern,
 /// Address-in-address test: each word stores its own index; catches
 /// addressing faults.
 MemtestResult AddressTest(MemoryDevice& mem);
+
+/// Full self-test battery over one device (walking bits, moving
+/// inversions, address-in-address). Returns kHardwareFailure naming the
+/// number of misbehaving words, or OK. Database::Open runs this over a
+/// scratch region when DBConfig::verify_memory (or MALLARD_MEMTEST=1)
+/// is set and refuses to open on failure.
+Status RunMemorySelfTest(MemoryDevice& mem);
 
 }  // namespace mallard
 

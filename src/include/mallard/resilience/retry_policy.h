@@ -1,0 +1,126 @@
+#ifndef MALLARD_RESILIENCE_RETRY_POLICY_H_
+#define MALLARD_RESILIENCE_RETRY_POLICY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "mallard/common/status.h"
+
+namespace mallard {
+
+/// Process-wide resilience counters, surfaced by PRAGMA resilience_stats.
+/// One flat struct of atomics (mirroring FaultInjector's process-wide
+/// scope): the retry loops, checksum verifiers, quarantine logic and the
+/// scrubber all tick these, and tests diff or Reset() them.
+struct ResilienceStats {
+  // Retry-path telemetry.
+  std::atomic<uint64_t> io_attempts{0};       // every guarded I/O attempt
+  std::atomic<uint64_t> io_retries{0};        // attempts beyond the first
+  std::atomic<uint64_t> retry_successes{0};   // ops that succeeded on a retry
+  std::atomic<uint64_t> retry_exhausted{0};   // ops that failed all attempts
+  std::atomic<uint64_t> backoff_waits{0};     // sleeps taken between attempts
+  std::atomic<uint64_t> backoff_micros{0};    // total backoff requested
+
+  // Detection and degradation telemetry.
+  std::atomic<uint64_t> block_checksum_failures{0};
+  std::atomic<uint64_t> spill_checksum_failures{0};
+  std::atomic<uint64_t> quarantined_row_groups{0};
+  std::atomic<uint64_t> salvage_skipped_groups{0};
+  std::atomic<uint64_t> salvage_skipped_rows{0};
+
+  // Scrubber telemetry.
+  std::atomic<uint64_t> scrub_runs{0};
+  std::atomic<uint64_t> scrub_objects{0};
+  std::atomic<uint64_t> scrub_failures{0};
+
+  void Reset() {
+    io_attempts = io_retries = retry_successes = retry_exhausted = 0;
+    backoff_waits = backoff_micros = 0;
+    block_checksum_failures = spill_checksum_failures = 0;
+    quarantined_row_groups = salvage_skipped_groups = salvage_skipped_rows = 0;
+    scrub_runs = scrub_objects = scrub_failures = 0;
+  }
+};
+
+ResilienceStats& GlobalResilienceStats();
+
+/// Bounded-attempt exponential-backoff wrapper for storage I/O. The
+/// failure model (failure_model.h) says transient faults — a loaded disk
+/// queue, an in-flight DRAM flip on the read path — clear on their own;
+/// the policy rides them out instead of failing the query, while a
+/// persistent fault still fails cleanly after `max_attempts`.
+///
+/// The sleep hook is injectable (per instance or process-wide) so tests
+/// observe the exact backoff schedule without wall-clock sleeping.
+class RetryPolicy {
+ public:
+  using SleepFn = std::function<void(uint64_t micros)>;
+
+  struct Options {
+    uint32_t max_attempts = 3;
+    uint64_t initial_backoff_micros = 100;
+    uint64_t max_backoff_micros = 10000;
+    uint32_t backoff_multiplier = 4;
+  };
+
+  RetryPolicy() = default;
+  explicit RetryPolicy(Options options) : options_(options) {}
+
+  const Options& options() const { return options_; }
+
+  /// Process-wide sleep hook override; nullptr restores the real sleep.
+  /// Tests install a capturing hook to assert the backoff schedule.
+  static void SetGlobalSleepHook(SleepFn hook);
+
+  /// Runs `op` (returning Status) up to max_attempts times, sleeping an
+  /// exponentially growing backoff between attempts. `retryable` decides
+  /// which failures are worth another attempt; the default treats only
+  /// kIOError as transient. kCorruption is retryable only where the
+  /// caller can re-fetch from a clean source (e.g. re-reading a block
+  /// from disk distinguishes an in-flight flip from media damage).
+  template <typename F, typename P>
+  Status Execute(F&& op, P&& retryable) const {
+    auto& stats = GlobalResilienceStats();
+    uint64_t backoff = options_.initial_backoff_micros;
+    Status last;
+    uint32_t attempt = 1;
+    for (;; ++attempt) {
+      stats.io_attempts.fetch_add(1);
+      last = op();
+      if (last.ok()) {
+        if (attempt > 1) stats.retry_successes.fetch_add(1);
+        return last;
+      }
+      if (attempt >= options_.max_attempts || !retryable(last)) break;
+      stats.io_retries.fetch_add(1);
+      stats.backoff_waits.fetch_add(1);
+      stats.backoff_micros.fetch_add(backoff);
+      Sleep(backoff);
+      backoff *= options_.backoff_multiplier;
+      if (backoff > options_.max_backoff_micros) {
+        backoff = options_.max_backoff_micros;
+      }
+    }
+    if (attempt >= options_.max_attempts && retryable(last)) {
+      stats.retry_exhausted.fetch_add(1);
+    }
+    return last;
+  }
+
+  template <typename F>
+  Status Execute(F&& op) const {
+    return Execute(std::forward<F>(op),
+                   [](const Status& s) { return s.IsIOError(); });
+  }
+
+ private:
+  static void Sleep(uint64_t micros);
+
+  Options options_;
+};
+
+}  // namespace mallard
+
+#endif  // MALLARD_RESILIENCE_RETRY_POLICY_H_

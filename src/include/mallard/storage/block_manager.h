@@ -69,6 +69,15 @@ class BlockManager {
   idx_t FreeBlockCount() const { return free_blocks_.size(); }
   bool checksums_enabled() const { return enable_checksums_; }
 
+  /// Single-read checksum probe for the integrity scrubber: verifies the
+  /// stored CRC of `id` without the read-path retry loop (the scrubber
+  /// wants an honest snapshot of on-disk state, not a healed view).
+  Status VerifyBlock(block_id_t id);
+
+  /// Snapshot of the block ids currently reachable from the root (all
+  /// allocated blocks minus the free list) — the scrubber's walk list.
+  std::vector<block_id_t> LiveBlocks();
+
   /// Direct file corruption helper for resilience tests/demos: flips one
   /// bit inside the stored payload of `id`.
   Status CorruptBlockOnDisk(block_id_t id, uint64_t bit_index);

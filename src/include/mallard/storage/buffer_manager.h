@@ -46,6 +46,10 @@ class ManagedBuffer {
   uint64_t spill_offset_ = ~uint64_t(0);
   /// Bytes of the current on-disk copy (== size_ when uncompressed).
   uint64_t spill_bytes_ = 0;
+  /// CRC32C of the on-disk copy, stamped at spill time and verified on
+  /// every reload: a bit flip in the temp file (DRAM on the write path,
+  /// media at rest) surfaces as kCorruption instead of wrong rows.
+  uint32_t spill_crc_ = 0;
   /// Codec the current on-disk copy was written with.
   CompressionLevel spill_level_ = CompressionLevel::kNone;
   uint64_t lru_tick_ = 0;

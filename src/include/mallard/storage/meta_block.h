@@ -74,6 +74,9 @@ class MetaBlockReader {
   Status Load(block_id_t head);
 
   BinaryReader& reader() { return *reader_; }
+  /// Raw chain contents — lets callers checksum a payload end-to-end
+  /// (the per-block CRCs cover blocks, not the reassembled stream).
+  const std::vector<uint8_t>& data() const { return data_; }
   const std::set<block_id_t>& blocks_visited() const {
     return blocks_visited_;
   }

@@ -27,6 +27,14 @@ struct TableScanState {
   /// default (kInvalidIndex) scans to the end of the table. Morsel
   /// scans bound it to a single row group.
   idx_t max_row_group = kInvalidIndex;
+  /// Salvage mode: quarantined row groups are skipped (and counted
+  /// below) instead of failing the scan with kCorruption.
+  bool salvage = false;
+  idx_t salvage_skipped_groups = 0;
+  idx_t salvage_skipped_rows = 0;
+  /// Set when Scan returns false because of an error rather than
+  /// exhaustion; callers must check it before treating false as EOF.
+  Status error;
 };
 
 /// Per-table encoding statistics aggregated over all column segments
@@ -88,9 +96,29 @@ class DataTable {
   /// Garbage-collects undo chains across all row groups.
   void CleanupUpdates(uint64_t lowest_active_start);
 
-  /// Checkpoint serialization of committed data.
-  void Serialize(BinaryWriter* writer) const;
-  Status DeserializeData(BinaryReader* reader);
+  /// --- checkpoint load ----------------------------------------------------
+  /// Appends the next row group from a verified checkpoint payload
+  /// ([count u64][ncols u32][segments], RowGroup::Deserialize layout).
+  /// `expected_rows` comes from the checkpoint directory entry and must
+  /// match the payload's own row count.
+  Status LoadCheckpointGroup(BinaryReader* reader, idx_t expected_rows);
+  /// Appends a quarantined placeholder covering `rows` rows whose
+  /// checkpoint payload failed verification. The slot is kept so later
+  /// groups retain their row ids; scans over it fail with kCorruption
+  /// unless salvage mode is on.
+  void LoadQuarantinedGroup(idx_t rows, std::string reason);
+
+  /// Corruption status naming the first quarantined row group, or OK.
+  /// Checkpoints refuse to rewrite a table in this state — a checkpoint
+  /// that silently dropped the quarantined rows would turn detected
+  /// corruption into permanent data loss.
+  Status FirstQuarantineError() const;
+  idx_t QuarantinedGroupCount() const;
+
+  /// Integrity scrub of one row group: encoding round-trip plus
+  /// zone-map-versus-data verification. Quarantined groups report their
+  /// quarantine reason as the error.
+  Status ValidateGroup(idx_t index) const;
 
   idx_t MemoryUsage() const;
 

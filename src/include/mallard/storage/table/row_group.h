@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <shared_mutex>
+#include <string>
 #include <vector>
 
 #include "mallard/storage/table/column_segment.h"
@@ -29,10 +30,23 @@ class RowGroup {
  public:
   RowGroup(idx_t start, const std::vector<TypeId>& types);
 
+  /// Builds a quarantined placeholder for a row group whose checkpoint
+  /// payload failed verification. It holds no column data but remembers
+  /// its row count so it keeps its positional slot: later groups keep
+  /// their row ids, and salvage-mode scans can report exactly how many
+  /// rows were skipped. Any attempt to read or mutate it fails with
+  /// kCorruption carrying `reason`.
+  static std::unique_ptr<RowGroup> Quarantined(idx_t start,
+                                               const std::vector<TypeId>& types,
+                                               idx_t count, std::string reason);
+
   idx_t start() const { return start_; }
   idx_t count() const { return count_; }
   idx_t Capacity() const { return kRowGroupSize; }
   const ColumnSegment& column(idx_t i) const { return *columns_[i]; }
+
+  bool quarantined() const { return quarantined_; }
+  const std::string& quarantine_reason() const { return quarantine_reason_; }
 
   std::shared_mutex& lock() { return lock_; }
 
@@ -90,6 +104,15 @@ class RowGroup {
 
   idx_t MemoryUsage() const;
 
+  /// --- integrity scrub ----------------------------------------------------
+  /// Verifies this group's invariants: every column round-trips through
+  /// its serializer (which re-validates dictionary sortedness, packed
+  /// widths and length fields on the way back in) and the zone-map
+  /// statistics agree with the stored data (min/max bound every live
+  /// value, null_count matches the validity mask). Quarantined groups
+  /// report their quarantine reason. Takes the shared lock itself.
+  Status ValidateIntegrity() const;
+
  private:
   void EnsureInsertedBy();
   void EnsureDeletedBy();
@@ -103,6 +126,11 @@ class RowGroup {
   std::unique_ptr<std::vector<uint64_t>> inserted_by_;
   /// Version of the deleting transaction per row; null = none deleted.
   std::unique_ptr<std::vector<uint64_t>> deleted_by_;
+  /// Set when the group's checkpoint payload failed verification: the
+  /// placeholder has no column data and every access must error rather
+  /// than fabricate rows.
+  bool quarantined_ = false;
+  std::string quarantine_reason_;
   mutable std::shared_mutex lock_;
 };
 

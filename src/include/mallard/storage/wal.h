@@ -75,6 +75,7 @@ struct WalStats {
   uint64_t flush_errors = 0;   // async flushes that failed (data dropped)
   uint64_t bytes_written = 0;  // framed bytes appended to the log
   uint64_t pending_bytes = 0;  // async bytes not yet flushed (snapshot)
+  uint64_t torn_tail_recoveries = 0;  // replays that truncated a torn tail
 };
 
 /// Write-ahead log in a separate file next to the database file (paper
@@ -135,6 +136,13 @@ class WriteAheadLog {
   void SetGovernor(const ResourceGovernor* governor) { governor_ = governor; }
 
   WalStats GetStats() const;
+
+  /// Scrubber probe: re-reads the durable log from disk and verifies
+  /// the header magic plus every frame CRC, holding the flush token so
+  /// no append is in flight. `frames` (optional) receives the number of
+  /// frames verified. Corruption here is reported, not repaired — the
+  /// log stays untouched for Replay's torn-tail/mid-stream decision.
+  Status VerifyFrames(uint64_t* frames);
 
   /// Benchmark baseline: disables the commit queue so every committer
   /// appends and fsyncs alone (the pre-group-commit behavior).

@@ -30,11 +30,30 @@ mallard_type ToCType(TypeId type) {
   return MALLARD_TYPE_INVALID;
 }
 
-mallard_result* NewErrorResult(const std::string& message) {
+mallard_error_code ToCErrorCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return MALLARD_ERROR_NONE;
+    case StatusCode::kIOError:
+      return MALLARD_ERROR_IO;
+    case StatusCode::kCorruption:
+      return MALLARD_ERROR_CORRUPTION;
+    case StatusCode::kInterrupted:
+      return MALLARD_ERROR_INTERRUPTED;
+    case StatusCode::kHardwareFailure:
+      return MALLARD_ERROR_HARDWARE;
+    default:
+      return MALLARD_ERROR_GENERIC;
+  }
+}
+
+mallard_result* NewErrorResult(const std::string& message,
+                               mallard_error_code code) {
   try {
     auto* result = new mallard_result();
     result->has_error = true;
     result->error = message;
+    result->error_code = code;
     return result;
   } catch (...) {
     return nullptr;
@@ -185,7 +204,9 @@ mallard_state mallard_query(mallard_connection* connection, const char* sql,
     }
     auto result = connection->state->connection->Query(sql);
     if (!result.ok()) {
-      *out_result = NewErrorResult(result.status().ToString());
+      *out_result = NewErrorResult(
+          result.status().ToString(),
+          mallard::c_api::ToCErrorCode(result.status().code()));
       return MALLARD_ERROR;
     }
     auto* handle = new mallard_result();

@@ -38,9 +38,13 @@ struct ConnectionState {
 /// Maps the engine's TypeId onto the frozen C enum.
 mallard_type ToCType(TypeId type);
 
-/// Allocates an errored mallard_result carrying `message` (never throws;
-/// returns nullptr if even the allocation fails).
-mallard_result* NewErrorResult(const std::string& message);
+/// Maps the engine's StatusCode onto the frozen C error-class enum.
+mallard_error_code ToCErrorCode(StatusCode code);
+
+/// Allocates an errored mallard_result carrying `message` and an error
+/// class (never throws; returns nullptr if even the allocation fails).
+mallard_result* NewErrorResult(const std::string& message,
+                               mallard_error_code code = MALLARD_ERROR_GENERIC);
 
 /// True when the handle chain down to the engine Connection is intact
 /// and not closed.
@@ -68,6 +72,7 @@ struct mallard_result {
   std::unique_ptr<mallard::MaterializedQueryResult> result;
   bool has_error = false;
   std::string error;
+  mallard_error_code error_code = MALLARD_ERROR_NONE;
   // Backing store for mallard_value_varchar(): the C contract is that
   // returned strings live as long as the result handle, so rendered
   // values are cached here keyed by (column, row). std::map nodes are

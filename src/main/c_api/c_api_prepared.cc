@@ -169,7 +169,9 @@ mallard_state mallard_execute_prepared(mallard_prepared_statement* statement,
     auto result = statement->statement->Execute();
     if (!result.ok()) {
       SetError(statement, result.status().ToString());
-      *out_result = NewErrorResult(statement->error);
+      *out_result = NewErrorResult(
+          statement->error,
+          mallard::c_api::ToCErrorCode(result.status().code()));
       return MALLARD_ERROR;
     }
     statement->has_error = false;

@@ -42,6 +42,11 @@ const char* mallard_result_error(mallard_result* result) {
   return result->error.c_str();
 }
 
+mallard_error_code mallard_result_error_code(mallard_result* result) {
+  if (result == nullptr || !result->has_error) return MALLARD_ERROR_NONE;
+  return result->error_code;
+}
+
 uint64_t mallard_row_count(mallard_result* result) {
   if (!HasRows(result)) return 0;
   return result->result->RowCount();

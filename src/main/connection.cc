@@ -1,6 +1,7 @@
 #include "mallard/main/connection.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 
 #include "mallard/common/string_util.h"
@@ -9,6 +10,8 @@
 #include "mallard/parallel/morsel.h"
 #include "mallard/parser/parser.h"
 #include "mallard/planner/planner.h"
+#include "mallard/resilience/retry_policy.h"
+#include "mallard/resilience/scrubber.h"
 #include "mallard/storage/table/column_segment.h"
 
 namespace mallard {
@@ -79,6 +82,12 @@ void Connection::SetupContext(ExecutionContext* context, Transaction* txn,
   context->thread_limit = thread_override_;
   context->ticket = ticket;
   context->interrupt = &interrupt_;
+  context->salvage_mode = db_->config().salvage_mode;
+  if (statement_timeout_ms_ > 0) {
+    context->has_deadline = true;
+    context->deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(statement_timeout_ms_);
+  }
 }
 
 Result<std::shared_ptr<void>> Connection::AdmitSlot() {
@@ -743,10 +752,94 @@ Result<std::unique_ptr<MaterializedQueryResult>> Connection::ExecutePragma(
     WalStats stats = db_->wal()->GetStats();
     return CountersResult(
         {"commits", "fsyncs", "flushes", "group_commits", "max_group",
-         "async_acks", "flush_errors", "bytes_written", "pending_bytes"},
+         "async_acks", "flush_errors", "bytes_written", "pending_bytes",
+         "torn_tail_recoveries"},
         {stats.commits, stats.fsyncs, stats.flushes, stats.group_commits,
          stats.max_group, stats.async_acks, stats.flush_errors,
-         stats.bytes_written, stats.pending_bytes});
+         stats.bytes_written, stats.pending_bytes,
+         stats.torn_tail_recoveries});
+  }
+  if (name == "statement_timeout_ms") {
+    if (stmt.value.empty()) {
+      // Readback: this connection's per-statement wall-clock budget.
+      return SingleValueResult(
+          "statement_timeout_ms",
+          Value::BigInt(static_cast<int64_t>(statement_timeout_ms_)));
+    }
+    long ms = 0;
+    if (!parse_int(stmt.value, 0, 1L << 40, &ms)) {
+      return Status::InvalidArgument(
+          "statement_timeout_ms must be >= 0 (0 disables the timeout)");
+    }
+    statement_timeout_ms_ = static_cast<uint64_t>(ms);
+    return ok_result();
+  }
+  if (name == "salvage_mode") {
+    if (stmt.value.empty()) {
+      return SingleValueResult("salvage_mode",
+                               Value::Boolean(db_->config().salvage_mode));
+    }
+    bool on;
+    if (StringUtil::CIEquals(stmt.value, "on") ||
+        StringUtil::CIEquals(stmt.value, "true") || stmt.value == "1") {
+      on = true;
+    } else if (StringUtil::CIEquals(stmt.value, "off") ||
+               StringUtil::CIEquals(stmt.value, "false") ||
+               stmt.value == "0") {
+      on = false;
+    } else {
+      return Status::InvalidArgument("salvage_mode must be on or off");
+    }
+    db_->config().salvage_mode = on;
+    return ok_result();
+  }
+  if (name == "resilience_stats") {
+    // One row of corruption/retry counters, process-wide: what the I/O
+    // retry layer absorbed, what the checksums caught, what salvage mode
+    // skipped, and what the scrubber has verified.
+    ResilienceStats& s = GlobalResilienceStats();
+    return CountersResult(
+        {"io_attempts", "io_retries", "retry_successes", "retry_exhausted",
+         "backoff_waits", "backoff_micros", "block_checksum_failures",
+         "spill_checksum_failures", "quarantined_row_groups",
+         "salvage_skipped_groups", "salvage_skipped_rows", "scrub_runs",
+         "scrub_objects", "scrub_failures"},
+        {s.io_attempts.load(), s.io_retries.load(), s.retry_successes.load(),
+         s.retry_exhausted.load(), s.backoff_waits.load(),
+         s.backoff_micros.load(), s.block_checksum_failures.load(),
+         s.spill_checksum_failures.load(), s.quarantined_row_groups.load(),
+         s.salvage_skipped_groups.load(), s.salvage_skipped_rows.load(),
+         s.scrub_runs.load(), s.scrub_objects.load(),
+         s.scrub_failures.load()});
+  }
+  if (name == "integrity_check") {
+    // Online scrub: every live block, the WAL, every table row group.
+    // Result set: one row per damaged object plus a summary row per
+    // category, so a clean database reads as a handful of "ok" rows and
+    // a damaged one names exactly what to restore or salvage.
+    IntegrityScrubber scrubber(db_->blocks(), db_->wal(), &db_->catalog(),
+                               &db_->governor());
+    ScrubReport report = scrubber.Run();
+    std::vector<std::string> names = {"object", "status", "detail"};
+    std::vector<TypeId> types(3, TypeId::kVarchar);
+    std::vector<std::unique_ptr<DataChunk>> chunks;
+    idx_t emitted = 0;
+    while (emitted < report.findings.size()) {
+      idx_t n = std::min<idx_t>(kVectorSize, report.findings.size() - emitted);
+      auto chunk = std::make_unique<DataChunk>();
+      chunk->Initialize(types);
+      for (idx_t i = 0; i < n; i++) {
+        const ScrubFinding& f = report.findings[emitted + i];
+        chunk->SetValue(0, i, Value::Varchar(f.object));
+        chunk->SetValue(1, i, Value::Varchar(f.ok ? "ok" : "corrupt"));
+        chunk->SetValue(2, i, Value::Varchar(f.detail));
+      }
+      chunk->SetCardinality(n);
+      chunks.push_back(std::move(chunk));
+      emitted += n;
+    }
+    return std::make_unique<MaterializedQueryResult>(
+        std::move(names), std::move(types), std::move(chunks));
   }
   return Status::InvalidArgument("unknown pragma '" + stmt.name + "'");
 }

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstdlib>
 #include <thread>
+#include <vector>
 
+#include "mallard/resilience/memtest.h"
 #include "mallard/storage/checkpoint.h"
 
 namespace mallard {
@@ -20,6 +22,21 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& path,
 Status Database::Initialize(const std::string& path) {
   bool persistent = !path.empty() && path != ":memory:";
   path_ = persistent ? path : ":memory:";
+  bool memtest = config_.verify_memory;
+  if (!memtest) {
+    if (const char* env = std::getenv("MALLARD_MEMTEST")) {
+      memtest = std::atoi(env) != 0;
+    }
+  }
+  if (memtest) {
+    // Open-time self-test over a bounded scratch region — whole-RAM
+    // testing is infeasible online (docs/RESILIENCE.md); the goal is to
+    // catch a DIMM that is already flipping bits before the engine
+    // starts trusting it with user data.
+    std::vector<uint8_t> scratch(4ull << 20);
+    DirectMemory mem(scratch.data(), scratch.size());
+    MALLARD_RETURN_NOT_OK(RunMemorySelfTest(mem));
+  }
   // An untouched memory_limit follows the MALLARD_MEMORY_LIMIT
   // environment variable (bytes) when set — CI runs the whole suite
   // under a tight budget this way (mirror of MALLARD_THREADS). An

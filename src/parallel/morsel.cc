@@ -66,9 +66,11 @@ Status PhysicalMorselScan::GetChunk(ExecutionContext* context,
       state_.filters = filters_;
       state_.row_group_index = row_group;
       state_.max_row_group = row_group + 1;
+      state_.salvage = context->salvage_mode;
       morsel_active_ = true;
     }
     if (table_->Scan(*context->txn, &state_, out)) return Status::OK();
+    if (!state_.error.ok()) return std::move(state_.error);
     morsel_active_ = false;  // morsel exhausted; claim the next one
   }
 }

@@ -21,11 +21,18 @@ void FaultInjector::ArmOnce(FaultSite site) {
   sites_[static_cast<int>(site)].one_shots.fetch_add(1);
 }
 
+void FaultInjector::ArmTransient(FaultSite site, uint64_t failures) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_[static_cast<int>(site)].transient_failures.store(
+      static_cast<int64_t>(failures));
+}
+
 void FaultInjector::Disarm(FaultSite site) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto& s = sites_[static_cast<int>(site)];
   s.probability = 0.0;
   s.one_shots.store(0);
+  s.transient_failures.store(0);
   s.kill_countdown.store(-1);
 }
 
@@ -34,6 +41,7 @@ void FaultInjector::Reset() {
   for (auto& s : sites_) {
     s.probability = 0.0;
     s.one_shots.store(0);
+    s.transient_failures.store(0);
     s.fire_count.store(0);
     s.kill_countdown.store(-1);
   }
@@ -71,6 +79,13 @@ bool FaultInjector::ShouldFire(FaultSite site) {
   int64_t shots = s.one_shots.load();
   while (shots > 0) {
     if (s.one_shots.compare_exchange_weak(shots, shots - 1)) {
+      s.fire_count.fetch_add(1);
+      return true;
+    }
+  }
+  int64_t transient = s.transient_failures.load();
+  while (transient > 0) {
+    if (s.transient_failures.compare_exchange_weak(transient, transient - 1)) {
       s.fire_count.fetch_add(1);
       return true;
     }

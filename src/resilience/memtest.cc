@@ -114,4 +114,19 @@ MemtestResult AddressTest(MemoryDevice& mem) {
   return result;
 }
 
+Status RunMemorySelfTest(MemoryDevice& mem) {
+  MemtestResult walking = WalkingBitsTest(mem);
+  MemtestResult inversions =
+      MovingInversionsTest(mem, 0x5555555555555555ull, /*iterations=*/1);
+  MemtestResult address = AddressTest(mem);
+  if (!walking.passed || !inversions.passed || !address.passed) {
+    size_t bad = walking.bad_words.size() + inversions.bad_words.size() +
+                 address.bad_words.size();
+    return Status::HardwareFailure(
+        "memory self-test failed: " + std::to_string(bad) +
+        " word(s) misbehaved; refusing to run on unreliable RAM");
+  }
+  return Status::OK();
+}
+
 }  // namespace mallard

@@ -5,6 +5,7 @@
 #include "mallard/common/checksum.h"
 #include "mallard/common/serializer.h"
 #include "mallard/resilience/fault_injector.h"
+#include "mallard/resilience/retry_policy.h"
 
 namespace mallard {
 
@@ -102,22 +103,34 @@ Status BlockManager::WriteHeaderSlot(int slot, const DatabaseHeader& header) {
 
 Status BlockManager::ReadBlock(block_id_t id, uint8_t* buffer) {
   std::vector<uint8_t> raw(kBlockSize);
-  MALLARD_RETURN_NOT_OK(file_->Read(raw.data(), kBlockSize, BlockOffset(id)));
-  auto& injector = FaultInjector::Get();
-  if (injector.ShouldFire(FaultSite::kBlockRead)) {
-    injector.FlipRandomBit(raw.data(), kBlockSize);
-  }
-  if (enable_checksums_) {
-    uint32_t stored_crc;
-    std::memcpy(&stored_crc, raw.data(), sizeof(uint32_t));
-    uint32_t actual_crc =
-        Crc32c(raw.data() + sizeof(uint32_t), kBlockPayloadSize);
-    if (stored_crc != actual_crc) {
-      return Status::Corruption(
-          "checksum mismatch reading block " + std::to_string(id) +
-          ": persistent storage corruption detected");
+  // Read + verify is one retryable unit: a checksum mismatch is re-read
+  // from disk, which separates an in-flight flip (DRAM on the read path
+  // — the next read is clean) from media damage (every read disagrees
+  // with the stamped CRC and the error sticks as kCorruption).
+  auto attempt = [&]() -> Status {
+    MALLARD_RETURN_NOT_OK(
+        file_->Read(raw.data(), kBlockSize, BlockOffset(id)));
+    auto& injector = FaultInjector::Get();
+    if (injector.ShouldFire(FaultSite::kBlockRead)) {
+      injector.FlipRandomBit(raw.data(), kBlockSize);
     }
-  }
+    if (enable_checksums_) {
+      uint32_t stored_crc;
+      std::memcpy(&stored_crc, raw.data(), sizeof(uint32_t));
+      uint32_t actual_crc =
+          Crc32c(raw.data() + sizeof(uint32_t), kBlockPayloadSize);
+      if (stored_crc != actual_crc) {
+        GlobalResilienceStats().block_checksum_failures.fetch_add(1);
+        return Status::Corruption(
+            "checksum mismatch reading block " + std::to_string(id) +
+            ": persistent storage corruption detected");
+      }
+    }
+    return Status::OK();
+  };
+  MALLARD_RETURN_NOT_OK(RetryPolicy().Execute(attempt, [](const Status& s) {
+    return s.IsIOError() || s.IsCorruption();
+  }));
   std::memcpy(buffer, raw.data() + sizeof(uint32_t), kBlockPayloadSize);
   return Status::OK();
 }
@@ -177,6 +190,31 @@ Status BlockManager::WriteHeader(block_id_t meta_block) {
   int slot = static_cast<int>(header_.iteration % 2);
   MALLARD_RETURN_NOT_OK(WriteHeaderSlot(slot, header_));
   return file_->Sync();
+}
+
+Status BlockManager::VerifyBlock(block_id_t id) {
+  std::vector<uint8_t> raw(kBlockSize);
+  MALLARD_RETURN_NOT_OK(file_->Read(raw.data(), kBlockSize, BlockOffset(id)));
+  uint32_t stored_crc;
+  std::memcpy(&stored_crc, raw.data(), sizeof(uint32_t));
+  uint32_t actual_crc =
+      Crc32c(raw.data() + sizeof(uint32_t), kBlockPayloadSize);
+  if (stored_crc != actual_crc) {
+    return Status::Corruption("checksum mismatch in block " +
+                              std::to_string(id));
+  }
+  return Status::OK();
+}
+
+std::vector<block_id_t> BlockManager::LiveBlocks() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<block_id_t> live;
+  live.reserve(header_.block_count - free_blocks_.size());
+  for (uint64_t i = 0; i < header_.block_count; i++) {
+    block_id_t id = static_cast<block_id_t>(i);
+    if (!free_blocks_.count(id)) live.push_back(id);
+  }
+  return live;
 }
 
 Status BlockManager::CorruptBlockOnDisk(block_id_t id, uint64_t bit_index) {

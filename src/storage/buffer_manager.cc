@@ -5,7 +5,9 @@
 #include <algorithm>
 #include <cstring>
 
+#include "mallard/common/checksum.h"
 #include "mallard/resilience/fault_injector.h"
+#include "mallard/resilience/retry_policy.h"
 
 namespace mallard {
 
@@ -163,11 +165,16 @@ Status BufferManager::SpillBuffer(ManagedBuffer* buffer) {
     } else {
       level = CompressionLevel::kNone;
     }
-    Status status =
-        FaultInjector::Get().ShouldFire(FaultSite::kSpillWrite)
-            ? Status::IOError("spill write fault injected on '" +
-                              spill_file_->path() + "'")
-            : spill_file_->Write(payload, payload_len, offset);
+    // Transient write faults (full disk queue, injected) are ridden out
+    // by the bounded-backoff retry; a persistent fault still fails the
+    // eviction cleanly after the attempts are exhausted.
+    Status status = RetryPolicy().Execute([&]() -> Status {
+      if (FaultInjector::Get().ShouldFire(FaultSite::kSpillWrite)) {
+        return Status::IOError("spill write fault injected on '" +
+                               spill_file_->path() + "'");
+      }
+      return spill_file_->Write(payload, payload_len, offset);
+    });
     if (!status.ok()) {
       if (buffer->spill_offset_ == ~uint64_t(0)) {
         free_spill_slots_[buffer->size_].push_back(offset);
@@ -176,6 +183,7 @@ Status BufferManager::SpillBuffer(ManagedBuffer* buffer) {
     }
     buffer->spill_offset_ = offset;
     buffer->spill_bytes_ = payload_len;
+    buffer->spill_crc_ = Crc32c(payload, payload_len);
     buffer->spill_level_ = level;
     buffer->dirty_ = false;
     stats_.spill_count++;
@@ -193,26 +201,52 @@ Status BufferManager::SpillBuffer(ManagedBuffer* buffer) {
 }
 
 Status BufferManager::LoadBuffer(ManagedBuffer* buffer) {
-  if (FaultInjector::Get().ShouldFire(FaultSite::kSpillRead)) {
-    return Status::IOError("spill read fault injected on '" +
-                           spill_file_->path() + "'");
-  }
   MALLARD_ASSIGN_OR_RETURN(buffer->data_, AllocateTested(buffer->size_));
-  if (buffer->spill_level_ != CompressionLevel::kNone) {
-    std::vector<uint8_t> compressed(buffer->spill_bytes_);
-    MALLARD_RETURN_NOT_OK(spill_file_->Read(
-        compressed.data(), compressed.size(), buffer->spill_offset_));
-    const Codec* codec = CodecForLevel(buffer->spill_level_);
-    std::vector<uint8_t> raw;
-    MALLARD_RETURN_NOT_OK(
-        codec->Decompress(compressed.data(), compressed.size(), &raw));
-    if (raw.size() != buffer->size_) {
-      return Status::Corruption("spilled buffer decompressed to wrong size");
+  // Read + verify + decompress as one retryable unit. A checksum
+  // mismatch is retried too: re-reading from disk distinguishes an
+  // in-flight flip (second read is clean) from at-rest media damage
+  // (every read disagrees with the stamped CRC → kCorruption).
+  auto attempt = [&]() -> Status {
+    if (FaultInjector::Get().ShouldFire(FaultSite::kSpillRead)) {
+      return Status::IOError("spill read fault injected on '" +
+                             spill_file_->path() + "'");
     }
-    std::memcpy(buffer->data_.get(), raw.data(), raw.size());
-  } else {
-    MALLARD_RETURN_NOT_OK(spill_file_->Read(
-        buffer->data_.get(), buffer->size_, buffer->spill_offset_));
+    const bool compressed = buffer->spill_level_ != CompressionLevel::kNone;
+    std::vector<uint8_t> scratch;
+    uint8_t* disk = buffer->data_.get();
+    if (compressed) {
+      scratch.resize(buffer->spill_bytes_);
+      disk = scratch.data();
+    }
+    MALLARD_RETURN_NOT_OK(
+        spill_file_->Read(disk, buffer->spill_bytes_, buffer->spill_offset_));
+    if (Crc32c(disk, buffer->spill_bytes_) != buffer->spill_crc_) {
+      GlobalResilienceStats().spill_checksum_failures.fetch_add(1);
+      return Status::Corruption(
+          "spill segment checksum mismatch at offset " +
+          std::to_string(buffer->spill_offset_) + " of '" +
+          spill_file_->path() + "': temp-file corruption detected");
+    }
+    if (compressed) {
+      const Codec* codec = CodecForLevel(buffer->spill_level_);
+      std::vector<uint8_t> raw;
+      MALLARD_RETURN_NOT_OK(
+          codec->Decompress(scratch.data(), scratch.size(), &raw));
+      if (raw.size() != buffer->size_) {
+        return Status::Corruption("spilled buffer decompressed to wrong size");
+      }
+      std::memcpy(buffer->data_.get(), raw.data(), raw.size());
+    }
+    return Status::OK();
+  };
+  Status status = RetryPolicy().Execute(attempt, [](const Status& s) {
+    return s.IsIOError() || s.IsCorruption();
+  });
+  if (!status.ok()) {
+    // Stay non-resident: a later Pin may retry, and accounting must not
+    // see a half-loaded buffer.
+    buffer->data_.reset();
+    return status;
   }
   // The slot is retained (spill_offset_ stays valid): if this buffer is
   // evicted again without being modified, the eviction skips the write.

@@ -4,7 +4,9 @@
 #include <memory>
 #include <numeric>
 
+#include "mallard/common/checksum.h"
 #include "mallard/governor/resource_governor.h"
+#include "mallard/resilience/retry_policy.h"
 #include "mallard/storage/meta_block.h"
 #include "mallard/storage/table/column_segment.h"
 #include "mallard/storage/table/data_table.h"
@@ -14,20 +16,34 @@ namespace mallard {
 
 namespace {
 
-/// Streams one table's rows — as visible to `snapshot` — into the meta
-/// chain as re-compacted serialized row groups. Layout matches
-/// DataTable::DeserializeData: [num_groups u64] then per group
-/// [count u64][ncols u32][per-column segment].
+/// Streams one table's rows — as visible to `snapshot` — into per-group
+/// block chains plus a directory entry in the catalog chain. Each row
+/// group's payload ([count u64][ncols u32][per-column segment], the
+/// RowGroup::Deserialize layout) lives in its own chain so corruption of
+/// a data block quarantines exactly one group on reload instead of
+/// sinking the whole catalog load. The directory records, per group:
+///   [rows u64][payload_len u64][payload_crc u32][head i64]
+///   [n_blocks u32][block ids i64...]
+/// The CRC spans the reassembled payload end to end — it catches damage
+/// the per-block CRCs cannot, such as a stale-but-valid block landing in
+/// the chain. Block ids of all group chains are added to `group_blocks`
+/// so the checkpoint's live set covers them.
 Status CheckpointTable(const DataTable& table, const Transaction& snapshot,
-                       const ResourceGovernor* governor,
-                       MetaBlockStreamWriter* meta) {
-  BinaryWriter& w = meta->writer();
+                       const ResourceGovernor* governor, BlockManager* blocks,
+                       MetaBlockStreamWriter* dir,
+                       std::set<block_id_t>* group_blocks) {
+  // Refuse to rewrite a table that still carries quarantined groups: the
+  // new image could no longer represent their rows, so completing the
+  // checkpoint would convert detected corruption into silent data loss.
+  MALLARD_RETURN_NOT_OK(table.FirstQuarantineError());
+
+  BinaryWriter& w = dir->writer();
   std::vector<TypeId> types = table.ColumnTypes();
   idx_t visible = table.VisibleRowCount(snapshot);
 
   // Serialized-group granularity: the default row group size, shrunk
   // under memory pressure so the staging segments (the only per-table
-  // buffering besides one meta block) respect the governor's budget.
+  // buffering besides one group payload) respect the governor's budget.
   // ~16 bytes/value is a deliberately pessimistic estimate; staging gets
   // at most a quarter of the budget.
   idx_t group_rows = kRowGroupSize;
@@ -61,18 +77,34 @@ Status CheckpointTable(const DataTable& table, const Transaction& snapshot,
   };
   uint64_t emitted = 0;
   auto emit_group = [&]() -> Status {
-    w.WriteU64(staged_count);
-    w.WriteU32(static_cast<uint32_t>(types.size()));
+    // Serialize the group payload into its own chain.
+    MetaBlockWriter group(blocks);
+    BinaryWriter& gw = group.writer();
+    gw.WriteU64(staged_count);
+    gw.WriteU32(static_cast<uint32_t>(types.size()));
     for (idx_t c = 0; c < staged.size(); c++) {
       // Pick a per-segment encoding for the compacted group — this is
       // where checkpointed data earns its dictionary/FOR form on disk.
       staged[c]->FinalizeEncoding(staged_count);
-      staged[c]->Serialize(&w, staged_count);
+      staged[c]->Serialize(&gw, staged_count);
+    }
+    uint64_t payload_len = gw.data().size();
+    uint32_t payload_crc = Crc32c(gw.data().data(), payload_len);
+    MALLARD_ASSIGN_OR_RETURN(block_id_t head, group.Flush());
+    // Directory entry for the group.
+    w.WriteU64(staged_count);
+    w.WriteU64(payload_len);
+    w.WriteU32(payload_crc);
+    w.WriteU64(static_cast<uint64_t>(head));
+    w.WriteU32(static_cast<uint32_t>(group.blocks_used().size()));
+    for (block_id_t id : group.blocks_used()) {
+      w.WriteU64(static_cast<uint64_t>(id));
+      group_blocks->insert(id);
     }
     emitted++;
     start_group();
-    // Stream completed meta blocks out now, keeping memory bounded.
-    return meta->FlushFull();
+    // Stream completed directory blocks out now, keeping memory bounded.
+    return dir->FlushFull();
   };
 
   start_group();
@@ -89,6 +121,7 @@ Status CheckpointTable(const DataTable& table, const Transaction& snapshot,
       if (staged_count == group_rows) MALLARD_RETURN_NOT_OK(emit_group());
     }
   }
+  MALLARD_RETURN_NOT_OK(std::move(state.error));
   if (staged_count > 0) MALLARD_RETURN_NOT_OK(emit_group());
   if (emitted != num_groups) {
     // The visible set moved under us — only possible if the caller's
@@ -111,6 +144,7 @@ Status WriteCheckpoint(Catalog* catalog, BlockManager* blocks,
   }
   MetaBlockStreamWriter meta(blocks);
   BinaryWriter& w = meta.writer();
+  std::set<block_id_t> group_blocks;
   std::vector<std::string> table_names = catalog->TableNames();
   w.WriteU32(static_cast<uint32_t>(table_names.size()));
   for (const auto& name : table_names) {
@@ -121,7 +155,8 @@ Status WriteCheckpoint(Catalog* catalog, BlockManager* blocks,
       w.WriteString(col.name);
       w.WriteU8(static_cast<uint8_t>(col.type));
     }
-    MALLARD_RETURN_NOT_OK(CheckpointTable(*table, snapshot, governor, &meta));
+    MALLARD_RETURN_NOT_OK(CheckpointTable(*table, snapshot, governor, blocks,
+                                          &meta, &group_blocks));
   }
   std::vector<std::string> view_names = catalog->ViewNames();
   w.WriteU32(static_cast<uint32_t>(view_names.size()));
@@ -137,7 +172,10 @@ Status WriteCheckpoint(Catalog* catalog, BlockManager* blocks,
   // Root swap: fsync the new block tree, then flip the header. Only
   // after this returns may the caller truncate the WAL.
   MALLARD_RETURN_NOT_OK(blocks->WriteHeader(head));
-  blocks->SetLiveBlocks(meta.blocks_used());
+  // Live set: the directory chain plus every row-group chain.
+  std::set<block_id_t> live = meta.blocks_used();
+  live.insert(group_blocks.begin(), group_blocks.end());
+  blocks->SetLiveBlocks(live);
   return Status::OK();
 }
 
@@ -147,6 +185,7 @@ Status LoadCheckpoint(Catalog* catalog, BlockManager* blocks) {
   MetaBlockReader meta(blocks);
   MALLARD_RETURN_NOT_OK(meta.Load(head));
   BinaryReader& r = meta.reader();
+  std::set<block_id_t> live_blocks = meta.blocks_visited();
   uint32_t n_tables;
   MALLARD_RETURN_NOT_OK(r.ReadU32(&n_tables));
   for (uint32_t t = 0; t < n_tables; t++) {
@@ -165,7 +204,56 @@ Status LoadCheckpoint(Catalog* catalog, BlockManager* blocks) {
     }
     MALLARD_RETURN_NOT_OK(catalog->CreateTable(name, std::move(cols)));
     MALLARD_ASSIGN_OR_RETURN(DataTable * table, catalog->GetTable(name));
-    MALLARD_RETURN_NOT_OK(table->DeserializeData(&r));
+    // Per-group directory entries; each group's payload sits in its own
+    // block chain. A group that fails verification — block checksum,
+    // payload length/CRC, or a deserializer invariant — is quarantined
+    // in place rather than failing the open: the rest of the table stays
+    // queryable and the damage is reported per object by
+    // PRAGMA integrity_check. Plain I/O errors still fail the open (the
+    // file may be fine; refusing is safer than quarantining good data).
+    uint64_t num_groups;
+    MALLARD_RETURN_NOT_OK(r.ReadU64(&num_groups));
+    for (uint64_t g = 0; g < num_groups; g++) {
+      uint64_t rows, payload_len, head_raw;
+      uint32_t payload_crc, n_blocks;
+      MALLARD_RETURN_NOT_OK(r.ReadU64(&rows));
+      MALLARD_RETURN_NOT_OK(r.ReadU64(&payload_len));
+      MALLARD_RETURN_NOT_OK(r.ReadU32(&payload_crc));
+      MALLARD_RETURN_NOT_OK(r.ReadU64(&head_raw));
+      MALLARD_RETURN_NOT_OK(r.ReadU32(&n_blocks));
+      for (uint32_t b = 0; b < n_blocks; b++) {
+        uint64_t id;
+        MALLARD_RETURN_NOT_OK(r.ReadU64(&id));
+        live_blocks.insert(static_cast<block_id_t>(id));
+      }
+      auto quarantine = [&](const Status& cause) {
+        GlobalResilienceStats().quarantined_row_groups.fetch_add(1);
+        table->LoadQuarantinedGroup(static_cast<idx_t>(rows),
+                                    cause.ToString());
+      };
+      MetaBlockReader group(blocks);
+      Status load = group.Load(static_cast<block_id_t>(head_raw));
+      if (load.IsCorruption()) {
+        quarantine(load);
+        continue;
+      }
+      MALLARD_RETURN_NOT_OK(std::move(load));
+      if (group.data().size() != payload_len ||
+          Crc32c(group.data().data(), group.data().size()) != payload_crc) {
+        quarantine(Status::Corruption(
+            "row group payload failed end-to-end verification (" +
+            std::to_string(group.data().size()) + " bytes read, " +
+            std::to_string(payload_len) + " expected)"));
+        continue;
+      }
+      Status applied =
+          table->LoadCheckpointGroup(&group.reader(), static_cast<idx_t>(rows));
+      if (applied.IsCorruption()) {
+        quarantine(applied);
+        continue;
+      }
+      MALLARD_RETURN_NOT_OK(std::move(applied));
+    }
   }
   uint32_t n_views;
   MALLARD_RETURN_NOT_OK(r.ReadU32(&n_views));
@@ -182,8 +270,10 @@ Status LoadCheckpoint(Catalog* catalog, BlockManager* blocks) {
     MALLARD_RETURN_NOT_OK(
         catalog->CreateView(name, sql, std::move(aliases), true));
   }
-  // Everything not part of the loaded meta chain is reusable.
-  blocks->SetLiveBlocks(meta.blocks_visited());
+  // Everything outside the directory chain and the row-group chains is
+  // reusable. Quarantined groups keep their blocks live so the scrubber
+  // can still point at the damaged object.
+  blocks->SetLiveBlocks(live_blocks);
   return Status::OK();
 }
 

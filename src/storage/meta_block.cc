@@ -26,7 +26,16 @@ Result<block_id_t> MetaBlockWriter::Flush() {
     blocks_used_.insert(id);
   }
   std::vector<uint8_t> buffer(kBlockPayloadSize);
+  auto& injector = FaultInjector::Get();
   for (uint64_t i = 0; i < num_blocks; i++) {
+    // Same fault site as the streaming writer: both feed the checkpoint
+    // image, and a crash or error here leaves the old root intact.
+    if (injector.ShouldKill(FaultSite::kCheckpointWrite)) {
+      FaultInjector::KillProcess();
+    }
+    if (injector.ShouldFire(FaultSite::kCheckpointWrite)) {
+      return Status::IOError("injected checkpoint block write failure");
+    }
     uint64_t len = std::min(remaining, kChainPayload);
     int64_t next = (i + 1 < num_blocks) ? chain[i + 1] : kInvalidBlock;
     std::memset(buffer.data(), 0, buffer.size());

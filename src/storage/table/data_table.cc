@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "mallard/common/string_util.h"
+#include "mallard/resilience/retry_policy.h"
 
 namespace mallard {
 
@@ -40,8 +41,10 @@ Status DataTable::Append(Transaction* txn, const DataChunk& chunk) {
     if (last) {
       // count() is written under the row group's unique lock (another
       // transaction's RevertAppend can shrink it concurrently).
+      // Quarantined groups are sealed: their placeholder holds the slot
+      // but can never accept rows.
       std::shared_lock<std::shared_mutex> rg_guard(last->lock());
-      full = last->count() == last->Capacity();
+      full = last->quarantined() || last->count() == last->Capacity();
     }
     if (!last || full) {
       std::unique_lock<std::shared_mutex> guard(row_groups_lock_);
@@ -64,6 +67,9 @@ void DataTable::InitializeScan(TableScanState* state,
   state->row_group_index = 0;
   state->offset = 0;
   state->zonemap_checked = false;
+  state->salvage_skipped_groups = 0;
+  state->salvage_skipped_rows = 0;
+  state->error = Status::OK();
 }
 
 bool DataTable::Scan(const Transaction& txn, TableScanState* state,
@@ -80,6 +86,28 @@ bool DataTable::Scan(const Transaction& txn, TableScanState* state,
       rg = row_groups_[state->row_group_index].get();
     }
     std::shared_lock<std::shared_mutex> rg_guard(rg->lock());
+    if (rg->quarantined()) {
+      idx_t rows = rg->count();
+      idx_t start = rg->start();
+      std::string reason = rg->quarantine_reason();
+      rg_guard.unlock();
+      if (state->salvage) {
+        state->salvage_skipped_groups++;
+        state->salvage_skipped_rows += rows;
+        GlobalResilienceStats().salvage_skipped_groups.fetch_add(1);
+        GlobalResilienceStats().salvage_skipped_rows.fetch_add(rows);
+        state->row_group_index++;
+        state->offset = 0;
+        state->zonemap_checked = false;
+        continue;
+      }
+      state->error = Status::Corruption(
+          "row group " + std::to_string(state->row_group_index) +
+          " of table '" + name_ + "' (rows " + std::to_string(start) + ".." +
+          std::to_string(start + rows) + ") is quarantined: " + reason +
+          "; PRAGMA salvage_mode=on scans around it");
+      return false;
+    }
     if (!state->zonemap_checked) {
       state->zonemap_checked = true;
       if (!state->filters.empty() && !rg->CheckZonemaps(state->filters)) {
@@ -189,6 +217,11 @@ Result<idx_t> DataTable::Delete(Transaction* txn, const Vector& row_ids,
     RowGroup* rg = GetRowGroupForRow(rg_index * kRowGroupSize);
     if (!rg) return Status::Internal("delete: row id out of range");
     std::unique_lock<std::shared_mutex> guard(rg->lock());
+    if (rg->quarantined()) {
+      return Status::Corruption("cannot delete from quarantined row group " +
+                                std::to_string(rg_index) + " of table '" +
+                                name_ + "': " + rg->quarantine_reason());
+    }
     std::vector<uint32_t> deleted_rows;
     MALLARD_ASSIGN_OR_RETURN(idx_t deleted,
                              rg->Delete(txn, rows, batch, &deleted_rows));
@@ -221,6 +254,11 @@ Status DataTable::Update(Transaction* txn, const Vector& row_ids, idx_t count,
     RowGroup* rg = GetRowGroupForRow(rg_index * kRowGroupSize);
     if (!rg) return Status::Internal("update: row id out of range");
     std::unique_lock<std::shared_mutex> guard(rg->lock());
+    if (rg->quarantined()) {
+      return Status::Corruption("cannot update quarantined row group " +
+                                std::to_string(rg_index) + " of table '" +
+                                name_ + "': " + rg->quarantine_reason());
+    }
     for (idx_t c = 0; c < column_indexes.size(); c++) {
       MALLARD_RETURN_NOT_OK(rg->Update(txn, column_indexes[c], rows,
                                        value_idx, batch, values.column(c)));
@@ -234,6 +272,7 @@ idx_t DataTable::VisibleRowCount(const Transaction& txn) const {
   idx_t total = 0;
   for (const auto& rg : row_groups_) {
     std::shared_lock<std::shared_mutex> rg_guard(rg->lock());
+    if (rg->quarantined()) continue;  // unreadable rows are not visible
     idx_t count = rg->count();
     for (idx_t row = 0; row < count; row++) {
       if (rg->RowIsVisible(txn, row)) total++;
@@ -266,30 +305,63 @@ void DataTable::CleanupUpdates(uint64_t lowest_active_start) {
   }
 }
 
-void DataTable::Serialize(BinaryWriter* writer) const {
-  std::shared_lock<std::shared_mutex> guard(row_groups_lock_);
-  writer->WriteU64(row_groups_.size());
-  for (const auto& rg : row_groups_) {
-    rg->Serialize(writer);
+Status DataTable::LoadCheckpointGroup(BinaryReader* reader,
+                                      idx_t expected_rows) {
+  std::unique_lock<std::shared_mutex> guard(row_groups_lock_);
+  MALLARD_ASSIGN_OR_RETURN(
+      auto rg, RowGroup::Deserialize(reader, row_groups_.size() * kRowGroupSize,
+                                     types_));
+  if (rg->count() != expected_rows) {
+    return Status::Corruption(
+        "row group payload holds " + std::to_string(rg->count()) +
+        " rows but the checkpoint directory recorded " +
+        std::to_string(expected_rows));
   }
+  if (rg->count() > 0) {
+    row_groups_.push_back(std::move(rg));
+  }
+  return Status::OK();
 }
 
-Status DataTable::DeserializeData(BinaryReader* reader) {
-  uint64_t num_groups;
-  MALLARD_RETURN_NOT_OK(reader->ReadU64(&num_groups));
+void DataTable::LoadQuarantinedGroup(idx_t rows, std::string reason) {
   std::unique_lock<std::shared_mutex> guard(row_groups_lock_);
-  row_groups_.clear();
-  for (uint64_t i = 0; i < num_groups; i++) {
-    MALLARD_ASSIGN_OR_RETURN(
-        auto rg,
-        RowGroup::Deserialize(reader, row_groups_.size() * kRowGroupSize,
-                              types_));
-    // Checkpoint compaction can leave a row group empty; drop it.
-    if (rg->count() > 0) {
-      row_groups_.push_back(std::move(rg));
+  row_groups_.push_back(RowGroup::Quarantined(
+      row_groups_.size() * kRowGroupSize, types_, rows, std::move(reason)));
+}
+
+Status DataTable::FirstQuarantineError() const {
+  std::shared_lock<std::shared_mutex> guard(row_groups_lock_);
+  for (idx_t i = 0; i < row_groups_.size(); i++) {
+    const auto& rg = row_groups_[i];
+    if (rg->quarantined()) {
+      return Status::Corruption(
+          "row group " + std::to_string(i) + " of table '" + name_ +
+          "' (" + std::to_string(rg->count()) + " rows) is quarantined: " +
+          rg->quarantine_reason());
     }
   }
   return Status::OK();
+}
+
+idx_t DataTable::QuarantinedGroupCount() const {
+  std::shared_lock<std::shared_mutex> guard(row_groups_lock_);
+  idx_t n = 0;
+  for (const auto& rg : row_groups_) {
+    if (rg->quarantined()) n++;
+  }
+  return n;
+}
+
+Status DataTable::ValidateGroup(idx_t index) const {
+  RowGroup* rg = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> guard(row_groups_lock_);
+    if (index >= row_groups_.size()) {
+      return Status::InvalidArgument("row group index out of range");
+    }
+    rg = row_groups_[index].get();
+  }
+  return rg->ValidateIntegrity();
 }
 
 idx_t DataTable::MemoryUsage() const {
@@ -307,6 +379,7 @@ TableEncodingStats DataTable::EncodingStats() const {
   std::shared_lock<std::shared_mutex> guard(row_groups_lock_);
   for (const auto& rg : row_groups_) {
     std::shared_lock<std::shared_mutex> rg_guard(rg->lock());
+    if (rg->quarantined()) continue;  // no segments to report
     idx_t rows = rg->count();
     for (idx_t c = 0; c < types_.size(); c++) {
       const ColumnSegment& seg = rg->column(c);

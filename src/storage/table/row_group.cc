@@ -15,6 +15,20 @@ RowGroup::RowGroup(idx_t start, const std::vector<TypeId>& types)
   }
 }
 
+std::unique_ptr<RowGroup> RowGroup::Quarantined(
+    idx_t start, const std::vector<TypeId>& types, idx_t count,
+    std::string reason) {
+  auto rg = std::make_unique<RowGroup>(start, types);
+  // Drop the freshly allocated (empty) segments: a quarantined group must
+  // never serve data, and keeping them would invite a path that reads
+  // zeros where real rows used to be.
+  rg->columns_.clear();
+  rg->count_ = count;
+  rg->quarantined_ = true;
+  rg->quarantine_reason_ = std::move(reason);
+  return rg;
+}
+
 void RowGroup::EnsureInsertedBy() {
   if (!inserted_by_) {
     inserted_by_ =
@@ -252,6 +266,61 @@ Result<std::unique_ptr<RowGroup>> RowGroup::Deserialize(
   }
   rg->count_ = count;
   return rg;
+}
+
+Status RowGroup::ValidateIntegrity() const {
+  std::shared_lock<std::shared_mutex> guard(lock_);
+  if (quarantined_) {
+    return Status::Corruption("quarantined: " + quarantine_reason_);
+  }
+  for (idx_t c = 0; c < columns_.size(); c++) {
+    const ColumnSegment& seg = *columns_[c];
+    // Encoding invariants: serialize and re-read the segment; the
+    // deserializer is the single place that checks dictionary order,
+    // code widths and length fields, so the round-trip reuses it.
+    BinaryWriter w;
+    seg.Serialize(&w, count_);
+    BinaryReader r(w.data().data(), w.data().size());
+    auto round_trip = ColumnSegment::Deserialize(&r, types_[c], count_);
+    if (!round_trip.ok()) {
+      return Status::Corruption("column " + std::to_string(c) +
+                                " failed encoding validation: " +
+                                round_trip.status().ToString());
+    }
+    // Zone maps versus data. In-place updates widen the stats, so every
+    // base value must lie inside [min, max] even mid-transaction; the
+    // null count is only exact while no undo chain is active.
+    idx_t nulls = 0;
+    const Value& min = seg.stats_min();
+    const Value& max = seg.stats_max();
+    for (idx_t row = 0; row < count_; row++) {
+      if (!seg.RowIsValid(row)) {
+        nulls++;
+        continue;
+      }
+      Value v = seg.GetValue(row);
+      if (!min.is_null() && min.type() == v.type() && v.Compare(min) < 0) {
+        return Status::Corruption("column " + std::to_string(c) + " row " +
+                                  std::to_string(row) + " value " +
+                                  v.ToString() + " below zone-map minimum " +
+                                  min.ToString());
+      }
+      if (!max.is_null() && max.type() == v.type() && v.Compare(max) > 0) {
+        return Status::Corruption("column " + std::to_string(c) + " row " +
+                                  std::to_string(row) + " value " +
+                                  v.ToString() + " above zone-map maximum " +
+                                  max.ToString());
+      }
+    }
+    bool has_updates = updates_[c] && updates_[c]->HasUpdates();
+    if (!has_updates && nulls != seg.null_count()) {
+      return Status::Corruption(
+          "column " + std::to_string(c) + " validity mask holds " +
+          std::to_string(nulls) + " NULLs but zone statistics recorded " +
+          std::to_string(seg.null_count()));
+    }
+  }
+  return Status::OK();
 }
 
 idx_t RowGroup::MemoryUsage() const {

@@ -7,6 +7,7 @@
 #include "mallard/common/checksum.h"
 #include "mallard/governor/resource_governor.h"
 #include "mallard/resilience/fault_injector.h"
+#include "mallard/resilience/retry_policy.h"
 #include "mallard/transaction/transaction_manager.h"
 #include "mallard/vector/chunk_serde.h"
 
@@ -166,14 +167,22 @@ Status WriteAheadLog::AppendAndSync(const std::vector<uint8_t>& batch) {
     (void)file_->Write(batch.data(), batch.size() / 2, restore);
     FaultInjector::KillProcess();
   }
-  if (injector.ShouldFire(FaultSite::kWalAppend)) {
-    status = Status::IOError("injected WAL append failure");
-  } else {
+  // Transient append failures (injected or a momentarily overloaded
+  // disk) are retried with bounded backoff. The write targets the fixed
+  // durable end, so a retry simply overwrites whatever partial bytes the
+  // failed attempt may have landed — idempotent by construction. fsync
+  // is deliberately NOT retried below: after a failed fsync the kernel
+  // may have dropped the dirty pages, so "retry until it reports OK"
+  // can acknowledge a commit that never reached the platter.
+  status = RetryPolicy().Execute([&]() -> Status {
+    if (injector.ShouldFire(FaultSite::kWalAppend)) {
+      return Status::IOError("injected WAL append failure");
+    }
     // Write at the tracked durable end rather than Append(): after an
     // earlier failed flush the kernel file size may briefly disagree
     // with the durable prefix, and this is immune to that.
-    status = file_->Write(batch.data(), batch.size(), restore);
-  }
+    return file_->Write(batch.data(), batch.size(), restore);
+  });
   if (status.ok()) {
     uint32_t delay = fsync_delay_us_.load();
     if (delay) {
@@ -384,6 +393,55 @@ WalStats WriteAheadLog::GetStats() const {
   return s;
 }
 
+Status WriteAheadLog::VerifyFrames(uint64_t* frames) {
+  if (frames) *frames = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  AcquireFlushToken(&lock);
+  lock.unlock();
+  // Token held: the durable prefix [0, file_size_) is stable and no
+  // writer is mid-append. Everything is re-read from disk — the point
+  // of a scrub is to catch rot the happy path has not touched yet.
+  uint64_t size = file_size_;
+  auto verify = [&]() -> Status {
+    if (size < kWalHeaderSize) {
+      return Status::Corruption("WAL '" + path_ + "' is shorter than its header");
+    }
+    uint8_t header[kWalHeaderSize];
+    MALLARD_RETURN_NOT_OK(file_->Read(header, kWalHeaderSize, 0));
+    uint64_t magic;
+    std::memcpy(&magic, header, sizeof(uint64_t));
+    if (magic != kWalMagic) {
+      return Status::Corruption("WAL '" + path_ + "' header magic mismatch");
+    }
+    std::vector<uint8_t> data(size - kWalHeaderSize);
+    MALLARD_RETURN_NOT_OK(
+        file_->Read(data.data(), data.size(), kWalHeaderSize));
+    BinaryReader reader(data.data(), data.size());
+    uint64_t frame = 0;
+    while (!reader.AtEnd()) {
+      uint32_t len, crc;
+      if (!reader.ReadU32(&len).ok() || !reader.ReadU32(&crc).ok() ||
+          len == 0 || len > reader.remaining()) {
+        return Status::Corruption("WAL frame " + std::to_string(frame) +
+                                  " has a torn or invalid header");
+      }
+      std::vector<uint8_t> payload(len);
+      MALLARD_RETURN_NOT_OK(reader.ReadBytes(payload.data(), len));
+      if (Crc32c(payload.data(), payload.size()) != crc) {
+        return Status::Corruption("WAL frame " + std::to_string(frame) +
+                                  " checksum mismatch");
+      }
+      frame++;
+    }
+    if (frames) *frames = frame;
+    return Status::OK();
+  };
+  Status status = verify();
+  lock.lock();
+  ReleaseFlushToken();
+  return status;
+}
+
 Result<idx_t> WriteAheadLog::Replay(Catalog* catalog,
                                     TransactionManager* txn_manager,
                                     uint64_t expected_generation) {
@@ -437,7 +495,31 @@ Result<idx_t> WriteAheadLog::Replay(Catalog* catalog,
       break;
     }
     if (Crc32c(payload.data(), payload.size()) != crc) {
-      // Torn or corrupted frame: everything from here on is discarded.
+      // A CRC mismatch is either a torn tail (the crash tore the last
+      // group mid-write — expected, recoverable) or bit rot in the
+      // middle of the log (unexpected, unrecoverable without losing
+      // acknowledged commits). The framing here is intact, so walk the
+      // remaining frames: any later frame with a valid CRC proves
+      // committed data follows the damage — truncating would silently
+      // drop it, so that case is a hard corruption error instead.
+      bool later_valid_frame = false;
+      while (!reader.AtEnd()) {
+        uint32_t len2, crc2;
+        if (!reader.ReadU32(&len2).ok() || !reader.ReadU32(&crc2).ok()) break;
+        if (len2 == 0 || len2 > reader.remaining()) break;
+        std::vector<uint8_t> payload2(len2);
+        if (!reader.ReadBytes(payload2.data(), len2).ok()) break;
+        if (Crc32c(payload2.data(), payload2.size()) == crc2) {
+          later_valid_frame = true;
+          break;
+        }
+      }
+      if (later_valid_frame) {
+        return Status::Corruption(
+            "WAL frame checksum mismatch before the log tail in '" + path_ +
+            "': the log is damaged mid-stream (valid frames follow the bad "
+            "one), not torn by a crash; refusing to drop committed data");
+      }
       truncated = true;
       break;
     }
@@ -471,6 +553,8 @@ Result<idx_t> WriteAheadLog::Replay(Catalog* catalog,
     MALLARD_RETURN_NOT_OK(file_->Truncate(valid_end));
     MALLARD_RETURN_NOT_OK(file_->Sync());
     file_size_ = valid_end;
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.torn_tail_recoveries++;
   }
   return applied_txns;
 }

@@ -64,8 +64,11 @@ TEST_F(RecoveryTest, WalAppendFaultAbortsCommitCleanly) {
   ASSERT_TRUE(db.ok());
   Connection con(db->get());
   ASSERT_TRUE(con.Query("CREATE TABLE t (a INTEGER)").ok());
-  FaultInjector::Get().ArmOnce(FaultSite::kWalAppend);
+  // Permanent fault: every append attempt fails, so the bounded retry
+  // loop exhausts its budget and the commit aborts cleanly.
+  FaultInjector::Get().Arm(FaultSite::kWalAppend, 1.0);
   auto r = con.Query("INSERT INTO t VALUES (1)");
+  FaultInjector::Get().Reset();
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kIOError) << r.status().ToString();
   // No partial visibility: the aborted insert is gone.
@@ -104,7 +107,7 @@ TEST_F(RecoveryTest, WalAppendFaultRollsLogBackForReplay) {
     Connection con(db->get());
     ASSERT_TRUE(con.Query("CREATE TABLE t (a INTEGER)").ok());
     ASSERT_TRUE(con.Query("INSERT INTO t VALUES (1)").ok());
-    FaultInjector::Get().ArmOnce(FaultSite::kWalAppend);
+    FaultInjector::Get().Arm(FaultSite::kWalAppend, 1.0);
     EXPECT_FALSE(con.Query("INSERT INTO t VALUES (2)").ok());
     FaultInjector::Get().Reset();
     ASSERT_TRUE(con.Query("INSERT INTO t VALUES (3)").ok());

@@ -15,6 +15,7 @@
 #include "mallard/main/connection.h"
 #include "mallard/main/database.h"
 #include "mallard/resilience/fault_injector.h"
+#include "mallard/resilience/retry_policy.h"
 #include "mallard/storage/buffer_manager.h"
 
 namespace mallard {
@@ -387,12 +388,33 @@ TEST_F(SpillQueryTest, SpillReadFaultFailsQueryCleanly) {
   const idx_t kRows = 60000;
   Open(2ull << 20);
   PopulateJoin(kRows);
-  FaultInjector::Get().ArmOnce(FaultSite::kSpillRead);
+  // Permanent fault: the read-path retry loop re-reads the spill segment
+  // up to its attempt budget, then surfaces a clean error.
+  FaultInjector::Get().Arm(FaultSite::kSpillRead, 1.0);
   auto r = con_->Query(kJoinQuery);
+  EXPECT_GE(FaultInjector::Get().FireCount(FaultSite::kSpillRead), 3u);
+  FaultInjector::Get().Reset();
   ASSERT_FALSE(r.ok());
   EXPECT_NE(r.status().message().find("spill read fault"), std::string::npos)
       << r.status().message();
-  EXPECT_EQ(FaultInjector::Get().FireCount(FaultSite::kSpillRead), 1u);
+}
+
+TEST_F(SpillQueryTest, SpillReadTransientFaultHealsViaRetry) {
+  const idx_t kRows = 60000;
+  Open(2ull << 20);
+  PopulateJoin(kRows);
+  GlobalResilienceStats().Reset();
+  // Fail the first spill read, succeed on the re-read: the query must
+  // complete with correct results and the retry must be visible in the
+  // resilience counters.
+  FaultInjector::Get().ArmTransient(FaultSite::kSpillRead, 1);
+  auto r = con_->Query(kJoinQuery);
+  FaultInjector::Get().Reset();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->GetValue(0, 0).GetBigInt(),
+            static_cast<int64_t>(kRows * 2));
+  EXPECT_GE(GlobalResilienceStats().io_retries.load(), 1u);
+  EXPECT_GE(GlobalResilienceStats().retry_successes.load(), 1u);
 }
 
 // ---------------------------------------------------------------------------
